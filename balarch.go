@@ -1,0 +1,155 @@
+// Package balarch is a Go reproduction of H. T. Kung's "Memory Requirements
+// for Balanced Computer Architectures" (Journal of Complexity 1, 147–157,
+// 1985): the information model of a processing element (computation
+// bandwidth C, I/O bandwidth IO, local memory M), the balance condition
+// Ccomp/C = Cio/IO, and the memory growth laws that answer the paper's
+// central question — when C/IO rises by a factor α, how much local memory
+// restores balance?
+//
+//   - Matrix multiplication, triangularization, 2-D grids:  M_new = α²·M_old
+//   - d-dimensional grids:                                  M_new = α^d·M_old
+//   - FFT and sorting:                                      M_new = M_old^α
+//   - Matrix-vector product, triangular solve:              impossible
+//
+// The package exposes the analytic model (PE, Computation, the catalog, the
+// rebalance solvers) and the experiment harness that reproduces every table
+// and figure of the paper on instrumented kernels, a red-blue pebble game, a
+// cache simulator, and a discrete-event processor-array simulator. See
+// DESIGN.md for the full system inventory and EXPERIMENTS.md for
+// paper-vs-measured results.
+//
+// Quick start:
+//
+//	pe := balarch.PE{C: 50e6, IO: 1e6, M: 4096}
+//	a, err := balarch.Analyze(pe, balarch.MatrixMultiplication())
+//	// a.State, a.BalancedMemory answer the balance question for this PE.
+//
+//	mNew, err := balarch.MatrixMultiplication().Rebalance(4, 1024, 1e18)
+//	// mNew ≈ 16×1024: the α² law.
+package balarch
+
+import (
+	"balarch/internal/experiments"
+	"balarch/internal/model"
+	"balarch/internal/report"
+	"balarch/internal/roofline"
+)
+
+// PE is a processing element characterized by computation bandwidth C
+// (operations/second), I/O bandwidth IO (words/second), and local memory M
+// (words) — the paper's Fig. 1.
+type PE = model.PE
+
+// Computation is one analyzed task: its achievable compute-to-I/O ratio as
+// a function of local memory and its closed-form memory growth law.
+type Computation = model.Computation
+
+// Analysis is the balance diagnosis of one PE running one computation.
+type Analysis = model.Analysis
+
+// BalanceState classifies a PE as balanced, I/O bound, or compute bound.
+type BalanceState = model.BalanceState
+
+// GrowthLaw is a closed-form answer to the rebalancing question.
+type GrowthLaw = model.GrowthLaw
+
+// Result is a reproduced experiment's outcome: claims, tables, figures.
+type Result = report.Result
+
+// Balance states.
+const (
+	Balanced     = model.Balanced
+	IOBound      = model.IOBound
+	ComputeBound = model.ComputeBound
+)
+
+// ErrNotRebalanceable is returned for I/O-bounded computations: no local
+// memory size restores balance (paper §3.6).
+var ErrNotRebalanceable = model.ErrNotRebalanceable
+
+// MatrixMultiplication returns the §3.1 catalog entry (law α²).
+func MatrixMultiplication() Computation { return model.MatrixMultiplication() }
+
+// MatrixTriangularization returns the §3.2 catalog entry (law α²).
+func MatrixTriangularization() Computation { return model.MatrixTriangularization() }
+
+// Grid returns the §3.3 catalog entry for a d-dimensional grid (law α^d).
+func Grid(d int) Computation { return model.Grid(d) }
+
+// FFT returns the §3.4 catalog entry (law M^α).
+func FFT() Computation { return model.FFT() }
+
+// Sorting returns the §3.5 catalog entry (law M^α).
+func Sorting() Computation { return model.Sorting() }
+
+// MatrixVector returns the §3.6 catalog entry (not rebalanceable).
+func MatrixVector() Computation { return model.MatrixVector() }
+
+// TriangularSolve returns the §3.6 catalog entry (not rebalanceable).
+func TriangularSolve() Computation { return model.TriangularSolve() }
+
+// SparseMatVec returns the §4 sparse-operation entry (extension; not
+// rebalanceable — the paper's "relatively high I/O requirements" remark).
+func SparseMatVec() Computation { return model.SparseMatVec() }
+
+// Convolution returns a k-tap FIR entry (extension per §5): the ratio is
+// operator-bound at k, so memory beyond 2k words buys nothing, but widening
+// the operator rebalances.
+func Convolution(k int) Computation { return model.Convolution(k) }
+
+// Catalog returns every computation the paper analyzes, in §3 order.
+func Catalog() []Computation { return model.Catalog() }
+
+// Warp returns the per-cell PE parameters of the CMU Warp machine (§5):
+// 10 MFLOPS, 20 Mwords/s, 64K words.
+func Warp() PE { return model.Warp() }
+
+// WarpCells is the cell count of the 1985 Warp linear array.
+const WarpCells = model.WarpCells
+
+// DefaultMaxMemory bounds the numeric rebalance searches: 10^18 words.
+const DefaultMaxMemory = 1e18
+
+// Analyze diagnoses a PE against a computation: is it balanced, and what
+// memory would balance it?
+func Analyze(pe PE, c Computation) (Analysis, error) {
+	return model.Analyze(pe, c, DefaultMaxMemory)
+}
+
+// RooflineModel evaluates attainable performance min(C, IO·R(M)) — the
+// modern roofline reading of the paper's balance condition, where the
+// operational intensity is the memory-dependent ratio R(M) and the ridge
+// point is exactly C/IO.
+type RooflineModel = roofline.Model
+
+// Roofline builds a roofline model for the PE.
+func Roofline(pe PE) (*RooflineModel, error) { return roofline.New(pe) }
+
+// ExperimentIDs lists the reproduction's experiments (E1–E12; DESIGN.md §4).
+func ExperimentIDs() []string {
+	reg := experiments.Registry()
+	ids := make([]string, len(reg))
+	for i, e := range reg {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// RunExperiment reproduces one paper table or figure by id and returns its
+// report.
+func RunExperiment(id string) (*Result, error) {
+	exp, err := experiments.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	return exp.Run()
+}
+
+// ExperimentTitle returns the experiment's one-line description.
+func ExperimentTitle(id string) (string, error) {
+	exp, err := experiments.Get(id)
+	if err != nil {
+		return "", err
+	}
+	return exp.Title, nil
+}

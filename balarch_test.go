@@ -1,0 +1,113 @@
+package balarch_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"balarch"
+)
+
+func TestPublicCatalog(t *testing.T) {
+	cat := balarch.Catalog()
+	if len(cat) != 8 {
+		t.Fatalf("catalog size = %d, want 8", len(cat))
+	}
+}
+
+func TestPublicRebalanceLaws(t *testing.T) {
+	// The paper's headline numbers through the public API.
+	mm, err := balarch.MatrixMultiplication().Rebalance(4, 1024, balarch.DefaultMaxMemory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mm-16*1024)/16384 > 1e-6 {
+		t.Errorf("matmul α=4: M_new = %v, want 16384", mm)
+	}
+	g3, err := balarch.Grid(3).Rebalance(2, 4096, balarch.DefaultMaxMemory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g3-8*4096)/32768 > 1e-6 {
+		t.Errorf("grid3 α=2: M_new = %v, want 32768", g3)
+	}
+	fft, err := balarch.FFT().Rebalance(2, 64, balarch.DefaultMaxMemory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fft-64*64)/4096 > 1e-5 {
+		t.Errorf("fft α=2: M_new = %v, want 4096", fft)
+	}
+	if _, err := balarch.MatrixVector().Rebalance(2, 64, balarch.DefaultMaxMemory); !errors.Is(err, balarch.ErrNotRebalanceable) {
+		t.Errorf("matvec rebalance err = %v, want ErrNotRebalanceable", err)
+	}
+}
+
+func TestPublicAnalyze(t *testing.T) {
+	// A PE whose intensity exactly equals √M: balanced for matmul.
+	pe := balarch.PE{C: 64e6, IO: 1e6, M: 4096}
+	a, err := balarch.Analyze(pe, balarch.MatrixMultiplication())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.State != balarch.Balanced {
+		t.Errorf("state = %v, want balanced", a.State)
+	}
+	// Same PE is I/O bound for matvec, and not rebalanceable.
+	a, err = balarch.Analyze(pe, balarch.MatrixVector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.State != balarch.IOBound || a.Rebalanceable {
+		t.Errorf("matvec: state=%v rebalanceable=%v, want IOBound/false", a.State, a.Rebalanceable)
+	}
+}
+
+func TestWarpParameters(t *testing.T) {
+	w := balarch.Warp()
+	if w.C != 10e6 || w.IO != 20e6 || w.M != 65536 {
+		t.Errorf("Warp = %+v", w)
+	}
+	if balarch.WarpCells != 10 {
+		t.Errorf("WarpCells = %d", balarch.WarpCells)
+	}
+}
+
+func TestExperimentPlumbing(t *testing.T) {
+	ids := balarch.ExperimentIDs()
+	if len(ids) != 16 {
+		t.Fatalf("experiment count = %d, want 16", len(ids))
+	}
+	title, err := balarch.ExperimentTitle("E2")
+	if err != nil || title == "" {
+		t.Errorf("ExperimentTitle(E2) = %q, %v", title, err)
+	}
+	if _, err := balarch.RunExperiment("E99"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	// Run one fast experiment end to end through the public API.
+	res, err := balarch.RunExperiment("E5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass() {
+		t.Errorf("E5 failed:\n%s", res.String())
+	}
+}
+
+func TestExtensionComputations(t *testing.T) {
+	sp := balarch.SparseMatVec()
+	if !sp.IOBounded {
+		t.Error("sparse matvec should be memory-inelastic")
+	}
+	if got := sp.Ratio(1 << 20); got != 2.0/3.0 {
+		t.Errorf("spmv ratio = %v, want 2/3", got)
+	}
+	conv := balarch.Convolution(8)
+	if got := conv.Ratio(64); got != 8 {
+		t.Errorf("conv ratio = %v, want 8", got)
+	}
+	if _, err := conv.Rebalance(2, 64, balarch.DefaultMaxMemory); !errors.Is(err, balarch.ErrNotRebalanceable) {
+		t.Errorf("conv rebalance err = %v", err)
+	}
+}

@@ -1,0 +1,96 @@
+// Benchmarks regenerating every table and figure of the paper (one
+// Benchmark per experiment id, matching DESIGN.md §4) plus micro-benchmarks
+// of the substrates. Run:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benches report the harness cost of reproducing each result;
+// their pass/fail content is asserted by the test suite
+// (internal/experiments.TestAllExperimentsPass).
+package balarch_test
+
+import (
+	"fmt"
+	"testing"
+
+	"balarch"
+)
+
+// benchExperiment runs one experiment repeatedly, failing the bench if the
+// reproduction stops matching the paper.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := balarch.RunExperiment(id)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if !res.Pass() {
+			b.Fatalf("%s: claims failed:\n%s", id, res.String())
+		}
+	}
+}
+
+func BenchmarkE01SummaryTable(b *testing.B)      { benchExperiment(b, "E1") }
+func BenchmarkE02Matmul(b *testing.B)            { benchExperiment(b, "E2") }
+func BenchmarkE03Triangularization(b *testing.B) { benchExperiment(b, "E3") }
+func BenchmarkE04Grid(b *testing.B)              { benchExperiment(b, "E4") }
+func BenchmarkE05FFT(b *testing.B)               { benchExperiment(b, "E5") }
+func BenchmarkE06Sorting(b *testing.B)           { benchExperiment(b, "E6") }
+func BenchmarkE07IOBound(b *testing.B)           { benchExperiment(b, "E7") }
+func BenchmarkE08Array1D(b *testing.B)           { benchExperiment(b, "E8") }
+func BenchmarkE09Mesh2D(b *testing.B)            { benchExperiment(b, "E9") }
+func BenchmarkE10Warp(b *testing.B)              { benchExperiment(b, "E10") }
+func BenchmarkE11PebbleBounds(b *testing.B)      { benchExperiment(b, "E11") }
+func BenchmarkE12CacheSim(b *testing.B)          { benchExperiment(b, "E12") }
+func BenchmarkX1CornerMesh(b *testing.B)         { benchExperiment(b, "X1") }
+func BenchmarkX2Overlap(b *testing.B)            { benchExperiment(b, "X2") }
+func BenchmarkX3PolicyVsSchedule(b *testing.B)   { benchExperiment(b, "X3") }
+func BenchmarkX4Strassen(b *testing.B)           { benchExperiment(b, "X4") }
+
+// BenchmarkRebalanceSolver measures the numeric growth-law inversion across
+// the whole catalog — the library's hot path for interactive use.
+func BenchmarkRebalanceSolver(b *testing.B) {
+	cat := balarch.Catalog()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, c := range cat {
+			if c.IOBounded {
+				continue
+			}
+			if _, err := c.Rebalance(2, 4096, balarch.DefaultMaxMemory); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkAnalyze measures the balance diagnosis of one PE against the
+// full catalog.
+func BenchmarkAnalyze(b *testing.B) {
+	pe := balarch.Warp()
+	cat := balarch.Catalog()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, c := range cat {
+			if _, err := balarch.Analyze(pe, c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkRebalanceAlphaSweep measures solving the paper's question across
+// α for the α²-law representative, reporting per-α cost.
+func BenchmarkRebalanceAlphaSweep(b *testing.B) {
+	mm := balarch.MatrixMultiplication()
+	for _, alpha := range []float64{1.5, 2, 4, 8} {
+		b.Run(fmt.Sprintf("alpha=%g", alpha), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := mm.Rebalance(alpha, 1024, balarch.DefaultMaxMemory); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,87 @@
+// Command arraysim simulates the paper's §4 processor arrays: it sweeps the
+// array size p and reports the smallest per-PE memory at which the
+// double-buffered pipeline stops starving for I/O.
+//
+// Usage:
+//
+//	arraysim -topology linear -workload matmul -n 2048 -pmax 32
+//	arraysim -topology mesh -workload grid3 -n 128 -pmax 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"balarch/internal/array"
+	"balarch/internal/machine"
+	"balarch/internal/model"
+	"balarch/internal/textplot"
+)
+
+func main() {
+	topology := flag.String("topology", "linear", "linear or mesh")
+	workload := flag.String("workload", "matmul", "matmul, grid2, grid3, or fft")
+	n := flag.Int("n", 2048, "problem size (matrix dim, grid side, FFT points)")
+	pmax := flag.Int("pmax", 16, "largest array size to sweep (powers of two)")
+	cellC := flag.Float64("cellc", 4e6, "per-cell computation bandwidth (ops/s)")
+	cellIO := flag.Float64("cellio", 1e6, "per-cell link bandwidth (words/s)")
+	maxMem := flag.Int("maxmem", 1<<16, "per-PE memory search ceiling (words)")
+	tol := flag.Float64("tol", 0.05, "utilization tolerance for calling the array balanced")
+	flag.Parse()
+
+	w, err := pickWorkload(*workload, *n)
+	if err != nil {
+		fatal(err)
+	}
+	var ladder []int
+	for m := 4; m <= *maxMem; m *= 2 {
+		ladder = append(ladder, m)
+	}
+	cell := model.PE{C: *cellC, IO: *cellIO, M: 1}
+
+	fmt.Printf("topology=%s workload=%s cell intensity C/IO=%.3g\n\n", *topology, w.Name(), cell.Intensity())
+	tb := textplot.NewTable("p", "cells", "aggregate C/IO", "per-PE balance memory", "compute util")
+	for p := 1; p <= *pmax; p *= 2 {
+		var rates machine.Rates
+		var cells int
+		var alpha float64
+		switch *topology {
+		case "linear":
+			arr := array.LinearArray{P: p, Cell: cell}
+			rates, cells, alpha = arr.Rates(), p, arr.Aggregate().Intensity()
+		case "mesh":
+			arr := array.MeshArray{P: p, Cell: cell}
+			rates, cells, alpha = arr.Rates(), arr.Cells(), arr.Aggregate().Intensity()
+		default:
+			fatal(fmt.Errorf("unknown topology %q", *topology))
+		}
+		bp, err := array.FindBalancedMemory(rates, cells, w, ladder, *tol)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "p=%d: %v\n", p, err)
+			continue
+		}
+		tb.AddRow(p, cells, alpha, bp.PerPEMemory, fmt.Sprintf("%.3f", bp.Metrics.ComputeUtilization()))
+	}
+	fmt.Print(tb.String())
+}
+
+func pickWorkload(name string, n int) (array.Workload, error) {
+	switch name {
+	case "matmul":
+		return array.MatMulWorkload{N: n}, nil
+	case "grid2":
+		return array.GridWorkload{Dim: 2, Size: n, Iters: 2}, nil
+	case "grid3":
+		return array.GridWorkload{Dim: 3, Size: n, Iters: 2}, nil
+	case "fft":
+		return array.FFTWorkload{N: n}, nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "arraysim:", err)
+	os.Exit(2)
+}

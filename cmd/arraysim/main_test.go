@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestPickWorkload(t *testing.T) {
+	for _, name := range []string{"matmul", "grid2", "grid3", "fft"} {
+		w, err := pickWorkload(name, 256)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if w.Name() == "" {
+			t.Errorf("%s: empty workload name", name)
+		}
+	}
+	if _, err := pickWorkload("raytrace", 64); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}

@@ -1,0 +1,93 @@
+// Command balance answers the paper's question for a concrete PE: is it
+// balanced for a given computation, and if C/IO grows by α, how much local
+// memory restores balance?
+//
+// Usage:
+//
+//	balance -c 10e6 -io 20e6 -m 65536                 # analyze all kernels
+//	balance -c 10e6 -io 1e6 -m 4096 -comp fft -alpha 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"balarch/internal/model"
+	"balarch/internal/textplot"
+)
+
+func main() {
+	c := flag.Float64("c", 10e6, "computation bandwidth C (ops/s)")
+	io := flag.Float64("io", 20e6, "I/O bandwidth IO (words/s)")
+	m := flag.Float64("m", 65536, "local memory M (words)")
+	comp := flag.String("comp", "", "computation: matmul, lu, grid2, grid3, fft, sort, matvec, trisolve (empty = all)")
+	alpha := flag.Float64("alpha", 1, "bandwidth-ratio increase α for the rebalancing question")
+	flag.Parse()
+
+	pe := model.PE{C: *c, IO: *io, M: *m}
+	if err := pe.Validate(); err != nil {
+		fatal(err)
+	}
+	comps, err := selectComputations(*comp)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%s  (intensity C/IO = %.4g)\n\n", pe, pe.Intensity())
+	tb := textplot.NewTable("computation", "R(M)", "state", "M for balance", "law", "M_new at α")
+	for _, cc := range comps {
+		a, err := model.Analyze(pe, cc, 1e18)
+		if err != nil {
+			fatal(err)
+		}
+		balM := "unreachable"
+		if a.Rebalanceable {
+			balM = fmt.Sprintf("%.4g", a.BalancedMemory)
+		}
+		mNew := "-"
+		if *alpha > 1 {
+			if v, err := cc.Rebalance(*alpha, pe.M, 1e18); err == nil {
+				mNew = fmt.Sprintf("%.4g", v)
+			} else {
+				mNew = "impossible"
+			}
+		}
+		tb.AddRow(cc.Name, fmt.Sprintf("%.4g", cc.Ratio(pe.M)), a.State.String(), balM, cc.Law.Describe(), mNew)
+	}
+	fmt.Print(tb.String())
+}
+
+func selectComputations(name string) ([]model.Computation, error) {
+	if name == "" {
+		return model.Catalog(), nil
+	}
+	byName := map[string]model.Computation{
+		"matmul":   model.MatrixMultiplication(),
+		"lu":       model.MatrixTriangularization(),
+		"grid2":    model.Grid(2),
+		"grid3":    model.Grid(3),
+		"grid4":    model.Grid(4),
+		"fft":      model.FFT(),
+		"sort":     model.Sorting(),
+		"matvec":   model.MatrixVector(),
+		"trisolve": model.TriangularSolve(),
+		"spmv":     model.SparseMatVec(),
+		"conv":     model.Convolution(16),
+	}
+	c, ok := byName[strings.ToLower(name)]
+	if !ok {
+		keys := make([]string, 0, len(byName))
+		for k := range byName {
+			keys = append(keys, k)
+		}
+		return nil, fmt.Errorf("unknown computation %q (have %s)", name, strings.Join(keys, ", "))
+	}
+	return []model.Computation{c}, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "balance:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestSelectComputationsAll(t *testing.T) {
+	comps, err := selectComputations("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 8 {
+		t.Errorf("empty selector returned %d computations, want the 8-entry catalog", len(comps))
+	}
+}
+
+func TestSelectComputationsByName(t *testing.T) {
+	for _, name := range []string{"matmul", "lu", "grid2", "grid3", "grid4", "fft", "sort", "matvec", "trisolve", "spmv", "conv"} {
+		comps, err := selectComputations(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if len(comps) != 1 {
+			t.Errorf("%s: got %d computations", name, len(comps))
+		}
+	}
+	// Case-insensitive.
+	if _, err := selectComputations("FFT"); err != nil {
+		t.Errorf("uppercase name rejected: %v", err)
+	}
+}
+
+func TestSelectComputationsUnknown(t *testing.T) {
+	if _, err := selectComputations("quantum"); err == nil {
+		t.Error("unknown computation accepted")
+	}
+}

@@ -1,0 +1,79 @@
+// Command experiments reproduces the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments               # run all experiments, print reports
+//	experiments -id E2        # run one experiment
+//	experiments -id E2 -json  # emit the result as JSON
+//	experiments -id E2 -csv ratio  # emit one data series as CSV
+//	experiments -list         # list experiment ids and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"balarch/internal/experiments"
+)
+
+func main() {
+	id := flag.String("id", "", "experiment id (E1..E12); empty runs all")
+	asJSON := flag.Bool("json", false, "emit JSON instead of text")
+	csvSeries := flag.String("csv", "", "emit the named data series as CSV")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	run := experiments.Registry()
+	if *id != "" {
+		exp, err := experiments.Get(*id)
+		if err != nil {
+			fatal(err)
+		}
+		run = []experiments.Experiment{exp}
+	}
+
+	failed := false
+	for _, exp := range run {
+		res, err := exp.Run()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", exp.ID, err))
+		}
+		switch {
+		case *asJSON:
+			data, err := res.JSON()
+			if err != nil {
+				fatal(err)
+			}
+			os.Stdout.Write(data)
+			fmt.Println()
+		case *csvSeries != "":
+			if err := res.WriteCSV(os.Stdout, *csvSeries); err != nil {
+				fatal(fmt.Errorf("%s: %v (have: %v)", exp.ID, err, res.SeriesNames()))
+			}
+		default:
+			if err := res.Render(os.Stdout); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+		if !res.Pass() {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestBuildDAG(t *testing.T) {
+	cases := []struct {
+		kind     string
+		n, iters int
+		wantLen  int
+	}{
+		{"fft", 8, 0, 32},
+		{"matmul", 2, 0, 2*4 + 8 + 4},
+		{"tree", 4, 0, 7},
+		{"chain", 5, 0, 5},
+		{"diamond", 2, 0, 7},
+		{"stencil", 5, 2, 15},
+		{"stencil2d", 4, 2, 48},
+	}
+	for _, tc := range cases {
+		d, err := buildDAG(tc.kind, tc.n, tc.iters)
+		if err != nil {
+			t.Errorf("%s: %v", tc.kind, err)
+			continue
+		}
+		if d.Len() != tc.wantLen {
+			t.Errorf("%s: Len = %d, want %d", tc.kind, d.Len(), tc.wantLen)
+		}
+	}
+	if _, err := buildDAG("hypercube", 4, 0); err == nil {
+		t.Error("unknown dag kind accepted")
+	}
+	if _, err := buildDAG("fft", 12, 0); err == nil {
+		t.Error("invalid size accepted")
+	}
+}

@@ -1,0 +1,66 @@
+// Quickstart: model a processing element and ask the paper's central
+// question — if the compute-to-I/O bandwidth ratio grows by α, how much
+// local memory restores balance?
+package main
+
+import (
+	"errors"
+	"fmt"
+
+	"balarch"
+)
+
+func main() {
+	// A PE like the paper's motivating example: a fast floating-point
+	// engine behind a modest channel. Intensity C/IO = 50.
+	pe := balarch.PE{C: 50e6, IO: 1e6, M: 4096}
+	fmt.Println("processing element:", pe)
+	fmt.Printf("machine intensity C/IO = %.4g\n\n", pe.Intensity())
+
+	// Diagnose it against every computation in the paper's catalog.
+	fmt.Println("balance diagnosis per computation:")
+	for _, comp := range balarch.Catalog() {
+		a, err := balarch.Analyze(pe, comp)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  %-34s R(M)=%8.4g  %-40s", comp.Name, a.AchievableRatio, a.State)
+		if a.Rebalanceable {
+			fmt.Printf("  balance needs M ≥ %.4g words\n", a.BalancedMemory)
+		} else {
+			fmt.Printf("  cannot balance at any memory size\n")
+		}
+	}
+
+	// The rebalancing question for α = 2, 4, 8 — the paper's summary
+	// table as numbers.
+	fmt.Println("\nM_new/M_old after C/IO grows by α (M_old = 4096 words, closed-form laws):")
+	fmt.Printf("  %-34s %10s %12s %14s\n", "computation", "α=2", "α=4", "α=8")
+	for _, comp := range balarch.Catalog() {
+		fmt.Printf("  %-34s", comp.Name)
+		for _, alpha := range []float64{2, 4, 8} {
+			mNew, err := comp.RebalanceClosedForm(alpha, 4096)
+			switch {
+			case errors.Is(err, balarch.ErrNotRebalanceable):
+				fmt.Printf(" %13s", "impossible")
+			case err != nil:
+				panic(err)
+			default:
+				fmt.Printf(" %13.4g", mNew/4096)
+			}
+		}
+		fmt.Printf("   (%s)\n", comp.Law.Describe())
+	}
+
+	// Cross-check one row numerically: inverting the measured ratio
+	// function gives the same answer as the closed form.
+	numeric, err := balarch.MatrixMultiplication().Rebalance(4, 4096, balarch.DefaultMaxMemory)
+	if err != nil {
+		panic(err)
+	}
+	closed, err := balarch.MatrixMultiplication().RebalanceClosedForm(4, 4096)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nnumeric inversion cross-check (matmul, α=4): %.6g vs closed form %.6g\n", numeric, closed)
+}

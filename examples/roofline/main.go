@@ -1,0 +1,49 @@
+// Roofline: read Kung's balance model as its modern descendant. Attainable
+// performance is min(C, IO·I) at operational intensity I; in the paper's
+// world I is not free — it is R(M), a function of local memory — so each
+// computation climbs the roofline as M grows. Matrix kernels reach the
+// ridge at M = (C/IO)² words; FFT and sorting crawl up logarithmically;
+// matvec never leaves the bandwidth slope.
+package main
+
+import (
+	"fmt"
+
+	"balarch"
+)
+
+func main() {
+	pe := balarch.PE{C: 64e6, IO: 1e6, M: 4096} // ridge at I = 64 ops/word
+	rl, err := balarch.Roofline(pe)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("PE: %s\nridge intensity C/IO = %.4g ops/word\n\n", pe, rl.RidgeIntensity())
+
+	comps := []balarch.Computation{
+		balarch.MatrixMultiplication(),
+		balarch.Grid(3),
+		balarch.FFT(),
+		balarch.Sorting(),
+		balarch.MatrixVector(),
+	}
+	fmt.Printf("%-34s %16s %18s\n", "computation", "M to reach ridge", "efficiency at 4096")
+	for _, c := range comps {
+		eff := rl.Efficiency(c, pe.M)
+		ridgeM, err := rl.MemoryAtRidge(c, 1e18)
+		if err != nil {
+			fmt.Printf("%-34s %16s %17.1f%%\n", c.Name, "never", 100*eff)
+			continue
+		}
+		fmt.Printf("%-34s %16.4g %17.1f%%\n", c.Name, ridgeM, 100*eff)
+	}
+
+	chart, err := rl.Chart(comps, 16, 1<<22)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println()
+	fmt.Println(chart)
+	fmt.Println("every computation walks the same roofline, but memory moves them at")
+	fmt.Println("different speeds: that differential is the content of Kung's paper.")
+}

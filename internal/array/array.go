@@ -1,0 +1,189 @@
+// Package array models the parallel architectures of paper §4: a collection
+// of PEs viewed as one "new processing element" whose computation bandwidth
+// is the sum of its cells' but whose external I/O bandwidth is set by the
+// boundary cells alone. A 1-D linear array of p cells has p times the
+// compute and the same host I/O as one cell (Fig. 3); a p×p mesh has p²
+// times the compute and p times the I/O (Fig. 4).
+//
+// The package pairs these aggregate views with the kernels' block
+// decompositions as macro-step streams and uses the machine package's
+// double-buffered pipeline simulation to locate, empirically, the smallest
+// local memory at which the array stops starving for I/O — reproducing the
+// paper's per-PE memory growth laws as observations of a simulator rather
+// than algebra.
+package array
+
+import (
+	"fmt"
+
+	"balarch/internal/machine"
+	"balarch/internal/model"
+)
+
+// LinearArray is p linearly connected cells (paper Fig. 3). Only the two
+// boundary cells communicate with the outside world, so the aggregate I/O
+// bandwidth equals one cell's regardless of p.
+type LinearArray struct {
+	// P is the number of cells.
+	P int
+	// Cell describes one cell; Cell.M is the per-cell local memory.
+	Cell model.PE
+}
+
+// Validate checks the array parameters.
+func (a LinearArray) Validate() error {
+	if a.P < 1 {
+		return fmt.Errorf("array: linear array size %d must be ≥ 1", a.P)
+	}
+	return a.Cell.Validate()
+}
+
+// Aggregate returns the §4 "new processing element" view: C scales with p,
+// IO does not, memory is the union of the cells'.
+func (a LinearArray) Aggregate() model.PE {
+	return model.PE{
+		C:  float64(a.P) * a.Cell.C,
+		IO: a.Cell.IO,
+		M:  float64(a.P) * a.Cell.M,
+	}
+}
+
+// Rates returns the aggregate bandwidths for pipeline simulation.
+func (a LinearArray) Rates() machine.Rates {
+	agg := a.Aggregate()
+	return machine.Rates{ComputeOps: agg.C, IOWords: agg.IO}
+}
+
+// AlphaIncrease returns the factor by which C/IO grew relative to a single
+// cell: p for the linear array (paper §4.1).
+func (a LinearArray) AlphaIncrease() float64 { return float64(a.P) }
+
+// HostAttachment selects where a mesh meets the outside world.
+type HostAttachment int
+
+const (
+	// PerimeterHost is the paper's Fig. 4 configuration: boundary cells
+	// on the perimeter carry host traffic, so aggregate I/O scales with
+	// the mesh side p.
+	PerimeterHost HostAttachment = iota
+	// CornerHost is an ablation: a single corner cell carries all host
+	// traffic, so aggregate I/O stays constant and the effective α
+	// becomes p² instead of p — per-PE memory must then grow ∝ p² even
+	// for matmul.
+	CornerHost
+)
+
+// String names the attachment.
+func (h HostAttachment) String() string {
+	switch h {
+	case PerimeterHost:
+		return "perimeter"
+	case CornerHost:
+		return "corner"
+	default:
+		return fmt.Sprintf("HostAttachment(%d)", int(h))
+	}
+}
+
+// MeshArray is a p×p mesh of cells (paper Fig. 4). With the default
+// PerimeterHost attachment, perimeter cells carry host traffic, so
+// aggregate I/O bandwidth scales with p while compute scales with p².
+type MeshArray struct {
+	// P is the mesh side; the array has P×P cells.
+	P int
+	// Cell describes one cell; Cell.M is the per-cell local memory.
+	Cell model.PE
+	// Host selects the host attachment; the zero value is the paper's
+	// perimeter configuration.
+	Host HostAttachment
+}
+
+// Validate checks the array parameters.
+func (a MeshArray) Validate() error {
+	if a.P < 1 {
+		return fmt.Errorf("array: mesh side %d must be ≥ 1", a.P)
+	}
+	return a.Cell.Validate()
+}
+
+// Cells returns the number of PEs in the mesh.
+func (a MeshArray) Cells() int { return a.P * a.P }
+
+// Aggregate returns the §4 "new processing element" view of the mesh.
+func (a MeshArray) Aggregate() model.PE {
+	p := float64(a.P)
+	io := p * a.Cell.IO
+	if a.Host == CornerHost {
+		io = a.Cell.IO
+	}
+	return model.PE{
+		C:  p * p * a.Cell.C,
+		IO: io,
+		M:  p * p * a.Cell.M,
+	}
+}
+
+// Rates returns the aggregate bandwidths for pipeline simulation.
+func (a MeshArray) Rates() machine.Rates {
+	agg := a.Aggregate()
+	return machine.Rates{ComputeOps: agg.C, IOWords: agg.IO}
+}
+
+// AlphaIncrease returns the factor by which C/IO grew relative to a single
+// cell: p²/p = p for the perimeter-fed mesh (paper §4.2), p² for the
+// corner-fed ablation.
+func (a MeshArray) AlphaIncrease() float64 {
+	if a.Host == CornerHost {
+		return float64(a.P) * float64(a.P)
+	}
+	return float64(a.P)
+}
+
+// BalancePoint is the outcome of a balance-memory search.
+type BalancePoint struct {
+	// PerPEMemory is the smallest per-cell memory (words) at which the
+	// simulated array is no longer I/O bound.
+	PerPEMemory int
+	// AggregateMemory = PerPEMemory × number of cells.
+	AggregateMemory int
+	// Metrics is the simulation result at the balance point.
+	Metrics machine.Metrics
+}
+
+// FindBalancedMemory simulates the workload's decomposition at increasing
+// per-PE memory sizes from the ladder (ascending) and returns the first at
+// which the double-buffered pipeline's compute utilization reaches 1-tol.
+// cells is the number of PEs sharing the aggregate memory.
+func FindBalancedMemory(rates machine.Rates, cells int, w Workload, ladder []int, tol float64) (BalancePoint, error) {
+	if cells < 1 {
+		return BalancePoint{}, fmt.Errorf("array: cell count %d must be ≥ 1", cells)
+	}
+	if len(ladder) == 0 {
+		return BalancePoint{}, fmt.Errorf("array: empty memory ladder")
+	}
+	prev := 0
+	for _, m := range ladder {
+		if m <= prev {
+			return BalancePoint{}, fmt.Errorf("array: ladder must be strictly increasing, got %d after %d", m, prev)
+		}
+		prev = m
+	}
+	for _, m := range ladder {
+		steps, err := w.Steps(m * cells)
+		if err != nil {
+			return BalancePoint{}, fmt.Errorf("array: %s at per-PE memory %d: %w", w.Name(), m, err)
+		}
+		metrics, err := machine.RunPipeline(rates, steps)
+		if err != nil {
+			return BalancePoint{}, err
+		}
+		if !metrics.IOBound(tol) {
+			return BalancePoint{
+				PerPEMemory:     m,
+				AggregateMemory: m * cells,
+				Metrics:         metrics,
+			}, nil
+		}
+	}
+	return BalancePoint{}, fmt.Errorf("array: %s still I/O bound at per-PE memory %d", w.Name(), ladder[len(ladder)-1])
+}

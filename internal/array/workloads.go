@@ -1,0 +1,220 @@
+package array
+
+import (
+	"fmt"
+	"math"
+
+	"balarch/internal/machine"
+)
+
+// MaxWorkloadSteps caps the macro-step streams so degenerate parameter
+// choices (huge problems at tiny memories) fail loudly instead of
+// allocating without bound.
+const MaxWorkloadSteps = 1 << 21
+
+// Workload turns an aggregate local memory size into the macro-step stream
+// its block decomposition executes, for pipeline simulation.
+type Workload interface {
+	// Name identifies the workload in reports and errors.
+	Name() string
+	// Steps returns the macro-steps executed when the aggregate local
+	// memory holds mTotal words.
+	Steps(mTotal int) ([]machine.Step, error)
+	// Ratio is the asymptotic Ccomp/Cio at aggregate memory m, used to
+	// cross-check simulated balance points against the analytic model.
+	Ratio(m float64) float64
+}
+
+// MatMulWorkload is the §3.1 blocked product of two N×N matrices: block
+// side b = ⌊√m⌋, (N/b)² macro-steps, each streaming 2Nb words in, computing
+// 2Nb² flops, and writing b² words out.
+type MatMulWorkload struct {
+	N int
+}
+
+// Name implements Workload.
+func (w MatMulWorkload) Name() string { return fmt.Sprintf("matmul N=%d", w.N) }
+
+// Ratio implements Workload.
+func (w MatMulWorkload) Ratio(m float64) float64 { return math.Sqrt(m) }
+
+// Steps implements Workload.
+func (w MatMulWorkload) Steps(mTotal int) ([]machine.Step, error) {
+	if w.N < 1 {
+		return nil, fmt.Errorf("array: matmul N=%d must be ≥ 1", w.N)
+	}
+	b := int(math.Sqrt(float64(mTotal)))
+	if b < 1 {
+		return nil, fmt.Errorf("array: memory %d too small for any block", mTotal)
+	}
+	if b > w.N {
+		b = w.N
+	}
+	nb := (w.N + b - 1) / b
+	if nb*nb > MaxWorkloadSteps {
+		return nil, fmt.Errorf("array: matmul would need %d steps (> %d)", nb*nb, MaxWorkloadSteps)
+	}
+	steps := make([]machine.Step, 0, nb*nb)
+	n := uint64(w.N)
+	for i0 := 0; i0 < w.N; i0 += b {
+		rows := uint64(min(b, w.N-i0))
+		for j0 := 0; j0 < w.N; j0 += b {
+			cols := uint64(min(b, w.N-j0))
+			steps = append(steps, machine.Step{
+				InWords:  n * (rows + cols),
+				Ops:      2 * n * rows * cols,
+				OutWords: rows * cols,
+			})
+		}
+	}
+	return steps, nil
+}
+
+// GridWorkload is the §3.3 d-dimensional relaxation: tiles of side
+// s = ⌊m^(1/d)⌋; per iteration each tile exchanges its faces and updates its
+// points. Boundary effects are included exactly as in the kernels package.
+type GridWorkload struct {
+	Dim   int
+	Size  int
+	Iters int
+}
+
+// Name implements Workload.
+func (w GridWorkload) Name() string {
+	return fmt.Sprintf("grid d=%d N=%d iters=%d", w.Dim, w.Size, w.Iters)
+}
+
+// Ratio implements Workload.
+func (w GridWorkload) Ratio(m float64) float64 {
+	d := float64(w.Dim)
+	return (4*d + 1) / (4 * d) * math.Pow(m, 1/d)
+}
+
+// Steps implements Workload.
+func (w GridWorkload) Steps(mTotal int) ([]machine.Step, error) {
+	if w.Dim < 1 || w.Size < 3 || w.Iters < 1 {
+		return nil, fmt.Errorf("array: invalid grid workload %+v", w)
+	}
+	s := int(math.Floor(math.Pow(float64(mTotal), 1/float64(w.Dim))))
+	if s < 1 {
+		return nil, fmt.Errorf("array: memory %d too small for any tile", mTotal)
+	}
+	if s > w.Size {
+		s = w.Size
+	}
+	tilesPerDim := (w.Size + s - 1) / s
+	nTiles := 1
+	for d := 0; d < w.Dim; d++ {
+		nTiles *= tilesPerDim
+		if nTiles > MaxWorkloadSteps {
+			return nil, fmt.Errorf("array: grid would need > %d tiles", MaxWorkloadSteps)
+		}
+	}
+	if w.Iters*nTiles > MaxWorkloadSteps {
+		return nil, fmt.Errorf("array: grid would need %d steps (> %d)", w.Iters*nTiles, MaxWorkloadSteps)
+	}
+
+	ext := func(lo int) int { return min(s, w.Size-lo) }
+	tileLo := make([]int, w.Dim)
+	var tileSteps []machine.Step
+	var rec func(dim int)
+	rec = func(dim int) {
+		if dim < w.Dim {
+			for lo := 0; lo < w.Size; lo += s {
+				tileLo[dim] = lo
+				rec(dim + 1)
+			}
+			return
+		}
+		var halo, interior uint64 = 0, 1
+		for k := 0; k < w.Dim; k++ {
+			area := uint64(1)
+			for j := 0; j < w.Dim; j++ {
+				if j != k {
+					area *= uint64(ext(tileLo[j]))
+				}
+			}
+			if tileLo[k] > 0 {
+				halo += 2 * area // receive + send one face
+			}
+			if tileLo[k]+ext(tileLo[k]) < w.Size {
+				halo += 2 * area
+			}
+			lo, hi := tileLo[k], tileLo[k]+ext(tileLo[k])
+			if lo == 0 {
+				lo = 1
+			}
+			if hi == w.Size {
+				hi = w.Size - 1
+			}
+			if hi <= lo {
+				interior = 0
+			} else {
+				interior *= uint64(hi - lo)
+			}
+		}
+		tileSteps = append(tileSteps, machine.Step{
+			InWords:  halo / 2,
+			Ops:      interior * uint64(4*w.Dim+1),
+			OutWords: halo / 2,
+		})
+	}
+	rec(0)
+
+	steps := make([]machine.Step, 0, w.Iters*len(tileSteps))
+	for it := 0; it < w.Iters; it++ {
+		steps = append(steps, tileSteps...)
+	}
+	return steps, nil
+}
+
+// FFTWorkload is the §3.4 blocked transform of N points: block size the
+// largest power of two ≤ m, ⌈log₂N/log₂B⌉ passes of N/B block steps.
+type FFTWorkload struct {
+	N int
+}
+
+// Name implements Workload.
+func (w FFTWorkload) Name() string { return fmt.Sprintf("fft N=%d", w.N) }
+
+// Ratio implements Workload.
+func (w FFTWorkload) Ratio(m float64) float64 { return 2.5 * math.Log2(m) }
+
+// Steps implements Workload.
+func (w FFTWorkload) Steps(mTotal int) ([]machine.Step, error) {
+	if w.N < 2 || w.N&(w.N-1) != 0 {
+		return nil, fmt.Errorf("array: FFT N=%d must be a power of two ≥ 2", w.N)
+	}
+	b := 2
+	for b*2 <= mTotal && b*2 <= w.N {
+		b *= 2
+	}
+	if b > mTotal {
+		return nil, fmt.Errorf("array: memory %d below the minimum block of 2", mTotal)
+	}
+	totalStages := 0
+	for v := w.N; v > 1; v >>= 1 {
+		totalStages++
+	}
+	perPass := 0
+	for v := b; v > 1; v >>= 1 {
+		perPass++
+	}
+	var steps []machine.Step
+	for stageLo := 0; stageLo < totalStages; stageLo += perPass {
+		lp := min(perPass, totalStages-stageLo)
+		groupSize := uint64(1) << lp
+		groups := w.N / int(groupSize)
+		if len(steps)+groups > MaxWorkloadSteps {
+			return nil, fmt.Errorf("array: FFT would need > %d steps", MaxWorkloadSteps)
+		}
+		for g := 0; g < groups; g++ {
+			steps = append(steps, machine.Step{
+				InWords:  groupSize,
+				Ops:      groupSize / 2 * uint64(lp) * 10,
+				OutWords: groupSize,
+			})
+		}
+	}
+	return steps, nil
+}

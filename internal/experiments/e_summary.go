@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+
+	"balarch/internal/fit"
+	"balarch/internal/kernels"
+	"balarch/internal/model"
+	"balarch/internal/report"
+	"balarch/internal/textplot"
+)
+
+// RunE01Summary reproduces the paper's §3 summary table — the headline
+// result — by measuring every computation's ratio curve, classifying its
+// functional family, and comparing against the paper's growth law. It also
+// renders Fig. 1.
+func RunE01Summary() (*report.Result, error) {
+	r := &report.Result{ID: "E1", Title: "summary of results (§3 opening table)", PaperLocus: "§3"}
+
+	type row struct {
+		name      string
+		paperLaw  string
+		wantKind  fit.ModelKind
+		wantParam float64 // exponent for power, scale for log, 0 for const
+		pts       []kernels.RatioPoint
+	}
+	var rows []row
+
+	mm, err := matmulSweep()
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, row{"matrix multiplication", "M_new = α²·M_old", fit.ModelPower, 0.5, mm})
+
+	lu, err := luSweep()
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, row{"matrix triangularization", "M_new = α²·M_old", fit.ModelPower, 0.5, lu})
+
+	grids, err := gridSweeps()
+	if err != nil {
+		return nil, err
+	}
+	for _, sw := range grids {
+		if sw.dim == 1 {
+			continue // the paper's table starts at d=2
+		}
+		rows = append(rows, row{
+			fmt.Sprintf("%d-dimensional grid", sw.dim),
+			fmt.Sprintf("M_new = α^%d·M_old", sw.dim),
+			fit.ModelPower, 1 / float64(sw.dim), sw.pts,
+		})
+	}
+
+	ff, err := fftSweep()
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, row{"FFT", "M_new = M_old^α", fit.ModelLog, 2.5, ff})
+
+	so, err := sortSweep()
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, row{"sorting", "M_new = M_old^α", fit.ModelLog, 1.0, so})
+
+	mv, ts, err := iobSweeps()
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, row{"matrix-vector multiplication", "impossible", fit.ModelConstant, 0, mv})
+	rows = append(rows, row{"triangular linear systems", "impossible", fit.ModelConstant, 0, ts})
+
+	tb := textplot.NewTable("computation", "paper law", "measured family", "parameter", "verdict")
+	for _, rw := range rows {
+		xs, ys := ratioXY(rw.pts)
+		sel, err := fit.SelectModel(xs, ys)
+		if err != nil {
+			return nil, err
+		}
+		var param string
+		pass := sel.Best == rw.wantKind
+		switch rw.wantKind {
+		case fit.ModelPower:
+			param = fmt.Sprintf("exponent %.3f", sel.Power.Exponent)
+			pass = pass && within(sel.Power.Exponent, rw.wantParam, 0.8, 1.3)
+		case fit.ModelLog:
+			param = fmt.Sprintf("scale %.3f", sel.Log.Scale)
+			pass = pass && within(sel.Log.Scale, rw.wantParam, 0.7, 1.35)
+		default:
+			param = fmt.Sprintf("value %.3f", sel.Constant.Value)
+		}
+		verdict := "matches"
+		if !pass {
+			verdict = "MISMATCH"
+		}
+		tb.AddRow(rw.name, rw.paperLaw, sel.Best.String(), param, verdict)
+		r.AddClaim(
+			fmt.Sprintf("%s follows %s", rw.name, rw.paperLaw),
+			fmt.Sprintf("family %s", rw.wantKind),
+			fmt.Sprintf("family %s (%s)", sel.Best, param),
+			pass,
+		)
+	}
+	r.Tables = append(r.Tables, tb.String())
+	warp := model.Warp()
+	r.Figures = append(r.Figures, textplot.Fig1PE(
+		fmt.Sprintf("%.0f MOPS", warp.C/1e6),
+		fmt.Sprintf("%.0f MW/s", warp.IO/1e6),
+		fmt.Sprintf("%.0fK words", warp.M/1024),
+	))
+	return r, nil
+}

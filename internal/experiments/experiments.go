@@ -1,0 +1,123 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation as executable experiments E1–E12 (see DESIGN.md for the index).
+// Each experiment measures its claim on the instrumented kernels, the
+// pebble game, or the array simulator, fits the measured curves, and emits
+// a report.Result with pass/fail claims, rendered tables, and text figures.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"balarch/internal/fit"
+	"balarch/internal/kernels"
+	"balarch/internal/report"
+	"balarch/internal/textplot"
+)
+
+// Experiment is a runnable reproduction of one paper table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() (*report.Result, error)
+}
+
+// Registry returns all experiments in id order.
+func Registry() []Experiment {
+	exps := []Experiment{
+		{"E1", "summary of §3: memory growth laws for all computations", RunE01Summary},
+		{"E2", "matrix multiplication ratio and α² law", RunE02MatMul},
+		{"E3", "matrix triangularization ratio and α² law", RunE03Triangularization},
+		{"E4", "d-dimensional grid ratio and α^d law", RunE04Grid},
+		{"E5", "FFT ratio, M^α law, and Fig. 2 decomposition", RunE05FFT},
+		{"E6", "sorting ratio and M^α law", RunE06Sorting},
+		{"E7", "I/O-bounded computations cannot be rebalanced", RunE07IOBound},
+		{"E8", "1-D array: per-PE memory grows linearly with p (Fig. 3)", RunE08Array1D},
+		{"E9", "2-D mesh: per-PE memory constant for matmul, growing for 3-D grid (Fig. 4)", RunE09Mesh2D},
+		{"E10", "Warp machine case study (§5)", RunE10Warp},
+		{"E11", "pebble-game optimality of the blocked schedules", RunE11Pebble},
+		{"E12", "cache simulation: decomposition, not just memory, buys the ratio", RunE12Cache},
+		{"X1", "ablation: mesh host attachment (perimeter vs corner)", RunX1CornerMesh},
+		{"X2", "ablation: serial vs double-buffered execution", RunX2Overlap},
+		{"X3", "ablation: replacement policy vs decomposition", RunX3PolicyVsSchedule},
+		{"X4", "extension: communication-avoiding Strassen's balance law", RunX4Strassen},
+	}
+	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
+	return exps
+}
+
+// Get returns the experiment with the given id.
+func Get(id string) (Experiment, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// --- shared helpers ---
+
+// ratioXY splits ratio points into fit inputs.
+func ratioXY(pts []kernels.RatioPoint) (xs, ys []float64) {
+	for _, p := range pts {
+		xs = append(xs, float64(p.Memory))
+		ys = append(ys, p.Ratio())
+	}
+	return xs, ys
+}
+
+// ratioSeries converts ratio points into an exportable series.
+func ratioSeries(name string, pts []kernels.RatioPoint) report.Series {
+	s := report.Series{Name: name, Columns: []string{"memory_words", "ccomp", "cio", "ratio"}}
+	for _, p := range pts {
+		s.Rows = append(s.Rows, []float64{
+			float64(p.Memory), float64(p.Totals.Ops), float64(p.Totals.Cio()), p.Ratio(),
+		})
+	}
+	return s
+}
+
+// ratioTable renders ratio points as a text table.
+func ratioTable(pts []kernels.RatioPoint) string {
+	tb := textplot.NewTable("M (words)", "Ccomp", "Cio", "Ccomp/Cio")
+	for _, p := range pts {
+		tb.AddRow(p.Memory, p.Totals.Ops, p.Totals.Cio(), p.Ratio())
+	}
+	return tb.String()
+}
+
+// ratioChart renders a log-log ratio chart.
+func ratioChart(title string, pts []kernels.RatioPoint) string {
+	ch := textplot.NewChart(title)
+	ch.LogX, ch.LogY = true, true
+	ch.XLabel, ch.YLabel = "local memory M (words)", "Ccomp/Cio"
+	xs, ys := ratioXY(pts)
+	ch.Add(textplot.Series{Name: "measured", X: xs, Y: ys})
+	return ch.String()
+}
+
+// invertFit returns the memory at which the fitted model reaches α times its
+// value at mOld — the measured answer to the paper's rebalancing question.
+// Returns +Inf for the constant family (rebalancing impossible).
+func invertFit(sel fit.Selection, alpha, mOld float64) float64 {
+	switch sel.Best {
+	case fit.ModelPower:
+		// c·m^e scaled by α ⇒ m × α^(1/e).
+		return mOld * math.Pow(alpha, 1/sel.Power.Exponent)
+	case fit.ModelLog:
+		// s·log2 m + b scaled by α ⇒ log2 m' = α·log2 m + (α-1)b/s.
+		l := alpha*sel.Log.Eval(mOld) - sel.Log.Offset
+		return math.Pow(2, l/sel.Log.Scale)
+	default:
+		return math.Inf(1)
+	}
+}
+
+// within reports whether got lies in [want·lo, want·hi].
+func within(got, want, lo, hi float64) bool {
+	return got >= want*lo && got <= want*hi
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.3g", v) }

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"balarch/internal/fit"
+)
+
+// TestAllExperimentsPass runs the full harness: every experiment must
+// execute without error and every claim must pass — this is the
+// reproduction's acceptance test.
+func TestAllExperimentsPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are seconds-long; skipped in -short")
+	}
+	for _, exp := range Registry() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			res, err := exp.Run()
+			if err != nil {
+				t.Fatalf("%s failed to run: %v", exp.ID, err)
+			}
+			if res.ID != exp.ID {
+				t.Errorf("result ID %q != experiment ID %q", res.ID, exp.ID)
+			}
+			if len(res.Claims) == 0 {
+				t.Fatalf("%s produced no claims", exp.ID)
+			}
+			for _, c := range res.Claims {
+				if !c.Pass {
+					t.Errorf("%s claim failed: %s\n  expected: %s\n  measured: %s",
+						exp.ID, c.Statement, c.Expected, c.Measured)
+				}
+			}
+			// The rendered report must mention the paper locus.
+			if !strings.Contains(res.String(), res.PaperLocus) {
+				t.Errorf("%s render missing paper locus", exp.ID)
+			}
+		})
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 16 {
+		t.Fatalf("registry has %d experiments, want 16 (E1–E12 + X1–X4)", len(reg))
+	}
+	seen := map[string]bool{}
+	for _, e := range reg {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("incomplete registry entry %+v", e)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	for _, id := range []string{
+		"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12",
+		"X1", "X2", "X3", "X4",
+	} {
+		if !seen[id] {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+}
+
+func TestGet(t *testing.T) {
+	e, err := Get("E2")
+	if err != nil || e.ID != "E2" {
+		t.Errorf("Get(E2) = %+v, %v", e, err)
+	}
+	if _, err := Get("E99"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestInvertFit(t *testing.T) {
+	// Power: R = m^0.5; doubling R needs 4× memory.
+	sel := fit.Selection{Best: fit.ModelPower, Power: fit.PowerLaw{Exponent: 0.5, Coeff: 1}}
+	if got := invertFit(sel, 2, 100); got < 399 || got > 401 {
+		t.Errorf("power invert = %v, want 400", got)
+	}
+	// Log: R = log2 m; doubling R squares the memory.
+	sel = fit.Selection{Best: fit.ModelLog, Log: fit.Logarithmic{Scale: 1, Offset: 0}}
+	if got := invertFit(sel, 2, 1024); got < 1024*1024*0.99 || got > 1024*1024*1.01 {
+		t.Errorf("log invert = %v, want 2^20", got)
+	}
+	// Constant: impossible.
+	sel = fit.Selection{Best: fit.ModelConstant}
+	if got := invertFit(sel, 2, 64); !(got > 1e300) {
+		t.Errorf("constant invert = %v, want +Inf", got)
+	}
+}
+
+func TestWithin(t *testing.T) {
+	if !within(4.1, 4, 0.9, 1.1) {
+		t.Error("4.1 should be within 10% of 4")
+	}
+	if within(5, 4, 0.9, 1.1) {
+		t.Error("5 should not be within 10% of 4")
+	}
+}

@@ -1,0 +1,180 @@
+// Package fit provides the small amount of numerical machinery the
+// reproduction needs to turn measured (M, Ccomp/Cio) curves into verdicts
+// about the paper's Θ-claims: ordinary least squares on a line, power-law
+// fits via log-log regression, logarithmic fits, constant fits, and a model
+// selector that picks the best-explaining functional form.
+//
+// Everything is implemented from the standard library only; the data sets in
+// this repository are tiny (tens of points), so numerically simple formulas
+// are adequate and are cross-checked by the package tests against
+// analytically known inputs.
+package fit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Line is the result of an ordinary least squares fit y ≈ Slope*x + Intercept.
+type Line struct {
+	Slope     float64
+	Intercept float64
+	R2        float64 // coefficient of determination in the fitted space
+	N         int     // number of points used
+}
+
+func (l Line) String() string {
+	return fmt.Sprintf("y = %.6g*x + %.6g (R²=%.4f, n=%d)", l.Slope, l.Intercept, l.R2, l.N)
+}
+
+// ErrInsufficientData is returned when a fit is requested on fewer points
+// than the model has parameters, or on degenerate (zero-variance) abscissae.
+var ErrInsufficientData = errors.New("fit: insufficient or degenerate data")
+
+// LeastSquares fits y ≈ a*x + b by ordinary least squares.
+func LeastSquares(xs, ys []float64) (Line, error) {
+	if len(xs) != len(ys) {
+		return Line{}, fmt.Errorf("fit: mismatched lengths %d vs %d", len(xs), len(ys))
+	}
+	n := len(xs)
+	if n < 2 {
+		return Line{}, ErrInsufficientData
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Line{}, ErrInsufficientData
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+	r2 := 1.0
+	if syy > 0 {
+		// R² = 1 - SSres/SStot, computed via the regression identity.
+		r2 = (sxy * sxy) / (sxx * syy)
+	}
+	return Line{Slope: slope, Intercept: intercept, R2: r2, N: n}, nil
+}
+
+// PowerLaw is the result of fitting y ≈ Coeff * x^Exponent.
+type PowerLaw struct {
+	Exponent float64
+	Coeff    float64
+	R2       float64 // R² of the underlying log-log linear fit
+	N        int
+}
+
+func (p PowerLaw) String() string {
+	return fmt.Sprintf("y = %.4g * x^%.4f (R²=%.4f, n=%d)", p.Coeff, p.Exponent, p.R2, p.N)
+}
+
+// Eval evaluates the fitted power law at x.
+func (p PowerLaw) Eval(x float64) float64 { return p.Coeff * math.Pow(x, p.Exponent) }
+
+// FitPowerLaw fits y ≈ c*x^e by linear regression in log-log space. All xs
+// and ys must be strictly positive.
+func FitPowerLaw(xs, ys []float64) (PowerLaw, error) {
+	lx, ly, err := logBoth(xs, ys)
+	if err != nil {
+		return PowerLaw{}, err
+	}
+	line, err := LeastSquares(lx, ly)
+	if err != nil {
+		return PowerLaw{}, err
+	}
+	return PowerLaw{
+		Exponent: line.Slope,
+		Coeff:    math.Exp(line.Intercept),
+		R2:       line.R2,
+		N:        line.N,
+	}, nil
+}
+
+// Logarithmic is the result of fitting y ≈ Scale*log2(x) + Offset.
+type Logarithmic struct {
+	Scale  float64
+	Offset float64
+	R2     float64
+	N      int
+}
+
+func (l Logarithmic) String() string {
+	return fmt.Sprintf("y = %.4g*log2(x) + %.4g (R²=%.4f, n=%d)", l.Scale, l.Offset, l.R2, l.N)
+}
+
+// Eval evaluates the fitted logarithmic model at x.
+func (l Logarithmic) Eval(x float64) float64 { return l.Scale*math.Log2(x) + l.Offset }
+
+// FitLogarithmic fits y ≈ s*log2(x) + b. All xs must be strictly positive.
+func FitLogarithmic(xs, ys []float64) (Logarithmic, error) {
+	lx := make([]float64, len(xs))
+	for i, x := range xs {
+		if x <= 0 {
+			return Logarithmic{}, fmt.Errorf("fit: non-positive x[%d]=%v in logarithmic fit", i, x)
+		}
+		lx[i] = math.Log2(x)
+	}
+	line, err := LeastSquares(lx, ys)
+	if err != nil {
+		return Logarithmic{}, err
+	}
+	return Logarithmic{Scale: line.Slope, Offset: line.Intercept, R2: line.R2, N: line.N}, nil
+}
+
+// Constant is the result of fitting y ≈ Value (the mean), with the relative
+// spread of the data around it.
+type Constant struct {
+	Value          float64
+	RelativeSpread float64 // (max-min)/mean, 0 for perfectly flat data
+	N              int
+}
+
+func (c Constant) String() string {
+	return fmt.Sprintf("y = %.4g (spread=%.2f%%, n=%d)", c.Value, 100*c.RelativeSpread, c.N)
+}
+
+// FitConstant fits the constant model.
+func FitConstant(ys []float64) (Constant, error) {
+	if len(ys) == 0 {
+		return Constant{}, ErrInsufficientData
+	}
+	lo, hi, sum := ys[0], ys[0], 0.0
+	for _, y := range ys {
+		sum += y
+		lo = math.Min(lo, y)
+		hi = math.Max(hi, y)
+	}
+	mean := sum / float64(len(ys))
+	spread := 0.0
+	if mean != 0 {
+		spread = (hi - lo) / math.Abs(mean)
+	}
+	return Constant{Value: mean, RelativeSpread: spread, N: len(ys)}, nil
+}
+
+func logBoth(xs, ys []float64) (lx, ly []float64, err error) {
+	if len(xs) != len(ys) {
+		return nil, nil, fmt.Errorf("fit: mismatched lengths %d vs %d", len(xs), len(ys))
+	}
+	lx = make([]float64, len(xs))
+	ly = make([]float64, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return nil, nil, fmt.Errorf("fit: non-positive point (%v, %v) at %d in power-law fit", xs[i], ys[i], i)
+		}
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+	}
+	return lx, ly, nil
+}

@@ -1,0 +1,238 @@
+package fit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+func TestLeastSquaresExactLine(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3*x - 7
+	}
+	line, err := LeastSquares(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "slope", line.Slope, 3, 1e-12)
+	approx(t, "intercept", line.Intercept, -7, 1e-12)
+	approx(t, "R2", line.R2, 1, 1e-12)
+}
+
+func TestLeastSquaresNoisyLine(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var xs, ys []float64
+	for i := 0; i < 200; i++ {
+		x := float64(i)
+		xs = append(xs, x)
+		ys = append(ys, 2.5*x+1+rng.NormFloat64()*0.01)
+	}
+	line, err := LeastSquares(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "slope", line.Slope, 2.5, 1e-3)
+	approx(t, "intercept", line.Intercept, 1, 1e-2)
+	if line.R2 < 0.999 {
+		t.Errorf("R2 = %v, want near 1", line.R2)
+	}
+}
+
+func TestLeastSquaresErrors(t *testing.T) {
+	if _, err := LeastSquares([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point: want error")
+	}
+	if _, err := LeastSquares([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched lengths: want error")
+	}
+	if _, err := LeastSquares([]float64{3, 3, 3}, []float64{1, 2, 3}); err == nil {
+		t.Error("zero x variance: want error")
+	}
+}
+
+func TestFitPowerLawExact(t *testing.T) {
+	// y = 4 * x^0.5, the matmul ratio shape.
+	var xs, ys []float64
+	for m := 64; m <= 1<<20; m *= 4 {
+		xs = append(xs, float64(m))
+		ys = append(ys, 4*math.Sqrt(float64(m)))
+	}
+	p, err := FitPowerLaw(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "exponent", p.Exponent, 0.5, 1e-9)
+	approx(t, "coeff", p.Coeff, 4, 1e-6)
+	approx(t, "R2", p.R2, 1, 1e-12)
+	approx(t, "Eval(256)", p.Eval(256), 64, 1e-6)
+}
+
+func TestFitPowerLawRejectsNonPositive(t *testing.T) {
+	if _, err := FitPowerLaw([]float64{1, 2, 0}, []float64{1, 2, 3}); err == nil {
+		t.Error("zero x: want error")
+	}
+	if _, err := FitPowerLaw([]float64{1, 2, 3}, []float64{1, -2, 3}); err == nil {
+		t.Error("negative y: want error")
+	}
+}
+
+func TestFitLogarithmicExact(t *testing.T) {
+	// y = 0.5*log2(x) + 3, the FFT/sort ratio shape.
+	var xs, ys []float64
+	for m := 16; m <= 1<<16; m *= 2 {
+		xs = append(xs, float64(m))
+		ys = append(ys, 0.5*math.Log2(float64(m))+3)
+	}
+	l, err := FitLogarithmic(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "scale", l.Scale, 0.5, 1e-9)
+	approx(t, "offset", l.Offset, 3, 1e-9)
+	approx(t, "Eval(1024)", l.Eval(1024), 8, 1e-9)
+}
+
+func TestFitConstant(t *testing.T) {
+	c, err := FitConstant([]float64{2, 2.02, 1.98, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "value", c.Value, 2, 0.01)
+	approx(t, "spread", c.RelativeSpread, 0.02, 1e-6)
+	if _, err := FitConstant(nil); err == nil {
+		t.Error("empty data: want error")
+	}
+}
+
+func TestSelectModelPower(t *testing.T) {
+	var xs, ys []float64
+	for m := 64; m <= 1<<22; m *= 2 {
+		xs = append(xs, float64(m))
+		ys = append(ys, 0.9*math.Pow(float64(m), 0.33))
+	}
+	sel, err := SelectModel(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Best != ModelPower {
+		t.Fatalf("best = %v, want power (scores=%v)", sel.Best, sel.Scores)
+	}
+	approx(t, "exponent", sel.Power.Exponent, 0.33, 0.01)
+}
+
+func TestSelectModelLog(t *testing.T) {
+	var xs, ys []float64
+	for m := 16; m <= 1<<24; m *= 2 {
+		xs = append(xs, float64(m))
+		ys = append(ys, math.Log2(float64(m)))
+	}
+	sel, err := SelectModel(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Best != ModelLog {
+		t.Fatalf("best = %v, want logarithmic (scores=%v)", sel.Best, sel.Scores)
+	}
+	approx(t, "scale", sel.Log.Scale, 1, 0.01)
+}
+
+func TestSelectModelConstant(t *testing.T) {
+	var xs, ys []float64
+	for m := 16; m <= 1<<16; m *= 2 {
+		xs = append(xs, float64(m))
+		ys = append(ys, 2.0) // matvec ratio: flat
+	}
+	sel, err := SelectModel(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Best != ModelConstant {
+		t.Fatalf("best = %v, want constant", sel.Best)
+	}
+	approx(t, "value", sel.Constant.Value, 2, 1e-9)
+}
+
+func TestSelectModelNearConstantWithJitter(t *testing.T) {
+	// 1% jitter must still classify as constant via the flat-tolerance path.
+	rng := rand.New(rand.NewSource(7))
+	var xs, ys []float64
+	for m := 16; m <= 1<<16; m *= 2 {
+		xs = append(xs, float64(m))
+		ys = append(ys, 2.0*(1+0.004*rng.Float64()))
+	}
+	sel, err := SelectModel(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Best != ModelConstant {
+		t.Fatalf("best = %v, want constant (scores=%v)", sel.Best, sel.Scores)
+	}
+}
+
+func TestSelectModelInsufficient(t *testing.T) {
+	if _, err := SelectModel([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Error("two points: want error")
+	}
+}
+
+func TestGeometricSpan(t *testing.T) {
+	approx(t, "span", GeometricSpan([]float64{2, 16, 4}), 8, 1e-12)
+	if GeometricSpan(nil) != 0 {
+		t.Error("empty span should be 0")
+	}
+	if !math.IsInf(GeometricSpan([]float64{0, 1}), 1) {
+		t.Error("span with zero should be +Inf")
+	}
+}
+
+// Property: fitting a perfect line y = a*x + b recovers a and b for any
+// reasonable a, b.
+func TestLeastSquaresRecoveryProperty(t *testing.T) {
+	f := func(a8, b8 int8) bool {
+		a := float64(a8) / 4
+		b := float64(b8) / 4
+		xs := []float64{1, 2, 3, 5, 8, 13}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = a*x + b
+		}
+		line, err := LeastSquares(xs, ys)
+		if err != nil {
+			return false
+		}
+		return math.Abs(line.Slope-a) < 1e-9 && math.Abs(line.Intercept-b) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: power-law fit recovers positive exponents exactly from exact data.
+func TestPowerLawRecoveryProperty(t *testing.T) {
+	f := func(e8 uint8) bool {
+		e := 0.1 + float64(e8%30)/10 // exponents in [0.1, 3.0]
+		xs := []float64{2, 4, 8, 16, 32, 64}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = 2 * math.Pow(x, e)
+		}
+		p, err := FitPowerLaw(xs, ys)
+		if err != nil {
+			return false
+		}
+		return math.Abs(p.Exponent-e) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,136 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"balarch/internal/opcount"
+)
+
+func TestConvolveCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	for _, tc := range []struct{ n, k int }{
+		{1, 1}, {8, 1}, {8, 3}, {16, 16}, {100, 7}, {64, 5},
+	} {
+		x := make([]float64, tc.n)
+		h := make([]float64, tc.k)
+		for i := range x {
+			x[i] = 2*rng.Float64() - 1
+		}
+		for i := range h {
+			h[i] = 2*rng.Float64() - 1
+		}
+		var c opcount.Counter
+		got, err := Convolve(ConvolveSpec{N: tc.n, Taps: tc.k}, x, h, &c)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		want := ConvolveRef(x, h)
+		if len(got) != len(want) {
+			t.Fatalf("%+v: length %d, want %d", tc, len(got), len(want))
+		}
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-12*float64(tc.k) {
+				t.Errorf("%+v: y[%d] = %v, want %v", tc, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestConvolveCountsMatchRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, tc := range []struct{ n, k int }{{8, 3}, {100, 7}, {64, 64}} {
+		spec := ConvolveSpec{N: tc.n, Taps: tc.k}
+		x := make([]float64, tc.n)
+		h := make([]float64, tc.k)
+		for i := range x {
+			x[i] = rng.Float64()
+		}
+		var c opcount.Counter
+		if _, err := Convolve(spec, x, h, &c); err != nil {
+			t.Fatal(err)
+		}
+		want, err := CountConvolve(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := c.Snapshot(); got != want {
+			t.Errorf("%+v: run counted %+v, closed form %+v", tc, got, want)
+		}
+	}
+}
+
+// TestConvolveRatioIsOperatorBound: the ratio equals ≈ k for N ≫ k and does
+// not move with extra memory — the third balance family.
+func TestConvolveRatioIsOperatorBound(t *testing.T) {
+	n := 1 << 20
+	for _, k := range []int{4, 16, 64} {
+		tot, err := CountConvolve(ConvolveSpec{N: n, Taps: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// R = 2k·N/(2N) → k as N ≫ k.
+		if r := tot.Ratio(); math.Abs(r-float64(k))/float64(k) > 0.01 {
+			t.Errorf("k=%d: ratio = %v, want ≈ %d", k, r, k)
+		}
+	}
+}
+
+func TestConvolveValidation(t *testing.T) {
+	for _, s := range []ConvolveSpec{{N: 0, Taps: 1}, {N: 4, Taps: 0}, {N: 4, Taps: 5}} {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %+v accepted", s)
+		}
+	}
+	var c opcount.Counter
+	if _, err := Convolve(ConvolveSpec{N: 4, Taps: 2}, make([]float64, 3), make([]float64, 2), &c); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if got := (ConvolveSpec{N: 100, Taps: 8}).Memory(); got != 16 {
+		t.Errorf("Memory = %d, want 16", got)
+	}
+}
+
+func TestConvolveRatioSweep(t *testing.T) {
+	pts, err := ConvolveRatioSweep(1<<16, []int{2, 4, 8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ratio doubles with taps (and with the 2k-word memory footprint):
+	// linear in the operator, unlike any §3 family.
+	for i := 1; i < len(pts); i++ {
+		gain := pts[i].Ratio() / pts[i-1].Ratio()
+		if gain < 1.9 || gain > 2.1 {
+			t.Errorf("tap doubling gain = %v, want ≈ 2", gain)
+		}
+	}
+}
+
+// Property: convolution against a delta filter reproduces the signal.
+func TestConvolveDeltaProperty(t *testing.T) {
+	f := func(seed int64, n8 uint8) bool {
+		n := 2 + int(n8%60)
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.Float64()
+		}
+		h := []float64{1} // identity
+		var c opcount.Counter
+		got, err := Convolve(ConvolveSpec{N: n, Taps: 1}, x, h, &c)
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range got {
+			if got[i] != x[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,304 @@
+package kernels
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"balarch/internal/opcount"
+)
+
+func randomComplex(n int, rng *rand.Rand) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(2*rng.Float64()-1, 2*rng.Float64()-1)
+	}
+	return x
+}
+
+func maxCDiff(a, b []complex128) float64 {
+	var worst float64
+	for i := range a {
+		worst = math.Max(worst, cmplx.Abs(a[i]-b[i]))
+	}
+	return worst
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for _, n := range []int{2, 4, 8, 16, 64, 256} {
+		x := randomComplex(n, rng)
+		want := NaiveDFT(x)
+		got := append([]complex128(nil), x...)
+		if err := FFTInPlace(got); err != nil {
+			t.Fatal(err)
+		}
+		if diff := maxCDiff(got, want); diff > 1e-9*float64(n) {
+			t.Errorf("n=%d: FFT vs naive DFT differ by %g", n, diff)
+		}
+	}
+}
+
+func TestFFTRejectsBadLengths(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 6, 12} {
+		if err := FFTInPlace(make([]complex128, n)); err == nil {
+			t.Errorf("length %d accepted", n)
+		}
+	}
+}
+
+func TestFFTLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	n := 128
+	x := randomComplex(n, rng)
+	y := randomComplex(n, rng)
+	sum := make([]complex128, n)
+	for i := range sum {
+		sum[i] = x[i] + 2i*y[i]
+	}
+	fx := append([]complex128(nil), x...)
+	fy := append([]complex128(nil), y...)
+	fs := append([]complex128(nil), sum...)
+	for _, v := range [][]complex128{fx, fy, fs} {
+		if err := FFTInPlace(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range fs {
+		want := fx[i] + 2i*fy[i]
+		if cmplx.Abs(fs[i]-want) > 1e-9*float64(n) {
+			t.Fatalf("linearity violated at %d", i)
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	n := 1024
+	x := randomComplex(n, rng)
+	var timeEnergy float64
+	for _, v := range x {
+		timeEnergy += real(v)*real(v) + imag(v)*imag(v)
+	}
+	f := append([]complex128(nil), x...)
+	if err := FFTInPlace(f); err != nil {
+		t.Fatal(err)
+	}
+	var freqEnergy float64
+	for _, v := range f {
+		freqEnergy += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if rel := math.Abs(freqEnergy/float64(n)-timeEnergy) / timeEnergy; rel > 1e-10 {
+		t.Errorf("Parseval violated: %g vs %g", freqEnergy/float64(n), timeEnergy)
+	}
+}
+
+func TestBlockedFFTBitIdenticalToReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for _, tc := range []struct{ n, block int }{
+		{16, 4}, // the Fig. 2 configuration
+		{16, 2},
+		{16, 16},
+		{64, 4},
+		{256, 8},
+		{1024, 32},
+		{128, 8}, // log₂N=7 not divisible by log₂B=3: ragged last pass
+		{512, 8},
+	} {
+		x := randomComplex(tc.n, rng)
+		want := append([]complex128(nil), x...)
+		if err := FFTInPlace(want); err != nil {
+			t.Fatal(err)
+		}
+		got := append([]complex128(nil), x...)
+		var c opcount.Counter
+		if err := BlockedFFT(FFTSpec{N: tc.n, Block: tc.block}, got, &c); err != nil {
+			t.Fatalf("n=%d block=%d: %v", tc.n, tc.block, err)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d block=%d: index %d differs: %v vs %v (must be bit-identical)",
+					tc.n, tc.block, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBlockedFFTCountsMatchRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	for _, tc := range []struct{ n, block int }{
+		{16, 4}, {64, 4}, {128, 8}, {256, 16}, {32, 32},
+	} {
+		spec := FFTSpec{N: tc.n, Block: tc.block}
+		x := randomComplex(tc.n, rng)
+		var c opcount.Counter
+		if err := BlockedFFT(spec, x, &c); err != nil {
+			t.Fatal(err)
+		}
+		want, err := CountBlockedFFT(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := c.Snapshot(); got != want {
+			t.Errorf("n=%d block=%d: run counted %+v, closed form %+v", tc.n, tc.block, got, want)
+		}
+	}
+}
+
+// TestFFTRatioIsLogM verifies the §3.4 claim: the per-pass ratio equals
+// (butterflyOps/4)·log₂M exactly when every pass is full.
+func TestFFTRatioIsLogM(t *testing.T) {
+	for _, block := range []int{4, 16, 256} {
+		// log₂N divisible by log₂block keeps every pass full.
+		lb := 0
+		for b := block; b > 1; b >>= 1 {
+			lb++
+		}
+		n := 1
+		for i := 0; i < 3*lb; i++ {
+			n <<= 1
+		}
+		tot, err := CountBlockedFFT(FFTSpec{N: n, Block: block})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(butterflyOps) / 4 * float64(lb)
+		if got := tot.Ratio(); math.Abs(got-want) > 1e-9 {
+			t.Errorf("block=%d: ratio = %v, want %v", block, got, want)
+		}
+	}
+}
+
+func TestFFTSpecValidation(t *testing.T) {
+	bad := []FFTSpec{
+		{N: 0, Block: 2}, {N: 12, Block: 4}, {N: 16, Block: 3},
+		{N: 16, Block: 32}, {N: 16, Block: 1},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %+v accepted", s)
+		}
+	}
+	if got := (FFTSpec{N: 16, Block: 4}).Passes(); got != 2 {
+		t.Errorf("Passes(16,4) = %d, want 2", got)
+	}
+	if got := (FFTSpec{N: 128, Block: 8}).Passes(); got != 3 {
+		t.Errorf("Passes(128,8) = %d, want 3 (7 stages in passes of 3)", got)
+	}
+}
+
+func TestDecomposeFFTFig2(t *testing.T) {
+	// The paper's Fig. 2: N=16, M=4 → two passes of 2 stages, four blocks
+	// each; pass 0 gathers consecutive quads, pass 1 gathers stride-4.
+	dec, err := DecomposeFFT(FFTSpec{N: 16, Block: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Passes) != 2 {
+		t.Fatalf("passes = %d, want 2", len(dec.Passes))
+	}
+	p0, p1 := dec.Passes[0], dec.Passes[1]
+	if len(p0.Blocks) != 4 || len(p1.Blocks) != 4 {
+		t.Fatalf("blocks per pass = %d, %d, want 4, 4", len(p0.Blocks), len(p1.Blocks))
+	}
+	wantP0 := [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}, {8, 9, 10, 11}, {12, 13, 14, 15}}
+	wantP1 := [][]int{{0, 4, 8, 12}, {1, 5, 9, 13}, {2, 6, 10, 14}, {3, 7, 11, 15}}
+	for i := range wantP0 {
+		for j := range wantP0[i] {
+			if p0.Blocks[i][j] != wantP0[i][j] {
+				t.Errorf("pass 0 block %d = %v, want %v", i, p0.Blocks[i], wantP0[i])
+				break
+			}
+			if p1.Blocks[i][j] != wantP1[i][j] {
+				t.Errorf("pass 1 block %d = %v, want %v", i, p1.Blocks[i], wantP1[i])
+				break
+			}
+		}
+	}
+}
+
+// TestDecompositionCoversAllIndicesOncePerPass: each pass must touch every
+// index exactly once — the shuffle is a permutation.
+func TestDecompositionPermutationProperty(t *testing.T) {
+	f := func(n8, b8 uint8) bool {
+		nPow := 2 + int(n8%8)  // N = 4 .. 512
+		bPow := 1 + int(b8)%nPow
+		spec := FFTSpec{N: 1 << nPow, Block: 1 << bPow}
+		dec, err := DecomposeFFT(spec)
+		if err != nil {
+			return false
+		}
+		for _, pass := range dec.Passes {
+			seen := make([]bool, spec.N)
+			for _, blk := range pass.Blocks {
+				for _, idx := range blk {
+					if idx < 0 || idx >= spec.N || seen[idx] {
+						return false
+					}
+					seen[idx] = true
+				}
+			}
+			for _, s := range seen {
+				if !s {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitReverseInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	x := randomComplex(64, rng)
+	orig := append([]complex128(nil), x...)
+	BitReverse(x)
+	BitReverse(x)
+	for i := range x {
+		if x[i] != orig[i] {
+			t.Fatal("BitReverse applied twice is not the identity")
+		}
+	}
+}
+
+func TestIFFTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	for _, n := range []int{2, 16, 256, 4096} {
+		x := randomComplex(n, rng)
+		y := append([]complex128(nil), x...)
+		if err := FFTInPlace(y); err != nil {
+			t.Fatal(err)
+		}
+		if err := IFFTInPlace(y); err != nil {
+			t.Fatal(err)
+		}
+		if diff := maxCDiff(y, x); diff > 1e-10*float64(n) {
+			t.Errorf("n=%d: round trip off by %g", n, diff)
+		}
+	}
+	if err := IFFTInPlace(make([]complex128, 3)); err == nil {
+		t.Error("bad length accepted")
+	}
+}
+
+func TestIFFTUndoesBlockedFFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	n := 512
+	x := randomComplex(n, rng)
+	y := append([]complex128(nil), x...)
+	var c opcount.Counter
+	if err := BlockedFFT(FFTSpec{N: n, Block: 16}, y, &c); err != nil {
+		t.Fatal(err)
+	}
+	if err := IFFTInPlace(y); err != nil {
+		t.Fatal(err)
+	}
+	if diff := maxCDiff(y, x); diff > 1e-10*float64(n) {
+		t.Errorf("blocked round trip off by %g", diff)
+	}
+}

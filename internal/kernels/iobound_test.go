@@ -1,0 +1,213 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"balarch/internal/opcount"
+)
+
+func TestMatVecCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	for _, tc := range []struct{ n, chunk int }{
+		{4, 2}, {16, 4}, {17, 5}, {8, 8}, {1, 1},
+	} {
+		a := NewDenseRandom(tc.n, tc.n, rng)
+		x := make([]float64, tc.n)
+		for i := range x {
+			x[i] = 2*rng.Float64() - 1
+		}
+		var c opcount.Counter
+		got, err := MatVec(MatVecSpec{N: tc.n, Chunk: tc.chunk}, a, x, &c)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		for i := 0; i < tc.n; i++ {
+			var want float64
+			for j := 0; j < tc.n; j++ {
+				want += a.At(i, j) * x[j]
+			}
+			if math.Abs(got[i]-want) > 1e-10*float64(tc.n) {
+				t.Errorf("n=%d chunk=%d: y[%d] = %v, want %v", tc.n, tc.chunk, i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestMatVecCountsMatchRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for _, tc := range []struct{ n, chunk int }{{8, 2}, {16, 4}, {17, 5}, {9, 9}} {
+		spec := MatVecSpec{N: tc.n, Chunk: tc.chunk}
+		a := NewDenseRandom(tc.n, tc.n, rng)
+		x := make([]float64, tc.n)
+		var c opcount.Counter
+		if _, err := MatVec(spec, a, x, &c); err != nil {
+			t.Fatal(err)
+		}
+		want, err := CountMatVec(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := c.Snapshot(); got != want {
+			t.Errorf("%+v: run counted %+v, closed form %+v", tc, got, want)
+		}
+	}
+}
+
+// TestMatVecRatioBoundedByTwo verifies the §3.6 impossibility: the ratio
+// never exceeds 2 no matter how much local memory the scheme uses.
+func TestMatVecRatioBoundedByTwo(t *testing.T) {
+	n := 1024
+	var prev float64
+	for _, chunk := range []int{1, 4, 16, 64, 256, 1024} {
+		tot, err := CountMatVec(MatVecSpec{N: n, Chunk: chunk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := tot.Ratio()
+		if r > 2 {
+			t.Errorf("chunk=%d: ratio %v exceeds 2", chunk, r)
+		}
+		if r < prev {
+			t.Errorf("chunk=%d: ratio %v decreased from %v", chunk, r, prev)
+		}
+		prev = r
+	}
+	// Even at maximal chunk the ratio stays pinned near 2: the spread
+	// across three orders of magnitude of memory must be small.
+	small, _ := CountMatVec(MatVecSpec{N: n, Chunk: 16})
+	big, _ := CountMatVec(MatVecSpec{N: n, Chunk: 1024})
+	if gain := big.Ratio() / small.Ratio(); gain > 1.1 {
+		t.Errorf("64× memory bought ratio gain %v; should be ≈ 1 (I/O bounded)", gain)
+	}
+}
+
+func TestTriSolveCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for _, tc := range []struct{ n, chunk int }{
+		{4, 2}, {16, 4}, {17, 5}, {8, 8}, {1, 1}, {10, 3},
+	} {
+		// Build a well-conditioned lower-triangular system.
+		l := NewDense(tc.n, tc.n)
+		for i := 0; i < tc.n; i++ {
+			for j := 0; j < i; j++ {
+				l.Set(i, j, (2*rng.Float64()-1)/float64(tc.n))
+			}
+			l.Set(i, i, 1+rng.Float64())
+		}
+		want := make([]float64, tc.n)
+		for i := range want {
+			want[i] = 2*rng.Float64() - 1
+		}
+		// b = L·want.
+		b := make([]float64, tc.n)
+		for i := 0; i < tc.n; i++ {
+			for j := 0; j <= i; j++ {
+				b[i] += l.At(i, j) * want[j]
+			}
+		}
+		var c opcount.Counter
+		got, err := TriSolve(TriSolveSpec{N: tc.n, Chunk: tc.chunk}, l, b, &c)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Errorf("n=%d chunk=%d: x[%d] = %v, want %v", tc.n, tc.chunk, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestTriSolveCountsMatchRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for _, tc := range []struct{ n, chunk int }{{8, 2}, {16, 4}, {17, 5}, {6, 6}} {
+		spec := TriSolveSpec{N: tc.n, Chunk: tc.chunk}
+		l := NewDense(tc.n, tc.n)
+		for i := 0; i < tc.n; i++ {
+			for j := 0; j < i; j++ {
+				l.Set(i, j, rng.Float64())
+			}
+			l.Set(i, i, 1)
+		}
+		b := make([]float64, tc.n)
+		var c opcount.Counter
+		if _, err := TriSolve(spec, l, b, &c); err != nil {
+			t.Fatal(err)
+		}
+		want, err := CountTriSolve(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := c.Snapshot(); got != want {
+			t.Errorf("%+v: run counted %+v, closed form %+v", tc, got, want)
+		}
+	}
+}
+
+func TestTriSolveRatioBounded(t *testing.T) {
+	n := 1024
+	small, err := CountTriSolve(TriSolveSpec{N: n, Chunk: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := CountTriSolve(TriSolveSpec{N: n, Chunk: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Ratio() > 2.1 || big.Ratio() > 2.1 {
+		t.Errorf("trisolve ratios %v, %v exceed 2", small.Ratio(), big.Ratio())
+	}
+	if gain := big.Ratio() / small.Ratio(); gain > 1.15 {
+		t.Errorf("32× memory bought ratio gain %v; should be ≈ 1", gain)
+	}
+}
+
+func TestTriSolveZeroDiagonal(t *testing.T) {
+	l := NewDense(2, 2)
+	l.Set(1, 0, 1) // diagonal (1,1) left zero
+	l.Set(0, 0, 1)
+	var c opcount.Counter
+	if _, err := TriSolve(TriSolveSpec{N: 2, Chunk: 2}, l, []float64{1, 1}, &c); err == nil {
+		t.Error("zero diagonal accepted")
+	}
+}
+
+func TestIOBoundSpecValidation(t *testing.T) {
+	for _, s := range []MatVecSpec{{N: 0, Chunk: 1}, {N: 4, Chunk: 0}, {N: 4, Chunk: 5}} {
+		if err := s.Validate(); err == nil {
+			t.Errorf("matvec spec %+v accepted", s)
+		}
+	}
+	for _, s := range []TriSolveSpec{{N: 0, Chunk: 1}, {N: 4, Chunk: 0}, {N: 4, Chunk: 5}} {
+		if err := s.Validate(); err == nil {
+			t.Errorf("trisolve spec %+v accepted", s)
+		}
+	}
+}
+
+// Property: matvec flop count is exactly 2N² regardless of chunking, and A's
+// traffic is exactly N² — the "every input used a constant number of times"
+// structure of §3.6.
+func TestMatVecInvariantsProperty(t *testing.T) {
+	f := func(c8 uint8) bool {
+		n := 96
+		chunk := 1 + int(c8%96)
+		tot, err := CountMatVec(MatVecSpec{N: n, Chunk: chunk})
+		if err != nil {
+			return false
+		}
+		nn := uint64(n)
+		if tot.Ops != 2*nn*nn {
+			return false
+		}
+		// reads = A (N²) + x per chunk (N·ceil(N/chunk)); writes = N.
+		chunks := uint64((n + chunk - 1) / chunk)
+		return tot.Reads == nn*nn+nn*chunks && tot.Writes == nn
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,68 @@
+package kernels
+
+import "fmt"
+
+// Lattice provides row-major indexing for a d-dimensional box, used by the
+// grid relaxation kernel (§3.3) for arbitrary dimensionality.
+type Lattice struct {
+	Sizes   []int // extent per dimension
+	strides []int // strides[d] = Π of later extents
+	length  int
+}
+
+// NewLattice builds the index helper for a box with the given extents.
+func NewLattice(sizes ...int) *Lattice {
+	if len(sizes) == 0 {
+		panic("kernels: lattice needs at least one dimension")
+	}
+	l := &Lattice{Sizes: append([]int(nil), sizes...), strides: make([]int, len(sizes))}
+	n := 1
+	for d := len(sizes) - 1; d >= 0; d-- {
+		if sizes[d] <= 0 {
+			panic(fmt.Sprintf("kernels: lattice extent %d in dim %d must be positive", sizes[d], d))
+		}
+		l.strides[d] = n
+		n *= sizes[d]
+	}
+	l.length = n
+	return l
+}
+
+// Len returns the number of lattice points.
+func (l *Lattice) Len() int { return l.length }
+
+// Dim returns the number of dimensions.
+func (l *Lattice) Dim() int { return len(l.Sizes) }
+
+// Index maps coordinates to the flat index.
+func (l *Lattice) Index(coords []int) int {
+	idx := 0
+	for d, c := range coords {
+		if c < 0 || c >= l.Sizes[d] {
+			panic(fmt.Sprintf("kernels: coordinate %d out of range [0,%d) in dim %d", c, l.Sizes[d], d))
+		}
+		idx += c * l.strides[d]
+	}
+	return idx
+}
+
+// Coords writes the coordinates of flat index idx into out (len ≥ Dim).
+func (l *Lattice) Coords(idx int, out []int) {
+	for d := range l.Sizes {
+		out[d] = idx / l.strides[d]
+		idx %= l.strides[d]
+	}
+}
+
+// Stride returns the flat-index stride of dimension d.
+func (l *Lattice) Stride(d int) int { return l.strides[d] }
+
+// OnBoundary reports whether the given coordinates touch any face of the box.
+func (l *Lattice) OnBoundary(coords []int) bool {
+	for d, c := range coords {
+		if c == 0 || c == l.Sizes[d]-1 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,270 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"balarch/internal/opcount"
+)
+
+// LUSpec describes the §3.2 blocked triangularization scheme: the N×N matrix
+// is processed in N/b panel steps with b×b tiles; each step factorizes one
+// diagonal tile, solves the row and column panels against it, and applies a
+// rank-b update to the trailing matrix, streaming tiles through a local
+// memory that holds at most three of them.
+type LUSpec struct {
+	// N is the matrix dimension.
+	N int
+	// Block is the tile side b; the paper sets b = √M.
+	Block int
+}
+
+// Validate checks the spec's invariants.
+func (s LUSpec) Validate() error {
+	if s.N <= 0 {
+		return fmt.Errorf("kernels: LU N=%d must be positive", s.N)
+	}
+	if s.Block <= 0 || s.Block > s.N {
+		return fmt.Errorf("kernels: LU block=%d must be in [1, N=%d]", s.Block, s.N)
+	}
+	return nil
+}
+
+// Memory returns the local memory footprint in words: three resident b×b
+// tiles (the multiplier tile, the update tile, and the destination tile
+// during the trailing update).
+func (s LUSpec) Memory() int { return 3 * s.Block * s.Block }
+
+// Steps returns the number of panel steps.
+func (s LUSpec) Steps() int { return (s.N + s.Block - 1) / s.Block }
+
+// BlockedLU factorizes a (in a copy) into unit-lower L and upper U stored
+// packed in the returned matrix (L below the diagonal with implicit unit
+// diagonal, U on and above), using the tiled right-looking scheme and
+// recording exact arithmetic and I/O word counts. No pivoting is performed;
+// callers must supply a matrix for which elimination without pivoting is
+// stable (tests use diagonally dominant matrices).
+func BlockedLU(spec LUSpec, a *Dense, c *opcount.Counter) (*Dense, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	n, bs := spec.N, spec.Block
+	if a.Rows != n || a.Cols != n {
+		return nil, fmt.Errorf("kernels: LU operand must be %d×%d", n, n)
+	}
+	m := a.Clone()
+
+	for s0 := 0; s0 < n; s0 += bs {
+		r := min(bs, n-s0) // diagonal tile side this step
+
+		// Factorize the diagonal tile in local memory:
+		// read r², factor, write r².
+		c.Read(r * r)
+		for k := s0; k < s0+r; k++ {
+			piv := m.At(k, k)
+			if piv == 0 {
+				return nil, fmt.Errorf("kernels: zero pivot at %d (no pivoting)", k)
+			}
+			for i := k + 1; i < s0+r; i++ {
+				l := m.At(i, k) / piv
+				c.Ops(1)
+				m.Set(i, k, l)
+				for j := k + 1; j < s0+r; j++ {
+					m.Set(i, j, m.At(i, j)-l*m.At(k, j))
+				}
+				c.Ops(2 * (s0 + r - k - 1))
+			}
+		}
+		c.Write(r * r)
+
+		// Column panel: L[i][s] = A[i][s]·U_ss⁻¹, tile by tile. The
+		// factored diagonal tile stays resident.
+		for i0 := s0 + r; i0 < n; i0 += bs {
+			ri := min(bs, n-i0)
+			c.Read(ri * r)
+			for i := i0; i < i0+ri; i++ {
+				for k := s0; k < s0+r; k++ {
+					sum := m.At(i, k)
+					for j := s0; j < k; j++ {
+						sum -= m.At(i, j) * m.At(j, k)
+					}
+					m.Set(i, k, sum/m.At(k, k))
+					c.Ops(2*(k-s0) + 1)
+				}
+			}
+			c.Write(ri * r)
+		}
+
+		// Row panel: U[s][j] = L_ss⁻¹·A[s][j] (unit lower solve).
+		for j0 := s0 + r; j0 < n; j0 += bs {
+			cj := min(bs, n-j0)
+			c.Read(r * cj)
+			for j := j0; j < j0+cj; j++ {
+				for k := s0; k < s0+r; k++ {
+					sum := m.At(k, j)
+					for i := s0; i < k; i++ {
+						sum -= m.At(k, i) * m.At(i, j)
+					}
+					m.Set(k, j, sum)
+					c.Ops(2 * (k - s0))
+				}
+			}
+			c.Write(r * cj)
+		}
+
+		// Trailing update: A[i][j] -= L[i][s]·U[s][j]. The L tile is
+		// held across the inner j sweep.
+		for i0 := s0 + r; i0 < n; i0 += bs {
+			ri := min(bs, n-i0)
+			c.Read(ri * r) // L[i][s] tile, held for the row sweep
+			for j0 := s0 + r; j0 < n; j0 += bs {
+				cj := min(bs, n-j0)
+				c.Read(r*cj + ri*cj) // U tile + destination tile
+				for i := i0; i < i0+ri; i++ {
+					for j := j0; j < j0+cj; j++ {
+						sum := m.At(i, j)
+						for k := s0; k < s0+r; k++ {
+							sum -= m.At(i, k) * m.At(k, j)
+						}
+						m.Set(i, j, sum)
+					}
+				}
+				c.Ops(2 * ri * r * cj)
+				c.Write(ri * cj)
+			}
+		}
+	}
+	return m, nil
+}
+
+// CountBlockedLU walks the same tile structure as BlockedLU without
+// arithmetic, returning identical counts in O((N/b)²) time per step.
+func CountBlockedLU(spec LUSpec) (opcount.Totals, error) {
+	if err := spec.Validate(); err != nil {
+		return opcount.Totals{}, err
+	}
+	n, bs := spec.N, spec.Block
+	var t opcount.Totals
+	for s0 := 0; s0 < n; s0 += bs {
+		r := uint64(min(bs, n-s0))
+
+		// Diagonal tile: flops = Σ_{m=1}^{r-1} m + 2m² .
+		t.Reads += r * r
+		var diagOps uint64
+		for m := uint64(1); m < r; m++ {
+			diagOps += m + 2*m*m
+		}
+		t.Ops += diagOps
+		t.Writes += r * r
+
+		// Per-row triangular solve against U_ss: Σ_{k=0}^{r-1} (2k+1) = r².
+		// Per-column unit-lower solve: Σ_{k=0}^{r-1} 2k = r(r-1).
+		for i0 := s0 + int(r); i0 < n; i0 += bs {
+			ri := uint64(min(bs, n-i0))
+			t.Reads += ri * r
+			t.Ops += ri * r * r
+			t.Writes += ri * r
+		}
+		for j0 := s0 + int(r); j0 < n; j0 += bs {
+			cj := uint64(min(bs, n-j0))
+			t.Reads += r * cj
+			t.Ops += cj * r * (r - 1)
+			t.Writes += r * cj
+		}
+		for i0 := s0 + int(r); i0 < n; i0 += bs {
+			ri := uint64(min(bs, n-i0))
+			t.Reads += ri * r
+			for j0 := s0 + int(r); j0 < n; j0 += bs {
+				cj := uint64(min(bs, n-j0))
+				t.Reads += r*cj + ri*cj
+				t.Ops += 2 * ri * r * cj
+				t.Writes += ri * cj
+			}
+		}
+	}
+	return t, nil
+}
+
+// LURatioSweep measures the blocked triangularization ratio across block
+// sizes at fixed N for the E3 experiment.
+func LURatioSweep(n int, blocks []int) ([]RatioPoint, error) {
+	pts := make([]RatioPoint, 0, len(blocks))
+	for _, bs := range blocks {
+		spec := LUSpec{N: n, Block: bs}
+		t, err := CountBlockedLU(spec)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, RatioPoint{Memory: spec.Memory(), Totals: t})
+	}
+	return pts, nil
+}
+
+// ReconstructLU multiplies the packed L and U factors back together, for
+// validating BlockedLU against the original matrix.
+func ReconstructLU(packed *Dense) *Dense {
+	n := packed.Rows
+	out := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var sum float64
+			// (L·U)(i,j) = Σ_k L(i,k)·U(k,j), L unit lower, U upper.
+			hi := min(i, j)
+			for k := 0; k <= hi; k++ {
+				var l float64
+				if k == i {
+					l = 1
+				} else {
+					l = packed.At(i, k)
+				}
+				sum += l * packed.At(k, j)
+			}
+			out.Set(i, j, sum)
+		}
+	}
+	return out
+}
+
+// GivensQR triangularizes a copy of a with Givens rotations, returning the
+// upper-triangular factor U and the orthogonal factor Q such that Q·A = U
+// (paper §3.2 names Givens rotation as a standard triangularization
+// algorithm; it is also the kernel of the Gentleman–Kung systolic array).
+// Arithmetic operations are counted; the streaming I/O analysis of §3.2 is
+// exercised by the blocked LU kernel.
+func GivensQR(a *Dense, c *opcount.Counter) (u, q *Dense, err error) {
+	if a.Rows != a.Cols {
+		return nil, nil, fmt.Errorf("kernels: GivensQR requires a square matrix")
+	}
+	n := a.Rows
+	u = a.Clone()
+	q = NewDense(n, n)
+	for i := 0; i < n; i++ {
+		q.Set(i, i, 1)
+	}
+	for j := 0; j < n; j++ {
+		for i := n - 1; i > j; i-- {
+			// Rotate rows (i-1, i) to zero u(i, j).
+			x, y := u.At(i-1, j), u.At(i, j)
+			if y == 0 {
+				continue
+			}
+			r := math.Hypot(x, y)
+			cs, sn := x/r, y/r
+			c.Ops(6) // hypot (≈4) + two divides
+			applyGivens(u, i-1, i, cs, sn, j)
+			c.Ops(6 * (n - j))
+			applyGivens(q, i-1, i, cs, sn, 0)
+			c.Ops(6 * n)
+		}
+	}
+	return u, q, nil
+}
+
+// applyGivens rotates rows r0 and r1 of m by (cs, sn) starting at column lo.
+func applyGivens(m *Dense, r0, r1 int, cs, sn float64, lo int) {
+	for j := lo; j < m.Cols; j++ {
+		a, b := m.At(r0, j), m.At(r1, j)
+		m.Set(r0, j, cs*a+sn*b)
+		m.Set(r1, j, -sn*a+cs*b)
+	}
+}

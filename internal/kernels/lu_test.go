@@ -1,0 +1,191 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"balarch/internal/opcount"
+)
+
+func TestBlockedLUReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, tc := range []struct{ n, block int }{
+		{4, 2}, {8, 4}, {16, 4}, {12, 5}, {17, 4}, {9, 9}, {1, 1},
+	} {
+		a := DiagonallyDominant(tc.n, rng)
+		var c opcount.Counter
+		packed, err := BlockedLU(LUSpec{N: tc.n, Block: tc.block}, a, &c)
+		if err != nil {
+			t.Fatalf("n=%d block=%d: %v", tc.n, tc.block, err)
+		}
+		recon := ReconstructLU(packed)
+		if diff := recon.MaxAbsDiff(a); diff > 1e-9*float64(tc.n) {
+			t.Errorf("n=%d block=%d: ‖LU - A‖ = %g", tc.n, tc.block, diff)
+		}
+	}
+}
+
+func TestBlockedLUMatchesUnblocked(t *testing.T) {
+	// The packed factors must be independent of the block size (same
+	// algorithm, different schedule).
+	rng := rand.New(rand.NewSource(11))
+	n := 16
+	a := DiagonallyDominant(n, rng)
+	var c opcount.Counter
+	ref, err := BlockedLU(LUSpec{N: n, Block: n}, a, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bs := range []int{1, 2, 4, 8, 5, 7} {
+		var c2 opcount.Counter
+		got, err := BlockedLU(LUSpec{N: n, Block: bs}, a, &c2)
+		if err != nil {
+			t.Fatalf("block=%d: %v", bs, err)
+		}
+		if diff := got.MaxAbsDiff(ref); diff > 1e-9 {
+			t.Errorf("block=%d: factors differ from unblocked by %g", bs, diff)
+		}
+	}
+}
+
+func TestBlockedLUCountsMatchRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, tc := range []struct{ n, block int }{
+		{8, 2}, {16, 4}, {12, 5}, {17, 4}, {10, 10},
+	} {
+		spec := LUSpec{N: tc.n, Block: tc.block}
+		a := DiagonallyDominant(tc.n, rng)
+		var c opcount.Counter
+		if _, err := BlockedLU(spec, a, &c); err != nil {
+			t.Fatal(err)
+		}
+		want, err := CountBlockedLU(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := c.Snapshot(); got != want {
+			t.Errorf("n=%d block=%d: run counted %+v, closed form %+v", tc.n, tc.block, got, want)
+		}
+	}
+}
+
+func TestLUZeroPivotDetected(t *testing.T) {
+	a := NewDense(2, 2) // all zeros
+	var c opcount.Counter
+	if _, err := BlockedLU(LUSpec{N: 2, Block: 2}, a, &c); err == nil {
+		t.Error("zero pivot not detected")
+	}
+}
+
+// TestLUFlopsMatchTheory: total flops ≈ (2/3)N³ for N ≫ b.
+func TestLUFlopsMatchTheory(t *testing.T) {
+	n := 256
+	tot, err := CountBlockedLU(LUSpec{N: n, Block: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2.0 / 3.0 * math.Pow(float64(n), 3)
+	if rel := math.Abs(float64(tot.Ops)-want) / want; rel > 0.10 {
+		t.Errorf("flops = %d, want ≈ %.0f (got %.1f%% off)", tot.Ops, want, rel*100)
+	}
+}
+
+// TestLURatioGrowsWithBlock verifies the §3.2 claim: the per-run ratio grows
+// linearly in b = √M.
+func TestLURatioGrowsWithBlock(t *testing.T) {
+	n := 1024
+	r8, err := CountBlockedLU(LUSpec{N: n, Block: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r32, err := CountBlockedLU(LUSpec{N: n, Block: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain := r32.Ratio() / r8.Ratio()
+	// 4× block → 16× memory → ratio should grow ≈4× (√16).
+	if gain < 3.2 || gain > 4.8 {
+		t.Errorf("ratio gain for 4× block = %v, want ≈ 4", gain)
+	}
+}
+
+func TestLUSpecValidation(t *testing.T) {
+	bad := []LUSpec{{N: 0, Block: 1}, {N: 4, Block: 0}, {N: 4, Block: 8}}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %+v accepted", s)
+		}
+	}
+	if got := (LUSpec{N: 100, Block: 10}).Memory(); got != 300 {
+		t.Errorf("Memory = %d, want 300", got)
+	}
+	if got := (LUSpec{N: 100, Block: 10}).Steps(); got != 10 {
+		t.Errorf("Steps = %d, want 10", got)
+	}
+}
+
+func TestGivensQR(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{1, 2, 5, 16, 32} {
+		a := NewDenseRandom(n, n, rng)
+		var c opcount.Counter
+		u, q, err := GivensQR(a, &c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !u.IsUpperTriangular(1e-10) {
+			t.Errorf("n=%d: U not upper triangular", n)
+		}
+		// QA = U.
+		qa := q.MulRef(a)
+		if diff := qa.MaxAbsDiff(u); diff > 1e-9*float64(n+1) {
+			t.Errorf("n=%d: ‖QA - U‖ = %g", n, diff)
+		}
+		// Q orthogonal: QᵀQ = I.
+		qt := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				qt.Set(i, j, q.At(j, i))
+			}
+		}
+		qtq := qt.MulRef(q)
+		eye := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			eye.Set(i, i, 1)
+		}
+		if diff := qtq.MaxAbsDiff(eye); diff > 1e-9*float64(n+1) {
+			t.Errorf("n=%d: ‖QᵀQ - I‖ = %g", n, diff)
+		}
+		if n > 1 && c.Ccomp() == 0 {
+			t.Errorf("n=%d: no operations counted", n)
+		}
+	}
+}
+
+func TestGivensQRRejectsNonSquare(t *testing.T) {
+	var c opcount.Counter
+	if _, _, err := GivensQR(NewDense(3, 4), &c); err == nil {
+		t.Error("non-square matrix accepted")
+	}
+}
+
+// Property: LU reconstruction holds for random diagonally dominant systems.
+func TestBlockedLUProperty(t *testing.T) {
+	f := func(seed int64, n8, b8 uint8) bool {
+		n := 2 + int(n8%14)
+		bs := 1 + int(b8)%n
+		rng := rand.New(rand.NewSource(seed))
+		a := DiagonallyDominant(n, rng)
+		var c opcount.Counter
+		packed, err := BlockedLU(LUSpec{N: n, Block: bs}, a, &c)
+		if err != nil {
+			return false
+		}
+		return ReconstructLU(packed).MaxAbsDiff(a) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

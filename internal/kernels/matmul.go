@@ -1,0 +1,176 @@
+package kernels
+
+import (
+	"fmt"
+
+	"balarch/internal/opcount"
+)
+
+// MatMulSpec describes the paper's §3.1 decomposition of an N×N matrix
+// product: the result is computed in (N/b)² steps, each holding one b×b
+// output block resident in local memory while streaming a b×N strip of the
+// first operand and an N×b strip of the second past it, one column/row pair
+// at a time.
+type MatMulSpec struct {
+	// N is the matrix dimension.
+	N int
+	// Block is the output block side b; the paper sets b = √M.
+	Block int
+}
+
+// Validate checks the spec's invariants.
+func (s MatMulSpec) Validate() error {
+	if s.N <= 0 {
+		return fmt.Errorf("kernels: matmul N=%d must be positive", s.N)
+	}
+	if s.Block <= 0 || s.Block > s.N {
+		return fmt.Errorf("kernels: matmul block=%d must be in [1, N=%d]", s.Block, s.N)
+	}
+	return nil
+}
+
+// Memory returns the local memory footprint of one step in words: the
+// resident b×b output block plus the two length-b streaming buffers.
+func (s MatMulSpec) Memory() int { return s.Block*s.Block + 2*s.Block }
+
+// Steps returns the number of output blocks, counting ragged edges.
+func (s MatMulSpec) Steps() int {
+	nb := (s.N + s.Block - 1) / s.Block
+	return nb * nb
+}
+
+// BlockedMatMul multiplies a × b with the §3.1 scheme, recording exact
+// arithmetic and I/O word counts. a and b must be N×N per the spec. The
+// returned product is bit-identical in shape to the reference product and is
+// validated against MulRef in tests.
+//
+// Counting convention: loading one column segment of a and one row segment
+// of b counts their word lengths as reads; a rank-1 update of an r×c block
+// counts 2·r·c flops (multiply + add); storing the finished block counts r·c
+// writes. The block itself stays resident, so it generates no traffic until
+// the final store — this residency is exactly what buys the √M ratio.
+func BlockedMatMul(spec MatMulSpec, a, b *Dense, c *opcount.Counter) (*Dense, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	n, bs := spec.N, spec.Block
+	if a.Rows != n || a.Cols != n || b.Rows != n || b.Cols != n {
+		return nil, fmt.Errorf("kernels: matmul operands must be %d×%d", n, n)
+	}
+	out := NewDense(n, n)
+	colBuf := make([]float64, bs) // streamed segment of a's column k
+	rowBuf := make([]float64, bs) // streamed segment of b's row k
+	block := make([]float64, bs*bs)
+
+	for i0 := 0; i0 < n; i0 += bs {
+		rows := min(bs, n-i0)
+		for j0 := 0; j0 < n; j0 += bs {
+			cols := min(bs, n-j0)
+			for i := range block[:rows*cols] {
+				block[i] = 0
+			}
+			for k := 0; k < n; k++ {
+				// Stream one column segment of a and one row
+				// segment of b into local memory.
+				for i := 0; i < rows; i++ {
+					colBuf[i] = a.At(i0+i, k)
+				}
+				c.Read(rows)
+				for j := 0; j < cols; j++ {
+					rowBuf[j] = b.At(k, j0+j)
+				}
+				c.Read(cols)
+				// Rank-1 update of the resident block.
+				for i := 0; i < rows; i++ {
+					av := colBuf[i]
+					for j := 0; j < cols; j++ {
+						block[i*cols+j] += av * rowBuf[j]
+					}
+				}
+				c.Ops(2 * rows * cols)
+			}
+			// Store the finished output block.
+			for i := 0; i < rows; i++ {
+				for j := 0; j < cols; j++ {
+					out.Set(i0+i, j0+j, block[i*cols+j])
+				}
+			}
+			c.Write(rows * cols)
+		}
+	}
+	return out, nil
+}
+
+// CountBlockedMatMul walks the same block structure as BlockedMatMul without
+// doing arithmetic, returning identical counts in O((N/b)²) time, so the
+// experiments can measure the N ≫ M regime the paper assumes.
+func CountBlockedMatMul(spec MatMulSpec) (opcount.Totals, error) {
+	if err := spec.Validate(); err != nil {
+		return opcount.Totals{}, err
+	}
+	n, bs := uint64(spec.N), spec.Block
+	var t opcount.Totals
+	for i0 := 0; i0 < spec.N; i0 += bs {
+		rows := uint64(min(bs, spec.N-i0))
+		for j0 := 0; j0 < spec.N; j0 += bs {
+			cols := uint64(min(bs, spec.N-j0))
+			t.Reads += n * (rows + cols)
+			t.Ops += 2 * n * rows * cols
+			t.Writes += rows * cols
+		}
+	}
+	return t, nil
+}
+
+// NaiveMatMul is the textbook triple loop with no local-memory reuse: every
+// operand element is re-read from outside the PE each time it is touched and
+// every partial sum is written back. It realizes the worst-case Cio = Θ(N³)
+// that motivates the paper's blocked scheme, and is the baseline for the
+// cache-simulation experiment (E12).
+func NaiveMatMul(a, b *Dense, c *opcount.Counter) (*Dense, error) {
+	if a.Cols != b.Rows || a.Rows != a.Cols || b.Rows != b.Cols {
+		return nil, fmt.Errorf("kernels: naive matmul requires square conformable operands")
+	}
+	n := a.Rows
+	out := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var sum float64
+			for k := 0; k < n; k++ {
+				sum += a.At(i, k) * b.At(k, j)
+				c.Read(2)  // a(i,k) and b(k,j) fetched from outside
+				c.Ops(2)   // multiply + add
+			}
+			out.Set(i, j, sum)
+			c.Write(1)
+		}
+	}
+	return out, nil
+}
+
+// MatMulRatioSweep measures the achievable Ccomp/Cio of the blocked scheme
+// across a range of block sizes at fixed N, returning (memory, ratio) pairs
+// for the E2 experiment. N should be ≫ the largest block so the measured
+// ratios sit in the paper's asymptotic regime.
+func MatMulRatioSweep(n int, blocks []int) ([]RatioPoint, error) {
+	pts := make([]RatioPoint, 0, len(blocks))
+	for _, bs := range blocks {
+		spec := MatMulSpec{N: n, Block: bs}
+		t, err := CountBlockedMatMul(spec)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, RatioPoint{Memory: spec.Memory(), Totals: t})
+	}
+	return pts, nil
+}
+
+// RatioPoint pairs a local memory size with the exact counts measured at
+// that size; Ratio() is the achieved Ccomp/Cio.
+type RatioPoint struct {
+	Memory int
+	Totals opcount.Totals
+}
+
+// Ratio returns the measured Ccomp/Cio at this point.
+func (p RatioPoint) Ratio() float64 { return p.Totals.Ratio() }

@@ -1,0 +1,170 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"balarch/internal/opcount"
+)
+
+func TestRandomCSRValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	m := NewRandomCSR(64, 8, rng)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 64*8 {
+		t.Errorf("NNZ = %d, want 512", m.NNZ())
+	}
+	// Columns sorted and unique within each row.
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i] + 1; k < m.RowPtr[i+1]; k++ {
+			if m.ColIdx[k-1] >= m.ColIdx[k] {
+				t.Fatalf("row %d columns not strictly sorted", i)
+			}
+		}
+	}
+}
+
+func TestCSRValidateRejectsBroken(t *testing.T) {
+	good := &CSR{Rows: 2, Cols: 2, RowPtr: []int{0, 1, 2}, ColIdx: []int{0, 1}, Val: []float64{1, 2}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid CSR rejected: %v", err)
+	}
+	cases := []*CSR{
+		{Rows: 0, Cols: 2, RowPtr: []int{0}, ColIdx: nil, Val: nil},
+		{Rows: 2, Cols: 2, RowPtr: []int{0, 1}, ColIdx: []int{0}, Val: []float64{1}},
+		{Rows: 2, Cols: 2, RowPtr: []int{0, 2, 1}, ColIdx: []int{0, 1}, Val: []float64{1, 2}},
+		{Rows: 2, Cols: 2, RowPtr: []int{0, 1, 2}, ColIdx: []int{0, 5}, Val: []float64{1, 2}},
+		{Rows: 2, Cols: 2, RowPtr: []int{0, 1, 1}, ColIdx: []int{0, 1}, Val: []float64{1, 2}},
+	}
+	for i, m := range cases {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: broken CSR accepted", i)
+		}
+	}
+}
+
+func TestSpMVCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for _, tc := range []struct{ n, nnzPerRow, chunk int }{
+		{8, 2, 2}, {32, 4, 8}, {33, 5, 7}, {16, 16, 16},
+	} {
+		a := NewRandomCSR(tc.n, tc.nnzPerRow, rng)
+		x := make([]float64, tc.n)
+		for i := range x {
+			x[i] = 2*rng.Float64() - 1
+		}
+		var c opcount.Counter
+		got, err := SpMV(SpMVSpec{N: tc.n, Chunk: tc.chunk}, a, x, &c)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		want := SpMVRef(a, x)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-10*float64(tc.nnzPerRow) {
+				t.Errorf("%+v: y[%d] = %v, want %v", tc, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSpMVCountsMatchRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	for _, tc := range []struct{ n, nnzPerRow, chunk int }{{16, 3, 4}, {33, 5, 7}} {
+		spec := SpMVSpec{N: tc.n, Chunk: tc.chunk}
+		a := NewRandomCSR(tc.n, tc.nnzPerRow, rng)
+		x := make([]float64, tc.n)
+		var c opcount.Counter
+		if _, err := SpMV(spec, a, x, &c); err != nil {
+			t.Fatal(err)
+		}
+		want, err := CountSpMV(spec, a.NNZ())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := c.Snapshot(); got != want {
+			t.Errorf("%+v: run counted %+v, closed form %+v", tc, got, want)
+		}
+	}
+}
+
+// TestSpMVRatioFlat: sparse matvec is memory-inelastic — the §4 remark about
+// sparse operations' "relatively high I/O requirements" as measurement.
+func TestSpMVRatioFlat(t *testing.T) {
+	pts, err := SpMVRatioSweep(4096, 8, []int{16, 64, 256, 1024, 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if r := p.Ratio(); r > 0.7 {
+			t.Errorf("memory %d: ratio %v exceeds 2/3+ε", p.Memory, r)
+		}
+	}
+	if gain := pts[len(pts)-1].Ratio() / pts[0].Ratio(); gain > 1.01 {
+		t.Errorf("256× memory bought ratio gain %v; sparse SpMV must be flat", gain)
+	}
+}
+
+func TestSpMVValidation(t *testing.T) {
+	for _, s := range []SpMVSpec{{N: 0, Chunk: 1}, {N: 4, Chunk: 0}, {N: 4, Chunk: 5}} {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %+v accepted", s)
+		}
+	}
+	if _, err := CountSpMV(SpMVSpec{N: 4, Chunk: 2}, -1); err == nil {
+		t.Error("negative nnz accepted")
+	}
+	rng := rand.New(rand.NewSource(83))
+	a := NewRandomCSR(8, 2, rng)
+	var c opcount.Counter
+	if _, err := SpMV(SpMVSpec{N: 16, Chunk: 4}, a, make([]float64, 16), &c); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestNewRandomCSRPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nnzPerRow > n did not panic")
+		}
+	}()
+	NewRandomCSR(4, 5, rand.New(rand.NewSource(1)))
+}
+
+// Property: SpMV against the identity-ish diagonal reproduces x scaled.
+func TestSpMVDiagonalProperty(t *testing.T) {
+	f := func(seed int64, n8 uint8) bool {
+		n := 1 + int(n8%40)
+		rng := rand.New(rand.NewSource(seed))
+		// Diagonal CSR with entries d[i].
+		m := &CSR{Rows: n, Cols: n, RowPtr: make([]int, n+1)}
+		d := make([]float64, n)
+		for i := 0; i < n; i++ {
+			d[i] = 1 + rng.Float64()
+			m.ColIdx = append(m.ColIdx, i)
+			m.Val = append(m.Val, d[i])
+			m.RowPtr[i+1] = i + 1
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.Float64()
+		}
+		var c opcount.Counter
+		y, err := SpMV(SpMVSpec{N: n, Chunk: 1 + n/2}, m, x, &c)
+		if err != nil {
+			return false
+		}
+		for i := range y {
+			if math.Abs(y[i]-d[i]*x[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

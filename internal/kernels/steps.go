@@ -1,0 +1,105 @@
+package kernels
+
+import (
+	"math/bits"
+
+	"balarch/internal/opcount"
+)
+
+// The paper's §3.2 derivation rests on a per-step claim: "The same ratio is
+// maintained for all the steps." These functions expose the per-step and
+// per-pass counts of the blocked decompositions so tests and experiments can
+// check that claim directly, not just the whole-run aggregates.
+
+// LUStepTotals returns the exact counts of each panel step of the §3.2
+// blocked triangularization separately, in step order. The trailing steps
+// shrink (the final step is just one diagonal tile), so the per-step ratio
+// holds for all but the last few steps — exactly the lower-order effect the
+// paper's Θ-notation absorbs.
+func LUStepTotals(spec LUSpec) ([]opcount.Totals, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	n, bs := spec.N, spec.Block
+	var steps []opcount.Totals
+	for s0 := 0; s0 < n; s0 += bs {
+		r := uint64(min(bs, n-s0))
+		var t opcount.Totals
+		t.Reads += r * r
+		var diagOps uint64
+		for m := uint64(1); m < r; m++ {
+			diagOps += m + 2*m*m
+		}
+		t.Ops += diagOps
+		t.Writes += r * r
+		for i0 := s0 + int(r); i0 < n; i0 += bs {
+			ri := uint64(min(bs, n-i0))
+			t.Reads += ri * r
+			t.Ops += ri * r * r
+			t.Writes += ri * r
+		}
+		for j0 := s0 + int(r); j0 < n; j0 += bs {
+			cj := uint64(min(bs, n-j0))
+			t.Reads += r * cj
+			t.Ops += cj * r * (r - 1)
+			t.Writes += r * cj
+		}
+		for i0 := s0 + int(r); i0 < n; i0 += bs {
+			ri := uint64(min(bs, n-i0))
+			t.Reads += ri * r
+			for j0 := s0 + int(r); j0 < n; j0 += bs {
+				cj := uint64(min(bs, n-j0))
+				t.Reads += r*cj + ri*cj
+				t.Ops += 2 * ri * r * cj
+				t.Writes += ri * cj
+			}
+		}
+		steps = append(steps, t)
+	}
+	return steps, nil
+}
+
+// FFTPassTotals returns the exact counts of each pass of the §3.4 blocked
+// FFT separately. Every full pass has the identical profile (read N, write
+// N, (N/2)·log₂B butterflies); only a ragged final pass differs.
+func FFTPassTotals(spec FFTSpec) ([]opcount.Totals, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	totalStages := bits.TrailingZeros(uint(spec.N))
+	perPass := bits.TrailingZeros(uint(spec.Block))
+	n := uint64(spec.N)
+	var passes []opcount.Totals
+	for stageLo := 0; stageLo < totalStages; stageLo += perPass {
+		lp := uint64(min(perPass, totalStages-stageLo))
+		passes = append(passes, opcount.Totals{
+			Reads:  n,
+			Writes: n,
+			Ops:    n / 2 * lp * butterflyOps,
+		})
+	}
+	return passes, nil
+}
+
+// MatMulStepTotals returns the exact counts of each output-block step of the
+// §3.1 decomposition. For block-divisible N all steps are identical — the
+// strongest form of the per-step claim.
+func MatMulStepTotals(spec MatMulSpec) ([]opcount.Totals, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	n, bs := uint64(spec.N), spec.Block
+	var steps []opcount.Totals
+	for i0 := 0; i0 < spec.N; i0 += bs {
+		rows := uint64(min(bs, spec.N-i0))
+		for j0 := 0; j0 < spec.N; j0 += bs {
+			cols := uint64(min(bs, spec.N-j0))
+			steps = append(steps, opcount.Totals{
+				Reads:  n * (rows + cols),
+				Ops:    2 * n * rows * cols,
+				Writes: rows * cols,
+			})
+		}
+	}
+	return steps, nil
+}

@@ -1,0 +1,140 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLUStepTotalsSumToWhole(t *testing.T) {
+	spec := LUSpec{N: 256, Block: 16}
+	steps, err := LUStepTotals(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != spec.Steps() {
+		t.Fatalf("got %d steps, want %d", len(steps), spec.Steps())
+	}
+	whole, err := CountBlockedLU(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops, reads, writes uint64
+	for _, s := range steps {
+		ops += s.Ops
+		reads += s.Reads
+		writes += s.Writes
+	}
+	if ops != whole.Ops || reads != whole.Reads || writes != whole.Writes {
+		t.Errorf("step sums (%d,%d,%d) != whole (%d,%d,%d)",
+			ops, reads, writes, whole.Ops, whole.Reads, whole.Writes)
+	}
+}
+
+// TestLUSameRatioAllSteps is the §3.2 sentence as a test: "The same ratio is
+// maintained for all the steps" — the per-step Ccomp/Cio stays near-constant
+// until the trailing matrix shrinks to a few tiles.
+func TestLUSameRatioAllSteps(t *testing.T) {
+	spec := LUSpec{N: 1024, Block: 16}
+	steps, err := LUStepTotals(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Examine the first 3/4 of the steps (the paper's regime N' ≫ b).
+	upto := len(steps) * 3 / 4
+	first := steps[0].Ratio()
+	for i := 1; i < upto; i++ {
+		r := steps[i].Ratio()
+		if math.Abs(r-first)/first > 0.10 {
+			t.Errorf("step %d ratio %v drifted more than 10%% from step 0's %v", i, r, first)
+		}
+	}
+	// And the ratio is ≈ 2b/3 (trailing update dominates: 2·b flops per
+	// 3 words of tile traffic).
+	want := 2.0 * float64(spec.Block) / 3.0
+	if math.Abs(first-want)/want > 0.15 {
+		t.Errorf("step-0 ratio %v far from 2b/3 = %v", first, want)
+	}
+}
+
+func TestFFTPassTotalsUniform(t *testing.T) {
+	spec := FFTSpec{N: 1 << 12, Block: 16} // 12 stages in 3 full passes
+	passes, err := FFTPassTotals(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(passes) != spec.Passes() {
+		t.Fatalf("got %d passes, want %d", len(passes), spec.Passes())
+	}
+	for i, p := range passes {
+		if p != passes[0] {
+			t.Errorf("pass %d = %+v differs from pass 0 = %+v (all passes must be identical)", i, p, passes[0])
+		}
+	}
+	// Sum equals the whole-run count.
+	whole, err := CountBlockedFFT(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops, reads, writes uint64
+	for _, p := range passes {
+		ops += p.Ops
+		reads += p.Reads
+		writes += p.Writes
+	}
+	if ops != whole.Ops || reads != whole.Reads || writes != whole.Writes {
+		t.Error("pass sums do not equal whole-run counts")
+	}
+}
+
+func TestFFTPassTotalsRaggedLast(t *testing.T) {
+	spec := FFTSpec{N: 128, Block: 8} // 7 stages: passes of 3,3,1
+	passes, err := FFTPassTotals(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(passes) != 3 {
+		t.Fatalf("got %d passes, want 3", len(passes))
+	}
+	if passes[0] != passes[1] {
+		t.Error("full passes differ")
+	}
+	if passes[2].Ops >= passes[0].Ops {
+		t.Error("ragged final pass should do fewer butterflies")
+	}
+	if passes[2].Reads != passes[0].Reads {
+		t.Error("every pass still reads all N points")
+	}
+}
+
+func TestMatMulStepTotalsIdentical(t *testing.T) {
+	spec := MatMulSpec{N: 256, Block: 16}
+	steps, err := MatMulStepTotals(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != spec.Steps() {
+		t.Fatalf("got %d steps, want %d", len(steps), spec.Steps())
+	}
+	for i, s := range steps {
+		if s != steps[0] {
+			t.Errorf("step %d differs from step 0 for divisible N", i)
+		}
+	}
+	// Per-step ratio ≈ √M (b): 2Nb²/(2Nb + b²) → b.
+	r := steps[0].Ratio()
+	if math.Abs(r-16)/16 > 0.05 {
+		t.Errorf("per-step ratio %v, want ≈ 16", r)
+	}
+}
+
+func TestStepTotalsValidation(t *testing.T) {
+	if _, err := LUStepTotals(LUSpec{N: 0, Block: 1}); err == nil {
+		t.Error("bad LU spec accepted")
+	}
+	if _, err := FFTPassTotals(FFTSpec{N: 12, Block: 4}); err == nil {
+		t.Error("bad FFT spec accepted")
+	}
+	if _, err := MatMulStepTotals(MatMulSpec{N: 4, Block: 8}); err == nil {
+		t.Error("bad matmul spec accepted")
+	}
+}

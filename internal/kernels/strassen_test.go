@@ -1,0 +1,152 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"balarch/internal/opcount"
+)
+
+func TestCAStrassenCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	for _, tc := range []struct{ n, leaf int }{
+		{1, 1}, {2, 1}, {2, 2}, {4, 2}, {8, 2}, {16, 4}, {32, 8}, {64, 64},
+	} {
+		a := NewDenseRandom(tc.n, tc.n, rng)
+		b := NewDenseRandom(tc.n, tc.n, rng)
+		var c opcount.Counter
+		got, err := CAStrassen(StrassenSpec{N: tc.n, Leaf: tc.leaf}, a, b, &c)
+		if err != nil {
+			t.Fatalf("n=%d leaf=%d: %v", tc.n, tc.leaf, err)
+		}
+		want := a.MulRef(b)
+		// Strassen is less numerically stable than the classical
+		// product; allow a looser (but still tight) tolerance.
+		if diff := got.MaxAbsDiff(want); diff > 1e-10*float64(tc.n*tc.n) {
+			t.Errorf("n=%d leaf=%d: result off by %g", tc.n, tc.leaf, diff)
+		}
+	}
+}
+
+func TestCAStrassenCountsMatchRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for _, tc := range []struct{ n, leaf int }{
+		{2, 1}, {4, 2}, {8, 2}, {16, 4}, {32, 16},
+	} {
+		spec := StrassenSpec{N: tc.n, Leaf: tc.leaf}
+		a := NewDenseRandom(tc.n, tc.n, rng)
+		b := NewDenseRandom(tc.n, tc.n, rng)
+		var c opcount.Counter
+		if _, err := CAStrassen(spec, a, b, &c); err != nil {
+			t.Fatal(err)
+		}
+		want, err := CountCAStrassen(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := c.Snapshot(); got != want {
+			t.Errorf("n=%d leaf=%d: run counted %+v, closed form %+v", tc.n, tc.leaf, got, want)
+		}
+	}
+}
+
+func TestStrassenLocalOps(t *testing.T) {
+	// S(1) = 1; S(2) = 7 + 18 = 25; S(4) = 7·25 + 18·4 = 247.
+	cases := map[int]uint64{1: 1, 2: 25, 4: 247}
+	for n, want := range cases {
+		if got := strassenLocalOps(n); got != want {
+			t.Errorf("S(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// TestStrassenSubCubicOps: total flops grow as N^lg7, visibly below 2N³ for
+// large N (with leaves large enough to amortize the additions).
+func TestStrassenSubCubicOps(t *testing.T) {
+	small, err := CountCAStrassen(StrassenSpec{N: 1024, Leaf: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := CountCAStrassen(StrassenSpec{N: 2048, Leaf: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain := float64(big.Ops) / float64(small.Ops)
+	// Doubling N multiplies ops by ≈ 7 (lg7 = 2.807), not 8.
+	if gain < 6.8 || gain > 7.2 {
+		t.Errorf("N-doubling op gain = %v, want ≈ 7", gain)
+	}
+	// The exact-flop crossover against 2N³ sits near N ≈ 1000; by 2048
+	// Strassen is strictly cheaper.
+	classical := 2.0 * math.Pow(2048, 3)
+	if float64(big.Ops) >= classical {
+		t.Errorf("Strassen ops %d not below classical %g", big.Ops, classical)
+	}
+}
+
+// TestStrassenRatioExponent is the X4 headline: the CA-Strassen ratio grows
+// as M^(lg7/2−1) ≈ M^0.404 — weaker memory leverage than classical matmul's
+// M^0.5.
+func TestStrassenRatioExponent(t *testing.T) {
+	pts, err := StrassenRatioSweep(4096, []int{8, 16, 32, 64, 128, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fit the exponent by regression over the two endpoints and the
+	// middle (cheap log-log slope check).
+	first, last := pts[0], pts[len(pts)-1]
+	slope := math.Log(last.Ratio()/first.Ratio()) /
+		math.Log(float64(last.Memory)/float64(first.Memory))
+	want := math.Log2(7)/2 - 1 // 0.4037
+	if math.Abs(slope-want) > 0.05 {
+		t.Errorf("ratio exponent = %v, want ≈ %v", slope, want)
+	}
+	// And it is strictly below classical matmul's 0.5.
+	if slope >= 0.47 {
+		t.Errorf("Strassen exponent %v should sit clearly below 0.5", slope)
+	}
+}
+
+func TestStrassenSpecValidation(t *testing.T) {
+	bad := []StrassenSpec{
+		{N: 0, Leaf: 1}, {N: 12, Leaf: 4}, {N: 16, Leaf: 3},
+		{N: 16, Leaf: 32}, {N: 16, Leaf: 0},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %+v accepted", s)
+		}
+	}
+	if got := (StrassenSpec{N: 64, Leaf: 8}).Memory(); got != 192 {
+		t.Errorf("Memory = %d, want 192", got)
+	}
+	var c opcount.Counter
+	a := NewDense(8, 8)
+	if _, err := CAStrassen(StrassenSpec{N: 16, Leaf: 4}, a, a, &c); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+// Property: CA-Strassen agrees with the classical product for random
+// power-of-two shapes and any leaf size.
+func TestCAStrassenProperty(t *testing.T) {
+	f := func(seed int64, n8, l8 uint8) bool {
+		nPow := int(n8 % 5)       // N = 1..16
+		lPow := int(l8) % (nPow + 1)
+		n, leaf := 1<<nPow, 1<<lPow
+		rng := rand.New(rand.NewSource(seed))
+		a := NewDenseRandom(n, n, rng)
+		b := NewDenseRandom(n, n, rng)
+		var c opcount.Counter
+		got, err := CAStrassen(StrassenSpec{N: n, Leaf: leaf}, a, b, &c)
+		if err != nil {
+			return false
+		}
+		return got.MaxAbsDiff(a.MulRef(b)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,299 @@
+package machine
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimulatorOrdersEvents(t *testing.T) {
+	s := NewSimulator()
+	var order []int
+	s.At(3, func() { order = append(order, 3) })
+	s.At(1, func() { order = append(order, 1) })
+	s.At(2, func() { order = append(order, 2) })
+	end := s.Run()
+	if end != 3 {
+		t.Errorf("end time = %v, want 3", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestSimulatorTieBreakFIFO(t *testing.T) {
+	s := NewSimulator()
+	var order []int
+	s.At(1, func() { order = append(order, 0) })
+	s.At(1, func() { order = append(order, 1) })
+	s.Run()
+	if order[0] != 0 || order[1] != 1 {
+		t.Errorf("simultaneous events not FIFO: %v", order)
+	}
+}
+
+func TestSimulatorNestedScheduling(t *testing.T) {
+	s := NewSimulator()
+	var fired []float64
+	s.At(1, func() {
+		fired = append(fired, s.Now())
+		s.After(2, func() { fired = append(fired, s.Now()) })
+	})
+	end := s.Run()
+	if end != 3 || len(fired) != 2 || fired[1] != 3 {
+		t.Errorf("nested scheduling wrong: end=%v fired=%v", end, fired)
+	}
+}
+
+func TestSimulatorPanicsOnPast(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling into the past did not panic")
+		}
+	}()
+	s := NewSimulator()
+	s.At(5, func() { s.At(1, func() {}) })
+	s.Run()
+}
+
+func TestServerSerializes(t *testing.T) {
+	sv := NewServer("x")
+	s1, e1 := sv.Reserve(0, 10)
+	if s1 != 0 || e1 != 10 {
+		t.Errorf("first reservation (%v,%v)", s1, e1)
+	}
+	// Requested at 5 but server busy until 10.
+	s2, e2 := sv.Reserve(5, 3)
+	if s2 != 10 || e2 != 13 {
+		t.Errorf("second reservation (%v,%v), want (10,13)", s2, e2)
+	}
+	// Idle gap allowed.
+	s3, _ := sv.Reserve(20, 1)
+	if s3 != 20 {
+		t.Errorf("third reservation start %v, want 20", s3)
+	}
+	if sv.BusyTotal() != 14 {
+		t.Errorf("BusyTotal = %v, want 14", sv.BusyTotal())
+	}
+}
+
+func TestRunSerialBalanced(t *testing.T) {
+	// 100 ops at rate 100/s = 1s compute; 10 words at 10/s = 1s I/O.
+	rates := Rates{ComputeOps: 100, IOWords: 10}
+	steps := []Step{{InWords: 5, Ops: 100, OutWords: 5}}
+	m, err := RunSerial(rates, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Makespan != 2 || m.ComputeBusy != 1 || m.IOBusy != 1 {
+		t.Errorf("metrics = %+v", m)
+	}
+	if u := m.ComputeUtilization(); u != 0.5 {
+		t.Errorf("serial balanced utilization = %v, want 0.5", u)
+	}
+}
+
+func TestRunPipelineOverlapsIO(t *testing.T) {
+	// Compute-heavy steps: pipeline should hide nearly all I/O.
+	rates := Rates{ComputeOps: 1000, IOWords: 1000}
+	steps := make([]Step, 50)
+	for i := range steps {
+		steps[i] = Step{InWords: 10, Ops: 1000, OutWords: 10} // 1s compute, 0.02s I/O
+	}
+	m, err := RunPipeline(rates, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u := m.ComputeUtilization(); u < 0.97 {
+		t.Errorf("compute-heavy pipeline utilization = %v, want ≈ 1", u)
+	}
+	if m.IOBound(0.05) {
+		t.Error("compute-heavy pipeline classified as I/O bound")
+	}
+}
+
+func TestRunPipelineIOStarved(t *testing.T) {
+	// I/O-heavy steps: the compute unit must starve.
+	rates := Rates{ComputeOps: 1e6, IOWords: 10}
+	steps := make([]Step, 20)
+	for i := range steps {
+		steps[i] = Step{InWords: 100, Ops: 100, OutWords: 100}
+	}
+	m, err := RunPipeline(rates, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.IOBound(0.05) {
+		t.Errorf("I/O-heavy pipeline not classified as I/O bound: util=%v", m.ComputeUtilization())
+	}
+	// Makespan is dominated by the channel: ≈ total words / rate.
+	wantIO := float64(20*200) / 10
+	if m.Makespan < wantIO || m.Makespan > wantIO*1.05 {
+		t.Errorf("makespan = %v, want ≈ %v", m.Makespan, wantIO)
+	}
+}
+
+func TestRunPipelineBalancedPoint(t *testing.T) {
+	// Steps whose compute time equals I/O time: utilization ≈ 1 under
+	// overlap (the design point of the paper's balance condition).
+	rates := Rates{ComputeOps: 100, IOWords: 100}
+	steps := make([]Step, 40)
+	for i := range steps {
+		steps[i] = Step{InWords: 50, Ops: 100, OutWords: 50}
+	}
+	m, err := RunPipeline(rates, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u := m.ComputeUtilization(); u < 0.9 {
+		t.Errorf("balanced pipeline utilization = %v, want ≳ 0.95", u)
+	}
+}
+
+func TestRatesValidation(t *testing.T) {
+	bad := []Rates{
+		{ComputeOps: 0, IOWords: 1},
+		{ComputeOps: 1, IOWords: 0},
+		{ComputeOps: math.Inf(1), IOWords: 1},
+		{ComputeOps: -1, IOWords: 1},
+	}
+	for _, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("rates %+v accepted", r)
+		}
+		if _, err := RunPipeline(r, nil); err == nil {
+			t.Errorf("RunPipeline with %+v accepted", r)
+		}
+		if _, err := RunSerial(r, nil); err == nil {
+			t.Errorf("RunSerial with %+v accepted", r)
+		}
+	}
+}
+
+func TestTotalWork(t *testing.T) {
+	in, ops, out := TotalWork([]Step{{1, 2, 3}, {10, 20, 30}})
+	if in != 11 || ops != 22 || out != 33 {
+		t.Errorf("TotalWork = %d %d %d", in, ops, out)
+	}
+}
+
+func TestEmptySteps(t *testing.T) {
+	rates := Rates{ComputeOps: 1, IOWords: 1}
+	m, err := RunPipeline(rates, nil)
+	if err != nil || m.Makespan != 0 || m.ComputeUtilization() != 0 {
+		t.Errorf("empty pipeline: %+v, %v", m, err)
+	}
+}
+
+// Property: the pipeline makespan is never shorter than either resource's
+// total demand and never longer than the serial schedule.
+func TestPipelineBoundsProperty(t *testing.T) {
+	f := func(seed int64, n8 uint8) bool {
+		n := 1 + int(n8%30)
+		rng := newRand(seed)
+		steps := make([]Step, n)
+		for i := range steps {
+			steps[i] = Step{
+				InWords:  uint64(rng()%100 + 1),
+				Ops:      uint64(rng()%1000 + 1),
+				OutWords: uint64(rng() % 100),
+			}
+		}
+		rates := Rates{ComputeOps: 500, IOWords: 50}
+		pipe, err1 := RunPipeline(rates, steps)
+		serial, err2 := RunSerial(rates, steps)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		lower := math.Max(pipe.ComputeBusy, pipe.IOBusy)
+		const eps = 1e-9
+		return pipe.Makespan >= lower-eps && pipe.Makespan <= serial.Makespan+eps &&
+			math.Abs(pipe.ComputeBusy-serial.ComputeBusy) < eps &&
+			math.Abs(pipe.IOBusy-serial.IOBusy) < eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// newRand is a tiny deterministic generator to avoid importing math/rand in
+// multiple property tests.
+func newRand(seed int64) func() uint64 {
+	x := uint64(seed)*2654435761 + 1
+	return func() uint64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return x
+	}
+}
+
+func TestBufferedPipelineValidation(t *testing.T) {
+	rates := Rates{ComputeOps: 1, IOWords: 1}
+	if _, err := RunPipelineBuffered(rates, nil, 0); err == nil {
+		t.Error("zero buffers accepted")
+	}
+	if _, err := RunPipelineBuffered(rates, nil, -1); err == nil {
+		t.Error("negative buffers accepted")
+	}
+}
+
+// TestBufferSweepSaturatesAtTwo: for uniform balanced steps, one buffer
+// serializes (utilization ≈ 0.5), two buffers reach ≈ 1, and more buffers
+// add nothing.
+func TestBufferSweepSaturatesAtTwo(t *testing.T) {
+	rates := Rates{ComputeOps: 100, IOWords: 100}
+	steps := make([]Step, 60)
+	for i := range steps {
+		steps[i] = Step{InWords: 50, Ops: 100, OutWords: 50}
+	}
+	util := map[int]float64{}
+	for _, b := range []int{1, 2, 4, 8} {
+		m, err := RunPipelineBuffered(rates, steps, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		util[b] = m.ComputeUtilization()
+	}
+	if util[1] > 0.6 {
+		t.Errorf("single buffer utilization = %v, want ≈ 0.5", util[1])
+	}
+	if util[2] < 0.9 {
+		t.Errorf("double buffer utilization = %v, want ≈ 1", util[2])
+	}
+	if util[4] < util[2]-0.02 || util[8] < util[2]-0.02 {
+		t.Errorf("extra buffers hurt: %v", util)
+	}
+}
+
+// Property: more buffers never lengthen the makespan.
+func TestBuffersMonotoneProperty(t *testing.T) {
+	f := func(seed int64, n8 uint8) bool {
+		n := 2 + int(n8%20)
+		rng := newRand(seed)
+		steps := make([]Step, n)
+		for i := range steps {
+			steps[i] = Step{
+				InWords:  uint64(rng()%80 + 1),
+				Ops:      uint64(rng()%500 + 1),
+				OutWords: uint64(rng() % 80),
+			}
+		}
+		rates := Rates{ComputeOps: 300, IOWords: 60}
+		prev := math.Inf(1)
+		for _, b := range []int{1, 2, 3, 6} {
+			m, err := RunPipelineBuffered(rates, steps, b)
+			if err != nil {
+				return false
+			}
+			if m.Makespan > prev+1e-9 {
+				return false
+			}
+			prev = m.Makespan
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,173 @@
+package machine
+
+import (
+	"fmt"
+	"math"
+)
+
+// Step is one macro-step of a decomposed computation: read InWords into
+// local memory, perform Ops operations on them, write OutWords back. The
+// kernels' Count functions produce exactly these triples per block.
+type Step struct {
+	InWords  uint64
+	Ops      uint64
+	OutWords uint64
+}
+
+// Rates binds the paper's two bandwidths: ComputeOps per second for the
+// compute unit and IOWords per second for the I/O channel. For a processor
+// array viewed as one "new processing element" (paper §4), ComputeOps is the
+// aggregate p·C and IOWords the boundary bandwidth.
+type Rates struct {
+	ComputeOps float64
+	IOWords    float64
+}
+
+// Validate checks the rates are physical.
+func (r Rates) Validate() error {
+	if !(r.ComputeOps > 0) || math.IsInf(r.ComputeOps, 0) {
+		return fmt.Errorf("machine: compute rate %v must be positive and finite", r.ComputeOps)
+	}
+	if !(r.IOWords > 0) || math.IsInf(r.IOWords, 0) {
+		return fmt.Errorf("machine: I/O rate %v must be positive and finite", r.IOWords)
+	}
+	return nil
+}
+
+// Metrics reports where a simulated run's time went.
+type Metrics struct {
+	// Makespan is the total virtual time of the run in seconds.
+	Makespan float64
+	// ComputeBusy is the time the compute unit spent computing.
+	ComputeBusy float64
+	// IOBusy is the time the I/O channel spent transferring.
+	IOBusy float64
+	// Steps is the number of macro-steps executed.
+	Steps int
+}
+
+// ComputeUtilization is ComputeBusy/Makespan: 1.0 means the compute unit
+// never waited — the PE is compute bound or perfectly balanced.
+func (m Metrics) ComputeUtilization() float64 {
+	if m.Makespan == 0 {
+		return 0
+	}
+	return m.ComputeBusy / m.Makespan
+}
+
+// IOUtilization is IOBusy/Makespan.
+func (m Metrics) IOUtilization() float64 {
+	if m.Makespan == 0 {
+		return 0
+	}
+	return m.IOBusy / m.Makespan
+}
+
+// IOBound reports whether the compute unit spent more than tol of the run
+// waiting: the signature of an imbalanced PE (paper §1: "it will have to
+// wait for I/O").
+func (m Metrics) IOBound(tol float64) bool {
+	return m.ComputeUtilization() < 1-tol
+}
+
+// RunPipeline executes the macro-steps on a PE with the given rates under
+// double buffering: step k's input transfer may overlap step k-1's compute,
+// and output transfers share the I/O channel with input transfers (one
+// channel; transfers are served FIFO by arrival time). Dependencies per
+// step k:
+//
+//	input(k)   becomes eligible when buffer k-2 retires (two buffers)
+//	compute(k) starts after input(k) completes and compute(k-1) finishes
+//	output(k)  becomes eligible when compute(k) finishes
+//
+// The run is executed as a discrete-event simulation so channel arbitration
+// happens in arrival order, letting input(k+1) slip in front of output(k)
+// when it became eligible earlier — exactly how a double-buffered DMA engine
+// behaves.
+func RunPipeline(rates Rates, steps []Step) (Metrics, error) {
+	return RunPipelineBuffered(rates, steps, 2)
+}
+
+// RunPipelineBuffered generalizes RunPipeline to any buffer count ≥ 1: step
+// k's input becomes eligible when step k-buffers has finished computing.
+// One buffer serializes input against the previous compute (≈ the serial
+// model); two buffers give classic double buffering; more buffers only help
+// when transfer-time variance would otherwise stall the channel, so for the
+// uniform macro-steps of the paper's decompositions the curve saturates at
+// two — the X2 ablation measures exactly that.
+func RunPipelineBuffered(rates Rates, steps []Step, buffers int) (Metrics, error) {
+	if err := rates.Validate(); err != nil {
+		return Metrics{}, err
+	}
+	if buffers < 1 {
+		return Metrics{}, fmt.Errorf("machine: buffer count %d must be ≥ 1", buffers)
+	}
+	metrics := Metrics{Steps: len(steps)}
+	if len(steps) == 0 {
+		return metrics, nil
+	}
+	sim := NewSimulator()
+	compute := NewServer("compute")
+	computeFree := 0.0 // end of the latest compute, k strictly increasing
+	channel := NewServer("io")
+
+	var inputEligible func(k int)
+	inputEligible = func(k int) {
+		st := steps[k]
+		_, inEnd := channel.Reserve(sim.Now(), float64(st.InWords)/rates.IOWords)
+		sim.At(inEnd, func() {
+			// Compute after our input (now) and the previous compute.
+			start := math.Max(sim.Now(), computeFree)
+			_, cEnd := compute.Reserve(start, float64(st.Ops)/rates.ComputeOps)
+			computeFree = cEnd
+			sim.At(cEnd, func() {
+				// Output on the shared channel; our buffer
+				// frees for step k+buffers.
+				channel.Reserve(sim.Now(), float64(st.OutWords)/rates.IOWords)
+				if k+buffers < len(steps) {
+					inputEligible(k + buffers)
+				}
+			})
+		})
+	}
+	for k := 0; k < buffers && k < len(steps); k++ {
+		inputEligible(k)
+	}
+	sim.Run()
+
+	// The run ends when both servers drain.
+	metrics.Makespan = math.Max(compute.busyUntil, channel.busyUntil)
+	metrics.ComputeBusy = compute.BusyTotal()
+	metrics.IOBusy = channel.BusyTotal()
+	return metrics, nil
+}
+
+// RunSerial executes the steps with no overlap: each step reads, computes,
+// and writes before the next begins — the execution model of the paper's
+// balance definition, where a balanced PE splits its time equally.
+func RunSerial(rates Rates, steps []Step) (Metrics, error) {
+	if err := rates.Validate(); err != nil {
+		return Metrics{}, err
+	}
+	var m Metrics
+	m.Steps = len(steps)
+	for _, st := range steps {
+		tIn := float64(st.InWords) / rates.IOWords
+		tC := float64(st.Ops) / rates.ComputeOps
+		tOut := float64(st.OutWords) / rates.IOWords
+		m.IOBusy += tIn + tOut
+		m.ComputeBusy += tC
+		m.Makespan += tIn + tC + tOut
+	}
+	return m, nil
+}
+
+// TotalWork sums the step triples, for cross-checking against counters.
+func TotalWork(steps []Step) (inWords, ops, outWords uint64) {
+	for _, st := range steps {
+		inWords += st.InWords
+		ops += st.Ops
+		outWords += st.OutWords
+	}
+	return inWords, ops, outWords
+}

@@ -1,0 +1,114 @@
+// Package machine provides a small discrete-event simulator of the paper's
+// processing element (Fig. 1): a compute unit with bandwidth C operations
+// per second, an I/O channel with bandwidth IO words per second, and a local
+// memory that holds the working set between transfers. Computations are
+// presented as streams of macro-steps (read a block, compute on it, write a
+// block); the simulator executes them with double buffering — I/O of step
+// k+1 overlaps the computation of step k — and reports where the time went,
+// so balance is an observed property of a run rather than a formula.
+package machine
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled callback in virtual time.
+type event struct {
+	at  float64
+	seq int64 // tie-break for deterministic ordering
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// Simulator is a minimal discrete-event engine: schedule callbacks at future
+// virtual times and run until the queue drains.
+type Simulator struct {
+	now   float64
+	seq   int64
+	queue eventQueue
+}
+
+// NewSimulator returns an empty simulator at time zero.
+func NewSimulator() *Simulator { return &Simulator{} }
+
+// Now returns the current virtual time in seconds.
+func (s *Simulator) Now() float64 { return s.now }
+
+// At schedules fn to run at absolute virtual time t ≥ Now.
+func (s *Simulator) At(t float64, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("machine: scheduling into the past (%v < %v)", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run delay seconds from now.
+func (s *Simulator) After(delay float64, fn func()) {
+	if delay < 0 || math.IsNaN(delay) {
+		panic(fmt.Sprintf("machine: invalid delay %v", delay))
+	}
+	s.At(s.now+delay, fn)
+}
+
+// Run processes events in time order until none remain, returning the final
+// virtual time.
+func (s *Simulator) Run() float64 {
+	for s.queue.Len() > 0 {
+		e := heap.Pop(&s.queue).(*event)
+		s.now = e.at
+		e.fn()
+	}
+	return s.now
+}
+
+// Server models a serially reusable unit (a compute pipeline, a DMA channel,
+// a host link): requests queue FIFO and are served back to back. Busy time
+// is accumulated for utilization accounting.
+type Server struct {
+	name      string
+	busyUntil float64
+	busyTotal float64
+}
+
+// NewServer names a serially reusable unit.
+func NewServer(name string) *Server { return &Server{name: name} }
+
+// Reserve books the server for duration starting no earlier than earliest,
+// returning the (start, end) of the booked interval.
+func (sv *Server) Reserve(earliest, duration float64) (start, end float64) {
+	if duration < 0 || math.IsNaN(duration) || math.IsInf(duration, 0) {
+		panic(fmt.Sprintf("machine: %s: invalid service duration %v", sv.name, duration))
+	}
+	start = math.Max(earliest, sv.busyUntil)
+	end = start + duration
+	sv.busyUntil = end
+	sv.busyTotal += duration
+	return start, end
+}
+
+// BusyTotal returns the cumulative booked time.
+func (sv *Server) BusyTotal() float64 { return sv.busyTotal }
+
+// Name returns the server's name.
+func (sv *Server) Name() string { return sv.name }

@@ -1,0 +1,263 @@
+package memsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func refs(addrs ...uint64) []Ref {
+	out := make([]Ref, len(addrs))
+	for i, a := range addrs {
+		out[i] = Ref{Addr: a}
+	}
+	return out
+}
+
+func TestLRUBasic(t *testing.T) {
+	// Capacity 2; classic LRU behavior.
+	trace := refs(1, 2, 1, 3, 2) // 1m 2m 1h 3m(evict 2) 2m(evict 1)
+	res, err := SimulateLRU(trace, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses != 4 {
+		t.Errorf("misses = %d, want 4", res.Misses)
+	}
+	if res.Accesses != 5 {
+		t.Errorf("accesses = %d, want 5", res.Accesses)
+	}
+	if res.Evictions != 2 {
+		t.Errorf("evictions = %d, want 2", res.Evictions)
+	}
+}
+
+func TestLRUAllHitsWhenFits(t *testing.T) {
+	trace := refs(1, 2, 3, 1, 2, 3, 1, 2, 3)
+	res, err := SimulateLRU(trace, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses != 3 {
+		t.Errorf("misses = %d, want 3 (compulsory only)", res.Misses)
+	}
+}
+
+func TestLRUThrashesOnCyclicScan(t *testing.T) {
+	// Cyclic scan of k+1 addresses through a k-word LRU misses every time.
+	var trace []Ref
+	for rep := 0; rep < 5; rep++ {
+		for a := uint64(0); a < 4; a++ {
+			trace = append(trace, Ref{Addr: a})
+		}
+	}
+	res, err := SimulateLRU(trace, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses != res.Accesses {
+		t.Errorf("misses = %d of %d, want all misses", res.Misses, res.Accesses)
+	}
+}
+
+func TestOPTBeatsLRUOnCyclicScan(t *testing.T) {
+	var trace []Ref
+	for rep := 0; rep < 5; rep++ {
+		for a := uint64(0); a < 4; a++ {
+			trace = append(trace, Ref{Addr: a})
+		}
+	}
+	lru, err := SimulateLRU(trace, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := SimulateOPT(trace, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Misses >= lru.Misses {
+		t.Errorf("OPT misses %d not better than LRU %d on cyclic scan", opt.Misses, lru.Misses)
+	}
+	// OPT on cyclic scan keeps 2 of 4 and re-fetches at most 2 per lap.
+	if opt.Misses > 4+2*4 {
+		t.Errorf("OPT misses = %d, unexpectedly high", opt.Misses)
+	}
+}
+
+func TestOPTExactOnTextbookExample(t *testing.T) {
+	// Trace 0 1 2 0 1 3 0 1 2 3 at capacity 3: OPT evicts 2 for 3 (2 is
+	// the furthest next use), then re-fetches 2 once — 4 compulsory
+	// misses + 1 = 5 total.
+	trace := refs(0, 1, 2, 0, 1, 3, 0, 1, 2, 3)
+	res, err := SimulateOPT(trace, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses != 5 {
+		t.Errorf("OPT misses = %d, want 5", res.Misses)
+	}
+}
+
+func TestDirectMappedConflicts(t *testing.T) {
+	// Addresses 0 and 8 collide in an 8-slot direct-mapped cache.
+	trace := refs(0, 8, 0, 8, 0, 8)
+	res, err := SimulateDirectMapped(trace, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses != 6 {
+		t.Errorf("misses = %d, want 6 (all conflict)", res.Misses)
+	}
+	// A fully associative LRU of the same size has only compulsory misses.
+	lru, err := SimulateLRU(trace, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lru.Misses != 2 {
+		t.Errorf("LRU misses = %d, want 2", lru.Misses)
+	}
+}
+
+func TestCapacityValidation(t *testing.T) {
+	for _, sim := range []func([]Ref, int) (Result, error){SimulateLRU, SimulateDirectMapped, SimulateOPT} {
+		if _, err := sim(refs(1), 0); err == nil {
+			t.Error("capacity 0 accepted")
+		}
+		if _, err := sim(refs(1), -3); err == nil {
+			t.Error("negative capacity accepted")
+		}
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	res, err := SimulateLRU(nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accesses != 0 || res.Misses != 0 || res.MissRate() != 0 {
+		t.Errorf("empty trace result = %+v", res)
+	}
+}
+
+func TestDistinctWords(t *testing.T) {
+	if got := DistinctWords(refs(1, 2, 1, 3, 3, 3)); got != 3 {
+		t.Errorf("DistinctWords = %d, want 3", got)
+	}
+	if got := DistinctWords(nil); got != 0 {
+		t.Errorf("DistinctWords(nil) = %d, want 0", got)
+	}
+}
+
+func TestNaiveTraceShape(t *testing.T) {
+	n := 4
+	trace, err := NaiveMatMulTrace(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2n³ reads + n² writes.
+	want := 2*n*n*n + n*n
+	if len(trace) != want {
+		t.Errorf("trace length = %d, want %d", len(trace), want)
+	}
+	if got := DistinctWords(trace); got != uint64(3*n*n) {
+		t.Errorf("distinct words = %d, want %d", got, 3*n*n)
+	}
+}
+
+func TestBlockedTraceDistinctWords(t *testing.T) {
+	n, b := 8, 4
+	trace, err := BlockedMatMulTrace(n, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := DistinctWords(trace); got != uint64(3*n*n) {
+		t.Errorf("distinct words = %d, want %d", got, 3*n*n)
+	}
+}
+
+func TestTraceValidation(t *testing.T) {
+	if _, err := NaiveMatMulTrace(0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := BlockedMatMulTrace(4, 8); err == nil {
+		t.Error("b>n accepted")
+	}
+	if _, err := BlockedMatMulTrace(4, 0); err == nil {
+		t.Error("b=0 accepted")
+	}
+}
+
+// TestBlockedBeatsNaiveUnderLRU is the E12 core claim: with a cache of ≈ b²
+// words, the blocked schedule's LRU traffic is far below the naive
+// schedule's, approaching the counter model's 2N³/b + N² while naive stays
+// near 2N³.
+func TestBlockedBeatsNaiveUnderLRU(t *testing.T) {
+	n, b := 24, 8
+	cache := b*b + 4*b // block + streaming segments + slack
+	naive, err := NaiveMatMulTrace(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked, err := BlockedMatMulTrace(n, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn, err := SimulateLRU(naive, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := SimulateLRU(blocked, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Misses*2 >= rn.Misses {
+		t.Errorf("blocked misses %d not ≪ naive misses %d at cache %d",
+			rb.Misses, rn.Misses, cache)
+	}
+}
+
+// Property: OPT never misses more than LRU (Belady optimality), and both
+// never miss fewer than the compulsory floor.
+func TestOPTDominatesLRUProperty(t *testing.T) {
+	f := func(seed int64, cap8 uint8) bool {
+		capacity := 2 + int(cap8%16)
+		rng := rand.New(rand.NewSource(seed))
+		trace := make([]Ref, 400)
+		for i := range trace {
+			trace[i] = Ref{Addr: uint64(rng.Intn(48))}
+		}
+		lru, err1 := SimulateLRU(trace, capacity)
+		opt, err2 := SimulateOPT(trace, capacity)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		floor := DistinctWords(trace)
+		return opt.Misses <= lru.Misses && opt.Misses >= floor && lru.Misses >= floor
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: enlarging an LRU cache never increases misses (LRU is a stack
+// algorithm — the inclusion property).
+func TestLRUStackProperty(t *testing.T) {
+	f := func(seed int64, cap8 uint8) bool {
+		c1 := 2 + int(cap8%12)
+		c2 := c1 + 4
+		rng := rand.New(rand.NewSource(seed))
+		trace := make([]Ref, 300)
+		for i := range trace {
+			trace[i] = Ref{Addr: uint64(rng.Intn(40))}
+		}
+		small, err1 := SimulateLRU(trace, c1)
+		big, err2 := SimulateLRU(trace, c2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return big.Misses <= small.Misses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,84 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// GrowthLaw is one row of the paper's §3 summary: how the minimum balanced
+// local memory M_new relates to M_old when C/IO grows by a factor α.
+type GrowthLaw interface {
+	// MNew returns the minimum new memory size for the given α and old
+	// memory size, or ErrNotRebalanceable for I/O-bounded computations.
+	MNew(alpha, mOld float64) (float64, error)
+	// Describe renders the law in the paper's notation.
+	Describe() string
+}
+
+// PolynomialLaw is M_new = α^Degree · M_old. Degree 2 covers matrix
+// multiplication, triangularization and 2-D grids; Degree d covers
+// d-dimensional grid computations (paper §3.1–§3.3).
+type PolynomialLaw struct {
+	Degree float64
+}
+
+// MNew implements GrowthLaw.
+func (l PolynomialLaw) MNew(alpha, mOld float64) (float64, error) {
+	if err := checkRebalanceArgs(alpha, mOld); err != nil {
+		return 0, err
+	}
+	return math.Pow(alpha, l.Degree) * mOld, nil
+}
+
+// Describe implements GrowthLaw.
+func (l PolynomialLaw) Describe() string {
+	if l.Degree == 2 {
+		return "M_new = α²·M_old"
+	}
+	return fmt.Sprintf("M_new = α^%g·M_old", l.Degree)
+}
+
+// ExponentialLaw is M_new = M_old^α, the FFT and sorting law (paper §3.4,
+// §3.5): the memory must grow exponentially in the bandwidth ratio increase.
+type ExponentialLaw struct{}
+
+// MNew implements GrowthLaw.
+func (ExponentialLaw) MNew(alpha, mOld float64) (float64, error) {
+	if err := checkRebalanceArgs(alpha, mOld); err != nil {
+		return 0, err
+	}
+	return math.Pow(mOld, alpha), nil
+}
+
+// Describe implements GrowthLaw.
+func (ExponentialLaw) Describe() string { return "M_new = M_old^α" }
+
+// ImpossibleLaw marks I/O-bounded computations (paper §3.6): rebalancing by
+// memory enlargement alone is impossible.
+type ImpossibleLaw struct{}
+
+// MNew implements GrowthLaw.
+func (ImpossibleLaw) MNew(alpha, mOld float64) (float64, error) {
+	if err := checkRebalanceArgs(alpha, mOld); err != nil {
+		return 0, err
+	}
+	if alpha == 1 {
+		return mOld, nil // nothing changed; the PE is still balanced
+	}
+	return 0, ErrNotRebalanceable
+}
+
+// Describe implements GrowthLaw.
+func (ImpossibleLaw) Describe() string {
+	return "impossible: rebalancing requires more I/O bandwidth"
+}
+
+func checkRebalanceArgs(alpha, mOld float64) error {
+	if !(alpha >= 1) || math.IsInf(alpha, 0) {
+		return fmt.Errorf("model: bandwidth ratio increase α=%v must be ≥ 1 and finite", alpha)
+	}
+	if !(mOld > 0) || math.IsInf(mOld, 0) {
+		return fmt.Errorf("model: old memory size M_old=%v must be positive and finite", mOld)
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package model
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPolynomialLaw(t *testing.T) {
+	sq := PolynomialLaw{Degree: 2}
+	m, err := sq.MNew(4, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 16000 {
+		t.Errorf("α=4: M_new = %v, want 16000", m)
+	}
+	cube := PolynomialLaw{Degree: 3}
+	m, err = cube.MNew(2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 800 {
+		t.Errorf("d=3, α=2: M_new = %v, want 800", m)
+	}
+}
+
+func TestExponentialLaw(t *testing.T) {
+	m, err := ExponentialLaw{}.MNew(2, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 1024*1024 {
+		t.Errorf("α=2: M_new = %v, want 2^20", m)
+	}
+	m, err = ExponentialLaw{}.MNew(1, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 512 {
+		t.Errorf("α=1: M_new = %v, want 512 (unchanged)", m)
+	}
+}
+
+func TestImpossibleLaw(t *testing.T) {
+	if _, err := (ImpossibleLaw{}).MNew(2, 100); !errors.Is(err, ErrNotRebalanceable) {
+		t.Errorf("α=2: err = %v, want ErrNotRebalanceable", err)
+	}
+	m, err := ImpossibleLaw{}.MNew(1, 100)
+	if err != nil || m != 100 {
+		t.Errorf("α=1: (%v, %v), want (100, nil)", m, err)
+	}
+}
+
+func TestLawArgumentValidation(t *testing.T) {
+	laws := []GrowthLaw{PolynomialLaw{Degree: 2}, ExponentialLaw{}, ImpossibleLaw{}}
+	for _, l := range laws {
+		if _, err := l.MNew(0.5, 100); err == nil {
+			t.Errorf("%s: α<1 accepted", l.Describe())
+		}
+		if _, err := l.MNew(2, -1); err == nil {
+			t.Errorf("%s: negative M accepted", l.Describe())
+		}
+		if _, err := l.MNew(math.Inf(1), 100); err == nil {
+			t.Errorf("%s: infinite α accepted", l.Describe())
+		}
+	}
+}
+
+func TestLawDescriptions(t *testing.T) {
+	if got := (PolynomialLaw{Degree: 2}).Describe(); got != "M_new = α²·M_old" {
+		t.Errorf("square law description = %q", got)
+	}
+	if got := (PolynomialLaw{Degree: 3}).Describe(); got != "M_new = α^3·M_old" {
+		t.Errorf("cube law description = %q", got)
+	}
+	if got := (ExponentialLaw{}).Describe(); got != "M_new = M_old^α" {
+		t.Errorf("exponential law description = %q", got)
+	}
+}
+
+// Property: growth laws are monotone in α — more intensity never needs less
+// memory.
+func TestLawsMonotoneProperty(t *testing.T) {
+	laws := []GrowthLaw{PolynomialLaw{Degree: 2}, PolynomialLaw{Degree: 4}, ExponentialLaw{}}
+	f := func(a16 uint16, m16 uint16) bool {
+		alpha := 1 + float64(a16%1000)/100 // [1, 11)
+		mOld := 2 + float64(m16%10000)     // [2, 10002)
+		for _, l := range laws {
+			m1, err1 := l.MNew(alpha, mOld)
+			m2, err2 := l.MNew(alpha+0.5, mOld)
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			if m2 < m1 {
+				return false
+			}
+			if m1 < mOld { // rebalancing never shrinks memory
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

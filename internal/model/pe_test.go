@@ -1,0 +1,98 @@
+package model
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPEValidate(t *testing.T) {
+	good := PE{C: 1e6, IO: 1e5, M: 1024}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid PE rejected: %v", err)
+	}
+	bad := []PE{
+		{C: 0, IO: 1, M: 1},
+		{C: 1, IO: 0, M: 1},
+		{C: 1, IO: 1, M: 0},
+		{C: -5, IO: 1, M: 1},
+		{C: math.Inf(1), IO: 1, M: 1},
+		{C: 1, IO: math.NaN(), M: 1},
+	}
+	for i, pe := range bad {
+		if err := pe.Validate(); err == nil {
+			t.Errorf("case %d: invalid PE %+v accepted", i, pe)
+		}
+	}
+}
+
+func TestIntensityAndTimes(t *testing.T) {
+	pe := PE{C: 100, IO: 25, M: 64}
+	if got := pe.Intensity(); got != 4 {
+		t.Errorf("Intensity = %v, want 4", got)
+	}
+	if got := pe.ComputeTime(500); got != 5 {
+		t.Errorf("ComputeTime = %v, want 5", got)
+	}
+	if got := pe.IOTime(50); got != 2 {
+		t.Errorf("IOTime = %v, want 2", got)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	pe := PE{C: 100, IO: 10, M: 64}
+	// Balanced: 1000 ops in 10s vs 100 words in 10s.
+	if got := pe.Classify(1000, 100, BalanceTolerance); got != Balanced {
+		t.Errorf("balanced case = %v", got)
+	}
+	// I/O bound: I/O takes longer.
+	if got := pe.Classify(1000, 500, BalanceTolerance); got != IOBound {
+		t.Errorf("io-bound case = %v", got)
+	}
+	// Compute bound.
+	if got := pe.Classify(5000, 100, BalanceTolerance); got != ComputeBound {
+		t.Errorf("compute-bound case = %v", got)
+	}
+	// Zero work counts as balanced.
+	if got := pe.Classify(0, 0, BalanceTolerance); got != Balanced {
+		t.Errorf("zero-work case = %v", got)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	pe := PE{C: 100, IO: 10, M: 64}
+	// Balanced workload: serial utilization 0.5, overlapped 1.0.
+	if got := pe.Utilization(1000, 100); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("serial utilization = %v, want 0.5", got)
+	}
+	if got := pe.OverlappedUtilization(1000, 100); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("overlapped utilization = %v, want 1", got)
+	}
+	// I/O bound at 2:1: overlapped utilization 0.5.
+	if got := pe.OverlappedUtilization(1000, 200); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("overlapped utilization = %v, want 0.5", got)
+	}
+	if got := pe.Utilization(0, 0); got != 0 {
+		t.Errorf("zero-work utilization = %v, want 0", got)
+	}
+	if got := pe.OverlappedUtilization(0, 0); got != 0 {
+		t.Errorf("zero-work overlapped utilization = %v, want 0", got)
+	}
+}
+
+func TestBalanceStateString(t *testing.T) {
+	for _, s := range []BalanceState{Balanced, IOBound, ComputeBound, BalanceState(99)} {
+		if s.String() == "" {
+			t.Errorf("empty string for state %d", int(s))
+		}
+	}
+}
+
+func TestPEString(t *testing.T) {
+	s := Warp().String()
+	for _, want := range []string{"10M", "20M", "65.5K"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Warp().String() = %q, missing %q", s, want)
+		}
+	}
+}

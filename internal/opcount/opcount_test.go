@@ -1,0 +1,189 @@
+package opcount
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueReady(t *testing.T) {
+	var c Counter
+	if c.Ccomp() != 0 || c.Cio() != 0 {
+		t.Fatalf("zero counter not empty: %s", c.String())
+	}
+}
+
+func TestBasicAccumulation(t *testing.T) {
+	var c Counter
+	c.Ops(10)
+	c.Read(3)
+	c.Write(4)
+	c.Ops(5)
+	if got := c.Ccomp(); got != 15 {
+		t.Errorf("Ccomp = %d, want 15", got)
+	}
+	if got := c.Cio(); got != 7 {
+		t.Errorf("Cio = %d, want 7", got)
+	}
+	if got := c.Reads(); got != 3 {
+		t.Errorf("Reads = %d, want 3", got)
+	}
+	if got := c.Writes(); got != 4 {
+		t.Errorf("Writes = %d, want 4", got)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	var c Counter
+	c.Ops(100)
+	c.Read(10)
+	c.Write(10)
+	if got := c.Ratio(); got != 5 {
+		t.Errorf("Ratio = %v, want 5", got)
+	}
+}
+
+func TestRatioPanicsOnZeroIO(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Ratio with zero I/O did not panic")
+		}
+	}()
+	var c Counter
+	c.Ops(1)
+	c.Ratio()
+}
+
+func TestNegativePanics(t *testing.T) {
+	cases := []func(*Counter){
+		func(c *Counter) { c.Ops(-1) },
+		func(c *Counter) { c.Read(-1) },
+		func(c *Counter) { c.Write(-1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: negative count did not panic", i)
+				}
+			}()
+			var c Counter
+			fn(&c)
+		}()
+	}
+}
+
+func TestUint64Variants(t *testing.T) {
+	var c Counter
+	big := uint64(1) << 40
+	c.Ops64(big)
+	c.Read64(big)
+	c.Write64(big)
+	if c.Ccomp() != big || c.Reads() != big || c.Writes() != big {
+		t.Fatalf("uint64 variants lost precision: %s", c.String())
+	}
+}
+
+func TestAddMerges(t *testing.T) {
+	var a, b Counter
+	a.Ops(1)
+	a.Read(2)
+	b.Ops(10)
+	b.Write(20)
+	a.Add(&b)
+	if a.Ccomp() != 11 || a.Reads() != 2 || a.Writes() != 20 {
+		t.Fatalf("Add result wrong: %s", a.String())
+	}
+	// b must be unchanged.
+	if b.Ccomp() != 10 || b.Writes() != 20 {
+		t.Fatalf("Add mutated argument: %s", b.String())
+	}
+}
+
+func TestReset(t *testing.T) {
+	var c Counter
+	c.Ops(1)
+	c.Read(1)
+	c.Write(1)
+	c.Reset()
+	if c.Ccomp() != 0 || c.Cio() != 0 {
+		t.Fatalf("Reset left residue: %s", c.String())
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	var c Counter
+	c.Ops(5)
+	c.Read(2)
+	before := c.Snapshot()
+	c.Ops(7)
+	c.Write(3)
+	delta := c.Snapshot().Sub(before)
+	if delta.Ops != 7 || delta.Reads != 0 || delta.Writes != 3 {
+		t.Fatalf("delta = %+v, want ops=7 writes=3", delta)
+	}
+}
+
+func TestSubPanicsOnNonPrefix(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sub with non-prefix snapshot did not panic")
+		}
+	}()
+	Totals{Ops: 1}.Sub(Totals{Ops: 2})
+}
+
+func TestTotalsRatioZeroIO(t *testing.T) {
+	tot := Totals{Ops: 10}
+	if got := tot.Ratio(); got != 0 {
+		t.Errorf("Totals.Ratio with zero IO = %v, want 0", got)
+	}
+	if math.IsInf(tot.Ratio(), 1) {
+		t.Error("Totals.Ratio must not return +Inf")
+	}
+}
+
+// Property: Add is commutative and associative on the observable totals.
+func TestAddCommutativeProperty(t *testing.T) {
+	f := func(aOps, aR, aW, bOps, bR, bW uint16) bool {
+		var a1, b1, a2, b2 Counter
+		for _, p := range []struct {
+			c          *Counter
+			ops, r, wr uint16
+		}{{&a1, aOps, aR, aW}, {&a2, aOps, aR, aW}, {&b1, bOps, bR, bW}, {&b2, bOps, bR, bW}} {
+			p.c.Ops(int(p.ops))
+			p.c.Read(int(p.r))
+			p.c.Write(int(p.wr))
+		}
+		a1.Add(&b1) // a + b
+		b2.Add(&a2) // b + a
+		return a1.Snapshot() == b2.Snapshot()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a snapshot taken later is always component-wise >= an earlier one
+// and Sub recovers the intervening activity exactly.
+func TestSnapshotMonotoneProperty(t *testing.T) {
+	f := func(steps []uint8) bool {
+		var c Counter
+		prev := c.Snapshot()
+		for _, s := range steps {
+			c.Ops(int(s % 7))
+			c.Read(int(s % 5))
+			c.Write(int(s % 3))
+			cur := c.Snapshot()
+			d := cur.Sub(prev)
+			if d.Ops != uint64(s%7) || d.Reads != uint64(s%5) || d.Writes != uint64(s%3) {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

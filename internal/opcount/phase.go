@@ -1,0 +1,75 @@
+package opcount
+
+import "fmt"
+
+// Phase labels one stage of a decomposed computation, e.g. one pass of the
+// blocked FFT or one panel step of blocked Gaussian elimination. Recording
+// per-phase totals lets experiments check the paper's per-step claims (e.g.
+// §3.2: "the same ratio is maintained for all the steps") rather than only
+// whole-run aggregates.
+type Phase struct {
+	Name   string
+	Totals Totals
+}
+
+// Ledger is a Counter that additionally records a named snapshot at every
+// phase boundary. The zero value is ready to use.
+type Ledger struct {
+	Counter
+	phases []Phase
+	mark   Totals // totals at the start of the open phase
+	open   string // name of the open phase, "" if none
+}
+
+// Begin opens a named phase. Any previously open phase is closed first.
+func (l *Ledger) Begin(name string) {
+	if l.open != "" {
+		l.End()
+	}
+	l.open = name
+	l.mark = l.Snapshot()
+}
+
+// End closes the open phase, appending its delta to the phase list. End is a
+// no-op when no phase is open.
+func (l *Ledger) End() {
+	if l.open == "" {
+		return
+	}
+	delta := l.Snapshot().Sub(l.mark)
+	l.phases = append(l.phases, Phase{Name: l.open, Totals: delta})
+	l.open = ""
+}
+
+// Phases returns the closed phases in order. The returned slice is owned by
+// the Ledger and must not be modified.
+func (l *Ledger) Phases() []Phase {
+	return l.phases
+}
+
+// PhaseTotals sums the recorded deltas of every closed phase with the given
+// name. It reports ok=false when no phase with that name was recorded.
+func (l *Ledger) PhaseTotals(name string) (sum Totals, ok bool) {
+	for _, p := range l.phases {
+		if p.Name == name {
+			sum.Ops += p.Totals.Ops
+			sum.Reads += p.Totals.Reads
+			sum.Writes += p.Totals.Writes
+			ok = true
+		}
+	}
+	return sum, ok
+}
+
+// Reset clears both the tallies and the phase history.
+func (l *Ledger) Reset() {
+	l.Counter.Reset()
+	l.phases = nil
+	l.mark = Totals{}
+	l.open = ""
+}
+
+// String summarizes the ledger for debugging.
+func (l *Ledger) String() string {
+	return fmt.Sprintf("%s phases=%d", l.Counter.String(), len(l.phases))
+}

@@ -1,0 +1,109 @@
+package opcount
+
+import "testing"
+
+func TestLedgerPhases(t *testing.T) {
+	var l Ledger
+	l.Begin("phase1")
+	l.Ops(10)
+	l.Read(5)
+	l.End()
+	l.Begin("phase2")
+	l.Write(3)
+	l.End()
+
+	ps := l.Phases()
+	if len(ps) != 2 {
+		t.Fatalf("got %d phases, want 2", len(ps))
+	}
+	if ps[0].Name != "phase1" || ps[0].Totals.Ops != 10 || ps[0].Totals.Reads != 5 {
+		t.Errorf("phase1 = %+v", ps[0])
+	}
+	if ps[1].Name != "phase2" || ps[1].Totals.Writes != 3 || ps[1].Totals.Ops != 0 {
+		t.Errorf("phase2 = %+v", ps[1])
+	}
+}
+
+func TestLedgerBeginClosesOpenPhase(t *testing.T) {
+	var l Ledger
+	l.Begin("a")
+	l.Ops(1)
+	l.Begin("b") // implicitly ends "a"
+	l.Ops(2)
+	l.End()
+	ps := l.Phases()
+	if len(ps) != 2 {
+		t.Fatalf("got %d phases, want 2", len(ps))
+	}
+	if ps[0].Name != "a" || ps[0].Totals.Ops != 1 {
+		t.Errorf("phase a = %+v", ps[0])
+	}
+	if ps[1].Name != "b" || ps[1].Totals.Ops != 2 {
+		t.Errorf("phase b = %+v", ps[1])
+	}
+}
+
+func TestLedgerEndWithoutBeginIsNoop(t *testing.T) {
+	var l Ledger
+	l.End()
+	if len(l.Phases()) != 0 {
+		t.Fatal("End without Begin recorded a phase")
+	}
+}
+
+func TestLedgerPhaseTotals(t *testing.T) {
+	var l Ledger
+	for i := 0; i < 3; i++ {
+		l.Begin("step")
+		l.Ops(10)
+		l.Read(1)
+		l.End()
+	}
+	l.Begin("other")
+	l.Ops(99)
+	l.End()
+
+	sum, ok := l.PhaseTotals("step")
+	if !ok {
+		t.Fatal("PhaseTotals(step) reported ok=false")
+	}
+	if sum.Ops != 30 || sum.Reads != 3 {
+		t.Errorf("step totals = %+v, want ops=30 reads=3", sum)
+	}
+	if _, ok := l.PhaseTotals("missing"); ok {
+		t.Error("PhaseTotals(missing) reported ok=true")
+	}
+}
+
+func TestLedgerPhaseSumsMatchCounter(t *testing.T) {
+	var l Ledger
+	l.Begin("a")
+	l.Ops(7)
+	l.Read(2)
+	l.End()
+	l.Begin("b")
+	l.Ops(3)
+	l.Write(4)
+	l.End()
+
+	var sum Totals
+	for _, p := range l.Phases() {
+		sum.Ops += p.Totals.Ops
+		sum.Reads += p.Totals.Reads
+		sum.Writes += p.Totals.Writes
+	}
+	if sum != l.Snapshot() {
+		t.Fatalf("phase sums %+v != counter %+v", sum, l.Snapshot())
+	}
+}
+
+func TestLedgerReset(t *testing.T) {
+	var l Ledger
+	l.Begin("a")
+	l.Ops(1)
+	l.End()
+	l.Reset()
+	if len(l.Phases()) != 0 || l.Ccomp() != 0 {
+		t.Fatal("Reset left residue")
+	}
+}

@@ -1,0 +1,145 @@
+// Package pebble implements the red-blue pebble game of Hong and Kung
+// (1981), the lower-bound machinery behind the paper's "best possible"
+// claims (§3.1, §3.4, §3.5). Red pebbles model words in the PE's local
+// memory (at most S at once); blue pebbles model words in the outside world
+// (unlimited). Moving a value between the two colors is one I/O operation;
+// the minimum number of such moves over all legal pebbling schedules is the
+// computation's intrinsic I/O cost at memory size S.
+//
+// The package provides the computation DAGs the paper discusses (FFT
+// butterfly networks, matrix product graphs, stencils), a schedule executor
+// that validates legality and counts I/O, a Belady-style greedy scheduler, a
+// blocked FFT scheduler mirroring Fig. 2, an exhaustive optimum search for
+// tiny DAGs, and the closed-form lower bounds.
+package pebble
+
+import "fmt"
+
+// DAG is a directed acyclic computation graph. Vertices are numbered 0..n-1
+// and every edge points from an operand to the operation consuming it.
+// Inputs (no predecessors) start the game with blue pebbles.
+type DAG struct {
+	preds   [][]int
+	succs   [][]int
+	outputs []int
+	labels  []string
+}
+
+// NewDAG creates a graph with n isolated vertices.
+func NewDAG(n int) *DAG {
+	if n <= 0 {
+		panic(fmt.Sprintf("pebble: DAG size %d must be positive", n))
+	}
+	return &DAG{
+		preds:  make([][]int, n),
+		succs:  make([][]int, n),
+		labels: make([]string, n),
+	}
+}
+
+// Len returns the number of vertices.
+func (d *DAG) Len() int { return len(d.preds) }
+
+// AddEdge records that vertex to consumes the value of vertex from.
+func (d *DAG) AddEdge(from, to int) {
+	d.check(from)
+	d.check(to)
+	if from == to {
+		panic(fmt.Sprintf("pebble: self edge at %d", from))
+	}
+	d.preds[to] = append(d.preds[to], from)
+	d.succs[from] = append(d.succs[from], to)
+}
+
+// MarkOutput declares v a result that must end the game with a blue pebble.
+func (d *DAG) MarkOutput(v int) {
+	d.check(v)
+	d.outputs = append(d.outputs, v)
+}
+
+// SetLabel attaches a human-readable name to v for diagnostics.
+func (d *DAG) SetLabel(v int, label string) {
+	d.check(v)
+	d.labels[v] = label
+}
+
+// Label returns the vertex name, or its number if unnamed.
+func (d *DAG) Label(v int) string {
+	if d.labels[v] != "" {
+		return d.labels[v]
+	}
+	return fmt.Sprintf("v%d", v)
+}
+
+// Preds returns the operand vertices of v (shared slice; do not modify).
+func (d *DAG) Preds(v int) []int { return d.preds[v] }
+
+// Succs returns the consumers of v (shared slice; do not modify).
+func (d *DAG) Succs(v int) []int { return d.succs[v] }
+
+// Outputs returns the declared result vertices.
+func (d *DAG) Outputs() []int { return d.outputs }
+
+// IsInput reports whether v has no predecessors.
+func (d *DAG) IsInput(v int) bool { return len(d.preds[v]) == 0 }
+
+// Inputs returns all vertices with no predecessors.
+func (d *DAG) Inputs() []int {
+	var ins []int
+	for v := range d.preds {
+		if len(d.preds[v]) == 0 {
+			ins = append(ins, v)
+		}
+	}
+	return ins
+}
+
+// MaxInDegree returns the largest predecessor count, which lower-bounds the
+// red pebbles any schedule needs (S ≥ MaxInDegree + 1).
+func (d *DAG) MaxInDegree() int {
+	worst := 0
+	for _, p := range d.preds {
+		if len(p) > worst {
+			worst = len(p)
+		}
+	}
+	return worst
+}
+
+// TopoOrder returns a topological ordering, or an error if the graph has a
+// cycle.
+func (d *DAG) TopoOrder() ([]int, error) {
+	n := d.Len()
+	indeg := make([]int, n)
+	for v := 0; v < n; v++ {
+		indeg[v] = len(d.preds[v])
+	}
+	queue := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, s := range d.succs[v] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("pebble: graph has a cycle (%d of %d ordered)", len(order), n)
+	}
+	return order, nil
+}
+
+func (d *DAG) check(v int) {
+	if v < 0 || v >= d.Len() {
+		panic(fmt.Sprintf("pebble: vertex %d out of range [0,%d)", v, d.Len()))
+	}
+}

@@ -1,0 +1,139 @@
+// Package report models experiment outcomes: the paper's claim, what was
+// measured, and whether the measurement supports the claim, together with
+// rendered tables and figures and the raw data series for CSV/JSON export.
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Claim is one paper statement checked by an experiment.
+type Claim struct {
+	// Statement is the paper's claim in one line.
+	Statement string `json:"statement"`
+	// Expected is what the paper predicts.
+	Expected string `json:"expected"`
+	// Measured is what this reproduction observed.
+	Measured string `json:"measured"`
+	// Pass records whether the measurement supports the claim.
+	Pass bool `json:"pass"`
+}
+
+// Series is a raw data series for machine-readable export.
+type Series struct {
+	Name    string      `json:"name"`
+	Columns []string    `json:"columns"`
+	Rows    [][]float64 `json:"rows"`
+}
+
+// Result is the complete outcome of one experiment.
+type Result struct {
+	// ID is the experiment identifier from DESIGN.md (e.g. "E2").
+	ID string `json:"id"`
+	// Title describes the experiment.
+	Title string `json:"title"`
+	// PaperLocus cites the section/figure reproduced.
+	PaperLocus string `json:"paper_locus"`
+	// Claims are the checked statements.
+	Claims []Claim `json:"claims"`
+	// Tables are pre-rendered text tables.
+	Tables []string `json:"tables,omitempty"`
+	// Figures are pre-rendered text charts/diagrams.
+	Figures []string `json:"figures,omitempty"`
+	// Series are the raw data for export.
+	Series []Series `json:"series,omitempty"`
+}
+
+// AddClaim appends a checked claim.
+func (r *Result) AddClaim(statement, expected, measured string, pass bool) {
+	r.Claims = append(r.Claims, Claim{
+		Statement: statement, Expected: expected, Measured: measured, Pass: pass,
+	})
+}
+
+// Pass reports whether every claim passed.
+func (r *Result) Pass() bool {
+	for _, c := range r.Claims {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// Render writes the result in the terminal/EXPERIMENTS.md format.
+func (r *Result) Render(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s (%s) ==\n\n", r.ID, r.Title, r.PaperLocus)
+	for _, c := range r.Claims {
+		verdict := "PASS"
+		if !c.Pass {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(&b, "[%s] %s\n      paper: %s\n      measured: %s\n", verdict, c.Statement, c.Expected, c.Measured)
+	}
+	for _, t := range r.Tables {
+		b.WriteString("\n")
+		b.WriteString(t)
+	}
+	for _, f := range r.Figures {
+		b.WriteString("\n")
+		b.WriteString(f)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the result to a string.
+func (r *Result) String() string {
+	var b strings.Builder
+	if err := r.Render(&b); err != nil {
+		return fmt.Sprintf("report: render failed: %v", err)
+	}
+	return b.String()
+}
+
+// JSON marshals the result for machine consumption.
+func (r *Result) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// WriteCSV emits the named series as CSV; it errors if the series does not
+// exist.
+func (r *Result) WriteCSV(w io.Writer, seriesName string) error {
+	for _, s := range r.Series {
+		if s.Name != seriesName {
+			continue
+		}
+		cw := csv.NewWriter(w)
+		if err := cw.Write(s.Columns); err != nil {
+			return err
+		}
+		for _, row := range s.Rows {
+			rec := make([]string, len(row))
+			for i, v := range row {
+				rec[i] = strconv.FormatFloat(v, 'g', -1, 64)
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+		cw.Flush()
+		return cw.Error()
+	}
+	return fmt.Errorf("report: no series named %q", seriesName)
+}
+
+// SeriesNames lists the exportable series.
+func (r *Result) SeriesNames() []string {
+	names := make([]string, len(r.Series))
+	for i, s := range r.Series {
+		names[i] = s.Name
+	}
+	return names
+}

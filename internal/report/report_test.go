@@ -1,0 +1,84 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sample() *Result {
+	r := &Result{ID: "E2", Title: "matmul ratio", PaperLocus: "§3.1"}
+	r.AddClaim("R(M) = Θ(√M)", "exponent 0.5", "exponent 0.499", true)
+	r.AddClaim("M_new = α²M_old", "4×", "4.02×", true)
+	r.Tables = append(r.Tables, "M  ratio\n----\n16 4\n")
+	r.Series = append(r.Series, Series{
+		Name:    "ratio",
+		Columns: []string{"memory", "ratio"},
+		Rows:    [][]float64{{16, 4}, {64, 8}},
+	})
+	return r
+}
+
+func TestResultPass(t *testing.T) {
+	r := sample()
+	if !r.Pass() {
+		t.Error("all-pass result reported failure")
+	}
+	r.AddClaim("x", "y", "z", false)
+	if r.Pass() {
+		t.Error("failed claim not reflected")
+	}
+}
+
+func TestRender(t *testing.T) {
+	out := sample().String()
+	for _, want := range []string{"E2", "§3.1", "[PASS]", "exponent 0.499", "M  ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	r := sample()
+	r.AddClaim("bad", "a", "b", false)
+	if !strings.Contains(r.String(), "[FAIL]") {
+		t.Error("FAIL verdict missing")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	data, err := sample().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != "E2" || len(back.Claims) != 2 || len(back.Series) != 1 {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteCSV(&buf, "ratio"); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if !strings.HasPrefix(got, "memory,ratio\n") {
+		t.Errorf("csv header wrong: %q", got)
+	}
+	if !strings.Contains(got, "16,4") {
+		t.Errorf("csv row missing: %q", got)
+	}
+	if err := sample().WriteCSV(&buf, "nope"); err == nil {
+		t.Error("unknown series accepted")
+	}
+}
+
+func TestSeriesNames(t *testing.T) {
+	names := sample().SeriesNames()
+	if len(names) != 1 || names[0] != "ratio" {
+		t.Errorf("names = %v", names)
+	}
+}

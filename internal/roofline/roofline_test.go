@@ -1,0 +1,163 @@
+package roofline
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"balarch/internal/model"
+)
+
+func newModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := New(model.PE{C: 64e6, IO: 1e6, M: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewRejectsInvalidPE(t *testing.T) {
+	if _, err := New(model.PE{}); err == nil {
+		t.Error("invalid PE accepted")
+	}
+}
+
+func TestRidgeAndAttainable(t *testing.T) {
+	m := newModel(t)
+	if got := m.RidgeIntensity(); got != 64 {
+		t.Errorf("ridge = %v, want 64", got)
+	}
+	// Below the ridge: bandwidth slope.
+	if got := m.Attainable(32); got != 32e6 {
+		t.Errorf("Attainable(32) = %v, want 32e6", got)
+	}
+	// At and above the ridge: the compute roof.
+	if got := m.Attainable(64); got != 64e6 {
+		t.Errorf("Attainable(64) = %v, want 64e6", got)
+	}
+	if got := m.Attainable(1e9); got != 64e6 {
+		t.Errorf("Attainable(huge) = %v, want roof", got)
+	}
+	if got := m.Attainable(-1); got != 0 {
+		t.Errorf("Attainable(-1) = %v, want 0", got)
+	}
+}
+
+func TestMatmulPathReachesRoofAtBalanceMemory(t *testing.T) {
+	m := newModel(t)
+	mm := model.MatrixMultiplication()
+	// Ridge 64 = √M ⇒ balance memory 4096 = the PE's actual M.
+	ridgeM, err := m.MemoryAtRidge(mm, 1e18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ridgeM-4096)/4096 > 1e-6 {
+		t.Errorf("ridge memory = %v, want 4096", ridgeM)
+	}
+	below := m.PathPoint(mm, 1024) // √1024 = 32 < 64: slope
+	if below.ComputeBound {
+		t.Error("below-balance point should be bandwidth bound")
+	}
+	if math.Abs(below.Attainable-32e6) > 1 {
+		t.Errorf("below-balance attainable = %v, want 32e6", below.Attainable)
+	}
+	at := m.PathPoint(mm, 4096)
+	if !at.ComputeBound {
+		t.Error("at-balance point should reach the roof")
+	}
+	if m.Efficiency(mm, 4096) < 0.999 {
+		t.Errorf("efficiency at balance = %v, want 1", m.Efficiency(mm, 4096))
+	}
+	if eff := m.Efficiency(mm, 1024); math.Abs(eff-0.5) > 1e-9 {
+		t.Errorf("efficiency at quarter memory = %v, want 0.5", eff)
+	}
+}
+
+func TestIOBoundPathNeverReachesRoof(t *testing.T) {
+	m := newModel(t)
+	mv := model.MatrixVector()
+	pts, err := m.Path(mv, 4, 1<<20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.ComputeBound {
+			t.Fatalf("matvec reached the roof at M=%v — §3.6 forbids it", p.Memory)
+		}
+		if p.Attainable != 2e6 { // IO · 2
+			t.Errorf("matvec attainable = %v, want 2e6 everywhere", p.Attainable)
+		}
+	}
+	if _, err := m.MemoryAtRidge(mv, 1e18); err == nil {
+		t.Error("matvec ridge memory should be unreachable")
+	}
+}
+
+func TestFFTPathClimbsSlowly(t *testing.T) {
+	m := newModel(t)
+	fft := model.FFT()
+	// Ridge 64 needs 2.5·log₂M = 64 ⇒ M = 2^25.6 ≈ 5.1e7.
+	ridgeM, err := m.MemoryAtRidge(fft, 1e18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ridgeM < 4e7 || ridgeM > 7e7 {
+		t.Errorf("FFT ridge memory = %v, want ≈ 5.1e7", ridgeM)
+	}
+	// Matmul reaches the same roof with 4096 words — the contrast the
+	// paper's conclusion draws.
+	mmM, err := m.MemoryAtRidge(model.MatrixMultiplication(), 1e18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ridgeM/mmM < 1e3 {
+		t.Errorf("FFT/matmul balance memory ratio = %v, want ≫ 1", ridgeM/mmM)
+	}
+}
+
+func TestPathValidation(t *testing.T) {
+	m := newModel(t)
+	if _, err := m.Path(model.FFT(), 0, 10, 2); err == nil {
+		t.Error("lo=0 accepted")
+	}
+	if _, err := m.Path(model.FFT(), 10, 5, 2); err == nil {
+		t.Error("hi<lo accepted")
+	}
+	if _, err := m.Path(model.FFT(), 1, 10, 1); err == nil {
+		t.Error("step=1 accepted")
+	}
+}
+
+func TestChartRenders(t *testing.T) {
+	m := newModel(t)
+	out, err := m.Chart([]model.Computation{
+		model.MatrixMultiplication(), model.FFT(), model.MatrixVector(),
+	}, 16, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"roofline", "ridge", "matrix multiplication", "fast Fourier transform"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q", want)
+		}
+	}
+}
+
+// Property: attainable performance is nondecreasing in memory for every
+// catalog computation (more memory never slows the roofline path).
+func TestPathMonotoneProperty(t *testing.T) {
+	m := newModel(t)
+	cat := model.Catalog()
+	f := func(ci uint8, m16 uint16) bool {
+		c := cat[int(ci)%len(cat)]
+		mem := 4 + float64(m16%10000)
+		p1 := m.PathPoint(c, mem)
+		p2 := m.PathPoint(c, mem*2)
+		return p2.Attainable >= p1.Attainable-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

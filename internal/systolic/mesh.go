@@ -1,0 +1,196 @@
+// Package systolic simulates the systolic algorithms paper §4 points to as
+// the existence proofs for its mesh results: the Kung–Leiserson matrix
+// multiplication array (cycle-accurate, C-stationary mesh) and the
+// Gentleman–Kung triangularization array (row-wave Givens rotations on a
+// triangular cell grid), plus a linear-array matrix product with
+// column-partitioned state. Each simulation computes real numerics
+// (validated against references) and reports the architectural quantities
+// the paper's argument needs: per-cell storage, boundary I/O words, and
+// total multiply-accumulates.
+package systolic
+
+import (
+	"fmt"
+
+	"balarch/internal/kernels"
+)
+
+// MeshStats reports the architectural profile of a mesh matmul run.
+type MeshStats struct {
+	// Cycles is the number of systolic beats executed (3n-2).
+	Cycles int
+	// PerPEWords is the registers each cell holds: a, b, and its C
+	// element — constant, independent of the mesh size, which is the
+	// §4.2 "automatically balanced" property.
+	PerPEWords int
+	// BoundaryInWords counts operand words injected at the west and
+	// north edges (2n²).
+	BoundaryInWords uint64
+	// BoundaryOutWords counts result words drained at the end (n²).
+	BoundaryOutWords uint64
+	// MACs counts multiply-accumulate operations performed (n³).
+	MACs uint64
+}
+
+// MeshMatMul runs the Kung–Leiserson C-stationary systolic array for n×n
+// operands: A streams eastward (row i enters the west edge skewed by i
+// beats), B streams southward (column j enters the north edge skewed by j
+// beats), and cell (i,j) accumulates C(i,j) += a·b each beat before passing
+// its operands on. The simulation is cycle-accurate: all cells update
+// simultaneously from the previous beat's registers.
+func MeshMatMul(a, b *kernels.Dense) (*kernels.Dense, MeshStats, error) {
+	if a.Rows != a.Cols || b.Rows != b.Cols || a.Rows != b.Rows {
+		return nil, MeshStats{}, fmt.Errorf("systolic: mesh matmul needs equal square operands")
+	}
+	n := a.Rows
+	// Per-cell registers, double-buffered for simultaneous update.
+	aReg := kernels.NewDense(n, n)
+	bReg := kernels.NewDense(n, n)
+	aNext := kernels.NewDense(n, n)
+	bNext := kernels.NewDense(n, n)
+	c := kernels.NewDense(n, n)
+	stats := MeshStats{PerPEWords: 3}
+
+	cycles := 3*n - 2
+	for t := 0; t < cycles; t++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				// West input: previous cell's a register, or the
+				// skewed A stream at the edge.
+				var aw, bn float64
+				var valid bool
+				if j == 0 {
+					if k := t - i; k >= 0 && k < n {
+						aw = a.At(i, k)
+						stats.BoundaryInWords++
+						valid = true
+					}
+				} else {
+					aw = aReg.At(i, j-1)
+					valid = true
+				}
+				if i == 0 {
+					if k := t - j; k >= 0 && k < n {
+						bn = b.At(k, j)
+						stats.BoundaryInWords++
+					}
+				} else {
+					bn = bReg.At(i-1, j)
+				}
+				if valid && aw != 0 || bn != 0 {
+					// Count a MAC only when genuine data
+					// meets; zeros are pipeline bubbles.
+					if aw != 0 && bn != 0 {
+						stats.MACs++
+					}
+				}
+				c.Set(i, j, c.At(i, j)+aw*bn)
+				aNext.Set(i, j, aw)
+				bNext.Set(i, j, bn)
+			}
+		}
+		aReg, aNext = aNext, aReg
+		bReg, bNext = bNext, bReg
+	}
+	stats.Cycles = cycles
+	stats.BoundaryOutWords = uint64(n) * uint64(n)
+	return c, stats, nil
+}
+
+// LinearStats reports the architectural profile of a linear-array matmul.
+type LinearStats struct {
+	// Cells is the number of cells in the chain.
+	Cells int
+	// PerCellWords is the local memory each cell needs: its stationary
+	// block of B plus its C accumulators — Θ(n²/p), which at the balance
+	// point of §4.1 grows linearly with p.
+	PerCellWords int
+	// BoundaryInWords counts words entering the chain (A once, B once to
+	// load the blocks).
+	BoundaryInWords uint64
+	// BoundaryOutWords counts result words leaving the chain.
+	BoundaryOutWords uint64
+	// MACs counts multiply-accumulates.
+	MACs uint64
+}
+
+// LinearMatMul computes C = A·B on a p-cell linear array: cell k holds the
+// stationary block of B's columns [k·w, (k+1)·w) and w accumulators per
+// result row; A's elements stream through the chain from the west, each cell
+// applying them to its block, and finished C row segments drain eastward.
+// Only the two chain ends touch the outside world, the Fig. 3 configuration.
+func LinearMatMul(a, b *kernels.Dense, p int) (*kernels.Dense, LinearStats, error) {
+	if a.Rows != a.Cols || b.Rows != b.Cols || a.Rows != b.Rows {
+		return nil, LinearStats{}, fmt.Errorf("systolic: linear matmul needs equal square operands")
+	}
+	n := a.Rows
+	if p < 1 || p > n {
+		return nil, LinearStats{}, fmt.Errorf("systolic: cell count %d must be in [1, n=%d]", p, n)
+	}
+	stats := LinearStats{Cells: p}
+
+	// Column partition: cell k owns columns [starts[k], starts[k+1]).
+	starts := make([]int, p+1)
+	for k := 0; k <= p; k++ {
+		starts[k] = k * n / p
+	}
+	widest := 0
+	for k := 0; k < p; k++ {
+		if w := starts[k+1] - starts[k]; w > widest {
+			widest = w
+		}
+	}
+	// Loading B: every element enters at the boundary and hops to its
+	// cell; boundary traffic counts each word once (it crosses the host
+	// link once regardless of chain hops).
+	stats.BoundaryInWords += uint64(n) * uint64(n)
+	stats.PerCellWords = n*widest + widest // B block + one row of accumulators
+
+	c := kernels.NewDense(n, n)
+	acc := make([]float64, widest)
+	for i := 0; i < n; i++ {
+		// Row i of A streams through the whole chain; each cell sees
+		// every a(i,k) once. Boundary traffic: n words per row.
+		stats.BoundaryInWords += uint64(n)
+		for k := 0; k < p; k++ {
+			lo, hi := starts[k], starts[k+1]
+			w := hi - lo
+			for j := 0; j < w; j++ {
+				acc[j] = 0
+			}
+			for kk := 0; kk < n; kk++ {
+				av := a.At(i, kk)
+				for j := 0; j < w; j++ {
+					acc[j] += av * b.At(kk, lo+j)
+				}
+				stats.MACs += uint64(w)
+			}
+			for j := 0; j < w; j++ {
+				c.Set(i, lo+j, acc[j])
+			}
+			// The finished segment drains east through the chain
+			// and exits once at the boundary.
+			stats.BoundaryOutWords += uint64(w)
+		}
+	}
+	return c, stats, nil
+}
+
+// MeshEfficiency returns the fraction of cell-cycles doing useful MACs:
+// n³ useful over n²·(3n-2) total — approaching 1/3 for large n, the classic
+// pipeline-fill overhead of the C-stationary array.
+func MeshEfficiency(n int, stats MeshStats) float64 {
+	total := float64(n) * float64(n) * float64(stats.Cycles)
+	if total == 0 {
+		return 0
+	}
+	return float64(stats.MACs) / total
+}
+
+// ExpectedMeshMACs is the useful work of an n×n mesh product: n³ (zero
+// products are counted as bubbles only when an operand is exactly zero,
+// which has measure zero for random data).
+func ExpectedMeshMACs(n int) uint64 {
+	un := uint64(n)
+	return un * un * un
+}

@@ -1,0 +1,200 @@
+package systolic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"balarch/internal/kernels"
+)
+
+func TestMeshMatMulCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	for _, n := range []int{1, 2, 3, 4, 8, 16} {
+		a := kernels.NewDenseRandom(n, n, rng)
+		b := kernels.NewDenseRandom(n, n, rng)
+		c, stats, err := MeshMatMul(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := c.MaxAbsDiff(a.MulRef(b)); diff > 1e-12*float64(n) {
+			t.Errorf("n=%d: mesh result off by %g", n, diff)
+		}
+		if stats.Cycles != 3*n-2 {
+			t.Errorf("n=%d: cycles = %d, want %d", n, stats.Cycles, 3*n-2)
+		}
+		if stats.PerPEWords != 3 {
+			t.Errorf("n=%d: per-PE words = %d, want 3 (constant)", n, stats.PerPEWords)
+		}
+		if want := uint64(2 * n * n); stats.BoundaryInWords != want {
+			t.Errorf("n=%d: boundary in = %d, want %d", n, stats.BoundaryInWords, want)
+		}
+		if want := ExpectedMeshMACs(n); stats.MACs != want {
+			t.Errorf("n=%d: MACs = %d, want %d", n, stats.MACs, want)
+		}
+	}
+}
+
+func TestMeshMatMulRejectsShapes(t *testing.T) {
+	a := kernels.NewDense(2, 3)
+	if _, _, err := MeshMatMul(a, a); err == nil {
+		t.Error("non-square accepted")
+	}
+	b := kernels.NewDense(3, 3)
+	if _, _, err := MeshMatMul(kernels.NewDense(2, 2), b); err == nil {
+		t.Error("mismatched sizes accepted")
+	}
+}
+
+// TestMeshPerPEMemoryConstant is the §4.2 headline on real hardware
+// structure: growing the mesh does not grow any cell's storage.
+func TestMeshPerPEMemoryConstant(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	var per []int
+	for _, n := range []int{2, 8, 32} {
+		a := kernels.NewDenseRandom(n, n, rng)
+		b := kernels.NewDenseRandom(n, n, rng)
+		_, stats, err := MeshMatMul(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		per = append(per, stats.PerPEWords)
+	}
+	if per[0] != per[1] || per[1] != per[2] {
+		t.Errorf("per-PE words varied with mesh size: %v", per)
+	}
+}
+
+func TestMeshEfficiencyApproachesOneThird(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	n := 32
+	a := kernels.NewDenseRandom(n, n, rng)
+	b := kernels.NewDenseRandom(n, n, rng)
+	_, stats, err := MeshMatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eff := MeshEfficiency(n, stats)
+	if eff < 0.30 || eff > 0.36 {
+		t.Errorf("efficiency = %v, want ≈ 1/3", eff)
+	}
+}
+
+func TestLinearMatMulCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for _, tc := range []struct{ n, p int }{
+		{4, 1}, {4, 2}, {4, 4}, {9, 3}, {10, 4}, {16, 5},
+	} {
+		a := kernels.NewDenseRandom(tc.n, tc.n, rng)
+		b := kernels.NewDenseRandom(tc.n, tc.n, rng)
+		c, stats, err := LinearMatMul(a, b, tc.p)
+		if err != nil {
+			t.Fatalf("n=%d p=%d: %v", tc.n, tc.p, err)
+		}
+		if diff := c.MaxAbsDiff(a.MulRef(b)); diff > 1e-12*float64(tc.n) {
+			t.Errorf("n=%d p=%d: result off by %g", tc.n, tc.p, diff)
+		}
+		if stats.Cells != tc.p {
+			t.Errorf("cells = %d", stats.Cells)
+		}
+		// A (n² streamed) + B (n² loaded) in; C (n²) out.
+		nn := uint64(tc.n) * uint64(tc.n)
+		if stats.BoundaryInWords != 2*nn {
+			t.Errorf("n=%d p=%d: in words = %d, want %d", tc.n, tc.p, stats.BoundaryInWords, 2*nn)
+		}
+		if stats.BoundaryOutWords != nn {
+			t.Errorf("n=%d p=%d: out words = %d, want %d", tc.n, tc.p, stats.BoundaryOutWords, nn)
+		}
+		if stats.MACs != uint64(tc.n)*nn {
+			t.Errorf("n=%d p=%d: MACs = %d, want %d", tc.n, tc.p, stats.MACs, uint64(tc.n)*nn)
+		}
+	}
+}
+
+func TestLinearMatMulValidation(t *testing.T) {
+	a := kernels.NewDense(4, 4)
+	if _, _, err := LinearMatMul(a, a, 0); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if _, _, err := LinearMatMul(a, a, 5); err == nil {
+		t.Error("p>n accepted")
+	}
+}
+
+// TestLinearPerCellMemoryShrinksWithP: with the problem fixed, each cell
+// holds ~n²/p words — so at the §4.1 balance point (n ∝ p), per-cell memory
+// grows ∝ p. Verify the n²/p shape.
+func TestLinearPerCellMemoryScaling(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	n := 32
+	a := kernels.NewDenseRandom(n, n, rng)
+	b := kernels.NewDenseRandom(n, n, rng)
+	_, s1, err := LinearMatMul(a, b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s4, err := LinearMatMul(a, b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := float64(s1.PerCellWords) / float64(s4.PerCellWords); ratio < 3.5 || ratio > 4.5 {
+		t.Errorf("per-cell memory ratio p=1/p=4 = %v, want ≈ 4", ratio)
+	}
+}
+
+func TestGentlemanKungTriangularize(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		a := kernels.NewDenseRandom(n, n, rng)
+		r, stats, err := GentlemanKungTriangularize(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.IsUpperTriangular(1e-10) {
+			t.Errorf("n=%d: R not upper triangular", n)
+		}
+		if res := GramResidual(a, r); res > 1e-9*float64(n*n) {
+			t.Errorf("n=%d: ‖RᵀR − AᵀA‖ = %g", n, res)
+		}
+		if stats.Cells != n*(n+1)/2 {
+			t.Errorf("n=%d: cells = %d, want %d", n, stats.Cells, n*(n+1)/2)
+		}
+		if stats.PerCellWords != 1 {
+			t.Errorf("n=%d: per-cell words = %d, want 1", n, stats.PerCellWords)
+		}
+		if want := uint64(n) * uint64(n); stats.BoundaryInWords != want {
+			t.Errorf("n=%d: boundary in = %d, want %d", n, stats.BoundaryInWords, want)
+		}
+	}
+}
+
+func TestGentlemanKungRejectsNonSquare(t *testing.T) {
+	if _, _, err := GentlemanKungTriangularize(kernels.NewDense(2, 3)); err == nil {
+		t.Error("non-square accepted")
+	}
+}
+
+// Property: mesh and linear arrays compute the same product as the
+// reference for random shapes and partitions.
+func TestSystolicAgreementProperty(t *testing.T) {
+	f := func(seed int64, n8, p8 uint8) bool {
+		n := 1 + int(n8%10)
+		p := 1 + int(p8)%n
+		rng := rand.New(rand.NewSource(seed))
+		a := kernels.NewDenseRandom(n, n, rng)
+		b := kernels.NewDenseRandom(n, n, rng)
+		want := a.MulRef(b)
+		mc, _, err := MeshMatMul(a, b)
+		if err != nil || mc.MaxAbsDiff(want) > 1e-10 {
+			return false
+		}
+		lc, _, err := LinearMatMul(a, b, p)
+		if err != nil || lc.MaxAbsDiff(want) > 1e-10 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

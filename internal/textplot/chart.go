@@ -1,0 +1,154 @@
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	Name   string
+	Marker rune
+	X, Y   []float64
+}
+
+// Chart renders XY data as an ASCII scatter chart with optional logarithmic
+// axes — the repository's substitute for a plotting library.
+type Chart struct {
+	Title        string
+	XLabel       string
+	YLabel       string
+	Width        int // plot area columns (default 60)
+	Height       int // plot area rows (default 20)
+	LogX, LogY   bool
+	series       []Series
+}
+
+// NewChart creates a chart with default dimensions.
+func NewChart(title string) *Chart {
+	return &Chart{Title: title, Width: 60, Height: 20}
+}
+
+// Add appends a series; markers cycle through a default set when zero.
+func (c *Chart) Add(s Series) {
+	if s.Marker == 0 {
+		markers := []rune{'*', '+', 'o', 'x', '#', '@'}
+		s.Marker = markers[len(c.series)%len(markers)]
+	}
+	c.series = append(c.series, s)
+}
+
+// String renders the chart.
+func (c *Chart) String() string {
+	w, h := c.Width, c.Height
+	if w < 10 {
+		w = 10
+	}
+	if h < 5 {
+		h = 5
+	}
+
+	// Determine data bounds in (possibly log) space.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	tx := func(v float64) (float64, bool) { return axisTransform(v, c.LogX) }
+	ty := func(v float64) (float64, bool) { return axisTransform(v, c.LogY) }
+	for _, s := range c.series {
+		for i := range s.X {
+			if x, ok := tx(s.X[i]); ok {
+				xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			}
+			if y, ok := ty(s.Y[i]); ok {
+				ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+			}
+		}
+	}
+	if math.IsInf(xmin, 1) || math.IsInf(ymin, 1) {
+		return c.Title + "\n(no finite data)\n"
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]rune, h)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", w))
+	}
+	for _, s := range c.series {
+		for i := range s.X {
+			x, okx := tx(s.X[i])
+			y, oky := ty(s.Y[i])
+			if !okx || !oky {
+				continue
+			}
+			col := int(math.Round((x - xmin) / (xmax - xmin) * float64(w-1)))
+			row := h - 1 - int(math.Round((y-ymin)/(ymax-ymin)*float64(h-1)))
+			if col >= 0 && col < w && row >= 0 && row < h {
+				grid[row][col] = s.Marker
+			}
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		b.WriteString(c.Title + "\n")
+	}
+	topLabel := axisValue(ymax, c.LogY)
+	botLabel := axisValue(ymin, c.LogY)
+	labelW := len(topLabel)
+	if len(botLabel) > labelW {
+		labelW = len(botLabel)
+	}
+	for r := 0; r < h; r++ {
+		label := strings.Repeat(" ", labelW)
+		if r == 0 {
+			label = fmt.Sprintf("%*s", labelW, topLabel)
+		} else if r == h-1 {
+			label = fmt.Sprintf("%*s", labelW, botLabel)
+		}
+		b.WriteString(label)
+		b.WriteString(" |")
+		b.WriteString(string(grid[r]))
+		b.WriteString("\n")
+	}
+	b.WriteString(strings.Repeat(" ", labelW+1))
+	b.WriteString("+" + strings.Repeat("-", w) + "\n")
+	b.WriteString(strings.Repeat(" ", labelW+2))
+	lo, hi := axisValue(xmin, c.LogX), axisValue(xmax, c.LogX)
+	gap := w - len(lo) - len(hi)
+	if gap < 1 {
+		gap = 1
+	}
+	b.WriteString(lo + strings.Repeat(" ", gap) + hi + "\n")
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%*sx: %s   y: %s\n", labelW+2, "", c.XLabel, c.YLabel)
+	}
+	for _, s := range c.series {
+		fmt.Fprintf(&b, "%*s%c %s\n", labelW+2, "", s.Marker, s.Name)
+	}
+	return b.String()
+}
+
+func axisTransform(v float64, log bool) (float64, bool) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, false
+	}
+	if log {
+		if v <= 0 {
+			return 0, false
+		}
+		return math.Log10(v), true
+	}
+	return v, true
+}
+
+func axisValue(t float64, log bool) string {
+	if log {
+		return formatFloat(math.Pow(10, t))
+	}
+	return formatFloat(t)
+}

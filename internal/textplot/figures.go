@@ -1,0 +1,114 @@
+package textplot
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Fig1PE renders the paper's Fig. 1: a processing element characterized by
+// computation bandwidth C, I/O bandwidth IO, and local memory size M.
+func Fig1PE(c, io, m string) string {
+	inner := []string{
+		fmt.Sprintf("compute unit: C = %s", c),
+		fmt.Sprintf("local memory: M = %s", m),
+	}
+	width := 0
+	for _, l := range inner {
+		if len(l) > width {
+			width = len(l)
+		}
+	}
+	var b strings.Builder
+	b.WriteString("Fig. 1 — the information model's processing element\n\n")
+	top := "+" + strings.Repeat("-", width+4) + "+"
+	b.WriteString("              " + top + "\n")
+	for i, l := range inner {
+		arrow := "              "
+		if i == 0 {
+			arrow = fmt.Sprintf("  IO = %-6s ", io)
+			arrow = fmt.Sprintf("%-14s", arrow)
+		}
+		link := "|"
+		if i == 0 {
+			link = "="
+		}
+		fmt.Fprintf(&b, "%s%s  %-*s  |\n", arrow, link, width, l)
+	}
+	b.WriteString("              " + top + "\n")
+	b.WriteString("  <== words to/from the outside world ==>\n")
+	return b.String()
+}
+
+// FFTBlock describes one subcomputation block for Fig. 2 rendering: the
+// global indices it gathers.
+type FFTBlock = []int
+
+// Fig2FFT renders the paper's Fig. 2b: the decomposition of an N-point FFT
+// into subcomputation blocks across passes, with the shuffle between them.
+// passes[p] lists the blocks of pass p.
+func Fig2FFT(n int, passes [][]FFTBlock) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 2 — decomposing the %d-point FFT into blocks (shuffles between passes)\n\n", n)
+	for p, blocks := range passes {
+		fmt.Fprintf(&b, "pass %d:\n", p)
+		for bi, blk := range blocks {
+			parts := make([]string, len(blk))
+			for i, idx := range blk {
+				parts[i] = fmt.Sprintf("%2d", idx)
+			}
+			fmt.Fprintf(&b, "  block %d: [ %s ]\n", bi, strings.Join(parts, " "))
+		}
+		if p < len(passes)-1 {
+			b.WriteString("        ~~~ shuffle ~~~\n")
+		}
+	}
+	return b.String()
+}
+
+// Fig3LinearArray renders the paper's Fig. 3: p linearly connected PEs
+// replacing one PE, with host I/O only at the ends.
+func Fig3LinearArray(p int) string {
+	var b strings.Builder
+	b.WriteString("Fig. 3 — using p PEs to perform computation formerly done by one PE\n\n")
+	b.WriteString("Before:  host <==> [PE]\n\nNow:     host <==> ")
+	for i := 0; i < p; i++ {
+		if i > 0 {
+			b.WriteString("--")
+		}
+		b.WriteString("[PE]")
+	}
+	b.WriteString(" <==> host\n")
+	fmt.Fprintf(&b, "\n(p = %d cells; only the boundary cells talk to the host,\n", p)
+	b.WriteString(" so aggregate C grows x p while aggregate IO stays fixed)\n")
+	return b.String()
+}
+
+// Fig4Mesh renders the paper's Fig. 4: a p×p mesh replacing one PE, with
+// host I/O on the perimeter.
+func Fig4Mesh(p int) string {
+	var b strings.Builder
+	b.WriteString("Fig. 4 — using p×p PEs to perform computation formerly done by one PE\n\n")
+	for i := 0; i < p; i++ {
+		b.WriteString("   ")
+		for j := 0; j < p; j++ {
+			if j > 0 {
+				b.WriteString("--")
+			}
+			b.WriteString("[PE]")
+		}
+		b.WriteString("\n")
+		if i < p-1 {
+			b.WriteString("   ")
+			for j := 0; j < p; j++ {
+				if j > 0 {
+					b.WriteString("  ")
+				}
+				b.WriteString("  | ")
+			}
+			b.WriteString("\n")
+		}
+	}
+	fmt.Fprintf(&b, "\n(p = %d per side; perimeter cells carry host traffic,\n", p)
+	b.WriteString(" so aggregate C grows x p^2 while aggregate IO grows x p)\n")
+	return b.String()
+}

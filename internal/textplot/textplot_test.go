@@ -1,0 +1,122 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("beta-longer", 42)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Errorf("header line = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "alpha") || !strings.Contains(lines[2], "1.5") {
+		t.Errorf("row line = %q", lines[2])
+	}
+	// All data lines equal width or less than header rule.
+	rule := len(lines[1])
+	for _, l := range lines {
+		if len(strings.TrimRight(l, " ")) > rule+2 {
+			t.Errorf("line overflows rule: %q", l)
+		}
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := NewTable("v")
+	tb.AddRow(3.0)
+	tb.AddRow(3.14159)
+	out := tb.String()
+	if !strings.Contains(out, "3\n") && !strings.Contains(out, "3 ") {
+		t.Errorf("integral float not compact:\n%s", out)
+	}
+	if !strings.Contains(out, "3.142") {
+		t.Errorf("float not rounded to 4 significant digits:\n%s", out)
+	}
+}
+
+func TestChartRendersSeries(t *testing.T) {
+	ch := NewChart("test chart")
+	ch.XLabel, ch.YLabel = "m", "ratio"
+	ch.Add(Series{Name: "sqrt", X: []float64{1, 4, 9, 16}, Y: []float64{1, 2, 3, 4}})
+	out := ch.String()
+	if !strings.Contains(out, "test chart") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("marker missing")
+	}
+	if !strings.Contains(out, "sqrt") {
+		t.Error("legend missing")
+	}
+	if !strings.Contains(out, "x: m") {
+		t.Error("axis labels missing")
+	}
+}
+
+func TestChartLogAxes(t *testing.T) {
+	ch := NewChart("log")
+	ch.LogX, ch.LogY = true, true
+	ch.Add(Series{Name: "p", X: []float64{10, 100, 1000}, Y: []float64{1, 10, 100}})
+	out := ch.String()
+	if !strings.Contains(out, "1000") {
+		t.Errorf("log axis label missing:\n%s", out)
+	}
+	// Log axes must drop non-positive points, not crash.
+	ch2 := NewChart("log2")
+	ch2.LogX = true
+	ch2.Add(Series{Name: "bad", X: []float64{0, -5}, Y: []float64{1, 2}})
+	if out := ch2.String(); !strings.Contains(out, "no finite data") {
+		t.Errorf("all-invalid log data should say so:\n%s", out)
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	ch := NewChart("flat")
+	ch.Add(Series{Name: "c", X: []float64{1, 2, 3}, Y: []float64{5, 5, 5}})
+	out := ch.String()
+	if out == "" || !strings.Contains(out, "c") {
+		t.Error("flat series failed to render")
+	}
+}
+
+func TestFig1(t *testing.T) {
+	out := Fig1PE("10 MOPS", "20 MW/s", "64K words")
+	for _, want := range []string{"C = 10 MOPS", "M = 64K words", "IO = 20 MW/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig2(t *testing.T) {
+	passes := [][]FFTBlock{
+		{{0, 1, 2, 3}, {4, 5, 6, 7}},
+		{{0, 4, 1, 5}, {2, 6, 3, 7}},
+	}
+	out := Fig2FFT(8, passes)
+	if !strings.Contains(out, "pass 0") || !strings.Contains(out, "pass 1") {
+		t.Errorf("passes missing:\n%s", out)
+	}
+	if !strings.Contains(out, "shuffle") {
+		t.Errorf("shuffle separator missing:\n%s", out)
+	}
+}
+
+func TestFig3AndFig4(t *testing.T) {
+	f3 := Fig3LinearArray(4)
+	if strings.Count(f3, "[PE]") != 5 { // 1 before + 4 now
+		t.Errorf("Fig3 PE count wrong:\n%s", f3)
+	}
+	f4 := Fig4Mesh(3)
+	if strings.Count(f4, "[PE]") != 9 {
+		t.Errorf("Fig4 PE count wrong:\n%s", f4)
+	}
+}
