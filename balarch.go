@@ -15,8 +15,8 @@
 // rebalance solvers) and the experiment harness that reproduces every table
 // and figure of the paper on instrumented kernels, a red-blue pebble game, a
 // cache simulator, and a discrete-event processor-array simulator. See
-// DESIGN.md for the full system inventory and EXPERIMENTS.md for
-// paper-vs-measured results.
+// DESIGN.md for the full system inventory and the experiment index (E1–E12,
+// X1–X4).
 //
 // Quick start:
 //
@@ -29,6 +29,8 @@
 package balarch
 
 import (
+	"context"
+
 	"balarch/internal/experiments"
 	"balarch/internal/model"
 	"balarch/internal/report"
@@ -125,7 +127,8 @@ type RooflineModel = roofline.Model
 // Roofline builds a roofline model for the PE.
 func Roofline(pe PE) (*RooflineModel, error) { return roofline.New(pe) }
 
-// ExperimentIDs lists the reproduction's experiments (E1–E12; DESIGN.md §4).
+// ExperimentIDs lists the reproduction's experiments in id order (E1–E12
+// and X1–X4; DESIGN.md §3).
 func ExperimentIDs() []string {
 	reg := experiments.Registry()
 	ids := make([]string, len(reg))
@@ -136,13 +139,28 @@ func ExperimentIDs() []string {
 }
 
 // RunExperiment reproduces one paper table or figure by id and returns its
-// report.
+// report. It is RunExperimentContext with a background context.
 func RunExperiment(id string) (*Result, error) {
+	return RunExperimentContext(context.Background(), id)
+}
+
+// RunExperimentContext reproduces one paper table or figure by id under
+// ctx: cancelling the context aborts the experiment's sweeps.
+func RunExperimentContext(ctx context.Context, id string) (*Result, error) {
 	exp, err := experiments.Get(id)
 	if err != nil {
 		return nil, err
 	}
-	return exp.Run()
+	return exp.Run(ctx)
+}
+
+// RunAll reproduces the whole suite on a worker pool with the given
+// parallelism (≤ 0 means GOMAXPROCS; 1 runs the entire tree serially) and
+// returns the results in id order — byte-identical to a serial run
+// whatever the worker count. pass reports whether every claim of every
+// experiment passed.
+func RunAll(ctx context.Context, parallelism int) (results []*Result, pass bool, err error) {
+	return experiments.RunAll(ctx, parallelism)
 }
 
 // ExperimentTitle returns the experiment's one-line description.

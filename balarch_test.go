@@ -1,6 +1,8 @@
 package balarch_test
 
 import (
+	"bytes"
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -109,5 +111,64 @@ func TestExtensionComputations(t *testing.T) {
 	}
 	if _, err := conv.Rebalance(2, 64, balarch.DefaultMaxMemory); !errors.Is(err, balarch.ErrNotRebalanceable) {
 		t.Errorf("conv rebalance err = %v", err)
+	}
+}
+
+// TestRunAllParallelDeterminism is the repo's seed-determinism gate: for
+// every experiment id, the parallel engine must produce byte-identical
+// report JSON to the strictly serial path — concurrency must never change
+// observable output.
+func TestRunAllParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full suite twice; skipped in -short")
+	}
+	ctx := context.Background()
+	serial, passSerial, err := balarch.RunAll(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, passParallel, err := balarch.RunAll(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !passSerial || !passParallel {
+		t.Errorf("suite pass: serial=%v parallel=%v, want both true", passSerial, passParallel)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("result counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	ids := balarch.ExperimentIDs()
+	for i := range serial {
+		if serial[i].ID != ids[i] || parallel[i].ID != ids[i] {
+			t.Errorf("result %d out of id order: serial %s, parallel %s, want %s",
+				i, serial[i].ID, parallel[i].ID, ids[i])
+		}
+		sj, err := serial[i].JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pj, err := parallel[i].JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(sj, pj) {
+			t.Errorf("%s: parallel JSON differs from serial", ids[i])
+		}
+	}
+}
+
+// TestRunExperimentContext covers the public context-aware single-run path.
+func TestRunExperimentContext(t *testing.T) {
+	res, err := balarch.RunExperimentContext(context.Background(), "E5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass() {
+		t.Errorf("E5 failed:\n%s", res.String())
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := balarch.RunExperimentContext(ctx, "E2"); err == nil {
+		t.Error("cancelled context did not abort the experiment")
 	}
 }

@@ -1,5 +1,5 @@
 // Benchmarks regenerating every table and figure of the paper (one
-// Benchmark per experiment id, matching DESIGN.md §4) plus micro-benchmarks
+// Benchmark per experiment id, matching the DESIGN.md §3 index) plus micro-benchmarks
 // of the substrates. Run:
 //
 //	go test -bench=. -benchmem
@@ -10,6 +10,7 @@
 package balarch_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -94,3 +95,26 @@ func BenchmarkRebalanceAlphaSweep(b *testing.B) {
 		})
 	}
 }
+
+// benchRunAll measures the whole E1–X4 suite through the concurrent engine
+// at a fixed worker count; the Serial/Parallel pair is the BENCH_* speedup
+// trajectory for the engine.
+func benchRunAll(b *testing.B, parallelism int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		results, pass, err := balarch.RunAll(context.Background(), parallelism)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !pass || len(results) != 16 {
+			b.Fatalf("suite failed: pass=%v n=%d", pass, len(results))
+		}
+	}
+}
+
+// BenchmarkRunAllSerial runs the suite with one worker — the pre-engine
+// baseline shape.
+func BenchmarkRunAllSerial(b *testing.B) { benchRunAll(b, 1) }
+
+// BenchmarkRunAllParallel runs the suite with GOMAXPROCS workers.
+func BenchmarkRunAllParallel(b *testing.B) { benchRunAll(b, 0) }

@@ -2,78 +2,140 @@
 //
 // Usage:
 //
-//	experiments               # run all experiments, print reports
+//	experiments               # run all experiments in parallel, print reports
+//	experiments -parallel 1   # the same suite, strictly serial
 //	experiments -id E2        # run one experiment
 //	experiments -id E2 -json  # emit the result as JSON
 //	experiments -id E2 -csv ratio  # emit one data series as CSV
 //	experiments -list         # list experiment ids and titles
+//
+// Reports always print in experiment-id order and are byte-identical
+// whatever -parallel is; the wall-clock summary goes to stderr so stdout
+// stays machine-readable. Exit status: 0 all claims pass, 1 a claim
+// failed, 2 the harness itself errored.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"runtime"
+	"time"
 
+	"balarch/internal/engine"
 	"balarch/internal/experiments"
+	"balarch/internal/report"
 )
 
 func main() {
-	id := flag.String("id", "", "experiment id (E1..E12); empty runs all")
-	asJSON := flag.Bool("json", false, "emit JSON instead of text")
-	csvSeries := flag.String("csv", "", "emit the named data series as CSV")
-	list := flag.Bool("list", false, "list experiments and exit")
-	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main's testable body: it parses args, runs the requested
+// experiments, and returns the process exit code.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	id := fs.String("id", "", "experiment id (E1..E12, X1..X4); empty runs all")
+	asJSON := fs.Bool("json", false, "emit JSON instead of text")
+	csvSeries := fs.String("csv", "", "emit the named data series as CSV")
+	list := fs.Bool("list", false, "list experiments and exit")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0),
+		"worker count for the experiment suite (1 = serial)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, e := range experiments.Registry() {
-			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-4s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
-	run := experiments.Registry()
+	start := time.Now()
+	var results []*report.Result
 	if *id != "" {
 		exp, err := experiments.Get(*id)
 		if err != nil {
-			fatal(err)
+			return fatal(stderr, err)
 		}
-		run = []experiments.Experiment{exp}
+		// Propagate -parallel to the experiment's sweep pools too, so
+		// -id X -parallel 1 is a genuinely serial run.
+		res, err := exp.Run(engine.WithParallelism(ctx, *parallel))
+		if err != nil {
+			return fatal(stderr, fmt.Errorf("%s: %w", exp.ID, err))
+		}
+		results = []*report.Result{res}
+	} else {
+		var err error
+		results, _, err = experiments.RunAll(ctx, *parallel)
+		if err != nil {
+			return fatal(stderr, err)
+		}
 	}
 
-	failed := false
-	for _, exp := range run {
-		res, err := exp.Run()
-		if err != nil {
-			fatal(fmt.Errorf("%s: %w", exp.ID, err))
-		}
-		switch {
-		case *asJSON:
-			data, err := res.JSON()
-			if err != nil {
-				fatal(err)
-			}
-			os.Stdout.Write(data)
-			fmt.Println()
-		case *csvSeries != "":
-			if err := res.WriteCSV(os.Stdout, *csvSeries); err != nil {
-				fatal(fmt.Errorf("%s: %v (have: %v)", exp.ID, err, res.SeriesNames()))
-			}
-		default:
-			if err := res.Render(os.Stdout); err != nil {
-				fatal(err)
-			}
-			fmt.Println()
-		}
-		if !res.Pass() {
-			failed = true
+	for _, res := range results {
+		if err := writeResult(stdout, res, *asJSON, *csvSeries); err != nil {
+			return fatal(stderr, err)
 		}
 	}
-	if failed {
-		os.Exit(1)
+	code := exitFor(results)
+	fmt.Fprintf(stderr, "experiments: %d experiment(s) in %.2fs (parallel %d): %s\n",
+		len(results), time.Since(start).Seconds(), *parallel, verdict(code))
+	return code
+}
+
+// writeResult renders one result per the output flags.
+func writeResult(w io.Writer, res *report.Result, asJSON bool, csvSeries string) error {
+	switch {
+	case asJSON:
+		data, err := res.JSON()
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(data); err != nil {
+			return err
+		}
+		_, err = fmt.Fprintln(w)
+		return err
+	case csvSeries != "":
+		if err := res.WriteCSV(w, csvSeries); err != nil {
+			return fmt.Errorf("%s: %w (have: %v)", res.ID, err, res.SeriesNames())
+		}
+		return nil
+	default:
+		if err := res.Render(w); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintln(w)
+		return err
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(2)
+// exitFor returns the suite's exit code: 1 if any claim failed, else 0.
+func exitFor(results []*report.Result) int {
+	for _, res := range results {
+		if !res.Pass() {
+			return 1
+		}
+	}
+	return 0
+}
+
+func verdict(code int) string {
+	if code == 0 {
+		return "all claims pass"
+	}
+	return "CLAIMS FAILED"
+}
+
+func fatal(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "experiments:", err)
+	return 2
 }

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"balarch/internal/report"
+)
+
+func runCmd(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(context.Background(), args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestList(t *testing.T) {
+	code, out, _ := runCmd(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, id := range []string{"E1", "E12", "X4"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("-list output missing %s", id)
+		}
+	}
+}
+
+func TestRunOneText(t *testing.T) {
+	code, out, errb := runCmd(t, "-id", "E5")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	if !strings.Contains(out, "== E5:") || !strings.Contains(out, "[PASS]") {
+		t.Errorf("unexpected report:\n%s", out)
+	}
+	if !strings.Contains(errb, "1 experiment(s)") {
+		t.Errorf("missing wall-clock summary on stderr: %q", errb)
+	}
+}
+
+func TestRunOneJSON(t *testing.T) {
+	code, out, _ := runCmd(t, "-id", "E5", "-json")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, `"id": "E5"`) {
+		t.Errorf("JSON output missing id:\n%.200s", out)
+	}
+}
+
+func TestRunOneCSV(t *testing.T) {
+	code, out, _ := runCmd(t, "-id", "E5", "-csv", "ratio")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.HasPrefix(out, "memory_words,") {
+		t.Errorf("CSV output missing header:\n%.120s", out)
+	}
+}
+
+func TestUnknownID(t *testing.T) {
+	code, _, errb := runCmd(t, "-id", "E99")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errb, "E99") {
+		t.Errorf("stderr does not name the unknown id: %q", errb)
+	}
+}
+
+func TestUnknownCSVSeries(t *testing.T) {
+	code, _, errb := runCmd(t, "-id", "E5", "-csv", "nope")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errb, "have:") {
+		t.Errorf("stderr does not list available series: %q", errb)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if code, _, _ := runCmd(t, "-definitely-not-a-flag"); code != 2 {
+		t.Errorf("exit %d, want 2", code)
+	}
+}
+
+// TestParallelSuiteDeterministic is the CLI-level determinism gate: the
+// whole suite at -parallel 4 must write byte-identical JSON to -parallel 1,
+// and exit 0.
+func TestParallelSuiteDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite twice; skipped in -short")
+	}
+	codeSerial, outSerial, _ := runCmd(t, "-parallel", "1", "-json")
+	if codeSerial != 0 {
+		t.Fatalf("serial suite exit %d", codeSerial)
+	}
+	codePar, outPar, _ := runCmd(t, "-parallel", "4", "-json")
+	if codePar != 0 {
+		t.Fatalf("parallel suite exit %d", codePar)
+	}
+	if outSerial != outPar {
+		t.Error("-parallel 4 JSON differs from -parallel 1")
+	}
+}
+
+func TestExitForFailingClaim(t *testing.T) {
+	ok := &report.Result{ID: "T1"}
+	ok.AddClaim("s", "e", "m", true)
+	bad := &report.Result{ID: "T2"}
+	bad.AddClaim("s", "e", "m", false)
+	if got := exitFor([]*report.Result{ok}); got != 0 {
+		t.Errorf("all-pass exit = %d, want 0", got)
+	}
+	if got := exitFor([]*report.Result{ok, bad}); got != 1 {
+		t.Errorf("failing-claim exit = %d, want 1", got)
+	}
+}
+
+func TestCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errb bytes.Buffer
+	if code := run(ctx, []string{"-parallel", "2"}, &out, &errb); code != 2 {
+		t.Errorf("cancelled run exit %d, want 2", code)
+	}
+}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -13,16 +14,17 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	fmt.Println("measured compute-to-I/O ratio curves and the growth laws they imply")
 	fmt.Println()
 
 	// Matrix multiplication: R(M) ~ √M.
-	mm, err := kernels.MatMulRatioSweep(16384, []int{8, 16, 32, 64, 128, 256})
+	mm, err := kernels.MatMulRatioSweep(ctx, 16384, []int{8, 16, 32, 64, 128, 256})
 	check(err)
 	reportPower("matrix multiplication (§3.1)", mm, 2)
 
 	// Triangularization: R(M) ~ √M.
-	lu, err := kernels.LURatioSweep(2048, []int{16, 32, 64, 128, 256})
+	lu, err := kernels.LURatioSweep(ctx, 2048, []int{16, 32, 64, 128, 256})
 	check(err)
 	reportPower("matrix triangularization (§3.2)", lu, 2)
 
@@ -37,17 +39,17 @@ func main() {
 	reportPower("3-D grid relaxation (§3.3)", g3, 3)
 
 	// FFT: R(M) ~ log₂M — exponential memory growth.
-	ff, err := kernels.FFTRatioSweep(1<<20, []int{4, 16, 32, 1024})
+	ff, err := kernels.FFTRatioSweep(ctx, 1<<20, []int{4, 16, 32, 1024})
 	check(err)
 	reportLog("fast Fourier transform (§3.4)", ff)
 
 	// Sorting: R(M) ~ log₂M.
-	so, err := kernels.SortRatioSweep([]int{16, 64, 256}, 7)
+	so, err := kernels.SortRatioSweep(ctx, []int{16, 64, 256}, 7)
 	check(err)
 	reportLog("external sorting (§3.5)", so)
 
 	// Matvec: flat — the impossibility result.
-	mv, err := kernels.MatVecRatioSweep(2048, []int{16, 64, 256, 1024})
+	mv, err := kernels.MatVecRatioSweep(ctx, 2048, []int{16, 64, 256, 1024})
 	check(err)
 	fmt.Println("matrix-vector multiplication (§3.6):")
 	for _, p := range mv {

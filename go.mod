@@ -1,0 +1,3 @@
+module balarch
+
+go 1.24

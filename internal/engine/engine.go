@@ -1,0 +1,176 @@
+// Package engine is the concurrent experiment runner underneath the
+// reproduction: a context-aware, cancellable worker pool with deterministic
+// result ordering, per-key result caching, and progress callbacks.
+//
+// The design follows the paper's own decomposition argument (§4): the sweep
+// points and experiments of this reproduction are independent subcomputations,
+// so the harness fans them out across workers exactly as a processor array
+// fans a computation across PEs, and merges their results in a fixed order so
+// concurrency never changes observable output. Every layer of the repo runs on
+// it: internal/kernels fans ratio-sweep points through a Pool, the
+// internal/experiments registry fans whole experiments through a Pool, and
+// cmd/experiments exposes the worker count as -parallel.
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Job is one unit of work for a Pool: the work itself plus an optional key
+// used for caching and progress reporting.
+type Job[T any] struct {
+	// Key identifies the job in progress events and, when the Pool has a
+	// Cache, is the cache key. Jobs with an empty Key are never cached.
+	Key string
+	// Run performs the work. It must honor ctx cancellation for the pool's
+	// cancellation to be prompt, and must not retain ctx after returning.
+	Run func(ctx context.Context) (T, error)
+}
+
+// Event is one progress notification: job Index finished (successfully,
+// with Err set, or served from cache) as the Done-th of Total completions.
+// Events are delivered serially, so Done increases monotonically.
+type Event struct {
+	Key     string
+	Index   int
+	Done    int
+	Total   int
+	Err     error
+	Cached  bool
+	Elapsed time.Duration
+}
+
+// Pool runs a batch of jobs with bounded parallelism. The zero value is
+// ready to use: GOMAXPROCS workers (or the context's parallelism, see
+// WithParallelism), no cache, no progress callback.
+type Pool[T any] struct {
+	// Parallelism bounds the number of concurrently running jobs. Zero or
+	// negative means "inherit": the context's parallelism if set via
+	// WithParallelism, else GOMAXPROCS.
+	Parallelism int
+	// OnProgress, when non-nil, is invoked after each job completes. Calls
+	// are serialized; the callback must not block for long.
+	OnProgress func(Event)
+	// Cache, when non-nil, memoizes results by Job.Key: a job whose key has
+	// a cached value is not re-run, and concurrent jobs sharing a key run
+	// the work once.
+	Cache *Cache[T]
+}
+
+// Run executes jobs and returns their results in job order — result i is
+// job i's, regardless of completion order — so parallel runs are
+// byte-identical to serial ones for deterministic jobs. The first job error
+// cancels the remaining jobs and is returned after all in-flight work
+// drains; jobs skipped by the cancellation never start. If ctx is cancelled
+// externally, Run returns ctx's cause.
+func (p *Pool[T]) Run(ctx context.Context, jobs []Job[T]) ([]T, error) {
+	results := make([]T, len(jobs))
+	if len(jobs) == 0 {
+		return results, ctx.Err()
+	}
+	workers := p.Parallelism
+	if workers <= 0 {
+		workers = ParallelismFrom(ctx)
+	}
+	workers = min(workers, len(jobs))
+
+	ctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+
+	var (
+		wg       sync.WaitGroup
+		progMu   sync.Mutex
+		done     int
+		failOnce sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		failOnce.Do(func() {
+			firstErr = err
+			cancel(err)
+		})
+	}
+	finish := func(i int, err error, cached bool, elapsed time.Duration) {
+		if p.OnProgress == nil {
+			return
+		}
+		progMu.Lock()
+		done++
+		p.OnProgress(Event{
+			Key: jobs[i].Key, Index: i, Done: done, Total: len(jobs),
+			Err: err, Cached: cached, Elapsed: elapsed,
+		})
+		progMu.Unlock()
+	}
+
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if ctx.Err() != nil {
+					continue // cancelled: drain without starting new work
+				}
+				start := time.Now()
+				var (
+					v      T
+					err    error
+					cached bool
+				)
+				if p.Cache != nil && jobs[i].Key != "" {
+					v, err, cached = p.Cache.Do(jobs[i].Key, func() (T, error) {
+						return jobs[i].Run(ctx)
+					})
+				} else {
+					v, err = jobs[i].Run(ctx)
+				}
+				if err != nil {
+					fail(err)
+				} else {
+					results[i] = v
+				}
+				finish(i, err, cached, time.Since(start))
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	if firstErr != nil {
+		return results, firstErr
+	}
+	if ctx.Err() != nil {
+		// External cancellation: report the cause recorded on the context.
+		return results, context.Cause(ctx)
+	}
+	return results, nil
+}
+
+// parallelismKey carries a worker-count hint through a context tree.
+type parallelismKey struct{}
+
+// WithParallelism returns a context that tells every zero-Parallelism Pool
+// beneath it — including the sweep pools inside internal/kernels — to use n
+// workers. n = 1 makes the whole tree run serially; n ≤ 0 is ignored.
+func WithParallelism(ctx context.Context, n int) context.Context {
+	if n <= 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, parallelismKey{}, n)
+}
+
+// ParallelismFrom returns the context's parallelism hint, or GOMAXPROCS
+// when none is set.
+func ParallelismFrom(ctx context.Context) int {
+	if n, ok := ctx.Value(parallelismKey{}).(int); ok && n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}

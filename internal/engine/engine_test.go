@@ -1,0 +1,247 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunOrderingDeterministic(t *testing.T) {
+	jobs := make([]Job[int], 64)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{Key: fmt.Sprint(i), Run: func(context.Context) (int, error) {
+			return i * i, nil
+		}}
+	}
+	for _, par := range []int{1, 2, 8, 64} {
+		p := Pool[int]{Parallelism: par}
+		got, err := p.Run(context.Background(), jobs)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("parallelism %d: result[%d] = %d, want %d", par, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	var p Pool[int]
+	got, err := p.Run(context.Background(), nil)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty run = %v, %v", got, err)
+	}
+}
+
+func TestRunBoundsParallelism(t *testing.T) {
+	var inFlight, peak atomic.Int32
+	jobs := make([]Job[struct{}], 32)
+	for i := range jobs {
+		jobs[i] = Job[struct{}]{Run: func(context.Context) (struct{}, error) {
+			n := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			inFlight.Add(-1)
+			return struct{}{}, nil
+		}}
+	}
+	p := Pool[struct{}]{Parallelism: 3}
+	if _, err := p.Run(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got > 3 {
+		t.Errorf("peak concurrency %d exceeds parallelism 3", got)
+	}
+}
+
+func TestRunFirstErrorCancelsRest(t *testing.T) {
+	var started atomic.Int32
+	boom := errors.New("boom")
+	jobs := make([]Job[int], 100)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{Run: func(ctx context.Context) (int, error) {
+			started.Add(1)
+			if i == 0 {
+				return 0, boom
+			}
+			select {
+			case <-ctx.Done():
+			case <-time.After(50 * time.Millisecond):
+			}
+			return i, nil
+		}}
+	}
+	p := Pool[int]{Parallelism: 2}
+	_, err := p.Run(context.Background(), jobs)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := started.Load(); n == 100 {
+		t.Error("cancellation did not skip any queued jobs")
+	}
+}
+
+func TestRunExternalCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	jobs := []Job[int]{{Run: func(ctx context.Context) (int, error) {
+		return 1, ctx.Err()
+	}}}
+	var p Pool[int]
+	_, err := p.Run(ctx, jobs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunProgressEvents(t *testing.T) {
+	var events []Event
+	jobs := make([]Job[int], 10)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{Key: fmt.Sprintf("job%d", i), Run: func(context.Context) (int, error) { return i, nil }}
+	}
+	p := Pool[int]{Parallelism: 4, OnProgress: func(e Event) { events = append(events, e) }}
+	if _, err := p.Run(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 10 {
+		t.Fatalf("got %d events, want 10", len(events))
+	}
+	for i, e := range events {
+		if e.Done != i+1 || e.Total != 10 {
+			t.Errorf("event %d: Done=%d Total=%d, want %d/10", i, e.Done, e.Total, i+1)
+		}
+	}
+}
+
+func TestRunUsesCache(t *testing.T) {
+	var runs atomic.Int32
+	job := func(key string) Job[int] {
+		return Job[int]{Key: key, Run: func(context.Context) (int, error) {
+			runs.Add(1)
+			return len(key), nil
+		}}
+	}
+	cache := &Cache[int]{}
+	p := Pool[int]{Parallelism: 4, Cache: cache}
+	// 20 jobs over 2 distinct keys: the work runs at most twice.
+	var jobs []Job[int]
+	for i := 0; i < 10; i++ {
+		jobs = append(jobs, job("aa"), job("bbb"))
+	}
+	got, err := p.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		want := 2 + i%2
+		if v != want {
+			t.Errorf("result[%d] = %d, want %d", i, v, want)
+		}
+	}
+	if n := runs.Load(); n != 2 {
+		t.Errorf("work ran %d times, want 2 (single-flight per key)", n)
+	}
+}
+
+func TestCacheDoesNotStoreErrors(t *testing.T) {
+	var c Cache[int]
+	calls := 0
+	fail := func() (int, error) { calls++; return 0, errors.New("transient") }
+	if _, err, _ := c.Do("k", fail); err == nil {
+		t.Fatal("want error")
+	}
+	if _, err, _ := c.Do("k", fail); err == nil {
+		t.Fatal("want error on retry")
+	}
+	if calls != 2 {
+		t.Errorf("fn ran %d times, want 2 (errors must not be cached)", calls)
+	}
+	if _, err, hit := c.Do("k", func() (int, error) { return 7, nil }); err != nil || hit {
+		t.Fatalf("success run: err=%v hit=%v", err, hit)
+	}
+	if v, _, hit := c.Do("k", fail); v != 7 || !hit {
+		t.Errorf("cached read = %d, hit=%v; want 7, true", v, hit)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+	c.Forget("k")
+	c.Reset()
+	if c.Len() != 0 {
+		t.Errorf("Len after Reset = %d", c.Len())
+	}
+}
+
+func TestCacheConcurrentSingleFlight(t *testing.T) {
+	var c Cache[int]
+	var runs atomic.Int32
+	const callers = 32
+	errs := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		go func() {
+			v, err, _ := c.Do("shared", func() (int, error) {
+				runs.Add(1)
+				time.Sleep(5 * time.Millisecond)
+				return 42, nil
+			})
+			if err == nil && v != 42 {
+				err = fmt.Errorf("v = %d", v)
+			}
+			errs <- err
+		}()
+	}
+	for i := 0; i < callers; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := runs.Load(); n != 1 {
+		t.Errorf("work ran %d times, want 1", n)
+	}
+}
+
+func TestWithParallelism(t *testing.T) {
+	ctx := context.Background()
+	if got := ParallelismFrom(WithParallelism(ctx, 3)); got != 3 {
+		t.Errorf("ParallelismFrom = %d, want 3", got)
+	}
+	if got := ParallelismFrom(WithParallelism(ctx, 0)); got < 1 {
+		t.Errorf("default parallelism %d < 1", got)
+	}
+	// A zero-Parallelism pool inherits the context hint: with hint 1 the
+	// jobs run strictly serially.
+	var inFlight, peak atomic.Int32
+	jobs := make([]Job[int], 8)
+	for i := range jobs {
+		jobs[i] = Job[int]{Run: func(context.Context) (int, error) {
+			n := inFlight.Add(1)
+			if p := peak.Load(); n > p {
+				peak.CompareAndSwap(p, n)
+			}
+			time.Sleep(time.Millisecond)
+			inFlight.Add(-1)
+			return 0, nil
+		}}
+	}
+	var p Pool[int]
+	if _, err := p.Run(WithParallelism(ctx, 1), jobs); err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() != 1 {
+		t.Errorf("peak concurrency %d with parallelism hint 1", peak.Load())
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"balarch/internal/array"
@@ -13,7 +14,7 @@ import (
 )
 
 // The X-series experiments are ablations of the reproduction's design
-// choices (DESIGN.md §4 acceptance notes): they vary one assumption the
+// choices (DESIGN.md §3 index): they vary one assumption the
 // paper makes and confirm the result moves the way the model predicts.
 
 // RunX1CornerMesh ablates the mesh's host attachment: the paper's §4.2
@@ -21,7 +22,10 @@ import (
 // traffic (aggregate IO ∝ p). Feeding the same mesh through a single corner
 // link holds IO constant, raises the effective α to p², and destroys the
 // automatic balance — per-PE memory must then grow ∝ p².
-func RunX1CornerMesh() (*report.Result, error) {
+func RunX1CornerMesh(ctx context.Context) (*report.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	r := &report.Result{ID: "X1", Title: "ablation: mesh host attachment (perimeter vs corner)", PaperLocus: "§4.2"}
 	cell := model.PE{C: 4e6, IO: 1e6, M: 1}
 	ladder := arrayLadder(1 << 13)
@@ -76,7 +80,10 @@ func RunX1CornerMesh() (*report.Result, error) {
 // which costs 2× the runtime unless the two overlap. Double buffering
 // recovers the factor: at the balance point the overlapped pipeline runs the
 // same steps in half the serial makespan with the compute unit ≈ fully busy.
-func RunX2Overlap() (*report.Result, error) {
+func RunX2Overlap(ctx context.Context) (*report.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	r := &report.Result{ID: "X2", Title: "ablation: serial vs double-buffered execution at the balance point", PaperLocus: "§2 (balance condition)"}
 	// A PE exactly balanced for matmul at M = 1024: intensity 32 = √1024.
 	rates := machine.Rates{ComputeOps: 32e6, IOWords: 1e6}
@@ -139,7 +146,10 @@ func RunX2Overlap() (*report.Result, error) {
 // clairvoyant replacement policy (Belady OPT) on the naive schedule cannot
 // approach what a dumb policy (LRU) achieves on the blocked schedule —
 // restructuring the computation, not improving the cache, buys the √M.
-func RunX3PolicyVsSchedule() (*report.Result, error) {
+func RunX3PolicyVsSchedule(ctx context.Context) (*report.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	r := &report.Result{ID: "X3", Title: "ablation: replacement policy vs decomposition", PaperLocus: "§1, §3.1"}
 	n, b := 32, 8
 	cache := b*b + 4*b

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"balarch/internal/array"
@@ -23,7 +24,10 @@ func arrayLadder(max int) []int {
 // running matrix multiplication, the per-PE memory needed for balance grows
 // linearly with p, because the aggregate C grows ×p while the boundary I/O
 // does not.
-func RunE08Array1D() (*report.Result, error) {
+func RunE08Array1D(ctx context.Context) (*report.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	r := &report.Result{ID: "E8", Title: "1-D processor array balance", PaperLocus: "§4.1, Fig. 3"}
 	cell := model.PE{C: 4e6, IO: 1e6, M: 1} // per-cell intensity C/IO = 4
 	workload := array.MatMulWorkload{N: 2048}
@@ -104,7 +108,10 @@ func RunE08Array1D() (*report.Result, error) {
 // constant per-PE memory (the array is "automatically balanced"), while a
 // 3-D grid — whose law is strictly steeper than α² — needs per-PE memory
 // growing with p.
-func RunE09Mesh2D() (*report.Result, error) {
+func RunE09Mesh2D(ctx context.Context) (*report.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	r := &report.Result{ID: "E9", Title: "2-D mesh balance", PaperLocus: "§4.2, Fig. 4"}
 
 	// Part 1: matmul — constant per-PE memory.

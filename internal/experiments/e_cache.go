@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -15,7 +16,10 @@ import (
 // motivation: a local memory only reduces I/O when the computation is
 // decomposed to exploit it, and the blocked schedule's measured traffic
 // matches the §3.1 counter model.
-func RunE12Cache() (*report.Result, error) {
+func RunE12Cache(ctx context.Context) (*report.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	r := &report.Result{ID: "E12", Title: "cache simulation of naive vs blocked matmul", PaperLocus: "§1 (motivation), §3.1"}
 	n, b := 48, 8
 	naive, err := memsim.NaiveMatMulTrace(n)

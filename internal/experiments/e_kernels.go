@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -8,6 +9,7 @@ import (
 	"balarch/internal/fit"
 	"balarch/internal/kernels"
 	"balarch/internal/model"
+	"balarch/internal/opcount"
 	"balarch/internal/report"
 	"balarch/internal/textplot"
 )
@@ -32,15 +34,19 @@ var (
 	iobChunks = []int{16, 32, 64, 128, 256, 512, 1024, 2048}
 )
 
-// matmulSweep measures the §3.1 blocked scheme.
-func matmulSweep() ([]kernels.RatioPoint, error) {
-	return kernels.MatMulRatioSweep(matmulN, matmulBlocks)
+// matmulSweep measures the §3.1 blocked scheme. Like every sweep helper
+// below, it is memoized per suite run via the context's sweep cache, because
+// E1 re-measures the same curves the per-kernel experiments measure.
+func matmulSweep(ctx context.Context) ([]kernels.RatioPoint, error) {
+	return cachedSweep(ctx, "matmul", func() ([]kernels.RatioPoint, error) {
+		return kernels.MatMulRatioSweep(ctx, matmulN, matmulBlocks)
+	})
 }
 
 // RunE02MatMul reproduces §3.1: R(M) = Θ(√M), hence M_new = α²·M_old.
-func RunE02MatMul() (*report.Result, error) {
+func RunE02MatMul(ctx context.Context) (*report.Result, error) {
 	r := &report.Result{ID: "E2", Title: "matrix multiplication balance", PaperLocus: "§3.1, eq. (2)"}
-	pts, err := matmulSweep()
+	pts, err := matmulSweep(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -48,14 +54,16 @@ func RunE02MatMul() (*report.Result, error) {
 }
 
 // luSweep measures the §3.2 blocked triangularization.
-func luSweep() ([]kernels.RatioPoint, error) {
-	return kernels.LURatioSweep(luN, luBlocks)
+func luSweep(ctx context.Context) ([]kernels.RatioPoint, error) {
+	return cachedSweep(ctx, "lu", func() ([]kernels.RatioPoint, error) {
+		return kernels.LURatioSweep(ctx, luN, luBlocks)
+	})
 }
 
 // RunE03Triangularization reproduces §3.2: R(M) = Θ(√M), M_new = α²·M_old.
-func RunE03Triangularization() (*report.Result, error) {
+func RunE03Triangularization(ctx context.Context) (*report.Result, error) {
 	r := &report.Result{ID: "E3", Title: "matrix triangularization balance", PaperLocus: "§3.2"}
-	pts, err := luSweep()
+	pts, err := luSweep(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -102,7 +110,7 @@ type gridSweep struct {
 	pts   []kernels.RatioPoint // Memory field holds the tile volume s^d
 }
 
-func gridSweeps() ([]gridSweep, error) {
+func gridSweeps(ctx context.Context) ([]gridSweep, error) {
 	cfgs := []struct {
 		dim, size int
 		tiles     []int
@@ -112,26 +120,37 @@ func gridSweeps() ([]gridSweep, error) {
 		{3, 512, []int{4, 8, 16, 32}},
 		{4, 120, []int{3, 4, 6}},
 	}
-	var sweeps []gridSweep
-	for _, cfg := range cfgs {
-		sw := gridSweep{dim: cfg.dim, tiles: cfg.tiles, size: cfg.size}
-		for _, tile := range cfg.tiles {
-			spec := kernels.GridSpec{Dim: cfg.dim, Size: cfg.size, Tile: tile, Iters: 1}
-			tot, err := kernels.CountRelaxTiled(spec)
-			if err != nil {
-				return nil, err
-			}
-			sw.pts = append(sw.pts, kernels.RatioPoint{Memory: spec.TileVolume(), Totals: tot})
+	sweeps := make([]gridSweep, len(cfgs))
+	for i, cfg := range cfgs {
+		cfg := cfg
+		// Each dimension is one kernels.Sweep over its tile sizes, keyed by
+		// the E4 convention of plotting against the tile *volume* s^d.
+		pts, err := cachedSweep(ctx, fmt.Sprintf("grid_d%d", cfg.dim), func() ([]kernels.RatioPoint, error) {
+			pts, _, err := kernels.Sweep(ctx, cfg.tiles, func(_ context.Context, tile int, c *opcount.Counter) (int, error) {
+				spec := kernels.GridSpec{Dim: cfg.dim, Size: cfg.size, Tile: tile, Iters: 1}
+				tot, err := kernels.CountRelaxTiled(spec)
+				if err != nil {
+					return 0, err
+				}
+				c.Ops64(tot.Ops)
+				c.Read64(tot.Reads)
+				c.Write64(tot.Writes)
+				return spec.TileVolume(), nil
+			})
+			return pts, err
+		})
+		if err != nil {
+			return nil, err
 		}
-		sweeps = append(sweeps, sw)
+		sweeps[i] = gridSweep{dim: cfg.dim, tiles: cfg.tiles, size: cfg.size, pts: pts}
 	}
 	return sweeps, nil
 }
 
 // RunE04Grid reproduces §3.3: R(M) = Θ(M^(1/d)), hence M_new = α^d·M_old.
-func RunE04Grid() (*report.Result, error) {
+func RunE04Grid(ctx context.Context) (*report.Result, error) {
 	r := &report.Result{ID: "E4", Title: "d-dimensional grid relaxation balance", PaperLocus: "§3.3"}
-	sweeps, err := gridSweeps()
+	sweeps, err := gridSweeps(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -178,15 +197,17 @@ func RunE04Grid() (*report.Result, error) {
 }
 
 // fftSweep measures the §3.4 blocked FFT.
-func fftSweep() ([]kernels.RatioPoint, error) {
-	return kernels.FFTRatioSweep(fftN, fftBlocks)
+func fftSweep(ctx context.Context) ([]kernels.RatioPoint, error) {
+	return cachedSweep(ctx, "fft", func() ([]kernels.RatioPoint, error) {
+		return kernels.FFTRatioSweep(ctx, fftN, fftBlocks)
+	})
 }
 
 // RunE05FFT reproduces §3.4: R(M) = Θ(log₂M), hence M_new = M_old^α, and
 // renders the Fig. 2 decomposition for N=16, M=4.
-func RunE05FFT() (*report.Result, error) {
+func RunE05FFT(ctx context.Context) (*report.Result, error) {
 	r := &report.Result{ID: "E5", Title: "FFT balance", PaperLocus: "§3.4, Fig. 2"}
-	pts, err := fftSweep()
+	pts, err := fftSweep(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -216,14 +237,16 @@ func RunE05FFT() (*report.Result, error) {
 }
 
 // sortSweep measures the §3.5 external sort on random keys.
-func sortSweep() ([]kernels.RatioPoint, error) {
-	return kernels.SortRatioSweep(sortMs, sortSeed)
+func sortSweep(ctx context.Context) ([]kernels.RatioPoint, error) {
+	return cachedSweep(ctx, "sort", func() ([]kernels.RatioPoint, error) {
+		return kernels.SortRatioSweep(ctx, sortMs, sortSeed)
+	})
 }
 
 // RunE06Sorting reproduces §3.5: R(M) = Θ(log₂M), hence M_new = M_old^α.
-func RunE06Sorting() (*report.Result, error) {
+func RunE06Sorting(ctx context.Context) (*report.Result, error) {
 	r := &report.Result{ID: "E6", Title: "external sorting balance", PaperLocus: "§3.5"}
-	pts, err := sortSweep()
+	pts, err := sortSweep(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -266,29 +289,35 @@ func finishLogLawExperiment(r *report.Result, pts []kernels.RatioPoint, wantScal
 }
 
 // iobSweeps measures the §3.6 kernels.
-func iobSweeps() (mv, ts []kernels.RatioPoint, err error) {
-	mv, err = kernels.MatVecRatioSweep(iobN, iobChunks)
+func iobSweeps(ctx context.Context) (mv, ts []kernels.RatioPoint, err error) {
+	mv, err = cachedSweep(ctx, "matvec", func() ([]kernels.RatioPoint, error) {
+		return kernels.MatVecRatioSweep(ctx, iobN, iobChunks)
+	})
 	if err != nil {
 		return nil, nil, err
 	}
-	ts, err = kernels.TriSolveRatioSweep(iobN, iobChunks)
+	ts, err = cachedSweep(ctx, "trisolve", func() ([]kernels.RatioPoint, error) {
+		return kernels.TriSolveRatioSweep(ctx, iobN, iobChunks)
+	})
 	return mv, ts, err
 }
 
 // spmvSweep measures the §4 sparse remark.
-func spmvSweep() ([]kernels.RatioPoint, error) {
-	return kernels.SpMVRatioSweep(iobN, 8, iobChunks)
+func spmvSweep(ctx context.Context) ([]kernels.RatioPoint, error) {
+	return cachedSweep(ctx, "spmv", func() ([]kernels.RatioPoint, error) {
+		return kernels.SpMVRatioSweep(ctx, iobN, 8, iobChunks)
+	})
 }
 
 // RunE07IOBound reproduces §3.6: matvec and triangular solve have R(M) =
 // Θ(1); no memory size rebalances a PE whose C/IO exceeds that constant.
-func RunE07IOBound() (*report.Result, error) {
+func RunE07IOBound(ctx context.Context) (*report.Result, error) {
 	r := &report.Result{ID: "E7", Title: "I/O-bounded computations", PaperLocus: "§3.6"}
-	mv, ts, err := iobSweeps()
+	mv, ts, err := iobSweeps(ctx)
 	if err != nil {
 		return nil, err
 	}
-	sp, err := spmvSweep()
+	sp, err := spmvSweep(ctx)
 	if err != nil {
 		return nil, err
 	}

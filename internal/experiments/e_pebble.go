@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"balarch/internal/pebble"
@@ -12,7 +13,10 @@ import (
 // §3.5 cite Hong & Kung 1981) on the red-blue pebble game itself: exhaustive
 // minimum-I/O search on tiny DAGs brackets the blocked and greedy
 // strategies, and the closed-form lower bounds hold against every schedule.
-func RunE11Pebble() (*report.Result, error) {
+func RunE11Pebble(ctx context.Context) (*report.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	r := &report.Result{ID: "E11", Title: "pebble-game optimality checks", PaperLocus: "§3.1/§3.4/§3.5 (Hong–Kung 1981)"}
 
 	// Part 1: exact optima on tiny DAGs vs strategies.

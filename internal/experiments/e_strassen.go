@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -17,16 +18,16 @@ import (
 // M_new ≈ α^2.48·M_old — strictly steeper than classical matmul's α².
 // Doing asymptotically less arithmetic per data word buys speed but *costs*
 // balance slack: faster algorithms need faster memory growth.
-func RunX4Strassen() (*report.Result, error) {
+func RunX4Strassen(ctx context.Context) (*report.Result, error) {
 	r := &report.Result{ID: "X4", Title: "extension: communication-avoiding Strassen's balance law", PaperLocus: "§5 (other computations); contrast with §3.1"}
 	n := 4096
 	leaves := []int{8, 16, 32, 64, 128, 256}
-	strassen, err := kernels.StrassenRatioSweep(n, leaves)
+	strassen, err := kernels.StrassenRatioSweep(ctx, n, leaves)
 	if err != nil {
 		return nil, err
 	}
 	blocks := []int{8, 16, 32, 64, 128, 256}
-	classical, err := kernels.MatMulRatioSweep(32768, blocks)
+	classical, err := kernels.MatMulRatioSweep(ctx, 32768, blocks)
 	if err != nil {
 		return nil, err
 	}

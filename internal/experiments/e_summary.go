@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"balarch/internal/fit"
@@ -14,7 +15,10 @@ import (
 // result — by measuring every computation's ratio curve, classifying its
 // functional family, and comparing against the paper's growth law. It also
 // renders Fig. 1.
-func RunE01Summary() (*report.Result, error) {
+func RunE01Summary(ctx context.Context) (*report.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	r := &report.Result{ID: "E1", Title: "summary of results (§3 opening table)", PaperLocus: "§3"}
 
 	type row struct {
@@ -26,19 +30,19 @@ func RunE01Summary() (*report.Result, error) {
 	}
 	var rows []row
 
-	mm, err := matmulSweep()
+	mm, err := matmulSweep(ctx)
 	if err != nil {
 		return nil, err
 	}
 	rows = append(rows, row{"matrix multiplication", "M_new = α²·M_old", fit.ModelPower, 0.5, mm})
 
-	lu, err := luSweep()
+	lu, err := luSweep(ctx)
 	if err != nil {
 		return nil, err
 	}
 	rows = append(rows, row{"matrix triangularization", "M_new = α²·M_old", fit.ModelPower, 0.5, lu})
 
-	grids, err := gridSweeps()
+	grids, err := gridSweeps(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -53,19 +57,19 @@ func RunE01Summary() (*report.Result, error) {
 		})
 	}
 
-	ff, err := fftSweep()
+	ff, err := fftSweep(ctx)
 	if err != nil {
 		return nil, err
 	}
 	rows = append(rows, row{"FFT", "M_new = M_old^α", fit.ModelLog, 2.5, ff})
 
-	so, err := sortSweep()
+	so, err := sortSweep(ctx)
 	if err != nil {
 		return nil, err
 	}
 	rows = append(rows, row{"sorting", "M_new = M_old^α", fit.ModelLog, 1.0, so})
 
-	mv, ts, err := iobSweeps()
+	mv, ts, err := iobSweeps(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"balarch/internal/array"
@@ -16,7 +17,10 @@ import (
 // results of this paper": with per-cell intensity C/IO = 0.5 and the 10-cell
 // aggregate intensity only 5, every computation-bounded kernel balances
 // within a tiny fraction of the provided memory.
-func RunE10Warp() (*report.Result, error) {
+func RunE10Warp(ctx context.Context) (*report.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	r := &report.Result{ID: "E10", Title: "CMU Warp case study", PaperLocus: "§5"}
 	cell := model.Warp()
 	arr := array.LinearArray{P: model.WarpCells, Cell: cell}

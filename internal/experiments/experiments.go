@@ -1,31 +1,46 @@
 // Package experiments reproduces every table and figure of the paper's
-// evaluation as executable experiments E1–E12 (see DESIGN.md for the index).
-// Each experiment measures its claim on the instrumented kernels, the
-// pebble game, or the array simulator, fits the measured curves, and emits
-// a report.Result with pass/fail claims, rendered tables, and text figures.
+// evaluation as executable experiments E1–E12 plus the X1–X4 ablations and
+// extensions (see DESIGN.md for the index). Each experiment measures its
+// claim on the instrumented kernels, the pebble game, or the array
+// simulator, fits the measured curves, and emits a report.Result with
+// pass/fail claims, rendered tables, and text figures. Experiments are
+// independent, so RunAll fans them out across an engine.Pool; results come
+// back in id order regardless of parallelism.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
+	"balarch/internal/engine"
 	"balarch/internal/fit"
 	"balarch/internal/kernels"
 	"balarch/internal/report"
 	"balarch/internal/textplot"
 )
 
-// Experiment is a runnable reproduction of one paper table or figure.
+// Experiment is a runnable reproduction of one paper table or figure. Run
+// honors ctx cancellation: a cancelled context aborts the experiment's
+// sweeps and returns the context's error.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func() (*report.Result, error)
+	Run   func(ctx context.Context) (*report.Result, error)
 }
 
-// Registry returns all experiments in id order.
-func Registry() []Experiment {
-	exps := []Experiment{
+// The registry is built exactly once; every Registry/Get call after the
+// first is an allocation-free read.
+var (
+	registryOnce sync.Once
+	registry     []Experiment
+	registryByID map[string]Experiment
+)
+
+func buildRegistry() {
+	registry = []Experiment{
 		{"E1", "summary of §3: memory growth laws for all computations", RunE01Summary},
 		{"E2", "matrix multiplication ratio and α² law", RunE02MatMul},
 		{"E3", "matrix triangularization ratio and α² law", RunE03Triangularization},
@@ -43,18 +58,86 @@ func Registry() []Experiment {
 		{"X3", "ablation: replacement policy vs decomposition", RunX3PolicyVsSchedule},
 		{"X4", "extension: communication-avoiding Strassen's balance law", RunX4Strassen},
 	}
-	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
-	return exps
+	sort.Slice(registry, func(i, j int) bool { return registry[i].ID < registry[j].ID })
+	registryByID = make(map[string]Experiment, len(registry))
+	for _, e := range registry {
+		registryByID[e.ID] = e
+	}
+}
+
+// Registry returns all experiments in id order. The returned slice is the
+// package's cached registry: callers must not modify it.
+func Registry() []Experiment {
+	registryOnce.Do(buildRegistry)
+	return registry
 }
 
 // Get returns the experiment with the given id.
 func Get(id string) (Experiment, error) {
-	for _, e := range Registry() {
-		if e.ID == id {
-			return e, nil
+	registryOnce.Do(buildRegistry)
+	e, ok := registryByID[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+	}
+	return e, nil
+}
+
+// RunAll runs every registered experiment on an engine.Pool with the given
+// parallelism (≤ 0 means GOMAXPROCS) and returns the results in id order —
+// byte-identical to a serial run, whatever the worker count. The
+// parallelism also propagates down to the kernel sweep pools via the
+// context, so parallelism 1 is a genuinely serial run of the whole tree.
+// pass reports whether every claim of every experiment passed. The first
+// experiment error cancels the rest.
+func RunAll(ctx context.Context, parallelism int) (results []*report.Result, pass bool, err error) {
+	reg := Registry()
+	ctx = engine.WithParallelism(ctx, parallelism)
+	ctx = withSweepCache(ctx)
+	jobs := make([]engine.Job[*report.Result], len(reg))
+	for i, e := range reg {
+		e := e
+		jobs[i] = engine.Job[*report.Result]{Key: e.ID, Run: func(ctx context.Context) (*report.Result, error) {
+			res, err := e.Run(ctx)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", e.ID, err)
+			}
+			return res, nil
+		}}
+	}
+	pool := engine.Pool[*report.Result]{Parallelism: parallelism}
+	results, err = pool.Run(ctx, jobs)
+	if err != nil {
+		return nil, false, err
+	}
+	pass = true
+	for _, r := range results {
+		if !r.Pass() {
+			pass = false
 		}
 	}
-	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+	return results, pass, nil
+}
+
+// withSweepCache gives one suite run a shared memo for the kernel sweeps
+// that several experiments repeat (E1 re-measures the curves E2–E7 measure).
+// The cache is scoped to the context so separate RunAll calls — and
+// benchmark iterations — stay independent.
+func withSweepCache(ctx context.Context) context.Context {
+	return context.WithValue(ctx, sweepCacheKey{}, &engine.Cache[[]kernels.RatioPoint]{})
+}
+
+type sweepCacheKey struct{}
+
+// cachedSweep memoizes fn under key in the context's sweep cache; without a
+// cache on the context it just runs fn. Concurrent experiments asking for
+// the same sweep share one in-flight computation.
+func cachedSweep(ctx context.Context, key string, fn func() ([]kernels.RatioPoint, error)) ([]kernels.RatioPoint, error) {
+	cache, ok := ctx.Value(sweepCacheKey{}).(*engine.Cache[[]kernels.RatioPoint])
+	if !ok {
+		return fn()
+	}
+	pts, err, _ := cache.Do(key, fn)
+	return pts, err
 }
 
 // --- shared helpers ---

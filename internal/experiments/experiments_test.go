@@ -1,26 +1,34 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
+	"balarch/internal/engine"
 	"balarch/internal/fit"
+	"balarch/internal/kernels"
 )
 
 // TestAllExperimentsPass runs the full harness: every experiment must
 // execute without error and every claim must pass — this is the
-// reproduction's acceptance test.
+// reproduction's acceptance test. RunAll fans the experiments out in
+// parallel; each result is then checked individually.
 func TestAllExperimentsPass(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiments are seconds-long; skipped in -short")
 	}
-	for _, exp := range Registry() {
-		exp := exp
+	reg := Registry()
+	results, _, err := RunAll(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(reg) {
+		t.Fatalf("RunAll returned %d results, want %d", len(results), len(reg))
+	}
+	for i, exp := range reg {
+		exp, res := exp, results[i]
 		t.Run(exp.ID, func(t *testing.T) {
-			res, err := exp.Run()
-			if err != nil {
-				t.Fatalf("%s failed to run: %v", exp.ID, err)
-			}
 			if res.ID != exp.ID {
 				t.Errorf("result ID %q != experiment ID %q", res.ID, exp.ID)
 			}
@@ -100,5 +108,90 @@ func TestWithin(t *testing.T) {
 	}
 	if within(5, 4, 0.9, 1.1) {
 		t.Error("5 should not be within 10% of 4")
+	}
+}
+
+// TestRegistryBuildOnce: Registry and Get must serve from the one cached
+// build — no re-allocation, no re-sort, no linear scan.
+func TestRegistryBuildOnce(t *testing.T) {
+	a, b := Registry(), Registry()
+	if &a[0] != &b[0] {
+		t.Error("Registry rebuilt its slice between calls")
+	}
+	// Ids come back sorted (lexicographically, matching the seed's order).
+	for i := 1; i < len(a); i++ {
+		if a[i-1].ID >= a[i].ID {
+			t.Errorf("registry unsorted at %d: %s >= %s", i, a[i-1].ID, a[i].ID)
+		}
+	}
+}
+
+func TestRunAllOrderAndCancellation(t *testing.T) {
+	// A cancelled context fails fast without running experiments.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := RunAll(ctx, 2); err == nil {
+		t.Error("RunAll with cancelled context returned nil error")
+	}
+}
+
+// TestRunAllParallelMatchesSerial is the determinism gate on a fast subset:
+// the parallel engine must produce byte-identical reports to the serial
+// path. The full-suite version lives in the root package's tests.
+func TestRunAllParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two experiments twice; skipped in -short")
+	}
+	for _, id := range []string{"E5", "E7"} {
+		exp, err := Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := exp.Run(engine.WithParallelism(context.Background(), 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := exp.Run(engine.WithParallelism(context.Background(), 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sj, err := serial.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pj, err := parallel.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(sj) != string(pj) {
+			t.Errorf("%s: parallel JSON differs from serial", id)
+		}
+	}
+}
+
+// TestSweepCacheSharedAcrossSuite: within one RunAll, the sweeps E1 repeats
+// from E2–E7 are computed once and shared.
+func TestSweepCacheSharedAcrossSuite(t *testing.T) {
+	ctx := withSweepCache(context.Background())
+	calls := 0
+	fn := func() ([]kernels.RatioPoint, error) {
+		calls++
+		return []kernels.RatioPoint{{Memory: 1}}, nil
+	}
+	if _, err := cachedSweep(ctx, "k", fn); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cachedSweep(ctx, "k", fn); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Errorf("sweep ran %d times under one suite context, want 1", calls)
+	}
+	// Without a cache on the context, cachedSweep degrades to a plain call.
+	if _, err := cachedSweep(context.Background(), "k", fn); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Errorf("uncached context should run fn (calls=%d, want 2)", calls)
 	}
 }

@@ -1,6 +1,7 @@
 package kernels
 
 import (
+	"context"
 	"fmt"
 
 	"balarch/internal/opcount"
@@ -89,17 +90,17 @@ func CountConvolve(spec ConvolveSpec) (opcount.Totals, error) {
 // ConvolveRatioSweep measures the FIR ratio across *memory* sizes at fixed
 // taps — the flat profile — or across tap counts at ample memory — the
 // linear-in-k profile — depending on which slice the caller requests.
-func ConvolveRatioSweep(n int, taps []int) ([]RatioPoint, error) {
-	pts := make([]RatioPoint, 0, len(taps))
-	for _, k := range taps {
+func ConvolveRatioSweep(ctx context.Context, n int, taps []int) ([]RatioPoint, error) {
+	pts, _, err := Sweep(ctx, taps, func(_ context.Context, k int, c *opcount.Counter) (int, error) {
 		spec := ConvolveSpec{N: n, Taps: k}
 		tot, err := CountConvolve(spec)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		pts = append(pts, RatioPoint{Memory: spec.Memory(), Totals: tot})
-	}
-	return pts, nil
+		countPoint(c, tot)
+		return spec.Memory(), nil
+	})
+	return pts, err
 }
 
 // ConvolveRef is the O(N·k) reference used to validate Convolve.

@@ -1,6 +1,7 @@
 package kernels
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -94,7 +95,7 @@ func TestConvolveValidation(t *testing.T) {
 }
 
 func TestConvolveRatioSweep(t *testing.T) {
-	pts, err := ConvolveRatioSweep(1<<16, []int{2, 4, 8, 16})
+	pts, err := ConvolveRatioSweep(context.Background(), 1<<16, []int{2, 4, 8, 16})
 	if err != nil {
 		t.Fatal(err)
 	}

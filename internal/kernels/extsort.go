@@ -1,6 +1,7 @@
 package kernels
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -206,21 +207,21 @@ func siftDownMerge(heap []mergeEntry, root, end int, c *opcount.Counter) {
 // SortRatioSweep measures the external-sort ratio across memory sizes for
 // the E6 experiment. Each point sorts N = runsPerMemory·M² keys so phase 2
 // is a genuine M-way merge, keeping both phases in the paper's regime. The
-// seed fixes the random input so the sweep is reproducible.
-func SortRatioSweep(ms []int, seed int64) ([]RatioPoint, error) {
-	pts := make([]RatioPoint, 0, len(ms))
-	for _, m := range ms {
+// seed fixes the random input so the sweep is reproducible; each point
+// regenerates its own input from the seed, so points are independent and
+// run in parallel via Sweep.
+func SortRatioSweep(ctx context.Context, ms []int, seed int64) ([]RatioPoint, error) {
+	pts, _, err := Sweep(ctx, ms, func(_ context.Context, m int, c *opcount.Counter) (int, error) {
 		n := m * m
 		rng := rand.New(rand.NewSource(seed))
 		input := make([]int64, n)
 		for i := range input {
 			input[i] = rng.Int63()
 		}
-		var c opcount.Counter
-		if _, err := ExternalSort(SortSpec{N: n, M: m}, input, &c); err != nil {
-			return nil, err
+		if _, err := ExternalSort(SortSpec{N: n, M: m}, input, c); err != nil {
+			return 0, err
 		}
-		pts = append(pts, RatioPoint{Memory: m, Totals: c.Snapshot()})
-	}
-	return pts, nil
+		return m, nil
+	})
+	return pts, err
 }

@@ -1,6 +1,7 @@
 package kernels
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -160,7 +161,7 @@ func TestExternalSortIOTraffic(t *testing.T) {
 // TestSortRatioGrowsLogarithmically verifies the §3.5 claim: doubling log₂M
 // roughly doubles the comparisons-per-word ratio.
 func TestSortRatioGrowsLogarithmically(t *testing.T) {
-	pts, err := SortRatioSweep([]int{16, 256}, 44)
+	pts, err := SortRatioSweep(context.Background(), []int{16, 256}, 44)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,9 +189,9 @@ func TestMergePasses(t *testing.T) {
 		spec SortSpec
 		want int
 	}{
-		{SortSpec{N: 16, M: 4}, 1},   // 4 runs, fan-in 4
-		{SortSpec{N: 64, M: 4}, 2},   // 16 runs → 4 → 1
-		{SortSpec{N: 4, M: 4}, 0},    // single run
+		{SortSpec{N: 16, M: 4}, 1},    // 4 runs, fan-in 4
+		{SortSpec{N: 64, M: 4}, 2},    // 16 runs → 4 → 1
+		{SortSpec{N: 4, M: 4}, 0},     // single run
 		{SortSpec{N: 1000, M: 10}, 2}, // 100 runs → 10 → 1
 	}
 	for _, tc := range cases {

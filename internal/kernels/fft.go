@@ -1,6 +1,7 @@
 package kernels
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
@@ -208,18 +209,19 @@ func CountBlockedFFT(spec FFTSpec) (opcount.Totals, error) {
 
 // FFTRatioSweep measures the blocked FFT ratio across block sizes at fixed N
 // for the E5 experiment. Choosing N with log₂N divisible by log₂Block makes
-// every pass full, matching the paper's asymptotic count exactly.
-func FFTRatioSweep(n int, blocks []int) ([]RatioPoint, error) {
-	pts := make([]RatioPoint, 0, len(blocks))
-	for _, bs := range blocks {
+// every pass full, matching the paper's asymptotic count exactly. Points
+// run in parallel via Sweep.
+func FFTRatioSweep(ctx context.Context, n int, blocks []int) ([]RatioPoint, error) {
+	pts, _, err := Sweep(ctx, blocks, func(_ context.Context, bs int, c *opcount.Counter) (int, error) {
 		spec := FFTSpec{N: n, Block: bs}
 		t, err := CountBlockedFFT(spec)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		pts = append(pts, RatioPoint{Memory: spec.Memory(), Totals: t})
-	}
-	return pts, nil
+		countPoint(c, t)
+		return spec.Memory(), nil
+	})
+	return pts, err
 }
 
 // FFTDecomposition describes the block structure of one pass for the Fig. 2

@@ -223,7 +223,7 @@ func TestDecomposeFFTFig2(t *testing.T) {
 // index exactly once — the shuffle is a permutation.
 func TestDecompositionPermutationProperty(t *testing.T) {
 	f := func(n8, b8 uint8) bool {
-		nPow := 2 + int(n8%8)  // N = 4 .. 512
+		nPow := 2 + int(n8%8) // N = 4 .. 512
 		bPow := 1 + int(b8)%nPow
 		spec := FFTSpec{N: 1 << nPow, Block: 1 << bPow}
 		dec, err := DecomposeFFT(spec)

@@ -1,6 +1,7 @@
 package kernels
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -290,15 +291,16 @@ func forEachTile(spec GridSpec, tileLo []int, fn func()) {
 
 // GridRatioSweep measures the relaxation ratio across tile sizes for the E4
 // experiment. size should be ≫ the largest tile so interior tiles dominate.
-func GridRatioSweep(dim, size, iters int, tiles []int) ([]RatioPoint, error) {
-	pts := make([]RatioPoint, 0, len(tiles))
-	for _, tile := range tiles {
+// Points run in parallel via Sweep.
+func GridRatioSweep(ctx context.Context, dim, size, iters int, tiles []int) ([]RatioPoint, error) {
+	pts, _, err := Sweep(ctx, tiles, func(_ context.Context, tile int, c *opcount.Counter) (int, error) {
 		spec := GridSpec{Dim: dim, Size: size, Tile: tile, Iters: iters}
 		t, err := CountRelaxTiled(spec)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		pts = append(pts, RatioPoint{Memory: spec.Memory(), Totals: t})
-	}
-	return pts, nil
+		countPoint(c, t)
+		return spec.Memory(), nil
+	})
+	return pts, err
 }

@@ -1,6 +1,7 @@
 package kernels
 
 import (
+	"context"
 	"fmt"
 
 	"balarch/internal/opcount"
@@ -200,31 +201,32 @@ func CountTriSolve(spec TriSolveSpec) (opcount.Totals, error) {
 }
 
 // MatVecRatioSweep measures the matvec ratio across chunk sizes for the E7
-// experiment, demonstrating the flat (I/O-bounded) profile.
-func MatVecRatioSweep(n int, chunks []int) ([]RatioPoint, error) {
-	pts := make([]RatioPoint, 0, len(chunks))
-	for _, ch := range chunks {
+// experiment, demonstrating the flat (I/O-bounded) profile. Points run in
+// parallel via Sweep.
+func MatVecRatioSweep(ctx context.Context, n int, chunks []int) ([]RatioPoint, error) {
+	pts, _, err := Sweep(ctx, chunks, func(_ context.Context, ch int, c *opcount.Counter) (int, error) {
 		spec := MatVecSpec{N: n, Chunk: ch}
 		t, err := CountMatVec(spec)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		pts = append(pts, RatioPoint{Memory: spec.Memory(), Totals: t})
-	}
-	return pts, nil
+		countPoint(c, t)
+		return spec.Memory(), nil
+	})
+	return pts, err
 }
 
 // TriSolveRatioSweep measures the trisolve ratio across chunk sizes for the
-// E7 experiment.
-func TriSolveRatioSweep(n int, chunks []int) ([]RatioPoint, error) {
-	pts := make([]RatioPoint, 0, len(chunks))
-	for _, ch := range chunks {
+// E7 experiment. Points run in parallel via Sweep.
+func TriSolveRatioSweep(ctx context.Context, n int, chunks []int) ([]RatioPoint, error) {
+	pts, _, err := Sweep(ctx, chunks, func(_ context.Context, ch int, c *opcount.Counter) (int, error) {
 		spec := TriSolveSpec{N: n, Chunk: ch}
 		t, err := CountTriSolve(spec)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		pts = append(pts, RatioPoint{Memory: spec.Memory(), Totals: t})
-	}
-	return pts, nil
+		countPoint(c, t)
+		return spec.Memory(), nil
+	})
+	return pts, err
 }

@@ -1,6 +1,7 @@
 package kernels
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -186,18 +187,18 @@ func CountBlockedLU(spec LUSpec) (opcount.Totals, error) {
 }
 
 // LURatioSweep measures the blocked triangularization ratio across block
-// sizes at fixed N for the E3 experiment.
-func LURatioSweep(n int, blocks []int) ([]RatioPoint, error) {
-	pts := make([]RatioPoint, 0, len(blocks))
-	for _, bs := range blocks {
+// sizes at fixed N for the E3 experiment. Points run in parallel via Sweep.
+func LURatioSweep(ctx context.Context, n int, blocks []int) ([]RatioPoint, error) {
+	pts, _, err := Sweep(ctx, blocks, func(_ context.Context, bs int, c *opcount.Counter) (int, error) {
 		spec := LUSpec{N: n, Block: bs}
 		t, err := CountBlockedLU(spec)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		pts = append(pts, RatioPoint{Memory: spec.Memory(), Totals: t})
-	}
-	return pts, nil
+		countPoint(c, t)
+		return spec.Memory(), nil
+	})
+	return pts, err
 }
 
 // ReconstructLU multiplies the packed L and U factors back together, for

@@ -1,6 +1,7 @@
 package kernels
 
 import (
+	"context"
 	"fmt"
 
 	"balarch/internal/opcount"
@@ -138,8 +139,8 @@ func NaiveMatMul(a, b *Dense, c *opcount.Counter) (*Dense, error) {
 			var sum float64
 			for k := 0; k < n; k++ {
 				sum += a.At(i, k) * b.At(k, j)
-				c.Read(2)  // a(i,k) and b(k,j) fetched from outside
-				c.Ops(2)   // multiply + add
+				c.Read(2) // a(i,k) and b(k,j) fetched from outside
+				c.Ops(2)  // multiply + add
 			}
 			out.Set(i, j, sum)
 			c.Write(1)
@@ -151,18 +152,19 @@ func NaiveMatMul(a, b *Dense, c *opcount.Counter) (*Dense, error) {
 // MatMulRatioSweep measures the achievable Ccomp/Cio of the blocked scheme
 // across a range of block sizes at fixed N, returning (memory, ratio) pairs
 // for the E2 experiment. N should be ≫ the largest block so the measured
-// ratios sit in the paper's asymptotic regime.
-func MatMulRatioSweep(n int, blocks []int) ([]RatioPoint, error) {
-	pts := make([]RatioPoint, 0, len(blocks))
-	for _, bs := range blocks {
+// ratios sit in the paper's asymptotic regime. Points run in parallel via
+// Sweep.
+func MatMulRatioSweep(ctx context.Context, n int, blocks []int) ([]RatioPoint, error) {
+	pts, _, err := Sweep(ctx, blocks, func(_ context.Context, bs int, c *opcount.Counter) (int, error) {
 		spec := MatMulSpec{N: n, Block: bs}
 		t, err := CountBlockedMatMul(spec)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		pts = append(pts, RatioPoint{Memory: spec.Memory(), Totals: t})
-	}
-	return pts, nil
+		countPoint(c, t)
+		return spec.Memory(), nil
+	})
+	return pts, err
 }
 
 // RatioPoint pairs a local memory size with the exact counts measured at

@@ -1,6 +1,7 @@
 package kernels
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -141,7 +142,7 @@ func TestMatMulSpecAccessors(t *testing.T) {
 }
 
 func TestMatMulRatioSweepMonotone(t *testing.T) {
-	pts, err := MatMulRatioSweep(2048, []int{4, 8, 16, 32, 64})
+	pts, err := MatMulRatioSweep(context.Background(), 2048, []int{4, 8, 16, 32, 64})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package kernels
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -166,16 +167,16 @@ func SpMVRef(a *CSR, x []float64) []float64 {
 // SpMVRatioSweep measures the SpMV ratio across chunk sizes for the E7
 // experiment: flat at 2/3·... — bounded by the constant 2 flops per 3
 // streamed words, independent of memory.
-func SpMVRatioSweep(n, nnzPerRow int, chunks []int) ([]RatioPoint, error) {
+func SpMVRatioSweep(ctx context.Context, n, nnzPerRow int, chunks []int) ([]RatioPoint, error) {
 	nnz := n * nnzPerRow
-	pts := make([]RatioPoint, 0, len(chunks))
-	for _, ch := range chunks {
+	pts, _, err := Sweep(ctx, chunks, func(_ context.Context, ch int, c *opcount.Counter) (int, error) {
 		spec := SpMVSpec{N: n, Chunk: ch}
 		tot, err := CountSpMV(spec, nnz)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		pts = append(pts, RatioPoint{Memory: spec.Memory(), Totals: tot})
-	}
-	return pts, nil
+		countPoint(c, tot)
+		return spec.Memory(), nil
+	})
+	return pts, err
 }

@@ -1,6 +1,7 @@
 package kernels
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -94,7 +95,7 @@ func TestSpMVCountsMatchRun(t *testing.T) {
 // TestSpMVRatioFlat: sparse matvec is memory-inelastic — the §4 remark about
 // sparse operations' "relatively high I/O requirements" as measurement.
 func TestSpMVRatioFlat(t *testing.T) {
-	pts, err := SpMVRatioSweep(4096, 8, []int{16, 64, 256, 1024, 4096})
+	pts, err := SpMVRatioSweep(context.Background(), 4096, 8, []int{16, 64, 256, 1024, 4096})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package kernels
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
@@ -216,16 +217,16 @@ func CountCAStrassen(spec StrassenSpec) (opcount.Totals, error) {
 }
 
 // StrassenRatioSweep measures the CA-Strassen ratio across leaf sizes at
-// fixed N for the X4 experiment.
-func StrassenRatioSweep(n int, leaves []int) ([]RatioPoint, error) {
-	pts := make([]RatioPoint, 0, len(leaves))
-	for _, l := range leaves {
+// fixed N for the X4 experiment. Points run in parallel via Sweep.
+func StrassenRatioSweep(ctx context.Context, n int, leaves []int) ([]RatioPoint, error) {
+	pts, _, err := Sweep(ctx, leaves, func(_ context.Context, l int, c *opcount.Counter) (int, error) {
 		spec := StrassenSpec{N: n, Leaf: l}
 		t, err := CountCAStrassen(spec)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		pts = append(pts, RatioPoint{Memory: spec.Memory(), Totals: t})
-	}
-	return pts, nil
+		countPoint(c, t)
+		return spec.Memory(), nil
+	})
+	return pts, err
 }

@@ -1,6 +1,7 @@
 package kernels
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -90,7 +91,7 @@ func TestStrassenSubCubicOps(t *testing.T) {
 // as M^(lg7/2−1) ≈ M^0.404 — weaker memory leverage than classical matmul's
 // M^0.5.
 func TestStrassenRatioExponent(t *testing.T) {
-	pts, err := StrassenRatioSweep(4096, []int{8, 16, 32, 64, 128, 256})
+	pts, err := StrassenRatioSweep(context.Background(), 4096, []int{8, 16, 32, 64, 128, 256})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestStrassenSpecValidation(t *testing.T) {
 // power-of-two shapes and any leaf size.
 func TestCAStrassenProperty(t *testing.T) {
 	f := func(seed int64, n8, l8 uint8) bool {
-		nPow := int(n8 % 5)       // N = 1..16
+		nPow := int(n8 % 5) // N = 1..16
 		lPow := int(l8) % (nPow + 1)
 		n, leaf := 1<<nPow, 1<<lPow
 		rng := rand.New(rand.NewSource(seed))

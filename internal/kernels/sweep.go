@@ -1,0 +1,57 @@
+package kernels
+
+import (
+	"context"
+
+	"balarch/internal/engine"
+	"balarch/internal/opcount"
+)
+
+// Sweep is the one ratio-sweep driver every kernel shares: it measures one
+// RatioPoint per parameter, fanning the points out across engine workers.
+// The sweep points are independent subcomputations in the paper's §4 sense,
+// so each point's goroutine owns a private opcount.Counter; the driver
+// snapshots each counter into its point and merges them all with
+// Counter.Add into the returned aggregate. Points come back in params
+// order, so a parallel sweep is byte-identical to a serial one.
+//
+// measure records the point's exact operation and I/O counts into c and
+// returns the local memory footprint (in words) the point represents.
+func Sweep[P any](ctx context.Context, params []P, measure func(ctx context.Context, p P, c *opcount.Counter) (memory int, err error)) ([]RatioPoint, opcount.Totals, error) {
+	type point struct {
+		pt RatioPoint
+		c  *opcount.Counter
+	}
+	jobs := make([]engine.Job[point], len(params))
+	for i, p := range params {
+		p := p
+		jobs[i] = engine.Job[point]{Run: func(ctx context.Context) (point, error) {
+			var c opcount.Counter
+			mem, err := measure(ctx, p, &c)
+			if err != nil {
+				return point{}, err
+			}
+			return point{RatioPoint{Memory: mem, Totals: c.Snapshot()}, &c}, nil
+		}}
+	}
+	var pool engine.Pool[point] // parallelism inherited from ctx
+	res, err := pool.Run(ctx, jobs)
+	if err != nil {
+		return nil, opcount.Totals{}, err
+	}
+	pts := make([]RatioPoint, len(res))
+	var total opcount.Counter
+	for i, r := range res {
+		pts[i] = r.pt
+		total.Add(r.c)
+	}
+	return pts, total.Snapshot(), nil
+}
+
+// countPoint adapts a closed-form counting kernel to Sweep's measure shape:
+// it replays the precomputed totals into the point's counter.
+func countPoint(c *opcount.Counter, t opcount.Totals) {
+	c.Ops64(t.Ops)
+	c.Read64(t.Reads)
+	c.Write64(t.Writes)
+}

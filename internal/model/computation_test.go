@@ -201,8 +201,8 @@ func TestRebalanceAgreementProperty(t *testing.T) {
 	}
 	f := func(ci uint8, a16, m16 uint16) bool {
 		c := comps[int(ci)%len(comps)]
-		alpha := 1 + float64(a16%300)/100   // [1, 4)
-		mOld := 16 + float64(m16%4096)      // [16, 4112)
+		alpha := 1 + float64(a16%300)/100 // [1, 4)
+		mOld := 16 + float64(m16%4096)    // [16, 4112)
 		want, err := c.RebalanceClosedForm(alpha, mOld)
 		if err != nil {
 			return false

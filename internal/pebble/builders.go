@@ -100,7 +100,7 @@ func Stencil1DDAG(n, t int) (*DAG, error) {
 		}
 		return l*n + i
 	}
-	d := NewDAG((t+1)*n) // boundary slots above level 0 stay isolated inputs? no: unused ids avoided below
+	d := NewDAG((t + 1) * n) // boundary slots above level 0 stay isolated inputs? no: unused ids avoided below
 	for l := 1; l <= t; l++ {
 		for i := 1; i < n-1; i++ {
 			v := l*n + i

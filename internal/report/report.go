@@ -6,11 +6,19 @@ package report
 import (
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
 )
+
+// ErrNoSeries is the typed cause of every "nothing to export" CSV failure:
+// WriteCSV wraps it when the named series does not exist, and WriteAllCSV
+// returns it when the result has no series at all — so callers can
+// distinguish "empty result" from an I/O error instead of silently writing
+// nothing. Test with errors.Is.
+var ErrNoSeries = errors.New("report: no such series")
 
 // Claim is one paper statement checked by an experiment.
 type Claim struct {
@@ -66,7 +74,7 @@ func (r *Result) Pass() bool {
 	return true
 }
 
-// Render writes the result in the terminal/EXPERIMENTS.md format.
+// Render writes the result in the terminal report format.
 func (r *Result) Render(w io.Writer) error {
 	var b strings.Builder
 	fmt.Fprintf(&b, "== %s: %s (%s) ==\n\n", r.ID, r.Title, r.PaperLocus)
@@ -103,30 +111,58 @@ func (r *Result) JSON() ([]byte, error) {
 	return json.MarshalIndent(r, "", "  ")
 }
 
-// WriteCSV emits the named series as CSV; it errors if the series does not
-// exist.
+// WriteCSV emits the named series as CSV. If the series does not exist the
+// returned error wraps ErrNoSeries.
 func (r *Result) WriteCSV(w io.Writer, seriesName string) error {
 	for _, s := range r.Series {
 		if s.Name != seriesName {
 			continue
 		}
-		cw := csv.NewWriter(w)
-		if err := cw.Write(s.Columns); err != nil {
-			return err
-		}
-		for _, row := range s.Rows {
-			rec := make([]string, len(row))
-			for i, v := range row {
-				rec[i] = strconv.FormatFloat(v, 'g', -1, 64)
-			}
-			if err := cw.Write(rec); err != nil {
+		return writeSeriesCSV(w, s)
+	}
+	return fmt.Errorf("%w: %q", ErrNoSeries, seriesName)
+}
+
+// WriteAllCSV emits every series of the result, each preceded by a
+// "# series: <name>" comment line and separated by blank lines. A result
+// with no series returns ErrNoSeries rather than silently writing nothing.
+func (r *Result) WriteAllCSV(w io.Writer) error {
+	if len(r.Series) == 0 {
+		return fmt.Errorf("%w: result %s has no series", ErrNoSeries, r.ID)
+	}
+	for i, s := range r.Series {
+		if i > 0 {
+			if _, err := io.WriteString(w, "\n"); err != nil {
 				return err
 			}
 		}
-		cw.Flush()
-		return cw.Error()
+		if _, err := fmt.Fprintf(w, "# series: %s\n", s.Name); err != nil {
+			return err
+		}
+		if err := writeSeriesCSV(w, s); err != nil {
+			return err
+		}
 	}
-	return fmt.Errorf("report: no series named %q", seriesName)
+	return nil
+}
+
+// writeSeriesCSV writes one series' header and rows.
+func writeSeriesCSV(w io.Writer, s Series) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(s.Columns); err != nil {
+		return err
+	}
+	for _, row := range s.Rows {
+		rec := make([]string, len(row))
+		for i, v := range row {
+			rec[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }
 
 // SeriesNames lists the exportable series.

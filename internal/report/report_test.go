@@ -3,6 +3,7 @@ package report
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -71,8 +72,39 @@ func TestWriteCSV(t *testing.T) {
 	if !strings.Contains(got, "16,4") {
 		t.Errorf("csv row missing: %q", got)
 	}
-	if err := sample().WriteCSV(&buf, "nope"); err == nil {
-		t.Error("unknown series accepted")
+	if err := sample().WriteCSV(&buf, "nope"); !errors.Is(err, ErrNoSeries) {
+		t.Errorf("unknown series error = %v, want ErrNoSeries", err)
+	}
+}
+
+func TestWriteAllCSV(t *testing.T) {
+	r := sample()
+	r.Series = append(r.Series, Series{
+		Name: "extra", Columns: []string{"a"}, Rows: [][]float64{{1}},
+	})
+	var buf bytes.Buffer
+	if err := r.WriteAllCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	for _, want := range []string{"# series: ratio\n", "# series: extra\na\n1\n", "memory,ratio\n"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("WriteAllCSV output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestWriteAllCSVEmpty: an empty Series slice must be a typed error, not a
+// silent zero-byte success.
+func TestWriteAllCSVEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	r := &Result{ID: "E0"}
+	err := r.WriteAllCSV(&buf)
+	if !errors.Is(err, ErrNoSeries) {
+		t.Fatalf("err = %v, want ErrNoSeries", err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("wrote %d bytes alongside the error", buf.Len())
 	}
 }
 

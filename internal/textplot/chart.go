@@ -16,13 +16,13 @@ type Series struct {
 // Chart renders XY data as an ASCII scatter chart with optional logarithmic
 // axes — the repository's substitute for a plotting library.
 type Chart struct {
-	Title        string
-	XLabel       string
-	YLabel       string
-	Width        int // plot area columns (default 60)
-	Height       int // plot area rows (default 20)
-	LogX, LogY   bool
-	series       []Series
+	Title      string
+	XLabel     string
+	YLabel     string
+	Width      int // plot area columns (default 60)
+	Height     int // plot area rows (default 20)
+	LogX, LogY bool
+	series     []Series
 }
 
 // NewChart creates a chart with default dimensions.

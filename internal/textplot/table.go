@@ -1,6 +1,6 @@
 // Package textplot renders the reproduction's tables, charts and the
 // paper's structural figures as plain text, because the experiments must be
-// readable in a terminal and checked into EXPERIMENTS.md. It provides an
+// readable in a terminal and checked into reports. It provides an
 // aligned table writer, an ASCII scatter/line chart with linear or
 // logarithmic axes, and renderers for the paper's Figs. 1–4.
 package textplot
