@@ -30,11 +30,13 @@ package balarch
 
 import (
 	"context"
+	"net/http"
 
 	"balarch/internal/experiments"
 	"balarch/internal/model"
 	"balarch/internal/report"
 	"balarch/internal/roofline"
+	"balarch/internal/server"
 )
 
 // PE is a processing element characterized by computation bandwidth C
@@ -161,6 +163,22 @@ func RunExperimentContext(ctx context.Context, id string) (*Result, error) {
 // experiment passed.
 func RunAll(ctx context.Context, parallelism int) (results []*Result, pass bool, err error) {
 	return experiments.RunAll(ctx, parallelism)
+}
+
+// ServerOptions configures the HTTP API handler: engine parallelism,
+// per-request timeout, body/batch limits, concurrency cap, and structured
+// logging. The zero value serves with production defaults.
+type ServerOptions = server.Options
+
+// NewServerHandler returns the balance-as-a-service HTTP JSON API as a
+// plain http.Handler — POST /v1/analyze, /v1/rebalance, /v1/roofline,
+// /v1/sweep, /v1/batch, GET+POST /v1/experiments, GET /healthz and
+// /metrics — with the recover/logging/limiter/timeout middleware stack
+// already applied, so embedders can mount the same API cmd/balarchd
+// serves. See internal/server for the endpoint contracts and DESIGN.md
+// §4 for the endpoint table and error envelope.
+func NewServerHandler(o ServerOptions) http.Handler {
+	return server.New(o).Handler()
 }
 
 // ExperimentTitle returns the experiment's one-line description.

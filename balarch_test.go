@@ -4,7 +4,10 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"io"
 	"math"
+	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"balarch"
@@ -170,5 +173,37 @@ func TestRunExperimentContext(t *testing.T) {
 	cancel()
 	if _, err := balarch.RunExperimentContext(ctx, "E2"); err == nil {
 		t.Error("cancelled context did not abort the experiment")
+	}
+}
+
+// TestNewServerHandler mounts the public API facade and drives one request
+// per surface: health, an analytic query, and an experiment run.
+func TestNewServerHandler(t *testing.T) {
+	h := balarch.NewServerHandler(balarch.ServerOptions{Parallelism: 2})
+
+	get := func(method, path, body string) *httptest.ResponseRecorder {
+		var rd io.Reader
+		if body != "" {
+			rd = strings.NewReader(body)
+		}
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest(method, path, rd))
+		return w
+	}
+
+	if w := get("GET", "/healthz", ""); w.Code != 200 {
+		t.Fatalf("healthz = %d: %s", w.Code, w.Body.String())
+	}
+	w := get("POST", "/v1/rebalance",
+		`{"computation": {"name": "matmul"}, "alpha": 4, "m_old": 1024}`)
+	if w.Code != 200 || !strings.Contains(w.Body.String(), `"m_closed_form": 16384`) {
+		t.Fatalf("rebalance = %d: %s", w.Code, w.Body.String())
+	}
+	if w := get("POST", "/v1/experiments/E7", ""); w.Code != 200 ||
+		!strings.Contains(w.Body.String(), `"pass": true`) {
+		t.Fatalf("experiment E7 = %d: %.200s", w.Code, w.Body.String())
+	}
+	if w := get("POST", "/v1/experiments/E99", ""); w.Code != 404 {
+		t.Fatalf("unknown experiment = %d, want 404", w.Code)
 	}
 }

@@ -19,6 +19,9 @@ import (
 	"balarch/internal/textplot"
 )
 
+// main parses the array flags, sweeps the array size, prints the per-PE
+// balance memory table for the chosen topology and workload, and exits 0
+// (2 on bad flags).
 func main() {
 	topology := flag.String("topology", "linear", "linear or mesh")
 	workload := flag.String("workload", "matmul", "matmul, grid2, grid3, or fft")

@@ -18,6 +18,8 @@ import (
 	"balarch/internal/textplot"
 )
 
+// main parses the PE flags, analyzes the requested computations, prints
+// one balance diagnosis per line, and exits 0 (2 on bad flags).
 func main() {
 	c := flag.Float64("c", 10e6, "computation bandwidth C (ops/s)")
 	io := flag.Float64("io", 20e6, "I/O bandwidth IO (words/s)")

@@ -1,0 +1,131 @@
+// Command balarchd is the balance-as-a-service daemon: it serves the
+// balarch HTTP JSON API (internal/server) — analyze, rebalance, roofline,
+// kernel sweeps, the experiment suite, and heterogeneous batches — plus
+// /healthz and /metrics, as a long-lived process with graceful shutdown.
+//
+// Usage:
+//
+//	balarchd                              # serve on :8080
+//	balarchd -addr 127.0.0.1:9090 -parallel 4
+//	balarchd -request-timeout 10s -max-batch 16 -max-body 262144
+//
+// Flags tune the network surface (addr, read/write timeouts), the compute
+// budget (parallel bounds every engine pool; max-inflight bounds concurrent
+// requests; request-timeout bounds one request's wall clock), and the
+// request caps (max-batch, max-body). SIGINT/SIGTERM drain in-flight
+// requests before exit; a second signal kills immediately. Structured logs
+// (one line per request) go to stderr; -quiet disables them.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"balarch/internal/server"
+)
+
+// main starts the daemon and exits 0 on clean shutdown, 1 on serve/bind
+// failure, 2 on bad flags.
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// Once the first signal starts the drain, restore default signal
+	// disposition so a second SIGINT/SIGTERM kills immediately.
+	context.AfterFunc(ctx, stop)
+	os.Exit(run(ctx, os.Args[1:], os.Stderr, nil))
+}
+
+// run is main's testable body. If ready is non-nil it receives the bound
+// address once the listener is up (tests use it to learn the ephemeral
+// port).
+func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("balarchd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8080", "listen address")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0),
+		"worker count for sweeps, experiments, and batch fan-out")
+	maxInFlight := fs.Int("max-inflight", 0,
+		"max concurrently handled requests (0 = 2×GOMAXPROCS, -1 = unlimited)")
+	readTimeout := fs.Duration("read-timeout", 10*time.Second, "connection read timeout")
+	writeTimeout := fs.Duration("write-timeout", 120*time.Second, "connection write timeout")
+	reqTimeout := fs.Duration("request-timeout", 60*time.Second,
+		"per-request context budget (0 = no deadline)")
+	maxBatch := fs.Int("max-batch", 64, "max requests per /v1/batch call")
+	maxBody := fs.Int64("max-body", 1<<20, "max request body bytes")
+	shutdownGrace := fs.Duration("shutdown-grace", 10*time.Second,
+		"drain budget for in-flight requests on SIGINT/SIGTERM")
+	quiet := fs.Bool("quiet", false, "disable per-request logging")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var logger *slog.Logger
+	if !*quiet {
+		logger = slog.New(slog.NewTextHandler(stderr, nil))
+	}
+	rt := *reqTimeout
+	if rt == 0 {
+		rt = -1 // Options treats 0 as "default"; the flag's 0 means "off"
+	}
+	srv := server.New(server.Options{
+		Parallelism:    *parallel,
+		RequestTimeout: rt,
+		MaxBodyBytes:   *maxBody,
+		MaxBatch:       *maxBatch,
+		MaxInFlight:    *maxInFlight,
+		Logger:         logger,
+	})
+
+	httpSrv := &http.Server{
+		Handler:      srv.Handler(),
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "balarchd: %v\n", err)
+		return 1
+	}
+	if logger != nil {
+		logger.Info("serving", "addr", ln.Addr().String(), "parallel", *parallel)
+	}
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(stderr, "balarchd: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: give in-flight requests the grace budget, then cut.
+	if logger != nil {
+		logger.Info("shutting down", "grace", *shutdownGrace)
+	}
+	shCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		// Grace expired with requests still running: cut the connections.
+		_ = httpSrv.Close()
+		fmt.Fprintf(stderr, "balarchd: shutdown: %v\n", err)
+		return 1
+	}
+	return 0
+}

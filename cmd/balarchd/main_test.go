@@ -1,0 +1,118 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startDaemon runs the daemon on an ephemeral port and returns its base
+// URL, a shutdown func, and the exit-code channel.
+func startDaemon(t *testing.T, args ...string) (string, context.CancelFunc, <-chan int) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	code := make(chan int, 1)
+	go func() {
+		code <- run(ctx, append([]string{"-addr", "127.0.0.1:0", "-quiet"}, args...), io.Discard, ready)
+	}()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, cancel, code
+	case c := <-code:
+		cancel()
+		t.Fatalf("daemon exited immediately with %d", c)
+		return "", nil, nil
+	case <-time.After(10 * time.Second):
+		cancel()
+		t.Fatal("daemon never became ready")
+		return "", nil, nil
+	}
+}
+
+func TestDaemonServesAndShutsDownGracefully(t *testing.T) {
+	base, cancel, code := startDaemon(t, "-parallel", "2", "-max-batch", "4")
+	defer cancel()
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || health["status"] != "ok" {
+		t.Fatalf("healthz = %d %v", resp.StatusCode, health)
+	}
+
+	// One real API round trip through the TCP stack.
+	resp, err = http.Post(base+"/v1/analyze", "application/json",
+		strings.NewReader(`{"pe": {"c": 50e6, "io": 1e6, "m": 4096}, "computation": {"name": "fft"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var analysis map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&analysis); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || analysis["state"] != "io-bound" {
+		t.Fatalf("analyze = %d %v", resp.StatusCode, analysis)
+	}
+
+	// The daemon's -max-batch flag reaches the handler.
+	over := `{"requests": [` + strings.Repeat(`{"op": "analyze", "request": {}},`, 4) +
+		`{"op": "analyze", "request": {}}]}`
+	resp, err = http.Post(base+"/v1/batch", "application/json", strings.NewReader(over))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 422 {
+		t.Fatalf("oversized batch = %d, want 422", resp.StatusCode)
+	}
+
+	// Signal-path shutdown: cancelling the context (what NotifyContext
+	// does on SIGINT/SIGTERM) must drain and exit 0.
+	cancel()
+	select {
+	case c := <-code:
+		if c != 0 {
+			t.Fatalf("exit code %d, want 0", c)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("daemon still serving after shutdown")
+	}
+}
+
+func TestDaemonBadFlags(t *testing.T) {
+	if c := run(context.Background(), []string{"-no-such-flag"}, io.Discard, nil); c != 2 {
+		t.Errorf("bad flag exit = %d, want 2", c)
+	}
+}
+
+func TestDaemonBindFailure(t *testing.T) {
+	base, cancel, code := startDaemon(t)
+	defer cancel()
+	addr := strings.TrimPrefix(base, "http://")
+	// Second daemon on the same port must fail to bind and exit 1.
+	if c := run(context.Background(), []string{"-addr", addr, "-quiet"}, io.Discard, nil); c != 1 {
+		t.Errorf("bind conflict exit = %d, want 1", c)
+	}
+	cancel()
+	if c := <-code; c != 0 {
+		t.Errorf("first daemon exit = %d, want 0", c)
+	}
+}

@@ -1,0 +1,158 @@
+// Command benchgate compares two `go test -bench` output files and fails
+// when a watched benchmark regresses beyond a threshold — the pass/fail
+// arm of the CI bench job (benchstat renders the human-readable table; this
+// gate decides).
+//
+// Usage:
+//
+//	benchgate -old baseline.txt -new current.txt
+//	benchgate -old baseline.txt -new current.txt -match 'RunAll|Server' -max-regress 20
+//
+// Both files hold standard benchmark lines ("BenchmarkX-8 100 12345 ns/op
+// ..."), typically from -count=5; benchgate takes the per-benchmark median
+// ns/op (robust against one noisy run, same statistic benchstat centers
+// on) and compares benchmarks present in both files whose name matches
+// -match. A benchmark only in one file is reported but never fails the
+// gate, so adding or retiring benchmarks doesn't break CI. Exit status:
+// 0 within budget, 1 regression, 2 usage/parse error.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// main exits with run's code: 0 within budget, 1 regression, 2 usage or
+// parse error.
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main's testable body.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	oldPath := fs.String("old", "", "baseline benchmark output file")
+	newPath := fs.String("new", "", "current benchmark output file")
+	match := fs.String("match", "RunAll|Server", "regexp of benchmark names the gate watches")
+	maxRegress := fs.Float64("max-regress", 20, "max allowed ns/op increase, percent")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(stderr, "benchgate: -old and -new are required")
+		return 2
+	}
+	re, err := regexp.Compile(*match)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchgate: bad -match: %v\n", err)
+		return 2
+	}
+
+	oldMed, err := medians(*oldPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchgate: %v\n", err)
+		return 2
+	}
+	newMed, err := medians(*newPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchgate: %v\n", err)
+		return 2
+	}
+
+	names := make([]string, 0, len(newMed))
+	for name := range newMed {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	watched := 0
+	for _, name := range names {
+		if !re.MatchString(name) {
+			continue
+		}
+		newNs := newMed[name]
+		oldNs, ok := oldMed[name]
+		if !ok {
+			fmt.Fprintf(stdout, "NEW   %-40s %12.0f ns/op (no baseline)\n", name, newNs)
+			continue
+		}
+		watched++
+		delta := (newNs - oldNs) / oldNs * 100
+		verdict := "ok  "
+		if delta > *maxRegress {
+			verdict = "FAIL"
+			failed = true
+		}
+		fmt.Fprintf(stdout, "%s  %-40s %12.0f -> %12.0f ns/op  %+7.1f%%\n",
+			verdict, name, oldNs, newNs, delta)
+	}
+	for name := range oldMed {
+		if re.MatchString(name) {
+			if _, ok := newMed[name]; !ok {
+				fmt.Fprintf(stdout, "GONE  %-40s (was %0.f ns/op)\n", name, oldMed[name])
+			}
+		}
+	}
+	if watched == 0 {
+		fmt.Fprintf(stderr, "benchgate: no benchmark matched %q in both files — gate vacuous\n", *match)
+	}
+	if failed {
+		fmt.Fprintf(stdout, "benchgate: regression beyond %.0f%%\n", *maxRegress)
+		return 1
+	}
+	fmt.Fprintf(stdout, "benchgate: %d watched benchmark(s) within %.0f%%\n", watched, *maxRegress)
+	return 0
+}
+
+// benchLine matches one benchmark result line; the -N GOMAXPROCS suffix is
+// stripped so runs from differently sized machines still line up.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+)\s+ns/op`)
+
+// medians parses a benchmark output file into name → median ns/op.
+func medians(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	samples := make(map[string][]float64)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		samples[m[1]] = append(samples[m[1]], ns)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines found", path)
+	}
+	med := make(map[string]float64, len(samples))
+	for name, xs := range samples {
+		sort.Float64s(xs)
+		n := len(xs)
+		if n%2 == 1 {
+			med[name] = xs[n/2]
+		} else {
+			med[name] = (xs[n/2-1] + xs[n/2]) / 2
+		}
+	}
+	return med, nil
+}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeBench writes a synthetic benchmark output file.
+func writeBench(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baseline = `
+goos: linux
+BenchmarkRunAllParallel-8    	      10	 100000 ns/op	 500 B/op	 5 allocs/op
+BenchmarkRunAllParallel-8    	      10	 110000 ns/op	 500 B/op	 5 allocs/op
+BenchmarkRunAllParallel-8    	      10	 120000 ns/op	 500 B/op	 5 allocs/op
+BenchmarkServerAnalyze-8     	    1000	   1000 ns/op
+BenchmarkServerAnalyze-8     	    1000	   1100 ns/op
+BenchmarkServerAnalyze-8     	    1000	   1200 ns/op
+BenchmarkUnwatchedThing-8    	    1000	   9999 ns/op
+PASS
+`
+
+func gate(t *testing.T, oldBody, newBody string, extra ...string) (int, string, string) {
+	t.Helper()
+	args := append([]string{
+		"-old", writeBench(t, "old.txt", oldBody),
+		"-new", writeBench(t, "new.txt", newBody),
+	}, extra...)
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestGatePassesWithinBudget(t *testing.T) {
+	// Medians: 110000 → 115000 (+4.5%), 1100 → 1150 (+4.5%): within 20%.
+	current := strings.ReplaceAll(baseline, "110000", "115000")
+	current = strings.ReplaceAll(current, "1100 ns", "1150 ns")
+	code, out, _ := gate(t, baseline, current)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "2 watched benchmark(s)") {
+		t.Errorf("watched count missing:\n%s", out)
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	// Server median 1100 → 2200: +100%, over any sane budget.
+	current := strings.ReplaceAll(baseline, "1000 ns", "2000 ns")
+	current = strings.ReplaceAll(current, "1100 ns", "2200 ns")
+	current = strings.ReplaceAll(current, "1200 ns", "2400 ns")
+	code, out, _ := gate(t, baseline, current)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "FAIL  BenchmarkServerAnalyze") {
+		t.Errorf("missing FAIL line:\n%s", out)
+	}
+	// The regression is confined to the server bench; RunAll stays ok.
+	if !strings.Contains(out, "ok    BenchmarkRunAllParallel") {
+		t.Errorf("missing ok line:\n%s", out)
+	}
+}
+
+func TestGateIgnoresUnwatchedAndMedianAbsorbsNoise(t *testing.T) {
+	// The unwatched benchmark regresses 100×: must not fail the gate.
+	current := strings.ReplaceAll(baseline, "9999", "999900")
+	// One noisy outlier sample in a watched bench: the median ignores it.
+	current = strings.ReplaceAll(current, "120000", "990000")
+	code, out, _ := gate(t, baseline, current)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", code, out)
+	}
+	if strings.Contains(out, "Unwatched") {
+		t.Errorf("unwatched benchmark leaked into the report:\n%s", out)
+	}
+}
+
+func TestGateNewAndGoneBenchmarks(t *testing.T) {
+	current := baseline + "BenchmarkServerSweepCached-8 100 500 ns/op\n"
+	current = strings.ReplaceAll(current,
+		"BenchmarkRunAllParallel", "BenchmarkRunAllSerial")
+	code, out, _ := gate(t, baseline, current)
+	if code != 0 {
+		t.Fatalf("added/retired benchmarks must not fail the gate: %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "NEW   BenchmarkServerSweepCached") {
+		t.Errorf("missing NEW line:\n%s", out)
+	}
+	if !strings.Contains(out, "GONE  BenchmarkRunAllParallel") {
+		t.Errorf("missing GONE line:\n%s", out)
+	}
+}
+
+func TestGateCustomThresholdAndMatch(t *testing.T) {
+	current := strings.ReplaceAll(baseline, "110000", "118000") // +7.3% median
+	code, _, _ := gate(t, baseline, current, "-max-regress", "5", "-match", "RunAll")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 at 5%% budget", code)
+	}
+	code, _, _ = gate(t, baseline, current, "-max-regress", "10", "-match", "RunAll")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 at 10%% budget", code)
+	}
+}
+
+func TestGateUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-old", "only"}, &stdout, &stderr); code != 2 {
+		t.Errorf("missing -new: exit %d, want 2", code)
+	}
+	empty := writeBench(t, "empty.txt", "no benchmarks here\n")
+	if code := run([]string{"-old", empty, "-new", empty}, &stdout, &stderr); code != 2 {
+		t.Errorf("empty files: exit %d, want 2", code)
+	}
+	miss := filepath.Join(t.TempDir(), "nope.txt")
+	if code := run([]string{"-old", miss, "-new", miss}, &stdout, &stderr); code != 2 {
+		t.Errorf("missing file: exit %d, want 2", code)
+	}
+}

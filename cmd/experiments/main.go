@@ -30,6 +30,8 @@ import (
 	"balarch/internal/report"
 )
 
+// main wires SIGINT cancellation into the harness and exits with run's
+// code: 0 all claims pass, 1 a claim failed, 2 the harness errored.
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

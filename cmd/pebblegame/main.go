@@ -18,6 +18,9 @@ import (
 	"balarch/internal/textplot"
 )
 
+// main parses the game flags, plays each requested strategy on the chosen
+// DAG, prints the I/O counts against the lower bounds, and exits 0 (2 on
+// bad flags).
 func main() {
 	kind := flag.String("dag", "fft", "graph: fft, matmul, tree, chain, diamond, stencil, stencil2d")
 	n := flag.Int("n", 16, "problem size (points, matrix dim, leaves, length, depth, width)")

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -243,5 +244,106 @@ func TestWithParallelism(t *testing.T) {
 	}
 	if peak.Load() != 1 {
 		t.Errorf("peak concurrency %d with parallelism hint 1", peak.Load())
+	}
+}
+
+// TestCacheConcurrentSameKeyMiss stresses the single-flight contract
+// directly: many goroutines miss the same key at once, exactly one runs the
+// work, everyone shares its value, and exactly one caller is told the value
+// came from its own run (hit=false).
+func TestCacheConcurrentSameKeyMiss(t *testing.T) {
+	const callers = 64
+	var c Cache[int]
+	var (
+		runs     atomic.Int32
+		inFlight atomic.Int32
+		selfRuns atomic.Int32
+	)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([]int, callers)
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start // line every caller up on the same miss
+			v, err, hit := c.Do("key", func() (int, error) {
+				if inFlight.Add(1) != 1 {
+					t.Error("two flights computing the same key at once")
+				}
+				runs.Add(1)
+				time.Sleep(2 * time.Millisecond) // widen the race window
+				inFlight.Add(-1)
+				return 42, nil
+			})
+			results[i], errs[i] = v, err
+			if !hit {
+				selfRuns.Add(1)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	if n := runs.Load(); n != 1 {
+		t.Errorf("work ran %d times under %d concurrent misses, want 1", runs.Load(), callers)
+	}
+	if n := selfRuns.Load(); n != 1 {
+		t.Errorf("%d callers reported hit=false, want exactly 1 (the computing caller)", n)
+	}
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil || results[i] != 42 {
+			t.Fatalf("caller %d: got (%d, %v), want (42, nil)", i, results[i], errs[i])
+		}
+	}
+	if c.Len() != 1 {
+		t.Errorf("cache holds %d entries, want 1", c.Len())
+	}
+}
+
+// TestCacheConcurrentSameKeyError: concurrent callers joining a failing
+// flight all see the error, the key is forgotten, and the next caller
+// recomputes successfully — a transient error never poisons the key.
+func TestCacheConcurrentSameKeyError(t *testing.T) {
+	const callers = 32
+	var c Cache[int]
+	var runs atomic.Int32
+	transient := errors.New("transient")
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	errCount := atomic.Int32{}
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			_, err, _ := c.Do("key", func() (int, error) {
+				runs.Add(1)
+				time.Sleep(time.Millisecond)
+				return 0, transient
+			})
+			if errors.Is(err, transient) {
+				errCount.Add(1)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	// Every caller that shared the failed flight saw its error; callers
+	// that arrived after the failure may have started fresh flights, so
+	// runs ≥ 1 but the error reached everyone whose flight failed.
+	if errCount.Load() != callers {
+		t.Errorf("%d callers saw the error, want %d", errCount.Load(), callers)
+	}
+	if c.Len() != 0 {
+		t.Errorf("failed flights left %d entries, want 0", c.Len())
+	}
+	// The failure is forgotten: the next Do recomputes and succeeds.
+	v, err, hit := c.Do("key", func() (int, error) { return 7, nil })
+	if v != 7 || err != nil || hit {
+		t.Errorf("post-failure Do = (%d, %v, hit=%v), want (7, nil, false)", v, err, hit)
 	}
 }

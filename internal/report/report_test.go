@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"io"
 	"strings"
 	"testing"
 )
@@ -112,5 +113,91 @@ func TestSeriesNames(t *testing.T) {
 	names := sample().SeriesNames()
 	if len(names) != 1 || names[0] != "ratio" {
 		t.Errorf("names = %v", names)
+	}
+}
+
+// failingWriter errors once its byte budget is exhausted, simulating a
+// full disk / broken pipe mid-export.
+type failingWriter struct {
+	budget int
+	wrote  bytes.Buffer
+}
+
+var errWriterFull = errors.New("writer full")
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if w.wrote.Len()+len(p) > w.budget {
+		room := w.budget - w.wrote.Len()
+		if room > 0 {
+			w.wrote.Write(p[:room])
+		}
+		return max(room, 0), errWriterFull
+	}
+	w.wrote.Write(p)
+	return len(p), nil
+}
+
+// TestWriteAllCSVWriterErrors drives the failing writer through every write
+// site of WriteAllCSV — the comment line, the series body, and the
+// inter-series separator — by shrinking the budget across the full output
+// length; every failure must surface, never a silent short write.
+func TestWriteAllCSVWriterErrors(t *testing.T) {
+	r := sample()
+	r.Series = append(r.Series, Series{
+		Name: "extra", Columns: []string{"a"}, Rows: [][]float64{{1}},
+	})
+	var full bytes.Buffer
+	if err := r.WriteAllCSV(&full); err != nil {
+		t.Fatal(err)
+	}
+	for budget := 0; budget < full.Len(); budget++ {
+		w := &failingWriter{budget: budget}
+		err := r.WriteAllCSV(w)
+		if err == nil {
+			t.Fatalf("budget %d of %d: no error from truncated writer", budget, full.Len())
+		}
+		if errors.Is(err, ErrNoSeries) {
+			t.Fatalf("budget %d: writer failure misreported as ErrNoSeries: %v", budget, err)
+		}
+		if w.wrote.Len() > budget {
+			t.Fatalf("budget %d: wrote %d bytes past the failure", budget, w.wrote.Len())
+		}
+	}
+	// At exactly the full length the export must succeed byte-identically.
+	w := &failingWriter{budget: full.Len()}
+	if err := r.WriteAllCSV(w); err != nil {
+		t.Fatalf("exact budget: %v", err)
+	}
+	if w.wrote.String() != full.String() {
+		t.Error("exact-budget output differs from unconstrained output")
+	}
+}
+
+// TestWriteCSVWriterErrors covers the single-series export's error path.
+func TestWriteCSVWriterErrors(t *testing.T) {
+	r := sample()
+	var full bytes.Buffer
+	if err := r.WriteCSV(&full, "ratio"); err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []int{0, 1, full.Len() - 1} {
+		w := &failingWriter{budget: budget}
+		if err := r.WriteCSV(w, "ratio"); err == nil {
+			t.Errorf("budget %d: no error from truncated writer", budget)
+		}
+	}
+}
+
+// TestWriteAllCSVErrNoSeriesIdentifiesResult: the typed error names the
+// result so batch exporters can report which experiment had nothing to
+// export.
+func TestWriteAllCSVErrNoSeriesIdentifiesResult(t *testing.T) {
+	r := &Result{ID: "E10"}
+	err := r.WriteAllCSV(io.Discard)
+	if !errors.Is(err, ErrNoSeries) {
+		t.Fatalf("err = %v, want ErrNoSeries", err)
+	}
+	if !strings.Contains(err.Error(), "E10") {
+		t.Errorf("error %q does not name the result", err)
 	}
 }

@@ -1,0 +1,111 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+
+	"balarch/internal/engine"
+)
+
+// batch fans a slice of heterogeneous requests out across an engine.Pool.
+// Results come back in request order whatever order the workers finish —
+// the pool's ordering guarantee — and each item carries the status and body
+// it would have received as a standalone request, so one invalid item
+// yields one 4xx entry instead of failing the batch.
+func (s *Server) batch(ctx context.Context, req *BatchRequest) (*BatchResponse, *apiError) {
+	if len(req.Requests) == 0 {
+		return nil, unprocessable("invalid_argument", "requests must list at least one item")
+	}
+	if len(req.Requests) > s.opts.MaxBatch {
+		return nil, unprocessable("batch_too_large",
+			"batch of %d exceeds the limit of %d", len(req.Requests), s.opts.MaxBatch)
+	}
+	jobs := make([]engine.Job[BatchResult], len(req.Requests))
+	for i, item := range req.Requests {
+		item := item
+		jobs[i] = engine.Job[BatchResult]{Run: func(ctx context.Context) (BatchResult, error) {
+			return s.batchItem(ctx, item), nil
+		}}
+	}
+	pool := engine.Pool[BatchResult]{Parallelism: s.opts.Parallelism}
+	results, err := pool.Run(s.sweepContext(ctx), jobs)
+	if err != nil {
+		// Items never return errors, so this is context death.
+		return nil, asSweepError(err)
+	}
+	return &BatchResponse{Results: results}, nil
+}
+
+// batchItem executes one sub-request through the same core operations the
+// standalone handlers use.
+func (s *Server) batchItem(ctx context.Context, item BatchItem) BatchResult {
+	res := BatchResult{Op: item.Op}
+	var (
+		body any
+		err  *apiError
+	)
+	switch item.Op {
+	case "analyze":
+		body, err = decodeAndRun(ctx, item.Request, s.analyze)
+	case "rebalance":
+		body, err = decodeAndRun(ctx, item.Request, s.rebalance)
+	case "roofline":
+		body, err = decodeAndRun(ctx, item.Request, s.roofline)
+	case "sweep":
+		body, err = decodeAndRun(ctx, item.Request, s.sweep)
+	case "experiment":
+		body, err = decodeAndRun(ctx, item.Request, s.experimentOp)
+	case "":
+		err = badRequest("invalid_argument", "batch item is missing op")
+	default:
+		err = badRequest("unknown_op",
+			"unknown batch op %q (one of analyze, rebalance, roofline, sweep, experiment)", item.Op)
+	}
+	if err != nil {
+		res.Status = err.Status
+		res.Error = &err.Body
+		return res
+	}
+	data, mErr := json.Marshal(body)
+	if mErr != nil {
+		res.Status = http.StatusInternalServerError
+		res.Error = &ErrorBody{"internal", mErr.Error()}
+		return res
+	}
+	res.Status = http.StatusOK
+	res.Body = data
+	return res
+}
+
+// experimentOp adapts runExperiment to the batch core shape; its response
+// matches the standalone JSON format.
+func (s *Server) experimentOp(ctx context.Context, ref *ExperimentRef) (*ExperimentRunResponse, *apiError) {
+	res, apiErr := s.runExperiment(ctx, ref.ID)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	data, err := res.JSON()
+	if err != nil {
+		return nil, internalError(err)
+	}
+	return &ExperimentRunResponse{Pass: res.Pass(), Result: data}, nil
+}
+
+// decodeAndRun strict-decodes a batch item's request body and runs the
+// core operation, mirroring jsonHandler for the in-process path.
+func decodeAndRun[Req any, Resp any](ctx context.Context, raw json.RawMessage, core func(context.Context, *Req) (Resp, *apiError)) (any, *apiError) {
+	var req Req
+	if len(raw) == 0 {
+		return nil, badRequest("bad_json", "batch item has no request body")
+	}
+	if apiErr := strictDecodeJSON(bytes.NewReader(raw), &req); apiErr != nil {
+		return nil, apiErr
+	}
+	resp, apiErr := core(ctx, &req)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	return resp, nil
+}

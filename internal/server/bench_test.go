@@ -1,0 +1,119 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// benchRequest drives one request through the full middleware stack and
+// fails the bench on a non-200.
+func benchRequest(b *testing.B, h http.Handler, method, path, body string) {
+	b.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		b.Fatalf("%s %s: %d: %s", method, path, w.Code, w.Body.String())
+	}
+}
+
+// BenchmarkServerAnalyze measures the analytic hot path end to end:
+// middleware, strict decode, the balanced-memory bisection, and JSON
+// encode. This is the query a capacity planner issues per machine shape,
+// so it must stay in the microsecond regime.
+func BenchmarkServerAnalyze(b *testing.B) {
+	s := New(Options{})
+	h := s.Handler()
+	body := `{"pe": {"c": 50e6, "io": 1e6, "m": 4096}, "computation": {"name": "fft"}}`
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchRequest(b, h, "POST", "/v1/analyze", body)
+	}
+}
+
+// sweepBenchBody measures a kernel that executes for real — external sort
+// generates and sorts m² keys per point — so the cold/cached pair exposes
+// genuine kernel work, not just counting loops.
+const sweepBenchBody = `{"kernel": "sort", "params": [64, 128, 256], "seed": 7}`
+
+// BenchmarkServerSweepCold measures the uncached sweep path: every
+// iteration runs the kernels afresh on a new server.
+func BenchmarkServerSweepCold(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New(Options{})
+		benchRequest(b, s.Handler(), "POST", "/v1/sweep", sweepBenchBody)
+	}
+}
+
+// BenchmarkServerSweepCached measures the steady-state sweep path: the
+// memo absorbs every repeat, so iterations pay only decode + cache lookup
+// + encode. Compare against BenchmarkServerSweepCold — the ratio is the
+// cache's leverage (≥ 10× is the acceptance floor; measured ~500×).
+func BenchmarkServerSweepCached(b *testing.B) {
+	s := New(Options{})
+	h := s.Handler()
+	benchRequest(b, h, "POST", "/v1/sweep", sweepBenchBody) // warm the memo
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchRequest(b, h, "POST", "/v1/sweep", sweepBenchBody)
+	}
+}
+
+// BenchmarkServerBatch8 measures an 8-item heterogeneous batch through the
+// pool fan-out.
+func BenchmarkServerBatch8(b *testing.B) {
+	s := New(Options{})
+	h := s.Handler()
+	items := []string{
+		`{"op": "analyze", "request": {"pe": {"c": 50e6, "io": 1e6, "m": 4096}, "computation": {"name": "fft"}}}`,
+		`{"op": "rebalance", "request": {"computation": {"name": "matmul"}, "alpha": 2, "m_old": 1024}}`,
+		`{"op": "rebalance", "request": {"computation": {"name": "sorting"}, "alpha": 2, "m_old": 1024}}`,
+		`{"op": "analyze", "request": {"pe": {"c": 10e6, "io": 20e6, "m": 65536}, "computation": {"name": "matmul"}}}`,
+		`{"op": "rebalance", "request": {"computation": {"name": "grid", "dim": 3}, "alpha": 2, "m_old": 4096}}`,
+		`{"op": "analyze", "request": {"pe": {"c": 1e9, "io": 1e6, "m": 1048576}, "computation": {"name": "sorting"}}}`,
+		`{"op": "rebalance", "request": {"computation": {"name": "fft"}, "alpha": 3, "m_old": 256}}`,
+		`{"op": "analyze", "request": {"pe": {"c": 50e6, "io": 1e6, "m": 4096}, "computation": {"name": "matvec"}}}`,
+	}
+	body := `{"requests": [` + strings.Join(items, ",") + `]}`
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchRequest(b, h, "POST", "/v1/batch", body)
+	}
+}
+
+// TestSweepCacheLeverage pins the acceptance floor deterministically: the
+// cached path must not re-run kernel work (verified by the miss counter,
+// not wall clock, so the test cannot flake on a loaded machine).
+func TestSweepCacheLeverage(t *testing.T) {
+	s := New(Options{})
+	h := s.Handler()
+	body := `{"kernel": "matmul", "n": 256, "params": [4, 8, 16, 32]}`
+	for i := 0; i < 50; i++ {
+		req := httptest.NewRequest("POST", "/v1/sweep", strings.NewReader(body))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != 200 {
+			t.Fatalf("iter %d: %d: %s", i, w.Code, w.Body.String())
+		}
+		var resp SweepResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if wantCached := i > 0; resp.Cached != wantCached {
+			t.Fatalf("iter %d: cached = %v, want %v", i, resp.Cached, wantCached)
+		}
+	}
+	snap := s.Metrics().Snapshot()
+	if snap.CacheMisses != 1 || snap.CacheHits != 49 {
+		t.Errorf("misses/hits = %d/%d, want 1/49: repeats must never re-run the kernels",
+			snap.CacheMisses, snap.CacheHits)
+	}
+}

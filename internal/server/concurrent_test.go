@@ -1,0 +1,182 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sweepBodies are the distinct sweep curves the concurrent clients request;
+// several clients share each one, so the single-flight memo is exercised
+// under real contention.
+var sweepBodies = []string{
+	`{"kernel": "matmul", "n": 96, "params": [4, 8, 16]}`,
+	`{"kernel": "lu", "n": 96, "params": [4, 8, 16]}`,
+	`{"kernel": "fft", "n": 4096, "params": [4, 16, 64]}`,
+	`{"kernel": "grid", "dim": 2, "size": 64, "iters": 2, "params": [4, 8]}`,
+	`{"kernel": "matvec", "n": 256, "params": [16, 64]}`,
+	`{"kernel": "strassen", "n": 128, "params": [16, 32]}`,
+}
+
+// serialSweepPoints computes the reference curves on a strictly serial,
+// cache-less path: a fresh one-worker server per request.
+func serialSweepPoints(t *testing.T, body string) json.RawMessage {
+	t.Helper()
+	s := New(Options{Parallelism: 1})
+	var req SweepRequest
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		t.Fatal(err)
+	}
+	resp, apiErr := s.runSweep(t.Context(), &req)
+	if apiErr != nil {
+		t.Fatalf("serial sweep %s: %v", body, apiErr)
+	}
+	data, err := json.Marshal(resp.Points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestConcurrentMixedClients drives ≥ 64 in-flight mixed requests through a
+// real HTTP server and asserts (a) no request fails, (b) every concurrent
+// sweep's points are byte-identical to the serial path's, and (c) the memo
+// ran each distinct curve's kernels exactly once.
+func TestConcurrentMixedClients(t *testing.T) {
+	const clients = 72
+
+	serial := make(map[string]string, len(sweepBodies))
+	for _, body := range sweepBodies {
+		serial[body] = string(serialSweepPoints(t, body))
+	}
+
+	s := New(Options{MaxInFlight: -1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+	client.Transport = &http.Transport{MaxIdleConnsPerHost: clients}
+
+	type call struct {
+		method, path, body string
+		wantStatus         int
+	}
+	mixed := []call{
+		{"GET", "/healthz", "", 200},
+		{"GET", "/metrics", "", 200},
+		{"GET", "/v1/experiments", "", 200},
+		{"POST", "/v1/analyze", `{"pe": {"c": 50e6, "io": 1e6, "m": 4096}, "computation": {"name": "fft"}}`, 200},
+		{"POST", "/v1/rebalance", `{"computation": {"name": "matmul"}, "alpha": 4, "m_old": 1024}`, 200},
+		{"POST", "/v1/roofline", `{"pe": {"c": 10e6, "io": 20e6, "m": 65536}, "computations": [{"name": "sorting"}], "mem_lo": 16, "mem_hi": 4096}`, 200},
+		{"POST", "/v1/analyze", `{"pe": {"c": -1, "io": 1, "m": 1}, "computation": {"name": "fft"}}`, 422},
+		{"POST", "/v1/experiments/E7", "", 200},
+		{"POST", "/v1/batch", `{"requests": [{"op": "rebalance", "request": {"computation": {"name": "fft"}, "alpha": 2, "m_old": 4096}}]}`, 200},
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var c call
+			isSweep := i%2 == 0 // half the fleet hammers the sweep memo
+			if isSweep {
+				body := sweepBodies[(i/2)%len(sweepBodies)]
+				c = call{"POST", "/v1/sweep", body, 200}
+			} else {
+				c = mixed[(i/2)%len(mixed)]
+			}
+			var rd io.Reader
+			if c.body != "" {
+				rd = strings.NewReader(c.body)
+			}
+			req, err := http.NewRequest(c.method, ts.URL+c.path, rd)
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				errs <- fmt.Errorf("client %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			data, err := io.ReadAll(resp.Body)
+			if err != nil {
+				errs <- fmt.Errorf("client %d: %v", i, err)
+				return
+			}
+			if resp.StatusCode != c.wantStatus {
+				errs <- fmt.Errorf("client %d: %s %s = %d, want %d: %s",
+					i, c.method, c.path, resp.StatusCode, c.wantStatus, data)
+				return
+			}
+			if isSweep {
+				var sr SweepResponse
+				if err := json.Unmarshal(data, &sr); err != nil {
+					errs <- fmt.Errorf("client %d: sweep response: %v", i, err)
+					return
+				}
+				pts, err := json.Marshal(sr.Points)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if want := serial[c.body]; string(pts) != want {
+					errs <- fmt.Errorf("client %d: concurrent sweep diverged from serial path\n got: %s\nwant: %s",
+						i, pts, want)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Single-flight: each distinct curve's kernels ran exactly once,
+	// however many clients asked.
+	snap := s.Metrics().Snapshot()
+	if snap.CacheMisses != int64(len(sweepBodies)) {
+		t.Errorf("cache misses = %d, want %d (one kernel run per distinct curve)",
+			snap.CacheMisses, len(sweepBodies))
+	}
+	if snap.CacheHits+snap.CacheMisses != clients/2 {
+		t.Errorf("cache lookups = %d, want %d", snap.CacheHits+snap.CacheMisses, clients/2)
+	}
+}
+
+// TestSweepDeterministicAcrossParallelism: the same curve measured at
+// parallelism 1 and GOMAXPROCS must serialize identically — the engine
+// pool's ordering guarantee surfacing at the API layer.
+func TestSweepDeterministicAcrossParallelism(t *testing.T) {
+	for _, body := range sweepBodies {
+		var req SweepRequest
+		if err := json.Unmarshal([]byte(body), &req); err != nil {
+			t.Fatal(err)
+		}
+		serialBytes := serialSweepPoints(t, body)
+
+		wide := New(Options{Parallelism: 8})
+		resp, apiErr := wide.runSweep(t.Context(), &req)
+		if apiErr != nil {
+			t.Fatalf("parallel sweep %s: %v", body, apiErr)
+		}
+		wideBytes, err := json.Marshal(resp.Points)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(serialBytes, wideBytes) {
+			t.Errorf("sweep %s: parallel points differ from serial\n got: %s\nwant: %s",
+				body, wideBytes, serialBytes)
+		}
+	}
+}

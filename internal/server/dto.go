@@ -1,0 +1,327 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+
+	"balarch/internal/model"
+)
+
+// PEDTO is the wire shape of a processing element: computation bandwidth in
+// ops/s, I/O bandwidth in words/s, local memory in words (paper Fig. 1).
+type PEDTO struct {
+	C  float64 `json:"c"`
+	IO float64 `json:"io"`
+	M  float64 `json:"m"`
+}
+
+func (p PEDTO) toModel() model.PE { return model.PE{C: p.C, IO: p.IO, M: p.M} }
+
+func peDTO(pe model.PE) PEDTO { return PEDTO{C: pe.C, IO: pe.IO, M: pe.M} }
+
+// ComputationDTO names one catalog computation. Grid takes its dimension
+// from Dim (default 2); convolution takes its tap count from Taps (default
+// 16); every other name ignores both.
+type ComputationDTO struct {
+	Name string `json:"name"`
+	Dim  int    `json:"dim,omitempty"`
+	Taps int    `json:"taps,omitempty"`
+}
+
+// computationNames lists the accepted ComputationDTO.Name values, for error
+// messages and the experiments listing.
+var computationNames = []string{
+	"convolution", "fft", "grid", "matmul", "matvec",
+	"sorting", "spmv", "triangularization", "trisolve",
+}
+
+// resolveComputation maps a DTO to its model catalog entry.
+func resolveComputation(dto ComputationDTO) (model.Computation, *apiError) {
+	switch strings.ToLower(dto.Name) {
+	case "matmul", "matrix-multiplication":
+		return model.MatrixMultiplication(), nil
+	case "triangularization", "matrix-triangularization":
+		return model.MatrixTriangularization(), nil
+	case "grid":
+		d := dto.Dim
+		if d == 0 {
+			d = 2
+		}
+		if d < 1 || d > 6 {
+			return model.Computation{}, unprocessable("invalid_argument",
+				"grid dim %d must be in [1, 6]", d)
+		}
+		return model.Grid(d), nil
+	case "fft":
+		return model.FFT(), nil
+	case "sorting", "sort":
+		return model.Sorting(), nil
+	case "matvec", "matrix-vector":
+		return model.MatrixVector(), nil
+	case "trisolve", "triangular-solve":
+		return model.TriangularSolve(), nil
+	case "spmv", "sparse-matvec":
+		return model.SparseMatVec(), nil
+	case "convolution", "convolve":
+		k := dto.Taps
+		if k == 0 {
+			k = 16
+		}
+		if k < 1 || k > 1<<20 {
+			return model.Computation{}, unprocessable("invalid_argument",
+				"convolution taps %d must be in [1, 2^20]", k)
+		}
+		return model.Convolution(k), nil
+	case "":
+		return model.Computation{}, unprocessable("invalid_argument",
+			"computation.name is required (one of %s)", strings.Join(computationNames, ", "))
+	default:
+		return model.Computation{}, unprocessable("unknown_computation",
+			"unknown computation %q (one of %s)", dto.Name, strings.Join(computationNames, ", "))
+	}
+}
+
+// --- /v1/analyze ---
+
+// AnalyzeRequest asks: is this PE balanced for this computation, and what
+// memory would balance it?
+type AnalyzeRequest struct {
+	PE          PEDTO          `json:"pe"`
+	Computation ComputationDTO `json:"computation"`
+	// MaxMemory bounds the numeric balanced-memory search; 0 means the
+	// package default of 10^18 words.
+	MaxMemory float64 `json:"max_memory,omitempty"`
+}
+
+// AnalyzeResponse is the balance diagnosis.
+type AnalyzeResponse struct {
+	Computation     string  `json:"computation"`
+	Section         string  `json:"section"`
+	PE              PEDTO   `json:"pe"`
+	Intensity       float64 `json:"intensity"`
+	AchievableRatio float64 `json:"achievable_ratio"`
+	State           string  `json:"state"`
+	BalancedMemory  float64 `json:"balanced_memory,omitempty"`
+	Rebalanceable   bool    `json:"rebalanceable"`
+	Law             string  `json:"law"`
+}
+
+// balanceStateName renders a BalanceState as a stable API token (the model
+// String()s are prose).
+func balanceStateName(s model.BalanceState) string {
+	switch s {
+	case model.Balanced:
+		return "balanced"
+	case model.IOBound:
+		return "io-bound"
+	case model.ComputeBound:
+		return "compute-bound"
+	default:
+		return fmt.Sprintf("state-%d", int(s))
+	}
+}
+
+// --- /v1/rebalance ---
+
+// RebalanceRequest asks the paper's central question: C/IO grows by Alpha —
+// how much memory restores balance?
+type RebalanceRequest struct {
+	Computation ComputationDTO `json:"computation"`
+	Alpha       float64        `json:"alpha"`
+	MOld        float64        `json:"m_old"`
+	MaxMemory   float64        `json:"max_memory,omitempty"`
+}
+
+// RebalanceResponse carries both the numeric inversion of the measured
+// ratio function and the paper's closed-form law, so clients can see the
+// two agree.
+type RebalanceResponse struct {
+	Computation string  `json:"computation"`
+	Alpha       float64 `json:"alpha"`
+	MOld        float64 `json:"m_old"`
+	// Rebalanceable is false for I/O-bounded computations (paper §3.6):
+	// MNew and MClosedForm are then omitted.
+	Rebalanceable bool    `json:"rebalanceable"`
+	MNew          float64 `json:"m_new,omitempty"`
+	MClosedForm   float64 `json:"m_closed_form,omitempty"`
+	Law           string  `json:"law"`
+}
+
+// --- /v1/roofline ---
+
+// RooflineRequest samples computations' paths along a PE's roofline across
+// a geometric memory sweep [MemLo, MemHi] with the given Step factor.
+type RooflineRequest struct {
+	PE           PEDTO            `json:"pe"`
+	Computations []ComputationDTO `json:"computations"`
+	MemLo        float64          `json:"mem_lo"`
+	MemHi        float64          `json:"mem_hi"`
+	Step         float64          `json:"step,omitempty"`
+	// Chart requests the rendered text roofline alongside the samples.
+	Chart bool `json:"chart,omitempty"`
+}
+
+// RooflinePointDTO is one sampled position on a computation's path.
+type RooflinePointDTO struct {
+	Memory       float64 `json:"memory"`
+	Intensity    float64 `json:"intensity"`
+	Attainable   float64 `json:"attainable"`
+	ComputeBound bool    `json:"compute_bound"`
+}
+
+// RooflinePathDTO is one computation's sampled path.
+type RooflinePathDTO struct {
+	Computation string             `json:"computation"`
+	Points      []RooflinePointDTO `json:"points"`
+}
+
+// RooflineResponse is the evaluated model: the ridge (Kung's balance point)
+// plus each computation's path.
+type RooflineResponse struct {
+	PE             PEDTO             `json:"pe"`
+	RidgeIntensity float64           `json:"ridge_intensity"`
+	Paths          []RooflinePathDTO `json:"paths"`
+	Chart          string            `json:"chart,omitempty"`
+}
+
+// --- /v1/sweep ---
+
+// SweepRequest runs one instrumented kernel across a parameter range and
+// returns the measured ratio curve. Params is the kernel's memory knob —
+// block sides for matmul/lu/fft/strassen, tile sides for grid, run lengths
+// for sort, chunk sizes for matvec/trisolve/spmv, tap counts for convolve.
+type SweepRequest struct {
+	Kernel string `json:"kernel"`
+	// N is the problem size (matrix dimension, FFT length, key count…).
+	// The sort kernel sizes its input from Params and ignores N.
+	N      int   `json:"n,omitempty"`
+	Params []int `json:"params"`
+	// Dim, Size, Iters configure the grid kernel (Size per side, Iters
+	// relaxation iterations); Size replaces N for grids.
+	Dim   int `json:"dim,omitempty"`
+	Size  int `json:"size,omitempty"`
+	Iters int `json:"iters,omitempty"`
+	// NNZPerRow configures the spmv kernel.
+	NNZPerRow int `json:"nnz_per_row,omitempty"`
+	// Seed configures the sort kernel's input permutation.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// SweepPointDTO is one measured point of the curve.
+type SweepPointDTO struct {
+	Memory int     `json:"memory"`
+	Ops    uint64  `json:"ops"`
+	Reads  uint64  `json:"reads"`
+	Writes uint64  `json:"writes"`
+	Ratio  float64 `json:"ratio"`
+}
+
+// SweepResponse is the measured curve. Cached reports whether the points
+// came from the server's sweep memo rather than a fresh kernel run.
+type SweepResponse struct {
+	Kernel string          `json:"kernel"`
+	Points []SweepPointDTO `json:"points"`
+	Cached bool            `json:"cached"`
+}
+
+// --- /v1/experiments ---
+
+// ExperimentInfo is one row of the GET /v1/experiments listing.
+type ExperimentInfo struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+}
+
+// ExperimentsResponse lists the registry.
+type ExperimentsResponse struct {
+	Experiments []ExperimentInfo `json:"experiments"`
+}
+
+// ExperimentRunResponse wraps one experiment's report with its verdict.
+type ExperimentRunResponse struct {
+	Pass   bool            `json:"pass"`
+	Result json.RawMessage `json:"result"`
+}
+
+// --- /v1/batch ---
+
+// BatchItem is one sub-request of a batch: Op selects the operation
+// ("analyze", "rebalance", "roofline", "sweep", "experiment") and Request
+// carries that operation's request body. The experiment op's request is
+// {"id": "E2"}.
+type BatchItem struct {
+	Op      string          `json:"op"`
+	Request json.RawMessage `json:"request"`
+}
+
+// BatchRequest fans its items out across the server's worker pool.
+type BatchRequest struct {
+	Requests []BatchItem `json:"requests"`
+}
+
+// BatchResult is one item's outcome, in the item's position: the status and
+// body it would have received as a standalone request.
+type BatchResult struct {
+	Op     string          `json:"op"`
+	Status int             `json:"status"`
+	Body   json.RawMessage `json:"body,omitempty"`
+	Error  *ErrorBody      `json:"error,omitempty"`
+}
+
+// BatchResponse preserves request order: Results[i] answers Requests[i]
+// whatever order the pool completed them in.
+type BatchResponse struct {
+	Results []BatchResult `json:"results"`
+}
+
+// ExperimentRef is the request body of the batch "experiment" op.
+type ExperimentRef struct {
+	ID string `json:"id"`
+}
+
+// --- decoding ---
+
+// decodeStrict parses exactly one JSON value from r into v, rejecting
+// unknown fields, trailing garbage, and oversized bodies — malformed input
+// is 400, an over-limit body is 413.
+func decodeStrict(w http.ResponseWriter, r *http.Request, maxBytes int64, v any) *apiError {
+	return strictDecodeJSON(http.MaxBytesReader(w, r.Body, maxBytes), v)
+}
+
+// strictDecodeJSON is the one strict-decoding policy, shared by the
+// top-level handlers and /v1/batch items so the two can never drift apart:
+// exactly one JSON value, unknown fields rejected, trailing data rejected.
+func strictDecodeJSON(rd io.Reader, v any) *apiError {
+	dec := json.NewDecoder(rd)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		if err == io.EOF {
+			return badRequest("bad_json", "request body is empty")
+		}
+		return asDecodeError(err)
+	}
+	if dec.More() {
+		return badRequest("bad_json", "request body has trailing data after the JSON value")
+	}
+	return nil
+}
+
+// asDecodeError distinguishes an over-limit body (413) from malformed JSON
+// (400).
+func asDecodeError(err error) *apiError {
+	if ae := asAPIError(err); ae.Status != http.StatusInternalServerError {
+		return ae
+	}
+	return badRequest("bad_json", "%v", err)
+}
+
+// sortedCopy returns a sorted copy of xs, for canonical cache keys.
+func sortedCopy(xs []int) []int {
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	return out
+}

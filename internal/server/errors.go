@@ -1,0 +1,97 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"balarch/internal/report"
+)
+
+// ErrorBody is the payload of the API's typed error envelope. Every
+// non-2xx response carries exactly one, so clients can switch on Code
+// without parsing prose.
+type ErrorBody struct {
+	// Code is a stable machine-readable identifier (e.g. "bad_json",
+	// "unknown_experiment", "invalid_argument").
+	Code string `json:"code"`
+	// Message is the human-readable cause.
+	Message string `json:"message"`
+}
+
+// errorEnvelope is the wire shape of every error response:
+// {"error": {"code": ..., "message": ...}}.
+type errorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+// apiError pairs an HTTP status with an envelope body. It implements error
+// so core operations can return it through ordinary error plumbing.
+type apiError struct {
+	Status int
+	Body   ErrorBody
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("%d %s: %s", e.Status, e.Body.Code, e.Body.Message)
+}
+
+// The four mappings the API promises: malformed requests are 400, missing
+// resources are 404, well-formed but semantically invalid requests are 422,
+// and everything unexpected is 500.
+
+func badRequest(code, format string, args ...any) *apiError {
+	return &apiError{http.StatusBadRequest, ErrorBody{code, fmt.Sprintf(format, args...)}}
+}
+
+func notFound(code, format string, args ...any) *apiError {
+	return &apiError{http.StatusNotFound, ErrorBody{code, fmt.Sprintf(format, args...)}}
+}
+
+func unprocessable(code, format string, args ...any) *apiError {
+	return &apiError{http.StatusUnprocessableEntity, ErrorBody{code, fmt.Sprintf(format, args...)}}
+}
+
+func internalError(err error) *apiError {
+	return &apiError{http.StatusInternalServerError, ErrorBody{"internal", err.Error()}}
+}
+
+// asAPIError maps an arbitrary error from the model/report/experiment layers
+// to its API status: typed sentinels keep their promised codes, anything
+// unrecognized is an internal error.
+func asAPIError(err error) *apiError {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae
+	}
+	if errors.Is(err, report.ErrNoSeries) {
+		return notFound("no_such_series", "%v", err)
+	}
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return &apiError{http.StatusRequestEntityTooLarge,
+			ErrorBody{"body_too_large", mbe.Error()}}
+	}
+	return internalError(err)
+}
+
+// writeError emits the envelope for err on w.
+func writeError(w http.ResponseWriter, err *apiError) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(err.Status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(errorEnvelope{Error: err.Body}) // headers are sent; nothing left to do
+}
+
+// writeJSON emits a 200 with the JSON encoding of v.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// Headers are already sent; the connection is the only casualty.
+		return
+	}
+}

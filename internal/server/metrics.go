@@ -1,0 +1,154 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the upper bounds (in seconds) of the request-latency
+// histogram, chosen to straddle the API's two regimes: microsecond analytic
+// queries (analyze/rebalance/roofline, cached sweeps) and millisecond-to-
+// second measured sweeps and experiment runs.
+var latencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Metrics is the server's instrumentation: per-route request and error
+// counts, a latency histogram, the sweep-cache hit rate, and an in-flight
+// gauge. All methods are safe for concurrent use; reads take a snapshot, so
+// /metrics never blocks the hot path for long.
+type Metrics struct {
+	start time.Time
+
+	mu       sync.Mutex
+	requests map[string]int64 // per-route completed requests
+	statuses map[int]int64    // per-status-class completed requests
+	hist     []int64          // latency histogram counts, one per bucket
+	histOver int64            // observations above the last bucket
+	latSum   float64          // total latency seconds, for the mean
+
+	inFlight    atomic.Int64
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	panics      atomic.Int64
+}
+
+// NewMetrics returns ready-to-use instrumentation.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		start:    time.Now(),
+		requests: make(map[string]int64),
+		statuses: make(map[int]int64),
+		hist:     make([]int64, len(latencyBuckets)),
+	}
+}
+
+// Observe records one completed request: its route, response status, and
+// latency.
+func (m *Metrics) Observe(route string, status int, elapsed time.Duration) {
+	sec := elapsed.Seconds()
+	m.mu.Lock()
+	m.requests[route]++
+	m.statuses[status/100*100]++
+	m.latSum += sec
+	placed := false
+	for i, ub := range latencyBuckets {
+		if sec <= ub {
+			m.hist[i]++
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		m.histOver++
+	}
+	m.mu.Unlock()
+}
+
+// IncInFlight/DecInFlight maintain the in-flight request gauge.
+func (m *Metrics) IncInFlight() { m.inFlight.Add(1) }
+
+// DecInFlight decrements the in-flight request gauge.
+func (m *Metrics) DecInFlight() { m.inFlight.Add(-1) }
+
+// CacheHit records a sweep served from the memo.
+func (m *Metrics) CacheHit() { m.cacheHits.Add(1) }
+
+// CacheMiss records a sweep that ran the kernels.
+func (m *Metrics) CacheMiss() { m.cacheMisses.Add(1) }
+
+// Panic records a request recovered by the recover middleware.
+func (m *Metrics) Panic() { m.panics.Add(1) }
+
+// HistogramBucket is one bar of the latency histogram in the snapshot.
+type HistogramBucket struct {
+	// LeSeconds is the bucket's inclusive upper bound in seconds; the
+	// overflow bucket reports -1.
+	LeSeconds float64 `json:"le_seconds"`
+	Count     int64   `json:"count"`
+}
+
+// Snapshot is the JSON shape served by GET /metrics.
+type Snapshot struct {
+	UptimeSeconds  float64           `json:"uptime_seconds"`
+	InFlight       int64             `json:"in_flight"`
+	Requests       map[string]int64  `json:"requests_total"`
+	StatusClasses  map[string]int64  `json:"responses_by_status_class"`
+	Panics         int64             `json:"panics_recovered"`
+	LatencyMean    float64           `json:"latency_mean_seconds"`
+	LatencyBuckets []HistogramBucket `json:"latency_histogram"`
+	CacheHits      int64             `json:"sweep_cache_hits"`
+	CacheMisses    int64             `json:"sweep_cache_misses"`
+	CacheHitRate   float64           `json:"sweep_cache_hit_rate"`
+}
+
+// Snapshot captures the current counters.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		InFlight:      m.inFlight.Load(),
+		Requests:      make(map[string]int64),
+		StatusClasses: make(map[string]int64),
+		Panics:        m.panics.Load(),
+		CacheHits:     m.cacheHits.Load(),
+		CacheMisses:   m.cacheMisses.Load(),
+	}
+	m.mu.Lock()
+	var total int64
+	for route, n := range m.requests {
+		s.Requests[route] = n
+		total += n
+	}
+	for status, n := range m.statuses {
+		s.StatusClasses[statusClassName(status)] = n
+	}
+	if total > 0 {
+		s.LatencyMean = m.latSum / float64(total)
+	}
+	for i, n := range m.hist {
+		s.LatencyBuckets = append(s.LatencyBuckets, HistogramBucket{latencyBuckets[i], n})
+	}
+	s.LatencyBuckets = append(s.LatencyBuckets, HistogramBucket{-1, m.histOver})
+	m.mu.Unlock()
+	if lookups := s.CacheHits + s.CacheMisses; lookups > 0 {
+		s.CacheHitRate = float64(s.CacheHits) / float64(lookups)
+	}
+	return s
+}
+
+func statusClassName(status int) string {
+	switch status {
+	case 200:
+		return "2xx"
+	case 300:
+		return "3xx"
+	case 400:
+		return "4xx"
+	case 500:
+		return "5xx"
+	default:
+		return "other"
+	}
+}

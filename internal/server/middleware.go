@@ -1,0 +1,171 @@
+package server
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// Middleware is a composable http.Handler wrapper. The server's stack is
+// built with Chain; embedders mounting the API elsewhere can reuse the
+// pieces individually.
+type Middleware func(http.Handler) http.Handler
+
+// Chain wraps h in the middlewares, outermost first: Chain(h, a, b) serves
+// a(b(h)).
+func Chain(h http.Handler, mw ...Middleware) http.Handler {
+	for i := len(mw) - 1; i >= 0; i-- {
+		h = mw[i](h)
+	}
+	return h
+}
+
+// statusRecorder captures the response status and size for logging and
+// metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// Recover converts a handler panic into a 500 envelope instead of killing
+// the connection (and, under http.Server, the goroutine's request). The
+// panic value and stack are logged; the client sees a stable error shape.
+func Recover(log *slog.Logger, m *Metrics) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			defer func() {
+				if v := recover(); v != nil {
+					if m != nil {
+						m.Panic()
+					}
+					if log != nil {
+						log.Error("panic in handler",
+							"method", r.Method, "path", r.URL.Path, "panic", v)
+					}
+					writeError(w, &apiError{http.StatusInternalServerError,
+						ErrorBody{"panic", "internal error"}})
+				}
+			}()
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// Logging emits one structured line per request (method, path, status,
+// bytes, duration) and feeds the metrics' route counters, latency
+// histogram, and in-flight gauge. The accounting is deferred so even a
+// panic that escapes an inner Recover cannot leak the in-flight gauge.
+func Logging(log *slog.Logger, m *Metrics) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			start := time.Now()
+			if m != nil {
+				m.IncInFlight()
+			}
+			rec := &statusRecorder{ResponseWriter: w}
+			defer func() {
+				if rec.status == 0 {
+					rec.status = http.StatusOK
+				}
+				elapsed := time.Since(start)
+				if m != nil {
+					m.DecInFlight()
+					m.Observe(r.Method+" "+routePattern(r), rec.status, elapsed)
+				}
+				if log != nil {
+					log.Info("request",
+						"method", r.Method, "path", r.URL.Path,
+						"status", rec.status, "bytes", rec.bytes,
+						"duration", elapsed)
+				}
+			}()
+			next.ServeHTTP(rec, r)
+		})
+	}
+}
+
+// routePattern returns the matched mux pattern (so /v1/experiments/E2 and
+// /v1/experiments/X4 share one metrics series). Requests that never
+// reached the mux — rejected by the limiter or killed by the deadline
+// while queued — share one fixed token: recording the raw client-chosen
+// path would let an abusive client grow the metrics maps without bound.
+func routePattern(r *http.Request) string {
+	p := r.Pattern
+	if p == "" {
+		return "(unmatched)"
+	}
+	// Patterns carry their method ("POST /v1/analyze"); strip it — the
+	// caller prefixes the method itself.
+	for i := 0; i < len(p); i++ {
+		if p[i] == ' ' {
+			return p[i+1:]
+		}
+	}
+	return p
+}
+
+// LimitConcurrency bounds the number of requests inside the handler at
+// once: request n+1 waits for a slot rather than stampeding the kernel
+// sweeps, and a request whose context dies (client disconnect, or the
+// per-request deadline when WithTimeout wraps this limiter) while queued
+// gets 503 instead of a slot. Paths listed in exempt bypass the limit —
+// liveness probes must answer even when the server is saturated. n ≤ 0
+// disables the limit.
+func LimitConcurrency(n int, exempt ...string) Middleware {
+	if n <= 0 {
+		return func(next http.Handler) http.Handler { return next }
+	}
+	slots := make(chan struct{}, n)
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			for _, p := range exempt {
+				if r.URL.Path == p {
+					next.ServeHTTP(w, r)
+					return
+				}
+			}
+			select {
+			case slots <- struct{}{}:
+				defer func() { <-slots }()
+				next.ServeHTTP(w, r)
+			case <-r.Context().Done():
+				writeError(w, &apiError{http.StatusServiceUnavailable,
+					ErrorBody{"overloaded", "request cancelled while queued for a slot"}})
+			}
+		})
+	}
+}
+
+// WithTimeout attaches a per-request deadline to the request context so a
+// runaway sweep cannot hold a connection (and a concurrency slot) forever.
+// d ≤ 0 disables the deadline.
+func WithTimeout(d time.Duration) Middleware {
+	if d <= 0 {
+		return func(next http.Handler) http.Handler { return next }
+	}
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			ctx, cancel := context.WithTimeout(r.Context(), d)
+			defer cancel()
+			next.ServeHTTP(w, r.WithContext(ctx))
+		})
+	}
+}

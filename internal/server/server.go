@@ -1,0 +1,374 @@
+// Package server puts the balance model behind a production-shaped HTTP
+// JSON API — balance-as-a-service. A capacity planner asks the same
+// questions the paper answers analytically: is this machine balanced for
+// this workload (POST /v1/analyze), how much memory does a faster processor
+// need (POST /v1/rebalance), what does the roofline look like
+// (POST /v1/roofline), what ratio curve does a real kernel measure
+// (POST /v1/sweep), and do the paper's claims still reproduce
+// (GET|POST /v1/experiments). Heterogeneous requests batch through
+// POST /v1/batch, which fans out across an engine.Pool with deterministic
+// result ordering; sweeps memoize through an engine.Cache with
+// single-flight semantics, so a stampede of identical queries runs the
+// kernels once.
+//
+// The package is stdlib-only (net/http, log/slog) and exposes its handler
+// as a plain http.Handler so embedders can mount it anywhere; cmd/balarchd
+// is the thin daemon around it, and balarch.NewServerHandler is the public
+// facade. Errors use one typed envelope ({"error": {code, message}}):
+// malformed bodies are 400, unknown experiments/series 404, semantically
+// invalid requests 422, recovered panics and surprises 500. Middleware
+// (recover, logging+metrics, concurrency limiting, per-request timeouts)
+// composes as func(http.Handler) http.Handler.
+package server
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"balarch/internal/engine"
+	"balarch/internal/experiments"
+	"balarch/internal/kernels"
+	"balarch/internal/model"
+	"balarch/internal/report"
+	"balarch/internal/roofline"
+)
+
+// Options configures a Server. The zero value serves with sane defaults:
+// GOMAXPROCS sweep parallelism, 1 MiB bodies, 64-item batches, a 60 s
+// per-request budget, twice-GOMAXPROCS concurrent requests, and no logging.
+type Options struct {
+	// Parallelism bounds the engine pools under sweeps, experiment runs,
+	// and batch fan-out. ≤ 0 means GOMAXPROCS.
+	Parallelism int
+	// RequestTimeout is the per-request context budget; 0 means the
+	// 60 s default, negative disables the deadline.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps request bodies; 0 means 1 MiB.
+	MaxBodyBytes int64
+	// MaxBatch caps BatchRequest.Requests; 0 means 64.
+	MaxBatch int
+	// MaxInFlight caps concurrently handled requests; 0 means
+	// 2×GOMAXPROCS, negative disables the limiter.
+	MaxInFlight int
+	// Logger receives structured request and panic logs; nil disables
+	// logging (metrics still record).
+	Logger *slog.Logger
+}
+
+const (
+	defaultRequestTimeout = 60 * time.Second
+	defaultMaxBodyBytes   = 1 << 20
+	defaultMaxBatch       = 64
+)
+
+// Server owns the API's long-lived state: the sweep memo shared across
+// requests, the metrics, and the resolved options. Create one with New and
+// mount Handler.
+type Server struct {
+	opts             Options
+	metrics          *Metrics
+	sweeps           *engine.Cache[[]kernels.RatioPoint]
+	maxMemoryDefault float64
+}
+
+// New resolves opts and returns a ready Server.
+func New(opts Options) *Server {
+	if opts.RequestTimeout == 0 {
+		opts.RequestTimeout = defaultRequestTimeout
+	}
+	if opts.MaxBodyBytes == 0 {
+		opts.MaxBodyBytes = defaultMaxBodyBytes
+	}
+	if opts.MaxBatch == 0 {
+		opts.MaxBatch = defaultMaxBatch
+	}
+	return &Server{
+		opts:             opts,
+		metrics:          NewMetrics(),
+		sweeps:           &engine.Cache[[]kernels.RatioPoint]{},
+		maxMemoryDefault: 1e18,
+	}
+}
+
+// Metrics exposes the server's instrumentation, for embedders and tests.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// ResetCache drops the sweep memo (tests and long-lived embedders).
+func (s *Server) ResetCache() { s.sweeps.Reset() }
+
+// Handler returns the full API behind the middleware stack:
+// timeout(logging+metrics(recover(limiter(mux)))). The timeout sits
+// outermost so the per-request deadline covers time spent queued for a
+// limiter slot, and so no request copy separates Logging from the mux
+// (the mux stamps the matched pattern on the request it serves; a copy
+// in between would hide it from the route metrics). Recover sits inside
+// Logging so a recovered panic's 500 is still logged, counted, and
+// decremented from the in-flight gauge. Health and metrics probes
+// bypass the limiter: a saturated server must still answer its load
+// balancer.
+func (s *Server) Handler() http.Handler {
+	limit := s.opts.MaxInFlight
+	if limit == 0 {
+		limit = 2 * engine.ParallelismFrom(context.Background())
+	}
+	return Chain(s.mux(),
+		WithTimeout(s.opts.RequestTimeout),
+		Logging(s.opts.Logger, s.metrics),
+		Recover(s.opts.Logger, s.metrics),
+		LimitConcurrency(limit, "/healthz", "/metrics"),
+	)
+}
+
+// mux routes the seven endpoints plus health and metrics.
+func (s *Server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/analyze", jsonHandler(s, s.analyze))
+	mux.HandleFunc("POST /v1/rebalance", jsonHandler(s, s.rebalance))
+	mux.HandleFunc("POST /v1/roofline", jsonHandler(s, s.roofline))
+	mux.HandleFunc("POST /v1/sweep", jsonHandler(s, s.sweep))
+	mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
+	mux.HandleFunc("POST /v1/experiments/{id}", s.handleExperimentRun)
+	mux.HandleFunc("POST /v1/batch", jsonHandler(s, s.batch))
+	// The catch-all keeps the error envelope on every non-2xx: unknown
+	// paths AND wrong methods on known paths land here (trading away the
+	// mux's native 405), so the message names both possibilities.
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, notFound("unknown_route",
+			"no route matches %s %s (unknown path, or wrong method for a known one)",
+			r.Method, r.URL.Path))
+	})
+	return mux
+}
+
+// jsonHandler adapts a decode→core→encode operation: strict-decodes Req,
+// runs the core, writes the response or the error envelope. The same core
+// functions serve /v1/batch, so standalone and batched requests cannot
+// drift apart.
+func jsonHandler[Req any, Resp any](s *Server, core func(context.Context, *Req) (Resp, *apiError)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req Req
+		if apiErr := decodeStrict(w, r, s.opts.MaxBodyBytes, &req); apiErr != nil {
+			writeError(w, apiErr)
+			return
+		}
+		resp, apiErr := core(r.Context(), &req)
+		if apiErr != nil {
+			writeError(w, apiErr)
+			return
+		}
+		writeJSON(w, resp)
+	}
+}
+
+// sweepContext attaches the server's parallelism hint for the engine pools
+// beneath kernel sweeps and experiment runs.
+func (s *Server) sweepContext(ctx context.Context) context.Context {
+	return engine.WithParallelism(ctx, s.opts.Parallelism)
+}
+
+// --- core operations (shared by handlers and /v1/batch) ---
+
+// analyze diagnoses a PE against a catalog computation.
+func (s *Server) analyze(_ context.Context, req *AnalyzeRequest) (*AnalyzeResponse, *apiError) {
+	comp, apiErr := resolveComputation(req.Computation)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	maxM := req.MaxMemory
+	if maxM == 0 {
+		maxM = s.maxMemoryDefault
+	}
+	a, err := model.Analyze(req.PE.toModel(), comp, maxM)
+	if err != nil {
+		// Analyze fails only on invalid PE parameters.
+		return nil, unprocessable("invalid_argument", "%v", err)
+	}
+	return &AnalyzeResponse{
+		Computation:     comp.Name,
+		Section:         comp.Section,
+		PE:              peDTO(a.PE),
+		Intensity:       a.Intensity,
+		AchievableRatio: a.AchievableRatio,
+		State:           balanceStateName(a.State),
+		BalancedMemory:  a.BalancedMemory,
+		Rebalanceable:   a.Rebalanceable,
+		Law:             comp.Law.Describe(),
+	}, nil
+}
+
+// rebalance answers the memory-growth question numerically and in closed
+// form. An I/O-bounded computation is a valid question with the answer
+// "impossible" (200, rebalanceable=false), not an error.
+func (s *Server) rebalance(_ context.Context, req *RebalanceRequest) (*RebalanceResponse, *apiError) {
+	comp, apiErr := resolveComputation(req.Computation)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	maxM := req.MaxMemory
+	if maxM == 0 {
+		maxM = s.maxMemoryDefault
+	}
+	resp := &RebalanceResponse{
+		Computation: comp.Name,
+		Alpha:       req.Alpha,
+		MOld:        req.MOld,
+		Law:         comp.Law.Describe(),
+	}
+	mNew, err := comp.Rebalance(req.Alpha, req.MOld, maxM)
+	switch {
+	case err == nil:
+		resp.Rebalanceable = true
+		resp.MNew = mNew
+		if cf, cfErr := comp.RebalanceClosedForm(req.Alpha, req.MOld); cfErr == nil {
+			resp.MClosedForm = cf
+		}
+	case errors.Is(err, model.ErrNotRebalanceable):
+		resp.Rebalanceable = false
+	default:
+		// Argument validation: alpha/m_old out of range.
+		return nil, unprocessable("invalid_argument", "%v", err)
+	}
+	return resp, nil
+}
+
+// rooflineOp evaluates the roofline model for a PE across the requested
+// computations and memory sweep.
+func (s *Server) roofline(_ context.Context, req *RooflineRequest) (*RooflineResponse, *apiError) {
+	m, err := roofline.New(req.PE.toModel())
+	if err != nil {
+		return nil, unprocessable("invalid_argument", "%v", err)
+	}
+	if len(req.Computations) == 0 {
+		return nil, unprocessable("invalid_argument", "computations must list at least one entry")
+	}
+	lo, hi, step := req.MemLo, req.MemHi, req.Step
+	if step == 0 {
+		step = 4
+	}
+	comps := make([]model.Computation, len(req.Computations))
+	for i, dto := range req.Computations {
+		comp, apiErr := resolveComputation(dto)
+		if apiErr != nil {
+			return nil, apiErr
+		}
+		comps[i] = comp
+	}
+	resp := &RooflineResponse{PE: req.PE, RidgeIntensity: m.RidgeIntensity()}
+	for _, comp := range comps {
+		pts, err := m.Path(comp, lo, hi, step)
+		if err != nil {
+			return nil, unprocessable("invalid_argument", "%v", err)
+		}
+		path := RooflinePathDTO{Computation: comp.Name}
+		for _, p := range pts {
+			path.Points = append(path.Points, RooflinePointDTO{
+				Memory:       p.Memory,
+				Intensity:    p.Intensity,
+				Attainable:   p.Attainable,
+				ComputeBound: p.ComputeBound,
+			})
+		}
+		resp.Paths = append(resp.Paths, path)
+	}
+	if req.Chart {
+		chart, err := m.Chart(comps, lo, hi)
+		if err != nil {
+			return nil, unprocessable("invalid_argument", "%v", err)
+		}
+		resp.Chart = chart
+	}
+	return resp, nil
+}
+
+// sweep is the core behind POST /v1/sweep.
+func (s *Server) sweep(ctx context.Context, req *SweepRequest) (*SweepResponse, *apiError) {
+	return s.runSweep(ctx, req)
+}
+
+// --- experiments ---
+
+func (s *Server) handleExperimentList(w http.ResponseWriter, _ *http.Request) {
+	resp := ExperimentsResponse{Experiments: []ExperimentInfo{}}
+	for _, e := range experiments.Registry() {
+		resp.Experiments = append(resp.Experiments, ExperimentInfo{ID: e.ID, Title: e.Title})
+	}
+	writeJSON(w, resp)
+}
+
+// handleExperimentRun executes one registry entry under the request's
+// context — a dropped connection or the per-request timeout aborts the
+// experiment's sweeps mid-flight. Output formats: JSON report (default),
+// ?format=text for the terminal rendering, ?format=csv for every series
+// (404 via ErrNoSeries when the result has none), ?series=<name> for one.
+func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
+	res, apiErr := s.runExperiment(r.Context(), r.PathValue("id"))
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	q := r.URL.Query()
+	switch {
+	case q.Get("series") != "":
+		w.Header().Set("Content-Type", "text/csv")
+		if err := res.WriteCSV(w, q.Get("series")); err != nil {
+			writeError(w, asAPIError(err))
+		}
+	case q.Get("format") == "csv":
+		w.Header().Set("Content-Type", "text/csv")
+		if err := res.WriteAllCSV(w); err != nil {
+			writeError(w, asAPIError(err))
+		}
+	case q.Get("format") == "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = res.Render(w)
+	default:
+		data, err := res.JSON()
+		if err != nil {
+			writeError(w, internalError(err))
+			return
+		}
+		writeJSON(w, ExperimentRunResponse{Pass: res.Pass(), Result: data})
+	}
+}
+
+// runExperiment is the core experiment executor, shared with /v1/batch.
+func (s *Server) runExperiment(ctx context.Context, id string) (*report.Result, *apiError) {
+	exp, err := experiments.Get(id)
+	if err != nil {
+		return nil, notFound("unknown_experiment", "%v", err)
+	}
+	res, err := exp.Run(s.sweepContext(ctx))
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, &apiError{http.StatusServiceUnavailable, ErrorBody{"cancelled", err.Error()}}
+		}
+		return nil, internalError(err)
+	}
+	return res, nil
+}
+
+// --- health & metrics ---
+
+// HealthResponse is the GET /healthz body.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Experiments   int     `json:"experiments"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, HealthResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.metrics.start).Seconds(),
+		Experiments:   len(experiments.Registry()),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.metrics.Snapshot())
+}

@@ -1,0 +1,295 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+
+	"balarch/internal/kernels"
+)
+
+// Service-level caps on sweep work, so one request cannot monopolize the
+// daemon. Violations are 422s: the request is well-formed, just too big for
+// the service.
+const (
+	maxSweepPoints  = 64      // points per sweep
+	maxSweepN       = 1 << 22 // problem size for count-only kernels
+	maxSortMemory   = 2048    // sort executes for real: n = m² keys per point
+	maxGridDim      = 4
+	maxGridCells    = 1 << 24 // size^dim
+	maxGridIters    = 64
+	maxSpMVDensity  = 1 << 10 // nnz per row
+	maxConvolveTaps = 1 << 16
+)
+
+// sweepKernel is one row of the sweep registry: how to validate a request
+// for this kernel and how to run it.
+type sweepKernel struct {
+	validate func(*SweepRequest) *apiError
+	run      func(ctx context.Context, req *SweepRequest) ([]kernels.RatioPoint, error)
+}
+
+// sweepKernels maps SweepRequest.Kernel to its implementation. Every entry
+// runs on the engine pool via kernels.Sweep, so the server's parallelism
+// hint (carried in ctx) bounds the fan-out.
+var sweepKernels = map[string]sweepKernel{
+	"matmul": {
+		validate: needN,
+		run: func(ctx context.Context, r *SweepRequest) ([]kernels.RatioPoint, error) {
+			return kernels.MatMulRatioSweep(ctx, r.N, r.Params)
+		},
+	},
+	"lu": {
+		validate: needN,
+		run: func(ctx context.Context, r *SweepRequest) ([]kernels.RatioPoint, error) {
+			return kernels.LURatioSweep(ctx, r.N, r.Params)
+		},
+	},
+	"fft": {
+		validate: needN,
+		run: func(ctx context.Context, r *SweepRequest) ([]kernels.RatioPoint, error) {
+			return kernels.FFTRatioSweep(ctx, r.N, r.Params)
+		},
+	},
+	"strassen": {
+		validate: needN,
+		run: func(ctx context.Context, r *SweepRequest) ([]kernels.RatioPoint, error) {
+			return kernels.StrassenRatioSweep(ctx, r.N, r.Params)
+		},
+	},
+	"matvec": {
+		validate: needN,
+		run: func(ctx context.Context, r *SweepRequest) ([]kernels.RatioPoint, error) {
+			return kernels.MatVecRatioSweep(ctx, r.N, r.Params)
+		},
+	},
+	"trisolve": {
+		validate: needN,
+		run: func(ctx context.Context, r *SweepRequest) ([]kernels.RatioPoint, error) {
+			return kernels.TriSolveRatioSweep(ctx, r.N, r.Params)
+		},
+	},
+	"convolve": {
+		validate: func(r *SweepRequest) *apiError {
+			if err := needN(r); err != nil {
+				return err
+			}
+			for _, k := range r.Params {
+				if k > maxConvolveTaps {
+					return unprocessable("invalid_argument",
+						"convolve taps %d exceeds the service cap %d", k, maxConvolveTaps)
+				}
+			}
+			return nil
+		},
+		run: func(ctx context.Context, r *SweepRequest) ([]kernels.RatioPoint, error) {
+			return kernels.ConvolveRatioSweep(ctx, r.N, r.Params)
+		},
+	},
+	"spmv": {
+		validate: func(r *SweepRequest) *apiError {
+			if err := needN(r); err != nil {
+				return err
+			}
+			if r.NNZPerRow <= 0 || r.NNZPerRow > maxSpMVDensity {
+				return unprocessable("invalid_argument",
+					"spmv nnz_per_row %d must be in [1, %d]", r.NNZPerRow, maxSpMVDensity)
+			}
+			return nil
+		},
+		run: func(ctx context.Context, r *SweepRequest) ([]kernels.RatioPoint, error) {
+			return kernels.SpMVRatioSweep(ctx, r.N, r.NNZPerRow, r.Params)
+		},
+	},
+	"sort": {
+		// Sort generates and actually sorts m² keys per point, so it gets
+		// the tightest cap.
+		validate: func(r *SweepRequest) *apiError {
+			for _, m := range r.Params {
+				if m > maxSortMemory {
+					return unprocessable("invalid_argument",
+						"sort memory %d exceeds the service cap %d (each point sorts m² keys)",
+						m, maxSortMemory)
+				}
+			}
+			return nil
+		},
+		run: func(ctx context.Context, r *SweepRequest) ([]kernels.RatioPoint, error) {
+			return kernels.SortRatioSweep(ctx, r.Params, r.Seed)
+		},
+	},
+	"grid": {
+		validate: func(r *SweepRequest) *apiError {
+			if r.Dim < 1 || r.Dim > maxGridDim {
+				return unprocessable("invalid_argument",
+					"grid dim %d must be in [1, %d]", r.Dim, maxGridDim)
+			}
+			if r.Size <= 0 {
+				return unprocessable("invalid_argument", "grid size %d must be positive", r.Size)
+			}
+			cells := 1
+			for d := 0; d < r.Dim; d++ {
+				if cells > maxGridCells/r.Size {
+					return unprocessable("invalid_argument",
+						"grid size %d^%d exceeds the service cap of %d cells",
+						r.Size, r.Dim, maxGridCells)
+				}
+				cells *= r.Size
+			}
+			if r.Iters <= 0 || r.Iters > maxGridIters {
+				return unprocessable("invalid_argument",
+					"grid iters %d must be in [1, %d]", r.Iters, maxGridIters)
+			}
+			return nil
+		},
+		run: func(ctx context.Context, r *SweepRequest) ([]kernels.RatioPoint, error) {
+			return kernels.GridRatioSweep(ctx, r.Dim, r.Size, r.Iters, r.Params)
+		},
+	},
+}
+
+// needN is the common validation for kernels parameterized by one problem
+// size.
+func needN(r *SweepRequest) *apiError {
+	if r.N <= 0 || r.N > maxSweepN {
+		return unprocessable("invalid_argument",
+			"%s n=%d must be in [1, %d]", r.Kernel, r.N, maxSweepN)
+	}
+	return nil
+}
+
+// sweepKernelNames lists the registry for error messages.
+func sweepKernelNames() string {
+	names := make([]string, 0, len(sweepKernels))
+	for name := range sweepKernels {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// validateSweep resolves and validates a sweep request.
+func validateSweep(req *SweepRequest) (sweepKernel, *apiError) {
+	k, ok := sweepKernels[strings.ToLower(req.Kernel)]
+	if !ok {
+		if req.Kernel == "" {
+			return sweepKernel{}, unprocessable("invalid_argument",
+				"kernel is required (one of %s)", sweepKernelNames())
+		}
+		return sweepKernel{}, unprocessable("unknown_kernel",
+			"unknown kernel %q (one of %s)", req.Kernel, sweepKernelNames())
+	}
+	if len(req.Params) == 0 {
+		return sweepKernel{}, unprocessable("invalid_argument", "params must list at least one point")
+	}
+	if len(req.Params) > maxSweepPoints {
+		return sweepKernel{}, unprocessable("invalid_argument",
+			"params lists %d points, service cap is %d", len(req.Params), maxSweepPoints)
+	}
+	for _, p := range req.Params {
+		if p <= 0 {
+			return sweepKernel{}, unprocessable("invalid_argument",
+				"params must be positive, got %d", p)
+		}
+	}
+	if err := k.validate(req); err != nil {
+		return sweepKernel{}, err
+	}
+	return k, nil
+}
+
+// sweepCacheKey canonicalizes a validated request into the memo key: two
+// requests that measure the same curve — whatever the order of their params
+// — share one entry. Fields a kernel ignores are normalized out so they
+// cannot split the key space.
+func sweepCacheKey(req *SweepRequest) string {
+	kernel := strings.ToLower(req.Kernel)
+	n, dim, size, iters, nnz, seed := req.N, 0, 0, 0, 0, int64(0)
+	switch kernel {
+	case "grid":
+		n, dim, size, iters = 0, req.Dim, req.Size, req.Iters
+	case "sort":
+		n, seed = 0, req.Seed
+	case "spmv":
+		nnz = req.NNZPerRow
+	}
+	return fmt.Sprintf("sweep/%s/n=%d/dim=%d/size=%d/iters=%d/nnz=%d/seed=%d/params=%v",
+		kernel, n, dim, size, iters, nnz, seed, sortedCopy(req.Params))
+}
+
+// maxSweepCacheEntries bounds the sweep memo so a long-lived daemon
+// cannot be grown without limit by clients iterating parameter values:
+// at the cap the memo is flushed wholesale (epoch eviction — in-flight
+// computations finish unharmed, their callers still get values).
+const maxSweepCacheEntries = 1024
+
+// runSweep executes (or recalls) a sweep and shapes the response. The
+// engine cache gives concurrent identical requests single-flight semantics:
+// under a stampede of equal sweeps the kernels run once. The sweep always
+// executes in canonical (sorted) parameter order and the response is
+// reordered to the requester's params, so the same request returns the same
+// point order whichever param permutation populated the memo.
+func (s *Server) runSweep(ctx context.Context, req *SweepRequest) (*SweepResponse, *apiError) {
+	k, apiErr := validateSweep(req)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	canonical := *req
+	canonical.Params = sortedCopy(req.Params)
+
+	// The flight is detached from the initiating request's cancellation:
+	// a joiner must not fail because the first caller disconnected. The
+	// server's own request budget bounds it instead, and the parallelism
+	// hint (a context value) survives the detach.
+	fctx := context.WithoutCancel(s.sweepContext(ctx))
+	if s.opts.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		fctx, cancel = context.WithTimeout(fctx, s.opts.RequestTimeout)
+		defer cancel()
+	}
+	if s.sweeps.Len() >= maxSweepCacheEntries {
+		s.sweeps.Reset()
+	}
+	pts, err, hit := s.sweeps.Do(sweepCacheKey(req), func() ([]kernels.RatioPoint, error) {
+		return k.run(fctx, &canonical)
+	})
+	if hit {
+		s.metrics.CacheHit()
+	} else {
+		s.metrics.CacheMiss()
+	}
+	if err != nil {
+		return nil, asSweepError(err)
+	}
+	// pts[i] measures canonical.Params[i]; answer in the request's order.
+	byParam := make(map[int]kernels.RatioPoint, len(pts))
+	for i, p := range pts {
+		byParam[canonical.Params[i]] = p
+	}
+	resp := &SweepResponse{Kernel: strings.ToLower(req.Kernel), Cached: hit}
+	for _, param := range req.Params {
+		p := byParam[param]
+		resp.Points = append(resp.Points, SweepPointDTO{
+			Memory: p.Memory,
+			Ops:    p.Totals.Ops,
+			Reads:  p.Totals.Reads,
+			Writes: p.Totals.Writes,
+			Ratio:  p.Ratio(),
+		})
+	}
+	return resp, nil
+}
+
+// asSweepError maps a kernel error: context death is the client's timeout
+// or disconnect (503), anything else is a spec the kernel rejected (422) —
+// the count-only kernels have no other failure mode.
+func asSweepError(err error) *apiError {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return &apiError{http.StatusServiceUnavailable,
+			ErrorBody{"cancelled", err.Error()}}
+	}
+	return unprocessable("invalid_argument", "%v", err)
+}
