@@ -173,10 +173,13 @@ type ServerOptions = server.Options
 // NewServerHandler returns the balance-as-a-service HTTP JSON API as a
 // plain http.Handler — POST /v1/analyze, /v1/rebalance, /v1/roofline,
 // /v1/sweep, /v1/batch, GET+POST /v1/experiments, GET /healthz and
-// /metrics — with the recover/logging/limiter/timeout middleware stack
-// already applied, so embedders can mount the same API cmd/balarchd
-// serves. See internal/server for the endpoint contracts and DESIGN.md
-// §4 for the endpoint table and error envelope.
+// /metrics — with the request-id/recover/logging/limiter/timeout
+// middleware stack already applied, so embedders can mount the same API
+// cmd/balarchd serves. The balarch/client package is the typed SDK for
+// this API (and client.NewFromHandler binds it directly to this handler,
+// no socket needed); cmd/balarchload drives it with scenario load. See
+// internal/server for the endpoint contracts and DESIGN.md §4–§5 for the
+// endpoint table, error envelope, and load-testing architecture.
 func NewServerHandler(o ServerOptions) http.Handler {
 	return server.New(o).Handler()
 }

@@ -1,8 +1,11 @@
 #!/bin/sh
-# Smoke test for the balarchd daemon: build it, start it, hit /healthz and
-# one /v1/analyze request, assert 200s with well-formed JSON bodies, and
-# shut it down cleanly. Runs in CI after the unit suite; also runnable
-# locally: ./ci/smoke.sh
+# Smoke test for the balarchd daemon: build it, start it, and run the SDK
+# smoke checker (cmd/clientsmoke) against it — health, the paper's §1
+# analyze example, the sweep memo, the typed error envelope, and the
+# X-Request-ID echo — then shut the daemon down cleanly. The checks run
+# through the public client package, so this also smoke-tests the SDK
+# itself. Runs in CI after the unit suite; also runnable locally:
+# ./ci/smoke.sh
 set -eu
 
 PORT="${SMOKE_PORT:-18080}"
@@ -16,57 +19,8 @@ go build -o "$BIN" ./cmd/balarchd
 PID=$!
 trap 'kill "$PID" 2>/dev/null || true' EXIT
 
-# Wait for the listener (up to ~5s).
-i=0
-until curl -sf -o /dev/null "$BASE/healthz" 2>/dev/null; do
-  i=$((i + 1))
-  if [ "$i" -ge 50 ]; then
-    echo "smoke: daemon never became healthy" >&2
-    exit 1
-  fi
-  sleep 0.1
-done
-
-check_json_field() {
-  # check_json_field <body> <fragment> <label>
-  case "$1" in
-    *"$2"*) ;;
-    *)
-      echo "smoke: $3 response missing $2:" >&2
-      echo "$1" >&2
-      exit 1
-      ;;
-  esac
-}
-
-echo "smoke: GET /healthz"
-HEALTH=$(curl -sf "$BASE/healthz")
-check_json_field "$HEALTH" '"status": "ok"' healthz
-check_json_field "$HEALTH" '"experiments": 16' healthz
-
-echo "smoke: POST /v1/analyze"
-ANALYSIS=$(curl -sf -X POST "$BASE/v1/analyze" \
-  -H 'Content-Type: application/json' \
-  -d '{"pe": {"c": 50e6, "io": 1e6, "m": 4096}, "computation": {"name": "fft"}}')
-# The paper's §1 example: C/IO = 50 against R(4096) = 30 — I/O bound,
-# rebalanceable at M = 2^20.
-check_json_field "$ANALYSIS" '"state": "io-bound"' analyze
-check_json_field "$ANALYSIS" '"intensity": 50' analyze
-check_json_field "$ANALYSIS" '"balanced_memory": 1048576' analyze
-
-echo "smoke: POST /v1/sweep (cold, then cached)"
-SWEEP_BODY='{"kernel": "matmul", "n": 64, "params": [4, 8]}'
-COLD=$(curl -sf -X POST "$BASE/v1/sweep" -d "$SWEEP_BODY")
-check_json_field "$COLD" '"cached": false' sweep
-WARM=$(curl -sf -X POST "$BASE/v1/sweep" -d "$SWEEP_BODY")
-check_json_field "$WARM" '"cached": true' sweep
-
-echo "smoke: error envelope shape"
-STATUS=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/v1/analyze" -d '{')
-if [ "$STATUS" != "400" ]; then
-  echo "smoke: malformed body returned $STATUS, want 400" >&2
-  exit 1
-fi
+echo "smoke: running clientsmoke against $BASE"
+go run ./cmd/clientsmoke -url "$BASE" -wait 5s
 
 echo "smoke: graceful shutdown"
 kill -TERM "$PID"

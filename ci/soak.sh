@@ -1,0 +1,85 @@
+#!/bin/sh
+# Soak test for balance-as-a-service, in two phases against one fresh
+# balarchd:
+#
+#   1. Calibration: a serial (1-worker) mixed-production pass with
+#      -crosscheck — below saturation, client-side quantiles must agree
+#      with the server's /metrics histograms within one bucket, proving
+#      the load generator's numbers can be trusted. (Under saturation the
+#      two sides genuinely measure different things: queueing ahead of the
+#      server's measurement window lands only in the client's histogram.)
+#   2. Soak: SOAK_WORKERS closed-loop workers drive mixed-production for
+#      SOAK_DURATION, gated on zero unexpected non-2xx and every route's
+#      p99 at or under SOAK_MAX_P99.
+#
+# JSON reports land in SOAK_CALIBRATION_REPORT and SOAK_REPORT for upload
+# as CI artifacts. Runs on every PR; also runnable locally: ./ci/soak.sh
+set -eu
+
+PORT="${SOAK_PORT:-18081}"
+BASE="http://127.0.0.1:$PORT"
+DURATION="${SOAK_DURATION:-25s}"
+WORKERS="${SOAK_WORKERS:-8}"
+SEED="${SOAK_SEED:-1}"
+MAX_P99="${SOAK_MAX_P99:-5s}"
+REPORT="${SOAK_REPORT:-soak-report.json}"
+CALIB_REPORT="${SOAK_CALIBRATION_REPORT:-soak-calibration.json}"
+DIR="$(mktemp -d)"
+
+echo "soak: building balarchd and balarchload"
+go build -o "$DIR/balarchd" ./cmd/balarchd
+go build -o "$DIR/balarchload" ./cmd/balarchload
+
+"$DIR/balarchd" -addr "127.0.0.1:$PORT" -quiet &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+# No readiness sleep needed: balarchload's health preflight polls /healthz
+# for -wait (default 5s) before driving load.
+
+echo "soak: phase 1 — serial calibration with /metrics cross-check"
+code=0
+"$DIR/balarchload" \
+  -url "$BASE" \
+  -scenario mixed-production \
+  -requests 600 \
+  -workers 1 \
+  -seed "$SEED" \
+  -crosscheck \
+  -json > "$CALIB_REPORT" || code=$?
+if [ "$code" -ne 0 ]; then
+  echo "soak: calibration failed (exit $code); report:" >&2
+  cat "$CALIB_REPORT" >&2
+  exit "$code"
+fi
+
+echo "soak: phase 2 — $WORKERS workers, mixed-production for $DURATION"
+"$DIR/balarchload" \
+  -url "$BASE" \
+  -scenario mixed-production \
+  -duration "$DURATION" \
+  -workers "$WORKERS" \
+  -seed "$SEED" \
+  -max-p99 "$MAX_P99" \
+  -json > "$REPORT" || code=$?
+
+echo "soak: report ($REPORT):"
+cat "$REPORT"
+
+echo "soak: graceful shutdown"
+kill -TERM "$PID"
+i=0
+while kill -0 "$PID" 2>/dev/null; do
+  i=$((i + 1))
+  if [ "$i" -ge 100 ]; then
+    echo "soak: daemon did not exit on SIGTERM" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+trap - EXIT
+
+if [ "$code" -ne 0 ]; then
+  echo "soak: GATES FAILED (exit $code)" >&2
+  exit "$code"
+fi
+echo "soak: OK"

@@ -1,0 +1,400 @@
+// Package client is the typed Go SDK for the balarch balance-as-a-service
+// HTTP API (internal/server, served by cmd/balarchd). It exposes one method
+// per /v1 endpoint plus the health and metrics probes, all context-aware:
+//
+//	c, err := client.New("http://127.0.0.1:8080")
+//	a, err := c.Analyze(ctx, &client.AnalyzeRequest{
+//	        PE:          client.PE{C: 50e6, IO: 1e6, M: 4096},
+//	        Computation: client.Computation{Name: "fft"},
+//	})
+//	// a.State == "io-bound", a.BalancedMemory == 1<<20
+//
+// Every request and response type is an alias of the server's wire type, so
+// the SDK and the service cannot drift apart. Non-2xx responses decode the
+// API's error envelope into *APIError, which carries the HTTP status, the
+// stable machine-readable code, the human-readable message, and the echoed
+// X-Request-ID — switch on Code (or errors.As for the type) instead of
+// parsing prose.
+//
+// The zero-configuration client reuses connections aggressively (a shared
+// keep-alive transport sized for many concurrent workers — the load
+// generator in internal/loadgen runs on this client). WithRetry opts into
+// bounded retry of overload responses (503) and transport errors; every API
+// operation is a pure computation, so retries are always safe. For tests
+// and embedders, NewFromHandler binds the client directly to an
+// http.Handler — typically balarch.NewServerHandler — with no socket.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"time"
+
+	"balarch/internal/server"
+)
+
+// Wire types, aliased from the server so request and response shapes are
+// identical on both ends by construction.
+type (
+	// PE is a processing element: computation bandwidth C (ops/s), I/O
+	// bandwidth IO (words/s), local memory M (words).
+	PE = server.PEDTO
+	// Computation names one catalog computation ("matmul", "fft", …).
+	Computation = server.ComputationDTO
+
+	// AnalyzeRequest/AnalyzeResponse are the POST /v1/analyze wire types.
+	AnalyzeRequest  = server.AnalyzeRequest
+	AnalyzeResponse = server.AnalyzeResponse
+	// RebalanceRequest/RebalanceResponse are the POST /v1/rebalance types.
+	RebalanceRequest  = server.RebalanceRequest
+	RebalanceResponse = server.RebalanceResponse
+	// RooflineRequest/RooflineResponse are the POST /v1/roofline types.
+	RooflineRequest  = server.RooflineRequest
+	RooflineResponse = server.RooflineResponse
+	// SweepRequest/SweepResponse are the POST /v1/sweep types.
+	SweepRequest  = server.SweepRequest
+	SweepResponse = server.SweepResponse
+	// BatchRequest/BatchItem/BatchResponse are the POST /v1/batch types.
+	BatchRequest  = server.BatchRequest
+	BatchItem     = server.BatchItem
+	BatchResponse = server.BatchResponse
+	// ExperimentsResponse lists the registry (GET /v1/experiments);
+	// ExperimentRunResponse is one run's report (POST /v1/experiments/{id}).
+	ExperimentsResponse   = server.ExperimentsResponse
+	ExperimentRunResponse = server.ExperimentRunResponse
+	// HealthResponse is the GET /healthz body.
+	HealthResponse = server.HealthResponse
+	// MetricsSnapshot is the GET /metrics body, including the per-route
+	// latency summaries the load generator cross-checks against.
+	MetricsSnapshot = server.Snapshot
+	// RouteLatency is one route's latency summary inside MetricsSnapshot.
+	RouteLatency = server.RouteLatency
+)
+
+// RequestIDHeader is the correlation header the server echoes.
+const RequestIDHeader = server.RequestIDHeader
+
+// APIError is a decoded non-2xx response: the typed error envelope plus the
+// HTTP status and the echoed request id.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Code is the envelope's stable machine-readable identifier, e.g.
+	// "bad_json", "invalid_argument", "unknown_experiment", "overloaded".
+	Code string
+	// Message is the envelope's human-readable cause.
+	Message string
+	// RequestID is the response's X-Request-ID header, for correlating
+	// with server logs.
+	RequestID string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("balarch api: %d %s: %s", e.Status, e.Code, e.Message)
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient replaces the SDK's shared keep-alive http.Client; use it
+// to plug in instrumentation or custom TLS.
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) { c.http = h }
+}
+
+// WithRetry enables bounded retry: a request that fails in transport or
+// returns 503 (the server's overload and cancelled-while-queued answer) is
+// reissued up to attempts times in total, sleeping backoff, 2·backoff, …
+// between tries (context-aware). Every API operation is a pure computation,
+// so retrying is always safe. attempts ≤ 1 disables retry.
+func WithRetry(attempts int, backoff time.Duration) Option {
+	return func(c *Client) {
+		c.attempts = attempts
+		c.backoff = backoff
+	}
+}
+
+// sharedTransport is the package's keep-alive transport. The stdlib default
+// keeps only 2 idle connections per host, which makes a many-worker load
+// run reopen sockets constantly; this one is sized for the load generator's
+// worker counts.
+var sharedTransport = &http.Transport{
+	MaxIdleConns:        256,
+	MaxIdleConnsPerHost: 256,
+	IdleConnTimeout:     90 * time.Second,
+}
+
+// Client is a typed handle on one balarch API server. It is safe for
+// concurrent use; all methods honor their context.
+type Client struct {
+	base     string
+	http     *http.Client
+	attempts int
+	backoff  time.Duration
+}
+
+// New returns a client for the server at baseURL (scheme and host, e.g.
+// "http://127.0.0.1:8080"; any trailing slash is trimmed).
+func New(baseURL string, opts ...Option) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("client: invalid base URL %q: %w", baseURL, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("client: base URL %q must be http or https", baseURL)
+	}
+	if u.Host == "" {
+		return nil, fmt.Errorf("client: base URL %q has no host", baseURL)
+	}
+	c := &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		http: &http.Client{Transport: sharedTransport},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// handlerTransport serves round trips straight into an http.Handler: the
+// in-process mode used by tests, examples, and the load generator's
+// -inprocess runs. No socket, no serialization loss — the handler sees a
+// real *http.Request and writes a real response.
+type handlerTransport struct{ h http.Handler }
+
+// RoundTrip implements http.RoundTripper.
+func (t handlerTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	rec := httptest.NewRecorder()
+	t.h.ServeHTTP(rec, r)
+	resp := rec.Result()
+	resp.Request = r
+	return resp, nil
+}
+
+// NewFromHandler returns a client bound directly to h — typically
+// balarch.NewServerHandler(opts) — so callers can exercise the full API
+// stack in process.
+func NewFromHandler(h http.Handler, opts ...Option) *Client {
+	c := &Client{
+		base: "http://in-process",
+		http: &http.Client{Transport: handlerTransport{h}},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Response is a raw API exchange: what Do returns. Typed methods are built
+// on it; the load generator uses it directly to time and classify traffic.
+type Response struct {
+	// Status is the HTTP status code.
+	Status int
+	// Header is the response header (X-Request-ID is always present).
+	Header http.Header
+	// Body is the full response body.
+	Body []byte
+}
+
+// Do issues one request against the API: method and path (e.g. "POST",
+// "/v1/analyze") with the given JSON body (nil for GETs). It applies the
+// client's retry policy and returns the raw exchange; any HTTP status is a
+// successful Do. Typed methods are usually what you want — Do is the escape
+// hatch for traffic generation and new endpoints.
+func (c *Client) Do(ctx context.Context, method, path string, body []byte) (*Response, error) {
+	var lastErr error
+	attempts := c.attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	for try := 0; try < attempts; try++ {
+		if try > 0 {
+			if err := sleepCtx(ctx, time.Duration(try)*c.backoff); err != nil {
+				return nil, err
+			}
+		}
+		resp, err := c.roundTrip(ctx, method, path, body)
+		if err != nil {
+			lastErr = err
+			continue // transport error: retry
+		}
+		if resp.Status == http.StatusServiceUnavailable && try < attempts-1 {
+			lastErr = &APIError{Status: resp.Status, Code: "overloaded",
+				Message: "503 from server", RequestID: resp.Header.Get(RequestIDHeader)}
+			continue
+		}
+		return resp, nil
+	}
+	return nil, fmt.Errorf("client: %s %s failed after %d attempt(s): %w",
+		method, path, attempts, lastErr)
+}
+
+// roundTrip is one attempt of Do.
+func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte) (*Response, error) {
+	var rd *bytes.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return nil, err
+	}
+	return &Response{Status: resp.StatusCode, Header: resp.Header, Body: buf.Bytes()}, nil
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// call marshals req, posts it to path, and decodes a 200 into a fresh Resp;
+// any other status becomes *APIError.
+func call[Req any, Resp any](ctx context.Context, c *Client, method, path string, req *Req) (*Resp, error) {
+	var body []byte
+	if req != nil {
+		var err error
+		body, err = json.Marshal(req)
+		if err != nil {
+			return nil, fmt.Errorf("client: encoding %s %s request: %w", method, path, err)
+		}
+	}
+	raw, err := c.Do(ctx, method, path, body)
+	if err != nil {
+		return nil, err
+	}
+	if raw.Status != http.StatusOK {
+		return nil, DecodeAPIError(raw)
+	}
+	out := new(Resp)
+	if err := json.Unmarshal(raw.Body, out); err != nil {
+		return nil, fmt.Errorf("client: decoding %s %s response: %w", method, path, err)
+	}
+	return out, nil
+}
+
+// DecodeAPIError turns a non-2xx raw exchange into *APIError, decoding the
+// typed envelope when present and falling back to a body snippet when the
+// response came from something other than the API (a proxy, say).
+func DecodeAPIError(raw *Response) *APIError {
+	ae := &APIError{Status: raw.Status, RequestID: raw.Header.Get(RequestIDHeader)}
+	var env struct {
+		Error server.ErrorBody `json:"error"`
+	}
+	if err := json.Unmarshal(raw.Body, &env); err == nil && env.Error.Code != "" {
+		ae.Code = env.Error.Code
+		ae.Message = env.Error.Message
+		return ae
+	}
+	ae.Code = "http_error"
+	snippet := string(raw.Body)
+	if len(snippet) > 200 {
+		snippet = snippet[:200] + "…"
+	}
+	ae.Message = strings.TrimSpace(snippet)
+	return ae
+}
+
+// WaitHealthy polls GET /healthz until the server answers or wait runs
+// out, sleeping 100ms between attempts (context-aware). The readiness
+// preflight for tools that boot a daemon and immediately drive it
+// (cmd/balarchload, cmd/clientsmoke, ci/soak.sh). It returns the last
+// health error on timeout, and the healthy response otherwise.
+func (c *Client) WaitHealthy(ctx context.Context, wait time.Duration) (*HealthResponse, error) {
+	deadline := time.Now().Add(wait)
+	for {
+		h, err := c.Health(ctx)
+		if err == nil {
+			return h, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("client: target not healthy after %v: %w", wait, err)
+		}
+		if err := sleepCtx(ctx, 100*time.Millisecond); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// Analyze asks POST /v1/analyze: is this PE balanced for this computation,
+// and what memory would balance it?
+func (c *Client) Analyze(ctx context.Context, req *AnalyzeRequest) (*AnalyzeResponse, error) {
+	return call[AnalyzeRequest, AnalyzeResponse](ctx, c, http.MethodPost, "/v1/analyze", req)
+}
+
+// Rebalance asks POST /v1/rebalance: C/IO grew by α — how much memory
+// restores balance?
+func (c *Client) Rebalance(ctx context.Context, req *RebalanceRequest) (*RebalanceResponse, error) {
+	return call[RebalanceRequest, RebalanceResponse](ctx, c, http.MethodPost, "/v1/rebalance", req)
+}
+
+// Roofline asks POST /v1/roofline: the PE's roofline with each requested
+// computation's path along it.
+func (c *Client) Roofline(ctx context.Context, req *RooflineRequest) (*RooflineResponse, error) {
+	return call[RooflineRequest, RooflineResponse](ctx, c, http.MethodPost, "/v1/roofline", req)
+}
+
+// Sweep asks POST /v1/sweep: run (or recall) one instrumented kernel sweep
+// and return the measured ratio curve.
+func (c *Client) Sweep(ctx context.Context, req *SweepRequest) (*SweepResponse, error) {
+	return call[SweepRequest, SweepResponse](ctx, c, http.MethodPost, "/v1/sweep", req)
+}
+
+// Batch posts POST /v1/batch: heterogeneous sub-requests fanned out on the
+// server's worker pool, results in request order.
+func (c *Client) Batch(ctx context.Context, req *BatchRequest) (*BatchResponse, error) {
+	return call[BatchRequest, BatchResponse](ctx, c, http.MethodPost, "/v1/batch", req)
+}
+
+// Experiments lists the experiment registry (GET /v1/experiments).
+func (c *Client) Experiments(ctx context.Context) (*ExperimentsResponse, error) {
+	return call[struct{}, ExperimentsResponse](ctx, c, http.MethodGet, "/v1/experiments", nil)
+}
+
+// RunExperiment reproduces one experiment by id (POST /v1/experiments/{id})
+// and returns its JSON report with the pass verdict.
+func (c *Client) RunExperiment(ctx context.Context, id string) (*ExperimentRunResponse, error) {
+	return call[struct{}, ExperimentRunResponse](ctx, c, http.MethodPost,
+		"/v1/experiments/"+url.PathEscape(id), nil)
+}
+
+// Health probes GET /healthz.
+func (c *Client) Health(ctx context.Context) (*HealthResponse, error) {
+	return call[struct{}, HealthResponse](ctx, c, http.MethodGet, "/healthz", nil)
+}
+
+// Metrics fetches GET /metrics: the server's counters, including the
+// per-route latency summaries.
+func (c *Client) Metrics(ctx context.Context) (*MetricsSnapshot, error) {
+	return call[struct{}, MetricsSnapshot](ctx, c, http.MethodGet, "/metrics", nil)
+}

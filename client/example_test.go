@@ -1,0 +1,48 @@
+package client_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"balarch"
+	"balarch/client"
+)
+
+// ExampleClient drives the full API stack in process: the handler from
+// balarch.NewServerHandler, the typed client bound to it with
+// NewFromHandler. Swap NewFromHandler for New("http://host:8080") to talk
+// to a running balarchd.
+func ExampleClient() {
+	h := balarch.NewServerHandler(balarch.ServerOptions{Parallelism: 1})
+	c := client.NewFromHandler(h)
+	ctx := context.Background()
+
+	// The paper's §1 example: a 50 MOPS / 1 Mword/s PE running an FFT.
+	a, err := c.Analyze(ctx, &client.AnalyzeRequest{
+		PE:          client.PE{C: 50e6, IO: 1e6, M: 4096},
+		Computation: client.Computation{Name: "fft"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("state: %s\n", a.State)
+	fmt.Printf("balanced at M = %.0f words\n", a.BalancedMemory)
+
+	// The central question: C/IO doubles — how much memory restores
+	// balance? For the FFT the law is M_new = M_old^α.
+	r, err := c.Rebalance(ctx, &client.RebalanceRequest{
+		Computation: client.Computation{Name: "fft"},
+		Alpha:       2,
+		MOld:        4096,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("M_new (closed form) = %.0f words\n", r.MClosedForm)
+
+	// Output:
+	// state: io-bound
+	// balanced at M = 1048576 words
+	// M_new (closed form) = 16777216 words
+}

@@ -1,0 +1,182 @@
+// Command balarchload is the scenario load generator for
+// balance-as-a-service: it drives a named workload mix (internal/loadgen)
+// at a balarchd server — or at the API stack in process — and reports
+// per-route latency quantiles, throughput, and error classes, with
+// optional gates for CI.
+//
+// Usage:
+//
+//	balarchload -url http://127.0.0.1:8080 -scenario mixed-production -duration 20s
+//	balarchload -inprocess -scenario sweep-stampede -requests 500 -workers 8
+//	balarchload -url ... -rate 200 -duration 30s        # open-loop at 200 arrivals/s
+//	balarchload -list                                   # scenario catalog
+//
+// The request sequence is deterministic in (-scenario, -seed): the same
+// flags replay the same traffic byte-for-byte. Reports render as text by
+// default, -json for the machine-readable report (same internal/report
+// shapes as cmd/experiments). Gates: every run requires zero unexpected
+// non-2xx responses; -max-p99 adds a per-route latency ceiling; -crosscheck
+// (meaningful against a freshly started server) requires the client-side
+// quantiles to agree with the server's /metrics histograms within one
+// bucket. Exit status: 0 all gates pass, 1 a gate failed, 2 the harness
+// itself errored.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"time"
+
+	"balarch"
+	"balarch/client"
+	"balarch/internal/loadgen"
+)
+
+// main wires SIGINT cancellation and exits with run's code.
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main's testable body.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("balarchload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	url := fs.String("url", "", "target server base URL (e.g. http://127.0.0.1:8080)")
+	inprocess := fs.Bool("inprocess", false,
+		"drive the API stack in process instead of a remote server")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0),
+		"in-process server parallelism (only with -inprocess)")
+	scenario := fs.String("scenario", "mixed-production", "workload mix (see -list)")
+	duration := fs.Duration("duration", 20*time.Second, "run length")
+	rate := fs.Float64("rate", 0,
+		"open-loop arrivals per second (0 = closed loop: workers issue back-to-back)")
+	workers := fs.Int("workers", 8, "concurrent request workers")
+	seed := fs.Int64("seed", 1, "request-sequence seed (same seed = same traffic)")
+	requests := fs.Int64("requests", 0, "stop after this many requests (0 = run for -duration)")
+	retries := fs.Int("retries", 1, "client attempts per request (>1 retries 503s and transport errors)")
+	wait := fs.Duration("wait", 5*time.Second,
+		"how long the health preflight polls a just-started target before giving up")
+	maxP99 := fs.Duration("max-p99", 0,
+		"fail (exit 1) if any route's p99 exceeds this (0 = no gate); measures the client experience, so with -retries > 1 it includes retry attempts and backoff")
+	crosscheck := fs.Bool("crosscheck", false,
+		"fetch /metrics after the run and require quantile agreement within one bucket (use against a fresh server)")
+	asJSON := fs.Bool("json", false, "emit the report as JSON instead of text")
+	list := fs.Bool("list", false, "list scenarios and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, sc := range loadgen.Scenarios() {
+			fmt.Fprintf(stdout, "%-18s %s\n", sc.Name, sc.Description)
+		}
+		return 0
+	}
+
+	sc, err := loadgen.Get(*scenario)
+	if err != nil {
+		return fatal(stderr, err)
+	}
+	if *crosscheck && *retries > 1 {
+		// Loadgen times the whole retrying call (attempts + backoff); the
+		// server's histograms see individual attempts. The two are not
+		// comparable, so the combination would fail spuriously.
+		return fatal(stderr, fmt.Errorf("-crosscheck requires -retries 1: retried latencies include backoff the server never sees"))
+	}
+	c, err := buildClient(*url, *inprocess, *parallel, *retries)
+	if err != nil {
+		return fatal(stderr, err)
+	}
+	// Preflight: an unreachable or unhealthy target is a harness error,
+	// not a load-test finding. Poll for -wait so a just-started daemon
+	// (ci/soak.sh boots one right before calling us) has time to bind.
+	if _, err := c.WaitHealthy(ctx, *wait); err != nil {
+		return fatal(stderr, err)
+	}
+
+	cfg := loadgen.Config{
+		Scenario:    sc,
+		Seed:        *seed,
+		Duration:    *duration,
+		Rate:        *rate,
+		Workers:     *workers,
+		MaxRequests: *requests,
+	}
+	if cfg.MaxRequests > 0 {
+		cfg.Duration = 0 // a request cap runs to completion, not to a clock
+	}
+	sum, err := loadgen.Run(ctx, c, cfg)
+	if err != nil {
+		return fatal(stderr, err)
+	}
+
+	res := sum.Report()
+	if *maxP99 > 0 {
+		sum.AddP99Gate(res, *maxP99)
+	}
+	if *crosscheck {
+		m, err := c.Metrics(ctx)
+		if err != nil {
+			return fatal(stderr, fmt.Errorf("fetching /metrics for cross-check: %w", err))
+		}
+		loadgen.AddCrossCheckGate(res, sum, m)
+	}
+
+	if *asJSON {
+		data, err := res.JSON()
+		if err != nil {
+			return fatal(stderr, err)
+		}
+		if _, err := stdout.Write(append(data, '\n')); err != nil {
+			return fatal(stderr, err)
+		}
+	} else {
+		if err := res.Render(stdout); err != nil {
+			return fatal(stderr, err)
+		}
+		fmt.Fprintln(stdout)
+	}
+
+	verdict := "all gates pass"
+	code := 0
+	if !res.Pass() {
+		verdict = "GATES FAILED"
+		code = 1
+	}
+	fmt.Fprintf(stderr, "balarchload: %s/%s: %d requests in %.2fs (%.1f rps, %d unexpected): %s\n",
+		sum.Scenario, sum.Mode, sum.Requests, sum.ElapsedSeconds, sum.ThroughputRPS,
+		sum.Unexpected, verdict)
+	return code
+}
+
+// buildClient resolves the target: a remote URL or the in-process stack.
+func buildClient(url string, inprocess bool, parallel, retries int) (*client.Client, error) {
+	var opts []client.Option
+	if retries > 1 {
+		opts = append(opts, client.WithRetry(retries, 50*time.Millisecond))
+	}
+	switch {
+	case inprocess && url != "":
+		return nil, fmt.Errorf("-url and -inprocess are mutually exclusive")
+	case inprocess:
+		var h http.Handler = balarch.NewServerHandler(balarch.ServerOptions{Parallelism: parallel})
+		return client.NewFromHandler(h, opts...), nil
+	case url != "":
+		return client.New(url, opts...)
+	default:
+		return nil, fmt.Errorf("need a target: -url or -inprocess")
+	}
+}
+
+func fatal(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "balarchload:", err)
+	return 2
+}

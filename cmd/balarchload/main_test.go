@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(context.Background(), args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestList(t *testing.T) {
+	code, out, _ := runCmd(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, name := range []string{"analyze-heavy", "sweep-stampede", "batch-burst", "experiment-replay", "mixed-production"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing %s", name)
+		}
+	}
+}
+
+func TestInProcessRunPasses(t *testing.T) {
+	code, out, errb := runCmd(t,
+		"-inprocess", "-scenario", "analyze-heavy", "-requests", "50", "-workers", "4", "-seed", "2")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	for _, want := range []string{"[PASS]", "POST /v1/analyze", "0 unexpected of 50 requests"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(errb, "all gates pass") {
+		t.Errorf("stderr missing verdict: %q", errb)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	code, out, errb := runCmd(t,
+		"-inprocess", "-scenario", "batch-burst", "-requests", "20", "-json")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	var res struct {
+		ID     string `json:"id"`
+		Claims []struct {
+			Pass bool `json:"pass"`
+		} `json:"claims"`
+	}
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("-json output is not JSON: %v\n%.300s", err, out)
+	}
+	if res.ID != "LOAD" || len(res.Claims) == 0 {
+		t.Errorf("unexpected report: %+v", res)
+	}
+}
+
+// TestCrossCheckGateInProcess runs enough traffic for the sample floor and
+// requires the /metrics agreement gate to hold against the in-process
+// server — the acceptance criterion's agreement check, in miniature.
+func TestCrossCheckGateInProcess(t *testing.T) {
+	code, out, errb := runCmd(t,
+		"-inprocess", "-scenario", "analyze-heavy", "-requests", "200", "-workers", "4", "-crosscheck")
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out, errb)
+	}
+	if !strings.Contains(out, "agree with the server's /metrics histograms") {
+		t.Errorf("report missing the cross-check claim:\n%s", out)
+	}
+}
+
+func TestP99GateFails(t *testing.T) {
+	code, out, _ := runCmd(t,
+		"-inprocess", "-scenario", "analyze-heavy", "-requests", "30", "-max-p99", "1ns")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 for an unmeetable p99 ceiling", code)
+	}
+	if !strings.Contains(out, "[FAIL]") {
+		t.Errorf("report does not show the failing gate:\n%s", out)
+	}
+}
+
+func TestHarnessErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"no target", []string{"-scenario", "analyze-heavy"}},
+		{"both targets", []string{"-inprocess", "-url", "http://x", "-requests", "1"}},
+		{"unknown scenario", []string{"-inprocess", "-scenario", "nope"}},
+		{"bad flag", []string{"-definitely-not-a-flag"}},
+		{"unreachable url", []string{"-url", "http://127.0.0.1:1", "-requests", "1", "-wait", "200ms"}},
+		{"crosscheck with retries", []string{"-inprocess", "-requests", "1", "-crosscheck", "-retries", "3"}},
+	} {
+		if code, _, _ := runCmd(t, tc.args...); code != 2 {
+			t.Errorf("%s: exit %d, want 2", tc.name, code)
+		}
+	}
+}
+
+func TestOpenLoopFlag(t *testing.T) {
+	code, out, errb := runCmd(t,
+		"-inprocess", "-scenario", "analyze-heavy", "-duration", "300ms", "-rate", "100", "-workers", "4")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	if !strings.Contains(out, "open loop") {
+		t.Errorf("report does not mention the open loop:\n%s", out)
+	}
+}

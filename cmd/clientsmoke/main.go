@@ -1,0 +1,130 @@
+// Command clientsmoke is the smoke checker ci/smoke.sh runs against a
+// freshly started balarchd. It performs the checks the old curl pipeline
+// performed — health, the paper's §1 analyze example, a cold-then-cached
+// sweep, the typed error envelope, the X-Request-ID echo — but through the
+// public client SDK, so the smoke test exercises the same code path SDK
+// users run instead of hand-rolled shell JSON matching.
+//
+// Usage:
+//
+//	clientsmoke -url http://127.0.0.1:18080 [-wait 5s]
+//
+// -wait polls /healthz until the daemon answers (for just-started
+// servers). Exit status: 0 all checks pass, 1 a check failed.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"balarch/client"
+)
+
+func main() {
+	os.Exit(run(context.Background(), os.Args[1:], os.Stderr))
+}
+
+// run is main's testable body.
+func run(ctx context.Context, args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("clientsmoke", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	url := fs.String("url", "http://127.0.0.1:18080", "balarchd base URL")
+	wait := fs.Duration("wait", 5*time.Second, "how long to poll /healthz for a just-started daemon")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	c, err := client.New(*url)
+	if err != nil {
+		fmt.Fprintln(stderr, "clientsmoke:", err)
+		return 1
+	}
+	if err := smoke(ctx, c, *wait, stderr); err != nil {
+		fmt.Fprintln(stderr, "clientsmoke: FAIL:", err)
+		return 1
+	}
+	fmt.Fprintln(stderr, "clientsmoke: OK")
+	return 0
+}
+
+// smoke runs the check sequence, stopping at the first failure.
+func smoke(ctx context.Context, c *client.Client, wait time.Duration, stderr io.Writer) error {
+	// 1. Health (with startup polling).
+	h, err := c.WaitHealthy(ctx, wait)
+	if err != nil {
+		return fmt.Errorf("daemon never became healthy: %w", err)
+	}
+	if h.Status != "ok" || h.Experiments != 16 {
+		return fmt.Errorf("healthz = %+v, want status ok with 16 experiments", h)
+	}
+	fmt.Fprintln(stderr, "clientsmoke: healthz ok")
+
+	// 2. The paper's §1 example: C/IO = 50 against R(4096) = 30 —
+	// I/O bound, rebalanceable at M = 2^20.
+	a, err := c.Analyze(ctx, &client.AnalyzeRequest{
+		PE:          client.PE{C: 50e6, IO: 1e6, M: 4096},
+		Computation: client.Computation{Name: "fft"},
+	})
+	if err != nil {
+		return fmt.Errorf("analyze: %w", err)
+	}
+	if a.State != "io-bound" || a.Intensity != 50 || a.BalancedMemory != 1<<20 {
+		return fmt.Errorf("analyze = %+v, want io-bound at intensity 50, balanced at 2^20", a)
+	}
+	fmt.Fprintln(stderr, "clientsmoke: analyze ok")
+
+	// 3. Sweep: cold then served from the single-flight memo.
+	sweepReq := &client.SweepRequest{Kernel: "matmul", N: 64, Params: []int{4, 8}}
+	cold, err := c.Sweep(ctx, sweepReq)
+	if err != nil {
+		return fmt.Errorf("cold sweep: %w", err)
+	}
+	if cold.Cached || len(cold.Points) != 2 {
+		return fmt.Errorf("cold sweep = cached %v with %d points, want fresh with 2", cold.Cached, len(cold.Points))
+	}
+	warm, err := c.Sweep(ctx, sweepReq)
+	if err != nil {
+		return fmt.Errorf("warm sweep: %w", err)
+	}
+	if !warm.Cached {
+		return errors.New("second identical sweep was not served from the memo")
+	}
+	fmt.Fprintln(stderr, "clientsmoke: sweep memo ok")
+
+	// 4. Error envelope: malformed JSON is 400 with a decodable envelope,
+	// and the SDK surfaces it as a typed APIError.
+	raw, err := c.Do(ctx, http.MethodPost, "/v1/analyze", []byte("{"))
+	if err != nil {
+		return fmt.Errorf("malformed-body request: %w", err)
+	}
+	if raw.Status != http.StatusBadRequest {
+		return fmt.Errorf("malformed body returned %d, want 400", raw.Status)
+	}
+	ae := client.DecodeAPIError(raw)
+	if ae.Code != "bad_json" || ae.RequestID == "" {
+		return fmt.Errorf("envelope decoded to %+v, want code bad_json with a request id", ae)
+	}
+	_, err = c.Analyze(ctx, &client.AnalyzeRequest{
+		PE:          client.PE{C: 1, IO: 1, M: 1},
+		Computation: client.Computation{Name: "not-a-computation"},
+	})
+	var typed *client.APIError
+	if !errors.As(err, &typed) || typed.Status != http.StatusUnprocessableEntity {
+		return fmt.Errorf("unknown computation error = %v, want a 422 APIError", err)
+	}
+	fmt.Fprintln(stderr, "clientsmoke: error envelope ok")
+
+	// 5. X-Request-ID echo on a plain probe.
+	if raw, err = c.Do(ctx, http.MethodGet, "/healthz", nil); err != nil {
+		return err
+	} else if raw.Header.Get(client.RequestIDHeader) == "" {
+		return errors.New("response missing X-Request-ID")
+	}
+	fmt.Fprintln(stderr, "clientsmoke: request-id echo ok")
+	return nil
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"balarch"
+	"balarch/client"
+)
+
+func TestSmokeAgainstRealHandler(t *testing.T) {
+	srv := httptest.NewServer(balarch.NewServerHandler(balarch.ServerOptions{Parallelism: 2}))
+	defer srv.Close()
+	var errb bytes.Buffer
+	if code := run(context.Background(), []string{"-url", srv.URL}, &errb); code != 0 {
+		t.Fatalf("exit %d\n%s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "clientsmoke: OK") {
+		t.Errorf("missing verdict: %s", errb.String())
+	}
+}
+
+func TestSmokeFailsAgainstNothing(t *testing.T) {
+	var errb bytes.Buffer
+	code := run(context.Background(), []string{"-url", "http://127.0.0.1:1", "-wait", "200ms"}, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 against an unreachable daemon", code)
+	}
+	if !strings.Contains(errb.String(), "never became healthy") {
+		t.Errorf("unexpected failure message: %s", errb.String())
+	}
+}
+
+func TestSmokeCatchesWrongBehavior(t *testing.T) {
+	// An imposter that 200s `{}` at everything must fail the first
+	// semantic check, not pass vacuously.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{}`))
+	}))
+	defer srv.Close()
+	c, err := client.New(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errb bytes.Buffer
+	err = smoke(context.Background(), c, time.Second, &errb)
+	if err == nil || !strings.Contains(err.Error(), "healthz") {
+		t.Fatalf("smoke against an imposter = %v, want a healthz failure", err)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var errb bytes.Buffer
+	if code := run(context.Background(), []string{"-nope"}, &errb); code != 1 {
+		t.Errorf("exit %d, want 1", code)
+	}
+	if code := run(context.Background(), []string{"-url", "not-a-url"}, &errb); code != 1 {
+		t.Errorf("bad url: exit %d, want 1", code)
+	}
+}

@@ -1,0 +1,158 @@
+package main
+
+// Golden-file coverage of the command's text rendering and the exit-code
+// contract. The text report is the tool's user interface; formatting
+// changes must be deliberate — regenerate with
+//
+//	go test ./cmd/experiments -run Golden -update
+//
+// The exit-code contract (0 = all claims pass, 1 = a claim failed, 2 = the
+// harness errored) is what ci and scripts build on, so it is pinned with
+// injected experiments rather than trusted to stay true by accident.
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"balarch/internal/experiments"
+	"balarch/internal/report"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files with the current output")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from its golden file (regenerate with -update if deliberate)\n--- got ---\n%s\n--- want ---\n%s",
+			name, got, want)
+	}
+}
+
+// TestGoldenE1Text pins the full text rendering of the analytic summary
+// experiment: claims, the §3 law table, and the growth chart.
+func TestGoldenE1Text(t *testing.T) {
+	code, out, errb := runCmd(t, "-id", "E1")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	checkGolden(t, "e1_text", out)
+}
+
+// TestGoldenE7Text pins the I/O-bounded experiment's rendering (tables of
+// flat ratios and the impossibility claims).
+func TestGoldenE7Text(t *testing.T) {
+	code, out, errb := runCmd(t, "-id", "E7")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	checkGolden(t, "e7_text", out)
+}
+
+// TestGoldenListText pins the -list catalog.
+func TestGoldenListText(t *testing.T) {
+	code, out, errb := runCmd(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	checkGolden(t, "list_text", out)
+}
+
+// TestExitCodeContract drives run() through all three exit codes with
+// injected experiments: a passing suite is 0 (covered throughout this
+// file), a failing *claim* — a report that renders fine but contradicts
+// the paper — is 1, and a harness error is 2.
+func TestExitCodeContract(t *testing.T) {
+	removeFail, err := experiments.Register(experiments.Experiment{
+		ID:    "ZFAIL",
+		Title: "injected failing claim",
+		Run: func(context.Context) (*report.Result, error) {
+			res := &report.Result{ID: "ZFAIL", Title: "injected failing claim", PaperLocus: "test"}
+			res.AddClaim("the injected claim holds", "pass", "deliberately failed", false)
+			return res, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer removeFail()
+	removeErr, err := experiments.Register(experiments.Experiment{
+		ID:    "ZERR",
+		Title: "injected harness error",
+		Run: func(context.Context) (*report.Result, error) {
+			return nil, errors.New("injected failure before any claim was measured")
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer removeErr()
+
+	code, out, errb := runCmd(t, "-id", "ZFAIL")
+	if code != 1 {
+		t.Errorf("failing claim: exit %d, want 1 (stderr %q)", code, errb)
+	}
+	if !strings.Contains(out, "[FAIL]") || !strings.Contains(errb, "CLAIMS FAILED") {
+		t.Errorf("failing claim not rendered: stdout %q stderr %q", out, errb)
+	}
+
+	code, _, errb = runCmd(t, "-id", "ZERR")
+	if code != 2 {
+		t.Errorf("erroring experiment: exit %d, want 2", code)
+	}
+	if !strings.Contains(errb, "ZERR") {
+		t.Errorf("stderr does not name the erroring experiment: %q", errb)
+	}
+
+	// And the whole suite must propagate a failing claim as exit 1 (with
+	// the erroring injection removed first — an error would win as exit 2).
+	removeErr()
+	code, _, errb = runCmd(t, "-parallel", "2")
+	if code != 1 {
+		t.Errorf("suite with injected failing claim: exit %d, want 1 (stderr %q)", code, errb)
+	}
+}
+
+// TestRegisterContract covers the registration seam itself.
+func TestRegisterContract(t *testing.T) {
+	if _, err := experiments.Register(experiments.Experiment{ID: ""}); err == nil {
+		t.Error("empty id accepted")
+	}
+	if _, err := experiments.Register(experiments.Experiment{
+		ID: "E1", Run: func(context.Context) (*report.Result, error) { return nil, nil },
+	}); err == nil {
+		t.Error("duplicate id accepted")
+	}
+	remove, err := experiments.Register(experiments.Experiment{
+		ID: "ZTMP", Title: "t",
+		Run: func(context.Context) (*report.Result, error) { return &report.Result{ID: "ZTMP"}, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := experiments.Get("ZTMP"); err != nil {
+		t.Errorf("registered experiment not gettable: %v", err)
+	}
+	remove()
+	if _, err := experiments.Get("ZTMP"); err == nil {
+		t.Error("removed experiment still gettable")
+	}
+}

@@ -32,9 +32,12 @@ type Experiment struct {
 }
 
 // The registry is built exactly once; every Registry/Get call after the
-// first is an allocation-free read.
+// first is an allocation-free read guarded by regMu (Register, used by
+// tests and extensions, is the only writer — and it replaces the slice
+// rather than mutating it, so snapshots handed out earlier stay valid).
 var (
 	registryOnce sync.Once
+	regMu        sync.RWMutex
 	registry     []Experiment
 	registryByID map[string]Experiment
 )
@@ -69,17 +72,55 @@ func buildRegistry() {
 // package's cached registry: callers must not modify it.
 func Registry() []Experiment {
 	registryOnce.Do(buildRegistry)
+	regMu.RLock()
+	defer regMu.RUnlock()
 	return registry
 }
 
 // Get returns the experiment with the given id.
 func Get(id string) (Experiment, error) {
 	registryOnce.Do(buildRegistry)
+	regMu.RLock()
 	e, ok := registryByID[id]
+	regMu.RUnlock()
 	if !ok {
 		return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
 	}
 	return e, nil
+}
+
+// Register adds an experiment to the registry — the seam tests use to
+// inject failing or erroring experiments, and embedders can use for custom
+// reproductions. It returns a function that removes the entry again. Ids
+// must be new and non-empty, and Run must be non-nil.
+func Register(e Experiment) (remove func(), err error) {
+	registryOnce.Do(buildRegistry)
+	if e.ID == "" || e.Run == nil {
+		return nil, fmt.Errorf("experiments: Register needs an ID and a Run func")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registryByID[e.ID]; dup {
+		return nil, fmt.Errorf("experiments: experiment %q already registered", e.ID)
+	}
+	next := make([]Experiment, 0, len(registry)+1)
+	next = append(next, registry...)
+	next = append(next, e)
+	sort.Slice(next, func(i, j int) bool { return next[i].ID < next[j].ID })
+	registry = next
+	registryByID[e.ID] = e
+	return func() {
+		regMu.Lock()
+		defer regMu.Unlock()
+		delete(registryByID, e.ID)
+		kept := make([]Experiment, 0, len(registry))
+		for _, x := range registry {
+			if x.ID != e.ID {
+				kept = append(kept, x)
+			}
+		}
+		registry = kept
+	}, nil
 }
 
 // RunAll runs every registered experiment on an engine.Pool with the given

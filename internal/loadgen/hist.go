@@ -1,0 +1,62 @@
+package loadgen
+
+import "balarch/internal/server"
+
+// hist is a latency histogram on the server's own bucket bounds, so a
+// loadgen quantile and a server quantile for the same route are estimates
+// on the same grid — comparable bucket-for-bucket by CrossCheck.
+type hist struct {
+	bounds []float64
+	counts []int64
+	over   int64
+	sum    float64
+	max    float64
+	n      int64
+}
+
+func newHist() *hist {
+	bounds := server.LatencyBucketBounds()
+	return &hist{bounds: bounds, counts: make([]int64, len(bounds))}
+}
+
+// observe records one latency in seconds.
+func (h *hist) observe(sec float64) {
+	h.n++
+	h.sum += sec
+	if sec > h.max {
+		h.max = sec
+	}
+	for i, ub := range h.bounds {
+		if sec <= ub {
+			h.counts[i]++
+			return
+		}
+	}
+	h.over++
+}
+
+// quantile estimates q with the server's own estimator, so both sides of a
+// cross-check use identical arithmetic.
+func (h *hist) quantile(q float64) float64 {
+	return server.HistogramQuantile(q, h.bounds, h.counts, h.over, h.max)
+}
+
+func (h *hist) mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// BucketIndex maps a quantile estimate back to its bucket position on
+// bounds: the smallest bucket whose upper bound is ≥ v, or len(bounds) for
+// the overflow region. Two estimates "agree within one bucket" when their
+// indices differ by at most one.
+func BucketIndex(bounds []float64, v float64) int {
+	for i, ub := range bounds {
+		if v <= ub {
+			return i
+		}
+	}
+	return len(bounds)
+}

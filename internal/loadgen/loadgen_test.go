@@ -1,0 +1,251 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"balarch/client"
+	"balarch/internal/server"
+)
+
+func testClient() *client.Client {
+	return client.NewFromHandler(server.New(server.Options{Parallelism: 2}).Handler())
+}
+
+// TestPlanDeterministic is the acceptance gate: same seed + same scenario
+// ⇒ byte-identical request sequence, for every scenario in the catalog.
+func TestPlanDeterministic(t *testing.T) {
+	for _, sc := range Scenarios() {
+		a := EncodePlan(sc.Plan(42, 300))
+		b := EncodePlan(sc.Plan(42, 300))
+		if !bytes.Equal(a, b) {
+			t.Errorf("scenario %s: two plans from seed 42 differ", sc.Name)
+		}
+		c := EncodePlan(sc.Plan(43, 300))
+		if bytes.Equal(a, c) {
+			t.Errorf("scenario %s: seeds 42 and 43 produced identical plans", sc.Name)
+		}
+	}
+}
+
+func TestScenarioCatalog(t *testing.T) {
+	want := []string{"analyze-heavy", "batch-burst", "experiment-replay", "mixed-production", "sweep-stampede"}
+	got := Scenarios()
+	if len(got) != len(want) {
+		t.Fatalf("catalog has %d scenarios, want %d", len(got), len(want))
+	}
+	for i, sc := range got {
+		if sc.Name != want[i] {
+			t.Errorf("catalog[%d] = %s, want %s", i, sc.Name, want[i])
+		}
+		if sc.Description == "" {
+			t.Errorf("%s has no description", sc.Name)
+		}
+	}
+	if _, err := Get("mixed-production"); err != nil {
+		t.Errorf("Get(mixed-production): %v", err)
+	}
+	if _, err := Get("nope"); err == nil || !strings.Contains(err.Error(), "mixed-production") {
+		t.Errorf("Get(nope) = %v, want an error naming the catalog", err)
+	}
+}
+
+// TestEveryScenarioCleanAgainstServer drives each scenario closed-loop at
+// the real API stack: every generated request must draw an expected
+// response — the scenarios are meant to be valid traffic, so any 4xx/5xx
+// is a generator bug (or a service regression).
+func TestEveryScenarioCleanAgainstServer(t *testing.T) {
+	c := testClient()
+	for _, sc := range Scenarios() {
+		n := int64(40)
+		if sc.Name == "experiment-replay" && testing.Short() {
+			n = 10
+		}
+		sum, err := Run(context.Background(), c, Config{
+			Scenario: sc, Seed: 7, Workers: 4, MaxRequests: n,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		if sum.Requests != n {
+			t.Errorf("%s: issued %d requests, want %d", sc.Name, sum.Requests, n)
+		}
+		if sum.Unexpected != 0 {
+			for route, rs := range sum.Routes {
+				for _, sample := range rs.UnexpectedSamples {
+					t.Logf("%s %s: %s", sc.Name, route, sample)
+				}
+			}
+			t.Errorf("%s: %d unexpected responses", sc.Name, sum.Unexpected)
+		}
+		if sum.Mode != "closed" {
+			t.Errorf("%s: mode %q, want closed", sc.Name, sum.Mode)
+		}
+	}
+}
+
+func TestOpenLoopPacing(t *testing.T) {
+	c := testClient()
+	sc, _ := Get("analyze-heavy")
+	sum, err := Run(context.Background(), c, Config{
+		Scenario: sc, Seed: 1, Workers: 4, Duration: 400 * time.Millisecond, Rate: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Mode != "open" {
+		t.Fatalf("mode %q, want open", sum.Mode)
+	}
+	// 200/s over 0.4s ≈ 80 arrivals; allow generous scheduling slack but
+	// require the catch-up pacing to have come close.
+	if sum.Requests+sum.DroppedArrivals < 40 {
+		t.Errorf("open loop produced only %d arrivals (%d issued, %d dropped)",
+			sum.Requests+sum.DroppedArrivals, sum.Requests, sum.DroppedArrivals)
+	}
+	if sum.Unexpected != 0 {
+		t.Errorf("%d unexpected responses", sum.Unexpected)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	c := testClient()
+	if _, err := Run(context.Background(), c, Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	sc, _ := Get("analyze-heavy")
+	if _, err := Run(context.Background(), c, Config{Scenario: sc}); err == nil {
+		t.Error("config without duration or request cap accepted")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, c, Config{Scenario: sc, MaxRequests: 5}); err == nil {
+		t.Error("cancelled context did not error")
+	}
+}
+
+func TestHistQuantiles(t *testing.T) {
+	h := newHist()
+	// 90 fast observations, 10 slow: p50 in the fast bucket, p99 slow.
+	for i := 0; i < 90; i++ {
+		h.observe(0.00008) // ≤ 0.0001 bucket
+	}
+	for i := 0; i < 10; i++ {
+		h.observe(0.2) // ≤ 0.25 bucket
+	}
+	if got := h.quantile(0.50); got != 0.0001 {
+		t.Errorf("p50 = %v, want 0.0001", got)
+	}
+	if got := h.quantile(0.99); got != 0.25 {
+		t.Errorf("p99 = %v, want 0.25", got)
+	}
+	if h.max != 0.2 || h.n != 100 {
+		t.Errorf("max %v n %d", h.max, h.n)
+	}
+	// Overflow: beyond the last bucket the quantile reports the exact max.
+	h2 := newHist()
+	h2.observe(99)
+	if got := h2.quantile(0.99); got != 99 {
+		t.Errorf("overflow quantile = %v, want the exact max 99", got)
+	}
+}
+
+func TestBucketIndex(t *testing.T) {
+	bounds := []float64{0.001, 0.01, 0.1}
+	for _, tc := range []struct {
+		v    float64
+		want int
+	}{{0.0005, 0}, {0.001, 0}, {0.002, 1}, {0.1, 2}, {5, 3}} {
+		if got := BucketIndex(bounds, tc.v); got != tc.want {
+			t.Errorf("BucketIndex(%v) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+}
+
+// TestCrossCheckAgainstLiveMetrics runs a scenario in process and requires
+// the loadgen quantiles and the server's own histograms to agree within one
+// bucket — the instrument calibrating itself against the subject.
+func TestCrossCheckAgainstLiveMetrics(t *testing.T) {
+	srv := server.New(server.Options{Parallelism: 2})
+	c := client.NewFromHandler(srv.Handler())
+	sc, _ := Get("analyze-heavy")
+	sum, err := Run(context.Background(), c, Config{Scenario: sc, Seed: 3, Workers: 4, MaxRequests: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if problems := CrossCheck(sum, m); len(problems) != 0 {
+		t.Errorf("cross-check failed:\n%s", strings.Join(problems, "\n"))
+	}
+}
+
+// TestCrossCheckDetectsDisagreement feeds a doctored snapshot and expects
+// the check to flag it.
+func TestCrossCheckDetectsDisagreement(t *testing.T) {
+	sum := &Summary{Routes: map[string]*RouteSummary{
+		"POST /v1/analyze": {Count: 100, P50Seconds: 0.0001, P95Seconds: 0.0001, P99Seconds: 0.0001},
+	}}
+	m := &client.MetricsSnapshot{RouteLatency: map[string]client.RouteLatency{
+		"POST /v1/analyze": {Count: 100, P50Seconds: 1, P95Seconds: 1, P99Seconds: 1},
+	}}
+	if problems := CrossCheck(sum, m); len(problems) != 3 {
+		t.Errorf("want 3 quantile discrepancies, got %v", problems)
+	}
+	// A route the server never saw is its own discrepancy.
+	m2 := &client.MetricsSnapshot{RouteLatency: map[string]client.RouteLatency{}}
+	if problems := CrossCheck(sum, m2); len(problems) != 1 {
+		t.Errorf("missing-route case: got %v", problems)
+	}
+	// Below the sample floor the route is skipped.
+	sum.Routes["POST /v1/analyze"].Count = 5
+	if problems := CrossCheck(sum, m); len(problems) != 0 {
+		t.Errorf("under-sampled route should be skipped, got %v", problems)
+	}
+}
+
+func TestReportShape(t *testing.T) {
+	c := testClient()
+	sc, _ := Get("analyze-heavy")
+	sum, err := Run(context.Background(), c, Config{Scenario: sc, Seed: 9, Workers: 2, MaxRequests: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sum.Report()
+	if !res.Pass() {
+		t.Errorf("clean run's report does not pass: %+v", res.Claims)
+	}
+	var text strings.Builder
+	if err := res.Render(&text); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"LOAD", "analyze-heavy", "POST /v1/analyze", "p99 ms"} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("text report missing %q:\n%s", want, text.String())
+		}
+	}
+	if len(res.Series) == 0 {
+		t.Error("report has no per-route series")
+	}
+
+	// The p99 ceiling gate: an absurdly low ceiling must fail the report.
+	sum.AddP99Gate(res, time.Nanosecond)
+	if res.Pass() {
+		t.Error("1ns p99 ceiling did not fail the report")
+	}
+
+	// The cross-check gate against live metrics passes on a fresh run.
+	res2 := sum.Report()
+	m, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	AddCrossCheckGate(res2, sum, m)
+	if len(res2.Claims) != 2 {
+		t.Errorf("report has %d claims, want 2", len(res2.Claims))
+	}
+}

@@ -1,0 +1,349 @@
+// Package loadgen is the traffic instrument for balance-as-a-service: it
+// generates deterministic, seeded request streams over named scenario
+// mixes, drives them at the API open- or closed-loop, and accounts per-route
+// latency (p50/p95/p99/max on the server's own histogram buckets, so the
+// two sides can be cross-checked bucket-for-bucket), throughput, and error
+// classes. The paper's discipline applied to our own service: balance is
+// measured under a workload mix, not read off nameplate specs.
+//
+// The pieces compose: a Scenario is a weighted mix of request generators;
+// Plan expands (scenario, seed) into the exact request sequence — the same
+// seed always yields the byte-identical sequence, so load runs are
+// reproducible evidence; Run drives the sequence through a client.Client
+// and returns a Summary; Summary.Report renders the result as an
+// internal/report.Result (text and JSON); CrossCheck compares the measured
+// quantiles against the server's /metrics histogram.
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"balarch/client"
+)
+
+// Request is one generated API call: the wire triple plus the metrics
+// label and the statuses this scenario considers a correct answer.
+type Request struct {
+	// Route labels the request in summaries, matching the server's
+	// "METHOD /pattern" metric keys (e.g. "POST /v1/experiments/{id}").
+	Route string
+	// Method and Path address the endpoint; Body is the JSON payload
+	// (nil for GETs).
+	Method string
+	Path   string
+	Body   []byte
+	// Expect lists acceptable response statuses; empty means {200}.
+	// Anything else counts as an unexpected response in the summary.
+	Expect []int
+}
+
+// Expected reports whether status is an acceptable answer for this request.
+func (r Request) Expected(status int) bool {
+	if len(r.Expect) == 0 {
+		return status == 200
+	}
+	for _, s := range r.Expect {
+		if s == status {
+			return true
+		}
+	}
+	return false
+}
+
+// Scenario is a named, weighted workload mix. Generation is driven by a
+// seeded *rand.Rand, so a scenario is a pure function from (seed, index)
+// sequence position to request.
+type Scenario struct {
+	// Name identifies the scenario (e.g. "mixed-production").
+	Name string
+	// Description says what the mix exercises, for -list output.
+	Description string
+	mix         []weightedGen
+}
+
+// weightedGen pairs a request generator with its mix weight.
+type weightedGen struct {
+	weight int
+	gen    func(r *rand.Rand) Request
+}
+
+// next draws one request from the mix.
+func (s Scenario) next(r *rand.Rand) Request {
+	total := 0
+	for _, w := range s.mix {
+		total += w.weight
+	}
+	pick := r.Intn(total)
+	for _, w := range s.mix {
+		if pick < w.weight {
+			return w.gen(r)
+		}
+		pick -= w.weight
+	}
+	panic("loadgen: empty scenario mix")
+}
+
+// Plan expands the scenario into its first n requests for the given seed.
+// The sequence is deterministic: the same (scenario, seed, n) always
+// returns byte-identical requests, which is what makes a load report
+// reproducible evidence rather than an anecdote.
+func (s Scenario) Plan(seed int64, n int) []Request {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]Request, n)
+	for i := range out {
+		out[i] = s.next(r)
+	}
+	return out
+}
+
+// EncodePlan renders a request sequence in a canonical byte form, used by
+// the determinism test and useful for diffing two plans.
+func EncodePlan(reqs []Request) []byte {
+	var b strings.Builder
+	for _, q := range reqs {
+		fmt.Fprintf(&b, "%s %s\n%s\n\n", q.Method, q.Path, q.Body)
+	}
+	return []byte(b.String())
+}
+
+// Scenarios returns the catalog in name order.
+func Scenarios() []Scenario {
+	all := []Scenario{
+		analyzeHeavy(),
+		sweepStampede(),
+		batchBurst(),
+		experimentReplay(),
+		mixedProduction(),
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
+	return all
+}
+
+// Get returns the named scenario.
+func Get(name string) (Scenario, error) {
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	names := make([]string, 0, len(Scenarios()))
+	for _, s := range Scenarios() {
+		names = append(names, s.Name)
+	}
+	return Scenario{}, fmt.Errorf("loadgen: unknown scenario %q (one of %s)",
+		name, strings.Join(names, ", "))
+}
+
+// --- request builders (all deterministic in the rng) ---
+
+// mustJSON marshals a request DTO; the DTOs are plain data, so a marshal
+// failure is a programming error.
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("loadgen: marshal %T: %v", v, err))
+	}
+	return b
+}
+
+// computationPool is the catalog spread the generators draw from.
+var computationPool = []client.Computation{
+	{Name: "matmul"},
+	{Name: "triangularization"},
+	{Name: "grid", Dim: 2},
+	{Name: "grid", Dim: 3},
+	{Name: "fft"},
+	{Name: "sorting"},
+	{Name: "matvec"},
+	{Name: "trisolve"},
+	{Name: "spmv"},
+	{Name: "convolution", Taps: 32},
+}
+
+// randomPE draws a plausible PE: tens of MOPS against ~1 Mword/s with a
+// power-of-two memory, the regime the paper's §1 example lives in.
+func randomPE(r *rand.Rand) client.PE {
+	return client.PE{
+		C:  1e6 * float64(1+r.Intn(100)),
+		IO: 1e6 * float64(1+r.Intn(4)),
+		M:  float64(int64(1) << (8 + r.Intn(12))),
+	}
+}
+
+func analyzeReq(r *rand.Rand) Request {
+	body := mustJSON(client.AnalyzeRequest{
+		PE:          randomPE(r),
+		Computation: computationPool[r.Intn(len(computationPool))],
+	})
+	return Request{Route: "POST /v1/analyze", Method: "POST", Path: "/v1/analyze", Body: body}
+}
+
+func rebalanceReq(r *rand.Rand) Request {
+	// α in [1, 5); only the memory-elastic computations, so every request
+	// is answerable (rebalanceable true or the valid "false" for Θ(1) is
+	// fine either way — both are 200s).
+	body := mustJSON(client.RebalanceRequest{
+		Computation: computationPool[r.Intn(len(computationPool))],
+		Alpha:       1 + 4*r.Float64(),
+		MOld:        float64(int64(1) << (10 + r.Intn(8))),
+	})
+	return Request{Route: "POST /v1/rebalance", Method: "POST", Path: "/v1/rebalance", Body: body}
+}
+
+func rooflineReq(r *rand.Rand) Request {
+	body := mustJSON(client.RooflineRequest{
+		PE: randomPE(r),
+		Computations: []client.Computation{
+			computationPool[r.Intn(len(computationPool))],
+			computationPool[r.Intn(len(computationPool))],
+		},
+		MemLo: 64,
+		MemHi: 1 << 16,
+		Step:  4,
+	})
+	return Request{Route: "POST /v1/roofline", Method: "POST", Path: "/v1/roofline", Body: body}
+}
+
+// sweepPool is a small set of distinct count-only sweeps: after each body's
+// first flight the server's memo answers, so sweep traffic exercises the
+// cache the way production repeat queries would. Count-only kernels keep
+// every cold run cheap.
+var sweepPool = []client.SweepRequest{
+	{Kernel: "matmul", N: 96, Params: []int{4, 8, 16, 32}},
+	{Kernel: "matmul", N: 128, Params: []int{4, 8, 16}},
+	{Kernel: "fft", N: 1 << 12, Params: []int{16, 64, 256}},
+	{Kernel: "matvec", N: 2048, Params: []int{64, 256, 1024}},
+	{Kernel: "trisolve", N: 512, Params: []int{32, 128}},
+	{Kernel: "convolve", N: 1 << 14, Params: []int{8, 32, 128}},
+}
+
+func sweepReq(r *rand.Rand) Request {
+	body := mustJSON(sweepPool[r.Intn(len(sweepPool))])
+	return Request{Route: "POST /v1/sweep", Method: "POST", Path: "/v1/sweep", Body: body}
+}
+
+// stampedeSweepReq returns the one fixed sweep body 85% of the time — a
+// stampede of identical queries that must collapse onto a single kernel
+// flight — and a pool variant otherwise.
+func stampedeSweepReq(r *rand.Rand) Request {
+	if r.Intn(100) < 85 {
+		body := mustJSON(sweepPool[0])
+		return Request{Route: "POST /v1/sweep", Method: "POST", Path: "/v1/sweep", Body: body}
+	}
+	return sweepReq(r)
+}
+
+func batchReq(r *rand.Rand) Request {
+	n := 4 + r.Intn(12)
+	items := make([]client.BatchItem, n)
+	for i := range items {
+		if r.Intn(2) == 0 {
+			items[i] = client.BatchItem{Op: "analyze", Request: mustJSON(client.AnalyzeRequest{
+				PE:          randomPE(r),
+				Computation: computationPool[r.Intn(len(computationPool))],
+			})}
+		} else {
+			items[i] = client.BatchItem{Op: "rebalance", Request: mustJSON(client.RebalanceRequest{
+				Computation: computationPool[r.Intn(len(computationPool))],
+				Alpha:       1 + 3*r.Float64(),
+				MOld:        1024,
+			})}
+		}
+	}
+	body := mustJSON(client.BatchRequest{Requests: items})
+	return Request{Route: "POST /v1/batch", Method: "POST", Path: "/v1/batch", Body: body}
+}
+
+func experimentListReq(*rand.Rand) Request {
+	return Request{Route: "GET /v1/experiments", Method: "GET", Path: "/v1/experiments"}
+}
+
+// experimentRunPool lists the cheap, fully analytic/count-only experiments
+// a replay scenario can afford to re-run per request.
+var experimentRunPool = []string{"E1", "E7"}
+
+func experimentRunReq(r *rand.Rand) Request {
+	id := experimentRunPool[r.Intn(len(experimentRunPool))]
+	return Request{Route: "POST /v1/experiments/{id}", Method: "POST", Path: "/v1/experiments/" + id}
+}
+
+func healthReq(*rand.Rand) Request {
+	return Request{Route: "GET /healthz", Method: "GET", Path: "/healthz"}
+}
+
+func metricsReq(*rand.Rand) Request {
+	return Request{Route: "GET /metrics", Method: "GET", Path: "/metrics"}
+}
+
+// --- the scenario catalog ---
+
+func analyzeHeavy() Scenario {
+	return Scenario{
+		Name:        "analyze-heavy",
+		Description: "capacity-planner traffic: mostly analyze, some rebalance, health probes",
+		mix: []weightedGen{
+			{85, analyzeReq},
+			{10, rebalanceReq},
+			{5, healthReq},
+		},
+	}
+}
+
+func sweepStampede() Scenario {
+	return Scenario{
+		Name:        "sweep-stampede",
+		Description: "stampede of identical sweeps: stresses the single-flight memo",
+		mix: []weightedGen{
+			{90, stampedeSweepReq},
+			{5, analyzeReq},
+			{5, healthReq},
+		},
+	}
+}
+
+func batchBurst() Scenario {
+	return Scenario{
+		Name:        "batch-burst",
+		Description: "bursts of heterogeneous batches fanned out on the worker pool",
+		mix: []weightedGen{
+			{85, batchReq},
+			{10, analyzeReq},
+			{5, healthReq},
+		},
+	}
+}
+
+func experimentReplay() Scenario {
+	return Scenario{
+		Name:        "experiment-replay",
+		Description: "registry listing plus re-runs of the cheap experiments",
+		mix: []weightedGen{
+			{40, experimentListReq},
+			{40, experimentRunReq},
+			{10, analyzeReq},
+			{10, healthReq},
+		},
+	}
+}
+
+func mixedProduction() Scenario {
+	return Scenario{
+		Name:        "mixed-production",
+		Description: "the production blend: every endpoint, weighted like real traffic",
+		mix: []weightedGen{
+			{35, analyzeReq},
+			{10, rebalanceReq},
+			{10, rooflineReq},
+			{18, sweepReq},
+			{10, batchReq},
+			{5, experimentListReq},
+			{3, experimentRunReq},
+			{5, healthReq},
+			{4, metricsReq},
+		},
+	}
+}

@@ -1,0 +1,199 @@
+package model
+
+// Property-based tests (testing/quick) for the analytic core. The paper's
+// statements are universally quantified — for *any* balanced PE and *any*
+// α ≥ 1 the growth laws restore balance — so the tests quantify too,
+// instead of checking hand-picked examples.
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+var quickConfig = &quick.Config{MaxCount: 400}
+
+// propComputations is the catalog plus the extension entries, covering
+// every growth-law family: α^d, M^α, and Θ(1).
+func propComputations() []Computation {
+	return append(Catalog(), Grid(4), SparseMatVec(), Convolution(16))
+}
+
+// scale01 maps a raw fuzzed uint16 onto [0, 1].
+func scale01(raw uint16) float64 { return float64(raw) / math.MaxUint16 }
+
+// drawMOld maps raw log-uniformly onto [MinMemory (≥2), 10⁶] so every ratio
+// function is in its meaningful regime and M_old^α stays far below the
+// numeric search cap.
+func drawMOld(c Computation, raw uint16) float64 {
+	lo := math.Max(c.MinMemory, 2)
+	return lo * math.Pow(1e6/lo, scale01(raw))
+}
+
+// drawAlpha maps raw onto [1.01, 2]: strictly above 1 so the Θ(1)
+// computations are genuinely unrebalanceable, and small enough that even
+// the exponential law's M_old^α stays finite.
+func drawAlpha(raw uint16) float64 { return 1.01 + 0.99*scale01(raw) }
+
+// TestQuickRebalanceRestoresBalance: start from a PE balanced at M_old,
+// grow C/IO by α, enlarge the memory to Rebalance's answer — Analyze must
+// report the new PE balanced. For the Θ(1) computations the property is
+// the opposite one: Rebalance must answer ErrNotRebalanceable, and Analyze
+// of the faster PE must report it not rebalanceable at any memory size.
+func TestQuickRebalanceRestoresBalance(t *testing.T) {
+	for _, comp := range propComputations() {
+		comp := comp
+		prop := func(rawM, rawA uint16) bool {
+			mOld := drawMOld(comp, rawM)
+			alpha := drawAlpha(rawA)
+			const io = 1e6
+			x0 := comp.Ratio(mOld)
+
+			mNew, err := comp.Rebalance(alpha, mOld, DefaultPropMaxMemory)
+			if comp.IOBounded {
+				if !errors.Is(err, ErrNotRebalanceable) {
+					t.Logf("%s: α=%v M_old=%v: err = %v, want ErrNotRebalanceable", comp.Name, alpha, mOld, err)
+					return false
+				}
+				a, aerr := Analyze(PE{C: alpha * x0 * io, IO: io, M: mOld}, comp, DefaultPropMaxMemory)
+				if aerr != nil || a.Rebalanceable {
+					t.Logf("%s: faster PE analyzed as rebalanceable (%+v, %v)", comp.Name, a, aerr)
+					return false
+				}
+				return true
+			}
+			if err != nil {
+				t.Logf("%s: α=%v M_old=%v: unexpected error %v", comp.Name, alpha, mOld, err)
+				return false
+			}
+			if mNew < mOld {
+				t.Logf("%s: rebalancing shrank memory: %v < %v", comp.Name, mNew, mOld)
+				return false
+			}
+			a, aerr := Analyze(PE{C: alpha * x0 * io, IO: io, M: mNew}, comp, DefaultPropMaxMemory)
+			if aerr != nil {
+				t.Logf("%s: Analyze: %v", comp.Name, aerr)
+				return false
+			}
+			if a.State != Balanced {
+				t.Logf("%s: α=%v M_old=%v M_new=%v: state %v, want balanced", comp.Name, alpha, mOld, mNew, a.State)
+				return false
+			}
+			if !a.Rebalanceable || a.BalancedMemory > mNew*(1+1e-9) {
+				t.Logf("%s: BalancedMemory %v exceeds M_new %v", comp.Name, a.BalancedMemory, mNew)
+				return false
+			}
+			return true
+		}
+		if err := quick.Check(prop, quickConfig); err != nil {
+			t.Errorf("%s: %v", comp.Name, err)
+		}
+	}
+}
+
+// DefaultPropMaxMemory bounds the numeric searches in the property tests.
+const DefaultPropMaxMemory = 1e18
+
+// TestQuickMNewMonotoneInAlpha: for every growth-law family, M_new is
+// monotone non-decreasing in α — more intensity never needs less memory.
+// Checked on the closed forms and on the numeric inversion (which must
+// agree with them up to bisection jitter).
+func TestQuickMNewMonotoneInAlpha(t *testing.T) {
+	for _, comp := range propComputations() {
+		if comp.IOBounded {
+			continue // no M_new exists; covered by the property above
+		}
+		comp := comp
+		prop := func(rawM, rawA1, rawA2 uint16) bool {
+			mOld := drawMOld(comp, rawM)
+			a1, a2 := drawAlpha(rawA1), drawAlpha(rawA2)
+			if a1 > a2 {
+				a1, a2 = a2, a1
+			}
+			cf1, err1 := comp.RebalanceClosedForm(a1, mOld)
+			cf2, err2 := comp.RebalanceClosedForm(a2, mOld)
+			if err1 != nil || err2 != nil {
+				t.Logf("%s: closed form errored: %v / %v", comp.Name, err1, err2)
+				return false
+			}
+			if cf2 < cf1 {
+				t.Logf("%s: closed form not monotone: MNew(%v)=%v > MNew(%v)=%v",
+					comp.Name, a1, cf1, a2, cf2)
+				return false
+			}
+			n1, err1 := comp.Rebalance(a1, mOld, DefaultPropMaxMemory)
+			n2, err2 := comp.Rebalance(a2, mOld, DefaultPropMaxMemory)
+			if err1 != nil || err2 != nil {
+				t.Logf("%s: numeric rebalance errored: %v / %v", comp.Name, err1, err2)
+				return false
+			}
+			// Bisection answers carry ~1e-12 relative jitter.
+			if n2 < n1*(1-1e-9) {
+				t.Logf("%s: numeric inversion not monotone: MNew(%v)=%v > MNew(%v)=%v",
+					comp.Name, a1, n1, a2, n2)
+				return false
+			}
+			return true
+		}
+		if err := quick.Check(prop, quickConfig); err != nil {
+			t.Errorf("%s: %v", comp.Name, err)
+		}
+	}
+}
+
+// TestQuickClosedFormMatchesNumeric: the paper's closed-form law and the
+// numeric inversion of the measured ratio function answer the same
+// question; they must agree to within the laws' leading-term accuracy.
+func TestQuickClosedFormMatchesNumeric(t *testing.T) {
+	for _, comp := range propComputations() {
+		if comp.IOBounded {
+			continue
+		}
+		comp := comp
+		prop := func(rawM, rawA uint16) bool {
+			mOld := drawMOld(comp, rawM)
+			alpha := drawAlpha(rawA)
+			num, errN := comp.Rebalance(alpha, mOld, DefaultPropMaxMemory)
+			cf, errC := comp.RebalanceClosedForm(alpha, mOld)
+			if errN != nil || errC != nil {
+				t.Logf("%s: %v / %v", comp.Name, errN, errC)
+				return false
+			}
+			rel := math.Abs(num-cf) / cf
+			if rel > 0.02 {
+				t.Logf("%s: α=%v M_old=%v: numeric %v vs closed form %v (rel %.3g)",
+					comp.Name, alpha, mOld, num, cf, rel)
+				return false
+			}
+			return true
+		}
+		if err := quick.Check(prop, quickConfig); err != nil {
+			t.Errorf("%s: %v", comp.Name, err)
+		}
+	}
+}
+
+// TestQuickRebalanceRejectsBadArgs: the argument contract holds for any
+// out-of-range α or M_old, for every law family.
+func TestQuickRebalanceRejectsBadArgs(t *testing.T) {
+	for _, comp := range propComputations() {
+		comp := comp
+		prop := func(rawA, rawM uint16) bool {
+			badAlpha := 0.999 * scale01(rawA) // [0, 1)
+			badM := -1e6 * scale01(rawM)      // ≤ 0
+			if _, err := comp.Rebalance(badAlpha, 1024, DefaultPropMaxMemory); err == nil {
+				t.Logf("%s: α=%v accepted", comp.Name, badAlpha)
+				return false
+			}
+			if _, err := comp.RebalanceClosedForm(2, badM); err == nil {
+				t.Logf("%s: M_old=%v accepted", comp.Name, badM)
+				return false
+			}
+			return true
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+			t.Errorf("%s: %v", comp.Name, err)
+		}
+	}
+}

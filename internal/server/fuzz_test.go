@@ -1,0 +1,163 @@
+package server
+
+// Native fuzz targets for the DTO layer: whatever bytes arrive at the JSON
+// endpoints, the response must be a well-formed 200 or a typed error
+// envelope — never a panic, never a 500. The seed corpus is the same set of
+// bodies the httptest suite posts, so the fuzzer starts from valid requests
+// and mutates toward the edges (it is how the sweep work caps in sweep.go
+// were found). CI runs each target with -fuzztime=30s; `go test` alone
+// replays the seeds as ordinary tests.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fuzzTarget is the one shared server for all fuzz executions in this
+// process: small budgets so a mutated-but-valid heavy request (a capped
+// sort sweep, a replayed experiment) is cut off by the request timeout
+// instead of stalling the fuzzer.
+var (
+	fuzzOnce    sync.Once
+	fuzzHandler http.Handler
+)
+
+func fuzzTarget() http.Handler {
+	fuzzOnce.Do(func() {
+		fuzzHandler = New(Options{
+			Parallelism:    2,
+			RequestTimeout: 2 * time.Second,
+			MaxBodyBytes:   1 << 16,
+			MaxBatch:       8,
+			MaxInFlight:    -1,
+		}).Handler()
+	})
+	return fuzzHandler
+}
+
+// fuzzAllowedStatus is every status the API contract admits for an
+// arbitrary body: success, the four request-fault mappings, and 503 for
+// work the per-request budget cut off. 500 is deliberately absent.
+var fuzzAllowedStatus = map[int]bool{
+	http.StatusOK:                    true,
+	http.StatusBadRequest:            true,
+	http.StatusNotFound:              true,
+	http.StatusRequestEntityTooLarge: true,
+	http.StatusUnprocessableEntity:   true,
+	http.StatusServiceUnavailable:    true,
+}
+
+// assertEnvelopeContract posts body to path and enforces the invariant.
+func assertEnvelopeContract(t *testing.T, path string, body []byte) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+	rr := httptest.NewRecorder()
+	fuzzTarget().ServeHTTP(rr, req)
+	status := rr.Code
+	if !fuzzAllowedStatus[status] {
+		t.Fatalf("%s: status %d outside the API contract\nbody in: %q\nbody out: %s",
+			path, status, body, rr.Body.Bytes())
+	}
+	if rr.Header().Get(RequestIDHeader) == "" {
+		t.Fatalf("%s: response missing %s", path, RequestIDHeader)
+	}
+	if status == http.StatusOK {
+		if !json.Valid(rr.Body.Bytes()) {
+			t.Fatalf("%s: 200 with invalid JSON body: %.200s", path, rr.Body.Bytes())
+		}
+		return
+	}
+	var env errorEnvelope
+	if err := json.Unmarshal(rr.Body.Bytes(), &env); err != nil {
+		t.Fatalf("%s: status %d body is not an error envelope: %v\n%.200s",
+			path, status, err, rr.Body.Bytes())
+	}
+	if env.Error.Code == "" || env.Error.Message == "" {
+		t.Fatalf("%s: status %d envelope missing code or message: %.200s",
+			path, status, rr.Body.Bytes())
+	}
+}
+
+func FuzzAnalyzeRequest(f *testing.F) {
+	for _, seed := range []string{
+		`{"pe": {"c": 50e6, "io": 1e6, "m": 4096}, "computation": {"name": "fft"}}`,
+		`{"pe": {"c": 1e6, "io": 2e6, "m": 64}, "computation": {"name": "grid", "dim": 3}}`,
+		`{"pe": {"c": 1, "io": 1, "m": 1}, "computation": {"name": "convolution", "taps": 8}}`,
+		`{"pe": {"c": -5, "io": 0, "m": 1e400}, "computation": {"name": "matmul"}}`,
+		`{"computation": {"name": ""}}`,
+		`{`,
+		``,
+		`null`,
+		`{"pe": {}, "computation": {"name": "sorting"}, "max_memory": -1}`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		assertEnvelopeContract(t, "/v1/analyze", body)
+	})
+}
+
+func FuzzSweepRequest(f *testing.F) {
+	for _, seed := range []string{
+		`{"kernel": "matmul", "n": 64, "params": [4, 8]}`,
+		`{"kernel": "lu", "n": 96, "params": [8, 16]}`,
+		`{"kernel": "fft", "n": 4096, "params": [16, 64]}`,
+		`{"kernel": "sort", "params": [32, 64], "seed": 7}`,
+		`{"kernel": "grid", "dim": 2, "size": 16, "iters": 2, "params": [9, 16]}`,
+		`{"kernel": "spmv", "n": 1024, "nnz_per_row": 8, "params": [64, 256]}`,
+		`{"kernel": "convolve", "n": 8192, "params": [8, 64]}`,
+		`{"kernel": "strassen", "n": 64, "params": [8, 16]}`,
+		`{"kernel": "matmul", "n": 4194304, "params": [1]}`,
+		`{"kernel": "", "params": []}`,
+		`{"kernel": "matmul", "n": -1, "params": [0]}`,
+		`{"unknown_field": true}`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		assertEnvelopeContract(t, "/v1/sweep", body)
+	})
+}
+
+func FuzzBatchRequest(f *testing.F) {
+	for _, seed := range []string{
+		`{"requests": [{"op": "analyze", "request": {"pe": {"c": 50e6, "io": 1e6, "m": 4096}, "computation": {"name": "fft"}}}]}`,
+		`{"requests": [{"op": "rebalance", "request": {"computation": {"name": "matmul"}, "alpha": 4, "m_old": 1024}},` +
+			`{"op": "sweep", "request": {"kernel": "matmul", "n": 64, "params": [4, 8]}}]}`,
+		`{"requests": [{"op": "experiment", "request": {"id": "E1"}}]}`,
+		`{"requests": [{"op": "bogus", "request": {}}, {"op": ""}]}`,
+		`{"requests": []}`,
+		`{"requests": [{"op": "analyze", "request": "not an object"}]}`,
+		`{"requests"`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		assertEnvelopeContract(t, "/v1/batch", body)
+	})
+}
+
+// TestSweepWorkCaps pins the service caps the fuzz targets depend on: a
+// nominally-valid request whose loop work explodes must be a 422, not a
+// multi-hour sweep.
+func TestSweepWorkCaps(t *testing.T) {
+	for name, body := range map[string]string{
+		"matmul tiny block":  `{"kernel": "matmul", "n": 4194304, "params": [1]}`,
+		"lu tiny block":      `{"kernel": "lu", "n": 4194304, "params": [4]}`,
+		"trisolve tiny":      `{"kernel": "trisolve", "n": 4194304, "params": [2]}`,
+		"sort total keys":    `{"kernel": "sort", "params": [2048, 2048, 2048]}`,
+		"grid total updates": `{"kernel": "grid", "dim": 2, "size": 4096, "iters": 64, "params": [9, 16, 25]}`,
+	} {
+		req := httptest.NewRequest(http.MethodPost, "/v1/sweep", bytes.NewReader([]byte(body)))
+		rr := httptest.NewRecorder()
+		fuzzTarget().ServeHTTP(rr, req)
+		if rr.Code != http.StatusUnprocessableEntity {
+			t.Errorf("%s: status %d, want 422\n%s", name, rr.Code, rr.Body.Bytes())
+		}
+	}
+}

@@ -15,6 +15,14 @@ var latencyBuckets = []float64{
 	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
+// LatencyBucketBounds returns a copy of the histogram's upper bounds in
+// seconds. The load generator (internal/loadgen) buckets its client-side
+// latencies on the same bounds so its quantiles and the server's can be
+// compared bucket-for-bucket.
+func LatencyBucketBounds() []float64 {
+	return append([]float64(nil), latencyBuckets...)
+}
+
 // Metrics is the server's instrumentation: per-route request and error
 // counts, a latency histogram, the sweep-cache hit rate, and an in-flight
 // gauge. All methods are safe for concurrent use; reads take a snapshot, so
@@ -23,11 +31,11 @@ type Metrics struct {
 	start time.Time
 
 	mu       sync.Mutex
-	requests map[string]int64 // per-route completed requests
-	statuses map[int]int64    // per-status-class completed requests
-	hist     []int64          // latency histogram counts, one per bucket
-	histOver int64            // observations above the last bucket
-	latSum   float64          // total latency seconds, for the mean
+	routes   map[string]*routeStats // per-route completed requests + latency
+	statuses map[int]int64          // per-status-class completed requests
+	hist     []int64                // latency histogram counts, one per bucket
+	histOver int64                  // observations above the last bucket
+	latSum   float64                // total latency seconds, for the mean
 
 	inFlight    atomic.Int64
 	cacheHits   atomic.Int64
@@ -35,11 +43,21 @@ type Metrics struct {
 	panics      atomic.Int64
 }
 
+// routeStats is one route's request count and latency distribution, bucketed
+// on latencyBuckets.
+type routeStats struct {
+	count int64
+	hist  []int64
+	over  int64   // observations above the last bucket
+	sum   float64 // total latency seconds
+	max   float64 // slowest observation in seconds
+}
+
 // NewMetrics returns ready-to-use instrumentation.
 func NewMetrics() *Metrics {
 	return &Metrics{
 		start:    time.Now(),
-		requests: make(map[string]int64),
+		routes:   make(map[string]*routeStats),
 		statuses: make(map[int]int64),
 		hist:     make([]int64, len(latencyBuckets)),
 	}
@@ -50,19 +68,30 @@ func NewMetrics() *Metrics {
 func (m *Metrics) Observe(route string, status int, elapsed time.Duration) {
 	sec := elapsed.Seconds()
 	m.mu.Lock()
-	m.requests[route]++
+	rs := m.routes[route]
+	if rs == nil {
+		rs = &routeStats{hist: make([]int64, len(latencyBuckets))}
+		m.routes[route] = rs
+	}
+	rs.count++
+	rs.sum += sec
+	if sec > rs.max {
+		rs.max = sec
+	}
 	m.statuses[status/100*100]++
 	m.latSum += sec
 	placed := false
 	for i, ub := range latencyBuckets {
 		if sec <= ub {
 			m.hist[i]++
+			rs.hist[i]++
 			placed = true
 			break
 		}
 	}
 	if !placed {
 		m.histOver++
+		rs.over++
 	}
 	m.mu.Unlock()
 }
@@ -90,18 +119,79 @@ type HistogramBucket struct {
 	Count     int64   `json:"count"`
 }
 
-// Snapshot is the JSON shape served by GET /metrics.
+// RouteLatency is one route's latency summary in the snapshot. The
+// quantiles are histogram estimates: each is the upper bound of the bucket
+// containing the quantile (the load generator estimates its own quantiles
+// the same way on the same buckets, so the two agree bucket-for-bucket);
+// an observation beyond the last bucket reports the route's exact maximum.
+type RouteLatency struct {
+	Count       int64   `json:"count"`
+	MeanSeconds float64 `json:"mean_seconds"`
+	P50Seconds  float64 `json:"p50_seconds"`
+	P95Seconds  float64 `json:"p95_seconds"`
+	P99Seconds  float64 `json:"p99_seconds"`
+	MaxSeconds  float64 `json:"max_seconds"`
+}
+
+// Snapshot is the JSON shape served by GET /metrics. The field set is
+// pinned by TestMetricsSchemaPinned: additions are fine, but renaming or
+// removing a key breaks the load generator's cross-check and must be
+// deliberate.
 type Snapshot struct {
-	UptimeSeconds  float64           `json:"uptime_seconds"`
-	InFlight       int64             `json:"in_flight"`
-	Requests       map[string]int64  `json:"requests_total"`
-	StatusClasses  map[string]int64  `json:"responses_by_status_class"`
-	Panics         int64             `json:"panics_recovered"`
-	LatencyMean    float64           `json:"latency_mean_seconds"`
-	LatencyBuckets []HistogramBucket `json:"latency_histogram"`
-	CacheHits      int64             `json:"sweep_cache_hits"`
-	CacheMisses    int64             `json:"sweep_cache_misses"`
-	CacheHitRate   float64           `json:"sweep_cache_hit_rate"`
+	UptimeSeconds  float64                 `json:"uptime_seconds"`
+	InFlight       int64                   `json:"in_flight"`
+	Requests       map[string]int64        `json:"requests_total"`
+	RouteLatency   map[string]RouteLatency `json:"route_latency"`
+	StatusClasses  map[string]int64        `json:"responses_by_status_class"`
+	Panics         int64                   `json:"panics_recovered"`
+	LatencyMean    float64                 `json:"latency_mean_seconds"`
+	LatencyBuckets []HistogramBucket       `json:"latency_histogram"`
+	CacheHits      int64                   `json:"sweep_cache_hits"`
+	CacheMisses    int64                   `json:"sweep_cache_misses"`
+	CacheHitRate   float64                 `json:"sweep_cache_hit_rate"`
+}
+
+// HistogramQuantile estimates quantile q (in [0, 1]) from counts bucketed on
+// bounds: the upper bound of the bucket holding the q-th observation. over
+// counts observations beyond the last bucket and max is the exact largest
+// observation, returned when the quantile lands in the overflow region (or
+// when there are no observations at all, where max is naturally 0).
+func HistogramQuantile(q float64, bounds []float64, counts []int64, over int64, max float64) float64 {
+	var total int64
+	for _, n := range counts {
+		total += n
+	}
+	total += over
+	if total == 0 {
+		return max
+	}
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, n := range counts {
+		cum += n
+		if cum >= rank {
+			return bounds[i]
+		}
+	}
+	return max
+}
+
+// summary condenses one route's histogram into the snapshot shape.
+func (rs *routeStats) summary() RouteLatency {
+	rl := RouteLatency{
+		Count:      rs.count,
+		P50Seconds: HistogramQuantile(0.50, latencyBuckets, rs.hist, rs.over, rs.max),
+		P95Seconds: HistogramQuantile(0.95, latencyBuckets, rs.hist, rs.over, rs.max),
+		P99Seconds: HistogramQuantile(0.99, latencyBuckets, rs.hist, rs.over, rs.max),
+		MaxSeconds: rs.max,
+	}
+	if rs.count > 0 {
+		rl.MeanSeconds = rs.sum / float64(rs.count)
+	}
+	return rl
 }
 
 // Snapshot captures the current counters.
@@ -110,6 +200,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		InFlight:      m.inFlight.Load(),
 		Requests:      make(map[string]int64),
+		RouteLatency:  make(map[string]RouteLatency),
 		StatusClasses: make(map[string]int64),
 		Panics:        m.panics.Load(),
 		CacheHits:     m.cacheHits.Load(),
@@ -117,9 +208,10 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 	m.mu.Lock()
 	var total int64
-	for route, n := range m.requests {
-		s.Requests[route] = n
-		total += n
+	for route, rs := range m.routes {
+		s.Requests[route] = rs.count
+		s.RouteLatency[route] = rs.summary()
+		total += rs.count
 	}
 	for status, n := range m.statuses {
 		s.StatusClasses[statusClassName(status)] = n

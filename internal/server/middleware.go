@@ -4,6 +4,8 @@ import (
 	"context"
 	"log/slog"
 	"net/http"
+	"strconv"
+	"sync/atomic"
 	"time"
 )
 
@@ -43,6 +45,39 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 	n, err := r.ResponseWriter.Write(p)
 	r.bytes += int64(n)
 	return n, err
+}
+
+// RequestIDHeader is the correlation header: a client that sets it on a
+// request finds the same value echoed on the response, so a load generator
+// (or any caller with its own tracing) can match responses to the requests
+// it issued and to the server's log lines.
+const RequestIDHeader = "X-Request-ID"
+
+// maxRequestIDLen caps the echoed header so an abusive client cannot make
+// the server mirror arbitrarily large payloads into responses and logs.
+const maxRequestIDLen = 128
+
+// requestIDSeq numbers server-assigned request ids.
+var requestIDSeq atomic.Int64
+
+// RequestID echoes the client's X-Request-ID header onto the response, or
+// assigns a sequential "balarch-<n>" id when the client sent none. It sets
+// the response header before the inner handler runs, so Logging (inside it
+// in the server's stack) can include the id in its line.
+func RequestID() Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			id := r.Header.Get(RequestIDHeader)
+			if len(id) > maxRequestIDLen {
+				id = id[:maxRequestIDLen]
+			}
+			if id == "" {
+				id = "balarch-" + strconv.FormatInt(requestIDSeq.Add(1), 10)
+			}
+			w.Header().Set(RequestIDHeader, id)
+			next.ServeHTTP(w, r)
+		})
+	}
 }
 
 // Recover converts a handler panic into a 500 envelope instead of killing
@@ -88,13 +123,14 @@ func Logging(log *slog.Logger, m *Metrics) Middleware {
 				elapsed := time.Since(start)
 				if m != nil {
 					m.DecInFlight()
-					m.Observe(r.Method+" "+routePattern(r), rec.status, elapsed)
+					m.Observe(routeLabel(r), rec.status, elapsed)
 				}
 				if log != nil {
 					log.Info("request",
 						"method", r.Method, "path", r.URL.Path,
 						"status", rec.status, "bytes", rec.bytes,
-						"duration", elapsed)
+						"duration", elapsed,
+						"request_id", rec.Header().Get(RequestIDHeader))
 				}
 			}()
 			next.ServeHTTP(rec, r)
@@ -102,24 +138,25 @@ func Logging(log *slog.Logger, m *Metrics) Middleware {
 	}
 }
 
-// routePattern returns the matched mux pattern (so /v1/experiments/E2 and
-// /v1/experiments/X4 share one metrics series). Requests that never
-// reached the mux — rejected by the limiter or killed by the deadline
-// while queued — share one fixed token: recording the raw client-chosen
-// path would let an abusive client grow the metrics maps without bound.
-func routePattern(r *http.Request) string {
-	p := r.Pattern
-	if p == "" {
+// routeLabel returns a request's metrics key: the matched mux pattern,
+// method-qualified ("POST /v1/analyze") — a set fixed at registration
+// time, so /v1/experiments/E2 and /v1/experiments/X4 share one series.
+// Everything else collapses onto fixed tokens: requests that never
+// reached the mux (rejected by the limiter, or killed by the deadline
+// while queued) are "(unmatched)", and requests the catch-all absorbed
+// (unknown path or wrong method) are "(unknown_route)". Nothing
+// client-chosen — neither path nor method token — may become a key, or
+// an abusive client could grow the metrics maps (and every /metrics
+// response) without bound.
+func routeLabel(r *http.Request) string {
+	switch p := r.Pattern; p {
+	case "":
 		return "(unmatched)"
+	case "/":
+		return "(unknown_route)"
+	default:
+		return p
 	}
-	// Patterns carry their method ("POST /v1/analyze"); strip it — the
-	// caller prefixes the method itself.
-	for i := 0; i < len(p); i++ {
-		if p[i] == ' ' {
-			return p[i+1:]
-		}
-	}
-	return p
 }
 
 // LimitConcurrency bounds the number of requests inside the handler at

@@ -100,9 +100,12 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 func (s *Server) ResetCache() { s.sweeps.Reset() }
 
 // Handler returns the full API behind the middleware stack:
-// timeout(logging+metrics(recover(limiter(mux)))). The timeout sits
-// outermost so the per-request deadline covers time spent queued for a
-// limiter slot, and so no request copy separates Logging from the mux
+// requestid(timeout(logging+metrics(recover(limiter(mux))))). RequestID
+// sits outermost so every response — including a limiter 503 or a recovered
+// panic — carries the correlation header, and so Logging (inside it) can
+// log the id. The timeout sits
+// outside the limiter so the per-request deadline covers time spent queued
+// for a slot, and so no request copy separates Logging from the mux
 // (the mux stamps the matched pattern on the request it serves; a copy
 // in between would hide it from the route metrics). Recover sits inside
 // Logging so a recovered panic's 500 is still logged, counted, and
@@ -115,6 +118,7 @@ func (s *Server) Handler() http.Handler {
 		limit = 2 * engine.ParallelismFrom(context.Background())
 	}
 	return Chain(s.mux(),
+		RequestID(),
 		WithTimeout(s.opts.RequestTimeout),
 		Logging(s.opts.Logger, s.metrics),
 		Recover(s.opts.Logger, s.metrics),

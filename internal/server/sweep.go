@@ -23,6 +23,16 @@ const (
 	maxGridIters    = 64
 	maxSpMVDensity  = 1 << 10 // nnz per row
 	maxConvolveTaps = 1 << 16
+
+	// Work caps, bounding a point's (or request's) loop iterations rather
+	// than its nominal problem size. The blocked counting kernels cost
+	// O((n/b)²) per point, so n alone being capped still admits ~10¹³-step
+	// requests at b = 1; and the sort and grid kernels execute for real,
+	// so their *total* work across a request's points is what must be
+	// bounded. Found by the DTO fuzz targets, kept as service contracts.
+	maxBlocksPerSide = 4096    // (n/param)² ≤ ~16.8M counting steps per point
+	maxSortKeysTotal = 1 << 23 // Σ params² keys actually sorted per request
+	maxGridWorkTotal = 1 << 27 // cells × iters × points per request
 )
 
 // sweepKernel is one row of the sweep registry: how to validate a request
@@ -37,13 +47,13 @@ type sweepKernel struct {
 // hint (carried in ctx) bounds the fan-out.
 var sweepKernels = map[string]sweepKernel{
 	"matmul": {
-		validate: needN,
+		validate: needBlockedN,
 		run: func(ctx context.Context, r *SweepRequest) ([]kernels.RatioPoint, error) {
 			return kernels.MatMulRatioSweep(ctx, r.N, r.Params)
 		},
 	},
 	"lu": {
-		validate: needN,
+		validate: needBlockedN,
 		run: func(ctx context.Context, r *SweepRequest) ([]kernels.RatioPoint, error) {
 			return kernels.LURatioSweep(ctx, r.N, r.Params)
 		},
@@ -67,7 +77,7 @@ var sweepKernels = map[string]sweepKernel{
 		},
 	},
 	"trisolve": {
-		validate: needN,
+		validate: needBlockedN,
 		run: func(ctx context.Context, r *SweepRequest) ([]kernels.RatioPoint, error) {
 			return kernels.TriSolveRatioSweep(ctx, r.N, r.Params)
 		},
@@ -106,14 +116,21 @@ var sweepKernels = map[string]sweepKernel{
 	},
 	"sort": {
 		// Sort generates and actually sorts m² keys per point, so it gets
-		// the tightest cap.
+		// the tightest caps: per-point memory and total keys per request.
 		validate: func(r *SweepRequest) *apiError {
+			var keys int64
 			for _, m := range r.Params {
 				if m > maxSortMemory {
 					return unprocessable("invalid_argument",
 						"sort memory %d exceeds the service cap %d (each point sorts m² keys)",
 						m, maxSortMemory)
 				}
+				keys += int64(m) * int64(m)
+			}
+			if keys > maxSortKeysTotal {
+				return unprocessable("invalid_argument",
+					"sort request totals %d keys across its points, service cap is %d",
+					keys, maxSortKeysTotal)
 			}
 			return nil
 		},
@@ -143,6 +160,11 @@ var sweepKernels = map[string]sweepKernel{
 				return unprocessable("invalid_argument",
 					"grid iters %d must be in [1, %d]", r.Iters, maxGridIters)
 			}
+			if work := int64(cells) * int64(r.Iters) * int64(len(r.Params)); work > maxGridWorkTotal {
+				return unprocessable("invalid_argument",
+					"grid request totals %d cell-updates (%d cells × %d iters × %d points), service cap is %d",
+					work, cells, r.Iters, len(r.Params), maxGridWorkTotal)
+			}
 			return nil
 		},
 		run: func(ctx context.Context, r *SweepRequest) ([]kernels.RatioPoint, error) {
@@ -157,6 +179,23 @@ func needN(r *SweepRequest) *apiError {
 	if r.N <= 0 || r.N > maxSweepN {
 		return unprocessable("invalid_argument",
 			"%s n=%d must be in [1, %d]", r.Kernel, r.N, maxSweepN)
+	}
+	return nil
+}
+
+// needBlockedN extends needN for the square blocked kernels, whose counting
+// loops cost O((n/param)²) per point: a tiny block against a huge n is a
+// ~10¹³-iteration request the n cap alone would admit.
+func needBlockedN(r *SweepRequest) *apiError {
+	if err := needN(r); err != nil {
+		return err
+	}
+	for _, b := range r.Params {
+		if b > 0 && r.N/b > maxBlocksPerSide {
+			return unprocessable("invalid_argument",
+				"%s n=%d with block %d means %d blocks per side, service cap is %d",
+				r.Kernel, r.N, b, r.N/b, maxBlocksPerSide)
+		}
 	}
 	return nil
 }

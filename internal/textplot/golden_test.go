@@ -1,0 +1,112 @@
+package textplot
+
+// Golden-file tests for the rendered figures and charts: the text output is
+// part of the reproduction's contract (it is what the paper's figures turn
+// into), so formatting changes must be deliberate. Regenerate with
+//
+//	go test ./internal/textplot -run Golden -update
+//
+// and review the diff like any other code change.
+
+import (
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files with the current output")
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// file under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from its golden file (regenerate with -update if deliberate)\n--- got ---\n%s\n--- want ---\n%s",
+			name, got, want)
+	}
+}
+
+func TestGoldenFig1(t *testing.T) {
+	checkGolden(t, "fig1_pe", Fig1PE("50 MOPS", "1 MW/s", "4K words"))
+}
+
+func TestGoldenFig2(t *testing.T) {
+	// The paper's own illustration size: a 16-point FFT in 4-point blocks,
+	// two passes with the shuffle between them.
+	passes := [][]FFTBlock{
+		{{0, 4, 8, 12}, {1, 5, 9, 13}, {2, 6, 10, 14}, {3, 7, 11, 15}},
+		{{0, 1, 2, 3}, {4, 5, 6, 7}, {8, 9, 10, 11}, {12, 13, 14, 15}},
+	}
+	checkGolden(t, "fig2_fft", Fig2FFT(16, passes))
+}
+
+func TestGoldenFig3(t *testing.T) {
+	checkGolden(t, "fig3_linear_array", Fig3LinearArray(4))
+}
+
+func TestGoldenFig4(t *testing.T) {
+	checkGolden(t, "fig4_mesh", Fig4Mesh(3))
+}
+
+func TestGoldenChart(t *testing.T) {
+	// A deterministic two-series log-log chart exercising axes, markers,
+	// and the legend.
+	c := NewChart("achievable ratio vs local memory")
+	c.XLabel = "M (words)"
+	c.YLabel = "R(M)"
+	c.LogX, c.LogY = true, true
+	var sqrtX, sqrtY, logX, logY []float64
+	for m := 4.0; m <= 1<<20; m *= 4 {
+		sqrtX = append(sqrtX, m)
+		sqrtY = append(sqrtY, math.Sqrt(m))
+		logX = append(logX, m)
+		logY = append(logY, math.Log2(m))
+	}
+	c.Add(Series{Name: "matmul √M", X: sqrtX, Y: sqrtY})
+	c.Add(Series{Name: "fft log₂M", X: logX, Y: logY})
+	checkGolden(t, "chart_loglog", c.String())
+}
+
+func TestGoldenTable(t *testing.T) {
+	tab := NewTable("computation", "law", "M_new for α=4")
+	tab.AddRow("matrix multiplication", "α²·M_old", 16384)
+	tab.AddRow("3-D grid", "α³·M_old", 65536.0)
+	tab.AddRow("FFT", "M_old^α", 1.0995116e12)
+	checkGolden(t, "table_laws", tab.String())
+}
+
+// GoldenCoverage: every golden file in testdata must belong to a test, so
+// stale files are noticed.
+func TestGoldenNoStrays(t *testing.T) {
+	known := map[string]bool{
+		"fig1_pe.golden": true, "fig2_fft.golden": true,
+		"fig3_linear_array.golden": true, "fig4_mesh.golden": true,
+		"chart_loglog.golden": true, "table_laws.golden": true,
+	}
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Skip("no testdata yet; run -update")
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".golden") && !known[e.Name()] {
+			t.Errorf("stray golden file %s", e.Name())
+		}
+	}
+}
