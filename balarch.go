@@ -166,20 +166,39 @@ func RunAll(ctx context.Context, parallelism int) (results []*Result, pass bool,
 }
 
 // ServerOptions configures the HTTP API handler: engine parallelism,
-// per-request timeout, body/batch limits, concurrency cap, and structured
-// logging. The zero value serves with production defaults.
+// per-request timeout, body/batch limits, concurrency cap, structured
+// logging, and — via StoreDir — the durable async jobs subsystem. The
+// zero value serves with production defaults.
 type ServerOptions = server.Options
+
+// Server is one balance-as-a-service instance: Handler returns the
+// mountable API, Close drains the async job queue (running jobs finish
+// within the context's budget, queued ones stay journaled for the next
+// instance on the same store directory), and JobsErr reports why the
+// async subsystem failed to open, if it did. Embedders that enable jobs
+// (ServerOptions.StoreDir) should prefer NewServer over
+// NewServerHandler so they can drain on shutdown.
+type Server = server.Server
+
+// NewServer returns a configured service instance. Check JobsErr when
+// ServerOptions.StoreDir is set, and Close the server when done.
+func NewServer(o ServerOptions) *Server {
+	return server.New(o)
+}
 
 // NewServerHandler returns the balance-as-a-service HTTP JSON API as a
 // plain http.Handler — POST /v1/analyze, /v1/rebalance, /v1/roofline,
-// /v1/sweep, /v1/batch, GET+POST /v1/experiments, GET /healthz and
-// /metrics — with the request-id/recover/logging/limiter/timeout
+// /v1/sweep, /v1/batch, GET+POST /v1/experiments, the durable async
+// /v1/jobs surface (enabled by ServerOptions.StoreDir: WAL-journaled
+// submits, content-addressed results, admission control), GET /healthz
+// and /metrics — with the request-id/recover/logging/limiter/timeout
 // middleware stack already applied, so embedders can mount the same API
 // cmd/balarchd serves. The balarch/client package is the typed SDK for
 // this API (and client.NewFromHandler binds it directly to this handler,
 // no socket needed); cmd/balarchload drives it with scenario load. See
-// internal/server for the endpoint contracts and DESIGN.md §4–§5 for the
-// endpoint table, error envelope, and load-testing architecture.
+// internal/server for the endpoint contracts and DESIGN.md §4–§6 for the
+// endpoint table, error envelope, load-testing architecture, and the
+// jobs/store subsystem.
 func NewServerHandler(o ServerOptions) http.Handler {
 	return server.New(o).Handler()
 }

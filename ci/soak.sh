@@ -11,9 +11,14 @@
 #   2. Soak: SOAK_WORKERS closed-loop workers drive mixed-production for
 #      SOAK_DURATION, gated on zero unexpected non-2xx and every route's
 #      p99 at or under SOAK_MAX_P99.
+#   3. Job queue: an async phase against the same daemon's durable
+#      /v1/jobs surface (the daemon runs with -store-dir), gated on zero
+#      unexpected responses AND zero lost jobs — after the run the queue
+#      must drain (queued+running → 0) with jobs_failed = 0.
 #
-# JSON reports land in SOAK_CALIBRATION_REPORT and SOAK_REPORT for upload
-# as CI artifacts. Runs on every PR; also runnable locally: ./ci/soak.sh
+# JSON reports land in SOAK_CALIBRATION_REPORT, SOAK_REPORT, and
+# SOAK_JOBS_REPORT for upload as CI artifacts. Runs on every PR; also
+# runnable locally: ./ci/soak.sh
 set -eu
 
 PORT="${SOAK_PORT:-18081}"
@@ -24,13 +29,16 @@ SEED="${SOAK_SEED:-1}"
 MAX_P99="${SOAK_MAX_P99:-5s}"
 REPORT="${SOAK_REPORT:-soak-report.json}"
 CALIB_REPORT="${SOAK_CALIBRATION_REPORT:-soak-calibration.json}"
+JOBS_REPORT="${SOAK_JOBS_REPORT:-soak-jobqueue.json}"
+JOBS_REQUESTS="${SOAK_JOBS_REQUESTS:-300}"
+JOBS_DRAIN="${SOAK_JOBS_DRAIN:-60s}"
 DIR="$(mktemp -d)"
 
 echo "soak: building balarchd and balarchload"
 go build -o "$DIR/balarchd" ./cmd/balarchd
 go build -o "$DIR/balarchload" ./cmd/balarchload
 
-"$DIR/balarchd" -addr "127.0.0.1:$PORT" -quiet &
+"$DIR/balarchd" -addr "127.0.0.1:$PORT" -quiet -store-dir "$DIR/store" &
 PID=$!
 trap 'kill "$PID" 2>/dev/null || true' EXIT
 # No readiness sleep needed: balarchload's health preflight polls /healthz
@@ -64,6 +72,20 @@ echo "soak: phase 2 — $WORKERS workers, mixed-production for $DURATION"
 
 echo "soak: report ($REPORT):"
 cat "$REPORT"
+
+if [ "$code" -eq 0 ]; then
+  echo "soak: phase 3 — job-queue for $JOBS_REQUESTS requests, drain gate $JOBS_DRAIN"
+  "$DIR/balarchload" \
+    -url "$BASE" \
+    -scenario job-queue \
+    -requests "$JOBS_REQUESTS" \
+    -workers 4 \
+    -seed "$SEED" \
+    -jobs-drain "$JOBS_DRAIN" \
+    -json > "$JOBS_REPORT" || code=$?
+  echo "soak: job-queue report ($JOBS_REPORT):"
+  cat "$JOBS_REPORT"
+fi
 
 echo "soak: graceful shutdown"
 kill -TERM "$PID"

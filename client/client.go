@@ -33,6 +33,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -68,6 +69,15 @@ type (
 	// ExperimentRunResponse is one run's report (POST /v1/experiments/{id}).
 	ExperimentsResponse   = server.ExperimentsResponse
 	ExperimentRunResponse = server.ExperimentRunResponse
+	// JobSubmitRequest is the POST /v1/jobs body: a batch-item envelope
+	// ({op, request}) executed durably and asynchronously.
+	JobSubmitRequest = server.JobSubmitRequest
+	// JobStatus is one async job's status (submit/get/list responses).
+	JobStatus = server.JobStatusDTO
+	// JobListResponse is the GET /v1/jobs body.
+	JobListResponse = server.JobListResponse
+	// JobDeleteResponse is the DELETE /v1/jobs/{id} body.
+	JobDeleteResponse = server.JobDeleteResponse
 	// HealthResponse is the GET /healthz body.
 	HealthResponse = server.HealthResponse
 	// MetricsSnapshot is the GET /metrics body, including the per-route
@@ -109,11 +119,15 @@ func WithHTTPClient(h *http.Client) Option {
 	return func(c *Client) { c.http = h }
 }
 
-// WithRetry enables bounded retry: a request that fails in transport or
-// returns 503 (the server's overload and cancelled-while-queued answer) is
-// reissued up to attempts times in total, sleeping backoff, 2·backoff, …
-// between tries (context-aware). Every API operation is a pure computation,
-// so retrying is always safe. attempts ≤ 1 disables retry.
+// WithRetry enables bounded retry: a request that fails in transport,
+// returns 503 (the server's overload and cancelled-while-queued answer),
+// or returns 429 (the job queue's admission refusal) is reissued up to
+// attempts times in total, sleeping backoff, 2·backoff, … between tries
+// (context-aware). A 429's Retry-After header is honored: the sleep
+// before the next attempt is the larger of the schedule and the server's
+// hint. Every API operation is a pure computation (and job submission is
+// idempotent — identical requests share one job), so retrying is always
+// safe. attempts ≤ 1 disables retry.
 func WithRetry(attempts int, backoff time.Duration) Option {
 	return func(c *Client) {
 		c.attempts = attempts
@@ -209,25 +223,38 @@ type Response struct {
 // successful Do. Typed methods are usually what you want — Do is the escape
 // hatch for traffic generation and new endpoints.
 func (c *Client) Do(ctx context.Context, method, path string, body []byte) (*Response, error) {
-	var lastErr error
+	var (
+		lastErr    error
+		retryAfter time.Duration // server's Retry-After hint from the last 429
+	)
 	attempts := c.attempts
 	if attempts < 1 {
 		attempts = 1
 	}
 	for try := 0; try < attempts; try++ {
 		if try > 0 {
-			if err := sleepCtx(ctx, time.Duration(try)*c.backoff); err != nil {
+			// The schedule is backoff, 2·backoff, …; a 429's Retry-After
+			// hint overrides it when larger — the server knows when
+			// budget will free up, the schedule does not.
+			d := time.Duration(try) * c.backoff
+			if retryAfter > d {
+				d = retryAfter
+			}
+			if err := sleep(ctx, d); err != nil {
 				return nil, err
 			}
 		}
+		retryAfter = 0
 		resp, err := c.roundTrip(ctx, method, path, body)
 		if err != nil {
 			lastErr = err
 			continue // transport error: retry
 		}
-		if resp.Status == http.StatusServiceUnavailable && try < attempts-1 {
-			lastErr = &APIError{Status: resp.Status, Code: "overloaded",
-				Message: "503 from server", RequestID: resp.Header.Get(RequestIDHeader)}
+		if retriableStatus(resp.Status) && try < attempts-1 {
+			if resp.Status == http.StatusTooManyRequests {
+				retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
+			}
+			lastErr = DecodeAPIError(resp)
 			continue
 		}
 		return resp, nil
@@ -235,6 +262,28 @@ func (c *Client) Do(ctx context.Context, method, path string, body []byte) (*Res
 	return nil, fmt.Errorf("client: %s %s failed after %d attempt(s): %w",
 		method, path, attempts, lastErr)
 }
+
+// retriableStatus lists the responses WithRetry reissues: overload (503)
+// and admission refusal (429). Both mean "later", not "never".
+func retriableStatus(status int) bool {
+	return status == http.StatusServiceUnavailable || status == http.StatusTooManyRequests
+}
+
+// parseRetryAfter reads the header's delta-seconds form (the only form
+// the balarch server emits); absent or unparsable means no hint.
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(h)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// sleep is sleepCtx behind a seam the retry-schedule test pins.
+var sleep = sleepCtx
 
 // roundTrip is one attempt of Do.
 func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte) (*Response, error) {
@@ -397,4 +446,93 @@ func (c *Client) Health(ctx context.Context) (*HealthResponse, error) {
 // per-route latency summaries.
 func (c *Client) Metrics(ctx context.Context) (*MetricsSnapshot, error) {
 	return call[struct{}, MetricsSnapshot](ctx, c, http.MethodGet, "/metrics", nil)
+}
+
+// --- async jobs (POST /v1/jobs and friends) ---
+
+// SubmitJob posts POST /v1/jobs: the envelope is journaled durably before
+// the ack and executed asynchronously. The returned status is usually
+// "queued" (202); an identical request already completed — on this server
+// or any past one sharing the store directory — comes back "done" (200)
+// immediately, deduplicated against the content-addressed store. A 429
+// admission refusal surfaces as *APIError (code "over_budget"); with
+// WithRetry the client resleeps per the server's Retry-After first.
+func (c *Client) SubmitJob(ctx context.Context, req *JobSubmitRequest) (*JobStatus, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding POST /v1/jobs request: %w", err)
+	}
+	raw, err := c.Do(ctx, http.MethodPost, "/v1/jobs", body)
+	if err != nil {
+		return nil, err
+	}
+	if raw.Status != http.StatusOK && raw.Status != http.StatusAccepted {
+		return nil, DecodeAPIError(raw)
+	}
+	out := new(JobStatus)
+	if err := json.Unmarshal(raw.Body, out); err != nil {
+		return nil, fmt.Errorf("client: decoding POST /v1/jobs response: %w", err)
+	}
+	return out, nil
+}
+
+// GetJob polls GET /v1/jobs/{id}.
+func (c *Client) GetJob(ctx context.Context, id string) (*JobStatus, error) {
+	return call[struct{}, JobStatus](ctx, c, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil)
+}
+
+// ListJobs fetches GET /v1/jobs, optionally filtered to one state
+// ("queued", "running", "done", "failed", "canceled"; "" lists all).
+func (c *Client) ListJobs(ctx context.Context, state string) (*JobListResponse, error) {
+	path := "/v1/jobs"
+	if state != "" {
+		path += "?state=" + url.QueryEscape(state)
+	}
+	return call[struct{}, JobListResponse](ctx, c, http.MethodGet, path, nil)
+}
+
+// JobResult fetches GET /v1/jobs/{id}/result: the stored result bytes,
+// byte-identical to the synchronous endpoint's response for the same
+// request. A job not yet done is a 409 *APIError (code "not_done");
+// failed and canceled jobs carry their own codes.
+func (c *Client) JobResult(ctx context.Context, id string) ([]byte, error) {
+	raw, err := c.Do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/result", nil)
+	if err != nil {
+		return nil, err
+	}
+	if raw.Status != http.StatusOK {
+		return nil, DecodeAPIError(raw)
+	}
+	return raw.Body, nil
+}
+
+// CancelJob issues DELETE /v1/jobs/{id}: a live job is canceled, a
+// terminal one forgotten (its content-addressed result stays in the
+// store).
+func (c *Client) CancelJob(ctx context.Context, id string) (*JobDeleteResponse, error) {
+	return call[struct{}, JobDeleteResponse](ctx, c, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil)
+}
+
+// WaitForJob polls GET /v1/jobs/{id} every interval (≤ 0 means 100 ms)
+// until the job reaches a terminal state or ctx ends. It returns the
+// terminal status whatever it is — done, failed, or canceled; deciding
+// what failure means is the caller's business. Fetch a done job's bytes
+// with JobResult.
+func (c *Client) WaitForJob(ctx context.Context, id string, interval time.Duration) (*JobStatus, error) {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	for {
+		j, err := c.GetJob(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		switch j.State {
+		case "done", "failed", "canceled":
+			return j, nil
+		}
+		if err := sleepCtx(ctx, interval); err != nil {
+			return nil, fmt.Errorf("client: waiting for job %s (last state %s): %w", id, j.State, err)
+		}
+	}
 }

@@ -2,6 +2,7 @@ package client_test
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"net/http"
 	"net/http/httptest"
@@ -231,6 +232,107 @@ func TestDecodeAPIErrorFallback(t *testing.T) {
 	ae := client.DecodeAPIError(raw)
 	if ae.Code != "http_error" || ae.Status != 502 {
 		t.Errorf("fallback decode = %+v", ae)
+	}
+}
+
+// newJobsTestClient binds a client to a jobs-enabled in-process server.
+func newJobsTestClient(t *testing.T, opts ...client.Option) *client.Client {
+	t.Helper()
+	srv := server.New(server.Options{Parallelism: 2, StoreDir: t.TempDir()})
+	if srv.JobsErr() != nil {
+		t.Fatal(srv.JobsErr())
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Close(ctx)
+	})
+	return client.NewFromHandler(srv.Handler(), opts...)
+}
+
+// TestJobRoundTrip drives the typed async API end to end: submit, wait,
+// fetch the result, and check it equals the synchronous answer.
+func TestJobRoundTrip(t *testing.T) {
+	c := newJobsTestClient(t)
+	ctx := context.Background()
+	req := &client.SweepRequest{Kernel: "matmul", N: 64, Params: []int{4, 8}}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := c.SubmitJob(ctx, &client.JobSubmitRequest{Op: "sweep", Request: body})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.ID == "" || j.Op != "sweep" {
+		t.Fatalf("submitted job = %+v", j)
+	}
+	done, err := c.WaitForJob(ctx, j.ID, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != "done" {
+		t.Fatalf("job ended %s: %s", done.State, done.Error)
+	}
+	raw, err := c.JobResult(ctx, j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res client.SweepResponse
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatalf("result is not a SweepResponse: %v\n%s", err, raw)
+	}
+	if res.Kernel != "matmul" || len(res.Points) != 2 {
+		t.Errorf("async sweep result = %+v", res)
+	}
+
+	// The cross-check the async contract promises: the synchronous
+	// endpoint on a fresh (cold-memo) server returns the same bytes.
+	fresh := newTestClient(t)
+	syncRaw, err := fresh.Do(ctx, http.MethodPost, "/v1/sweep", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != string(syncRaw.Body) {
+		t.Errorf("async result differs from sync response:\nasync: %s\nsync:  %s", raw, syncRaw.Body)
+	}
+
+	// List and cancel/delete round out the surface.
+	list, err := c.ListJobs(ctx, "done")
+	if err != nil || len(list.Jobs) != 1 {
+		t.Errorf("ListJobs(done) = %+v, %v", list, err)
+	}
+	del, err := c.CancelJob(ctx, j.ID)
+	if err != nil || del.State != "deleted" {
+		t.Errorf("CancelJob on a done job = %+v, %v (want deleted)", del, err)
+	}
+}
+
+// TestJobResultNotReady: JobResult on a queued job decodes the 409
+// envelope.
+func TestJobResultNotReady(t *testing.T) {
+	srv := server.New(server.Options{Parallelism: 1, StoreDir: t.TempDir(), JobWorkers: -1})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		srv.Close(ctx)
+	})
+	c := client.NewFromHandler(srv.Handler())
+	ctx := context.Background()
+	j, err := c.SubmitJob(ctx, &client.JobSubmitRequest{
+		Op:      "sweep",
+		Request: []byte(`{"kernel": "matmul", "n": 64, "params": [4]}`),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.JobResult(ctx, j.ID)
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusConflict || ae.Code != "not_done" {
+		t.Fatalf("JobResult on a queued job = %v, want 409 not_done", err)
+	}
+	if _, err := c.GetJob(ctx, "jmissing"); err == nil {
+		t.Error("GetJob on an unknown id did not error")
 	}
 }
 

@@ -8,13 +8,23 @@
 //	balarchd                              # serve on :8080
 //	balarchd -addr 127.0.0.1:9090 -parallel 4
 //	balarchd -request-timeout 10s -max-batch 16 -max-body 262144
+//	balarchd -store-dir /var/lib/balarch  # durable async jobs on /v1/jobs
 //
 // Flags tune the network surface (addr, read/write timeouts), the compute
 // budget (parallel bounds every engine pool; max-inflight bounds concurrent
 // requests; request-timeout bounds one request's wall clock), and the
-// request caps (max-batch, max-body). SIGINT/SIGTERM drain in-flight
-// requests before exit; a second signal kills immediately. Structured logs
-// (one line per request) go to stderr; -quiet disables them.
+// request caps (max-batch, max-body). -store-dir enables the durable async
+// subsystem: submitted jobs are journaled to a WAL under it before the ack,
+// results live in a content-addressed store there, and both survive
+// restarts — start a new daemon on the same directory and it requeues
+// whatever the old one left unfinished. -job-workers sizes the queue's
+// executor pool (0 pauses execution: accept and journal only), -mem-budget
+// caps the summed estimated footprint of live jobs (admission control;
+// over-budget submits answer 429 + Retry-After), -job-ttl bounds how long
+// finished jobs stay queryable. SIGINT/SIGTERM drain in-flight requests,
+// then running jobs (queued ones stay journaled), before exit; a second
+// signal kills immediately. Structured logs (one line per request) go to
+// stderr; -quiet disables them.
 package main
 
 import (
@@ -63,8 +73,16 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		"per-request context budget (0 = no deadline)")
 	maxBatch := fs.Int("max-batch", 64, "max requests per /v1/batch call")
 	maxBody := fs.Int64("max-body", 1<<20, "max request body bytes")
+	storeDir := fs.String("store-dir", "",
+		"directory for the durable async subsystem (WAL-journaled /v1/jobs queue + content-addressed result store); empty disables jobs")
+	jobWorkers := fs.Int("job-workers", 2,
+		"job queue executor count (0 = accept and journal but do not execute)")
+	memBudget := fs.Int64("mem-budget", 256<<20,
+		"admission budget in bytes for queued+running jobs' estimated footprints (-1 = unlimited)")
+	jobTTL := fs.Duration("job-ttl", 15*time.Minute,
+		"how long finished jobs stay queryable before garbage collection")
 	shutdownGrace := fs.Duration("shutdown-grace", 10*time.Second,
-		"drain budget for in-flight requests on SIGINT/SIGTERM")
+		"drain budget for in-flight requests (and running jobs) on SIGINT/SIGTERM")
 	quiet := fs.Bool("quiet", false, "disable per-request logging")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -78,6 +96,10 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 	if rt == 0 {
 		rt = -1 // Options treats 0 as "default"; the flag's 0 means "off"
 	}
+	workers := *jobWorkers
+	if workers == 0 {
+		workers = -1 // jobs.Options: 0 means default, negative means paused
+	}
 	srv := server.New(server.Options{
 		Parallelism:    *parallel,
 		RequestTimeout: rt,
@@ -85,7 +107,25 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		MaxBatch:       *maxBatch,
 		MaxInFlight:    *maxInFlight,
 		Logger:         logger,
+		StoreDir:       *storeDir,
+		JobWorkers:     workers,
+		MemBudgetBytes: *memBudget,
+		JobTTL:         *jobTTL,
 	})
+	if *storeDir != "" {
+		if err := srv.JobsErr(); err != nil {
+			// A daemon asked for durability it cannot provide should not
+			// limp along with jobs silently broken.
+			fmt.Fprintf(stderr, "balarchd: opening job store: %v\n", err)
+			return 1
+		}
+		if logger != nil {
+			c := srv.Jobs().Counters()
+			logger.Info("async jobs enabled", "store_dir", *storeDir,
+				"workers", *jobWorkers, "mem_budget", *memBudget,
+				"replayed", c.Replayed, "queued", c.Queued)
+		}
+	}
 
 	httpSrv := &http.Server{
 		Handler:      srv.Handler(),
@@ -121,11 +161,23 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 	}
 	shCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
 	defer cancel()
+	code := 0
 	if err := httpSrv.Shutdown(shCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		// Grace expired with requests still running: cut the connections.
 		_ = httpSrv.Close()
 		fmt.Fprintf(stderr, "balarchd: shutdown: %v\n", err)
-		return 1
+		code = 1
 	}
-	return 0
+	// Then the job queue, on whatever grace remains: running jobs finish
+	// (or are cut at the deadline and requeue on the next start), queued
+	// jobs stay journaled in the WAL.
+	if err := srv.Close(shCtx); err != nil {
+		fmt.Fprintf(stderr, "balarchd: draining jobs: %v\n", err)
+		code = 1
+	}
+	if logger != nil && srv.Jobs() != nil {
+		c := srv.Jobs().Counters()
+		logger.Info("job queue drained", "done", c.Done, "journaled", c.Queued)
+	}
+	return code
 }

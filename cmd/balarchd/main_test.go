@@ -3,12 +3,16 @@ package main
 import (
 	"context"
 	"encoding/json"
-
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
+
+	"balarch/client"
+	"balarch/internal/server"
 )
 
 // startDaemon runs the daemon on an ephemeral port and returns its base
@@ -94,6 +98,110 @@ func TestDaemonServesAndShutsDownGracefully(t *testing.T) {
 
 	if _, err := http.Get(base + "/healthz"); err == nil {
 		t.Fatal("daemon still serving after shutdown")
+	}
+}
+
+// TestJobSurvivesDaemonRestart is the durable-jobs acceptance test:
+// submit a job to a daemon whose queue cannot execute it (-job-workers
+// 0), stop that daemon, start a new one on the same -store-dir, and the
+// job must complete with a result byte-identical to the synchronous
+// endpoint's response for the same request.
+func TestJobSurvivesDaemonRestart(t *testing.T) {
+	dir := t.TempDir()
+	sweepBody := []byte(`{"kernel":"matmul","n":64,"params":[4,8]}`)
+
+	// First life: accept + journal only.
+	base, cancel, code := startDaemon(t, "-store-dir", dir, "-job-workers", "0")
+	c, err := client.New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	j, err := c.SubmitJob(ctx, &client.JobSubmitRequest{Op: "sweep", Request: sweepBody})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.State != "queued" {
+		t.Fatalf("paused daemon ran the job: %+v", j)
+	}
+	cancel()
+	select {
+	case exit := <-code:
+		if exit != 0 {
+			t.Fatalf("first daemon exit %d", exit)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("first daemon did not stop")
+	}
+
+	// Second life: same store dir, workers on. The WAL replay must
+	// requeue the journaled job and finish it.
+	base2, cancel2, code2 := startDaemon(t, "-store-dir", dir, "-job-workers", "2")
+	defer cancel2()
+	c2, err := client.New(base2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := c2.WaitForJob(ctx, j.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != "done" {
+		t.Fatalf("replayed job ended %s: %s", done.State, done.Error)
+	}
+	got, err := c2.JobResult(ctx, j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The synchronous answer for the same request, from a cold in-process
+	// server (the restarted daemon's sweep memo now holds the flight, so
+	// asking it synchronously would flip the response's cached flag).
+	sync := client.NewFromHandler(server.New(server.Options{Parallelism: 2}).Handler())
+	raw, err := sync.Do(ctx, http.MethodPost, "/v1/sweep", sweepBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.Status != 200 {
+		t.Fatalf("sync sweep status %d", raw.Status)
+	}
+	if string(got) != string(raw.Body) {
+		t.Errorf("restarted job result differs from the synchronous response:\nasync: %s\nsync:  %s",
+			got, raw.Body)
+	}
+
+	// The restart surfaced in the metrics: one replayed job.
+	m, err := c2.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.JobsReplayed != 1 || m.JobsDone != 1 {
+		t.Errorf("metrics jobs_replayed/done = %d/%d, want 1/1", m.JobsReplayed, m.JobsDone)
+	}
+
+	cancel2()
+	select {
+	case exit := <-code2:
+		if exit != 0 {
+			t.Fatalf("second daemon exit %d", exit)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("second daemon did not stop")
+	}
+}
+
+// TestDaemonStoreDirOpenFailure: a daemon that cannot open its store
+// must exit 1, not serve with durability silently broken.
+func TestDaemonStoreDirOpenFailure(t *testing.T) {
+	// A file where the directory should be.
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, "not-a-dir")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if c := run(context.Background(), []string{"-addr", "127.0.0.1:0", "-quiet",
+		"-store-dir", blocker}, io.Discard, nil); c != 1 {
+		t.Errorf("store open failure exit = %d, want 1", c)
 	}
 }
 

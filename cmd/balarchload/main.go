@@ -18,7 +18,9 @@
 // non-2xx responses; -max-p99 adds a per-route latency ceiling; -crosscheck
 // (meaningful against a freshly started server) requires the client-side
 // quantiles to agree with the server's /metrics histograms within one
-// bucket. Exit status: 0 all gates pass, 1 a gate failed, 2 the harness
+// bucket; -jobs-drain (for the async job-queue scenario) requires the job
+// queue to drain with zero failed jobs within the given budget after the
+// run. Exit status: 0 all gates pass, 1 a gate failed, 2 the harness
 // itself errored.
 package main
 
@@ -27,7 +29,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -68,6 +69,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		"fail (exit 1) if any route's p99 exceeds this (0 = no gate); measures the client experience, so with -retries > 1 it includes retry attempts and backoff")
 	crosscheck := fs.Bool("crosscheck", false,
 		"fetch /metrics after the run and require quantile agreement within one bucket (use against a fresh server)")
+	jobsDrain := fs.Duration("jobs-drain", 0,
+		"zero-lost-jobs gate for async scenarios: after the run, poll /metrics up to this long for the job queue to drain (queued+running → 0) with no failures (0 = no gate)")
 	asJSON := fs.Bool("json", false, "emit the report as JSON instead of text")
 	list := fs.Bool("list", false, "list scenarios and exit")
 	if err := fs.Parse(args); err != nil {
@@ -91,10 +94,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		// comparable, so the combination would fail spuriously.
 		return fatal(stderr, fmt.Errorf("-crosscheck requires -retries 1: retried latencies include backoff the server never sees"))
 	}
-	c, err := buildClient(*url, *inprocess, *parallel, *retries)
+	c, cleanup, err := buildClient(*url, *inprocess, *parallel, *retries)
 	if err != nil {
 		return fatal(stderr, err)
 	}
+	defer cleanup()
 	// Preflight: an unreachable or unhealthy target is a harness error,
 	// not a load-test finding. Poll for -wait so a just-started daemon
 	// (ci/soak.sh boots one right before calling us) has time to bind.
@@ -121,6 +125,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	res := sum.Report()
 	if *maxP99 > 0 {
 		sum.AddP99Gate(res, *maxP99)
+	}
+	if *jobsDrain > 0 {
+		loadgen.AddJobsDrainGate(ctx, res, c, *jobsDrain)
 	}
 	if *crosscheck {
 		m, err := c.Metrics(ctx)
@@ -158,21 +165,44 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 }
 
 // buildClient resolves the target: a remote URL or the in-process stack.
-func buildClient(url string, inprocess bool, parallel, retries int) (*client.Client, error) {
+// The in-process server gets a throwaway store directory so the async
+// scenarios (job-queue) work against it too; cleanup removes it.
+func buildClient(url string, inprocess bool, parallel, retries int) (*client.Client, func(), error) {
+	noop := func() {}
 	var opts []client.Option
 	if retries > 1 {
 		opts = append(opts, client.WithRetry(retries, 50*time.Millisecond))
 	}
 	switch {
 	case inprocess && url != "":
-		return nil, fmt.Errorf("-url and -inprocess are mutually exclusive")
+		return nil, noop, fmt.Errorf("-url and -inprocess are mutually exclusive")
 	case inprocess:
-		var h http.Handler = balarch.NewServerHandler(balarch.ServerOptions{Parallelism: parallel})
-		return client.NewFromHandler(h, opts...), nil
+		dir, err := os.MkdirTemp("", "balarchload-store-*")
+		if err != nil {
+			return nil, noop, fmt.Errorf("creating in-process store dir: %w", err)
+		}
+		srv := balarch.NewServer(balarch.ServerOptions{
+			Parallelism: parallel,
+			StoreDir:    dir,
+		})
+		if err := srv.JobsErr(); err != nil {
+			os.RemoveAll(dir)
+			return nil, noop, fmt.Errorf("opening in-process job store: %w", err)
+		}
+		cleanup := func() {
+			// Drain the queue before deleting the directory out from
+			// under its workers.
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_ = srv.Close(ctx)
+			os.RemoveAll(dir)
+		}
+		return client.NewFromHandler(srv.Handler(), opts...), cleanup, nil
 	case url != "":
-		return client.New(url, opts...)
+		c, err := client.New(url, opts...)
+		return c, noop, err
 	default:
-		return nil, fmt.Errorf("need a target: -url or -inprocess")
+		return nil, noop, fmt.Errorf("need a target: -url or -inprocess")
 	}
 }
 

@@ -20,7 +20,7 @@ func TestList(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit %d", code)
 	}
-	for _, name := range []string{"analyze-heavy", "sweep-stampede", "batch-burst", "experiment-replay", "mixed-production"} {
+	for _, name := range []string{"analyze-heavy", "sweep-stampede", "batch-burst", "experiment-replay", "mixed-production", "job-queue"} {
 		if !strings.Contains(out, name) {
 			t.Errorf("-list output missing %s", name)
 		}
@@ -74,6 +74,23 @@ func TestCrossCheckGateInProcess(t *testing.T) {
 	}
 	if !strings.Contains(out, "agree with the server's /metrics histograms") {
 		t.Errorf("report missing the cross-check claim:\n%s", out)
+	}
+}
+
+// TestJobQueueScenarioWithDrainGate is the async soak phase in
+// miniature: drive job-queue in process, then require the
+// zero-lost-jobs gate to pass.
+func TestJobQueueScenarioWithDrainGate(t *testing.T) {
+	code, out, errb := runCmd(t,
+		"-inprocess", "-scenario", "job-queue", "-requests", "80", "-workers", "4",
+		"-jobs-drain", "30s")
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out, errb)
+	}
+	for _, want := range []string{"no jobs lost", "POST /v1/jobs", "[PASS]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
 	}
 }
 

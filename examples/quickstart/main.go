@@ -1,13 +1,20 @@
 // Quickstart: model a processing element and ask the paper's central
 // question — if the compute-to-I/O bandwidth ratio grows by α, how much
-// local memory restores balance?
+// local memory restores balance? Then the same question asked of the
+// service, asynchronously: a sweep submitted as a durable job through
+// the SDK, polled to completion, its result fetched from the
+// content-addressed store.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
 
 	"balarch"
+	"balarch/client"
 )
 
 func main() {
@@ -63,4 +70,62 @@ func main() {
 		panic(err)
 	}
 	fmt.Printf("\nnumeric inversion cross-check (matmul, α=4): %.6g vs closed form %.6g\n", numeric, closed)
+
+	asyncSweep()
+}
+
+// asyncSweep submits a measured kernel sweep as a durable job against an
+// in-process instance of the balance-as-a-service API — the same flow a
+// remote client uses against `balarchd -store-dir …`, minus the socket.
+func asyncSweep() {
+	dir, err := os.MkdirTemp("", "balarch-quickstart-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// In production: c, err := client.New("http://host:8080")
+	srv := balarch.NewServer(balarch.ServerOptions{StoreDir: dir})
+	if err := srv.JobsErr(); err != nil {
+		panic(err)
+	}
+	ctx := context.Background()
+	defer srv.Close(ctx) // drain the queue before the temp dir goes away
+	c := client.NewFromHandler(srv.Handler())
+
+	body, err := json.Marshal(client.SweepRequest{Kernel: "matmul", N: 128, Params: []int{4, 8, 16, 32}})
+	if err != nil {
+		panic(err)
+	}
+	job, err := c.SubmitJob(ctx, &client.JobSubmitRequest{Op: "sweep", Request: body})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nasync sweep submitted: job %s (%s, journaled before the ack)\n", job.ID, job.State)
+
+	done, err := c.WaitForJob(ctx, job.ID, 0)
+	if err != nil {
+		panic(err)
+	}
+	raw, err := c.JobResult(ctx, done.ID)
+	if err != nil {
+		panic(err)
+	}
+	var res client.SweepResponse
+	if err := json.Unmarshal(raw, &res); err != nil {
+		panic(err)
+	}
+	fmt.Printf("job %s done: measured matmul ratio curve (block side → ops/word):\n", done.ID)
+	for _, p := range res.Points {
+		fmt.Printf("  M=%5d  R=%.4g\n", p.Memory, p.Ratio)
+	}
+
+	// Identical request, resubmitted: answered from the content-addressed
+	// store — state "done" on arrival, kernels untouched.
+	again, err := c.SubmitJob(ctx, &client.JobSubmitRequest{Op: "sweep", Request: body})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("identical resubmit: job %s is already %s — deduplicated, not re-executed\n",
+		again.ID, again.State)
 }

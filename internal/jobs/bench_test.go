@@ -1,0 +1,39 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"balarch/internal/store"
+)
+
+// BenchmarkJobSubmitThroughput measures the durable ack path: one Submit
+// = one canonical hash + one synced WAL append + one admission check.
+// Workers are paused so the bench isolates the journaling cost from the
+// executor's. Tracked by cmd/benchgate in CI.
+func BenchmarkJobSubmitThroughput(b *testing.B) {
+	dir := b.TempDir()
+	st, err := store.Open(filepath.Join(dir, "store"), store.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	exec := func(context.Context, string, json.RawMessage) ([]byte, error) {
+		return []byte(`{}`), nil
+	}
+	q, err := Open(filepath.Join(dir, "queue"), st, exec, Options{Workers: -1, MemBudgetBytes: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer q.Close(context.Background())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := []byte(fmt.Sprintf(`{"kernel":"matmul","n":64,"params":[%d]}`, i))
+		if _, _, err := q.Submit("sweep", req, 1024); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,639 @@
+// Package jobs is the durable async half of balance-as-a-service: a
+// write-ahead-logged job queue that lets the API accept work bigger than
+// one request timeout and keep its promises across crashes. Submit
+// journals the typed request to the WAL *before* acknowledging, workers
+// execute through an injected executor (the server wires it to the same
+// core operations the synchronous endpoints use, which run on
+// engine.Pool underneath), and results land in a content-addressed
+// internal/store — so an identical request resubmitted later, even after
+// a restart, completes without re-execution.
+//
+// States move queued → running → done | failed | canceled. On Open the
+// WAL is replayed: jobs that were queued or running when the process
+// died are requeued (counted in Counters.Replayed), terminal jobs are
+// restored for status queries, and a torn final record — the crash
+// signature — is clipped, never a panic. Admission control is
+// memory-aware (cf. Silva et al., "Memory Aware Load Balance Strategy"):
+// every job carries a caller-estimated footprint in bytes, the queue
+// holds the sum of queued+running footprints under a budget, and a
+// submit that would exceed it returns ErrOverBudget for the server to
+// map to 429 + Retry-After. Terminal jobs are garbage-collected after a
+// TTL; Close drains running jobs and leaves the rest journaled for the
+// next Open.
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"balarch/internal/store"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+// The five job states. Queued and Running are live (they hold admission
+// budget and survive a crash by being requeued); Done, Failed, and
+// Canceled are terminal.
+const (
+	Queued   State = "queued"
+	Running  State = "running"
+	Done     State = "done"
+	Failed   State = "failed"
+	Canceled State = "canceled"
+)
+
+// Terminal reports whether s is an end state.
+func (s State) Terminal() bool { return s == Done || s == Failed || s == Canceled }
+
+// Job is one unit of journaled work. Copies are returned to callers; the
+// queue owns the originals.
+type Job struct {
+	// ID is derived from the content key ("j" + its first 16 hex chars),
+	// so identical requests share one job and clients can compute the id
+	// of work they are about to submit.
+	ID string `json:"id"`
+	// Kind names the operation ("sweep", "batch", "analyze", …); the
+	// executor switches on it.
+	Kind string `json:"kind"`
+	// Request is the canonical request body journaled at submit.
+	Request json.RawMessage `json:"request"`
+	// Key is the full content address: results live under it in the store.
+	Key string `json:"key"`
+	// Cost is the caller-estimated memory footprint in bytes, held
+	// against the admission budget while the job is live.
+	Cost int64 `json:"cost"`
+	// State is the lifecycle position.
+	State State `json:"state"`
+	// Cached reports the job completed from the store without executing.
+	Cached bool `json:"cached,omitempty"`
+	// Error is the failure message of a Failed job.
+	Error string `json:"error,omitempty"`
+	// SubmittedAt/StartedAt/FinishedAt stamp the transitions.
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at,omitzero"`
+	FinishedAt  time.Time `json:"finished_at,omitzero"`
+
+	cancelRequested bool
+	cancel          context.CancelFunc
+}
+
+// IDFor derives the job id and full content key for a (kind, canonical
+// request) pair. Exported so clients and load generators can predict the
+// id of work before (or without) submitting it.
+func IDFor(kind string, canonicalRequest []byte) (id, key string) {
+	key = store.Key(append([]byte(kind+"\n"), canonicalRequest...))
+	return "j" + key[:16], key
+}
+
+// Exec runs one job: kind names the operation, req is the canonical
+// request. The returned bytes are the durable result — for the server's
+// executor, the exact body the synchronous endpoint would have written.
+type Exec func(ctx context.Context, kind string, req json.RawMessage) ([]byte, error)
+
+// ErrOverBudget is returned by Submit when admitting the job would push
+// the sum of live footprints past the memory budget. RetryAfter is the
+// server's hint for the 429 Retry-After header.
+type ErrOverBudget struct {
+	Cost, InUse, Budget int64
+	RetryAfter          time.Duration
+}
+
+func (e *ErrOverBudget) Error() string {
+	return fmt.Sprintf("jobs: admission denied: job needs %d bytes, %d of %d in use",
+		e.Cost, e.InUse, e.Budget)
+}
+
+// ErrClosed is returned by Submit and Cancel after Close.
+var ErrClosed = errors.New("jobs: queue closed")
+
+// ErrNotFound is returned for unknown job ids.
+var ErrNotFound = errors.New("jobs: no such job")
+
+// ErrNotTerminal is returned by Delete for a job still queued or
+// running (Cancel it first). A state conflict, not a caller bug — the
+// server maps it to 409.
+var ErrNotTerminal = errors.New("jobs: job is not in a terminal state")
+
+// Options tunes a Queue. The zero value is production-ready.
+type Options struct {
+	// Workers is the number of executor goroutines. 0 means 2; negative
+	// means none — the queue accepts and journals but executes nothing
+	// (a paused queue: what a draining daemon leaves behind, and what
+	// the restart tests use to pin a job in the queued state).
+	Workers int
+	// MemBudgetBytes caps the summed footprint of queued+running jobs.
+	// 0 means 256 MiB; negative disables admission control.
+	MemBudgetBytes int64
+	// TTL is how long terminal jobs remain queryable before GC. 0 means
+	// 15 minutes; negative disables GC.
+	TTL time.Duration
+	// JobTimeout bounds one job's execution. 0 means no per-job deadline
+	// (the executor's own budgets apply).
+	JobTimeout time.Duration
+}
+
+const (
+	defaultWorkers   = 2
+	defaultMemBudget = 256 << 20
+	defaultTTL       = 15 * time.Minute
+)
+
+// Counters is the queue's instrumentation snapshot, served under the
+// jobs_* keys of /metrics.
+type Counters struct {
+	Queued   int64 `json:"queued"`
+	Running  int64 `json:"running"`
+	Done     int64 `json:"done"`
+	Failed   int64 `json:"failed"`
+	Canceled int64 `json:"canceled"`
+	// Replayed counts jobs a WAL replay requeued (they were queued or
+	// in flight when the previous process died).
+	Replayed int64 `json:"replayed"`
+	// MemInUseBytes/MemBudgetBytes expose the admission state.
+	MemInUseBytes  int64 `json:"mem_in_use_bytes"`
+	MemBudgetBytes int64 `json:"mem_budget_bytes"`
+}
+
+// Queue is a durable job queue on one directory. All methods are safe for
+// concurrent use. Open one per directory.
+type Queue struct {
+	dir   string
+	st    *store.Store
+	exec  Exec
+	opts  Options
+	clock func() time.Time // injectable for TTL tests
+
+	mu       sync.Mutex
+	cond     *sync.Cond // signals workers: pending work or shutdown
+	jobs     map[string]*Job
+	pending  []string // job ids awaiting a worker, FIFO
+	wal      *os.File
+	walSize  int64 // current WAL length; the clip-back offset for torn appends
+	memInUse int64
+	running  int64
+	replayed int64
+	lastGC   time.Time
+	closed   bool
+
+	workers  sync.WaitGroup
+	baseCtx  context.Context
+	baseStop context.CancelFunc
+}
+
+// Open opens (creating if needed) the queue journaled in dir, replaying
+// the WAL: terminal jobs are restored for status queries, live jobs are
+// requeued, and a torn tail is clipped. Results are stored in st; exec
+// runs the work. Close the queue before closing the store.
+func Open(dir string, st *store.Store, exec Exec, opts Options) (*Queue, error) {
+	if st == nil || exec == nil {
+		return nil, errors.New("jobs: Open needs a store and an executor")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: %w", err)
+	}
+	if opts.Workers == 0 {
+		opts.Workers = defaultWorkers
+	}
+	if opts.MemBudgetBytes == 0 {
+		opts.MemBudgetBytes = defaultMemBudget
+	}
+	if opts.TTL == 0 {
+		opts.TTL = defaultTTL
+	}
+	q := &Queue{
+		dir:   dir,
+		st:    st,
+		exec:  exec,
+		opts:  opts,
+		clock: time.Now,
+		jobs:  make(map[string]*Job),
+	}
+	q.cond = sync.NewCond(&q.mu)
+	q.baseCtx, q.baseStop = context.WithCancel(context.Background())
+
+	if err := q.replayAndCompact(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(q.walPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: opening WAL: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("jobs: stat WAL: %w", err)
+	}
+	q.wal, q.walSize = f, info.Size()
+
+	for w := 0; w < opts.Workers; w++ {
+		q.workers.Add(1)
+		go q.worker()
+	}
+	return q, nil
+}
+
+func (q *Queue) walPath() string { return filepath.Join(q.dir, "jobs.wal") }
+
+// Submit journals and admits one job. The request must already be
+// canonical (the server re-marshals decoded DTOs, so equal requests have
+// equal bytes). Identical requests share one job: a live or done job for
+// the same content key is returned as-is (existing=true), a failed or
+// canceled one is reset to queued and re-run. A job whose result is
+// already in the store completes instantly, without execution, marked
+// Cached. The WAL record is synced before Submit returns — the ack is
+// the durability point.
+func (q *Queue) Submit(kind string, canonicalReq []byte, cost int64) (Job, bool, error) {
+	if cost < 0 {
+		cost = 0
+	}
+	id, key := IDFor(kind, canonicalReq)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return Job{}, false, ErrClosed
+	}
+	if j, ok := q.jobs[id]; ok {
+		switch j.State {
+		case Queued, Running, Done:
+			return *j, true, nil
+		case Failed, Canceled:
+			// Resubmit of a dead job: same id, fresh run.
+			if err := q.admit(cost); err != nil {
+				return Job{}, false, err
+			}
+			now := q.clock()
+			if err := q.appendWAL(walRecord{Op: "submit", ID: id, Kind: kind,
+				Req: canonicalReq, Cost: cost, Key: key, T: now}); err != nil {
+				return Job{}, false, err
+			}
+			j.State = Queued
+			j.Cost = cost
+			j.Error = ""
+			j.Cached = false
+			j.cancelRequested = false
+			j.SubmittedAt = now
+			j.StartedAt = time.Time{}
+			j.FinishedAt = time.Time{}
+			q.memInUse += cost
+			q.enqueueLocked(id)
+			return *j, false, nil
+		}
+	}
+
+	now := q.clock()
+	j := &Job{
+		ID: id, Kind: kind, Request: append([]byte(nil), canonicalReq...),
+		Key: key, Cost: cost, State: Queued, SubmittedAt: now,
+	}
+	if q.st.Has(key) {
+		// The content-addressed dedup across restarts: the result of an
+		// identical past request is on disk, so this job is born done.
+		if err := q.appendWAL(walRecord{Op: "submit", ID: id, Kind: kind,
+			Req: canonicalReq, Cost: cost, Key: key, T: now}); err != nil {
+			return Job{}, false, err
+		}
+		if err := q.appendWAL(walRecord{Op: "done", ID: id, Key: key, Cached: true, T: now}); err != nil {
+			return Job{}, false, err
+		}
+		j.State = Done
+		j.Cached = true
+		j.FinishedAt = now
+		q.jobs[id] = j
+		return *j, false, nil
+	}
+	if err := q.admit(cost); err != nil {
+		return Job{}, false, err
+	}
+	if err := q.appendWAL(walRecord{Op: "submit", ID: id, Kind: kind,
+		Req: canonicalReq, Cost: cost, Key: key, T: now}); err != nil {
+		return Job{}, false, err
+	}
+	q.jobs[id] = j
+	q.memInUse += cost
+	q.enqueueLocked(id)
+	return *j, false, nil
+}
+
+// admit enforces the byte budget (callers hold q.mu).
+func (q *Queue) admit(cost int64) error {
+	if q.opts.MemBudgetBytes < 0 {
+		return nil
+	}
+	if q.memInUse+cost > q.opts.MemBudgetBytes {
+		// The hint scales with pressure: one second per running job that
+		// must finish before this footprint plausibly fits, minimum one.
+		retry := time.Duration(1+q.running) * time.Second
+		return &ErrOverBudget{Cost: cost, InUse: q.memInUse,
+			Budget: q.opts.MemBudgetBytes, RetryAfter: retry}
+	}
+	return nil
+}
+
+func (q *Queue) enqueueLocked(id string) {
+	q.pending = append(q.pending, id)
+	q.cond.Signal()
+}
+
+// worker executes pending jobs until shutdown.
+func (q *Queue) worker() {
+	defer q.workers.Done()
+	for {
+		q.mu.Lock()
+		for len(q.pending) == 0 && !q.closed {
+			q.cond.Wait()
+		}
+		if q.closed {
+			// Drain mode: whatever is still pending stays journaled for
+			// the next Open; this worker only finishes what it started.
+			q.mu.Unlock()
+			return
+		}
+		id := q.pending[0]
+		q.pending = q.pending[1:]
+		j, ok := q.jobs[id]
+		if !ok || j.State != Queued {
+			// Canceled (or GC'd) while waiting for a worker.
+			q.mu.Unlock()
+			continue
+		}
+		now := q.clock()
+		if err := q.appendWAL(walRecord{Op: "start", ID: id, T: now}); err != nil {
+			// The journal is the source of truth; without it the start
+			// cannot be recorded, so leave the job queued and retry via
+			// the next signal. (Practically: a full disk.)
+			q.pending = append(q.pending, id)
+			q.mu.Unlock()
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		j.State = Running
+		j.StartedAt = now
+		q.running++
+		var (
+			ctx    context.Context
+			cancel context.CancelFunc
+		)
+		if q.opts.JobTimeout > 0 {
+			ctx, cancel = context.WithTimeout(q.baseCtx, q.opts.JobTimeout)
+		} else {
+			ctx, cancel = context.WithCancel(q.baseCtx)
+		}
+		j.cancel = cancel
+		kind, req, key := j.Kind, j.Request, j.Key
+		q.mu.Unlock()
+
+		q.runOne(ctx, cancel, id, kind, req, key)
+	}
+}
+
+// runOne executes one started job and journals its terminal state.
+func (q *Queue) runOne(ctx context.Context, cancel context.CancelFunc, id, kind string, req json.RawMessage, key string) {
+	defer cancel()
+
+	var (
+		result []byte
+		err    error
+		cached bool
+	)
+	if data, ok, gerr := q.st.Get(key); gerr == nil && ok {
+		// A WAL-replayed twin (or an operator restoring blobs) already
+		// produced this result; completing from the store is the point
+		// of content addressing.
+		result, cached = data, true
+	} else {
+		result, err = q.exec(ctx, kind, req)
+	}
+
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return
+	}
+	q.running--
+	now := q.clock()
+	switch {
+	case err == nil:
+		if !cached {
+			if perr := q.st.Put(key, result); perr != nil {
+				// Result computed but not durable: fail the job rather
+				// than pretend; a resubmit re-runs it.
+				q.finishLocked(j, Failed, now, fmt.Sprintf("storing result: %v", perr))
+				return
+			}
+		}
+		j.Cached = cached
+		_ = q.appendWAL(walRecord{Op: "done", ID: id, Key: key, Cached: cached, T: now})
+		q.finishLocked(j, Done, now, "")
+	case j.cancelRequested:
+		_ = q.appendWAL(walRecord{Op: "cancel", ID: id, T: now})
+		q.finishLocked(j, Canceled, now, "")
+	case q.baseCtx.Err() != nil:
+		// Queue shutdown cut the job mid-run. Write no terminal record:
+		// the WAL still says "running", so the next Open requeues it —
+		// crash semantics, deliberately.
+		j.State = Queued
+		j.StartedAt = time.Time{}
+	default:
+		_ = q.appendWAL(walRecord{Op: "fail", ID: id, Error: err.Error(), T: now})
+		q.finishLocked(j, Failed, now, err.Error())
+	}
+}
+
+// finishLocked moves j to a terminal state and releases its budget.
+func (q *Queue) finishLocked(j *Job, s State, now time.Time, errMsg string) {
+	j.State = s
+	j.Error = errMsg
+	j.FinishedAt = now
+	j.cancel = nil
+	q.memInUse -= j.Cost
+}
+
+// Get returns a copy of the job.
+func (q *Queue) Get(id string) (Job, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return Job{}, ErrNotFound
+	}
+	return *j, nil
+}
+
+// List returns copies of every job, newest submission first (ties broken
+// by id for determinism).
+func (q *Queue) List() []Job {
+	q.mu.Lock()
+	out := make([]Job, 0, len(q.jobs))
+	for _, j := range q.jobs {
+		out = append(out, *j)
+	}
+	q.mu.Unlock()
+	sort.Slice(out, func(i, k int) bool {
+		if !out[i].SubmittedAt.Equal(out[k].SubmittedAt) {
+			return out[i].SubmittedAt.After(out[k].SubmittedAt)
+		}
+		return out[i].ID < out[k].ID
+	})
+	return out
+}
+
+// Cancel stops a job: a queued job is canceled immediately, a running
+// job's context is cancelled (the worker journals the terminal state when
+// the executor returns), a terminal job is left alone (no error — cancel
+// is idempotent).
+func (q *Queue) Cancel(id string) (Job, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return Job{}, ErrClosed
+	}
+	j, ok := q.jobs[id]
+	if !ok {
+		return Job{}, ErrNotFound
+	}
+	switch j.State {
+	case Queued:
+		now := q.clock()
+		if err := q.appendWAL(walRecord{Op: "cancel", ID: id, T: now}); err != nil {
+			return Job{}, err
+		}
+		q.finishLocked(j, Canceled, now, "")
+	case Running:
+		j.cancelRequested = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	return *j, nil
+}
+
+// Delete removes a terminal job's record (the stored result blob stays —
+// it is content-addressed and may serve other submissions). Deleting a
+// live job is an error; Cancel it first.
+func (q *Queue) Delete(id string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	j, ok := q.jobs[id]
+	if !ok {
+		return ErrNotFound
+	}
+	if !j.State.Terminal() {
+		return fmt.Errorf("job %s is %s; cancel it before deleting: %w", id, j.State, ErrNotTerminal)
+	}
+	if err := q.appendWAL(walRecord{Op: "gc", ID: id, T: q.clock()}); err != nil {
+		return err
+	}
+	delete(q.jobs, id)
+	return nil
+}
+
+// GC removes terminal jobs older than the TTL and returns how many went.
+// The server calls it opportunistically on the submit and list paths, so
+// it throttles itself: a full-table sweep runs at most once per TTL/4
+// (clamped to [1s, 1min]); inside that window it is one time comparison
+// under the lock, cheap enough for a hot path.
+func (q *Queue) GC() int {
+	if q.opts.TTL < 0 {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return 0
+	}
+	interval := min(max(q.opts.TTL/4, time.Second), time.Minute)
+	now := q.clock()
+	if now.Sub(q.lastGC) < interval {
+		return 0
+	}
+	q.lastGC = now
+	cutoff := q.clock().Add(-q.opts.TTL)
+	n := 0
+	for id, j := range q.jobs {
+		if j.State.Terminal() && j.FinishedAt.Before(cutoff) {
+			if err := q.appendWAL(walRecord{Op: "gc", ID: id, T: q.clock()}); err != nil {
+				break
+			}
+			delete(q.jobs, id)
+			n++
+		}
+	}
+	return n
+}
+
+// Counters snapshots the queue's instrumentation.
+func (q *Queue) Counters() Counters {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	c := Counters{
+		Replayed:       q.replayed,
+		MemInUseBytes:  q.memInUse,
+		MemBudgetBytes: q.opts.MemBudgetBytes,
+	}
+	for _, j := range q.jobs {
+		switch j.State {
+		case Queued:
+			c.Queued++
+		case Running:
+			c.Running++
+		case Done:
+			c.Done++
+		case Failed:
+			c.Failed++
+		case Canceled:
+			c.Canceled++
+		}
+	}
+	return c
+}
+
+// Close drains the queue: no new submissions, workers finish the jobs
+// they are running (until ctx expires, at which point they are cut and
+// will requeue on the next Open), and queued jobs stay journaled. The WAL
+// is closed last.
+func (q *Queue) Close(ctx context.Context) error {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return nil
+	}
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+
+	finished := make(chan struct{})
+	go func() {
+		q.workers.Wait()
+		close(finished)
+	}()
+	var err error
+	select {
+	case <-finished:
+	case <-ctx.Done():
+		// Grace expired: cut running jobs. They wrote no terminal record,
+		// so replay requeues them — the same guarantee a crash gets.
+		q.baseStop()
+		<-finished
+		err = ctx.Err()
+	}
+	q.baseStop()
+	q.mu.Lock()
+	werr := q.wal.Close()
+	q.mu.Unlock()
+	if err == nil {
+		err = werr
+	}
+	return err
+}

@@ -1,0 +1,247 @@
+package jobs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+)
+
+// The WAL is JSON-lines, one record per line, appended and fsynced at
+// every state transition. Record shapes (fields omitted when empty):
+//
+//	{"op":"submit","id":"j…","kind":"sweep","req":{…},"cost":65536,"key":"<sha256>","t":"…"}
+//	{"op":"start","id":"j…","t":"…"}
+//	{"op":"done","id":"j…","key":"<sha256>","cached":true,"t":"…"}
+//	{"op":"fail","id":"j…","error":"…","t":"…"}
+//	{"op":"cancel","id":"j…","t":"…"}
+//	{"op":"gc","id":"j…","t":"…"}
+//
+// Replay folds the records forward: submit creates (or revives) a job,
+// start marks it running, done/fail/cancel terminate it, gc forgets it.
+// After the fold, every job still queued or running is requeued — the
+// crash-recovery guarantee — and the WAL is compacted to one submit
+// (plus one terminal record) per surviving job, rewritten atomically via
+// temp file + rename, so the journal cannot grow without bound across
+// restarts. A torn or garbage tail ends the fold; the compaction rewrite
+// then drops it.
+type walRecord struct {
+	Op     string          `json:"op"`
+	ID     string          `json:"id"`
+	Kind   string          `json:"kind,omitempty"`
+	Req    json.RawMessage `json:"req,omitempty"`
+	Cost   int64           `json:"cost,omitempty"`
+	Key    string          `json:"key,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	Cached bool            `json:"cached,omitempty"`
+	T      time.Time       `json:"t"`
+}
+
+// appendWAL journals one record and syncs it (callers hold q.mu). The
+// sync is what makes Submit's ack a durability promise. A failed write
+// (ENOSPC mid-record, say) is clipped back to the pre-append offset —
+// tracked in q.walSize, so the hot ack path pays no stat syscall — so a
+// partial record cannot sit mid-file and merge with a later append into
+// garbage that replay would treat as the torn tail, silently discarding
+// every acked record after it.
+func (q *Queue) appendWAL(rec walRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("jobs: encoding WAL record: %w", err)
+	}
+	line := append(data, '\n')
+	if _, err := q.wal.Write(line); err != nil {
+		_ = q.wal.Truncate(q.walSize) // best-effort clip of the partial record
+		return fmt.Errorf("jobs: appending WAL record: %w", err)
+	}
+	q.walSize += int64(len(line))
+	if err := q.wal.Sync(); err != nil {
+		// The record is whole in the page cache; leave it — replay
+		// parses it fine whether or not it reached the platter.
+		return fmt.Errorf("jobs: syncing WAL: %w", err)
+	}
+	return nil
+}
+
+// validRecordOp guards the fold against JSON that parses but is not a
+// record we wrote.
+func validRecordOp(op string) bool {
+	switch op {
+	case "submit", "start", "done", "fail", "cancel", "gc":
+		return true
+	}
+	return false
+}
+
+// replayWAL folds a journal into the job table it describes. It never
+// panics whatever the bytes: a line that is not valid JSON, parses to a
+// non-record, or references structure that is not there simply ends the
+// fold (torn-tail semantics) or is skipped (dangling reference). The
+// returned jobs have their live states as journaled — requeueing is the
+// caller's decision.
+func replayWAL(data []byte) map[string]*Job {
+	jobs := make(map[string]*Job)
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec walRecord
+		if err := json.Unmarshal(line, &rec); err != nil || !validRecordOp(rec.Op) || rec.ID == "" {
+			// Torn or foreign tail: everything before it already folded.
+			return jobs
+		}
+		switch rec.Op {
+		case "submit":
+			if j, ok := jobs[rec.ID]; ok {
+				// A resubmit record revives a dead job in place.
+				j.State = Queued
+				j.Cost = rec.Cost
+				j.Error = ""
+				j.Cached = false
+				j.SubmittedAt = rec.T
+				j.StartedAt = time.Time{}
+				j.FinishedAt = time.Time{}
+				continue
+			}
+			jobs[rec.ID] = &Job{
+				ID: rec.ID, Kind: rec.Kind,
+				Request: append(json.RawMessage(nil), rec.Req...),
+				Key:     rec.Key, Cost: rec.Cost,
+				State: Queued, SubmittedAt: rec.T,
+			}
+		case "start":
+			if j, ok := jobs[rec.ID]; ok && j.State == Queued {
+				j.State = Running
+				j.StartedAt = rec.T
+			}
+		case "done":
+			if j, ok := jobs[rec.ID]; ok && !j.State.Terminal() {
+				j.State = Done
+				j.Cached = rec.Cached
+				j.FinishedAt = rec.T
+			}
+		case "fail":
+			if j, ok := jobs[rec.ID]; ok && !j.State.Terminal() {
+				j.State = Failed
+				j.Error = rec.Error
+				j.FinishedAt = rec.T
+			}
+		case "cancel":
+			if j, ok := jobs[rec.ID]; ok && !j.State.Terminal() {
+				j.State = Canceled
+				j.FinishedAt = rec.T
+			}
+		case "gc":
+			delete(jobs, rec.ID)
+		}
+	}
+	return jobs
+}
+
+// replayAndCompact rebuilds the queue's state from the WAL, requeues live
+// jobs, and rewrites the journal compacted. Called once from Open, before
+// the append handle opens and the workers start.
+func (q *Queue) replayAndCompact() error {
+	data, err := os.ReadFile(q.walPath())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("jobs: reading WAL: %w", err)
+	}
+	q.jobs = replayWAL(data)
+
+	// Requeue the jobs the last process never finished — the queued ones
+	// it acked and the running ones it died under.
+	ids := make([]string, 0, len(q.jobs))
+	for id := range q.jobs {
+		ids = append(ids, id)
+	}
+	// Requeue in submission order so replay preserves FIFO fairness.
+	sortBySubmit(ids, q.jobs)
+	for _, id := range ids {
+		j := q.jobs[id]
+		switch j.State {
+		case Queued, Running:
+			j.State = Queued
+			j.StartedAt = time.Time{}
+			q.memInUse += j.Cost
+			q.pending = append(q.pending, id)
+			q.replayed++
+		}
+	}
+	return q.compact(ids)
+}
+
+// sortBySubmit orders ids by their job's submission time (ties by id).
+func sortBySubmit(ids []string, jobs map[string]*Job) {
+	sort.Slice(ids, func(i, k int) bool {
+		a, b := jobs[ids[i]], jobs[ids[k]]
+		if !a.SubmittedAt.Equal(b.SubmittedAt) {
+			return a.SubmittedAt.Before(b.SubmittedAt)
+		}
+		return a.ID < b.ID
+	})
+}
+
+// compact rewrites the WAL to the minimal journal describing the current
+// table: one submit per job plus its terminal record. Atomic via temp
+// file + rename; a crash during compaction leaves the old journal intact.
+func (q *Queue) compact(ids []string) error {
+	tmp, err := os.CreateTemp(q.dir, "wal-*")
+	if err != nil {
+		return fmt.Errorf("jobs: compacting WAL: %w", err)
+	}
+	w := bufio.NewWriter(tmp)
+	writeRec := func(rec walRecord) error {
+		data, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(append(data, '\n'))
+		return err
+	}
+	for _, id := range ids {
+		j := q.jobs[id]
+		err := writeRec(walRecord{Op: "submit", ID: j.ID, Kind: j.Kind,
+			Req: j.Request, Cost: j.Cost, Key: j.Key, T: j.SubmittedAt})
+		if err == nil {
+			switch j.State {
+			case Done:
+				err = writeRec(walRecord{Op: "done", ID: j.ID, Key: j.Key, Cached: j.Cached, T: j.FinishedAt})
+			case Failed:
+				err = writeRec(walRecord{Op: "fail", ID: j.ID, Error: j.Error, T: j.FinishedAt})
+			case Canceled:
+				err = writeRec(walRecord{Op: "cancel", ID: j.ID, T: j.FinishedAt})
+			}
+		}
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return fmt.Errorf("jobs: compacting WAL: %w", err)
+		}
+	}
+	if err := w.Flush(); err == nil {
+		err = tmp.Sync()
+	}
+	if err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("jobs: compacting WAL: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("jobs: compacting WAL: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), q.walPath()); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("jobs: compacting WAL: %w", err)
+	}
+	return nil
+}

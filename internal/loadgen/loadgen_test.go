@@ -11,8 +11,20 @@ import (
 	"balarch/internal/server"
 )
 
-func testClient() *client.Client {
-	return client.NewFromHandler(server.New(server.Options{Parallelism: 2}).Handler())
+// testClient binds a client to a fresh jobs-enabled in-process server, so
+// every scenario — including job-queue — is valid traffic against it.
+func testClient(t *testing.T) *client.Client {
+	t.Helper()
+	srv := server.New(server.Options{Parallelism: 2, StoreDir: t.TempDir()})
+	if srv.JobsErr() != nil {
+		t.Fatal(srv.JobsErr())
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Close(ctx)
+	})
+	return client.NewFromHandler(srv.Handler())
 }
 
 // TestPlanDeterministic is the acceptance gate: same seed + same scenario
@@ -32,7 +44,7 @@ func TestPlanDeterministic(t *testing.T) {
 }
 
 func TestScenarioCatalog(t *testing.T) {
-	want := []string{"analyze-heavy", "batch-burst", "experiment-replay", "mixed-production", "sweep-stampede"}
+	want := []string{"analyze-heavy", "batch-burst", "experiment-replay", "job-queue", "mixed-production", "sweep-stampede"}
 	got := Scenarios()
 	if len(got) != len(want) {
 		t.Fatalf("catalog has %d scenarios, want %d", len(got), len(want))
@@ -58,7 +70,7 @@ func TestScenarioCatalog(t *testing.T) {
 // response — the scenarios are meant to be valid traffic, so any 4xx/5xx
 // is a generator bug (or a service regression).
 func TestEveryScenarioCleanAgainstServer(t *testing.T) {
-	c := testClient()
+	c := testClient(t)
 	for _, sc := range Scenarios() {
 		n := int64(40)
 		if sc.Name == "experiment-replay" && testing.Short() {
@@ -88,7 +100,7 @@ func TestEveryScenarioCleanAgainstServer(t *testing.T) {
 }
 
 func TestOpenLoopPacing(t *testing.T) {
-	c := testClient()
+	c := testClient(t)
 	sc, _ := Get("analyze-heavy")
 	sum, err := Run(context.Background(), c, Config{
 		Scenario: sc, Seed: 1, Workers: 4, Duration: 400 * time.Millisecond, Rate: 200,
@@ -111,7 +123,7 @@ func TestOpenLoopPacing(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
-	c := testClient()
+	c := testClient(t)
 	if _, err := Run(context.Background(), c, Config{}); err == nil {
 		t.Error("empty config accepted")
 	}
@@ -123,6 +135,46 @@ func TestRunValidation(t *testing.T) {
 	cancel()
 	if _, err := Run(ctx, c, Config{Scenario: sc, MaxRequests: 5}); err == nil {
 		t.Error("cancelled context did not error")
+	}
+}
+
+// TestJobQueueScenarioDrains drives the async scenario, then applies the
+// zero-lost-jobs gate: the queue must drain with nothing failed, and the
+// gate must appear as a passing claim in the report.
+func TestJobQueueScenarioDrains(t *testing.T) {
+	c := testClient(t)
+	sc, err := Get("job-queue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Run(context.Background(), c, Config{Scenario: sc, Seed: 11, Workers: 4, MaxRequests: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Unexpected != 0 {
+		for route, rs := range sum.Routes {
+			for _, sample := range rs.UnexpectedSamples {
+				t.Logf("%s: %s", route, sample)
+			}
+		}
+		t.Fatalf("%d unexpected responses", sum.Unexpected)
+	}
+	if sum.Routes["POST /v1/jobs"] == nil || sum.Routes["POST /v1/jobs"].Count == 0 {
+		t.Fatal("scenario submitted no jobs")
+	}
+	res := sum.Report()
+	AddJobsDrainGate(context.Background(), res, c, 30*time.Second)
+	if !res.Pass() {
+		t.Errorf("drain gate failed: %+v", res.Claims)
+	}
+	// The gate is a real instrument: every submitted pool job is now
+	// terminal and the store holds their results.
+	m, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.JobsDone == 0 || m.StoreEntries == 0 {
+		t.Errorf("after drain: jobs_done=%d store_entries=%d", m.JobsDone, m.StoreEntries)
 	}
 }
 
@@ -209,7 +261,7 @@ func TestCrossCheckDetectsDisagreement(t *testing.T) {
 }
 
 func TestReportShape(t *testing.T) {
-	c := testClient()
+	c := testClient(t)
 	sc, _ := Get("analyze-heavy")
 	sum, err := Run(context.Background(), c, Config{Scenario: sc, Seed: 9, Workers: 2, MaxRequests: 25})
 	if err != nil {

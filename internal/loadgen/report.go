@@ -1,6 +1,7 @@
 package loadgen
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -137,6 +138,51 @@ func CrossCheck(s *Summary, m *client.MetricsSnapshot) []string {
 		}
 	}
 	return problems
+}
+
+// AddJobsDrainGate appends the zero-lost-jobs claim for async (job-queue)
+// runs: within timeout of the run ending, every submitted job must reach
+// a terminal state (queued+running drain to zero) and none may have
+// failed — a journaled-but-never-finished or failed job is a lost
+// promise. It polls GET /metrics until the queue drains or the budget
+// runs out.
+func AddJobsDrainGate(ctx context.Context, res *report.Result, c *client.Client, timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	var (
+		m   *client.MetricsSnapshot
+		err error
+	)
+	for {
+		m, err = c.Metrics(ctx)
+		if err == nil && m.JobsQueued+m.JobsRunning == 0 {
+			break
+		}
+		if time.Now().After(deadline) || ctx.Err() != nil {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	measured := ""
+	pass := false
+	switch {
+	case err != nil:
+		measured = fmt.Sprintf("could not read /metrics: %v", err)
+	case m.JobsQueued+m.JobsRunning > 0:
+		measured = fmt.Sprintf("queue did not drain within %v: %d queued, %d running",
+			timeout, m.JobsQueued, m.JobsRunning)
+	case m.JobsFailed > 0:
+		measured = fmt.Sprintf("%d jobs failed (%d done)", m.JobsFailed, m.JobsDone)
+	default:
+		measured = fmt.Sprintf("queue drained: %d done, 0 failed, %d served from the store",
+			m.JobsDone, m.StoreHits)
+		pass = true
+	}
+	res.AddClaim(
+		"no jobs lost: every submitted job reaches a terminal state, none failed",
+		"jobs_queued + jobs_running drain to 0 with jobs_failed = 0",
+		measured,
+		pass,
+	)
 }
 
 // AddCrossCheckGate appends the /metrics agreement claim to res.

@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"balarch/client"
+	"balarch/internal/jobs"
 )
 
 // Request is one generated API call: the wire triple plus the metrics
@@ -118,6 +119,7 @@ func Scenarios() []Scenario {
 		batchBurst(),
 		experimentReplay(),
 		mixedProduction(),
+		jobQueue(),
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
 	return all
@@ -271,6 +273,63 @@ func experimentRunReq(r *rand.Rand) Request {
 	return Request{Route: "POST /v1/experiments/{id}", Method: "POST", Path: "/v1/experiments/" + id}
 }
 
+// --- async jobs (the job-queue scenario) ---
+
+// jobSweepPool is the set of distinct sweep payloads the job scenario
+// submits. Content addressing makes job ids a pure function of these
+// bodies, so the polls and result fetches below can name the exact jobs
+// the submits create — open-loop async traffic with zero coordination
+// between the generators.
+var jobSweepPool = []client.SweepRequest{
+	{Kernel: "matmul", N: 96, Params: []int{4, 8, 16, 32}},
+	{Kernel: "matmul", N: 128, Params: []int{4, 8, 16}},
+	{Kernel: "fft", N: 1 << 12, Params: []int{16, 64, 256}},
+	{Kernel: "matvec", N: 2048, Params: []int{64, 256, 1024}},
+	{Kernel: "trisolve", N: 512, Params: []int{32, 128}},
+	{Kernel: "convolve", N: 1 << 14, Params: []int{8, 32, 128}},
+	{Kernel: "lu", N: 96, Params: []int{8, 16, 32}},
+	{Kernel: "strassen", N: 64, Params: []int{8, 16}},
+}
+
+// jobID derives the id POST /v1/jobs will assign to a pool entry — the
+// same derivation the server uses (jobs.IDFor over the canonical DTO
+// bytes).
+func jobID(sweep client.SweepRequest) string {
+	id, _ := jobs.IDFor("sweep", mustJSON(sweep))
+	return id
+}
+
+// jobSubmitReq submits one pool sweep. 202 is the fresh ack, 200 the
+// dedup answer (an identical job already done), and 429 the
+// memory-admission refusal — all three are correct service behavior.
+func jobSubmitReq(r *rand.Rand) Request {
+	sweep := jobSweepPool[r.Intn(len(jobSweepPool))]
+	body := mustJSON(client.JobSubmitRequest{Op: "sweep", Request: mustJSON(sweep)})
+	return Request{Route: "POST /v1/jobs", Method: "POST", Path: "/v1/jobs", Body: body,
+		Expect: []int{200, 202, 429}}
+}
+
+// jobPollReq polls a pool job's status. 404 is legitimate early in a run
+// (this job's submit has not landed yet) and after TTL GC.
+func jobPollReq(r *rand.Rand) Request {
+	id := jobID(jobSweepPool[r.Intn(len(jobSweepPool))])
+	return Request{Route: "GET /v1/jobs/{id}", Method: "GET", Path: "/v1/jobs/" + id,
+		Expect: []int{200, 404}}
+}
+
+// jobResultReq fetches a pool job's result. 409 while it is still in
+// flight and 404 before it exists are correct answers; 200 carries the
+// stored bytes.
+func jobResultReq(r *rand.Rand) Request {
+	id := jobID(jobSweepPool[r.Intn(len(jobSweepPool))])
+	return Request{Route: "GET /v1/jobs/{id}/result", Method: "GET",
+		Path: "/v1/jobs/" + id + "/result", Expect: []int{200, 404, 409}}
+}
+
+func jobListReq(*rand.Rand) Request {
+	return Request{Route: "GET /v1/jobs", Method: "GET", Path: "/v1/jobs"}
+}
+
 func healthReq(*rand.Rand) Request {
 	return Request{Route: "GET /healthz", Method: "GET", Path: "/healthz"}
 }
@@ -326,6 +385,21 @@ func experimentReplay() Scenario {
 			{40, experimentRunReq},
 			{10, analyzeReq},
 			{10, healthReq},
+		},
+	}
+}
+
+func jobQueue() Scenario {
+	return Scenario{
+		Name:        "job-queue",
+		Description: "async production traffic: submit durable jobs, poll states, fetch stored results",
+		mix: []weightedGen{
+			{40, jobSubmitReq},
+			{25, jobPollReq},
+			{20, jobResultReq},
+			{5, jobListReq},
+			{5, metricsReq},
+			{5, healthReq},
 		},
 	}
 }

@@ -1,10 +1,12 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"balarch/internal/report"
 )
@@ -31,6 +33,9 @@ type errorEnvelope struct {
 type apiError struct {
 	Status int
 	Body   ErrorBody
+	// RetryAfterSeconds, when positive, becomes a Retry-After header —
+	// the admission-control answer on 429s.
+	RetryAfterSeconds int
 }
 
 func (e *apiError) Error() string {
@@ -42,19 +47,25 @@ func (e *apiError) Error() string {
 // and everything unexpected is 500.
 
 func badRequest(code, format string, args ...any) *apiError {
-	return &apiError{http.StatusBadRequest, ErrorBody{code, fmt.Sprintf(format, args...)}}
+	return &apiError{Status: http.StatusBadRequest, Body: ErrorBody{code, fmt.Sprintf(format, args...)}}
 }
 
 func notFound(code, format string, args ...any) *apiError {
-	return &apiError{http.StatusNotFound, ErrorBody{code, fmt.Sprintf(format, args...)}}
+	return &apiError{Status: http.StatusNotFound, Body: ErrorBody{code, fmt.Sprintf(format, args...)}}
 }
 
 func unprocessable(code, format string, args ...any) *apiError {
-	return &apiError{http.StatusUnprocessableEntity, ErrorBody{code, fmt.Sprintf(format, args...)}}
+	return &apiError{Status: http.StatusUnprocessableEntity, Body: ErrorBody{code, fmt.Sprintf(format, args...)}}
+}
+
+// conflict is 409: the request is fine, the resource's current state is
+// not compatible with it (a result fetched before the job is done).
+func conflict(code, format string, args ...any) *apiError {
+	return &apiError{Status: http.StatusConflict, Body: ErrorBody{code, fmt.Sprintf(format, args...)}}
 }
 
 func internalError(err error) *apiError {
-	return &apiError{http.StatusInternalServerError, ErrorBody{"internal", err.Error()}}
+	return &apiError{Status: http.StatusInternalServerError, Body: ErrorBody{"internal", err.Error()}}
 }
 
 // asAPIError maps an arbitrary error from the model/report/experiment layers
@@ -70,8 +81,8 @@ func asAPIError(err error) *apiError {
 	}
 	var mbe *http.MaxBytesError
 	if errors.As(err, &mbe) {
-		return &apiError{http.StatusRequestEntityTooLarge,
-			ErrorBody{"body_too_large", mbe.Error()}}
+		return &apiError{Status: http.StatusRequestEntityTooLarge,
+			Body: ErrorBody{"body_too_large", mbe.Error()}}
 	}
 	return internalError(err)
 }
@@ -79,6 +90,9 @@ func asAPIError(err error) *apiError {
 // writeError emits the envelope for err on w.
 func writeError(w http.ResponseWriter, err *apiError) {
 	w.Header().Set("Content-Type", "application/json")
+	if err.RetryAfterSeconds > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(err.RetryAfterSeconds))
+	}
 	w.WriteHeader(err.Status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -87,11 +101,36 @@ func writeError(w http.ResponseWriter, err *apiError) {
 
 // writeJSON emits a 200 with the JSON encoding of v.
 func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		// Headers are already sent; the connection is the only casualty.
+	writeJSONStatus(w, http.StatusOK, v)
+}
+
+// writeJSONStatus emits status with the JSON encoding of v. It encodes
+// through encodeJSONBody — the same bytes job results are stored as —
+// so there is exactly one wire encoding and the async/sync
+// byte-identity contract cannot drift across two hand-synced encoders.
+// Buffering before WriteHeader also means an encode failure can still
+// answer with a proper 500 instead of a torn 200.
+func writeJSONStatus(w http.ResponseWriter, status int, v any) {
+	data, err := encodeJSONBody(v)
+	if err != nil {
+		writeError(w, internalError(err))
 		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(data)
+}
+
+// encodeJSONBody is the one wire encoding of a 2xx body (two-space
+// indent, trailing newline): writeJSON/writeJSONStatus put it on the
+// socket, the job executor stores it — which is why an async result is
+// byte-identical to the synchronous response for the same request.
+func encodeJSONBody(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }

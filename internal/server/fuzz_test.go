@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"sync"
 	"testing"
 	"time"
@@ -139,6 +140,104 @@ func FuzzBatchRequest(f *testing.F) {
 	}
 	f.Fuzz(func(t *testing.T, body []byte) {
 		assertEnvelopeContract(t, "/v1/batch", body)
+	})
+}
+
+// fuzzJobsTarget is the one jobs-enabled server shared by FuzzJobSubmit:
+// a paused queue (no workers) with a small admission budget, so a
+// mutated-but-valid submission is journaled (or 429'd) and never
+// executes — the fuzzer measures the DTO/admission layer, not kernels.
+var (
+	fuzzJobsOnce    sync.Once
+	fuzzJobsHandler http.Handler
+)
+
+func fuzzJobsTarget() http.Handler {
+	fuzzJobsOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "balarch-fuzz-jobs-*")
+		if err != nil {
+			panic(err)
+		}
+		fuzzJobsHandler = New(Options{
+			Parallelism:    2,
+			RequestTimeout: 2 * time.Second,
+			MaxBodyBytes:   1 << 16,
+			MaxBatch:       8,
+			MaxInFlight:    -1,
+			StoreDir:       dir,
+			JobWorkers:     -1,
+			MemBudgetBytes: 1 << 20,
+		}).Handler()
+	})
+	return fuzzJobsHandler
+}
+
+// fuzzJobsAllowedStatus extends the contract for the async surface: 202
+// for an accepted job, 200 for one deduplicated to done, and 429 for an
+// admission refusal. 500 remains deliberately absent.
+var fuzzJobsAllowedStatus = map[int]bool{
+	http.StatusOK:                    true,
+	http.StatusAccepted:              true,
+	http.StatusBadRequest:            true,
+	http.StatusNotFound:              true,
+	http.StatusRequestEntityTooLarge: true,
+	http.StatusUnprocessableEntity:   true,
+	http.StatusTooManyRequests:       true,
+	http.StatusConflict:              true,
+	http.StatusServiceUnavailable:    true,
+}
+
+// FuzzJobSubmit holds the envelope invariant on POST /v1/jobs: any bytes
+// draw a 2xx with valid JSON or a typed error envelope — never a panic,
+// never a 500 — and a 429 always carries Retry-After.
+func FuzzJobSubmit(f *testing.F) {
+	for _, seed := range []string{
+		`{"op": "sweep", "request": {"kernel": "matmul", "n": 64, "params": [4, 8]}}`,
+		`{"op": "sweep", "request": {"kernel": "sort", "params": [256, 256]}}`,
+		`{"op": "analyze", "request": {"pe": {"c": 50e6, "io": 1e6, "m": 4096}, "computation": {"name": "fft"}}}`,
+		`{"op": "rebalance", "request": {"computation": {"name": "matmul"}, "alpha": 4, "m_old": 1024}}`,
+		`{"op": "roofline", "request": {"pe": {"c": 1e6, "io": 1e6, "m": 64}, "computations": [{"name": "grid"}], "mem_lo": 64, "mem_hi": 4096}}`,
+		`{"op": "experiment", "request": {"id": "E1"}}`,
+		`{"op": "batch", "request": {"requests": [{"op": "analyze", "request": {"pe": {"c": 1, "io": 1, "m": 1}, "computation": {"name": "fft"}}}]}}`,
+		`{"op": "batch", "request": {"requests": [{"op": "batch", "request": {"requests": []}}]}}`,
+		`{"op": "", "request": {}}`,
+		`{"op": "sweep"}`,
+		`{`,
+		``,
+		`null`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/jobs", bytes.NewReader(body))
+		rr := httptest.NewRecorder()
+		fuzzJobsTarget().ServeHTTP(rr, req)
+		status := rr.Code
+		if !fuzzJobsAllowedStatus[status] {
+			t.Fatalf("/v1/jobs: status %d outside the API contract\nbody in: %q\nbody out: %s",
+				status, body, rr.Body.Bytes())
+		}
+		if rr.Header().Get(RequestIDHeader) == "" {
+			t.Fatalf("/v1/jobs: response missing %s", RequestIDHeader)
+		}
+		if status == http.StatusTooManyRequests && rr.Header().Get("Retry-After") == "" {
+			t.Fatalf("/v1/jobs: 429 without Retry-After")
+		}
+		if status == http.StatusOK || status == http.StatusAccepted {
+			if !json.Valid(rr.Body.Bytes()) {
+				t.Fatalf("/v1/jobs: %d with invalid JSON body: %.200s", status, rr.Body.Bytes())
+			}
+			return
+		}
+		var env errorEnvelope
+		if err := json.Unmarshal(rr.Body.Bytes(), &env); err != nil {
+			t.Fatalf("/v1/jobs: status %d body is not an error envelope: %v\n%.200s",
+				status, err, rr.Body.Bytes())
+		}
+		if env.Error.Code == "" || env.Error.Message == "" {
+			t.Fatalf("/v1/jobs: status %d envelope missing code or message: %.200s",
+				status, rr.Body.Bytes())
+		}
 	})
 }
 

@@ -149,6 +149,21 @@ type Snapshot struct {
 	CacheHits      int64                   `json:"sweep_cache_hits"`
 	CacheMisses    int64                   `json:"sweep_cache_misses"`
 	CacheHitRate   float64                 `json:"sweep_cache_hit_rate"`
+
+	// The async subsystem's gauges (internal/store + internal/jobs),
+	// filled in by the handler from Store.Stats and Queue.Counters; all
+	// zeros on a jobs-disabled server so the schema is configuration-
+	// independent.
+	StoreHits    int64 `json:"store_hits"`
+	StoreMisses  int64 `json:"store_misses"`
+	StoreBytes   int64 `json:"store_bytes"`
+	StoreEntries int64 `json:"store_entries"`
+	JobsQueued   int64 `json:"jobs_queued"`
+	JobsRunning  int64 `json:"jobs_running"`
+	JobsDone     int64 `json:"jobs_done"`
+	JobsFailed   int64 `json:"jobs_failed"`
+	JobsCanceled int64 `json:"jobs_canceled"`
+	JobsReplayed int64 `json:"jobs_replayed"`
 }
 
 // HistogramQuantile estimates quantile q (in [0, 1]) from counts bucketed on

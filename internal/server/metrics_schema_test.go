@@ -62,12 +62,22 @@ func TestMetricsSchemaPinned(t *testing.T) {
 	}
 	assertKeys(t, "snapshot", keySet(t, top), []string{
 		"in_flight",
+		"jobs_canceled",
+		"jobs_done",
+		"jobs_failed",
+		"jobs_queued",
+		"jobs_replayed",
+		"jobs_running",
 		"latency_histogram",
 		"latency_mean_seconds",
 		"panics_recovered",
 		"requests_total",
 		"responses_by_status_class",
 		"route_latency",
+		"store_bytes",
+		"store_entries",
+		"store_hits",
+		"store_misses",
 		"sweep_cache_hit_rate",
 		"sweep_cache_hits",
 		"sweep_cache_misses",

@@ -95,8 +95,8 @@ func Recover(log *slog.Logger, m *Metrics) Middleware {
 						log.Error("panic in handler",
 							"method", r.Method, "path", r.URL.Path, "panic", v)
 					}
-					writeError(w, &apiError{http.StatusInternalServerError,
-						ErrorBody{"panic", "internal error"}})
+					writeError(w, &apiError{Status: http.StatusInternalServerError,
+						Body: ErrorBody{"panic", "internal error"}})
 				}
 			}()
 			next.ServeHTTP(w, r)
@@ -184,8 +184,8 @@ func LimitConcurrency(n int, exempt ...string) Middleware {
 				defer func() { <-slots }()
 				next.ServeHTTP(w, r)
 			case <-r.Context().Done():
-				writeError(w, &apiError{http.StatusServiceUnavailable,
-					ErrorBody{"overloaded", "request cancelled while queued for a slot"}})
+				writeError(w, &apiError{Status: http.StatusServiceUnavailable,
+					Body: ErrorBody{"overloaded", "request cancelled while queued for a slot"}})
 			}
 		})
 	}

@@ -9,7 +9,12 @@
 // POST /v1/batch, which fans out across an engine.Pool with deterministic
 // result ordering; sweeps memoize through an engine.Cache with
 // single-flight semantics, so a stampede of identical queries runs the
-// kernels once.
+// kernels once. Work too big for one request goes through the durable
+// async surface (POST /v1/jobs and friends, enabled by Options.StoreDir):
+// submissions are journaled to a WAL before the ack, executed by queue
+// workers through the same cores, and their results stored
+// content-addressed so identical requests — across restarts — never
+// re-execute (see internal/jobs, internal/store, DESIGN.md §6).
 //
 // The package is stdlib-only (net/http, log/slog) and exposes its handler
 // as a plain http.Handler so embedders can mount it anywhere; cmd/balarchd
@@ -26,14 +31,17 @@ import (
 	"errors"
 	"log/slog"
 	"net/http"
+	"path/filepath"
 	"time"
 
 	"balarch/internal/engine"
 	"balarch/internal/experiments"
+	"balarch/internal/jobs"
 	"balarch/internal/kernels"
 	"balarch/internal/model"
 	"balarch/internal/report"
 	"balarch/internal/roofline"
+	"balarch/internal/store"
 )
 
 // Options configures a Server. The zero value serves with sane defaults:
@@ -56,25 +64,57 @@ type Options struct {
 	// Logger receives structured request and panic logs; nil disables
 	// logging (metrics still record).
 	Logger *slog.Logger
+
+	// StoreDir enables the durable async subsystem: the content-addressed
+	// result store and the WAL-journaled job queue live under this
+	// directory, and the /v1/jobs endpoints come alive. Empty disables
+	// jobs (the endpoints answer 404 jobs_disabled).
+	StoreDir string
+	// JobWorkers is the queue's executor count. 0 means 2; negative
+	// means none — the queue accepts and journals but does not execute.
+	JobWorkers int
+	// MemBudgetBytes caps the summed estimated footprint of queued and
+	// running jobs (admission control; over-budget submits are 429).
+	// 0 means 256 MiB; negative disables the budget.
+	MemBudgetBytes int64
+	// JobTTL is how long terminal jobs stay queryable before GC.
+	// 0 means 15 minutes; negative keeps them forever.
+	JobTTL time.Duration
+	// JobTimeout bounds one job's execution. 0 means 10 minutes;
+	// negative disables the per-job deadline. Deliberately independent
+	// of RequestTimeout: outliving one HTTP request is the point of a
+	// job.
+	JobTimeout time.Duration
 }
 
 const (
 	defaultRequestTimeout = 60 * time.Second
 	defaultMaxBodyBytes   = 1 << 20
 	defaultMaxBatch       = 64
+	defaultJobTimeout     = 10 * time.Minute
 )
 
 // Server owns the API's long-lived state: the sweep memo shared across
-// requests, the metrics, and the resolved options. Create one with New and
-// mount Handler.
+// requests, the metrics, the resolved options, and — when StoreDir is
+// set — the content-addressed result store and the durable job queue.
+// Create one with New and mount Handler; Close a jobs-enabled server to
+// drain its queue.
 type Server struct {
 	opts             Options
 	metrics          *Metrics
 	sweeps           *engine.Cache[[]kernels.RatioPoint]
 	maxMemoryDefault float64
+
+	store   *store.Store
+	queue   *jobs.Queue
+	jobsErr error // why the async subsystem failed to open, if it did
 }
 
-// New resolves opts and returns a ready Server.
+// New resolves opts and returns a ready Server. When opts.StoreDir is
+// set, the async subsystem opens under it (replaying the store index and
+// the job WAL); an open failure does not fail New — the synchronous API
+// must still serve — but the /v1/jobs endpoints report it as 500s, and
+// JobsErr exposes it to the daemon for logging.
 func New(opts Options) *Server {
 	if opts.RequestTimeout == 0 {
 		opts.RequestTimeout = defaultRequestTimeout
@@ -85,12 +125,68 @@ func New(opts Options) *Server {
 	if opts.MaxBatch == 0 {
 		opts.MaxBatch = defaultMaxBatch
 	}
-	return &Server{
+	if opts.JobTimeout == 0 {
+		opts.JobTimeout = defaultJobTimeout
+	}
+	s := &Server{
 		opts:             opts,
 		metrics:          NewMetrics(),
 		sweeps:           &engine.Cache[[]kernels.RatioPoint]{},
 		maxMemoryDefault: 1e18,
 	}
+	if opts.StoreDir != "" {
+		s.openJobs()
+	}
+	return s
+}
+
+// openJobs brings up the store and the queue under opts.StoreDir.
+func (s *Server) openJobs() {
+	st, err := store.Open(filepath.Join(s.opts.StoreDir, "store"), store.Options{})
+	if err != nil {
+		s.jobsErr = err
+		return
+	}
+	jt := s.opts.JobTimeout
+	if jt < 0 {
+		jt = 0 // jobs.Options treats 0 as "no deadline"
+	}
+	q, err := jobs.Open(filepath.Join(s.opts.StoreDir, "jobs"), st, s.jobExecutor(), jobs.Options{
+		Workers:        s.opts.JobWorkers,
+		MemBudgetBytes: s.opts.MemBudgetBytes,
+		TTL:            s.opts.JobTTL,
+		JobTimeout:     jt,
+	})
+	if err != nil {
+		st.Close()
+		s.jobsErr = err
+		return
+	}
+	s.store, s.queue = st, q
+}
+
+// Jobs returns the server's queue (nil when jobs are disabled) — the
+// daemon uses it for shutdown accounting, tests for direct inspection.
+func (s *Server) Jobs() *jobs.Queue { return s.queue }
+
+// JobsErr reports why the async subsystem failed to open, or nil.
+func (s *Server) JobsErr() error { return s.jobsErr }
+
+// Close drains the async subsystem: running jobs get until ctx to
+// finish (then they are cut, to be requeued by the next open), queued
+// jobs stay journaled, and the store's index log closes cleanly. A
+// jobs-disabled server's Close is a no-op.
+func (s *Server) Close(ctx context.Context) error {
+	var err error
+	if s.queue != nil {
+		err = s.queue.Close(ctx)
+	}
+	if s.store != nil {
+		if cerr := s.store.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // Metrics exposes the server's instrumentation, for embedders and tests.
@@ -126,7 +222,7 @@ func (s *Server) Handler() http.Handler {
 	)
 }
 
-// mux routes the seven endpoints plus health and metrics.
+// mux routes the twelve endpoints plus health and metrics.
 func (s *Server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -138,6 +234,11 @@ func (s *Server) mux() *http.ServeMux {
 	mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
 	mux.HandleFunc("POST /v1/experiments/{id}", s.handleExperimentRun)
 	mux.HandleFunc("POST /v1/batch", jsonHandler(s, s.batch))
+	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
 	// The catch-all keeps the error envelope on every non-2xx: unknown
 	// paths AND wrong methods on known paths land here (trading away the
 	// mux's native 405), so the message names both possibilities.
@@ -349,7 +450,7 @@ func (s *Server) runExperiment(ctx context.Context, id string) (*report.Result, 
 	res, err := exp.Run(s.sweepContext(ctx))
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			return nil, &apiError{http.StatusServiceUnavailable, ErrorBody{"cancelled", err.Error()}}
+			return nil, &apiError{Status: http.StatusServiceUnavailable, Body: ErrorBody{"cancelled", err.Error()}}
 		}
 		return nil, internalError(err)
 	}
@@ -374,5 +475,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, s.metrics.Snapshot())
+	snap := s.metrics.Snapshot()
+	// The async subsystem's gauges ride the same snapshot; a
+	// jobs-disabled server reports them as zeros so the key set — pinned
+	// by TestMetricsSchemaPinned — never varies by configuration.
+	if s.store != nil {
+		st := s.store.Stats()
+		snap.StoreHits = st.Hits
+		snap.StoreMisses = st.Misses
+		snap.StoreBytes = st.Bytes
+		snap.StoreEntries = st.Entries
+	}
+	if s.queue != nil {
+		c := s.queue.Counters()
+		snap.JobsQueued = c.Queued
+		snap.JobsRunning = c.Running
+		snap.JobsDone = c.Done
+		snap.JobsFailed = c.Failed
+		snap.JobsCanceled = c.Canceled
+		snap.JobsReplayed = c.Replayed
+	}
+	writeJSON(w, snap)
 }

@@ -327,8 +327,8 @@ func (s *Server) runSweep(ctx context.Context, req *SweepRequest) (*SweepRespons
 // the count-only kernels have no other failure mode.
 func asSweepError(err error) *apiError {
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-		return &apiError{http.StatusServiceUnavailable,
-			ErrorBody{"cancelled", err.Error()}}
+		return &apiError{Status: http.StatusServiceUnavailable,
+			Body: ErrorBody{"cancelled", err.Error()}}
 	}
 	return unprocessable("invalid_argument", "%v", err)
 }

@@ -1,0 +1,65 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkStoreGetHit measures the hot path the server's result fetches
+// ride: a Get answered by the LRU front. Tracked by cmd/benchgate in CI.
+func BenchmarkStoreGetHit(b *testing.B) {
+	s, err := Open(b.TempDir(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	data := []byte(`{"kernel":"matmul","points":[{"memory":4,"ops":1024,"ratio":2.0}]}`)
+	key := Key(data)
+	if err := s.Put(key, data); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := s.Get(key); !ok || err != nil {
+			b.Fatal(ok, err)
+		}
+	}
+}
+
+// BenchmarkStoreGetDisk measures the cold path: LRU front disabled, every
+// Get reads the object file.
+func BenchmarkStoreGetDisk(b *testing.B) {
+	s, err := Open(b.TempDir(), Options{MemCacheBytes: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	data := []byte(`{"kernel":"matmul","points":[{"memory":4,"ops":1024,"ratio":2.0}]}`)
+	key := Key(data)
+	if err := s.Put(key, data); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := s.Get(key); !ok || err != nil {
+			b.Fatal(ok, err)
+		}
+	}
+}
+
+// BenchmarkStorePut measures the durable write path (temp file + fsync +
+// rename + synced index append) for distinct small blobs.
+func BenchmarkStorePut(b *testing.B) {
+	s, err := Open(b.TempDir(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data := []byte(fmt.Sprintf("blob-%d", i))
+		if err := s.Put(Key(data), data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

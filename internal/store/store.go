@@ -1,0 +1,413 @@
+// Package store is a content-addressed, disk-backed artifact store: blobs
+// keyed by the SHA-256 of the request that produced them, so identical
+// computations are deduplicated across process restarts, not just across
+// in-flight requests. It is the durable half of the async jobs subsystem
+// (internal/jobs journals the work; this package keeps the results) — the
+// "compute must be matched by durable, addressable storage" step of the
+// ROADMAP, in the spirit of Bell/Gray/Szalay's data-centric balance
+// argument.
+//
+// Layout on disk:
+//
+//	<dir>/index.log            append-only index, replayed on Open
+//	<dir>/objects/<aa>/<key>   one file per blob, fanned out on the first
+//	                           key byte; written temp-file + rename so a
+//	                           crash never leaves a partial blob visible
+//
+// The index log is plain text, one record per line ("put <key> <size>" /
+// "del <key>"). Replay tolerates a truncated tail — the file is clipped
+// back to the last whole record instead of failing Open — because a crash
+// mid-append is exactly the case the log exists for. A small in-memory LRU
+// front absorbs hot keys so repeat Gets do not touch the disk. Stats()
+// exposes hits/misses/bytes/entries for /metrics.
+package store
+
+import (
+	"bufio"
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Key returns the content address of data: lowercase hex SHA-256.
+func Key(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// Options tunes a Store. The zero value is production-ready.
+type Options struct {
+	// MemCacheBytes caps the in-memory LRU front. 0 means 16 MiB;
+	// negative disables the front entirely (every Get reads the disk).
+	MemCacheBytes int64
+}
+
+const defaultMemCacheBytes = 16 << 20
+
+// Stats is a point-in-time snapshot of the store's counters, served under
+// the store_* keys of /metrics.
+type Stats struct {
+	// Hits counts Gets answered (from the LRU front or the disk).
+	Hits int64 `json:"hits"`
+	// Misses counts Gets for keys the store does not hold.
+	Misses int64 `json:"misses"`
+	// Bytes is the total size of all indexed blobs.
+	Bytes int64 `json:"bytes"`
+	// Entries is the number of indexed blobs.
+	Entries int64 `json:"entries"`
+}
+
+// Store is a content-addressed blob store rooted at one directory. All
+// methods are safe for concurrent use. Open one per directory — two Stores
+// on the same directory would race on the index log.
+type Store struct {
+	dir string
+
+	mu      sync.Mutex
+	index   map[string]int64 // key → blob size
+	bytes   int64
+	hits    int64
+	misses  int64
+	logFile *os.File
+
+	memCap   int64
+	memBytes int64
+	mem      map[string]*list.Element
+	lru      *list.List // front = most recent; values are *memEntry
+	closed   bool
+}
+
+type memEntry struct {
+	key  string
+	data []byte
+}
+
+// Open opens (creating if needed) the store rooted at dir, replaying the
+// index log. A truncated final record — the signature of a crash mid-append
+// — is clipped, not an error.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	memCap := opts.MemCacheBytes
+	if memCap == 0 {
+		memCap = defaultMemCacheBytes
+	}
+	s := &Store{
+		dir:    dir,
+		index:  make(map[string]int64),
+		memCap: memCap,
+		mem:    make(map[string]*list.Element),
+		lru:    list.New(),
+	}
+	if err := s.replayIndex(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(s.indexPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening index log: %w", err)
+	}
+	s.logFile = f
+	return s, nil
+}
+
+func (s *Store) indexPath() string { return filepath.Join(s.dir, "index.log") }
+
+// objectPath fans blobs out on the first key byte so one directory never
+// holds every object.
+func (s *Store) objectPath(key string) string {
+	return filepath.Join(s.dir, "objects", key[:2], key)
+}
+
+// replayIndex rebuilds the in-memory index from the log. Any malformed
+// line — a torn write at the tail — ends the replay and the file is
+// truncated back to the last whole record so subsequent appends start from
+// a clean boundary.
+func (s *Store) replayIndex() error {
+	f, err := os.Open(s.indexPath())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: opening index log: %w", err)
+	}
+	defer f.Close()
+
+	var good int64 // byte offset of the end of the last valid record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		rec, ok := parseIndexRecord(line)
+		if !ok {
+			break
+		}
+		good += int64(len(line)) + 1
+		switch rec.op {
+		case "put":
+			if old, dup := s.index[rec.key]; dup {
+				s.bytes -= old
+			}
+			s.index[rec.key] = rec.size
+			s.bytes += rec.size
+		case "del":
+			if old, dup := s.index[rec.key]; dup {
+				s.bytes -= old
+				delete(s.index, rec.key)
+			}
+		}
+	}
+	// Scanner errors (an over-long garbage line, say) are treated like a
+	// torn tail: recover what replayed cleanly.
+	info, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("store: stat index log: %w", err)
+	}
+	if good < info.Size() {
+		if err := os.Truncate(s.indexPath(), good); err != nil {
+			return fmt.Errorf("store: clipping torn index tail: %w", err)
+		}
+	}
+	return nil
+}
+
+type indexRecord struct {
+	op   string
+	key  string
+	size int64
+}
+
+// parseIndexRecord validates one log line. Anything that does not parse —
+// wrong field count, non-hex key, bad size — is a torn or corrupt record.
+func parseIndexRecord(line string) (indexRecord, bool) {
+	fields := strings.Fields(line)
+	switch {
+	case len(fields) == 3 && fields[0] == "put":
+		size, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil || size < 0 || !validKey(fields[1]) {
+			return indexRecord{}, false
+		}
+		return indexRecord{op: "put", key: fields[1], size: size}, true
+	case len(fields) == 2 && fields[0] == "del":
+		if !validKey(fields[1]) {
+			return indexRecord{}, false
+		}
+		return indexRecord{op: "del", key: fields[1]}, true
+	default:
+		return indexRecord{}, false
+	}
+}
+
+// validKey reports whether key is a lowercase-hex SHA-256.
+func validKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Put stores data under key. Storing an existing key is a no-op (the store
+// is content-addressed: same key, same bytes). The blob is written to a
+// temp file, fsynced, and renamed into place before the index record is
+// appended, so a crash at any point leaves either no trace or a complete,
+// indexed blob.
+func (s *Store) Put(key string, data []byte) error {
+	if !validKey(key) {
+		return fmt.Errorf("store: invalid key %q", key)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if _, ok := s.index[key]; ok {
+		return nil
+	}
+	path := s.objectPath(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.dir, "tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := tmp.Write(data); err == nil {
+		err = tmp.Sync()
+	}
+	if err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: writing blob %s: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: writing blob %s: %w", key, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: publishing blob %s: %w", key, err)
+	}
+	if err := s.appendIndex(fmt.Sprintf("put %s %d\n", key, len(data))); err != nil {
+		return err
+	}
+	s.index[key] = int64(len(data))
+	s.bytes += int64(len(data))
+	s.memAdd(key, data)
+	return nil
+}
+
+// appendIndex writes one record and syncs: the record is the commit point.
+func (s *Store) appendIndex(record string) error {
+	if _, err := s.logFile.WriteString(record); err != nil {
+		return fmt.Errorf("store: appending index record: %w", err)
+	}
+	if err := s.logFile.Sync(); err != nil {
+		return fmt.Errorf("store: syncing index log: %w", err)
+	}
+	return nil
+}
+
+// Get returns the blob for key. ok is false — a counted miss — when the
+// store does not hold the key. A key whose blob file has vanished from
+// under the index (manual deletion, a torn restore) is dropped from the
+// index and reported as a miss rather than an error: the store's promise
+// is "what I return is what was put", not "what was put is forever".
+// The returned slice is the caller's to keep: it never aliases the LRU
+// front's copy, so mutating it cannot corrupt later Gets.
+func (s *Store) Get(key string) (data []byte, ok bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false, fmt.Errorf("store: closed")
+	}
+	if e, hit := s.mem[key]; hit {
+		s.lru.MoveToFront(e)
+		s.hits++
+		return append([]byte(nil), e.Value.(*memEntry).data...), true, nil
+	}
+	if _, indexed := s.index[key]; !indexed {
+		s.misses++
+		return nil, false, nil
+	}
+	data, rerr := os.ReadFile(s.objectPath(key))
+	if rerr != nil {
+		if os.IsNotExist(rerr) {
+			s.bytes -= s.index[key]
+			delete(s.index, key)
+			_ = s.appendIndex(fmt.Sprintf("del %s\n", key))
+			s.misses++
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("store: reading blob %s: %w", key, rerr)
+	}
+	s.hits++
+	s.memAdd(key, data)
+	return data, true, nil
+}
+
+// Has reports whether the store holds key, without reading the blob and
+// without touching the hit/miss counters — the existence probe the job
+// queue uses for submit-time dedup.
+func (s *Store) Has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.index[key]
+	return ok
+}
+
+// Delete removes key's blob and index entry. Deleting an absent key is a
+// no-op.
+func (s *Store) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	size, ok := s.index[key]
+	if !ok {
+		return nil
+	}
+	if err := os.Remove(s.objectPath(key)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: deleting blob %s: %w", key, err)
+	}
+	if err := s.appendIndex(fmt.Sprintf("del %s\n", key)); err != nil {
+		return err
+	}
+	s.bytes -= size
+	delete(s.index, key)
+	s.memDrop(key)
+	return nil
+}
+
+// memAdd inserts data into the LRU front, evicting from the cold end to
+// stay under the byte cap. Blobs larger than the whole cap are not
+// cached. The cache keeps a private copy so a caller mutating its slice
+// after Put/Get cannot corrupt the front.
+func (s *Store) memAdd(key string, data []byte) {
+	if s.memCap < 0 || int64(len(data)) > s.memCap {
+		return
+	}
+	if e, ok := s.mem[key]; ok {
+		s.lru.MoveToFront(e)
+		return
+	}
+	s.mem[key] = s.lru.PushFront(&memEntry{key: key, data: append([]byte(nil), data...)})
+	s.memBytes += int64(len(data))
+	for s.memBytes > s.memCap {
+		cold := s.lru.Back()
+		if cold == nil {
+			break
+		}
+		s.memDrop(cold.Value.(*memEntry).key)
+	}
+}
+
+func (s *Store) memDrop(key string) {
+	if e, ok := s.mem[key]; ok {
+		s.memBytes -= int64(len(e.Value.(*memEntry).data))
+		s.lru.Remove(e)
+		delete(s.mem, key)
+	}
+}
+
+// Stats snapshots the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Hits:    s.hits,
+		Misses:  s.misses,
+		Bytes:   s.bytes,
+		Entries: int64(len(s.index)),
+	}
+}
+
+// Len returns the number of indexed blobs.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Close releases the index log. Further method calls error.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.logFile.Close()
+}

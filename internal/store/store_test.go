@@ -1,0 +1,263 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func mustOpen(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	data := []byte(`{"answer": 42}`)
+	key := Key(data)
+	if err := s.Put(key, data); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get(key)
+	if err != nil || !ok || !bytes.Equal(got, data) {
+		t.Fatalf("Get = %q, %v, %v; want the stored bytes", got, ok, err)
+	}
+	if _, ok, _ := s.Get(Key([]byte("absent"))); ok {
+		t.Fatal("absent key reported present")
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Bytes != int64(len(data)) {
+		t.Errorf("stats = %+v, want 1 hit, 1 miss, 1 entry, %d bytes", st, len(data))
+	}
+}
+
+func TestPutIsIdempotent(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	data := []byte("blob")
+	key := Key(data)
+	for i := 0; i < 3; i++ {
+		if err := s.Put(key, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.Entries != 1 || st.Bytes != int64(len(data)) {
+		t.Errorf("3 identical puts: stats = %+v, want one entry", st)
+	}
+}
+
+func TestInvalidKeyRejected(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	for _, bad := range []string{"", "short", "ZZ" + Key([]byte("x"))[2:]} {
+		if err := s.Put(bad, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted an invalid key", bad)
+		}
+	}
+}
+
+// TestReopenReplaysIndex is the durability core: a fresh Store on the same
+// directory must see every blob, and its Stats() must report the identical
+// entry count and byte total (hit/miss counters are per-process).
+func TestReopenReplaysIndex(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	var keys []string
+	for i := 0; i < 20; i++ {
+		data := []byte(fmt.Sprintf("blob-%d", i))
+		key := Key(data)
+		if err := s.Put(key, data); err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, key)
+	}
+	if err := s.Delete(keys[3]); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Stats()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := mustOpen(t, dir, Options{})
+	after := r.Stats()
+	if after.Entries != before.Entries || after.Bytes != before.Bytes {
+		t.Errorf("reopened stats = %+v, want entries/bytes of %+v", after, before)
+	}
+	for i, key := range keys {
+		data, ok, err := r.Get(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 3 {
+			if ok {
+				t.Error("deleted key survived reopen")
+			}
+			continue
+		}
+		if !ok || string(data) != fmt.Sprintf("blob-%d", i) {
+			t.Errorf("key %d after reopen: %q, %v", i, data, ok)
+		}
+	}
+}
+
+// TestTruncatedIndexTailRecovers crashes the log mid-append: the replay
+// must keep every whole record, clip the torn tail, and keep appending.
+func TestTruncatedIndexTailRecovers(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	a, b := []byte("first"), []byte("second")
+	if err := s.Put(Key(a), a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(Key(b), b); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Tear the last record: drop its final byte.
+	path := filepath.Join(dir, "index.log")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := mustOpen(t, dir, Options{})
+	if st := r.Stats(); st.Entries != 1 || st.Bytes != int64(len(a)) {
+		t.Fatalf("torn-tail replay stats = %+v, want only the first record", st)
+	}
+	if _, ok, _ := r.Get(Key(a)); !ok {
+		t.Error("first blob lost to the torn tail")
+	}
+	// The store keeps working after the clip: re-put the lost blob.
+	if err := r.Put(Key(b), b); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := r.Get(Key(b)); !ok {
+		t.Error("re-put after clip not visible")
+	}
+}
+
+// TestGarbageIndexRecovers feeds the replayer outright garbage (binary
+// noise, not a torn record): Open must not fail or panic, and the store
+// must work from the last parsable prefix.
+func TestGarbageIndexRecovers(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "index.log"),
+		[]byte("not a record at all\x00\xff\xfe garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open on a garbage index: %v", err)
+	}
+	defer s.Close()
+	if st := s.Stats(); st.Entries != 0 {
+		t.Errorf("garbage index produced %d entries", st.Entries)
+	}
+	data := []byte("fresh")
+	if err := s.Put(Key(data), data); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get(Key(data)); !ok {
+		t.Error("put after garbage recovery not visible")
+	}
+}
+
+// TestMissingBlobBecomesMiss: an indexed key whose object file vanished is
+// a miss (and is dropped), not an error.
+func TestMissingBlobBecomesMiss(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{MemCacheBytes: -1})
+	data := []byte("volatile")
+	key := Key(data)
+	if err := s.Put(key, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "objects", key[:2], key)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get(key); ok || err != nil {
+		t.Fatalf("vanished blob: ok=%v err=%v, want a plain miss", ok, err)
+	}
+	if st := s.Stats(); st.Entries != 0 || st.Misses != 1 {
+		t.Errorf("stats after vanished blob = %+v", st)
+	}
+}
+
+// TestLRUFrontServesWithoutDisk: with the blob cached, Get must not touch
+// the object file.
+func TestLRUFrontServesWithoutDisk(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	data := []byte("hot blob")
+	key := Key(data)
+	if err := s.Put(key, data); err != nil {
+		t.Fatal(err)
+	}
+	// Remove the file behind the cache's back; a cached Get still answers.
+	if err := os.Remove(filepath.Join(dir, "objects", key[:2], key)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get(key)
+	if err != nil || !ok || !bytes.Equal(got, data) {
+		t.Fatalf("cached Get = %q, %v, %v", got, ok, err)
+	}
+}
+
+// TestLRUEviction: the front stays under its byte cap, evicting cold keys,
+// and an evicted key is still served from disk.
+func TestLRUEviction(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{MemCacheBytes: 64})
+	var keys []string
+	for i := 0; i < 8; i++ {
+		data := bytes.Repeat([]byte{byte('a' + i)}, 16)
+		key := Key(data)
+		if err := s.Put(key, data); err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, key)
+	}
+	s.mu.Lock()
+	memBytes, memLen := s.memBytes, len(s.mem)
+	s.mu.Unlock()
+	if memBytes > 64 || memLen > 4 {
+		t.Errorf("LRU over cap: %d bytes in %d entries", memBytes, memLen)
+	}
+	// The first (evicted) key still reads from disk.
+	if _, ok, err := s.Get(keys[0]); !ok || err != nil {
+		t.Errorf("evicted key not served from disk: %v %v", ok, err)
+	}
+}
+
+func TestClosedStoreErrors(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	s.Close()
+	if err := s.Put(Key([]byte("x")), []byte("x")); err == nil {
+		t.Error("Put on a closed store did not error")
+	}
+	if _, _, err := s.Get(Key([]byte("x"))); err == nil {
+		t.Error("Get on a closed store did not error")
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("double Close: %v", err)
+	}
+}
+
+func TestKeyIsSHA256Hex(t *testing.T) {
+	key := Key([]byte("abc"))
+	if key != "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad" {
+		t.Errorf("Key(abc) = %s", key)
+	}
+	if !validKey(key) {
+		t.Error("Key output fails validKey")
+	}
+}
