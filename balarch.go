@@ -71,6 +71,45 @@ const (
 // memory size restores balance (paper §3.6).
 var ErrNotRebalanceable = model.ErrNotRebalanceable
 
+// Level is one memory level of a hierarchy: capacity M words filled through
+// its outer boundary at BW words/s (innermost level first).
+type Level = model.Level
+
+// Hierarchy is a multi-level machine description — a compute rate above an
+// ordered level stack. The flat PE is the exact one-level special case
+// (FromPE lifts one; Hierarchy.Flat lowers back).
+type Hierarchy = model.Hierarchy
+
+// HierarchyAnalysis is the per-boundary balance diagnosis of a hierarchy:
+// each adjacent-level boundary gets the paper's Ccomp/C = Cio/IO test
+// against the cumulative capacity inside it, and the binding boundary (the
+// worst I/O-to-compute time ratio) classifies the machine.
+type HierarchyAnalysis = model.HierarchyAnalysis
+
+// HierarchyRebalance is the hierarchy answer to the paper's question: the
+// per-level memory bill that restores balance at every boundary after the
+// compute rate grows by α.
+type HierarchyRebalance = model.HierarchyRebalance
+
+// ErrNonMonotoneHierarchy marks a mis-ordered hierarchy: an outer boundary
+// faster than an inner one.
+var ErrNonMonotoneHierarchy = model.ErrNonMonotoneHierarchy
+
+// FromPE lifts a flat PE into its equivalent one-level hierarchy.
+func FromPE(pe PE) Hierarchy { return model.FromPE(pe) }
+
+// AnalyzeHierarchy diagnoses a multi-level machine against a computation,
+// boundary by boundary. A one-level hierarchy reproduces Analyze exactly.
+func AnalyzeHierarchy(h Hierarchy, c Computation) (HierarchyAnalysis, error) {
+	return model.AnalyzeHierarchy(h, c, DefaultMaxMemory)
+}
+
+// RebalanceHierarchy computes the per-level memory bill after the compute
+// rate grows by α.
+func RebalanceHierarchy(h Hierarchy, c Computation, alpha float64) (HierarchyRebalance, error) {
+	return model.RebalanceHierarchy(h, c, alpha, DefaultMaxMemory)
+}
+
 // MatrixMultiplication returns the §3.1 catalog entry (law α²).
 func MatrixMultiplication() Computation { return model.MatrixMultiplication() }
 
@@ -128,6 +167,16 @@ type RooflineModel = roofline.Model
 
 // Roofline builds a roofline model for the PE.
 func Roofline(pe PE) (*RooflineModel, error) { return roofline.New(pe) }
+
+// HierarchyRooflineModel evaluates the multi-ridge roofline of a hierarchy:
+// one bandwidth slope and one ridge per boundary, attainable performance
+// min(C, min_i BW_i·R(W_i)).
+type HierarchyRooflineModel = roofline.HierarchyModel
+
+// HierarchyRoofline builds a multi-ridge roofline model for the hierarchy.
+func HierarchyRoofline(h Hierarchy) (*HierarchyRooflineModel, error) {
+	return roofline.NewHierarchy(h)
+}
 
 // ExperimentIDs lists the reproduction's experiments in id order (E1–E12
 // and X1–X4; DESIGN.md §3).

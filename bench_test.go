@@ -81,6 +81,28 @@ func BenchmarkAnalyze(b *testing.B) {
 	}
 }
 
+// BenchmarkAnalyzeHierarchy measures the per-boundary balance diagnosis of
+// a four-level machine against the full catalog — the hierarchy-aware hot
+// path behind POST /v1/analyze with levels. Regression-gated in CI
+// alongside the server benchmarks (cmd/benchgate).
+func BenchmarkAnalyzeHierarchy(b *testing.B) {
+	h := balarch.Hierarchy{C: 1e9, Levels: []balarch.Level{
+		{Name: "reg", BW: 8e9, M: 256},
+		{Name: "sram", BW: 2e9, M: 64 << 10},
+		{Name: "dram", BW: 200e6, M: 8 << 20},
+		{Name: "disk", BW: 2e6, M: 1 << 30},
+	}}
+	cat := balarch.Catalog()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, c := range cat {
+			if _, err := balarch.AnalyzeHierarchy(h, c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // BenchmarkRebalanceAlphaSweep measures solving the paper's question across
 // α for the α²-law representative, reporting per-α cost.
 func BenchmarkRebalanceAlphaSweep(b *testing.B) {

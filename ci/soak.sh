@@ -15,10 +15,13 @@
 #      /v1/jobs surface (the daemon runs with -store-dir), gated on zero
 #      unexpected responses AND zero lost jobs — after the run the queue
 #      must drain (queued+running → 0) with jobs_failed = 0.
+#   4. Hierarchy mix: the multi-level machine surface (hierarchy analyze,
+#      rebalance, multi-ridge roofline, analytic level sweeps, catalog),
+#      gated like phase 2 on zero unexpected non-2xx and the p99 ceiling.
 #
-# JSON reports land in SOAK_CALIBRATION_REPORT, SOAK_REPORT, and
-# SOAK_JOBS_REPORT for upload as CI artifacts. Runs on every PR; also
-# runnable locally: ./ci/soak.sh
+# JSON reports land in SOAK_CALIBRATION_REPORT, SOAK_REPORT,
+# SOAK_JOBS_REPORT, and SOAK_HIERARCHY_REPORT for upload as CI artifacts.
+# Runs on every PR; also runnable locally: ./ci/soak.sh
 set -eu
 
 PORT="${SOAK_PORT:-18081}"
@@ -32,6 +35,8 @@ CALIB_REPORT="${SOAK_CALIBRATION_REPORT:-soak-calibration.json}"
 JOBS_REPORT="${SOAK_JOBS_REPORT:-soak-jobqueue.json}"
 JOBS_REQUESTS="${SOAK_JOBS_REQUESTS:-300}"
 JOBS_DRAIN="${SOAK_JOBS_DRAIN:-60s}"
+HIER_REPORT="${SOAK_HIERARCHY_REPORT:-soak-hierarchy.json}"
+HIER_REQUESTS="${SOAK_HIERARCHY_REQUESTS:-400}"
 DIR="$(mktemp -d)"
 
 echo "soak: building balarchd and balarchload"
@@ -85,6 +90,20 @@ if [ "$code" -eq 0 ]; then
     -json > "$JOBS_REPORT" || code=$?
   echo "soak: job-queue report ($JOBS_REPORT):"
   cat "$JOBS_REPORT"
+fi
+
+if [ "$code" -eq 0 ]; then
+  echo "soak: phase 4 — hierarchy-mix for $HIER_REQUESTS requests"
+  "$DIR/balarchload" \
+    -url "$BASE" \
+    -scenario hierarchy-mix \
+    -requests "$HIER_REQUESTS" \
+    -workers 4 \
+    -seed "$SEED" \
+    -max-p99 "$MAX_P99" \
+    -json > "$HIER_REPORT" || code=$?
+  echo "soak: hierarchy report ($HIER_REPORT):"
+  cat "$HIER_REPORT"
 fi
 
 echo "soak: graceful shutdown"

@@ -48,6 +48,26 @@ type (
 	PE = server.PEDTO
 	// Computation names one catalog computation ("matmul", "fft", …).
 	Computation = server.ComputationDTO
+	// Level is one memory level of a hierarchy request (innermost first):
+	// capacity M words behind a boundary of BW words/s. Putting a Levels
+	// array on an analyze/rebalance/roofline/sweep request switches it to
+	// the hierarchy-aware model.
+	Level = server.LevelDTO
+	// Boundary is one boundary's balance diagnosis in a hierarchy
+	// analyze response.
+	Boundary = server.BoundaryDTO
+	// RebalanceBoundary is one boundary's cumulative requirement in a
+	// hierarchy rebalance response.
+	RebalanceBoundary = server.RebalanceBoundaryDTO
+	// LevelBill is one level's line of a hierarchy rebalance memory bill.
+	LevelBill = server.LevelBillDTO
+	// Ridge is one boundary's ridge on a multi-ridge roofline response.
+	Ridge = server.RidgeDTO
+	// CatalogEntry/CatalogResponse are the GET /v1/catalog wire types:
+	// the computation ids the API accepts, with paper metadata and growth
+	// laws, so clients enumerate instead of hard-coding.
+	CatalogEntry    = server.CatalogEntry
+	CatalogResponse = server.CatalogResponse
 
 	// AnalyzeRequest/AnalyzeResponse are the POST /v1/analyze wire types.
 	AnalyzeRequest  = server.AnalyzeRequest
@@ -423,6 +443,12 @@ func (c *Client) Sweep(ctx context.Context, req *SweepRequest) (*SweepResponse, 
 // server's worker pool, results in request order.
 func (c *Client) Batch(ctx context.Context, req *BatchRequest) (*BatchResponse, error) {
 	return call[BatchRequest, BatchResponse](ctx, c, http.MethodPost, "/v1/batch", req)
+}
+
+// Catalog lists the computation catalog (GET /v1/catalog): every id the
+// API accepts in Computation.Name, with its growth law and ratio family.
+func (c *Client) Catalog(ctx context.Context) (*CatalogResponse, error) {
+	return call[struct{}, CatalogResponse](ctx, c, http.MethodGet, "/v1/catalog", nil)
 }
 
 // Experiments lists the experiment registry (GET /v1/experiments).

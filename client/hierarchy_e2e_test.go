@@ -1,0 +1,210 @@
+package client_test
+
+// End-to-end coverage for the hierarchy-aware API through the SDK over real
+// HTTP: a three-level machine driven analyze → rebalance → roofline, the
+// catalog listing that names the computations, and the hierarchy sweep.
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"balarch/client"
+	"balarch/internal/server"
+)
+
+// threeLevels is the e2e machine: 1 GOPS over sram → dram → disk.
+func threeLevels() []client.Level {
+	return []client.Level{
+		{Name: "sram", BW: 4e9, M: 1024},
+		{Name: "dram", BW: 1e9, M: 262144},
+		{Name: "disk", BW: 1e5, M: 67108864},
+	}
+}
+
+// TestHierarchyEndToEndOverHTTP drives a ≥3-level hierarchy through the
+// real HTTP stack (socket, middleware, strict decode) via the typed SDK:
+// analyze finds the binding boundary, rebalance prices the fix, roofline
+// draws the multi-ridge picture.
+func TestHierarchyEndToEndOverHTTP(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Options{Parallelism: 2}).Handler())
+	defer ts.Close()
+	c, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// 1. Analyze: the disk boundary binds (intensity 10⁴ against R≈8208).
+	a, err := c.Analyze(ctx, &client.AnalyzeRequest{
+		PE:          client.PE{C: 1e9},
+		Levels:      threeLevels(),
+		Computation: client.Computation{Name: "matmul"},
+	})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	if a.BindingBoundary != 3 || a.State != "io-bound" || len(a.Boundaries) != 3 {
+		t.Fatalf("analyze = %+v, want binding boundary 3 io-bound with 3 boundaries", a)
+	}
+	if a.Boundaries[0].State != "compute-bound" {
+		t.Errorf("sram boundary state = %s, want compute-bound", a.Boundaries[0].State)
+	}
+
+	// 2. Rebalance: the compute rate doubles; the bill must cover every
+	// boundary's requirement and shrink no level.
+	r, err := c.Rebalance(ctx, &client.RebalanceRequest{
+		Computation: client.Computation{Name: "matmul"},
+		Alpha:       2,
+		C:           1e9,
+		Levels:      threeLevels(),
+	})
+	if err != nil {
+		t.Fatalf("rebalance: %v", err)
+	}
+	if !r.Rebalanceable || len(r.LevelBill) != 3 {
+		t.Fatalf("rebalance = %+v, want a 3-line bill", r)
+	}
+	var total float64
+	for i, l := range r.LevelBill {
+		if l.MNew < l.MOld {
+			t.Errorf("level %d shrank: %v → %v", i+1, l.MOld, l.MNew)
+		}
+		total += l.MNew
+	}
+	if math.Abs(total-r.TotalMemory) > 1e-6*r.TotalMemory {
+		t.Errorf("bill sums to %v, total_memory %v", total, r.TotalMemory)
+	}
+	// The binding boundary's requirement: intensity 2·10⁴ for √M → 4·10⁸.
+	if got := r.Boundaries[2].RequiredWithin; math.Abs(got-4e8)/4e8 > 1e-6 {
+		t.Errorf("disk boundary requires %v, want 4e8", got)
+	}
+
+	// 3. Roofline: one ridge per boundary, monotone attainable along the
+	// disk-capacity sweep, the multi-ridge chart rendered.
+	rf, err := c.Roofline(ctx, &client.RooflineRequest{
+		PE:           client.PE{C: 1e9},
+		Levels:       threeLevels(),
+		Computations: []client.Computation{{Name: "matmul"}, {Name: "sorting"}},
+		MemLo:        1 << 20,
+		MemHi:        1 << 30,
+		SweepLevel:   3,
+		Chart:        true,
+	})
+	if err != nil {
+		t.Fatalf("roofline: %v", err)
+	}
+	if len(rf.Ridges) != 3 || rf.SweepLevel != 3 {
+		t.Fatalf("roofline = %d ridges sweep level %d, want 3/3", len(rf.Ridges), rf.SweepLevel)
+	}
+	if rf.RidgeIntensity != 1e9/1e5 {
+		t.Errorf("ridge intensity %v, want the outermost 1e4", rf.RidgeIntensity)
+	}
+	if !strings.Contains(rf.Chart, "multi-ridge roofline") {
+		t.Error("chart is not the multi-ridge rendering")
+	}
+	for _, p := range rf.Paths {
+		for i := 1; i < len(p.Points); i++ {
+			if p.Points[i].Attainable < p.Points[i-1].Attainable {
+				t.Errorf("%s: attainable fell along the capacity sweep", p.Computation)
+			}
+		}
+	}
+
+	// 4. The hierarchy sweep kernel through the same socket.
+	sw, err := c.Sweep(ctx, &client.SweepRequest{
+		Kernel:      "hierarchy",
+		C:           8e6,
+		Levels:      []client.Level{{BW: 1e6, M: 16}, {BW: 5e5, M: 1 << 20}},
+		Computation: &client.Computation{Name: "sorting"},
+		Params:      []int{16, 65536},
+	})
+	if err != nil {
+		t.Fatalf("hierarchy sweep: %v", err)
+	}
+	if len(sw.Points) != 2 || math.Abs(sw.Points[0].Ratio-4) > 1e-5 {
+		t.Fatalf("hierarchy sweep points = %+v, want ratio 4 at the first", sw.Points)
+	}
+
+	// 5. A mis-ordered stack surfaces the typed 422 through the SDK.
+	_, err = c.Analyze(ctx, &client.AnalyzeRequest{
+		PE:          client.PE{C: 1e9},
+		Levels:      []client.Level{{BW: 1e6, M: 64}, {BW: 2e6, M: 256}},
+		Computation: client.Computation{Name: "fft"},
+	})
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Status != 422 || ae.Code != "non_monotone_hierarchy" {
+		t.Fatalf("non-monotone stack error = %v, want 422 non_monotone_hierarchy", err)
+	}
+}
+
+// TestCatalogThroughSDK: the catalog names every id, and each id analyzes.
+func TestCatalogThroughSDK(t *testing.T) {
+	c := newTestClient(t)
+	ctx := context.Background()
+	cat, err := c.Catalog(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat.Computations) < 9 {
+		t.Fatalf("catalog lists %d computations", len(cat.Computations))
+	}
+	for _, e := range cat.Computations {
+		if e.ID == "" || e.Law == "" || e.RatioFamily == "" {
+			t.Errorf("catalog entry incomplete: %+v", e)
+		}
+		a, err := c.Analyze(ctx, &client.AnalyzeRequest{
+			PE:          client.PE{C: 1e6, IO: 1e6, M: 4096},
+			Computation: client.Computation{Name: e.ID},
+		})
+		if err != nil {
+			t.Errorf("catalog id %q rejected: %v", e.ID, err)
+			continue
+		}
+		if a.Law != e.Law {
+			t.Errorf("id %q: analyze law %q != catalog law %q", e.ID, a.Law, e.Law)
+		}
+	}
+}
+
+// TestWaitForJobReturnsPromptlyOnCancel audits the poll loop: a context
+// cancelled mid-sleep must surface immediately, not after the full poll
+// interval. The queue runs with no workers so the job never leaves
+// "queued".
+func TestWaitForJobReturnsPromptlyOnCancel(t *testing.T) {
+	srv := server.New(server.Options{StoreDir: t.TempDir(), JobWorkers: -1})
+	if err := srv.JobsErr(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close(context.Background())
+	c := client.NewFromHandler(srv.Handler())
+
+	job, err := c.SubmitJob(context.Background(), &client.JobSubmitRequest{
+		Op:      "rebalance",
+		Request: []byte(`{"computation": {"name": "matmul"}, "alpha": 2, "m_old": 1024}`),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = c.WaitForJob(ctx, job.ID, 30*time.Second) // sleep far longer than the test budget
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("WaitForJob returned no error on a never-finishing job")
+	}
+	if !strings.Contains(err.Error(), "context canceled") {
+		t.Fatalf("err = %v, want context cancellation", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("WaitForJob took %v to notice cancellation; it must return promptly, not finish the 30s sleep", elapsed)
+	}
+}

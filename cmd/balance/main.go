@@ -1,17 +1,24 @@
 // Command balance answers the paper's question for a concrete PE: is it
 // balanced for a given computation, and if C/IO grows by α, how much local
-// memory restores balance?
+// memory restores balance? With -levels the machine is a multi-level
+// hierarchy and every adjacent-level boundary gets the balance test.
 //
 // Usage:
 //
 //	balance -c 10e6 -io 20e6 -m 65536                 # analyze all kernels
 //	balance -c 10e6 -io 1e6 -m 4096 -comp fft -alpha 2
+//	balance -c 1e9 -levels "sram:1K@4G,dram:256K@1G,disk:64M@50M" -alpha 2
+//
+// A -levels spec lists capacity@bandwidth per level, innermost first, with
+// an optional name: prefix; K/M/G/T are decimal SI suffixes (words and
+// words/s).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"balarch/internal/model"
@@ -26,14 +33,26 @@ func main() {
 	m := flag.Float64("m", 65536, "local memory M (words)")
 	comp := flag.String("comp", "", "computation: matmul, lu, grid2, grid3, fft, sort, matvec, trisolve (empty = all)")
 	alpha := flag.Float64("alpha", 1, "bandwidth-ratio increase α for the rebalancing question")
+	levels := flag.String("levels", "", `memory hierarchy spec "[name:]cap@bw,…" innermost first (replaces -io/-m)`)
 	flag.Parse()
+
+	comps, err := selectComputations(*comp)
+	if err != nil {
+		fatal(err)
+	}
+	if *levels != "" {
+		ls, err := parseLevels(*levels)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runHierarchy(model.Hierarchy{C: *c, Levels: ls}, comps, *alpha); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	pe := model.PE{C: *c, IO: *io, M: *m}
 	if err := pe.Validate(); err != nil {
-		fatal(err)
-	}
-	comps, err := selectComputations(*comp)
-	if err != nil {
 		fatal(err)
 	}
 
@@ -87,6 +106,111 @@ func selectComputations(name string) ([]model.Computation, error) {
 		return nil, fmt.Errorf("unknown computation %q (have %s)", name, strings.Join(keys, ", "))
 	}
 	return []model.Computation{c}, nil
+}
+
+// parseLevels parses the -levels spec: comma-separated "[name:]cap@bw"
+// entries, innermost first, with decimal SI suffixes K/M/G/T on both
+// numbers.
+func parseLevels(spec string) ([]model.Level, error) {
+	var out []model.Level
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		var name string
+		if i := strings.Index(entry, ":"); i >= 0 {
+			name, entry = strings.TrimSpace(entry[:i]), entry[i+1:]
+		}
+		capStr, bwStr, ok := strings.Cut(entry, "@")
+		if !ok {
+			return nil, fmt.Errorf("level %q: want [name:]capacity@bandwidth", entry)
+		}
+		capacity, err := parseSI(capStr)
+		if err != nil {
+			return nil, fmt.Errorf("level %q capacity: %w", entry, err)
+		}
+		bw, err := parseSI(bwStr)
+		if err != nil {
+			return nil, fmt.Errorf("level %q bandwidth: %w", entry, err)
+		}
+		out = append(out, model.Level{Name: name, M: capacity, BW: bw})
+	}
+	return out, nil
+}
+
+// parseSI parses a float with an optional decimal SI suffix (K, M, G, T).
+func parseSI(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	mult := 1.0
+	if n := len(s); n > 0 {
+		switch s[n-1] {
+		case 'K', 'k':
+			mult, s = 1e3, s[:n-1]
+		case 'M', 'm':
+			mult, s = 1e6, s[:n-1]
+		case 'G', 'g':
+			mult, s = 1e9, s[:n-1]
+		case 'T', 't':
+			mult, s = 1e12, s[:n-1]
+		}
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	return v * mult, nil
+}
+
+// runHierarchy prints the per-boundary diagnosis of every computation on
+// the hierarchy, plus the rebalancing bill when α > 1.
+func runHierarchy(h model.Hierarchy, comps []model.Computation, alpha float64) error {
+	if err := h.Validate(); err != nil {
+		return err
+	}
+	fmt.Printf("%s\n\n", h)
+	tb := textplot.NewTable("computation", "binding", "C/BW", "R(W)", "state", "Σ bill at α")
+	var last model.HierarchyAnalysis // reused for the single-computation detail
+	for _, cc := range comps {
+		a, err := model.AnalyzeHierarchy(h, cc, 1e18)
+		if err != nil {
+			return err
+		}
+		last = a
+		bind := a.BindingBoundary()
+		bill := "-"
+		if alpha > 1 {
+			if r, err := model.RebalanceHierarchy(h, cc, alpha, 1e18); err == nil && r.Rebalanceable {
+				bill = fmt.Sprintf("+%.4g", r.TotalDelta)
+			} else if err == nil {
+				bill = "impossible"
+			} else {
+				return err
+			}
+		}
+		tb.AddRow(cc.Name, fmt.Sprintf("%d/%d", a.Binding, h.Depth()),
+			fmt.Sprintf("%.4g", bind.Intensity), fmt.Sprintf("%.4g", bind.AchievableRatio),
+			a.State.String(), bill)
+	}
+	fmt.Print(tb.String())
+
+	// Per-boundary detail when a single computation was selected.
+	if len(comps) == 1 {
+		fmt.Printf("\nper-boundary detail (%s):\n", comps[0].Name)
+		db := textplot.NewTable("boundary", "level", "W within", "C/BW", "R(W)", "state", "W for balance")
+		for _, b := range last.Boundaries {
+			name := b.Level.Name
+			if name == "" {
+				name = fmt.Sprintf("level %d", b.Boundary)
+			}
+			balW := "unreachable"
+			if b.Rebalanceable {
+				balW = fmt.Sprintf("%.4g", b.BalancedMemory)
+			}
+			db.AddRow(fmt.Sprintf("%d", b.Boundary), name, fmt.Sprintf("%.4g", b.CapacityWithin),
+				fmt.Sprintf("%.4g", b.Intensity), fmt.Sprintf("%.4g", b.AchievableRatio),
+				b.State.String(), balW)
+		}
+		fmt.Print(db.String())
+	}
+	return nil
 }
 
 func fatal(err error) {

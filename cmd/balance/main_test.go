@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"balarch/internal/model"
+)
 
 func TestSelectComputationsAll(t *testing.T) {
 	comps, err := selectComputations("")
@@ -32,5 +36,51 @@ func TestSelectComputationsByName(t *testing.T) {
 func TestSelectComputationsUnknown(t *testing.T) {
 	if _, err := selectComputations("quantum"); err == nil {
 		t.Error("unknown computation accepted")
+	}
+}
+
+func TestParseSI(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want float64
+	}{{"64", 64}, {"1K", 1e3}, {"4G", 4e9}, {"2.5M", 2.5e6}, {"64m", 64e6}, {"1T", 1e12}, {"3e6", 3e6}, {" 10k ", 1e4}} {
+		got, err := parseSI(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("parseSI(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	for _, bad := range []string{"", "K", "1Q", "x@y"} {
+		if _, err := parseSI(bad); err == nil {
+			t.Errorf("parseSI(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseLevels(t *testing.T) {
+	ls, err := parseLevels("sram:1K@4G, dram:256K@1G,64M@50M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ls) != 3 {
+		t.Fatalf("got %d levels", len(ls))
+	}
+	if ls[0].Name != "sram" || ls[0].M != 1e3 || ls[0].BW != 4e9 {
+		t.Errorf("level 0 = %+v", ls[0])
+	}
+	if ls[2].Name != "" || ls[2].M != 64e6 || ls[2].BW != 50e6 {
+		t.Errorf("level 2 = %+v", ls[2])
+	}
+	for _, bad := range []string{"1K", "a@b", "1K@", "@4G", "sram:"} {
+		if _, err := parseLevels(bad); err == nil {
+			t.Errorf("parseLevels(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunHierarchyRejectsInvalid(t *testing.T) {
+	comps, _ := selectComputations("fft")
+	h := model.Hierarchy{C: 1e9, Levels: []model.Level{{BW: 1e6, M: 64}, {BW: 2e6, M: 256}}}
+	if err := runHierarchy(h, comps, 2); err == nil {
+		t.Error("non-monotone hierarchy accepted")
 	}
 }

@@ -126,5 +126,47 @@ func smoke(ctx context.Context, c *client.Client, wait time.Duration, stderr io.
 		return errors.New("response missing X-Request-ID")
 	}
 	fmt.Fprintln(stderr, "clientsmoke: request-id echo ok")
+
+	// 6. The computation catalog: every advertised id must be accepted
+	// back by analyze — discovered, not hard-coded.
+	cat, err := c.Catalog(ctx)
+	if err != nil {
+		return fmt.Errorf("catalog: %w", err)
+	}
+	if len(cat.Computations) < 9 {
+		return fmt.Errorf("catalog lists %d computations, want ≥ 9", len(cat.Computations))
+	}
+	for _, e := range cat.Computations {
+		if e.ID == "" || e.Law == "" || e.RatioFamily == "" {
+			return fmt.Errorf("catalog entry incomplete: %+v", e)
+		}
+	}
+	first := cat.Computations[0]
+	if _, err := c.Analyze(ctx, &client.AnalyzeRequest{
+		PE:          client.PE{C: 1e6, IO: 1e6, M: 4096},
+		Computation: client.Computation{Name: first.ID},
+	}); err != nil {
+		return fmt.Errorf("catalog id %q rejected by analyze: %w", first.ID, err)
+	}
+	fmt.Fprintln(stderr, "clientsmoke: catalog ok")
+
+	// 7. The hierarchy surface end to end: a three-level machine analyzed
+	// per boundary.
+	ha, err := c.Analyze(ctx, &client.AnalyzeRequest{
+		PE: client.PE{C: 1e9},
+		Levels: []client.Level{
+			{Name: "sram", BW: 4e9, M: 1024},
+			{Name: "dram", BW: 1e9, M: 262144},
+			{Name: "disk", BW: 1e5, M: 67108864},
+		},
+		Computation: client.Computation{Name: "matmul"},
+	})
+	if err != nil {
+		return fmt.Errorf("hierarchy analyze: %w", err)
+	}
+	if len(ha.Boundaries) != 3 || ha.BindingBoundary != 3 || ha.State != "io-bound" {
+		return fmt.Errorf("hierarchy analyze = %+v, want 3 boundaries binding at the disk", ha)
+	}
+	fmt.Fprintln(stderr, "clientsmoke: hierarchy ok")
 	return nil
 }

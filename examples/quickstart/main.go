@@ -71,7 +71,43 @@ func main() {
 	}
 	fmt.Printf("\nnumeric inversion cross-check (matmul, α=4): %.6g vs closed form %.6g\n", numeric, closed)
 
+	hierarchyLeg()
 	asyncSweep()
+}
+
+// hierarchyLeg lifts the question to a real machine shape: a multi-level
+// memory hierarchy, where each adjacent-level boundary gets the paper's
+// balance test against the cumulative capacity inside it. A machine can be
+// cache-balanced yet disk-I/O-bound; the binding boundary names the fix.
+func hierarchyLeg() {
+	h := balarch.Hierarchy{C: 1e9, Levels: []balarch.Level{
+		{Name: "sram", BW: 4e9, M: 1 << 10},
+		{Name: "dram", BW: 1e9, M: 256 << 10},
+		{Name: "disk", BW: 100e3, M: 64 << 20},
+	}}
+	fmt.Printf("\nmulti-level machine: %s\n", h)
+	a, err := balarch.AnalyzeHierarchy(h, balarch.MatrixMultiplication())
+	if err != nil {
+		panic(err)
+	}
+	for _, b := range a.Boundaries {
+		fmt.Printf("  boundary %d (%s): C/BW=%-8.4g R(W)=%-8.4g %s\n",
+			b.Boundary, b.Level.Name, b.Intensity, b.AchievableRatio, b.State)
+	}
+	fmt.Printf("  binding boundary: %d (%s) — machine is %s\n",
+		a.Binding, a.BindingBoundary().Level.Name, a.State)
+
+	// The rebalancing question, hierarchy-wise: double the compute rate
+	// and price the per-level memory bill that restores balance.
+	r, err := balarch.RebalanceHierarchy(h, balarch.MatrixMultiplication(), 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("  memory bill for α = 2:")
+	for _, l := range r.Bill {
+		fmt.Printf("    %-5s %.4g → %.4g words (+%.4g)\n", l.Level.Name, l.Level.M, l.MNew, l.Delta)
+	}
+	fmt.Printf("  total: %.4g words (+%.4g)\n", r.TotalMemory, r.TotalDelta)
 }
 
 // asyncSweep submits a measured kernel sweep as a durable job against an

@@ -44,7 +44,7 @@ func TestPlanDeterministic(t *testing.T) {
 }
 
 func TestScenarioCatalog(t *testing.T) {
-	want := []string{"analyze-heavy", "batch-burst", "experiment-replay", "job-queue", "mixed-production", "sweep-stampede"}
+	want := []string{"analyze-heavy", "batch-burst", "experiment-replay", "hierarchy-mix", "job-queue", "mixed-production", "sweep-stampede"}
 	got := Scenarios()
 	if len(got) != len(want) {
 		t.Fatalf("catalog has %d scenarios, want %d", len(got), len(want))
@@ -175,6 +175,41 @@ func TestJobQueueScenarioDrains(t *testing.T) {
 	}
 	if m.JobsDone == 0 || m.StoreEntries == 0 {
 		t.Errorf("after drain: jobs_done=%d store_entries=%d", m.JobsDone, m.StoreEntries)
+	}
+}
+
+// TestHierarchyMixPassesSoakGates drives the hierarchy scenario through
+// the full API stack and applies the same gates ci/soak.sh enforces: zero
+// unexpected non-2xx responses and every route's p99 under the ceiling. The
+// new surface must be soak-clean from day one.
+func TestHierarchyMixPassesSoakGates(t *testing.T) {
+	c := testClient(t)
+	sc, err := Get("hierarchy-mix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Run(context.Background(), c, Config{Scenario: sc, Seed: 5, Workers: 4, MaxRequests: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Unexpected != 0 {
+		for route, rs := range sum.Routes {
+			for _, sample := range rs.UnexpectedSamples {
+				t.Logf("%s: %s", route, sample)
+			}
+		}
+		t.Fatalf("%d unexpected responses", sum.Unexpected)
+	}
+	// The mix must actually exercise the hierarchy surface.
+	for _, route := range []string{"POST /v1/analyze", "POST /v1/rebalance", "POST /v1/roofline", "POST /v1/sweep", "GET /v1/catalog"} {
+		if sum.Routes[route] == nil || sum.Routes[route].Count == 0 {
+			t.Errorf("route %s never exercised", route)
+		}
+	}
+	res := sum.Report()
+	sum.AddP99Gate(res, 5*time.Second)
+	if !res.Pass() {
+		t.Errorf("soak gates failed: %+v", res.Claims)
 	}
 }
 

@@ -120,6 +120,7 @@ func Scenarios() []Scenario {
 		experimentReplay(),
 		mixedProduction(),
 		jobQueue(),
+		hierarchyMix(),
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
 	return all
@@ -330,6 +331,92 @@ func jobListReq(*rand.Rand) Request {
 	return Request{Route: "GET /v1/jobs", Method: "GET", Path: "/v1/jobs"}
 }
 
+// --- hierarchy requests (the hierarchy-mix scenario) ---
+
+// randomLevels draws a valid 2–4 level stack: power-of-two capacities and
+// bandwidths strictly decreasing outward, so the monotonicity contract
+// holds by construction and every request is answerable.
+func randomLevels(r *rand.Rand) []client.Level {
+	depth := 2 + r.Intn(3)
+	bw := 1e6 * float64(1+r.Intn(1000))
+	levels := make([]client.Level, depth)
+	for i := range levels {
+		levels[i] = client.Level{
+			BW: bw,
+			M:  float64(int64(1) << (8 + r.Intn(12))),
+		}
+		bw /= float64(2 + r.Intn(3))
+	}
+	return levels
+}
+
+func hierarchyAnalyzeReq(r *rand.Rand) Request {
+	body := mustJSON(client.AnalyzeRequest{
+		PE:          client.PE{C: 1e6 * float64(1+r.Intn(1000))},
+		Levels:      randomLevels(r),
+		Computation: computationPool[r.Intn(len(computationPool))],
+	})
+	return Request{Route: "POST /v1/analyze", Method: "POST", Path: "/v1/analyze", Body: body}
+}
+
+func hierarchyRebalanceReq(r *rand.Rand) Request {
+	// Rebalanceable or the valid Θ(1) "impossible" answer — both are 200s.
+	body := mustJSON(client.RebalanceRequest{
+		Computation: computationPool[r.Intn(len(computationPool))],
+		Alpha:       1 + 2*r.Float64(),
+		C:           1e6 * float64(1+r.Intn(1000)),
+		Levels:      randomLevels(r),
+	})
+	return Request{Route: "POST /v1/rebalance", Method: "POST", Path: "/v1/rebalance", Body: body}
+}
+
+func hierarchyRooflineReq(r *rand.Rand) Request {
+	levels := randomLevels(r)
+	body := mustJSON(client.RooflineRequest{
+		PE:     client.PE{C: 1e6 * float64(1+r.Intn(1000))},
+		Levels: levels,
+		Computations: []client.Computation{
+			computationPool[r.Intn(len(computationPool))],
+		},
+		MemLo:      64,
+		MemHi:      1 << 16,
+		Step:       4,
+		SweepLevel: 1 + r.Intn(len(levels)),
+	})
+	return Request{Route: "POST /v1/roofline", Method: "POST", Path: "/v1/roofline", Body: body}
+}
+
+// hierarchySweepPool is a small set of distinct analytic level sweeps:
+// repeats are answered by the server's sweep memo, like production repeat
+// queries.
+var hierarchySweepPool = []client.SweepRequest{
+	{Kernel: "hierarchy", C: 8e6,
+		Levels:      []client.Level{{BW: 1e6, M: 16}, {BW: 5e5, M: 1 << 20}},
+		Computation: &client.Computation{Name: "sorting"},
+		Params:      []int{64, 1024, 16384, 262144}},
+	{Kernel: "hierarchy", C: 1e9,
+		Levels:      []client.Level{{Name: "sram", BW: 4e9, M: 1024}, {Name: "dram", BW: 1e9, M: 1 << 18}, {Name: "disk", BW: 1e5, M: 1 << 26}},
+		Computation: &client.Computation{Name: "matmul"},
+		Params:      []int{1 << 20, 1 << 23, 1 << 26}, Level: 3},
+	{Kernel: "hierarchy", C: 5e7,
+		Levels:      []client.Level{{BW: 1e6, M: 4096}, {BW: 2e5, M: 1 << 22}},
+		Computation: &client.Computation{Name: "fft"},
+		Vary:        "bandwidth", Level: 2, Params: []int{50000, 100000, 200000}},
+	{Kernel: "hierarchy", C: 2e8,
+		Levels:      []client.Level{{BW: 1e8, M: 512}, {BW: 1e6, M: 1 << 16}},
+		Computation: &client.Computation{Name: "grid", Dim: 3},
+		Params:      []int{1 << 10, 1 << 14, 1 << 18}, Level: 2},
+}
+
+func hierarchySweepReq(r *rand.Rand) Request {
+	body := mustJSON(hierarchySweepPool[r.Intn(len(hierarchySweepPool))])
+	return Request{Route: "POST /v1/sweep", Method: "POST", Path: "/v1/sweep", Body: body}
+}
+
+func catalogReq(*rand.Rand) Request {
+	return Request{Route: "GET /v1/catalog", Method: "GET", Path: "/v1/catalog"}
+}
+
 func healthReq(*rand.Rand) Request {
 	return Request{Route: "GET /healthz", Method: "GET", Path: "/healthz"}
 }
@@ -399,6 +486,22 @@ func jobQueue() Scenario {
 			{20, jobResultReq},
 			{5, jobListReq},
 			{5, metricsReq},
+			{5, healthReq},
+		},
+	}
+}
+
+func hierarchyMix() Scenario {
+	return Scenario{
+		Name:        "hierarchy-mix",
+		Description: "multi-level machines: hierarchy analyze/rebalance/roofline, analytic level sweeps, catalog lookups",
+		mix: []weightedGen{
+			{35, hierarchyAnalyzeReq},
+			{15, hierarchyRebalanceReq},
+			{15, hierarchyRooflineReq},
+			{20, hierarchySweepReq},
+			{5, catalogReq},
+			{5, analyzeReq},
 			{5, healthReq},
 		},
 	}

@@ -33,6 +33,10 @@ func (pe PE) Validate() error {
 		return fmt.Errorf("model: I/O bandwidth IO=%v must be positive and finite", pe.IO)
 	case !(pe.M > 0) || math.IsInf(pe.M, 0):
 		return fmt.Errorf("model: local memory M=%v must be positive and finite", pe.M)
+	case math.IsInf(pe.C/pe.IO, 0):
+		// Finite C over denormal IO can still overflow the intensity,
+		// and an infinite intensity poisons every downstream figure.
+		return fmt.Errorf("model: intensity C/IO = %v/%v overflows", pe.C, pe.IO)
 	}
 	return nil
 }

@@ -1,0 +1,135 @@
+package roofline
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"balarch/internal/model"
+)
+
+// testHierarchy: 1 GOPS over a fast small level and a slow big one.
+func testHierarchy() model.Hierarchy {
+	return model.Hierarchy{C: 1e9, Levels: []model.Level{
+		{Name: "cache", BW: 500e6, M: 4096},
+		{Name: "dram", BW: 10e6, M: 1 << 24},
+	}}
+}
+
+func TestNewHierarchyValidates(t *testing.T) {
+	if _, err := NewHierarchy(model.Hierarchy{}); err == nil {
+		t.Error("invalid hierarchy accepted")
+	}
+	if _, err := NewHierarchy(testHierarchy()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRidges(t *testing.T) {
+	m, _ := NewHierarchy(testHierarchy())
+	r := m.Ridges()
+	if len(r) != 2 {
+		t.Fatalf("got %d ridges", len(r))
+	}
+	if r[0].Intensity != 2 || r[1].Intensity != 100 {
+		t.Errorf("ridge intensities %v/%v, want 2/100", r[0].Intensity, r[1].Intensity)
+	}
+	if r[0].Boundary != 1 || r[1].Bandwidth != 10e6 {
+		t.Errorf("ridges mislabeled: %+v", r)
+	}
+}
+
+// TestPointBindingBoundary: matmul on the test hierarchy — the inner
+// boundary over-delivers (500e6·64 ≫ C) while the outer one binds
+// (10e6·√(4096+2^24) ≈ 4.1e10 ≫ C too) — so the machine is on the roof;
+// shrink the outer channel and the outer boundary binds.
+func TestPointBindingBoundary(t *testing.T) {
+	m, _ := NewHierarchy(testHierarchy())
+	p := m.Point(model.MatrixMultiplication())
+	if !p.ComputeBound || p.Binding != 0 || p.Attainable != 1e9 {
+		t.Errorf("point = %+v, want compute bound on the roof", p)
+	}
+
+	h := testHierarchy()
+	h.Levels[1].BW = 100e3 // ceiling ≈ 100e3·4097 ≈ 4.1e8 < C
+	m2, _ := NewHierarchy(h)
+	p2 := m2.Point(model.MatrixMultiplication())
+	if p2.ComputeBound || p2.Binding != 2 {
+		t.Errorf("point = %+v, want bound at boundary 2", p2)
+	}
+	wantR := math.Sqrt(4096 + float64(1<<24))
+	if math.Abs(p2.Intensity-wantR)/wantR > 1e-12 ||
+		math.Abs(p2.Attainable-100e3*wantR)/(100e3*wantR) > 1e-12 {
+		t.Errorf("point = %+v, want intensity %v attainable %v", p2, wantR, 100e3*wantR)
+	}
+}
+
+// TestOneLevelMatchesFlatModel: the one-level hierarchy's attainable equals
+// the flat roofline at the same memory, for the whole catalog.
+func TestOneLevelMatchesFlatModel(t *testing.T) {
+	pe := model.PE{C: 50e6, IO: 1e6, M: 4096}
+	flat, err := New(pe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hm, err := NewHierarchy(model.FromPE(pe))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range model.Catalog() {
+		fp := flat.PathPoint(c, pe.M)
+		hp := hm.Point(c)
+		if math.Abs(fp.Attainable-hp.Attainable) > 1e-9*fp.Attainable {
+			t.Errorf("%s: hierarchy attainable %v != flat %v", c.Name, hp.Attainable, fp.Attainable)
+		}
+		if fp.ComputeBound != hp.ComputeBound {
+			t.Errorf("%s: compute-bound mismatch (%v vs %v)", c.Name, hp.ComputeBound, fp.ComputeBound)
+		}
+	}
+}
+
+func TestPathSweepsChosenLevel(t *testing.T) {
+	m, _ := NewHierarchy(testHierarchy())
+	pts, err := m.Path(model.FFT(), 2, 1<<10, 1<<20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 6 {
+		t.Fatalf("got %d points, want 6", len(pts))
+	}
+	for i, p := range pts {
+		if want := float64(int(1<<10) * int(math.Pow(4, float64(i)))); p.Memory != want {
+			t.Errorf("point %d memory %v, want %v", i, p.Memory, want)
+		}
+		if i > 0 && p.Attainable < pts[i-1].Attainable {
+			t.Errorf("attainable fell while the level grew: %v → %v", pts[i-1].Attainable, p.Attainable)
+		}
+	}
+	if _, err := m.Path(model.FFT(), 3, 1, 2, 2); err == nil {
+		t.Error("out-of-range level accepted")
+	}
+	if _, err := m.Path(model.FFT(), 1, 16, 4, 2); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+func TestHierarchyChart(t *testing.T) {
+	m, _ := NewHierarchy(testHierarchy())
+	s, err := m.Chart([]model.Computation{model.MatrixMultiplication(), model.Sorting()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"multi-ridge roofline",
+		"boundary 1 roof",
+		"boundary 2 roof",
+		"ridge 1 at I=2",
+		"ridge 2 at I=100",
+		"matrix multiplication (per boundary)",
+		"sorting (per boundary)",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("chart missing %q:\n%s", want, s)
+		}
+	}
+}

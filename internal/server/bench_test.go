@@ -66,6 +66,42 @@ func BenchmarkServerSweepCached(b *testing.B) {
 	}
 }
 
+// BenchmarkServerAnalyzeHierarchy measures the hierarchy analyze path end
+// to end: middleware, strict decode with the levels array, the per-boundary
+// diagnosis, and JSON encode.
+func BenchmarkServerAnalyzeHierarchy(b *testing.B) {
+	s := New(Options{})
+	h := s.Handler()
+	body := `{"pe": {"c": 1e9}, "levels": [
+		{"name": "sram", "bw": 4e9, "m": 1024},
+		{"name": "dram", "bw": 1e9, "m": 262144},
+		{"name": "disk", "bw": 1e6, "m": 67108864}],
+		"computation": {"name": "matmul"}}`
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchRequest(b, h, "POST", "/v1/analyze", body)
+	}
+}
+
+// BenchmarkSweepLevel measures the analytic hierarchy level sweep cold:
+// every iteration runs the 16-point capacity sweep afresh on a new server
+// (decode, validation, the engine fan-out, per-point analysis, encode) —
+// the hierarchy counterpart of BenchmarkServerSweepCold, regression-gated
+// from day one.
+func BenchmarkSweepLevel(b *testing.B) {
+	body := `{"kernel": "hierarchy", "c": 8e6,
+	  "levels": [{"bw": 1e6, "m": 16}, {"bw": 5e5, "m": 1048576}],
+	  "computation": {"name": "sorting"},
+	  "params": [16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072, 262144, 524288]}`
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New(Options{})
+		benchRequest(b, s.Handler(), "POST", "/v1/sweep", body)
+	}
+}
+
 // BenchmarkServerBatch8 measures an 8-item heterogeneous batch through the
 // pool fan-out.
 func BenchmarkServerBatch8(b *testing.B) {

@@ -23,6 +23,31 @@ func (p PEDTO) toModel() model.PE { return model.PE{C: p.C, IO: p.IO, M: p.M} }
 
 func peDTO(pe model.PE) PEDTO { return PEDTO{C: pe.C, IO: pe.IO, M: pe.M} }
 
+// LevelDTO is the wire shape of one memory level: capacity M words filled
+// through its outer boundary at BW words/s. A request's `levels` array is
+// ordered innermost first; bandwidths must be non-increasing outward
+// (violations are 422 non_monotone_hierarchy).
+type LevelDTO struct {
+	Name string  `json:"name,omitempty"`
+	BW   float64 `json:"bw"`
+	M    float64 `json:"m"`
+}
+
+// BoundaryDTO is one boundary's balance diagnosis inside a hierarchy
+// analyze response: the paper's test applied to the region inside the
+// boundary (cumulative capacity vs the boundary's bandwidth).
+type BoundaryDTO struct {
+	Boundary        int     `json:"boundary"`
+	Name            string  `json:"name,omitempty"`
+	BW              float64 `json:"bw"`
+	CapacityWithin  float64 `json:"capacity_within"`
+	Intensity       float64 `json:"intensity"`
+	AchievableRatio float64 `json:"achievable_ratio"`
+	State           string  `json:"state"`
+	BalancedMemory  float64 `json:"balanced_memory,omitempty"`
+	Rebalanceable   bool    `json:"rebalanceable"`
+}
+
 // ComputationDTO names one catalog computation. Grid takes its dimension
 // from Dim (default 2); convolution takes its tap count from Taps (default
 // 16); every other name ignores both.
@@ -95,9 +120,17 @@ type AnalyzeRequest struct {
 	// MaxMemory bounds the numeric balanced-memory search; 0 means the
 	// package default of 10^18 words.
 	MaxMemory float64 `json:"max_memory,omitempty"`
+	// Levels switches the request to hierarchy analysis: PE.C is the
+	// compute rate, the levels (innermost first) replace PE.IO/PE.M
+	// (which must be zero), and every adjacent-level boundary gets the
+	// balance test. Absent means the flat one-level model.
+	Levels []LevelDTO `json:"levels,omitempty"`
 }
 
-// AnalyzeResponse is the balance diagnosis.
+// AnalyzeResponse is the balance diagnosis. For a hierarchy request the
+// flat fields describe the binding boundary (PE is the effective flat PE
+// there: the boundary's bandwidth behind the cumulative capacity inside
+// it), and Levels/Boundaries/BindingBoundary carry the per-boundary detail.
 type AnalyzeResponse struct {
 	Computation     string  `json:"computation"`
 	Section         string  `json:"section"`
@@ -108,6 +141,11 @@ type AnalyzeResponse struct {
 	BalancedMemory  float64 `json:"balanced_memory,omitempty"`
 	Rebalanceable   bool    `json:"rebalanceable"`
 	Law             string  `json:"law"`
+	// Hierarchy-only fields (absent on flat requests, so one-level wire
+	// output is byte-identical to the pre-hierarchy API).
+	Levels          []LevelDTO    `json:"levels,omitempty"`
+	Boundaries      []BoundaryDTO `json:"boundaries,omitempty"`
+	BindingBoundary int           `json:"binding_boundary,omitempty"`
 }
 
 // balanceStateName renders a BalanceState as a stable API token (the model
@@ -134,11 +172,37 @@ type RebalanceRequest struct {
 	Alpha       float64        `json:"alpha"`
 	MOld        float64        `json:"m_old"`
 	MaxMemory   float64        `json:"max_memory,omitempty"`
+	// C and Levels switch the request to hierarchy rebalancing: the
+	// compute rate C grows by Alpha and every boundary of the level stack
+	// must be rebalanced. MOld must then be zero — the old memories are
+	// the levels' capacities.
+	C      float64    `json:"c,omitempty"`
+	Levels []LevelDTO `json:"levels,omitempty"`
+}
+
+// RebalanceBoundaryDTO is one boundary's share of a hierarchy rebalance:
+// the cumulative capacity the region inside it must reach at the
+// post-growth intensity.
+type RebalanceBoundaryDTO struct {
+	Boundary       int     `json:"boundary"`
+	Intensity      float64 `json:"intensity"`
+	RequiredWithin float64 `json:"required_within,omitempty"`
+	Rebalanceable  bool    `json:"rebalanceable"`
+}
+
+// LevelBillDTO is one level's line of the hierarchy memory bill.
+type LevelBillDTO struct {
+	Name  string  `json:"name,omitempty"`
+	BW    float64 `json:"bw"`
+	MOld  float64 `json:"m_old"`
+	MNew  float64 `json:"m_new"`
+	Delta float64 `json:"delta"`
 }
 
 // RebalanceResponse carries both the numeric inversion of the measured
 // ratio function and the paper's closed-form law, so clients can see the
-// two agree.
+// two agree. For a hierarchy request the per-level fields carry the memory
+// bill instead of the single m_new.
 type RebalanceResponse struct {
 	Computation string  `json:"computation"`
 	Alpha       float64 `json:"alpha"`
@@ -149,6 +213,13 @@ type RebalanceResponse struct {
 	MNew          float64 `json:"m_new,omitempty"`
 	MClosedForm   float64 `json:"m_closed_form,omitempty"`
 	Law           string  `json:"law"`
+	// Hierarchy-only fields (absent on flat requests).
+	C               float64                `json:"c,omitempty"`
+	Boundaries      []RebalanceBoundaryDTO `json:"boundaries,omitempty"`
+	LevelBill       []LevelBillDTO         `json:"level_bill,omitempty"`
+	BindingBoundary int                    `json:"binding_boundary,omitempty"`
+	TotalMemory     float64                `json:"total_memory,omitempty"`
+	TotalDelta      float64                `json:"total_delta,omitempty"`
 }
 
 // --- /v1/roofline ---
@@ -163,14 +234,24 @@ type RooflineRequest struct {
 	Step         float64          `json:"step,omitempty"`
 	// Chart requests the rendered text roofline alongside the samples.
 	Chart bool `json:"chart,omitempty"`
+	// Levels switches the request to the multi-ridge roofline: PE.C is
+	// the compute rate (PE.IO/PE.M must be zero), and [MemLo, MemHi]
+	// sweeps the capacity of level SweepLevel (1-based; 0 means the
+	// innermost) instead of the flat local memory.
+	Levels     []LevelDTO `json:"levels,omitempty"`
+	SweepLevel int        `json:"sweep_level,omitempty"`
 }
 
-// RooflinePointDTO is one sampled position on a computation's path.
+// RooflinePointDTO is one sampled position on a computation's path. On a
+// hierarchy path, Memory is the swept level's capacity, Intensity the
+// achievable ratio at the binding boundary, and Binding names that
+// boundary (0 when the compute roof binds).
 type RooflinePointDTO struct {
 	Memory       float64 `json:"memory"`
 	Intensity    float64 `json:"intensity"`
 	Attainable   float64 `json:"attainable"`
 	ComputeBound bool    `json:"compute_bound"`
+	Binding      int     `json:"binding,omitempty"`
 }
 
 // RooflinePathDTO is one computation's sampled path.
@@ -179,13 +260,26 @@ type RooflinePathDTO struct {
 	Points      []RooflinePointDTO `json:"points"`
 }
 
+// RidgeDTO is one boundary's ridge on the multi-ridge roofline.
+type RidgeDTO struct {
+	Boundary  int     `json:"boundary"`
+	BW        float64 `json:"bw"`
+	Intensity float64 `json:"intensity"`
+}
+
 // RooflineResponse is the evaluated model: the ridge (Kung's balance point)
-// plus each computation's path.
+// plus each computation's path. A hierarchy response reports one ridge per
+// boundary in Ridges; RidgeIntensity is then the outermost boundary's ridge
+// — the machine's balance point against the outside world.
 type RooflineResponse struct {
 	PE             PEDTO             `json:"pe"`
 	RidgeIntensity float64           `json:"ridge_intensity"`
 	Paths          []RooflinePathDTO `json:"paths"`
 	Chart          string            `json:"chart,omitempty"`
+	// Hierarchy-only fields (absent on flat requests).
+	Levels     []LevelDTO `json:"levels,omitempty"`
+	Ridges     []RidgeDTO `json:"ridges,omitempty"`
+	SweepLevel int        `json:"sweep_level,omitempty"`
 }
 
 // --- /v1/sweep ---
@@ -209,6 +303,19 @@ type SweepRequest struct {
 	NNZPerRow int `json:"nnz_per_row,omitempty"`
 	// Seed configures the sort kernel's input permutation.
 	Seed int64 `json:"seed,omitempty"`
+	// The "hierarchy" kernel sweeps the analytic hierarchy model instead
+	// of an instrumented kernel: C is the compute rate, Levels the level
+	// stack, Computation the catalog entry whose achievable ratio is
+	// evaluated, Vary selects what Params sweeps ("capacity", the
+	// default, or "bandwidth"), and Level which level (1-based, default
+	// the innermost) takes the swept values. Each point reports the
+	// binding boundary's achievable ratio over a synthetic unit of
+	// 2^20 words of boundary traffic.
+	C           float64         `json:"c,omitempty"`
+	Levels      []LevelDTO      `json:"levels,omitempty"`
+	Computation *ComputationDTO `json:"computation,omitempty"`
+	Vary        string          `json:"vary,omitempty"`
+	Level       int             `json:"level,omitempty"`
 }
 
 // SweepPointDTO is one measured point of the curve.
@@ -226,6 +333,31 @@ type SweepResponse struct {
 	Kernel string          `json:"kernel"`
 	Points []SweepPointDTO `json:"points"`
 	Cached bool            `json:"cached"`
+}
+
+// --- /v1/catalog ---
+
+// CatalogEntry describes one computation the API accepts: the wire id to
+// put in ComputationDTO.Name, the paper metadata, the growth law, and the
+// ratio family, so clients can enumerate instead of hard-coding ids.
+type CatalogEntry struct {
+	// ID is the ComputationDTO.Name token.
+	ID string `json:"id"`
+	// Name is the model's human-readable computation name.
+	Name        string `json:"name"`
+	Section     string `json:"section"`
+	Law         string `json:"law"`
+	RatioFamily string `json:"ratio_family"`
+	IOBounded   bool   `json:"io_bounded"`
+	// DefaultDim/DefaultTaps echo the parameter defaults for the ids
+	// that take one ("grid", "convolution").
+	DefaultDim  int `json:"default_dim,omitempty"`
+	DefaultTaps int `json:"default_taps,omitempty"`
+}
+
+// CatalogResponse is the GET /v1/catalog body, in id order.
+type CatalogResponse struct {
+	Computations []CatalogEntry `json:"computations"`
 }
 
 // --- /v1/experiments ---

@@ -125,6 +125,44 @@ func FuzzSweepRequest(f *testing.F) {
 	})
 }
 
+// FuzzHierarchyRequest fuzzes the `levels` DTO across every endpoint that
+// accepts it: whatever level stack (mis-ordered, empty, huge, NaN-ridden)
+// arrives at analyze, rebalance, roofline, or sweep, the answer is a 2xx or
+// a typed envelope — never a panic, never a 500. The seed corpus covers
+// valid hierarchies, the typed non-monotone 422, the mutual-exclusion
+// rules, and both sweep vary axes. The leading byte routes the input so
+// one corpus exercises all four endpoints.
+func FuzzHierarchyRequest(f *testing.F) {
+	for _, seed := range []string{
+		`0{"pe": {"c": 1e9}, "levels": [{"name": "sram", "bw": 4e9, "m": 1024}, {"bw": 1e9, "m": 262144}, {"bw": 1e5, "m": 67108864}], "computation": {"name": "matmul"}}`,
+		`0{"pe": {"c": 1e9}, "levels": [{"bw": 1e6, "m": 64}, {"bw": 2e6, "m": 256}], "computation": {"name": "fft"}}`,
+		`0{"pe": {"c": 1e9, "io": 1e6}, "levels": [{"bw": 1e6, "m": 64}], "computation": {"name": "fft"}}`,
+		`0{"pe": {"c": 1e9}, "levels": [], "computation": {"name": "sorting"}}`,
+		`1{"computation": {"name": "sorting"}, "alpha": 1.5, "c": 8e6, "levels": [{"bw": 1e6, "m": 1024}, {"bw": 5e5, "m": 1048576}]}`,
+		`1{"computation": {"name": "matvec"}, "alpha": 2, "c": 1e9, "levels": [{"bw": 1e6, "m": 64}]}`,
+		`1{"computation": {"name": "fft"}, "alpha": 2, "m_old": 64, "c": 1e9, "levels": [{"bw": 1e6, "m": 64}]}`,
+		`2{"pe": {"c": 1e9}, "levels": [{"bw": 5e8, "m": 4096}, {"bw": 1e7, "m": 16777216}], "computations": [{"name": "matmul"}], "mem_lo": 1024, "mem_hi": 1048576, "sweep_level": 2, "chart": true}`,
+		`2{"pe": {"c": 1e9}, "levels": [{"bw": 5e8, "m": -1}], "computations": [{"name": "grid", "dim": 9}], "mem_lo": 0, "mem_hi": 0}`,
+		`3{"kernel": "hierarchy", "c": 8e6, "levels": [{"bw": 1e6, "m": 16}, {"bw": 5e5, "m": 1048576}], "computation": {"name": "sorting"}, "params": [16, 65536]}`,
+		`3{"kernel": "hierarchy", "c": 8e6, "levels": [{"bw": 1e6, "m": 16}], "computation": {"name": "fft"}, "vary": "bandwidth", "level": 1, "params": [100000]}`,
+		`3{"kernel": "hierarchy", "c": 1e308, "levels": [{"bw": 1e-300, "m": 1e308}], "computation": {"name": "sorting"}, "params": [1]}`,
+		`3{"kernel": "hierarchy", "params": [1]}`,
+		`0{`,
+		`9{}`,
+		``,
+	} {
+		f.Add([]byte(seed))
+	}
+	paths := []string{"/v1/analyze", "/v1/rebalance", "/v1/roofline", "/v1/sweep"}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		path := paths[int(data[0])%len(paths)]
+		assertEnvelopeContract(t, path, data[1:])
+	})
+}
+
 func FuzzBatchRequest(f *testing.F) {
 	for _, seed := range []string{
 		`{"requests": [{"op": "analyze", "request": {"pe": {"c": 50e6, "io": 1e6, "m": 4096}, "computation": {"name": "fft"}}}]}`,

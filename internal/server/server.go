@@ -29,6 +29,7 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"log/slog"
 	"net/http"
 	"path/filepath"
@@ -227,6 +228,7 @@ func (s *Server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
 	mux.HandleFunc("POST /v1/analyze", jsonHandler(s, s.analyze))
 	mux.HandleFunc("POST /v1/rebalance", jsonHandler(s, s.rebalance))
 	mux.HandleFunc("POST /v1/roofline", jsonHandler(s, s.roofline))
@@ -278,7 +280,8 @@ func (s *Server) sweepContext(ctx context.Context) context.Context {
 
 // --- core operations (shared by handlers and /v1/batch) ---
 
-// analyze diagnoses a PE against a catalog computation.
+// analyze diagnoses a PE — or, when the request carries levels, a whole
+// memory hierarchy — against a catalog computation.
 func (s *Server) analyze(_ context.Context, req *AnalyzeRequest) (*AnalyzeResponse, *apiError) {
 	comp, apiErr := resolveComputation(req.Computation)
 	if apiErr != nil {
@@ -287,6 +290,9 @@ func (s *Server) analyze(_ context.Context, req *AnalyzeRequest) (*AnalyzeRespon
 	maxM := req.MaxMemory
 	if maxM == 0 {
 		maxM = s.maxMemoryDefault
+	}
+	if len(req.Levels) > 0 {
+		return s.analyzeHierarchy(req, comp, maxM)
 	}
 	a, err := model.Analyze(req.PE.toModel(), comp, maxM)
 	if err != nil {
@@ -318,6 +324,13 @@ func (s *Server) rebalance(_ context.Context, req *RebalanceRequest) (*Rebalance
 	if maxM == 0 {
 		maxM = s.maxMemoryDefault
 	}
+	if len(req.Levels) > 0 {
+		return s.rebalanceHierarchy(req, comp, maxM)
+	}
+	if req.C != 0 {
+		return nil, unprocessable("invalid_argument",
+			"c is a hierarchy field: it needs a levels array (flat rebalance takes only alpha and m_old)")
+	}
 	resp := &RebalanceResponse{
 		Computation: comp.Name,
 		Alpha:       req.Alpha,
@@ -341,19 +354,12 @@ func (s *Server) rebalance(_ context.Context, req *RebalanceRequest) (*Rebalance
 	return resp, nil
 }
 
-// rooflineOp evaluates the roofline model for a PE across the requested
+// rooflineOp evaluates the roofline model — single-ridge for a flat PE,
+// multi-ridge when the request carries levels — across the requested
 // computations and memory sweep.
 func (s *Server) roofline(_ context.Context, req *RooflineRequest) (*RooflineResponse, *apiError) {
-	m, err := roofline.New(req.PE.toModel())
-	if err != nil {
-		return nil, unprocessable("invalid_argument", "%v", err)
-	}
 	if len(req.Computations) == 0 {
 		return nil, unprocessable("invalid_argument", "computations must list at least one entry")
-	}
-	lo, hi, step := req.MemLo, req.MemHi, req.Step
-	if step == 0 {
-		step = 4
 	}
 	comps := make([]model.Computation, len(req.Computations))
 	for i, dto := range req.Computations {
@@ -362,6 +368,21 @@ func (s *Server) roofline(_ context.Context, req *RooflineRequest) (*RooflineRes
 			return nil, apiErr
 		}
 		comps[i] = comp
+	}
+	if len(req.Levels) > 0 {
+		return s.rooflineHierarchy(req, comps)
+	}
+	if req.SweepLevel != 0 {
+		return nil, unprocessable("invalid_argument",
+			"sweep_level is a hierarchy field: it needs a levels array")
+	}
+	m, err := roofline.New(req.PE.toModel())
+	if err != nil {
+		return nil, unprocessable("invalid_argument", "%v", err)
+	}
+	lo, hi, step := req.MemLo, req.MemHi, req.Step
+	if step == 0 {
+		step = 4
 	}
 	resp := &RooflineResponse{PE: req.PE, RidgeIntensity: m.RidgeIntensity()}
 	for _, comp := range comps {
@@ -393,6 +414,61 @@ func (s *Server) roofline(_ context.Context, req *RooflineRequest) (*RooflineRes
 // sweep is the core behind POST /v1/sweep.
 func (s *Server) sweep(ctx context.Context, req *SweepRequest) (*SweepResponse, *apiError) {
 	return s.runSweep(ctx, req)
+}
+
+// --- catalog ---
+
+// handleCatalog serves GET /v1/catalog: the computation catalog with wire
+// ids, paper metadata, growth laws, and ratio families, so clients can
+// enumerate the accepted ComputationDTO.Name values instead of hard-coding
+// them. The listing is static and in id order.
+func (s *Server) handleCatalog(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, catalogResponse())
+}
+
+// catalogResponse builds the listing from the same resolver the request
+// path uses, so the catalog can never advertise an id the API rejects.
+func catalogResponse() CatalogResponse {
+	resp := CatalogResponse{Computations: []CatalogEntry{}}
+	for _, id := range computationNames {
+		dto := ComputationDTO{Name: id}
+		comp, apiErr := resolveComputation(dto)
+		if apiErr != nil {
+			continue // unreachable: computationNames is the resolver's own list
+		}
+		e := CatalogEntry{
+			ID:          id,
+			Name:        comp.Name,
+			Section:     comp.Section,
+			Law:         comp.Law.Describe(),
+			RatioFamily: ratioFamily(comp),
+			IOBounded:   comp.IOBounded,
+		}
+		switch id {
+		case "grid":
+			e.DefaultDim = 2
+		case "convolution":
+			e.DefaultTaps = 16
+		}
+		resp.Computations = append(resp.Computations, e)
+	}
+	return resp
+}
+
+// ratioFamily names the asymptotic family of a computation's achievable
+// ratio, in the paper's Θ-notation.
+func ratioFamily(c model.Computation) string {
+	switch law := c.Law.(type) {
+	case model.PolynomialLaw:
+		if law.Degree == 2 {
+			return "Θ(√M)"
+		}
+		return fmt.Sprintf("Θ(M^(1/%g))", law.Degree)
+	case model.ExponentialLaw:
+		return "Θ(log₂M)"
+	default:
+		return "Θ(1)"
+	}
 }
 
 // --- experiments ---

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -138,6 +139,14 @@ var sweepKernels = map[string]sweepKernel{
 			return kernels.SortRatioSweep(ctx, r.Params, r.Seed)
 		},
 	},
+	"hierarchy": {
+		// The analytic multi-level sweep (internal/server/hierarchy.go):
+		// params sweep a chosen level's capacity or boundary bandwidth
+		// through the hierarchy balance model instead of an instrumented
+		// kernel. No N cap applies — each point is O(depth) arithmetic.
+		validate: validateHierarchySweep,
+		run:      runHierarchySweep,
+	},
 	"grid": {
 		validate: func(r *SweepRequest) *apiError {
 			if r.Dim < 1 || r.Dim > maxGridDim {
@@ -221,6 +230,14 @@ func validateSweep(req *SweepRequest) (sweepKernel, *apiError) {
 		return sweepKernel{}, unprocessable("unknown_kernel",
 			"unknown kernel %q (one of %s)", req.Kernel, sweepKernelNames())
 	}
+	if name := strings.ToLower(req.Kernel); name != "hierarchy" &&
+		(len(req.Levels) > 0 || req.C != 0 || req.Computation != nil || req.Vary != "" || req.Level != 0) {
+		// The same mutual-exclusion contract analyze/rebalance/roofline
+		// enforce: silently running a flat kernel for a request that
+		// described a hierarchy would answer a question nobody asked.
+		return sweepKernel{}, unprocessable("invalid_argument",
+			"c/levels/computation/vary/level are hierarchy-sweep fields: they need kernel \"hierarchy\", not %q", req.Kernel)
+	}
 	if len(req.Params) == 0 {
 		return sweepKernel{}, unprocessable("invalid_argument", "params must list at least one point")
 	}
@@ -254,9 +271,32 @@ func sweepCacheKey(req *SweepRequest) string {
 		n, seed = 0, req.Seed
 	case "spmv":
 		nnz = req.NNZPerRow
+	case "hierarchy":
+		n = 0
 	}
-	return fmt.Sprintf("sweep/%s/n=%d/dim=%d/size=%d/iters=%d/nnz=%d/seed=%d/params=%v",
+	key := fmt.Sprintf("sweep/%s/n=%d/dim=%d/size=%d/iters=%d/nnz=%d/seed=%d/params=%v",
 		kernel, n, dim, size, iters, nnz, seed, sortedCopy(req.Params))
+	if kernel == "hierarchy" {
+		// The analytic sweep's whole machine description is key material;
+		// the suffix rides only on this kernel so every other key stays
+		// exactly as before. Levels and computation are JSON-encoded, not
+		// %v-joined: client-controlled level names could otherwise forge a
+		// colliding key and read another machine's cached points.
+		level := req.Level
+		if level == 0 {
+			level = 1
+		}
+		vary, _ := varyKind(req.Vary)
+		comp := ComputationDTO{}
+		if req.Computation != nil {
+			comp = *req.Computation
+		}
+		lv, _ := json.Marshal(req.Levels)
+		cp, _ := json.Marshal(comp)
+		key += fmt.Sprintf("/c=%v/vary=%s/level=%d/levels=%s/comp=%s",
+			req.C, vary, level, lv, cp)
+	}
+	return key
 }
 
 // maxSweepCacheEntries bounds the sweep memo so a long-lived daemon

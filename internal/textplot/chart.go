@@ -39,6 +39,29 @@ func (c *Chart) Add(s Series) {
 	c.series = append(c.series, s)
 }
 
+// RuleX returns a vertical-rule series at x spanning [ylo, yhi]: a dense
+// column of marker points, used to mark distinguished abscissas — the
+// ridge intensities of a multi-level roofline, say. The density matches the
+// chart height so the rule renders as an unbroken column at any log/linear
+// axis combination with y bounds inside [ylo, yhi].
+func (c *Chart) RuleX(name string, x, ylo, yhi float64, marker rune) Series {
+	n := 2 * c.Height
+	if n < 16 {
+		n = 16
+	}
+	s := Series{Name: name, Marker: marker, X: make([]float64, 0, n+1), Y: make([]float64, 0, n+1)}
+	for i := 0; i <= n; i++ {
+		f := float64(i) / float64(n)
+		y := ylo + f*(yhi-ylo)
+		if c.LogY && ylo > 0 && yhi > 0 {
+			y = ylo * math.Pow(yhi/ylo, f) // geometric spacing fills log axes
+		}
+		s.X = append(s.X, x)
+		s.Y = append(s.Y, y)
+	}
+	return s
+}
+
 // String renders the chart.
 func (c *Chart) String() string {
 	w, h := c.Width, c.Height

@@ -120,3 +120,32 @@ func TestFig3AndFig4(t *testing.T) {
 		t.Errorf("Fig4 PE count wrong:\n%s", f4)
 	}
 }
+
+func TestChartRuleX(t *testing.T) {
+	ch := NewChart("rule")
+	ch.LogX, ch.LogY = true, true
+	ch.Add(Series{Name: "roof", X: []float64{1, 100}, Y: []float64{1e6, 1e8}})
+	rule := ch.RuleX("ridge at 10", 10, 1e6, 1e8, '|')
+	if len(rule.X) != len(rule.Y) || len(rule.X) < 16 {
+		t.Fatalf("rule has %d/%d points", len(rule.X), len(rule.Y))
+	}
+	for i, x := range rule.X {
+		if x != 10 {
+			t.Fatalf("rule point %d at x=%v, want 10", i, x)
+		}
+	}
+	if rule.Y[0] != 1e6 || rule.Y[len(rule.Y)-1] != 1e8 {
+		t.Errorf("rule spans [%v, %v], want [1e6, 1e8]", rule.Y[0], rule.Y[len(rule.Y)-1])
+	}
+	ch.Add(rule)
+	out := ch.String()
+	if !strings.Contains(out, "ridge at 10") {
+		t.Errorf("rule legend missing:\n%s", out)
+	}
+	// Geometric spacing on the log axis fills every row between the
+	// bounds: each plot row contributes its axis '|' plus the rule cell,
+	// and the legend line one more.
+	if got, want := strings.Count(out, "|"), 2*ch.Height+1; got != want {
+		t.Errorf("rule column has %d '|' cells, want %d (one per row + axis + legend):\n%s", got, want, out)
+	}
+}
