@@ -9,8 +9,11 @@
 #      two sides genuinely measure different things: queueing ahead of the
 #      server's measurement window lands only in the client's histogram.)
 #   2. Soak: SOAK_WORKERS closed-loop workers drive mixed-production for
-#      SOAK_DURATION, gated on zero unexpected non-2xx and every route's
-#      p99 at or under SOAK_MAX_P99.
+#      SOAK_DURATION, gated on zero unexpected non-2xx, every route's
+#      p99 at or under SOAK_MAX_P99, and GC pressure (GCs per 1k
+#      requests in the load-generator process) within 20% of the
+#      recorded baseline in ci/soak-gc-baseline.txt — the soak-level
+#      guard against allocation regressions in the request path.
 #   3. Job queue: an async phase against the same daemon's durable
 #      /v1/jobs surface (the daemon runs with -store-dir), gated on zero
 #      unexpected responses AND zero lost jobs — after the run the queue
@@ -37,6 +40,9 @@ JOBS_REQUESTS="${SOAK_JOBS_REQUESTS:-300}"
 JOBS_DRAIN="${SOAK_JOBS_DRAIN:-60s}"
 HIER_REPORT="${SOAK_HIERARCHY_REPORT:-soak-hierarchy.json}"
 HIER_REQUESTS="${SOAK_HIERARCHY_REQUESTS:-400}"
+# GCs per 1k requests recorded for phase 2 (see ci/soak-gc-baseline.txt);
+# override with SOAK_GC_BASELINE, 0 disables the gate.
+GC_BASELINE="${SOAK_GC_BASELINE:-$(cat ci/soak-gc-baseline.txt)}"
 DIR="$(mktemp -d)"
 
 echo "soak: building balarchd and balarchload"
@@ -73,6 +79,7 @@ echo "soak: phase 2 — $WORKERS workers, mixed-production for $DURATION"
   -workers "$WORKERS" \
   -seed "$SEED" \
   -max-p99 "$MAX_P99" \
+  -gc-baseline-per1k "$GC_BASELINE" \
   -json > "$REPORT" || code=$?
 
 echo "soak: report ($REPORT):"

@@ -17,7 +17,9 @@
 // subsystem: submitted jobs are journaled to a WAL under it before the ack,
 // results live in a content-addressed store there, and both survive
 // restarts — start a new daemon on the same directory and it requeues
-// whatever the old one left unfinished. -job-workers sizes the queue's
+// whatever the old one left unfinished. -pprof-addr (off by default) serves
+// net/http/pprof on its own listener — bind it to loopback; the public mux
+// never exposes /debug/pprof. -job-workers sizes the queue's
 // executor pool (0 pauses execution: accept and journal only), -mem-budget
 // caps the summed estimated footprint of live jobs (admission control;
 // over-budget submits answer 429 + Retry-After), -job-ttl bounds how long
@@ -36,6 +38,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -83,6 +86,8 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		"how long finished jobs stay queryable before garbage collection")
 	shutdownGrace := fs.Duration("shutdown-grace", 10*time.Second,
 		"drain budget for in-flight requests (and running jobs) on SIGINT/SIGTERM")
+	pprofAddr := fs.String("pprof-addr", "",
+		"listen address for net/http/pprof (e.g. 127.0.0.1:6060); empty disables it; always a separate listener, never the public mux")
 	quiet := fs.Bool("quiet", false, "disable per-request logging")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -138,11 +143,46 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		fmt.Fprintf(stderr, "balarchd: %v\n", err)
 		return 1
 	}
+
+	// The profiling surface is opt-in and isolated: its handlers live on
+	// their own mux behind their own listener (typically a loopback
+	// address), so the public API can never serve /debug/pprof whatever
+	// the flag says.
+	var pprofLn net.Listener
+	if *pprofAddr != "" {
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofLn, err = net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			ln.Close()
+			fmt.Fprintf(stderr, "balarchd: pprof listener: %v\n", err)
+			return 1
+		}
+		pprofSrv := &http.Server{Handler: pmux, ReadTimeout: *readTimeout}
+		go pprofSrv.Serve(pprofLn)
+		defer pprofSrv.Close()
+		if logger != nil {
+			logger.Info("pprof enabled", "addr", pprofLn.Addr().String())
+		}
+	}
+
 	if logger != nil {
 		logger.Info("serving", "addr", ln.Addr().String(), "parallel", *parallel)
 	}
 	if ready != nil {
 		ready <- ln.Addr().String()
+		if pprofLn != nil {
+			// Best effort: a test that wants the profiling port listens
+			// with a deeper buffer; the default harness just drops it.
+			select {
+			case ready <- pprofLn.Addr().String():
+			default:
+			}
+		}
 	}
 
 	serveErr := make(chan error, 1)

@@ -190,6 +190,100 @@ func TestJobSurvivesDaemonRestart(t *testing.T) {
 	}
 }
 
+// TestDaemonPprofEnabled: with -pprof-addr the profiling surface serves
+// heap profiles on its own listener — and only there; the public mux must
+// keep answering 404 for /debug/pprof paths.
+func TestDaemonPprofEnabled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 2) // main addr, then pprof addr
+	code := make(chan int, 1)
+	go func() {
+		code <- run(ctx, []string{"-addr", "127.0.0.1:0", "-pprof-addr", "127.0.0.1:0", "-quiet"},
+			io.Discard, ready)
+	}()
+	recv := func(what string) string {
+		select {
+		case a := <-ready:
+			return a
+		case c := <-code:
+			t.Fatalf("daemon exited %d before sending %s", c, what)
+		case <-time.After(10 * time.Second):
+			t.Fatalf("daemon never sent %s", what)
+		}
+		return ""
+	}
+	mainAddr := recv("main addr")
+	pprofAddr := recv("pprof addr")
+
+	resp, err := http.Get("http://" + pprofAddr + "/debug/pprof/heap?debug=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "heap profile") {
+		t.Fatalf("pprof heap = %d %.80s", resp.StatusCode, body)
+	}
+
+	// The public API surface must not leak the profiler.
+	resp, err = http.Get("http://" + mainAddr + "/debug/pprof/heap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("public mux served /debug/pprof/heap: %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case c := <-code:
+		if c != 0 {
+			t.Fatalf("exit code %d, want 0", c)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+// TestDaemonPprofDisabledByDefault: without the flag there is no profiling
+// surface anywhere.
+func TestDaemonPprofDisabledByDefault(t *testing.T) {
+	base, cancel, code := startDaemon(t)
+	defer cancel()
+	resp, err := http.Get(base + "/debug/pprof/heap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/debug/pprof/heap on public mux = %d, want 404", resp.StatusCode)
+	}
+	cancel()
+	if c := <-code; c != 0 {
+		t.Fatalf("exit code %d, want 0", c)
+	}
+}
+
+// TestDaemonPprofBindFailure: a pprof listener that cannot bind must fail
+// startup loudly, like the main listener.
+func TestDaemonPprofBindFailure(t *testing.T) {
+	base, cancel, code := startDaemon(t)
+	defer cancel()
+	addr := strings.TrimPrefix(base, "http://")
+	if c := run(context.Background(), []string{"-addr", "127.0.0.1:0", "-quiet",
+		"-pprof-addr", addr}, io.Discard, nil); c != 1 {
+		t.Errorf("pprof bind conflict exit = %d, want 1", c)
+	}
+	cancel()
+	if c := <-code; c != 0 {
+		t.Errorf("first daemon exit = %d, want 0", c)
+	}
+}
+
 // TestDaemonStoreDirOpenFailure: a daemon that cannot open its store
 // must exit 1, not serve with durability silently broken.
 func TestDaemonStoreDirOpenFailure(t *testing.T) {

@@ -20,8 +20,10 @@
 // quantiles to agree with the server's /metrics histograms within one
 // bucket; -jobs-drain (for the async job-queue scenario) requires the job
 // queue to drain with zero failed jobs within the given budget after the
-// run. Exit status: 0 all gates pass, 1 a gate failed, 2 the harness
-// itself errored.
+// run; -gc-baseline-per1k caps this process's GC count per 1k requests at
+// the recorded baseline + 20% (the soak guard against allocation
+// regressions in the request path). Exit status: 0 all gates pass, 1 a
+// gate failed, 2 the harness itself errored.
 package main
 
 import (
@@ -69,6 +71,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		"fail (exit 1) if any route's p99 exceeds this (0 = no gate); measures the client experience, so with -retries > 1 it includes retry attempts and backoff")
 	crosscheck := fs.Bool("crosscheck", false,
 		"fetch /metrics after the run and require quantile agreement within one bucket (use against a fresh server)")
+	gcBaseline := fs.Float64("gc-baseline-per1k", 0,
+		"fail (exit 1) if this process's GC count per 1k requests exceeds this baseline by more than 20% (0 = no gate); counts the whole balarchload process, so with -inprocess it includes the server too")
 	jobsDrain := fs.Duration("jobs-drain", 0,
 		"zero-lost-jobs gate for async scenarios: after the run, poll /metrics up to this long for the job queue to drain (queued+running → 0) with no failures (0 = no gate)")
 	asJSON := fs.Bool("json", false, "emit the report as JSON instead of text")
@@ -125,6 +129,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	res := sum.Report()
 	if *maxP99 > 0 {
 		sum.AddP99Gate(res, *maxP99)
+	}
+	if *gcBaseline > 0 {
+		sum.AddGCGate(res, *gcBaseline)
 	}
 	if *jobsDrain > 0 {
 		loadgen.AddJobsDrainGate(ctx, res, c, *jobsDrain)

@@ -7,14 +7,29 @@
 //
 //	benchgate -old baseline.txt -new current.txt
 //	benchgate -old baseline.txt -new current.txt -match 'RunAll|Server' -max-regress 20
+//	benchgate -old baseline.txt -new current.txt -gate-allocs 'ServerAnalyze|SweepCached' -gate-bytes 'Server'
 //
 // Both files hold standard benchmark lines ("BenchmarkX-8 100 12345 ns/op
-// ..."), typically from -count=5; benchgate takes the per-benchmark median
-// ns/op (robust against one noisy run, same statistic benchstat centers
-// on) and compares benchmarks present in both files whose name matches
-// -match. A benchmark only in one file is reported but never fails the
-// gate, so adding or retiring benchmarks doesn't break CI. Exit status:
-// 0 within budget, 1 regression, 2 usage/parse error.
+// 64 B/op 2 allocs/op ..."), typically from -count=5; benchgate takes the
+// per-benchmark median of each metric (robust against one noisy run, same
+// statistic benchstat centers on) and compares benchmarks present in both
+// files. Three independent gates:
+//
+//   - ns/op: benchmarks matching -match may grow at most -max-regress
+//     percent.
+//   - allocs/op: benchmarks matching -gate-allocs have ZERO tolerance —
+//     any increase over the baseline median fails. Allocation counts are
+//     deterministic, so one extra allocation is a real regression, not
+//     noise.
+//   - B/op: benchmarks matching -gate-bytes may grow at most -max-regress
+//     percent (size can wobble with pooled-buffer growth, so it gets the
+//     percentage budget, not zero tolerance).
+//
+// A benchmark only in one file is reported but never fails the gate, so
+// adding or retiring benchmarks doesn't break CI; likewise a watched
+// benchmark missing B/op or allocs/op columns (a run without -benchmem) is
+// reported, not failed. Exit status: 0 within budget, 1 regression, 2
+// usage/parse error.
 package main
 
 import (
@@ -41,8 +56,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	oldPath := fs.String("old", "", "baseline benchmark output file")
 	newPath := fs.String("new", "", "current benchmark output file")
-	match := fs.String("match", "RunAll|Server", "regexp of benchmark names the gate watches")
-	maxRegress := fs.Float64("max-regress", 20, "max allowed ns/op increase, percent")
+	match := fs.String("match", "RunAll|Server", "regexp of benchmark names the ns/op gate watches")
+	maxRegress := fs.Float64("max-regress", 20, "max allowed ns/op (and B/op) increase, percent")
+	gateAllocs := fs.String("gate-allocs", "", "regexp of benchmark names whose allocs/op may not increase at all")
+	gateBytes := fs.String("gate-bytes", "", "regexp of benchmark names whose B/op may grow at most -max-regress percent")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -54,6 +71,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintf(stderr, "benchgate: bad -match: %v\n", err)
 		return 2
+	}
+	var allocRe, byteRe *regexp.Regexp
+	if *gateAllocs != "" {
+		if allocRe, err = regexp.Compile(*gateAllocs); err != nil {
+			fmt.Fprintf(stderr, "benchgate: bad -gate-allocs: %v\n", err)
+			return 2
+		}
+	}
+	if *gateBytes != "" {
+		if byteRe, err = regexp.Compile(*gateBytes); err != nil {
+			fmt.Fprintf(stderr, "benchgate: bad -gate-bytes: %v\n", err)
+			return 2
+		}
 	}
 
 	oldMed, err := medians(*oldPath)
@@ -76,29 +106,63 @@ func run(args []string, stdout, stderr io.Writer) int {
 	failed := false
 	watched := 0
 	for _, name := range names {
-		if !re.MatchString(name) {
-			continue
+		nm := newMed[name]
+		om, ok := oldMed[name]
+		if re.MatchString(name) {
+			if !ok {
+				fmt.Fprintf(stdout, "NEW   %-40s %12.0f ns/op (no baseline)\n", name, nm.ns)
+			} else {
+				watched++
+				delta := (nm.ns - om.ns) / om.ns * 100
+				verdict := "ok  "
+				if delta > *maxRegress {
+					verdict = "FAIL"
+					failed = true
+				}
+				fmt.Fprintf(stdout, "%s  %-40s %12.0f -> %12.0f ns/op  %+7.1f%%\n",
+					verdict, name, om.ns, nm.ns, delta)
+			}
 		}
-		newNs := newMed[name]
-		oldNs, ok := oldMed[name]
-		if !ok {
-			fmt.Fprintf(stdout, "NEW   %-40s %12.0f ns/op (no baseline)\n", name, newNs)
-			continue
+		if allocRe != nil && allocRe.MatchString(name) && ok {
+			switch {
+			case !nm.hasAllocs || !om.hasAllocs:
+				fmt.Fprintf(stderr, "benchgate: %s: no allocs/op column (run with -benchmem)\n", name)
+			default:
+				verdict := "ok  "
+				if nm.allocs > om.allocs {
+					verdict = "FAIL"
+					failed = true
+				}
+				fmt.Fprintf(stdout, "%s  %-40s %12.0f -> %12.0f allocs/op (zero tolerance)\n",
+					verdict, name, om.allocs, nm.allocs)
+			}
 		}
-		watched++
-		delta := (newNs - oldNs) / oldNs * 100
-		verdict := "ok  "
-		if delta > *maxRegress {
-			verdict = "FAIL"
-			failed = true
+		if byteRe != nil && byteRe.MatchString(name) && ok {
+			switch {
+			case !nm.hasBytes || !om.hasBytes:
+				fmt.Fprintf(stderr, "benchgate: %s: no B/op column (run with -benchmem)\n", name)
+			case om.bytes == 0:
+				if nm.bytes > 0 {
+					failed = true
+					fmt.Fprintf(stdout, "FAIL  %-40s %12.0f -> %12.0f B/op (baseline was zero)\n",
+						name, om.bytes, nm.bytes)
+				}
+			default:
+				delta := (nm.bytes - om.bytes) / om.bytes * 100
+				verdict := "ok  "
+				if delta > *maxRegress {
+					verdict = "FAIL"
+					failed = true
+				}
+				fmt.Fprintf(stdout, "%s  %-40s %12.0f -> %12.0f B/op  %+7.1f%%\n",
+					verdict, name, om.bytes, nm.bytes, delta)
+			}
 		}
-		fmt.Fprintf(stdout, "%s  %-40s %12.0f -> %12.0f ns/op  %+7.1f%%\n",
-			verdict, name, oldNs, newNs, delta)
 	}
-	for name := range oldMed {
+	for name, om := range oldMed {
 		if re.MatchString(name) {
 			if _, ok := newMed[name]; !ok {
-				fmt.Fprintf(stdout, "GONE  %-40s (was %0.f ns/op)\n", name, oldMed[name])
+				fmt.Fprintf(stdout, "GONE  %-40s (was %0.f ns/op)\n", name, om.ns)
 			}
 		}
 	}
@@ -106,25 +170,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "benchgate: no benchmark matched %q in both files — gate vacuous\n", *match)
 	}
 	if failed {
-		fmt.Fprintf(stdout, "benchgate: regression beyond %.0f%%\n", *maxRegress)
+		fmt.Fprintf(stdout, "benchgate: regression beyond budget\n")
 		return 1
 	}
-	fmt.Fprintf(stdout, "benchgate: %d watched benchmark(s) within %.0f%%\n", watched, *maxRegress)
+	fmt.Fprintf(stdout, "benchgate: %d watched benchmark(s) within budget\n", watched)
 	return 0
 }
 
 // benchLine matches one benchmark result line; the -N GOMAXPROCS suffix is
-// stripped so runs from differently sized machines still line up.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+)\s+ns/op`)
+// stripped so runs from differently sized machines still line up. The B/op
+// and allocs/op columns (present under -benchmem) are optional.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+)\s+ns/op(?:\s+([0-9.]+)\s+B/op)?(?:\s+([0-9.]+)\s+allocs/op)?`)
 
-// medians parses a benchmark output file into name → median ns/op.
-func medians(path string) (map[string]float64, error) {
+// metrics is one benchmark's per-metric medians. hasBytes/hasAllocs record
+// whether the optional -benchmem columns were present at all.
+type metrics struct {
+	ns        float64
+	bytes     float64
+	allocs    float64
+	hasBytes  bool
+	hasAllocs bool
+}
+
+// medians parses a benchmark output file into name → per-metric medians.
+func medians(path string) (map[string]metrics, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	samples := make(map[string][]float64)
+	type samples struct{ ns, bytes, allocs []float64 }
+	acc := make(map[string]*samples)
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -136,23 +212,50 @@ func medians(path string) (map[string]float64, error) {
 		if err != nil {
 			continue
 		}
-		samples[m[1]] = append(samples[m[1]], ns)
+		s := acc[m[1]]
+		if s == nil {
+			s = &samples{}
+			acc[m[1]] = s
+		}
+		s.ns = append(s.ns, ns)
+		if m[3] != "" {
+			if v, err := strconv.ParseFloat(m[3], 64); err == nil {
+				s.bytes = append(s.bytes, v)
+			}
+		}
+		if m[4] != "" {
+			if v, err := strconv.ParseFloat(m[4], 64); err == nil {
+				s.allocs = append(s.allocs, v)
+			}
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	if len(samples) == 0 {
+	if len(acc) == 0 {
 		return nil, fmt.Errorf("%s: no benchmark lines found", path)
 	}
-	med := make(map[string]float64, len(samples))
-	for name, xs := range samples {
-		sort.Float64s(xs)
-		n := len(xs)
-		if n%2 == 1 {
-			med[name] = xs[n/2]
-		} else {
-			med[name] = (xs[n/2-1] + xs[n/2]) / 2
+	med := make(map[string]metrics, len(acc))
+	for name, s := range acc {
+		m := metrics{ns: median(s.ns)}
+		if len(s.bytes) > 0 {
+			m.bytes, m.hasBytes = median(s.bytes), true
 		}
+		if len(s.allocs) > 0 {
+			m.allocs, m.hasAllocs = median(s.allocs), true
+		}
+		med[name] = m
 	}
 	return med, nil
+}
+
+// median returns the middle sample (mean of the middle two when even).
+// xs must be non-empty; it is sorted in place.
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	n := len(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
 }

@@ -114,6 +114,74 @@ func TestGateCustomThresholdAndMatch(t *testing.T) {
 	}
 }
 
+// memBaseline exercises the -benchmem columns: three flat-ns samples with
+// stable B/op and allocs/op.
+const memBaseline = `
+goos: linux
+BenchmarkServerAnalyze-8     	    1000	   1000 ns/op	  32 B/op	   2 allocs/op
+BenchmarkServerAnalyze-8     	    1000	   1000 ns/op	  32 B/op	   2 allocs/op
+BenchmarkServerAnalyze-8     	    1000	   1000 ns/op	  32 B/op	   2 allocs/op
+BenchmarkServerSweepCached-8 	    1000	   2000 ns/op	  64 B/op	   2 allocs/op
+BenchmarkServerSweepCached-8 	    1000	   2000 ns/op	  64 B/op	   2 allocs/op
+BenchmarkServerSweepCached-8 	    1000	   2000 ns/op	  64 B/op	   2 allocs/op
+PASS
+`
+
+func TestGateAllocsZeroTolerance(t *testing.T) {
+	// ns/op flat, one extra allocation: the plain ns gate passes, the
+	// alloc gate fails — an allocation crept in without costing time yet.
+	current := strings.ReplaceAll(memBaseline, "2 allocs", "3 allocs")
+	code, out, _ := gate(t, memBaseline, current)
+	if code != 0 {
+		t.Fatalf("ns-only gate: exit = %d, want 0\n%s", code, out)
+	}
+	code, out, _ = gate(t, memBaseline, current, "-gate-allocs", "ServerAnalyze|SweepCached")
+	if code != 1 {
+		t.Fatalf("alloc gate: exit = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "allocs/op (zero tolerance)") {
+		t.Errorf("missing alloc verdict line:\n%s", out)
+	}
+	// A decrease is an improvement, never a failure.
+	better := strings.ReplaceAll(memBaseline, "2 allocs", "1 allocs")
+	if code, out, _ = gate(t, memBaseline, better, "-gate-allocs", "Server"); code != 0 {
+		t.Fatalf("alloc improvement: exit = %d, want 0\n%s", code, out)
+	}
+}
+
+func TestGateBytesPercentBudget(t *testing.T) {
+	// ns/op and allocs flat, B/op up 4× on one bench: bytes gate fails,
+	// and scoping it to the other bench passes.
+	current := strings.ReplaceAll(memBaseline, "64 B/op", "256 B/op")
+	code, out, _ := gate(t, memBaseline, current, "-gate-bytes", "Server")
+	if code != 1 {
+		t.Fatalf("bytes gate: exit = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "FAIL  BenchmarkServerSweepCached") || !strings.Contains(out, "B/op") {
+		t.Errorf("missing B/op FAIL line:\n%s", out)
+	}
+	if code, out, _ = gate(t, memBaseline, current, "-gate-bytes", "ServerAnalyze"); code != 0 {
+		t.Fatalf("scoped bytes gate: exit = %d, want 0\n%s", code, out)
+	}
+	// Within the percentage budget: 64 → 70 is +9.4% < 20%.
+	small := strings.ReplaceAll(memBaseline, "64 B/op", "70 B/op")
+	if code, out, _ = gate(t, memBaseline, small, "-gate-bytes", "Server"); code != 0 {
+		t.Fatalf("small growth: exit = %d, want 0\n%s", code, out)
+	}
+}
+
+func TestGateMemColumnsMissingIsReportedNotFatal(t *testing.T) {
+	// The plain baseline has no -benchmem columns for ServerAnalyze: the
+	// alloc gate reports it to stderr but does not fail the run.
+	code, _, errOut := gate(t, baseline, baseline, "-gate-allocs", "ServerAnalyze")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 when columns are absent", code)
+	}
+	if !strings.Contains(errOut, "no allocs/op column") {
+		t.Errorf("missing stderr note:\n%s", errOut)
+	}
+}
+
 func TestGateUsageErrors(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"-old", "only"}, &stdout, &stderr); code != 2 {

@@ -1,6 +1,9 @@
 package engine
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Cache memoizes keyed computations with single-flight semantics: the first
 // caller of a key runs the work, concurrent callers of the same key block
@@ -18,6 +21,10 @@ type cacheEntry[T any] struct {
 	once sync.Once
 	val  T
 	err  error
+	// done flips to true after val/err are set inside once.Do: the atomic
+	// store/load pair gives Lookup a happens-before edge to val without
+	// taking once's lock.
+	done atomic.Bool
 }
 
 // Do returns the cached value for key, computing it with fn on a miss.
@@ -46,8 +53,25 @@ func (c *Cache[T]) Do(key string, fn func() (T, error)) (val T, err error, hit b
 			}
 			c.mu.Unlock()
 		}
+		e.done.Store(true)
 	})
 	return e.val, e.err, !computed
+}
+
+// Lookup returns the stored value for key without computing anything: a
+// probe for callers that can build the key as bytes and want the hit path
+// allocation-free (the map index on string(key) does not copy the bytes).
+// In-flight and failed entries miss — Lookup never blocks on another
+// caller's computation.
+func (c *Cache[T]) Lookup(key []byte) (T, bool) {
+	c.mu.Lock()
+	e := c.m[string(key)]
+	c.mu.Unlock()
+	if e == nil || !e.done.Load() || e.err != nil {
+		var zero T
+		return zero, false
+	}
+	return e.val, true
 }
 
 // Forget drops the entry for key so the next Do recomputes it.

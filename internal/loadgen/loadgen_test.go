@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"balarch/client"
+	"balarch/internal/report"
 	"balarch/internal/server"
 )
 
@@ -210,6 +211,57 @@ func TestHierarchyMixPassesSoakGates(t *testing.T) {
 	sum.AddP99Gate(res, 5*time.Second)
 	if !res.Pass() {
 		t.Errorf("soak gates failed: %+v", res.Claims)
+	}
+}
+
+// TestGCGate exercises the GC-pressure claim: within baseline+20% passes,
+// beyond fails, and a zero baseline is a vacuous pass.
+func TestGCGate(t *testing.T) {
+	sum := &Summary{Requests: 4000, MemNumGC: 10} // 2.5 GCs per 1k requests
+	if got := sum.GCPer1kRequests(); got != 2.5 {
+		t.Fatalf("GCPer1kRequests = %v, want 2.5", got)
+	}
+	for _, tc := range []struct {
+		baseline float64
+		pass     bool
+	}{
+		{2.5, true},  // at baseline
+		{2.1, true},  // 2.5 ≤ 2.1 × 1.2 = 2.52
+		{2.0, false}, // 2.5 > 2.0 × 1.2 = 2.4
+		{0, true},    // no baseline recorded yet: vacuous pass
+	} {
+		res := &report.Result{}
+		sum.AddGCGate(res, tc.baseline)
+		if res.Pass() != tc.pass {
+			t.Errorf("baseline %v: pass = %v, want %v (claims %+v)",
+				tc.baseline, res.Pass(), tc.pass, res.Claims)
+		}
+	}
+	// A run that issued nothing must not divide by zero.
+	if got := (&Summary{}).GCPer1kRequests(); got != 0 {
+		t.Errorf("empty run GCPer1kRequests = %v, want 0", got)
+	}
+
+	// The memstats land in the report as a series — that is the soak JSON
+	// artifact the gate's numbers are read back from.
+	res := (&Summary{Requests: 1000, MemNumGC: 3, MemTotalAllocBytes: 1 << 20,
+		Routes: map[string]*RouteSummary{}}).Report()
+	found := false
+	for _, s := range res.Series {
+		if s.Name != "memstats" {
+			continue
+		}
+		found = true
+		want := []string{"total_alloc_bytes", "num_gc", "gc_per_1k_requests"}
+		if strings.Join(s.Columns, ",") != strings.Join(want, ",") {
+			t.Errorf("memstats columns = %v", s.Columns)
+		}
+		if s.Rows[0][0] != 1<<20 || s.Rows[0][1] != 3 || s.Rows[0][2] != 3 {
+			t.Errorf("memstats row = %v", s.Rows[0])
+		}
+	}
+	if !found {
+		t.Error("report has no memstats series")
 	}
 }
 

@@ -53,7 +53,45 @@ func (s *Summary) Report() *report.Result {
 			}},
 		})
 	}
+
+	// The run's memory behavior (whole-process runtime.MemStats deltas):
+	// the soak GC gate reads gc_per_1k_requests from this series, so a
+	// hot-path pooling regression surfaces as collector pressure at equal
+	// request volume.
+	mem := textplot.NewTable("total alloc MB", "num gc", "gc per 1k requests")
+	mem.AddRow(float64(s.MemTotalAllocBytes)/(1<<20), s.MemNumGC, s.GCPer1kRequests())
+	res.Tables = append(res.Tables, "Process memory (runtime.MemStats deltas)\n"+mem.String())
+	res.Series = append(res.Series, report.Series{
+		Name:    "memstats",
+		Columns: []string{"total_alloc_bytes", "num_gc", "gc_per_1k_requests"},
+		Rows:    [][]float64{{float64(s.MemTotalAllocBytes), float64(s.MemNumGC), s.GCPer1kRequests()}},
+	})
 	return res
+}
+
+// GCPer1kRequests normalizes the run's GC count by request volume so runs
+// of different durations compare (0 when the run issued nothing).
+func (s *Summary) GCPer1kRequests() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.MemNumGC) * 1000 / float64(s.Requests)
+}
+
+// AddGCGate appends the GC-pressure claim to res: the run's GC count per
+// 1k requests must not exceed the recorded baseline by more than 20% —
+// the soak guard against hot-path allocation regressions that benchmarks
+// with narrower coverage might miss. baselinePer1k ≤ 0 records the claim
+// as vacuous-pass (no baseline yet).
+func (s *Summary) AddGCGate(res *report.Result, baselinePer1k float64) {
+	got := s.GCPer1kRequests()
+	ceiling := baselinePer1k * 1.2
+	res.AddClaim(
+		"GC count per 1k requests stays within 20% of the recorded baseline",
+		fmt.Sprintf("≤ %.2f GCs/1k requests (baseline %.2f + 20%%)", ceiling, baselinePer1k),
+		fmt.Sprintf("%.2f GCs/1k requests (%d GCs over %d requests)", got, s.MemNumGC, s.Requests),
+		baselinePer1k <= 0 || got <= ceiling,
+	)
 }
 
 // routeNames returns the summary's routes in stable order.

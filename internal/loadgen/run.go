@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"time"
 
@@ -151,6 +152,8 @@ func Run(ctx context.Context, c *client.Client, cfg Config) (*Summary, error) {
 	}
 	seq := &sequence{r: rand.New(rand.NewSource(cfg.Seed)), s: cfg.Scenario, max: cfg.MaxRequests}
 	col := newCollector()
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	start := time.Now()
 	var deadline time.Time
 	if cfg.Duration > 0 {
@@ -198,7 +201,12 @@ func Run(ctx context.Context, c *client.Client, cfg Config) (*Summary, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("loadgen: run cancelled: %w", err)
 	}
-	return col.summary(cfg, mode, workers, elapsed), nil
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
+	sum := col.summary(cfg, mode, workers, elapsed)
+	sum.MemTotalAllocBytes = memAfter.TotalAlloc - memBefore.TotalAlloc
+	sum.MemNumGC = int64(memAfter.NumGC) - int64(memBefore.NumGC)
+	return sum, nil
 }
 
 // runOpenLoop paces arrivals at rate/second into a bounded queue the
@@ -281,6 +289,14 @@ type Summary struct {
 	ThroughputRPS   float64                  `json:"throughput_rps"`
 	Unexpected      int64                    `json:"unexpected_responses"`
 	Routes          map[string]*RouteSummary `json:"routes"`
+	// runtime.MemStats deltas across the run, for the whole process
+	// running the load generator: with -inprocess they include the
+	// server's allocations too; over TCP (ci/soak.sh) they cover the
+	// client-side request path. Either way an allocation regression shows
+	// up as NumGC growth at equal request volume, which is what the soak
+	// GC gate (AddGCGate) checks.
+	MemTotalAllocBytes uint64 `json:"mem_total_alloc_bytes"`
+	MemNumGC           int64  `json:"mem_num_gc"`
 }
 
 // summary freezes the collector into the exported shape.

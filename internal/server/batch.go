@@ -29,8 +29,12 @@ func (s *Server) batch(ctx context.Context, req *BatchRequest) (*BatchResponse, 
 			return s.batchItem(ctx, item), nil
 		}}
 	}
+	// The per-request budget applies to the fan-out as a whole (it lived in
+	// the middleware chain before the chain went allocation-free).
+	bctx, cancel := s.opBudget(ctx)
+	defer cancel()
 	pool := engine.Pool[BatchResult]{Parallelism: s.opts.Parallelism}
-	results, err := pool.Run(s.sweepContext(ctx), jobs)
+	results, err := pool.Run(s.sweepContext(bctx), jobs)
 	if err != nil {
 		// Items never return errors, so this is context death.
 		return nil, asSweepError(err)
@@ -68,14 +72,23 @@ func (s *Server) batchItem(ctx context.Context, item BatchItem) BatchResult {
 		res.Error = &err.Body
 		return res
 	}
-	data, mErr := json.Marshal(body)
+	// Marshal through a pooled buffer (the append encoder handles the hot
+	// response types, json.Marshal the rest — byte-identical either way),
+	// then right-size the copy the result keeps: the item's body must own
+	// its bytes, the scratch goes back to the pool.
+	bb := getBuf()
+	data, mErr := appendJSONCompact(bb.b[:0], body)
+	releaseBody(body)
 	if mErr != nil {
+		putBuf(bb)
 		res.Status = http.StatusInternalServerError
 		res.Error = &ErrorBody{"internal", mErr.Error()}
 		return res
 	}
+	res.Body = append(json.RawMessage(nil), data...)
+	bb.b = data
+	putBuf(bb)
 	res.Status = http.StatusOK
-	res.Body = data
 	return res
 }
 

@@ -64,13 +64,62 @@ var computationNames = []string{
 	"sorting", "spmv", "triangularization", "trisolve",
 }
 
+// The catalog entries the resolver hands out, built once: per-request
+// resolution is a switch plus a struct copy (the Computation's Law is a
+// shared immutable interface value, so copying does not allocate). The
+// parameterized entries precompute their defaults; a non-default parameter
+// still constructs on demand. The grid table is a builder-func var so Go's
+// package initialization orders it before anything that reads it.
+var (
+	compMatMul          = model.MatrixMultiplication()
+	compTriangular      = model.MatrixTriangularization()
+	compFFT             = model.FFT()
+	compSorting         = model.Sorting()
+	compMatVec          = model.MatrixVector()
+	compTriSolve        = model.TriangularSolve()
+	compSpMV            = model.SparseMatVec()
+	compConvolveDefault = model.Convolution(16)
+	gridComps           = func() (g [7]model.Computation) {
+		for d := 1; d <= 6; d++ {
+			g[d] = model.Grid(d)
+		}
+		return g
+	}()
+)
+
+// lawDescriptions precomputes GrowthLaw.Describe for every catalog law, so
+// the analyze hot path never hits the fmt.Sprintf inside PolynomialLaw's
+// non-quadratic case. Laws are small comparable values, so they key a map
+// directly; a law outside the table (a non-default convolution, say) falls
+// back to Describe.
+var lawDescriptions = func() map[model.GrowthLaw]string {
+	m := make(map[model.GrowthLaw]string)
+	for _, c := range []model.Computation{
+		compMatMul, compTriangular, compFFT, compSorting,
+		compMatVec, compTriSolve, compSpMV, compConvolveDefault,
+	} {
+		m[c.Law] = c.Law.Describe()
+	}
+	for d := 1; d <= 6; d++ {
+		m[gridComps[d].Law] = gridComps[d].Law.Describe()
+	}
+	return m
+}()
+
+func lawDescription(law model.GrowthLaw) string {
+	if s, ok := lawDescriptions[law]; ok {
+		return s
+	}
+	return law.Describe()
+}
+
 // resolveComputation maps a DTO to its model catalog entry.
 func resolveComputation(dto ComputationDTO) (model.Computation, *apiError) {
 	switch strings.ToLower(dto.Name) {
 	case "matmul", "matrix-multiplication":
-		return model.MatrixMultiplication(), nil
+		return compMatMul, nil
 	case "triangularization", "matrix-triangularization":
-		return model.MatrixTriangularization(), nil
+		return compTriangular, nil
 	case "grid":
 		d := dto.Dim
 		if d == 0 {
@@ -80,17 +129,17 @@ func resolveComputation(dto ComputationDTO) (model.Computation, *apiError) {
 			return model.Computation{}, unprocessable("invalid_argument",
 				"grid dim %d must be in [1, 6]", d)
 		}
-		return model.Grid(d), nil
+		return gridComps[d], nil
 	case "fft":
-		return model.FFT(), nil
+		return compFFT, nil
 	case "sorting", "sort":
-		return model.Sorting(), nil
+		return compSorting, nil
 	case "matvec", "matrix-vector":
-		return model.MatrixVector(), nil
+		return compMatVec, nil
 	case "trisolve", "triangular-solve":
-		return model.TriangularSolve(), nil
+		return compTriSolve, nil
 	case "spmv", "sparse-matvec":
-		return model.SparseMatVec(), nil
+		return compSpMV, nil
 	case "convolution", "convolve":
 		k := dto.Taps
 		if k == 0 {
@@ -99,6 +148,9 @@ func resolveComputation(dto ComputationDTO) (model.Computation, *apiError) {
 		if k < 1 || k > 1<<20 {
 			return model.Computation{}, unprocessable("invalid_argument",
 				"convolution taps %d must be in [1, 2^20]", k)
+		}
+		if k == 16 {
+			return compConvolveDefault, nil
 		}
 		return model.Convolution(k), nil
 	case "":

@@ -1,8 +1,6 @@
 package server
 
 import (
-	"bytes"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -87,16 +85,24 @@ func asAPIError(err error) *apiError {
 	return internalError(err)
 }
 
-// writeError emits the envelope for err on w.
+// writeError emits the envelope for err on w. The envelope rides the same
+// append encoder as the hot 2xx bodies (pooled buffer, byte-identical to
+// encoding/json), so error responses don't allocate either.
 func writeError(w http.ResponseWriter, err *apiError) {
 	w.Header().Set("Content-Type", "application/json")
 	if err.RetryAfterSeconds > 0 {
 		w.Header().Set("Retry-After", strconv.Itoa(err.RetryAfterSeconds))
 	}
 	w.WriteHeader(err.Status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(errorEnvelope{Error: err.Body}) // headers are sent; nothing left to do
+	bb := getBuf()
+	data, encErr := appendJSONBody(bb.b[:0], errorEnvelope{Error: err.Body})
+	if encErr != nil {
+		putBuf(bb) // headers are sent; nothing left to do
+		return
+	}
+	_, _ = w.Write(data)
+	bb.b = data
+	putBuf(bb)
 }
 
 // writeJSON emits a 200 with the JSON encoding of v.
@@ -105,20 +111,24 @@ func writeJSON(w http.ResponseWriter, v any) {
 }
 
 // writeJSONStatus emits status with the JSON encoding of v. It encodes
-// through encodeJSONBody — the same bytes job results are stored as —
+// through appendJSONBody — the same bytes job results are stored as —
 // so there is exactly one wire encoding and the async/sync
 // byte-identity contract cannot drift across two hand-synced encoders.
-// Buffering before WriteHeader also means an encode failure can still
-// answer with a proper 500 instead of a torn 200.
+// Buffering (into a pooled buffer) before WriteHeader also means an encode
+// failure can still answer with a proper 500 instead of a torn 200.
 func writeJSONStatus(w http.ResponseWriter, status int, v any) {
-	data, err := encodeJSONBody(v)
+	bb := getBuf()
+	data, err := appendJSONBody(bb.b[:0], v)
 	if err != nil {
+		putBuf(bb)
 		writeError(w, internalError(err))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_, _ = w.Write(data)
+	bb.b = data
+	putBuf(bb)
 }
 
 // encodeJSONBody is the one wire encoding of a 2xx body (two-space
@@ -126,11 +136,5 @@ func writeJSONStatus(w http.ResponseWriter, status int, v any) {
 // socket, the job executor stores it — which is why an async result is
 // byte-identical to the synchronous response for the same request.
 func encodeJSONBody(v any) ([]byte, error) {
-	var buf bytes.Buffer
-	enc := json.NewEncoder(&buf)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
+	return appendJSONBody(nil, v)
 }

@@ -1,0 +1,613 @@
+package server
+
+// Zero-allocation strict decoding for the hot request types. The fast
+// decoder accepts a *subset* of JSON — plain ASCII strings without escapes,
+// no null literals, exactly the known fields — and bails out (returns
+// false) on anything outside it. The caller then zeroes the DTO and replays
+// the same bytes through strictDecodeJSON, so every accepted input decodes
+// exactly as encoding/json would and every rejected input produces exactly
+// the stdlib's error envelope. The bail contract: returning false promises
+// only that the DTO is garbage; it says nothing about why.
+//
+// Numbers use the Clinger fast path: when the mantissa fits 2^53 exactly
+// and the decimal exponent is within ±22, float64(mant) × 10^e rounds once
+// and equals strconv.ParseFloat. Everything else falls to strconv on the
+// number's own bytes — still exact, one small allocation, rare.
+
+import (
+	"math"
+	"strconv"
+)
+
+type jdec struct {
+	data []byte
+	i    int
+}
+
+func (d *jdec) ws() {
+	for d.i < len(d.data) {
+		switch d.data[d.i] {
+		case ' ', '\t', '\n', '\r':
+			d.i++
+		default:
+			return
+		}
+	}
+}
+
+func (d *jdec) peek() byte {
+	if d.i < len(d.data) {
+		return d.data[d.i]
+	}
+	return 0
+}
+
+func (d *jdec) eat(c byte) bool {
+	if d.i < len(d.data) && d.data[d.i] == c {
+		d.i++
+		return true
+	}
+	return false
+}
+
+// rawString scans a string literal and returns its raw contents. Escapes,
+// control bytes, and non-ASCII all bail: the stdlib's unquoting (including
+// its invalid-UTF-8 replacement) is the source of truth for those.
+func (d *jdec) rawString() ([]byte, bool) {
+	if !d.eat('"') {
+		return nil, false
+	}
+	start := d.i
+	for d.i < len(d.data) {
+		c := d.data[d.i]
+		if c == '"' {
+			s := d.data[start:d.i]
+			d.i++
+			return s, true
+		}
+		if c == '\\' || c < 0x20 || c >= 0x80 {
+			return nil, false
+		}
+		d.i++
+	}
+	return nil, false
+}
+
+// scanNumber scans one JSON number (full grammar, leading zeros rejected)
+// and returns its span.
+func (d *jdec) scanNumber() ([]byte, bool) {
+	start := d.i
+	if d.peek() == '-' {
+		d.i++
+	}
+	switch c := d.peek(); {
+	case c == '0':
+		d.i++
+		if c := d.peek(); c >= '0' && c <= '9' {
+			return nil, false
+		}
+	case c >= '1' && c <= '9':
+		for c := d.peek(); c >= '0' && c <= '9'; c = d.peek() {
+			d.i++
+		}
+	default:
+		return nil, false
+	}
+	if d.peek() == '.' {
+		d.i++
+		if c := d.peek(); c < '0' || c > '9' {
+			return nil, false
+		}
+		for c := d.peek(); c >= '0' && c <= '9'; c = d.peek() {
+			d.i++
+		}
+	}
+	if c := d.peek(); c == 'e' || c == 'E' {
+		d.i++
+		if c := d.peek(); c == '+' || c == '-' {
+			d.i++
+		}
+		if c := d.peek(); c < '0' || c > '9' {
+			return nil, false
+		}
+		for c := d.peek(); c >= '0' && c <= '9'; c = d.peek() {
+			d.i++
+		}
+	}
+	return d.data[start:d.i], true
+}
+
+func (d *jdec) float() (float64, bool) {
+	b, ok := d.scanNumber()
+	if !ok {
+		return 0, false
+	}
+	return parseFloatBytes(b)
+}
+
+// intv decodes a number into an int field. A fraction or exponent bails so
+// the stdlib reports its exact "cannot unmarshal number ... into ... int"
+// error; near-overflow magnitudes bail to the stdlib's range handling.
+func (d *jdec) intv() (int64, bool) {
+	b, ok := d.scanNumber()
+	if !ok {
+		return 0, false
+	}
+	for _, c := range b {
+		if c == '.' || c == 'e' || c == 'E' {
+			return 0, false
+		}
+	}
+	neg := false
+	if b[0] == '-' {
+		neg = true
+		b = b[1:]
+	}
+	var v uint64
+	for _, c := range b {
+		if v > (1<<62)/10 {
+			return 0, false
+		}
+		v = v*10 + uint64(c-'0')
+	}
+	if neg {
+		return -int64(v), true
+	}
+	return int64(v), true
+}
+
+var pow10tab = [23]float64{
+	1, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11,
+	1e12, 1e13, 1e14, 1e15, 1e16, 1e17, 1e18, 1e19, 1e20, 1e21, 1e22,
+}
+
+// parseFloatBytes is the Clinger fast path over an already-validated JSON
+// number span; it falls back to strconv for anything it cannot round
+// exactly.
+func parseFloatBytes(b []byte) (float64, bool) {
+	var mant uint64
+	var exp10 int
+	neg, sawDot := false, false
+	i := 0
+	if len(b) > 0 && b[0] == '-' {
+		neg = true
+		i = 1
+	}
+scan:
+	for ; i < len(b); i++ {
+		switch c := b[i]; {
+		case c == '.':
+			sawDot = true
+		case c == 'e' || c == 'E':
+			break scan
+		default:
+			if mant >= (math.MaxUint64-9)/10 {
+				return slowParseFloat(b)
+			}
+			mant = mant*10 + uint64(c-'0')
+			if sawDot {
+				exp10--
+			}
+		}
+	}
+	if i < len(b) { // exponent part
+		i++ // 'e'
+		eneg := false
+		if b[i] == '+' {
+			i++
+		} else if b[i] == '-' {
+			eneg = true
+			i++
+		}
+		ev := 0
+		for ; i < len(b); i++ {
+			ev = ev*10 + int(b[i]-'0')
+			if ev > 10000 {
+				return slowParseFloat(b)
+			}
+		}
+		if eneg {
+			ev = -ev
+		}
+		exp10 += ev
+	}
+	if mant == 0 {
+		if neg {
+			return math.Copysign(0, -1), true
+		}
+		return 0, true
+	}
+	if mant >= 1<<53 {
+		return slowParseFloat(b)
+	}
+	f := float64(mant)
+	switch {
+	case exp10 == 0:
+	case exp10 > 0 && exp10 <= 22:
+		f *= pow10tab[exp10]
+	case exp10 < 0 && exp10 >= -22:
+		f /= pow10tab[-exp10]
+	default:
+		return slowParseFloat(b)
+	}
+	if neg {
+		f = -f
+	}
+	return f, true
+}
+
+func slowParseFloat(b []byte) (float64, bool) {
+	f, err := strconv.ParseFloat(string(b), 64)
+	return f, err == nil
+}
+
+// internStrings maps the request vocabulary — computation ids and aliases,
+// kernel names, vary tokens, common level names — to pre-allocated Go
+// strings, so decoding them is a map probe instead of a heap copy. A miss
+// still decodes correctly (one string allocation).
+var internStrings = func() map[string]string {
+	tab := make(map[string]string)
+	for _, s := range []string{
+		"convolution", "convolve", "fft", "grid", "matmul",
+		"matrix-multiplication", "matvec", "matrix-vector", "sorting",
+		"sort", "spmv", "sparse-matvec", "triangularization",
+		"matrix-triangularization", "trisolve", "triangular-solve",
+		"lu", "strassen", "hierarchy",
+		"capacity", "bandwidth", "bw",
+		"l1", "l2", "l3", "sram", "dram", "disk", "cache", "ram", "hbm",
+	} {
+		tab[s] = s
+	}
+	return tab
+}()
+
+func internString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if s, ok := internStrings[string(b)]; ok {
+		return s
+	}
+	return string(b)
+}
+
+// --- per-type decoders ---
+
+func (d *jdec) peDTO(p *PEDTO) bool {
+	d.ws()
+	if !d.eat('{') {
+		return false
+	}
+	d.ws()
+	if d.eat('}') {
+		return true
+	}
+	for {
+		key, ok := d.rawString()
+		if !ok {
+			return false
+		}
+		d.ws()
+		if !d.eat(':') {
+			return false
+		}
+		d.ws()
+		switch string(key) {
+		case "c":
+			p.C, ok = d.float()
+		case "io":
+			p.IO, ok = d.float()
+		case "m":
+			p.M, ok = d.float()
+		default:
+			return false
+		}
+		if !ok {
+			return false
+		}
+		d.ws()
+		if d.eat(',') {
+			d.ws()
+			continue
+		}
+		return d.eat('}')
+	}
+}
+
+func (d *jdec) computationDTO(c *ComputationDTO) bool {
+	d.ws()
+	if !d.eat('{') {
+		return false
+	}
+	d.ws()
+	if d.eat('}') {
+		return true
+	}
+	for {
+		key, ok := d.rawString()
+		if !ok {
+			return false
+		}
+		d.ws()
+		if !d.eat(':') {
+			return false
+		}
+		d.ws()
+		switch string(key) {
+		case "name":
+			var s []byte
+			s, ok = d.rawString()
+			if ok {
+				c.Name = internString(s)
+			}
+		case "dim":
+			var v int64
+			v, ok = d.intv()
+			c.Dim = int(v)
+		case "taps":
+			var v int64
+			v, ok = d.intv()
+			c.Taps = int(v)
+		default:
+			return false
+		}
+		if !ok {
+			return false
+		}
+		d.ws()
+		if d.eat(',') {
+			d.ws()
+			continue
+		}
+		return d.eat('}')
+	}
+}
+
+func (d *jdec) levelDTO(l *LevelDTO) bool {
+	d.ws()
+	if !d.eat('{') {
+		return false
+	}
+	d.ws()
+	if d.eat('}') {
+		return true
+	}
+	for {
+		key, ok := d.rawString()
+		if !ok {
+			return false
+		}
+		d.ws()
+		if !d.eat(':') {
+			return false
+		}
+		d.ws()
+		switch string(key) {
+		case "name":
+			var s []byte
+			s, ok = d.rawString()
+			if ok {
+				l.Name = internString(s)
+			}
+		case "bw":
+			l.BW, ok = d.float()
+		case "m":
+			l.M, ok = d.float()
+		default:
+			return false
+		}
+		if !ok {
+			return false
+		}
+		d.ws()
+		if d.eat(',') {
+			d.ws()
+			continue
+		}
+		return d.eat('}')
+	}
+}
+
+// levelArray decodes into dst's recycled backing array. An empty array
+// bails: the stdlib distinguishes [] (non-nil empty) from absent (nil), and
+// replaying is simpler than replicating that.
+func (d *jdec) levelArray(dst *[]LevelDTO) bool {
+	d.ws()
+	if !d.eat('[') {
+		return false
+	}
+	*dst = (*dst)[:0]
+	d.ws()
+	if d.peek() == ']' {
+		return false
+	}
+	for {
+		var l LevelDTO
+		if !d.levelDTO(&l) {
+			return false
+		}
+		*dst = append(*dst, l)
+		d.ws()
+		if d.eat(',') {
+			d.ws()
+			continue
+		}
+		return d.eat(']')
+	}
+}
+
+func (d *jdec) intArray(dst *[]int) bool {
+	d.ws()
+	if !d.eat('[') {
+		return false
+	}
+	*dst = (*dst)[:0]
+	d.ws()
+	if d.peek() == ']' {
+		return false
+	}
+	for {
+		v, ok := d.intv()
+		if !ok {
+			return false
+		}
+		*dst = append(*dst, int(v))
+		d.ws()
+		if d.eat(',') {
+			d.ws()
+			continue
+		}
+		return d.eat(']')
+	}
+}
+
+// atEnd reports the decode consumed the whole body (strictDecodeJSON
+// rejects trailing data).
+func (d *jdec) atEnd() bool {
+	d.ws()
+	return d.i == len(d.data)
+}
+
+func fastDecodeAnalyze(req *AnalyzeRequest, data []byte) bool {
+	d := jdec{data: data}
+	d.ws()
+	if !d.eat('{') {
+		return false
+	}
+	d.ws()
+	if d.eat('}') {
+		return d.atEnd()
+	}
+	for {
+		key, ok := d.rawString()
+		if !ok {
+			return false
+		}
+		d.ws()
+		if !d.eat(':') {
+			return false
+		}
+		d.ws()
+		switch string(key) {
+		case "pe":
+			ok = d.peDTO(&req.PE)
+		case "computation":
+			ok = d.computationDTO(&req.Computation)
+		case "max_memory":
+			req.MaxMemory, ok = d.float()
+		case "levels":
+			ok = d.levelArray(&req.Levels)
+		default:
+			return false
+		}
+		if !ok {
+			return false
+		}
+		d.ws()
+		if d.eat(',') {
+			d.ws()
+			continue
+		}
+		return d.eat('}') && d.atEnd()
+	}
+}
+
+func fastDecodeSweep(req *SweepRequest, data []byte) bool {
+	d := jdec{data: data}
+	d.ws()
+	if !d.eat('{') {
+		return false
+	}
+	d.ws()
+	if d.eat('}') {
+		return d.atEnd()
+	}
+	for {
+		key, ok := d.rawString()
+		if !ok {
+			return false
+		}
+		d.ws()
+		if !d.eat(':') {
+			return false
+		}
+		d.ws()
+		switch string(key) {
+		case "kernel":
+			var s []byte
+			s, ok = d.rawString()
+			if ok {
+				req.Kernel = internString(s)
+			}
+		case "n":
+			var v int64
+			v, ok = d.intv()
+			req.N = int(v)
+		case "params":
+			ok = d.intArray(&req.Params)
+		case "dim":
+			var v int64
+			v, ok = d.intv()
+			req.Dim = int(v)
+		case "size":
+			var v int64
+			v, ok = d.intv()
+			req.Size = int(v)
+		case "iters":
+			var v int64
+			v, ok = d.intv()
+			req.Iters = int(v)
+		case "nnz_per_row":
+			var v int64
+			v, ok = d.intv()
+			req.NNZPerRow = int(v)
+		case "seed":
+			req.Seed, ok = d.intv()
+		case "c":
+			req.C, ok = d.float()
+		case "levels":
+			ok = d.levelArray(&req.Levels)
+		case "computation":
+			// A non-nil pointer is reused and merged into, as the stdlib
+			// does on a duplicate key.
+			if req.Computation == nil {
+				req.Computation = new(ComputationDTO)
+			}
+			ok = d.computationDTO(req.Computation)
+		case "vary":
+			var s []byte
+			s, ok = d.rawString()
+			if ok {
+				req.Vary = internString(s)
+			}
+		case "level":
+			var v int64
+			v, ok = d.intv()
+			req.Level = int(v)
+		default:
+			return false
+		}
+		if !ok {
+			return false
+		}
+		d.ws()
+		if d.eat(',') {
+			d.ws()
+			continue
+		}
+		return d.eat('}') && d.atEnd()
+	}
+}
+
+// fastDecodeRequest attempts the zero-allocation decode for the hot request
+// types; false means "fall back to strictDecodeJSON on the same bytes after
+// zeroing v".
+func fastDecodeRequest(v any, data []byte) bool {
+	switch t := v.(type) {
+	case *AnalyzeRequest:
+		return fastDecodeAnalyze(t, data)
+	case *SweepRequest:
+		return fastDecodeSweep(t, data)
+	}
+	return false
+}

@@ -73,22 +73,23 @@ func (s *Server) analyzeHierarchy(req *AnalyzeRequest, comp model.Computation, m
 		return nil, unprocessable("invalid_argument", "%v", err)
 	}
 	bind := a.BindingBoundary()
-	resp := &AnalyzeResponse{
-		Computation:     comp.Name,
-		Section:         comp.Section,
-		PE:              PEDTO{C: h.C, IO: bind.Level.BW, M: bind.CapacityWithin},
-		Intensity:       bind.Intensity,
-		AchievableRatio: bind.AchievableRatio,
-		State:           balanceStateName(a.State),
-		BalancedMemory:  bind.BalancedMemory,
-		Rebalanceable:   bind.Rebalanceable,
-		Law:             comp.Law.Describe(),
-		Levels:          req.Levels,
-		Boundaries:      make([]BoundaryDTO, len(a.Boundaries)),
-		BindingBoundary: a.Binding,
-	}
-	for i, b := range a.Boundaries {
-		resp.Boundaries[i] = BoundaryDTO{
+	resp := getAnalyzeResponse()
+	resp.Computation = comp.Name
+	resp.Section = comp.Section
+	resp.PE = PEDTO{C: h.C, IO: bind.Level.BW, M: bind.CapacityWithin}
+	resp.Intensity = bind.Intensity
+	resp.AchievableRatio = bind.AchievableRatio
+	resp.State = balanceStateName(a.State)
+	resp.BalancedMemory = bind.BalancedMemory
+	resp.Rebalanceable = bind.Rebalanceable
+	resp.Law = lawDescription(comp.Law)
+	// Levels aliases the request's slice; putAnalyzeResponse drops it
+	// rather than recycling it for exactly that reason.
+	resp.Levels = req.Levels
+	resp.BindingBoundary = a.Binding
+	boundaries := resp.Boundaries[:0]
+	for _, b := range a.Boundaries {
+		boundaries = append(boundaries, BoundaryDTO{
 			Boundary:        b.Boundary,
 			Name:            b.Level.Name,
 			BW:              b.Level.BW,
@@ -98,8 +99,9 @@ func (s *Server) analyzeHierarchy(req *AnalyzeRequest, comp model.Computation, m
 			State:           balanceStateName(b.State),
 			BalancedMemory:  b.BalancedMemory,
 			Rebalanceable:   b.Rebalanceable,
-		}
+		})
 	}
+	resp.Boundaries = boundaries
 	return resp, nil
 }
 
@@ -122,7 +124,7 @@ func (s *Server) rebalanceHierarchy(req *RebalanceRequest, comp model.Computatio
 		Computation:     comp.Name,
 		Alpha:           req.Alpha,
 		Rebalanceable:   r.Rebalanceable,
-		Law:             comp.Law.Describe(),
+		Law:             lawDescription(comp.Law),
 		C:               req.C,
 		Boundaries:      make([]RebalanceBoundaryDTO, len(r.Boundaries)),
 		BindingBoundary: r.Binding,
@@ -171,6 +173,9 @@ func (s *Server) rooflineHierarchy(req *RooflineRequest, comps []model.Computati
 	lo, hi, step := req.MemLo, req.MemHi, req.Step
 	if step == 0 {
 		step = 4
+	}
+	if apiErr := checkRooflinePoints(lo, hi, step); apiErr != nil {
+		return nil, apiErr
 	}
 	ridges := m.Ridges()
 	resp := &RooflineResponse{

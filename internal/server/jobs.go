@@ -291,7 +291,9 @@ func (s *Server) jobExecutor() jobs.Exec {
 		if apiErr != nil {
 			return nil, apiErr
 		}
-		return encodeJSONBody(body)
+		data, err := encodeJSONBody(body)
+		releaseBody(body) // pooled responses go back once their bytes are stored
+		return data, err
 	}
 }
 

@@ -23,19 +23,52 @@ func LatencyBucketBounds() []float64 {
 	return append([]float64(nil), latencyBuckets...)
 }
 
+// routePatterns is the fixed universe of metrics keys: every mux pattern
+// (method-qualified, matching what routeLabel reports) plus the two
+// collapse tokens for requests the mux never matched. NewMetrics
+// preregisters a slot per entry so Observe on a known route is a
+// lock-free map probe plus one slot mutex — no global lock, no
+// allocation. The list going stale is harmless (an unlisted route falls
+// back to the copy-on-write slow path, one allocation ever); keeping it
+// in sync keeps the hot path uniform.
+var routePatterns = []string{
+	"GET /healthz",
+	"GET /metrics",
+	"GET /v1/catalog",
+	"POST /v1/analyze",
+	"POST /v1/rebalance",
+	"POST /v1/roofline",
+	"POST /v1/sweep",
+	"GET /v1/experiments",
+	"POST /v1/experiments/{id}",
+	"POST /v1/batch",
+	"POST /v1/jobs",
+	"GET /v1/jobs",
+	"GET /v1/jobs/{id}",
+	"GET /v1/jobs/{id}/result",
+	"DELETE /v1/jobs/{id}",
+	"(unmatched)",
+	"(unknown_route)",
+}
+
 // Metrics is the server's instrumentation: per-route request and error
 // counts, a latency histogram, the sweep-cache hit rate, and an in-flight
 // gauge. All methods are safe for concurrent use; reads take a snapshot, so
 // /metrics never blocks the hot path for long.
+//
+// The route table is copy-on-write: readers load an immutable map of
+// preregistered slots (one per routePatterns entry) and only the
+// never-in-practice slow path of an unknown route takes the growth lock.
+// Status classes are plain atomics. The global histogram, latency sum, and
+// request total are derived from the slots at snapshot time instead of
+// being maintained as separate counters on the hot path.
 type Metrics struct {
 	start time.Time
 
-	mu       sync.Mutex
-	routes   map[string]*routeStats // per-route completed requests + latency
-	statuses map[int]int64          // per-status-class completed requests
-	hist     []int64                // latency histogram counts, one per bucket
-	histOver int64                  // observations above the last bucket
-	latSum   float64                // total latency seconds, for the mean
+	slots  atomic.Pointer[map[string]*routeSlot] // immutable; swapped under slotMu
+	slotMu sync.Mutex                            // guards copy-on-write growth only
+
+	statuses [10]atomic.Int64 // completed requests by status/100, clamped
 
 	inFlight    atomic.Int64
 	cacheHits   atomic.Int64
@@ -43,9 +76,11 @@ type Metrics struct {
 	panics      atomic.Int64
 }
 
-// routeStats is one route's request count and latency distribution, bucketed
-// on latencyBuckets.
-type routeStats struct {
+// routeSlot is one route's request count and latency distribution, bucketed
+// on latencyBuckets. Each slot has its own mutex, so two routes never
+// contend and /metrics drains them one at a time.
+type routeSlot struct {
+	mu    sync.Mutex
 	count int64
 	hist  []int64
 	over  int64   // observations above the last bucket
@@ -53,47 +88,70 @@ type routeStats struct {
 	max   float64 // slowest observation in seconds
 }
 
-// NewMetrics returns ready-to-use instrumentation.
+// NewMetrics returns ready-to-use instrumentation with every known route's
+// slot preallocated.
 func NewMetrics() *Metrics {
-	return &Metrics{
-		start:    time.Now(),
-		routes:   make(map[string]*routeStats),
-		statuses: make(map[int]int64),
-		hist:     make([]int64, len(latencyBuckets)),
+	slots := make(map[string]*routeSlot, len(routePatterns))
+	for _, p := range routePatterns {
+		slots[p] = &routeSlot{hist: make([]int64, len(latencyBuckets))}
 	}
+	m := &Metrics{start: time.Now()}
+	m.slots.Store(&slots)
+	return m
+}
+
+// slot returns the route's slot, creating one (copy-on-write) for a route
+// outside the preregistered set.
+func (m *Metrics) slot(route string) *routeSlot {
+	if s := (*m.slots.Load())[route]; s != nil {
+		return s
+	}
+	m.slotMu.Lock()
+	defer m.slotMu.Unlock()
+	cur := *m.slots.Load()
+	if s := cur[route]; s != nil {
+		return s
+	}
+	next := make(map[string]*routeSlot, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	s := &routeSlot{hist: make([]int64, len(latencyBuckets))}
+	next[route] = s
+	m.slots.Store(&next)
+	return s
 }
 
 // Observe records one completed request: its route, response status, and
 // latency.
 func (m *Metrics) Observe(route string, status int, elapsed time.Duration) {
 	sec := elapsed.Seconds()
-	m.mu.Lock()
-	rs := m.routes[route]
-	if rs == nil {
-		rs = &routeStats{hist: make([]int64, len(latencyBuckets))}
-		m.routes[route] = rs
-	}
+	rs := m.slot(route)
+	rs.mu.Lock()
 	rs.count++
 	rs.sum += sec
 	if sec > rs.max {
 		rs.max = sec
 	}
-	m.statuses[status/100*100]++
-	m.latSum += sec
 	placed := false
 	for i, ub := range latencyBuckets {
 		if sec <= ub {
-			m.hist[i]++
 			rs.hist[i]++
 			placed = true
 			break
 		}
 	}
 	if !placed {
-		m.histOver++
 		rs.over++
 	}
-	m.mu.Unlock()
+	rs.mu.Unlock()
+	c := status / 100
+	if c < 0 {
+		c = 0
+	} else if c > 9 {
+		c = 9
+	}
+	m.statuses[c].Add(1)
 }
 
 // IncInFlight/DecInFlight maintain the in-flight request gauge.
@@ -194,8 +252,9 @@ func HistogramQuantile(q float64, bounds []float64, counts []int64, over int64, 
 	return max
 }
 
-// summary condenses one route's histogram into the snapshot shape.
-func (rs *routeStats) summary() RouteLatency {
+// summary condenses one route's histogram into the snapshot shape. The
+// caller holds rs.mu.
+func (rs *routeSlot) summary() RouteLatency {
 	rl := RouteLatency{
 		Count:      rs.count,
 		P50Seconds: HistogramQuantile(0.50, latencyBuckets, rs.hist, rs.over, rs.max),
@@ -221,24 +280,43 @@ func (m *Metrics) Snapshot() Snapshot {
 		CacheHits:     m.cacheHits.Load(),
 		CacheMisses:   m.cacheMisses.Load(),
 	}
-	m.mu.Lock()
-	var total int64
-	for route, rs := range m.routes {
+	// The global totals are aggregated from the slots: preregistered slots
+	// that never saw a request are skipped so the maps list exactly the
+	// routes that were hit, as the old lazily-grown table did.
+	var (
+		total  int64
+		over   int64
+		latSum float64
+		hist   = make([]int64, len(latencyBuckets))
+	)
+	for route, rs := range *m.slots.Load() {
+		rs.mu.Lock()
+		if rs.count == 0 {
+			rs.mu.Unlock()
+			continue
+		}
 		s.Requests[route] = rs.count
 		s.RouteLatency[route] = rs.summary()
 		total += rs.count
+		latSum += rs.sum
+		over += rs.over
+		for i, n := range rs.hist {
+			hist[i] += n
+		}
+		rs.mu.Unlock()
 	}
-	for status, n := range m.statuses {
-		s.StatusClasses[statusClassName(status)] = n
+	for i := range m.statuses {
+		if n := m.statuses[i].Load(); n > 0 {
+			s.StatusClasses[statusClassName(i*100)] += n
+		}
 	}
 	if total > 0 {
-		s.LatencyMean = m.latSum / float64(total)
+		s.LatencyMean = latSum / float64(total)
 	}
-	for i, n := range m.hist {
+	for i, n := range hist {
 		s.LatencyBuckets = append(s.LatencyBuckets, HistogramBucket{latencyBuckets[i], n})
 	}
-	s.LatencyBuckets = append(s.LatencyBuckets, HistogramBucket{-1, m.histOver})
-	m.mu.Unlock()
+	s.LatencyBuckets = append(s.LatencyBuckets, HistogramBucket{-1, over})
 	if lookups := s.CacheHits + s.CacheMisses; lookups > 0 {
 		s.CacheHitRate = float64(s.CacheHits) / float64(lookups)
 	}

@@ -5,6 +5,7 @@ import (
 	"log/slog"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -24,12 +25,16 @@ func Chain(h http.Handler, mw ...Middleware) http.Handler {
 }
 
 // statusRecorder captures the response status and size for logging and
-// metrics.
+// metrics. Instances are pooled by Logging — one lives exactly as long as
+// the request it wraps, and its ResponseWriter is nilled before it goes
+// back so a stale handler reference cannot write into the next request.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
 	bytes  int64
 }
+
+var recorderPool = sync.Pool{New: func() any { return new(statusRecorder) }}
 
 func (r *statusRecorder) WriteHeader(code int) {
 	if r.status == 0 {
@@ -50,8 +55,11 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 // RequestIDHeader is the correlation header: a client that sets it on a
 // request finds the same value echoed on the response, so a load generator
 // (or any caller with its own tracing) can match responses to the requests
-// it issued and to the server's log lines.
-const RequestIDHeader = "X-Request-ID"
+// it issued and to the server's log lines. The spelling is the textproto
+// canonical form ("Id", not "ID") — the form net/http has always put on
+// the wire — so Header.Get/Set skip the per-call canonicalization copy;
+// lookups remain case-insensitive for clients.
+const RequestIDHeader = "X-Request-Id"
 
 // maxRequestIDLen caps the echoed header so an abusive client cannot make
 // the server mirror arbitrarily large payloads into responses and logs.
@@ -60,7 +68,7 @@ const maxRequestIDLen = 128
 // requestIDSeq numbers server-assigned request ids.
 var requestIDSeq atomic.Int64
 
-// RequestID echoes the client's X-Request-ID header onto the response, or
+// RequestID echoes the client's X-Request-Id header onto the response, or
 // assigns a sequential "balarch-<n>" id when the client sent none. It sets
 // the response header before the inner handler runs, so Logging (inside it
 // in the server's stack) can include the id in its line.
@@ -72,7 +80,12 @@ func RequestID() Middleware {
 				id = id[:maxRequestIDLen]
 			}
 			if id == "" {
-				id = "balarch-" + strconv.FormatInt(requestIDSeq.Add(1), 10)
+				// Build the id in one allocation (the string copy); the
+				// append chain itself stays on the stack.
+				var buf [24]byte
+				b := append(buf[:0], "balarch-"...)
+				b = strconv.AppendInt(b, requestIDSeq.Add(1), 10)
+				id = string(b)
 			}
 			w.Header().Set(RequestIDHeader, id)
 			next.ServeHTTP(w, r)
@@ -115,7 +128,10 @@ func Logging(log *slog.Logger, m *Metrics) Middleware {
 			if m != nil {
 				m.IncInFlight()
 			}
-			rec := &statusRecorder{ResponseWriter: w}
+			rec := recorderPool.Get().(*statusRecorder)
+			rec.ResponseWriter = w
+			rec.status = 0
+			rec.bytes = 0
 			defer func() {
 				if rec.status == 0 {
 					rec.status = http.StatusOK
@@ -132,6 +148,8 @@ func Logging(log *slog.Logger, m *Metrics) Middleware {
 						"duration", elapsed,
 						"request_id", rec.Header().Get(RequestIDHeader))
 				}
+				rec.ResponseWriter = nil
+				recorderPool.Put(rec)
 			}()
 			next.ServeHTTP(rec, r)
 		})
@@ -181,12 +199,20 @@ func LimitConcurrency(n int, exempt ...string) Middleware {
 			}
 			select {
 			case slots <- struct{}{}:
-				defer func() { <-slots }()
-				next.ServeHTTP(w, r)
-			case <-r.Context().Done():
-				writeError(w, &apiError{Status: http.StatusServiceUnavailable,
-					Body: ErrorBody{"overloaded", "request cancelled while queued for a slot"}})
+				// Fast path: a slot was free, so r.Context().Done() — whose
+				// channel the http.Server materializes lazily, costing an
+				// allocation — is never touched.
+			default:
+				select {
+				case slots <- struct{}{}:
+				case <-r.Context().Done():
+					writeError(w, &apiError{Status: http.StatusServiceUnavailable,
+						Body: ErrorBody{"overloaded", "request cancelled while queued for a slot"}})
+					return
+				}
 			}
+			defer func() { <-slots }()
+			next.ServeHTTP(w, r)
 		})
 	}
 }

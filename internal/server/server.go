@@ -27,12 +27,16 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
+	"math"
 	"net/http"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"balarch/internal/engine"
@@ -197,18 +201,25 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 func (s *Server) ResetCache() { s.sweeps.Reset() }
 
 // Handler returns the full API behind the middleware stack:
-// requestid(timeout(logging+metrics(recover(limiter(mux))))). RequestID
+// requestid(logging+metrics(recover(limiter(mux)))). RequestID
 // sits outermost so every response — including a limiter 503 or a recovered
 // panic — carries the correlation header, and so Logging (inside it) can
-// log the id. The timeout sits
-// outside the limiter so the per-request deadline covers time spent queued
-// for a slot, and so no request copy separates Logging from the mux
+// log the id. No request copy separates Logging from the mux
 // (the mux stamps the matched pattern on the request it serves; a copy
 // in between would hide it from the route metrics). Recover sits inside
 // Logging so a recovered panic's 500 is still logged, counted, and
 // decremented from the in-flight gauge. Health and metrics probes
 // bypass the limiter: a saturated server must still answer its load
 // balancer.
+//
+// The per-request budget (Options.RequestTimeout) is applied inside the
+// operations whose elapsed time can actually grow — sweep flights
+// (runSweep), experiment runs (runExperiment), and batch fan-out — rather
+// than by a chain-wide timeout middleware: a context.WithTimeout on every
+// request costs several allocations, and the analytic endpoints it would
+// cover are microsecond-scale arithmetic with service caps on their loop
+// counts (maxRooflinePoints, maxSweepPoints, maxHierarchyLevels).
+// WithTimeout remains exported for embedders composing their own stacks.
 func (s *Server) Handler() http.Handler {
 	limit := s.opts.MaxInFlight
 	if limit == 0 {
@@ -216,11 +227,20 @@ func (s *Server) Handler() http.Handler {
 	}
 	return Chain(s.mux(),
 		RequestID(),
-		WithTimeout(s.opts.RequestTimeout),
 		Logging(s.opts.Logger, s.metrics),
 		Recover(s.opts.Logger, s.metrics),
 		LimitConcurrency(limit, "/healthz", "/metrics"),
 	)
+}
+
+// opBudget applies the per-request budget to an operation that does real
+// work. It is the request-scoped counterpart of the old chain-wide timeout
+// middleware, paid only where time is actually spent.
+func (s *Server) opBudget(ctx context.Context) (context.Context, context.CancelFunc) {
+	if s.opts.RequestTimeout > 0 {
+		return context.WithTimeout(ctx, s.opts.RequestTimeout)
+	}
+	return ctx, func() {}
 }
 
 // mux routes the twelve endpoints plus health and metrics.
@@ -229,10 +249,10 @@ func (s *Server) mux() *http.ServeMux {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
-	mux.HandleFunc("POST /v1/analyze", jsonHandler(s, s.analyze))
+	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("POST /v1/rebalance", jsonHandler(s, s.rebalance))
 	mux.HandleFunc("POST /v1/roofline", jsonHandler(s, s.roofline))
-	mux.HandleFunc("POST /v1/sweep", jsonHandler(s, s.sweep))
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
 	mux.HandleFunc("POST /v1/experiments/{id}", s.handleExperimentRun)
 	mux.HandleFunc("POST /v1/batch", jsonHandler(s, s.batch))
@@ -278,6 +298,123 @@ func (s *Server) sweepContext(ctx context.Context) context.Context {
 	return engine.WithParallelism(ctx, s.opts.Parallelism)
 }
 
+// readBody reads the whole request body into a pooled buffer, enforcing
+// MaxBodyBytes: a known over-limit length is an immediate 413 (the same
+// code and message http.MaxBytesReader produces), an unknown-length body
+// reads through http.MaxBytesReader. On success the caller owns the
+// returned buffer and must putBuf it.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) (*byteBuf, *apiError) {
+	maxBytes := s.opts.MaxBodyBytes
+	if cl := r.ContentLength; cl >= 0 {
+		if cl > maxBytes {
+			return nil, asAPIError(&http.MaxBytesError{Limit: maxBytes})
+		}
+		bb := getBuf()
+		if int64(cap(bb.b)) < cl {
+			bb.b = make([]byte, cl)
+		} else {
+			bb.b = bb.b[:cl]
+		}
+		n, err := io.ReadFull(r.Body, bb.b)
+		bb.b = bb.b[:n]
+		switch err {
+		case nil, io.ErrUnexpectedEOF, io.EOF:
+			// A short or empty body keeps its partial bytes: the decode
+			// step produces the stdlib's canonical truncation/empty-body
+			// error from them.
+			return bb, nil
+		default:
+			putBuf(bb)
+			return nil, badRequest("bad_json", "%v", err)
+		}
+	}
+	body := http.MaxBytesReader(w, r.Body, maxBytes)
+	bb := getBuf()
+	b := bb.b[:0]
+	for {
+		if len(b) == cap(b) {
+			b = append(b, 0)[:len(b)]
+		}
+		n, err := body.Read(b[len(b):cap(b)])
+		b = b[:len(b)+n]
+		if err != nil {
+			bb.b = b
+			if err == io.EOF {
+				return bb, nil
+			}
+			putBuf(bb)
+			return nil, asDecodeError(err)
+		}
+	}
+}
+
+// decodeBody strict-decodes data into the pooled request DTO: the
+// allocation-free fast decoder first, and on any deviation from its subset
+// a zeroed replay through strictDecodeJSON, so accepted inputs decode
+// exactly as encoding/json would and rejected ones carry its exact errors.
+func decodeBody[Req any](req *Req, data []byte) *apiError {
+	if fastDecodeRequest(req, data) {
+		return nil
+	}
+	var zero Req
+	*req = zero
+	return strictDecodeJSON(bytes.NewReader(data), req)
+}
+
+// handleAnalyze is POST /v1/analyze: jsonHandler's decode→core→encode with
+// the pooled request/response DTOs and buffers threaded through, so the
+// cached path completes without heap allocation.
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	bb, apiErr := s.readBody(w, r)
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	req := getAnalyzeRequest()
+	apiErr = decodeBody(req, bb.b)
+	putBuf(bb)
+	if apiErr != nil {
+		putAnalyzeRequest(req)
+		writeError(w, apiErr)
+		return
+	}
+	resp, apiErr := s.analyze(r.Context(), req)
+	if apiErr != nil {
+		putAnalyzeRequest(req)
+		writeError(w, apiErr)
+		return
+	}
+	writeJSON(w, resp)
+	releaseBody(resp) // before the request: resp.Levels may alias req.Levels
+	putAnalyzeRequest(req)
+}
+
+// handleSweep is POST /v1/sweep, pooled like handleAnalyze.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	bb, apiErr := s.readBody(w, r)
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	req := getSweepRequest()
+	apiErr = decodeBody(req, bb.b)
+	putBuf(bb)
+	if apiErr != nil {
+		putSweepRequest(req)
+		writeError(w, apiErr)
+		return
+	}
+	resp, apiErr := s.sweep(r.Context(), req)
+	if apiErr != nil {
+		putSweepRequest(req)
+		writeError(w, apiErr)
+		return
+	}
+	writeJSON(w, resp)
+	releaseBody(resp)
+	putSweepRequest(req)
+}
+
 // --- core operations (shared by handlers and /v1/batch) ---
 
 // analyze diagnoses a PE — or, when the request carries levels, a whole
@@ -299,17 +436,17 @@ func (s *Server) analyze(_ context.Context, req *AnalyzeRequest) (*AnalyzeRespon
 		// Analyze fails only on invalid PE parameters.
 		return nil, unprocessable("invalid_argument", "%v", err)
 	}
-	return &AnalyzeResponse{
-		Computation:     comp.Name,
-		Section:         comp.Section,
-		PE:              peDTO(a.PE),
-		Intensity:       a.Intensity,
-		AchievableRatio: a.AchievableRatio,
-		State:           balanceStateName(a.State),
-		BalancedMemory:  a.BalancedMemory,
-		Rebalanceable:   a.Rebalanceable,
-		Law:             comp.Law.Describe(),
-	}, nil
+	resp := getAnalyzeResponse()
+	resp.Computation = comp.Name
+	resp.Section = comp.Section
+	resp.PE = peDTO(a.PE)
+	resp.Intensity = a.Intensity
+	resp.AchievableRatio = a.AchievableRatio
+	resp.State = balanceStateName(a.State)
+	resp.BalancedMemory = a.BalancedMemory
+	resp.Rebalanceable = a.Rebalanceable
+	resp.Law = lawDescription(comp.Law)
+	return resp, nil
 }
 
 // rebalance answers the memory-growth question numerically and in closed
@@ -335,7 +472,7 @@ func (s *Server) rebalance(_ context.Context, req *RebalanceRequest) (*Rebalance
 		Computation: comp.Name,
 		Alpha:       req.Alpha,
 		MOld:        req.MOld,
-		Law:         comp.Law.Describe(),
+		Law:         lawDescription(comp.Law),
 	}
 	mNew, err := comp.Rebalance(req.Alpha, req.MOld, maxM)
 	switch {
@@ -384,6 +521,9 @@ func (s *Server) roofline(_ context.Context, req *RooflineRequest) (*RooflineRes
 	if step == 0 {
 		step = 4
 	}
+	if apiErr := checkRooflinePoints(lo, hi, step); apiErr != nil {
+		return nil, apiErr
+	}
 	resp := &RooflineResponse{PE: req.PE, RidgeIntensity: m.RidgeIntensity()}
 	for _, comp := range comps {
 		pts, err := m.Path(comp, lo, hi, step)
@@ -416,14 +556,51 @@ func (s *Server) sweep(ctx context.Context, req *SweepRequest) (*SweepResponse, 
 	return s.runSweep(ctx, req)
 }
 
+// maxRooflinePoints caps a roofline path's geometric sweep. With the
+// chain-wide timeout gone from Handler, a step barely above 1 would
+// otherwise make the sampling loop the one unbounded computation in the
+// analytic endpoints.
+const maxRooflinePoints = 4096
+
+// checkRooflinePoints rejects sweeps whose geometric point count exceeds
+// the service cap. Parameters roofline.Path itself rejects pass through so
+// its canonical validation errors are preserved.
+func checkRooflinePoints(lo, hi, step float64) *apiError {
+	if !(lo > 0) || !(hi >= lo) || !(step > 1) {
+		return nil
+	}
+	if n := math.Log(hi/lo) / math.Log(step); !(n < maxRooflinePoints) {
+		return unprocessable("invalid_argument",
+			"memory sweep [%g, %g] at step %g is ~%.0f points, service cap is %d",
+			lo, hi, step, n, maxRooflinePoints)
+	}
+	return nil
+}
+
 // --- catalog ---
 
 // handleCatalog serves GET /v1/catalog: the computation catalog with wire
 // ids, paper metadata, growth laws, and ratio families, so clients can
 // enumerate the accepted ComputationDTO.Name values instead of hard-coding
-// them. The listing is static and in id order.
+// them. The listing is static and in id order — so its bytes are encoded
+// once and replayed (lazily, via sync.Once, so package initialization
+// order cannot bite).
+var (
+	catalogOnce  sync.Once
+	catalogBytes []byte
+)
+
 func (s *Server) handleCatalog(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, catalogResponse())
+	catalogOnce.Do(func() {
+		data, err := encodeJSONBody(catalogResponse())
+		if err != nil {
+			panic(err) // static data over marshalable types; cannot fail
+		}
+		catalogBytes = data
+	})
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(catalogBytes)
 }
 
 // catalogResponse builds the listing from the same resolver the request
@@ -518,11 +695,16 @@ func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
 }
 
 // runExperiment is the core experiment executor, shared with /v1/batch.
+// The per-request budget applies here (not in the middleware chain): an
+// experiment replays whole paper figures and is the API's longest
+// synchronous operation.
 func (s *Server) runExperiment(ctx context.Context, id string) (*report.Result, *apiError) {
 	exp, err := experiments.Get(id)
 	if err != nil {
 		return nil, notFound("unknown_experiment", "%v", err)
 	}
+	ctx, cancel := s.opBudget(ctx)
+	defer cancel()
 	res, err := exp.Run(s.sweepContext(ctx))
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {

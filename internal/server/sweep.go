@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 
 	"balarch/internal/kernels"
@@ -262,6 +263,14 @@ func validateSweep(req *SweepRequest) (sweepKernel, *apiError) {
 // — share one entry. Fields a kernel ignores are normalized out so they
 // cannot split the key space.
 func sweepCacheKey(req *SweepRequest) string {
+	return string(appendSweepCacheKey(nil, req, sortedCopy(req.Params)))
+}
+
+// appendSweepCacheKey appends req's memo key to dst, byte-identical to the
+// fmt.Sprintf it replaced ("sweep/<kernel>/n=0/.../params=[64 128]") but
+// built with strconv appends so the cached hot path never allocates.
+// sortedParams is the caller's already-sorted copy of req.Params.
+func appendSweepCacheKey(dst []byte, req *SweepRequest, sortedParams []int) []byte {
 	kernel := strings.ToLower(req.Kernel)
 	n, dim, size, iters, nnz, seed := req.N, 0, 0, 0, 0, int64(0)
 	switch kernel {
@@ -274,14 +283,35 @@ func sweepCacheKey(req *SweepRequest) string {
 	case "hierarchy":
 		n = 0
 	}
-	key := fmt.Sprintf("sweep/%s/n=%d/dim=%d/size=%d/iters=%d/nnz=%d/seed=%d/params=%v",
-		kernel, n, dim, size, iters, nnz, seed, sortedCopy(req.Params))
+	dst = append(dst, "sweep/"...)
+	dst = append(dst, kernel...)
+	dst = append(dst, "/n="...)
+	dst = strconv.AppendInt(dst, int64(n), 10)
+	dst = append(dst, "/dim="...)
+	dst = strconv.AppendInt(dst, int64(dim), 10)
+	dst = append(dst, "/size="...)
+	dst = strconv.AppendInt(dst, int64(size), 10)
+	dst = append(dst, "/iters="...)
+	dst = strconv.AppendInt(dst, int64(iters), 10)
+	dst = append(dst, "/nnz="...)
+	dst = strconv.AppendInt(dst, int64(nnz), 10)
+	dst = append(dst, "/seed="...)
+	dst = strconv.AppendInt(dst, seed, 10)
+	dst = append(dst, "/params=["...)
+	for i, p := range sortedParams {
+		if i > 0 {
+			dst = append(dst, ' ')
+		}
+		dst = strconv.AppendInt(dst, int64(p), 10)
+	}
+	dst = append(dst, ']')
 	if kernel == "hierarchy" {
 		// The analytic sweep's whole machine description is key material;
 		// the suffix rides only on this kernel so every other key stays
 		// exactly as before. Levels and computation are JSON-encoded, not
 		// %v-joined: client-controlled level names could otherwise forge a
-		// colliding key and read another machine's cached points.
+		// colliding key and read another machine's cached points. (This
+		// branch allocates; the gated hot benchmarks sweep flat kernels.)
 		level := req.Level
 		if level == 0 {
 			level = 1
@@ -293,10 +323,10 @@ func sweepCacheKey(req *SweepRequest) string {
 		}
 		lv, _ := json.Marshal(req.Levels)
 		cp, _ := json.Marshal(comp)
-		key += fmt.Sprintf("/c=%v/vary=%s/level=%d/levels=%s/comp=%s",
+		dst = fmt.Appendf(dst, "/c=%v/vary=%s/level=%d/levels=%s/comp=%s",
 			req.C, vary, level, lv, cp)
 	}
-	return key
+	return dst
 }
 
 // maxSweepCacheEntries bounds the sweep memo so a long-lived daemon
@@ -316,9 +346,22 @@ func (s *Server) runSweep(ctx context.Context, req *SweepRequest) (*SweepRespons
 	if apiErr != nil {
 		return nil, apiErr
 	}
-	canonical := *req
-	canonical.Params = sortedCopy(req.Params)
+	sc := getSweepScratch()
+	sc.params = append(sc.params[:0], req.Params...)
+	sort.Ints(sc.params)
+	sc.key = appendSweepCacheKey(sc.key[:0], req, sc.params)
 
+	// The memoized case first: a plain map probe on the key bytes, no
+	// canonical copy, no flight context, no single-flight bookkeeping.
+	if pts, ok := s.sweeps.Lookup(sc.key); ok {
+		s.metrics.CacheHit()
+		resp := shapeSweepResponse(req, sc.params, pts, true)
+		putSweepScratch(sc)
+		return resp, nil
+	}
+
+	canonical := *req
+	canonical.Params = sc.params
 	// The flight is detached from the initiating request's cancellation:
 	// a joiner must not fail because the first caller disconnected. The
 	// server's own request budget bounds it instead, and the parallelism
@@ -332,7 +375,7 @@ func (s *Server) runSweep(ctx context.Context, req *SweepRequest) (*SweepRespons
 	if s.sweeps.Len() >= maxSweepCacheEntries {
 		s.sweeps.Reset()
 	}
-	pts, err, hit := s.sweeps.Do(sweepCacheKey(req), func() ([]kernels.RatioPoint, error) {
+	pts, err, hit := s.sweeps.Do(string(sc.key), func() ([]kernels.RatioPoint, error) {
 		return k.run(fctx, &canonical)
 	})
 	if hit {
@@ -341,17 +384,26 @@ func (s *Server) runSweep(ctx context.Context, req *SweepRequest) (*SweepRespons
 		s.metrics.CacheMiss()
 	}
 	if err != nil {
+		putSweepScratch(sc)
 		return nil, asSweepError(err)
 	}
-	// pts[i] measures canonical.Params[i]; answer in the request's order.
-	byParam := make(map[int]kernels.RatioPoint, len(pts))
-	for i, p := range pts {
-		byParam[canonical.Params[i]] = p
-	}
-	resp := &SweepResponse{Kernel: strings.ToLower(req.Kernel), Cached: hit}
+	resp := shapeSweepResponse(req, sc.params, pts, hit)
+	putSweepScratch(sc) // after shaping: canonical.Params aliases sc.params
+	return resp, nil
+}
+
+// shapeSweepResponse builds the (pooled) response: pts[i] measures
+// sortedParams[i], and the answer comes back in the request's own param
+// order via binary search — duplicate params land on the same measured
+// point, as the map rebuild it replaced did.
+func shapeSweepResponse(req *SweepRequest, sortedParams []int, pts []kernels.RatioPoint, cached bool) *SweepResponse {
+	resp := getSweepResponse()
+	resp.Kernel = strings.ToLower(req.Kernel)
+	resp.Cached = cached
+	points := resp.Points[:0]
 	for _, param := range req.Params {
-		p := byParam[param]
-		resp.Points = append(resp.Points, SweepPointDTO{
+		p := pts[sort.SearchInts(sortedParams, param)]
+		points = append(points, SweepPointDTO{
 			Memory: p.Memory,
 			Ops:    p.Totals.Ops,
 			Reads:  p.Totals.Reads,
@@ -359,7 +411,8 @@ func (s *Server) runSweep(ctx context.Context, req *SweepRequest) (*SweepRespons
 			Ratio:  p.Ratio(),
 		})
 	}
-	return resp, nil
+	resp.Points = points
+	return resp
 }
 
 // asSweepError maps a kernel error: context death is the client's timeout
