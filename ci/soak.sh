@@ -21,9 +21,18 @@
 #   4. Hierarchy mix: the multi-level machine surface (hierarchy analyze,
 #      rebalance, multi-ridge roofline, analytic level sweeps, catalog),
 #      gated like phase 2 on zero unexpected non-2xx and the p99 ceiling.
+#   5. Noisy neighbor: tenancy isolation. The daemon runs with
+#      -tenants-file (the noisy tenant on a tight token bucket and job
+#      budget, the victim unthrottled; anonymous traffic — phases 1–4 —
+#      stays unlimited, so their behavior is unchanged). The
+#      noisy-neighbor scenario floods as the noisy tenant (429s expected)
+#      while the victim tenant's routes are gated on p99 at or under
+#      SOAK_VICTIM_MAX_P99 and zero unexpected responses — an abusive
+#      tenant's refusals must not become the victim's latency.
 #
 # JSON reports land in SOAK_CALIBRATION_REPORT, SOAK_REPORT,
-# SOAK_JOBS_REPORT, and SOAK_HIERARCHY_REPORT for upload as CI artifacts.
+# SOAK_JOBS_REPORT, SOAK_HIERARCHY_REPORT, and SOAK_NOISY_REPORT for
+# upload as CI artifacts.
 # Runs on every PR; also runnable locally: ./ci/soak.sh
 set -eu
 
@@ -40,6 +49,9 @@ JOBS_REQUESTS="${SOAK_JOBS_REQUESTS:-300}"
 JOBS_DRAIN="${SOAK_JOBS_DRAIN:-60s}"
 HIER_REPORT="${SOAK_HIERARCHY_REPORT:-soak-hierarchy.json}"
 HIER_REQUESTS="${SOAK_HIERARCHY_REQUESTS:-400}"
+NOISY_REPORT="${SOAK_NOISY_REPORT:-soak-noisy.json}"
+NOISY_REQUESTS="${SOAK_NOISY_REQUESTS:-800}"
+VICTIM_MAX_P99="${SOAK_VICTIM_MAX_P99:-$MAX_P99}"
 # GCs per 1k requests recorded for phase 2 (see ci/soak-gc-baseline.txt);
 # override with SOAK_GC_BASELINE, 0 disables the gate.
 GC_BASELINE="${SOAK_GC_BASELINE:-$(cat ci/soak-gc-baseline.txt)}"
@@ -49,7 +61,19 @@ echo "soak: building balarchd and balarchload"
 go build -o "$DIR/balarchd" ./cmd/balarchd
 go build -o "$DIR/balarchload" ./cmd/balarchload
 
-"$DIR/balarchd" -addr "127.0.0.1:$PORT" -quiet -store-dir "$DIR/store" &
+# The tenant set phase 5 assumes (keys match loadgen's noisy-neighbor
+# scenario; see loadgen.NoisyNeighborTenants). Anonymous traffic stays
+# unlimited, so the untenanted phases 1-4 behave exactly as before.
+cat > "$DIR/tenants.json" <<'EOF'
+{
+  "tenants": [
+    {"name": "noisy", "key": "soak-noisy-key", "rate_per_sec": 50, "burst": 100, "job_budget_bytes": 262144},
+    {"name": "victim", "key": "soak-victim-key"}
+  ]
+}
+EOF
+
+"$DIR/balarchd" -addr "127.0.0.1:$PORT" -quiet -store-dir "$DIR/store" -tenants-file "$DIR/tenants.json" &
 PID=$!
 trap 'kill "$PID" 2>/dev/null || true' EXIT
 # No readiness sleep needed: balarchload's health preflight polls /healthz
@@ -111,6 +135,20 @@ if [ "$code" -eq 0 ]; then
     -json > "$HIER_REPORT" || code=$?
   echo "soak: hierarchy report ($HIER_REPORT):"
   cat "$HIER_REPORT"
+fi
+
+if [ "$code" -eq 0 ]; then
+  echo "soak: phase 5 — noisy-neighbor for $NOISY_REQUESTS requests, victim p99 gate $VICTIM_MAX_P99"
+  "$DIR/balarchload" \
+    -url "$BASE" \
+    -scenario noisy-neighbor \
+    -requests "$NOISY_REQUESTS" \
+    -workers "$WORKERS" \
+    -seed "$SEED" \
+    -victim-max-p99 "$VICTIM_MAX_P99" \
+    -json > "$NOISY_REPORT" || code=$?
+  echo "soak: noisy-neighbor report ($NOISY_REPORT):"
+  cat "$NOISY_REPORT"
 fi
 
 echo "soak: graceful shutdown"

@@ -29,6 +29,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -98,6 +99,17 @@ type (
 	JobListResponse = server.JobListResponse
 	// JobDeleteResponse is the DELETE /v1/jobs/{id} body.
 	JobDeleteResponse = server.JobDeleteResponse
+	// JobProgress is the data payload of a job stream's "progress" SSE
+	// event: one engine pool completion inside the running job.
+	JobProgress = server.JobProgressDTO
+	// APIIndexResponse is the GET /v1/ body: the API surface as data —
+	// routes, error codes, computation ids, experiment ids.
+	APIIndexResponse = server.APIIndexResponse
+	// APIRouteInfo is one route in APIIndexResponse.
+	APIRouteInfo = server.APIRouteInfo
+	// TenantSnapshot is one tenant's slice of the /metrics counters on a
+	// tenancy-enabled server.
+	TenantSnapshot = server.TenantSnapshot
 	// HealthResponse is the GET /healthz body.
 	HealthResponse = server.HealthResponse
 	// MetricsSnapshot is the GET /metrics body, including the per-route
@@ -139,20 +151,48 @@ func WithHTTPClient(h *http.Client) Option {
 	return func(c *Client) { c.http = h }
 }
 
-// WithRetry enables bounded retry: a request that fails in transport,
-// returns 503 (the server's overload and cancelled-while-queued answer),
-// or returns 429 (the job queue's admission refusal) is reissued up to
-// attempts times in total, sleeping backoff, 2·backoff, … between tries
-// (context-aware). A 429's Retry-After header is honored: the sleep
-// before the next attempt is the larger of the schedule and the server's
-// hint. Every API operation is a pure computation (and job submission is
-// idempotent — identical requests share one job), so retrying is always
-// safe. attempts ≤ 1 disables retry.
+// RetryPolicy is the consolidated retry configuration (WithRetryPolicy):
+// how many attempts in total, the base of the linear backoff schedule
+// (backoff, 2·backoff, …), and an optional cap on any single sleep.
+type RetryPolicy struct {
+	// Attempts is the total number of tries; ≤ 1 disables retry.
+	Attempts int
+	// Backoff is the schedule base: the sleep before try n+1 is
+	// n·Backoff (before any Retry-After hint or MaxBackoff cap).
+	Backoff time.Duration
+	// MaxBackoff, when positive, caps each sleep — schedule and server
+	// hint alike — so a long run of refusals cannot stretch one wait
+	// unboundedly. 0 leaves the schedule uncapped.
+	MaxBackoff time.Duration
+}
+
+// WithRetryPolicy enables bounded retry: a request that fails in
+// transport, returns 503 (overload, drain, or a cancelled run), or
+// returns 429 (rate limit or job-admission refusal) is reissued up to
+// Attempts times in total, sleeping per the policy between tries
+// (context-aware). A throttling response's Retry-After header — the
+// server sends one on every 429 and 503 — is honored: the sleep before
+// the next attempt is the larger of the schedule and the server's hint,
+// clipped to MaxBackoff. Every API operation is a pure computation (and
+// job submission is idempotent — identical requests share one job), so
+// retrying is always safe.
+func WithRetryPolicy(p RetryPolicy) Option {
+	return func(c *Client) { c.retry = p }
+}
+
+// WithRetry enables bounded retry with an uncapped linear schedule.
+//
+// Deprecated: use WithRetryPolicy, which adds MaxBackoff. WithRetry(a, b)
+// is exactly WithRetryPolicy(RetryPolicy{Attempts: a, Backoff: b}).
 func WithRetry(attempts int, backoff time.Duration) Option {
-	return func(c *Client) {
-		c.attempts = attempts
-		c.backoff = backoff
-	}
+	return WithRetryPolicy(RetryPolicy{Attempts: attempts, Backoff: backoff})
+}
+
+// WithAPIKey attaches a tenant API key to every request the client
+// issues (Authorization: Bearer <key>), for servers running with a
+// tenants config. Per-request override: DoAs.
+func WithAPIKey(key string) Option {
+	return func(c *Client) { c.apiKey = key }
 }
 
 // sharedTransport is the package's keep-alive transport. The stdlib default
@@ -168,10 +208,10 @@ var sharedTransport = &http.Transport{
 // Client is a typed handle on one balarch API server. It is safe for
 // concurrent use; all methods honor their context.
 type Client struct {
-	base     string
-	http     *http.Client
-	attempts int
-	backoff  time.Duration
+	base   string
+	http   *http.Client
+	retry  RetryPolicy
+	apiKey string
 }
 
 // New returns a client for the server at baseURL (scheme and host, e.g.
@@ -243,37 +283,53 @@ type Response struct {
 // successful Do. Typed methods are usually what you want — Do is the escape
 // hatch for traffic generation and new endpoints.
 func (c *Client) Do(ctx context.Context, method, path string, body []byte) (*Response, error) {
+	return c.do(ctx, c.apiKey, method, path, body)
+}
+
+// DoAs is Do with an explicit tenant API key for this one request,
+// overriding (or, when the client has none, supplying) WithAPIKey. The
+// load generator uses it to drive several tenants through one client.
+func (c *Client) DoAs(ctx context.Context, apiKey, method, path string, body []byte) (*Response, error) {
+	return c.do(ctx, apiKey, method, path, body)
+}
+
+func (c *Client) do(ctx context.Context, apiKey, method, path string, body []byte) (*Response, error) {
 	var (
 		lastErr    error
-		retryAfter time.Duration // server's Retry-After hint from the last 429
+		retryAfter time.Duration // server's Retry-After hint from the last 429/503
 	)
-	attempts := c.attempts
+	attempts := c.retry.Attempts
 	if attempts < 1 {
 		attempts = 1
 	}
 	for try := 0; try < attempts; try++ {
 		if try > 0 {
-			// The schedule is backoff, 2·backoff, …; a 429's Retry-After
-			// hint overrides it when larger — the server knows when
-			// budget will free up, the schedule does not.
-			d := time.Duration(try) * c.backoff
+			// The schedule is backoff, 2·backoff, …; a throttling
+			// response's Retry-After hint overrides it when larger — the
+			// server knows when budget will free up, the schedule does
+			// not. MaxBackoff clips whichever won.
+			d := time.Duration(try) * c.retry.Backoff
 			if retryAfter > d {
 				d = retryAfter
+			}
+			if c.retry.MaxBackoff > 0 && d > c.retry.MaxBackoff {
+				d = c.retry.MaxBackoff
 			}
 			if err := sleep(ctx, d); err != nil {
 				return nil, err
 			}
 		}
 		retryAfter = 0
-		resp, err := c.roundTrip(ctx, method, path, body)
+		resp, err := c.roundTrip(ctx, apiKey, method, path, body)
 		if err != nil {
 			lastErr = err
 			continue // transport error: retry
 		}
 		if retriableStatus(resp.Status) && try < attempts-1 {
-			if resp.Status == http.StatusTooManyRequests {
-				retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
-			}
+			// Both throttling statuses carry Retry-After under the
+			// unified envelope: 429 (rate_limited, over_budget) and 503
+			// (overloaded, draining, cancelled).
+			retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
 			lastErr = DecodeAPIError(resp)
 			continue
 		}
@@ -306,7 +362,7 @@ func parseRetryAfter(h string) time.Duration {
 var sleep = sleepCtx
 
 // roundTrip is one attempt of Do.
-func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte) (*Response, error) {
+func (c *Client) roundTrip(ctx context.Context, apiKey, method, path string, body []byte) (*Response, error) {
 	var rd *bytes.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -319,6 +375,9 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if apiKey != "" {
+		req.Header.Set("Authorization", "Bearer "+apiKey)
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
@@ -463,6 +522,13 @@ func (c *Client) RunExperiment(ctx context.Context, id string) (*ExperimentRunRe
 		"/v1/experiments/"+url.PathEscape(id), nil)
 }
 
+// APIIndex fetches GET /v1/: the machine-readable API surface — every
+// route, error code, computation id, and experiment id the server
+// serves.
+func (c *Client) APIIndex(ctx context.Context) (*APIIndexResponse, error) {
+	return call[struct{}, APIIndexResponse](ctx, c, http.MethodGet, "/v1/", nil)
+}
+
 // Health probes GET /healthz.
 func (c *Client) Health(ctx context.Context) (*HealthResponse, error) {
 	return call[struct{}, HealthResponse](ctx, c, http.MethodGet, "/healthz", nil)
@@ -517,6 +583,68 @@ func (c *Client) ListJobs(ctx context.Context, state string) (*JobListResponse, 
 	return call[struct{}, JobListResponse](ctx, c, http.MethodGet, path, nil)
 }
 
+// ListJobsPage fetches one page of GET /v1/jobs: at most limit jobs
+// (limit ≤ 0 lists everything, like ListJobs), resuming after cursor
+// ("" starts from the newest). A non-empty NextCursor on the response
+// means more pages remain; Jobs ranges them all.
+func (c *Client) ListJobsPage(ctx context.Context, state string, limit int, cursor string) (*JobListResponse, error) {
+	q := url.Values{}
+	if state != "" {
+		q.Set("state", state)
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	if cursor != "" {
+		q.Set("cursor", cursor)
+	}
+	path := "/v1/jobs"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	return call[struct{}, JobListResponse](ctx, c, http.MethodGet, path, nil)
+}
+
+// JobsPager iterates GET /v1/jobs page by page. Create one with Jobs,
+// then loop while More, calling Next:
+//
+//	for p := c.Jobs("", 100); p.More(); {
+//	        page, err := p.Next(ctx)
+//	        ...
+//	}
+type JobsPager struct {
+	c      *Client
+	state  string
+	limit  int
+	cursor string
+	done   bool
+}
+
+// Jobs returns a pager over GET /v1/jobs: pages of at most limit jobs
+// (limit ≤ 0 fetches everything in one page), optionally filtered to one
+// state.
+func (c *Client) Jobs(state string, limit int) *JobsPager {
+	return &JobsPager{c: c, state: state, limit: limit}
+}
+
+// More reports whether another Next call would fetch a page.
+func (p *JobsPager) More() bool { return !p.done }
+
+// Next fetches the next page. After an error the pager's position is
+// unchanged — the same Next can be retried.
+func (p *JobsPager) Next(ctx context.Context) (*JobListResponse, error) {
+	if p.done {
+		return &JobListResponse{Jobs: []JobStatus{}}, nil
+	}
+	page, err := p.c.ListJobsPage(ctx, p.state, p.limit, p.cursor)
+	if err != nil {
+		return nil, err
+	}
+	p.cursor = page.NextCursor
+	p.done = page.NextCursor == ""
+	return page, nil
+}
+
 // JobResult fetches GET /v1/jobs/{id}/result: the stored result bytes,
 // byte-identical to the synchronous endpoint's response for the same
 // request. A job not yet done is a 409 *APIError (code "not_done");
@@ -539,12 +667,24 @@ func (c *Client) CancelJob(ctx context.Context, id string) (*JobDeleteResponse, 
 	return call[struct{}, JobDeleteResponse](ctx, c, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil)
 }
 
-// WaitForJob polls GET /v1/jobs/{id} every interval (≤ 0 means 100 ms)
-// until the job reaches a terminal state or ctx ends. It returns the
-// terminal status whatever it is — done, failed, or canceled; deciding
-// what failure means is the caller's business. Fetch a done job's bytes
-// with JobResult.
+// WaitForJob blocks until the job reaches a terminal state or ctx ends,
+// and returns the terminal status whatever it is — done, failed, or
+// canceled; deciding what failure means is the caller's business. Fetch
+// a done job's bytes with JobResult.
+//
+// It consumes the server's SSE stream (GET /v1/jobs/{id}/events) when
+// available, so completion arrives pushed instead of polled; against a
+// server without the route — or when the server drops the stream — it
+// falls back to polling GET /v1/jobs/{id} every interval (≤ 0 means
+// 100 ms).
 func (c *Client) WaitForJob(ctx context.Context, id string, interval time.Duration) (*JobStatus, error) {
+	j, err := c.StreamJob(ctx, id, nil)
+	if err == nil && j != nil {
+		return j, nil
+	}
+	if err != nil && !waitShouldPoll(err) {
+		return nil, err
+	}
 	if interval <= 0 {
 		interval = 100 * time.Millisecond
 	}
@@ -561,4 +701,23 @@ func (c *Client) WaitForJob(ctx context.Context, id string, interval time.Durati
 			return nil, fmt.Errorf("client: waiting for job %s (last state %s): %w", id, j.State, err)
 		}
 	}
+}
+
+// waitShouldPoll decides whether a StreamJob failure means "this job is
+// unreachable" (propagate) or "this transport/server cannot stream"
+// (fall back to polling): unknown_route is a server predating the events
+// endpoint, a dropped stream means the job is still live server-side,
+// and a transport error may be a proxy that cannot hold a stream open.
+func waitShouldPoll(err error) bool {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		// The API answered: only a server without the route falls back;
+		// unknown_job, jobs_disabled, draining etc. would fail a poll
+		// identically, so surface them now.
+		return ae.Code == "unknown_route"
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return true // stream dropped or transport failure: poll
 }

@@ -1,0 +1,152 @@
+package client
+
+// SSE consumption: StreamJob follows GET /v1/jobs/{id}/events so callers
+// see state transitions and per-point engine progress pushed, instead of
+// polling. WaitForJob (client.go) rides it when the server supports the
+// route and falls back to polling when it does not — an SDK built today
+// keeps working against yesterday's daemon.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+)
+
+// JobEvent is one server-sent event on a job stream.
+type JobEvent struct {
+	// Type is "state", "progress", "done", or "dropped".
+	Type string
+	// Job carries the full status on "state" and "done" events.
+	Job *JobStatus
+	// Progress carries the engine pool position on "progress" events.
+	Progress *JobProgress
+	// Reason says why the server ended the stream early on "dropped"
+	// events: "slow_consumer" or "shutting_down".
+	Reason string
+}
+
+// ErrStopStream, returned from a StreamJob callback, ends the stream
+// cleanly: StreamJob closes the connection and returns nil error.
+var ErrStopStream = errors.New("client: stop streaming")
+
+// StreamDroppedError reports a stream the server ended before the job
+// finished — the subscriber fell behind (slow_consumer) or the daemon is
+// draining (shutting_down). The job itself is unaffected; reconnect or
+// poll.
+type StreamDroppedError struct{ Reason string }
+
+// Error implements error.
+func (e *StreamDroppedError) Error() string {
+	return fmt.Sprintf("client: job stream dropped by server (%s)", e.Reason)
+}
+
+// StreamJob follows GET /v1/jobs/{id}/events until the job reaches a
+// terminal state, invoking fn (when non-nil) for every event — state
+// transitions, engine progress, the terminal status. It returns the
+// terminal status from the "done" event. A stream the server cuts early
+// returns *StreamDroppedError (after fn sees the "dropped" event); fn
+// returning ErrStopStream ends the stream cleanly with a nil error and a
+// nil status; any other fn error aborts with that error. Heartbeat
+// comments are consumed silently. The request bypasses the retry policy:
+// a stream is not idempotent traffic to blindly reissue.
+func (c *Client) StreamJob(ctx context.Context, id string, fn func(JobEvent) error) (*JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/v1/jobs/"+url.PathEscape(id)+"/events", nil)
+	if err != nil {
+		return nil, err
+	}
+	if c.apiKey != "" {
+		req.Header.Set("Authorization", "Bearer "+c.apiKey)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(resp.Body)
+		return nil, DecodeAPIError(&Response{
+			Status: resp.StatusCode, Header: resp.Header, Body: buf.Bytes(),
+		})
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 4<<10), 1<<20)
+	var eventName string
+	var data []byte
+	dispatch := func() (*JobStatus, bool, error) {
+		if eventName == "" {
+			return nil, false, nil // heartbeat or stray blank line
+		}
+		ev := JobEvent{Type: eventName}
+		switch eventName {
+		case "state", "done":
+			j := new(JobStatus)
+			if err := json.Unmarshal(data, j); err != nil {
+				return nil, false, fmt.Errorf("client: decoding %s event: %w", eventName, err)
+			}
+			ev.Job = j
+		case "progress":
+			p := new(JobProgress)
+			if err := json.Unmarshal(data, p); err != nil {
+				return nil, false, fmt.Errorf("client: decoding progress event: %w", err)
+			}
+			ev.Progress = p
+		case "dropped":
+			var d struct {
+				Reason string `json:"reason"`
+			}
+			if err := json.Unmarshal(data, &d); err != nil {
+				return nil, false, fmt.Errorf("client: decoding dropped event: %w", err)
+			}
+			ev.Reason = d.Reason
+		}
+		if fn != nil {
+			if err := fn(ev); err != nil {
+				return nil, true, err
+			}
+		}
+		switch eventName {
+		case "done":
+			return ev.Job, true, nil
+		case "dropped":
+			return nil, true, &StreamDroppedError{Reason: ev.Reason}
+		}
+		return nil, false, nil
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			j, terminal, err := dispatch()
+			eventName, data = "", nil
+			if terminal || err != nil {
+				if errors.Is(err, ErrStopStream) {
+					err = nil
+				}
+				return j, err
+			}
+		case strings.HasPrefix(line, ":"):
+			// heartbeat comment
+		case strings.HasPrefix(line, "event:"):
+			eventName = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "data:"):
+			data = append(data, strings.TrimSpace(strings.TrimPrefix(line, "data:"))...)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, fmt.Errorf("client: job stream for %s broke: %w", id, err)
+	}
+	return nil, fmt.Errorf("client: job stream for %s ended without a terminal event", id)
+}

@@ -1,0 +1,325 @@
+package client_test
+
+// SSE consumption tests: StreamJob over a real listener (streams need
+// incremental reads, which the in-process recorder transport cannot
+// give), WaitForJob's stream-first-then-poll ladder, and the paging
+// iterator.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"balarch/client"
+	"balarch/internal/server"
+)
+
+// newJobsTCP starts a jobs-enabled server on a real listener and returns
+// a client bound to it, plus the server for drain control.
+func newJobsTCP(t *testing.T, opts server.Options) (*client.Client, *server.Server) {
+	t.Helper()
+	if opts.StoreDir == "" {
+		opts.StoreDir = t.TempDir()
+	}
+	srv := server.New(opts)
+	if err := srv.JobsErr(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Close(ctx)
+	})
+	c, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, srv
+}
+
+func TestStreamJob(t *testing.T) {
+	c, _ := newJobsTCP(t, server.Options{Parallelism: 2})
+	ctx := context.Background()
+	j, err := c.SubmitJob(ctx, &client.JobSubmitRequest{
+		Op: "sweep", Request: []byte(`{"kernel": "matmul", "n": 48, "params": [2, 4, 8]}`),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []client.JobEvent
+	done, err := c.StreamJob(ctx, j.ID, func(ev client.JobEvent) error {
+		events = append(events, ev)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done == nil || done.State != "done" || done.ID != j.ID {
+		t.Fatalf("terminal status = %+v", done)
+	}
+	if len(events) == 0 || events[len(events)-1].Type != "done" {
+		t.Fatalf("callback saw %d events, want a trailing done", len(events))
+	}
+	for _, ev := range events {
+		switch ev.Type {
+		case "state", "done":
+			if ev.Job == nil {
+				t.Fatalf("%s event without a job payload", ev.Type)
+			}
+		case "progress":
+			if ev.Progress == nil || ev.Progress.ID != j.ID {
+				t.Fatalf("progress event payload = %+v", ev.Progress)
+			}
+		default:
+			t.Fatalf("unexpected event type %q", ev.Type)
+		}
+	}
+
+	// Streaming an already-terminal job yields its done event directly.
+	again, err := c.StreamJob(ctx, j.ID, nil)
+	if err != nil || again.State != "done" {
+		t.Fatalf("stream of a terminal job = %+v, %v", again, err)
+	}
+
+	// Unknown job: the typed envelope, not a stream.
+	var ae *client.APIError
+	if _, err := c.StreamJob(ctx, "jdeadbeefdeadbeef", nil); !errors.As(err, &ae) || ae.Code != "unknown_job" {
+		t.Fatalf("unknown job stream err = %v, want unknown_job APIError", err)
+	}
+}
+
+func TestStreamJobStopAndDrop(t *testing.T) {
+	// Paused workers: the job never finishes, so the stream only ends by
+	// callback request or server drain.
+	c, srv := newJobsTCP(t, server.Options{Parallelism: 1, JobWorkers: -1})
+	ctx := context.Background()
+	j, err := c.SubmitJob(ctx, &client.JobSubmitRequest{
+		Op: "sweep", Request: []byte(`{"kernel": "matmul", "n": 32, "params": [2]}`),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// ErrStopStream ends the stream cleanly: nil status, nil error.
+	st, err := c.StreamJob(ctx, j.ID, func(ev client.JobEvent) error {
+		return client.ErrStopStream
+	})
+	if st != nil || err != nil {
+		t.Fatalf("stopped stream = %+v, %v; want nil, nil", st, err)
+	}
+
+	// Server drain mid-stream surfaces as *StreamDroppedError.
+	type result struct {
+		st  *client.JobStatus
+		err error
+	}
+	got := make(chan result, 1)
+	started := make(chan struct{})
+	go func() {
+		st, err := c.StreamJob(ctx, j.ID, func(ev client.JobEvent) error {
+			select {
+			case <-started:
+			default:
+				close(started)
+			}
+			return nil
+		})
+		got <- result{st, err}
+	}()
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream never delivered its first event")
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	srv.Close(drainCtx)
+	select {
+	case r := <-got:
+		var dropped *client.StreamDroppedError
+		if !errors.As(r.err, &dropped) || dropped.Reason != "shutting_down" {
+			t.Fatalf("drained stream = %+v, %v; want StreamDroppedError(shutting_down)", r.st, r.err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream did not end on server drain")
+	}
+}
+
+func TestWaitForJobPrefersStream(t *testing.T) {
+	srv := server.New(server.Options{Parallelism: 2, StoreDir: t.TempDir()})
+	if err := srv.JobsErr(); err != nil {
+		t.Fatal(err)
+	}
+	// Count status polls (GET /v1/jobs/{id} without /events) to prove
+	// the wait rode the stream.
+	var polls atomic.Int64
+	h := srv.Handler()
+	counting := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/v1/jobs/") &&
+			!strings.HasSuffix(r.URL.Path, "/events") {
+			polls.Add(1)
+		}
+		h.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(counting)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Close(ctx)
+	})
+	c, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	j, err := c.SubmitJob(ctx, &client.JobSubmitRequest{
+		Op: "sweep", Request: []byte(`{"kernel": "matmul", "n": 48, "params": [2, 4]}`),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := c.WaitForJob(ctx, j.ID, time.Millisecond)
+	if err != nil || done.State != "done" {
+		t.Fatalf("WaitForJob = %+v, %v", done, err)
+	}
+	if n := polls.Load(); n != 0 {
+		t.Fatalf("WaitForJob polled %d times despite a working stream", n)
+	}
+}
+
+func TestWaitForJobFallsBackToPolling(t *testing.T) {
+	srv := server.New(server.Options{Parallelism: 2, StoreDir: t.TempDir()})
+	if err := srv.JobsErr(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate yesterday's daemon: the events route answers the
+	// catch-all's unknown_route envelope.
+	h := srv.Handler()
+	old := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/events") {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusNotFound)
+			w.Write([]byte(`{"error":{"code":"unknown_route","message":"no route"}}`))
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(old)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Close(ctx)
+	})
+	c, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	j, err := c.SubmitJob(ctx, &client.JobSubmitRequest{
+		Op: "sweep", Request: []byte(`{"kernel": "matmul", "n": 48, "params": [2]}`),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := c.WaitForJob(ctx, j.ID, time.Millisecond)
+	if err != nil || done.State != "done" {
+		t.Fatalf("WaitForJob against an old server = %+v, %v", done, err)
+	}
+}
+
+func TestJobsPager(t *testing.T) {
+	c, _ := newJobsTCP(t, server.Options{Parallelism: 2})
+	ctx := context.Background()
+	want := make(map[string]bool)
+	for i := 0; i < 5; i++ {
+		j, err := c.SubmitJob(ctx, &client.JobSubmitRequest{
+			Op: "analyze",
+			Request: []byte(fmt.Sprintf(
+				`{"pe": {"c": %de6, "io": 1e6, "m": 4096}, "computation": {"name": "fft"}}`, i+2)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[j.ID] = true
+	}
+
+	pager := c.Jobs("", 2)
+	got := make(map[string]bool)
+	pages := 0
+	for pager.More() {
+		page, err := pager.Next(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages++
+		if len(page.Jobs) > 2 {
+			t.Fatalf("page %d has %d jobs, limit was 2", pages, len(page.Jobs))
+		}
+		for _, j := range page.Jobs {
+			if got[j.ID] {
+				t.Fatalf("job %s returned twice", j.ID)
+			}
+			got[j.ID] = true
+		}
+		if pages > 10 {
+			t.Fatal("pager did not terminate")
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("pager yielded %d jobs, want %d", len(got), len(want))
+	}
+	if pages < 3 {
+		t.Fatalf("5 jobs at limit 2 took %d pages, want ≥ 3", pages)
+	}
+
+	// One-shot page call: limit honored, cursor chains.
+	page1, err := c.ListJobsPage(ctx, "", 3, "")
+	if err != nil || len(page1.Jobs) != 3 || page1.NextCursor == "" {
+		t.Fatalf("ListJobsPage(3) = %d jobs, cursor %q, %v", len(page1.Jobs), page1.NextCursor, err)
+	}
+	page2, err := c.ListJobsPage(ctx, "", 3, page1.NextCursor)
+	if err != nil || len(page2.Jobs) != 2 || page2.NextCursor != "" {
+		t.Fatalf("ListJobsPage(page 2) = %d jobs, cursor %q, %v", len(page2.Jobs), page2.NextCursor, err)
+	}
+
+	// A forged cursor draws the typed 400.
+	var ae *client.APIError
+	if _, err := c.ListJobsPage(ctx, "", 2, "not-a-cursor"); !errors.As(err, &ae) || ae.Code != "bad_cursor" {
+		t.Fatalf("forged cursor err = %v, want bad_cursor APIError", err)
+	}
+
+	// The serialized JSON keeps next_cursor out of unpaged responses.
+	raw, err := c.Do(ctx, http.MethodGet, "/v1/jobs", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var unpaged map[string]json.RawMessage
+	if err := json.Unmarshal(raw.Body, &unpaged); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := unpaged["next_cursor"]; ok {
+		t.Fatal("unpaged /v1/jobs serialized next_cursor")
+	}
+}
+
+func TestAPIIndexTyped(t *testing.T) {
+	c := newTestClient(t)
+	idx, err := c.APIIndex(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Service == "" || len(idx.Routes) == 0 || len(idx.ErrorCodes) == 0 {
+		t.Fatalf("APIIndex = %+v", idx)
+	}
+}

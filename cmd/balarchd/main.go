@@ -17,7 +17,11 @@
 // subsystem: submitted jobs are journaled to a WAL under it before the ack,
 // results live in a content-addressed store there, and both survive
 // restarts — start a new daemon on the same directory and it requeues
-// whatever the old one left unfinished. -pprof-addr (off by default) serves
+// whatever the old one left unfinished. -tenants-file enables API-key
+// tenancy: callers presenting "Authorization: Bearer <key>" resolve to the
+// configured tenant and get that tenant's token-bucket rate limit, job
+// byte budget, and /metrics slice; without the flag every caller is
+// anonymous and the traffic surface is unchanged. -pprof-addr (off by default) serves
 // net/http/pprof on its own listener — bind it to loopback; the public mux
 // never exposes /debug/pprof. -job-workers sizes the queue's
 // executor pool (0 pauses execution: accept and journal only), -mem-budget
@@ -86,6 +90,8 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		"how long finished jobs stay queryable before garbage collection")
 	shutdownGrace := fs.Duration("shutdown-grace", 10*time.Second,
 		"drain budget for in-flight requests (and running jobs) on SIGINT/SIGTERM")
+	tenantsFile := fs.String("tenants-file", "",
+		"JSON tenants config enabling API-key tenancy: per-tenant token-bucket rate limits, job budgets, and /metrics slices; empty disables tenancy (every caller is anonymous and unthrottled)")
 	pprofAddr := fs.String("pprof-addr", "",
 		"listen address for net/http/pprof (e.g. 127.0.0.1:6060); empty disables it; always a separate listener, never the public mux")
 	quiet := fs.Bool("quiet", false, "disable per-request logging")
@@ -105,6 +111,19 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 	if workers == 0 {
 		workers = -1 // jobs.Options: 0 means default, negative means paused
 	}
+	var tenants *server.TenantsConfig
+	if *tenantsFile != "" {
+		var err error
+		tenants, err = server.LoadTenantsFile(*tenantsFile)
+		if err != nil {
+			fmt.Fprintf(stderr, "balarchd: %v\n", err)
+			return 1
+		}
+		if logger != nil {
+			logger.Info("tenancy enabled", "tenants_file", *tenantsFile,
+				"tenants", len(tenants.Tenants))
+		}
+	}
 	srv := server.New(server.Options{
 		Parallelism:    *parallel,
 		RequestTimeout: rt,
@@ -116,6 +135,7 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		JobWorkers:     workers,
 		MemBudgetBytes: *memBudget,
 		JobTTL:         *jobTTL,
+		Tenants:        tenants,
 	})
 	if *storeDir != "" {
 		if err := srv.JobsErr(); err != nil {

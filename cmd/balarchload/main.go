@@ -15,7 +15,10 @@
 // flags replay the same traffic byte-for-byte. Reports render as text by
 // default, -json for the machine-readable report (same internal/report
 // shapes as cmd/experiments). Gates: every run requires zero unexpected
-// non-2xx responses; -max-p99 adds a per-route latency ceiling; -crosscheck
+// non-2xx responses; -max-p99 adds a per-route latency ceiling;
+// -victim-max-p99 gates only the victim-tenant routes of the
+// noisy-neighbor scenario (tenancy isolation: the abusive tenant's 429s
+// are expected, the victim's latency is the claim); -crosscheck
 // (meaningful against a freshly started server) requires the client-side
 // quantiles to agree with the server's /metrics histograms within one
 // bucket; -jobs-drain (for the async job-queue scenario) requires the job
@@ -39,6 +42,7 @@ import (
 	"balarch"
 	"balarch/client"
 	"balarch/internal/loadgen"
+	"balarch/internal/server"
 )
 
 // main wires SIGINT cancellation and exits with run's code.
@@ -69,6 +73,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		"how long the health preflight polls a just-started target before giving up")
 	maxP99 := fs.Duration("max-p99", 0,
 		"fail (exit 1) if any route's p99 exceeds this (0 = no gate); measures the client experience, so with -retries > 1 it includes retry attempts and backoff")
+	victimP99 := fs.Duration("victim-max-p99", 0,
+		"fail (exit 1) if any victim-tenant route's p99 exceeds this — the noisy-neighbor isolation gate (0 = no gate)")
 	crosscheck := fs.Bool("crosscheck", false,
 		"fetch /metrics after the run and require quantile agreement within one bucket (use against a fresh server)")
 	gcBaseline := fs.Float64("gc-baseline-per1k", 0,
@@ -98,7 +104,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		// comparable, so the combination would fail spuriously.
 		return fatal(stderr, fmt.Errorf("-crosscheck requires -retries 1: retried latencies include backoff the server never sees"))
 	}
-	c, cleanup, err := buildClient(*url, *inprocess, *parallel, *retries)
+	// The noisy-neighbor scenario is only meaningful against a tenanted
+	// server; for -inprocess runs install the tenant set it assumes
+	// (remote targets get theirs from balarchd -tenants-file).
+	var tenants *server.TenantsConfig
+	if *inprocess && sc.Name == "noisy-neighbor" {
+		tenants = loadgen.NoisyNeighborTenants()
+	}
+	c, cleanup, err := buildClient(*url, *inprocess, *parallel, *retries, tenants)
 	if err != nil {
 		return fatal(stderr, err)
 	}
@@ -129,6 +142,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	res := sum.Report()
 	if *maxP99 > 0 {
 		sum.AddP99Gate(res, *maxP99)
+	}
+	if *victimP99 > 0 {
+		sum.AddVictimP99Gate(res, *victimP99)
 	}
 	if *gcBaseline > 0 {
 		sum.AddGCGate(res, *gcBaseline)
@@ -174,7 +190,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 // buildClient resolves the target: a remote URL or the in-process stack.
 // The in-process server gets a throwaway store directory so the async
 // scenarios (job-queue) work against it too; cleanup removes it.
-func buildClient(url string, inprocess bool, parallel, retries int) (*client.Client, func(), error) {
+func buildClient(url string, inprocess bool, parallel, retries int, tenants *server.TenantsConfig) (*client.Client, func(), error) {
 	noop := func() {}
 	var opts []client.Option
 	if retries > 1 {
@@ -191,6 +207,7 @@ func buildClient(url string, inprocess bool, parallel, retries int) (*client.Cli
 		srv := balarch.NewServer(balarch.ServerOptions{
 			Parallelism: parallel,
 			StoreDir:    dir,
+			Tenants:     tenants,
 		})
 		if err := srv.JobsErr(); err != nil {
 			os.RemoveAll(dir)

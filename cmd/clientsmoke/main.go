@@ -168,5 +168,47 @@ func smoke(ctx context.Context, c *client.Client, wait time.Duration, stderr io.
 		return fmt.Errorf("hierarchy analyze = %+v, want 3 boundaries binding at the disk", ha)
 	}
 	fmt.Fprintln(stderr, "clientsmoke: hierarchy ok")
+
+	// 8. The API index: GET /v1/ must advertise every route this smoke
+	// exercised, the error code the envelope check drew, and every
+	// computation the catalog listed — the index is generated from the
+	// server's own route tables, so a hole here is a route added without
+	// being advertised.
+	idx, err := c.APIIndex(ctx)
+	if err != nil {
+		return fmt.Errorf("api index: %w", err)
+	}
+	advertised := make(map[string]bool, len(idx.Routes))
+	for _, rt := range idx.Routes {
+		if rt.Method == "" || rt.Path == "" || rt.Description == "" {
+			return fmt.Errorf("api index route incomplete: %+v", rt)
+		}
+		advertised[rt.Method+" "+rt.Path] = true
+	}
+	for _, want := range []string{
+		"GET /healthz", "GET /v1/", "GET /v1/catalog",
+		"POST /v1/analyze", "POST /v1/sweep",
+	} {
+		if !advertised[want] {
+			return fmt.Errorf("api index does not advertise %q (routes: %d)", want, len(idx.Routes))
+		}
+	}
+	codes := make(map[string]bool, len(idx.ErrorCodes))
+	for _, code := range idx.ErrorCodes {
+		codes[code] = true
+	}
+	if !codes["bad_json"] || !codes["unknown_computation"] {
+		return fmt.Errorf("api index error codes missing bad_json/unknown_computation: %v", idx.ErrorCodes)
+	}
+	known := make(map[string]bool, len(idx.Computations))
+	for _, id := range idx.Computations {
+		known[id] = true
+	}
+	for _, e := range cat.Computations {
+		if !known[e.ID] {
+			return fmt.Errorf("catalog computation %q absent from the api index", e.ID)
+		}
+	}
+	fmt.Fprintln(stderr, "clientsmoke: api index ok")
 	return nil
 }

@@ -93,13 +93,20 @@ func (p *Pool[T]) Run(ctx context.Context, jobs []Job[T]) ([]T, error) {
 			cancel(err)
 		})
 	}
+	onProgress := p.OnProgress
+	if onProgress == nil {
+		// Inherit a context-carried observer (WithProgress): the pools deep
+		// inside kernels and experiments never set OnProgress themselves,
+		// but a streaming caller above them still gets their events.
+		onProgress = ProgressFrom(ctx)
+	}
 	finish := func(i int, err error, cached bool, elapsed time.Duration) {
-		if p.OnProgress == nil {
+		if onProgress == nil {
 			return
 		}
 		progMu.Lock()
 		done++
-		p.OnProgress(Event{
+		onProgress(Event{
 			Key: jobs[i].Key, Index: i, Done: done, Total: len(jobs),
 			Err: err, Cached: cached, Elapsed: elapsed,
 		})
@@ -151,6 +158,29 @@ func (p *Pool[T]) Run(ctx context.Context, jobs []Job[T]) ([]T, error) {
 		return results, context.Cause(ctx)
 	}
 	return results, nil
+}
+
+// progressKey carries a progress observer through a context tree.
+type progressKey struct{}
+
+// WithProgress returns a context that delivers every zero-OnProgress Pool's
+// events beneath it to fn — the hook the server's SSE streams hang on: a
+// sweep or experiment handler wraps its request context once and the pools
+// inside internal/kernels and internal/experiments report through it
+// without any of those layers knowing about streaming. Calls are
+// serialized per pool (not across pools); fn must not block for long, or
+// it stalls the workers it observes. A nil fn returns ctx unchanged.
+func WithProgress(ctx context.Context, fn func(Event)) context.Context {
+	if fn == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, progressKey{}, fn)
+}
+
+// ProgressFrom returns the context's progress observer, or nil.
+func ProgressFrom(ctx context.Context) func(Event) {
+	fn, _ := ctx.Value(progressKey{}).(func(Event))
+	return fn
 }
 
 // parallelismKey carries a worker-count hint through a context tree.

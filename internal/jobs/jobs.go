@@ -70,6 +70,10 @@ type Job struct {
 	// Cost is the caller-estimated memory footprint in bytes, held
 	// against the admission budget while the job is live.
 	Cost int64 `json:"cost"`
+	// Tenant names the submitter for per-tenant admission accounting.
+	// Empty means the anonymous tenant (and keeps old WALs replayable:
+	// a record without the field folds to the anonymous tenant).
+	Tenant string `json:"tenant,omitempty"`
 	// State is the lifecycle position.
 	State State `json:"state"`
 	// Cached reports the job completed from the store without executing.
@@ -99,14 +103,23 @@ func IDFor(kind string, canonicalRequest []byte) (id, key string) {
 type Exec func(ctx context.Context, kind string, req json.RawMessage) ([]byte, error)
 
 // ErrOverBudget is returned by Submit when admitting the job would push
-// the sum of live footprints past the memory budget. RetryAfter is the
-// server's hint for the 429 Retry-After header.
+// the sum of live footprints past the memory budget — the global one, or
+// the submitting tenant's own partition (Tenant names which; empty means
+// the global budget refused). RetryAfter is the server's hint for the
+// 429 Retry-After header.
 type ErrOverBudget struct {
 	Cost, InUse, Budget int64
 	RetryAfter          time.Duration
+	// Tenant is the tenant whose partition refused the job; empty when
+	// the global budget did.
+	Tenant string
 }
 
 func (e *ErrOverBudget) Error() string {
+	if e.Tenant != "" {
+		return fmt.Sprintf("jobs: admission denied for tenant %q: job needs %d bytes, %d of %d in use",
+			e.Tenant, e.Cost, e.InUse, e.Budget)
+	}
 	return fmt.Sprintf("jobs: admission denied: job needs %d bytes, %d of %d in use",
 		e.Cost, e.InUse, e.Budget)
 }
@@ -138,6 +151,19 @@ type Options struct {
 	// JobTimeout bounds one job's execution. 0 means no per-job deadline
 	// (the executor's own budgets apply).
 	JobTimeout time.Duration
+	// TenantBudgets partitions the admission budget per tenant: a
+	// SubmitFor under a listed tenant is additionally held under that
+	// tenant's own byte cap, so one tenant's backlog cannot consume the
+	// whole global budget. Unlisted tenants (and the "" anonymous
+	// tenant, unless listed) see only the global budget.
+	TenantBudgets map[string]int64
+	// Notify, when non-nil, is called after every job state transition
+	// with a copy of the job. It runs under the queue's lock: it must be
+	// fast and must not call back into the Queue (the server's event bus
+	// only touches its own mutex). Transitions cut by shutdown (a job
+	// requeued because the daemon is draining) are not notified — the
+	// subscriber's stream is being torn down anyway.
+	Notify func(Job)
 }
 
 const (
@@ -171,17 +197,18 @@ type Queue struct {
 	opts  Options
 	clock func() time.Time // injectable for TTL tests
 
-	mu       sync.Mutex
-	cond     *sync.Cond // signals workers: pending work or shutdown
-	jobs     map[string]*Job
-	pending  []string // job ids awaiting a worker, FIFO
-	wal      *os.File
-	walSize  int64 // current WAL length; the clip-back offset for torn appends
-	memInUse int64
-	running  int64
-	replayed int64
-	lastGC   time.Time
-	closed   bool
+	mu          sync.Mutex
+	cond        *sync.Cond // signals workers: pending work or shutdown
+	jobs        map[string]*Job
+	pending     []string // job ids awaiting a worker, FIFO
+	wal         *os.File
+	walSize     int64 // current WAL length; the clip-back offset for torn appends
+	memInUse    int64
+	memByTenant map[string]int64 // live footprint per tenant (parallel to memInUse)
+	running     int64
+	replayed    int64
+	lastGC      time.Time
+	closed      bool
 
 	workers  sync.WaitGroup
 	baseCtx  context.Context
@@ -209,12 +236,13 @@ func Open(dir string, st *store.Store, exec Exec, opts Options) (*Queue, error) 
 		opts.TTL = defaultTTL
 	}
 	q := &Queue{
-		dir:   dir,
-		st:    st,
-		exec:  exec,
-		opts:  opts,
-		clock: time.Now,
-		jobs:  make(map[string]*Job),
+		dir:         dir,
+		st:          st,
+		exec:        exec,
+		opts:        opts,
+		clock:       time.Now,
+		jobs:        make(map[string]*Job),
+		memByTenant: make(map[string]int64),
 	}
 	q.cond = sync.NewCond(&q.mu)
 	q.baseCtx, q.baseStop = context.WithCancel(context.Background())
@@ -242,15 +270,25 @@ func Open(dir string, st *store.Store, exec Exec, opts Options) (*Queue, error) 
 
 func (q *Queue) walPath() string { return filepath.Join(q.dir, "jobs.wal") }
 
-// Submit journals and admits one job. The request must already be
-// canonical (the server re-marshals decoded DTOs, so equal requests have
-// equal bytes). Identical requests share one job: a live or done job for
-// the same content key is returned as-is (existing=true), a failed or
-// canceled one is reset to queued and re-run. A job whose result is
-// already in the store completes instantly, without execution, marked
-// Cached. The WAL record is synced before Submit returns — the ack is
-// the durability point.
+// Submit journals and admits one job under the anonymous tenant. See
+// SubmitFor.
 func (q *Queue) Submit(kind string, canonicalReq []byte, cost int64) (Job, bool, error) {
+	return q.SubmitFor("", kind, canonicalReq, cost)
+}
+
+// SubmitFor journals and admits one job on behalf of tenant ("" is
+// anonymous). The request must already be canonical (the server
+// re-marshals decoded DTOs, so equal requests have equal bytes).
+// Identical requests share one job regardless of tenant: a live or done
+// job for the same content key is returned as-is (existing=true) and
+// keeps its original tenant's accounting — content addressing
+// deliberately wins over isolation, since the work is literally the
+// same. A failed or canceled job is reset to queued and re-run, charged
+// to the resubmitting tenant. A job whose result is already in the
+// store completes instantly, without execution, marked Cached. The WAL
+// record is synced before SubmitFor returns — the ack is the durability
+// point.
+func (q *Queue) SubmitFor(tenant, kind string, canonicalReq []byte, cost int64) (Job, bool, error) {
 	if cost < 0 {
 		cost = 0
 	}
@@ -265,17 +303,20 @@ func (q *Queue) Submit(kind string, canonicalReq []byte, cost int64) (Job, bool,
 		case Queued, Running, Done:
 			return *j, true, nil
 		case Failed, Canceled:
-			// Resubmit of a dead job: same id, fresh run.
-			if err := q.admit(cost); err != nil {
+			// Resubmit of a dead job: same id, fresh run, charged to the
+			// resubmitting tenant (the original's budget was released at
+			// its finish).
+			if err := q.admit(tenant, cost); err != nil {
 				return Job{}, false, err
 			}
 			now := q.clock()
 			if err := q.appendWAL(walRecord{Op: "submit", ID: id, Kind: kind,
-				Req: canonicalReq, Cost: cost, Key: key, T: now}); err != nil {
+				Req: canonicalReq, Cost: cost, Key: key, Tenant: tenant, T: now}); err != nil {
 				return Job{}, false, err
 			}
 			j.State = Queued
 			j.Cost = cost
+			j.Tenant = tenant
 			j.Error = ""
 			j.Cached = false
 			j.cancelRequested = false
@@ -283,7 +324,9 @@ func (q *Queue) Submit(kind string, canonicalReq []byte, cost int64) (Job, bool,
 			j.StartedAt = time.Time{}
 			j.FinishedAt = time.Time{}
 			q.memInUse += cost
+			q.memByTenant[tenant] += cost
 			q.enqueueLocked(id)
+			q.notifyLocked(j)
 			return *j, false, nil
 		}
 	}
@@ -291,13 +334,13 @@ func (q *Queue) Submit(kind string, canonicalReq []byte, cost int64) (Job, bool,
 	now := q.clock()
 	j := &Job{
 		ID: id, Kind: kind, Request: append([]byte(nil), canonicalReq...),
-		Key: key, Cost: cost, State: Queued, SubmittedAt: now,
+		Key: key, Cost: cost, Tenant: tenant, State: Queued, SubmittedAt: now,
 	}
 	if q.st.Has(key) {
 		// The content-addressed dedup across restarts: the result of an
 		// identical past request is on disk, so this job is born done.
 		if err := q.appendWAL(walRecord{Op: "submit", ID: id, Kind: kind,
-			Req: canonicalReq, Cost: cost, Key: key, T: now}); err != nil {
+			Req: canonicalReq, Cost: cost, Key: key, Tenant: tenant, T: now}); err != nil {
 			return Job{}, false, err
 		}
 		if err := q.appendWAL(walRecord{Op: "done", ID: id, Key: key, Cached: true, T: now}); err != nil {
@@ -307,34 +350,51 @@ func (q *Queue) Submit(kind string, canonicalReq []byte, cost int64) (Job, bool,
 		j.Cached = true
 		j.FinishedAt = now
 		q.jobs[id] = j
+		q.notifyLocked(j)
 		return *j, false, nil
 	}
-	if err := q.admit(cost); err != nil {
+	if err := q.admit(tenant, cost); err != nil {
 		return Job{}, false, err
 	}
 	if err := q.appendWAL(walRecord{Op: "submit", ID: id, Kind: kind,
-		Req: canonicalReq, Cost: cost, Key: key, T: now}); err != nil {
+		Req: canonicalReq, Cost: cost, Key: key, Tenant: tenant, T: now}); err != nil {
 		return Job{}, false, err
 	}
 	q.jobs[id] = j
 	q.memInUse += cost
+	q.memByTenant[tenant] += cost
 	q.enqueueLocked(id)
+	q.notifyLocked(j)
 	return *j, false, nil
 }
 
-// admit enforces the byte budget (callers hold q.mu).
-func (q *Queue) admit(cost int64) error {
+// admit enforces the byte budgets (callers hold q.mu): the submitting
+// tenant's partition first — the more specific refusal — then the
+// global cap.
+func (q *Queue) admit(tenant string, cost int64) error {
+	// The hint scales with pressure: one second per running job that
+	// must finish before this footprint plausibly fits, minimum one.
+	retry := time.Duration(1+q.running) * time.Second
+	if budget := q.opts.TenantBudgets[tenant]; budget > 0 && q.memByTenant[tenant]+cost > budget {
+		return &ErrOverBudget{Cost: cost, InUse: q.memByTenant[tenant],
+			Budget: budget, RetryAfter: retry, Tenant: tenant}
+	}
 	if q.opts.MemBudgetBytes < 0 {
 		return nil
 	}
 	if q.memInUse+cost > q.opts.MemBudgetBytes {
-		// The hint scales with pressure: one second per running job that
-		// must finish before this footprint plausibly fits, minimum one.
-		retry := time.Duration(1+q.running) * time.Second
 		return &ErrOverBudget{Cost: cost, InUse: q.memInUse,
 			Budget: q.opts.MemBudgetBytes, RetryAfter: retry}
 	}
 	return nil
+}
+
+// notifyLocked delivers one transition to the Notify hook (callers hold
+// q.mu; the hook gets a copy).
+func (q *Queue) notifyLocked(j *Job) {
+	if q.opts.Notify != nil {
+		q.opts.Notify(*j)
+	}
 }
 
 func (q *Queue) enqueueLocked(id string) {
@@ -377,6 +437,7 @@ func (q *Queue) worker() {
 		j.State = Running
 		j.StartedAt = now
 		q.running++
+		q.notifyLocked(j)
 		var (
 			ctx    context.Context
 			cancel context.CancelFunc
@@ -448,13 +509,16 @@ func (q *Queue) runOne(ctx context.Context, cancel context.CancelFunc, id, kind 
 	}
 }
 
-// finishLocked moves j to a terminal state and releases its budget.
+// finishLocked moves j to a terminal state, releases its budget (global
+// and per-tenant), and notifies.
 func (q *Queue) finishLocked(j *Job, s State, now time.Time, errMsg string) {
 	j.State = s
 	j.Error = errMsg
 	j.FinishedAt = now
 	j.cancel = nil
 	q.memInUse -= j.Cost
+	q.memByTenant[j.Tenant] -= j.Cost
+	q.notifyLocked(j)
 }
 
 // Get returns a copy of the job.
@@ -597,6 +661,29 @@ func (q *Queue) Counters() Counters {
 		}
 	}
 	return c
+}
+
+// TenantCounters is one tenant's slice of the admission state.
+type TenantCounters struct {
+	MemInUseBytes  int64 `json:"mem_in_use_bytes"`
+	MemBudgetBytes int64 `json:"mem_budget_bytes"` // 0 = no per-tenant cap
+}
+
+// TenantCounters snapshots the per-tenant admission accounting: every
+// tenant with a configured partition or a live footprint.
+func (q *Queue) TenantCounters() map[string]TenantCounters {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make(map[string]TenantCounters, len(q.opts.TenantBudgets))
+	for tenant, budget := range q.opts.TenantBudgets {
+		out[tenant] = TenantCounters{MemBudgetBytes: budget}
+	}
+	for tenant, inUse := range q.memByTenant {
+		c := out[tenant]
+		c.MemInUseBytes = inUse
+		out[tenant] = c
+	}
+	return out
 }
 
 // Close drains the queue: no new submissions, workers finish the jobs

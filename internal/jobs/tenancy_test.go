@@ -1,0 +1,132 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTenantBudgetPartition(t *testing.T) {
+	h := newHarness(t, Options{Workers: -1, MemBudgetBytes: 1000,
+		TenantBudgets: map[string]int64{"tiny": 100}})
+
+	// The tenant's own carve-out refuses before the global budget would.
+	if _, _, err := h.q.SubmitFor("tiny", "a", []byte(`1`), 60); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := h.q.SubmitFor("tiny", "b", []byte(`2`), 60)
+	var over *ErrOverBudget
+	if !errors.As(err, &over) {
+		t.Fatalf("over-budget submit err = %v, want ErrOverBudget", err)
+	}
+	if over.Tenant != "tiny" || over.Budget != 100 || over.InUse != 60 {
+		t.Errorf("ErrOverBudget = %+v, want tenant tiny at 60/100", over)
+	}
+	// Another tenant (and the anonymous default) still has the global
+	// room: the partition is per tenant, not shared.
+	if _, _, err := h.q.SubmitFor("other", "c", []byte(`3`), 200); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := h.q.Submit("d", []byte(`4`), 200); err != nil {
+		t.Fatal(err)
+	}
+	// The global budget still binds everyone: an unbudgeted tenant
+	// cannot exceed it.
+	_, _, err = h.q.SubmitFor("other", "e", []byte(`5`), 600)
+	if !errors.As(err, &over) {
+		t.Fatalf("global over-budget err = %v", err)
+	}
+	if over.Tenant != "" || over.Budget != 1000 {
+		t.Errorf("global refusal = %+v, want untenanted budget 1000", over)
+	}
+
+	tc := h.q.TenantCounters()
+	if tc["tiny"].MemInUseBytes != 60 || tc["tiny"].MemBudgetBytes != 100 {
+		t.Errorf("tiny counters = %+v", tc["tiny"])
+	}
+}
+
+func TestTenantBudgetReleasedAndReplayed(t *testing.T) {
+	h := newHarness(t, Options{Workers: 1, TenantBudgets: map[string]int64{"t": 100}})
+	j, _, err := h.q.SubmitFor("t", "a", []byte(`1`), 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, h.q, j.ID, Done)
+	if tc := h.q.TenantCounters(); tc["t"].MemInUseBytes != 0 {
+		t.Fatalf("finished job still charged: %+v", tc["t"])
+	}
+	if j, err = h.q.Get(j.ID); err != nil || j.Tenant != "t" {
+		t.Fatalf("job lost its tenant: %+v %v", j, err)
+	}
+
+	// The tenant attribution survives the WAL: reopen with paused
+	// workers and a queued job, and the tenant's budget is re-charged.
+	gate := make(chan struct{})
+	h.setBlock(gate)
+	j2, _, err := h.q.SubmitFor("t", "b", []byte(`2`), 70)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, h.q, j2.ID, Running)
+	// Crash (expired-context close journals no terminal state), then
+	// reopen with paused workers so the requeued charge is observable.
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	h.q.Close(expired)
+	h.st.Close()
+	h.setBlock(nil)
+	close(gate)
+	h.open(t, Options{Workers: -1, TenantBudgets: map[string]int64{"t": 100}})
+	rj, err := h.q.Get(j2.ID)
+	if err != nil || rj.Tenant != "t" || rj.State != Queued {
+		t.Fatalf("replayed job = %+v (%v), want tenant t requeued", rj, err)
+	}
+	if tc := h.q.TenantCounters(); tc["t"].MemInUseBytes != 70 {
+		t.Fatalf("replayed tenant charge = %+v, want 70 in use", tc["t"])
+	}
+	// And the replayed charge still gates new submits.
+	_, _, err = h.q.SubmitFor("t", "c", []byte(`3`), 40)
+	var over *ErrOverBudget
+	if !errors.As(err, &over) || over.Tenant != "t" {
+		t.Fatalf("submit over a replayed charge = %v", err)
+	}
+}
+
+func TestNotifyHookSeesTransitions(t *testing.T) {
+	var mu sync.Mutex
+	var got []string
+	h := newHarness(t, Options{Workers: 1, Notify: func(j Job) {
+		mu.Lock()
+		got = append(got, j.ID+":"+string(j.State))
+		mu.Unlock()
+	}})
+	j, _, err := h.q.Submit("a", []byte(`1`), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, h.q, j.ID, Done)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n >= 3 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{j.ID + ":queued", j.ID + ":running", j.ID + ":done"}
+	if len(got) != len(want) {
+		t.Fatalf("notifications = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("notification %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

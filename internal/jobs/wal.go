@@ -29,15 +29,19 @@ import (
 // restarts. A torn or garbage tail ends the fold; the compaction rewrite
 // then drops it.
 type walRecord struct {
-	Op     string          `json:"op"`
-	ID     string          `json:"id"`
-	Kind   string          `json:"kind,omitempty"`
-	Req    json.RawMessage `json:"req,omitempty"`
-	Cost   int64           `json:"cost,omitempty"`
-	Key    string          `json:"key,omitempty"`
-	Error  string          `json:"error,omitempty"`
-	Cached bool            `json:"cached,omitempty"`
-	T      time.Time       `json:"t"`
+	Op   string          `json:"op"`
+	ID   string          `json:"id"`
+	Kind string          `json:"kind,omitempty"`
+	Req  json.RawMessage `json:"req,omitempty"`
+	Cost int64           `json:"cost,omitempty"`
+	Key  string          `json:"key,omitempty"`
+	// Tenant stamps submit records for per-tenant admission accounting.
+	// omitempty keeps old journals replayable: a record without it folds
+	// to the anonymous tenant.
+	Tenant string    `json:"tenant,omitempty"`
+	Error  string    `json:"error,omitempty"`
+	Cached bool      `json:"cached,omitempty"`
+	T      time.Time `json:"t"`
 }
 
 // appendWAL journals one record and syncs it (callers hold q.mu). The
@@ -102,6 +106,7 @@ func replayWAL(data []byte) map[string]*Job {
 				// A resubmit record revives a dead job in place.
 				j.State = Queued
 				j.Cost = rec.Cost
+				j.Tenant = rec.Tenant
 				j.Error = ""
 				j.Cached = false
 				j.SubmittedAt = rec.T
@@ -112,7 +117,7 @@ func replayWAL(data []byte) map[string]*Job {
 			jobs[rec.ID] = &Job{
 				ID: rec.ID, Kind: rec.Kind,
 				Request: append(json.RawMessage(nil), rec.Req...),
-				Key:     rec.Key, Cost: rec.Cost,
+				Key:     rec.Key, Cost: rec.Cost, Tenant: rec.Tenant,
 				State: Queued, SubmittedAt: rec.T,
 			}
 		case "start":
@@ -172,6 +177,7 @@ func (q *Queue) replayAndCompact() error {
 			j.State = Queued
 			j.StartedAt = time.Time{}
 			q.memInUse += j.Cost
+			q.memByTenant[j.Tenant] += j.Cost
 			q.pending = append(q.pending, id)
 			q.replayed++
 		}
@@ -210,7 +216,7 @@ func (q *Queue) compact(ids []string) error {
 	for _, id := range ids {
 		j := q.jobs[id]
 		err := writeRec(walRecord{Op: "submit", ID: j.ID, Kind: j.Kind,
-			Req: j.Request, Cost: j.Cost, Key: j.Key, T: j.SubmittedAt})
+			Req: j.Request, Cost: j.Cost, Key: j.Key, Tenant: j.Tenant, T: j.SubmittedAt})
 		if err == nil {
 			switch j.State {
 			case Done:

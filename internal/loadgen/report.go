@@ -116,6 +116,21 @@ func (s *Summary) AddP99Gate(res *report.Result, ceiling time.Duration) {
 	)
 }
 
+// AddVictimP99Gate appends the tenancy-isolation claim to res: every
+// victim-tenant route's p99 (routes labeled with VictimRoutePrefix) must
+// stay at or under ceiling while the noisy tenant floods. This is the
+// noisy-neighbor scenario's whole point — the abusive tenant's 429s are
+// expected, the victim's latency is the gated quantity.
+func (s *Summary) AddVictimP99Gate(res *report.Result, ceiling time.Duration) {
+	worst := s.MaxP99Prefix(VictimRoutePrefix)
+	res.AddClaim(
+		fmt.Sprintf("victim-tenant p99 stays at or under %v despite the noisy tenant's flood", ceiling),
+		fmt.Sprintf("p99 ≤ %.4gs on every %q route", ceiling.Seconds(), VictimRoutePrefix),
+		fmt.Sprintf("worst victim route p99 = %.4gs", worst),
+		worst <= ceiling.Seconds(),
+	)
+}
+
 // crossCheckMinSamples is the per-route sample floor below which quantile
 // agreement is statistically meaningless and the route is skipped.
 const crossCheckMinSamples = 30

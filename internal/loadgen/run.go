@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -171,7 +172,13 @@ func Run(ctx context.Context, c *client.Client, cfg Config) (*Summary, error) {
 	// valid with a non-retrying client (cmd/balarchload enforces this).
 	issue := func(q Request) {
 		t0 := time.Now()
-		resp, err := c.Do(ctx, q.Method, q.Path, q.Body)
+		var resp *client.Response
+		var err error
+		if q.APIKey != "" {
+			resp, err = c.DoAs(ctx, q.APIKey, q.Method, q.Path, q.Body)
+		} else {
+			resp, err = c.Do(ctx, q.Method, q.Path, q.Body)
+		}
 		col.record(q, resp, err, time.Since(t0))
 	}
 
@@ -338,8 +345,19 @@ func (c *collector) summary(cfg Config, mode string, workers int, elapsed time.D
 // MaxP99 returns the largest per-route p99 in the summary, for ceiling
 // gates.
 func (s *Summary) MaxP99() float64 {
+	return s.MaxP99Prefix("")
+}
+
+// MaxP99Prefix returns the largest p99 among routes whose name starts
+// with prefix — how the noisy-neighbor gate scopes its ceiling to the
+// victim tenant's routes (VictimRoutePrefix) while the abusive tenant's
+// flood is exempt. An empty prefix covers every route.
+func (s *Summary) MaxP99Prefix(prefix string) float64 {
 	var worst float64
-	for _, rs := range s.Routes {
+	for route, rs := range s.Routes {
+		if !strings.HasPrefix(route, prefix) {
+			continue
+		}
 		if rs.P99Seconds > worst {
 			worst = rs.P99Seconds
 		}

@@ -24,6 +24,7 @@ import (
 
 	"balarch/client"
 	"balarch/internal/jobs"
+	"balarch/internal/server"
 )
 
 // Request is one generated API call: the wire triple plus the metrics
@@ -40,6 +41,10 @@ type Request struct {
 	// Expect lists acceptable response statuses; empty means {200}.
 	// Anything else counts as an unexpected response in the summary.
 	Expect []int
+	// APIKey, when set, issues the request as that tenant (Authorization:
+	// Bearer) — the noisy-neighbor scenario drives several tenants
+	// through one client this way. Empty stays anonymous.
+	APIKey string
 }
 
 // Expected reports whether status is an acceptable answer for this request.
@@ -106,6 +111,10 @@ func (s Scenario) Plan(seed int64, n int) []Request {
 func EncodePlan(reqs []Request) []byte {
 	var b strings.Builder
 	for _, q := range reqs {
+		if q.APIKey != "" {
+			fmt.Fprintf(&b, "%s %s as %s\n%s\n\n", q.Method, q.Path, q.APIKey, q.Body)
+			continue
+		}
 		fmt.Fprintf(&b, "%s %s\n%s\n\n", q.Method, q.Path, q.Body)
 	}
 	return []byte(b.String())
@@ -121,6 +130,7 @@ func Scenarios() []Scenario {
 		mixedProduction(),
 		jobQueue(),
 		hierarchyMix(),
+		noisyNeighbor(),
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
 	return all
@@ -502,6 +512,84 @@ func hierarchyMix() Scenario {
 			{20, hierarchySweepReq},
 			{5, catalogReq},
 			{5, analyzeReq},
+			{5, healthReq},
+		},
+	}
+}
+
+// The noisy-neighbor scenario's fixed tenant keys. ci/soak.sh writes a
+// tenants.json carrying exactly these keys (the noisy tenant on a tight
+// token bucket and job budget, the victim tenant unthrottled) and the
+// scenario issues its traffic as them; the victim-p99 gate then asserts
+// the abusive tenant's refusals never become the victims' latency.
+const (
+	// NoisyTenantKey authenticates the abusive tenant: a flood that is
+	// mostly rate-limited (429 is its expected answer).
+	NoisyTenantKey = "soak-noisy-key"
+	// VictimTenantKey authenticates the well-behaved tenant whose
+	// latency the gate protects.
+	VictimTenantKey = "soak-victim-key"
+)
+
+// VictimRoutePrefix labels the victim tenant's routes in summaries, so
+// gates can scope to them (MaxP99Prefix).
+const VictimRoutePrefix = "victim "
+
+// NoisyNeighborTenants is the tenants configuration the noisy-neighbor
+// scenario assumes: the noisy tenant on a tight token bucket and a small
+// job budget, the victim named but unthrottled. balarchload -inprocess
+// installs it directly; ci/soak.sh serializes the same shape to the
+// tenants.json it hands balarchd.
+func NoisyNeighborTenants() *server.TenantsConfig {
+	return &server.TenantsConfig{Tenants: []server.TenantSpec{
+		{Name: "noisy", Key: NoisyTenantKey, RatePerSec: 50, Burst: 100, JobBudgetBytes: 256 << 10},
+		{Name: "victim", Key: VictimTenantKey},
+	}}
+}
+
+// noisyReq floods as the abusive tenant. The server's correct answer is
+// usually 429 (rate_limited from the tenant's bucket; over_budget for a
+// job submit) — both expected: this tenant measures containment, not
+// service.
+func noisyReq(r *rand.Rand) Request {
+	if r.Intn(100) < 25 {
+		sweep := jobSweepPool[r.Intn(len(jobSweepPool))]
+		body := mustJSON(client.JobSubmitRequest{Op: "sweep", Request: mustJSON(sweep)})
+		return Request{Route: "noisy POST /v1/jobs", Method: "POST", Path: "/v1/jobs", Body: body,
+			Expect: []int{200, 202, 429}, APIKey: NoisyTenantKey}
+	}
+	q := analyzeReq(r)
+	q.Route = "noisy POST /v1/analyze"
+	q.Expect = []int{200, 429}
+	q.APIKey = NoisyTenantKey
+	return q
+}
+
+// victimReq issues the well-behaved tenant's traffic: analytic requests
+// that must be answered 200 — a 429 leaking onto the victim is an
+// unexpected response and fails the run's zero-unexpected claim.
+func victimReq(r *rand.Rand) Request {
+	var q Request
+	switch r.Intn(3) {
+	case 0:
+		q = analyzeReq(r)
+	case 1:
+		q = rebalanceReq(r)
+	default:
+		q = sweepReq(r)
+	}
+	q.Route = VictimRoutePrefix + q.Route
+	q.APIKey = VictimTenantKey
+	return q
+}
+
+func noisyNeighbor() Scenario {
+	return Scenario{
+		Name:        "noisy-neighbor",
+		Description: "tenancy isolation: one abusive tenant floods into its rate limit while a victim tenant's latency is gated",
+		mix: []weightedGen{
+			{70, noisyReq},
+			{25, victimReq},
 			{5, healthReq},
 		},
 	}

@@ -1,0 +1,190 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestAPIIndex(t *testing.T) {
+	srv := newJobsServer(t, Options{})
+	h := srv.Handler()
+	w := do(h, http.MethodGet, "/v1/", "")
+	if w.Code != 200 {
+		t.Fatalf("GET /v1/: %d\n%s", w.Code, w.Body.String())
+	}
+	var idx APIIndexResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &idx); err != nil {
+		t.Fatal(err)
+	}
+	if idx.Service == "" {
+		t.Error("index has no service name")
+	}
+	// The index is generated from the route table itself: every route the
+	// mux serves must appear, with its method and description.
+	if len(idx.Routes) != len(apiRoutes) {
+		t.Fatalf("index advertises %d routes, route table has %d", len(idx.Routes), len(apiRoutes))
+	}
+	byPattern := make(map[string]APIRouteInfo, len(idx.Routes))
+	for _, rt := range idx.Routes {
+		if rt.Method == "" || rt.Path == "" || rt.Description == "" {
+			t.Errorf("incomplete route entry: %+v", rt)
+		}
+		byPattern[rt.Method+" "+rt.Path] = rt
+	}
+	for _, rt := range apiRoutes {
+		method, path, _ := strings.Cut(rt.pattern, " ")
+		path = strings.TrimSuffix(path, "{$}")
+		if _, ok := byPattern[method+" "+path]; !ok {
+			t.Errorf("route %q missing from the index", rt.pattern)
+		}
+	}
+	if len(idx.ErrorCodes) != len(errorCodes()) || !sort.StringsAreSorted(idx.ErrorCodes) {
+		t.Errorf("index error codes = %v, want the sorted registry", idx.ErrorCodes)
+	}
+	if len(idx.Computations) == 0 || len(idx.Experiments) == 0 {
+		t.Errorf("index catalogs empty: %d computations, %d experiments",
+			len(idx.Computations), len(idx.Experiments))
+	}
+
+	// `GET /v1/{$}` is an exact match: unknown paths under /v1/ still
+	// draw the catch-all's 404, not the index.
+	wantStatus(t, h, http.MethodGet, "/v1/definitely-not-a-route", "", 404, "unknown_route")
+	// And the index is stable bytes (sync.Once): two reads agree.
+	w2 := do(h, http.MethodGet, "/v1/", "")
+	if w.Body.String() != w2.Body.String() {
+		t.Error("two index reads returned different bytes")
+	}
+}
+
+// TestErrorCodesComplete greps the package source for error-code literals
+// and requires the errorCodes() registry (which GET /v1/ serves) to match
+// exactly — a new ErrorBody{"..."} literal without a registry entry fails
+// here, not in production.
+func TestErrorCodesComplete(t *testing.T) {
+	re := regexp.MustCompile(`(?:ErrorBody\{|badRequest\(|notFound\(|unprocessable\(|conflict\()"([a-z_]+)"`)
+	found := make(map[string]bool)
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range re.FindAllSubmatch(src, -1) {
+			found[string(m[1])] = true
+		}
+	}
+	if len(found) == 0 {
+		t.Fatal("grep found no error-code literals — pattern rot?")
+	}
+	registry := make(map[string]bool, len(errorCodes()))
+	for _, code := range errorCodes() {
+		if registry[code] {
+			t.Errorf("registry lists %q twice", code)
+		}
+		registry[code] = true
+	}
+	for code := range found {
+		if !registry[code] {
+			t.Errorf("source uses error code %q but errorCodes() does not list it", code)
+		}
+	}
+	for code := range registry {
+		if !found[code] {
+			t.Errorf("errorCodes() lists %q but no source literal uses it", code)
+		}
+	}
+}
+
+func TestJobListPagination(t *testing.T) {
+	srv := newJobsServer(t, Options{})
+	h := srv.Handler()
+	ids := make(map[string]bool)
+	for i := 0; i < 5; i++ {
+		st, code := submitJob(t, h, fmt.Sprintf(
+			`{"op": "analyze", "request": {"pe": {"c": %de6, "io": 1e6, "m": 4096}, "computation": {"name": "fft"}}}`, i+2))
+		if code != 202 {
+			t.Fatalf("submit %d: %d", i, code)
+		}
+		ids[st.ID] = true
+	}
+
+	// Page through with limit 2: every job exactly once, then no cursor.
+	collected := make(map[string]bool)
+	cursor := ""
+	pages := 0
+	for {
+		path := "/v1/jobs?limit=2"
+		if cursor != "" {
+			path += "&cursor=" + cursor
+		}
+		w := do(h, http.MethodGet, path, "")
+		if w.Code != 200 {
+			t.Fatalf("page %d: %d\n%s", pages, w.Code, w.Body.String())
+		}
+		var resp JobListResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Jobs) > 2 {
+			t.Fatalf("page %d has %d jobs, limit was 2", pages, len(resp.Jobs))
+		}
+		for _, j := range resp.Jobs {
+			if collected[j.ID] {
+				t.Fatalf("job %s appeared on two pages", j.ID)
+			}
+			collected[j.ID] = true
+		}
+		pages++
+		if resp.NextCursor == "" {
+			break
+		}
+		cursor = resp.NextCursor
+		if pages > 10 {
+			t.Fatal("pagination did not terminate")
+		}
+	}
+	if len(collected) != len(ids) {
+		t.Fatalf("paged %d jobs, submitted %d", len(collected), len(ids))
+	}
+	if pages < 3 {
+		t.Fatalf("5 jobs at limit 2 took %d pages, want ≥ 3", pages)
+	}
+
+	// limit 0 stays the old everything-at-once shape, with no cursor key.
+	w := do(h, http.MethodGet, "/v1/jobs", "")
+	var all JobListResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &all); err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Jobs) != 5 || all.NextCursor != "" {
+		t.Fatalf("unpaged list: %d jobs, cursor %q", len(all.Jobs), all.NextCursor)
+	}
+	if strings.Contains(w.Body.String(), "next_cursor") {
+		t.Fatal("unpaged list serialized a next_cursor key")
+	}
+
+	// The state filter composes with the limit.
+	w = do(h, http.MethodGet, "/v1/jobs?state=done&limit=100", "")
+	if w.Code != 200 {
+		t.Fatalf("filtered page: %d", w.Code)
+	}
+
+	// Bad inputs are typed 400s.
+	wantStatus(t, h, http.MethodGet, "/v1/jobs?limit=nope", "", 400, "invalid_argument")
+	wantStatus(t, h, http.MethodGet, "/v1/jobs?limit=-1", "", 400, "invalid_argument")
+	wantStatus(t, h, http.MethodGet, "/v1/jobs?limit=2&cursor=!!!", "", 400, "bad_cursor")
+	wantStatus(t, h, http.MethodGet, "/v1/jobs?limit=2&cursor=bm90LWEtY3Vyc29y", "", 400, "bad_cursor")
+}

@@ -66,6 +66,43 @@ func internalError(err error) *apiError {
 	return &apiError{Status: http.StatusInternalServerError, Body: ErrorBody{"internal", err.Error()}}
 }
 
+// errorCodes returns every code the error envelope can carry, sorted —
+// the GET /v1/ index serves it so clients can switch on a closed set.
+// TestErrorCodesComplete greps the package source for code literals and
+// fails if this registry and reality diverge.
+func errorCodes() []string {
+	return []string{
+		"bad_authorization",
+		"bad_cursor",
+		"bad_json",
+		"batch_too_large",
+		"body_too_large",
+		"cancelled",
+		"draining",
+		"internal",
+		"invalid_argument",
+		"job_canceled",
+		"job_failed",
+		"jobs_disabled",
+		"no_such_series",
+		"non_monotone_hierarchy",
+		"not_done",
+		"not_terminal",
+		"over_budget",
+		"overloaded",
+		"panic",
+		"rate_limited",
+		"result_gone",
+		"unknown_api_key",
+		"unknown_computation",
+		"unknown_experiment",
+		"unknown_job",
+		"unknown_kernel",
+		"unknown_op",
+		"unknown_route",
+	}
+}
+
 // asAPIError maps an arbitrary error from the model/report/experiment layers
 // to its API status: typed sentinels keep their promised codes, anything
 // unrecognized is an internal error.

@@ -15,11 +15,14 @@ package server
 import (
 	"bytes"
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
 
 	"balarch/internal/experiments"
@@ -61,8 +64,12 @@ type JobStatusDTO struct {
 }
 
 // JobListResponse is the GET /v1/jobs body, newest submission first.
+// NextCursor is present only when a ?limit= page has more results —
+// pass it back as ?cursor= to resume; its omission keeps unpaginated
+// responses byte-identical to the pre-pagination wire format.
 type JobListResponse struct {
-	Jobs []JobStatusDTO `json:"jobs"`
+	Jobs       []JobStatusDTO `json:"jobs"`
+	NextCursor string         `json:"next_cursor,omitempty"`
 }
 
 // JobDeleteResponse is the DELETE /v1/jobs/{id} body: the job's state
@@ -287,6 +294,11 @@ func (s *Server) runJobOp(ctx context.Context, op string, raw json.RawMessage) (
 // response body.
 func (s *Server) jobExecutor() jobs.Exec {
 	return func(ctx context.Context, kind string, req json.RawMessage) ([]byte, error) {
+		// The job id is a pure function of (kind, canonical request), so
+		// the executor recomputes it to route engine progress onto the
+		// job's SSE topic without widening the Exec signature.
+		id, _ := jobs.IDFor(kind, req)
+		ctx = s.jobProgressContext(ctx, id)
 		body, apiErr := s.runJobOp(s.sweepContext(ctx), kind, req)
 		if apiErr != nil {
 			return nil, apiErr
@@ -316,8 +328,16 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, apiErr)
 		return
 	}
-	j, _, err := q.Submit(req.Op, canonical, cost)
+	var tenantName string
+	if tn := tenantFrom(r.Context()); tn != nil {
+		tenantName = tn.name
+	}
+	j, _, err := q.SubmitFor(tenantName, req.Op, canonical, cost)
 	if err != nil {
+		var over *jobs.ErrOverBudget
+		if errors.As(err, &over) && over.Tenant != "" {
+			s.metrics.TenantOverBudget(over.Tenant)
+		}
 		writeError(w, asJobsError(err))
 		return
 	}
@@ -330,6 +350,11 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSONStatus(w, status, jobStatusDTO(j))
 }
 
+// maxJobPageSize caps ?limit= so one page cannot be asked to materialize
+// an unbounded DTO slice anyway (limit 0 — no pagination — still lists
+// everything, the pre-pagination contract).
+const maxJobPageSize = 1000
+
 func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 	q, apiErr := s.jobsQueue()
 	if apiErr != nil {
@@ -337,15 +362,82 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q.GC()
-	stateFilter := r.URL.Query().Get("state")
+	query := r.URL.Query()
+	stateFilter := query.Get("state")
+	limit := 0
+	if ls := query.Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n < 0 {
+			writeError(w, badRequest("invalid_argument", "limit must be a non-negative integer, got %q", ls))
+			return
+		}
+		limit = min(n, maxJobPageSize)
+	}
+	var (
+		afterT  int64
+		afterID string
+		paging  bool
+	)
+	if cs := query.Get("cursor"); cs != "" {
+		t, id, apiErr := decodeJobCursor(cs)
+		if apiErr != nil {
+			writeError(w, apiErr)
+			return
+		}
+		afterT, afterID, paging = t, id, true
+	}
 	resp := JobListResponse{Jobs: []JobStatusDTO{}}
+	var last jobs.Job
 	for _, j := range q.List() {
 		if stateFilter != "" && string(j.State) != stateFilter {
 			continue
 		}
+		if paging && !afterCursor(j, afterT, afterID) {
+			continue
+		}
+		if limit > 0 && len(resp.Jobs) == limit {
+			// One more matching job exists beyond the page: hand back
+			// the page's last position as the resume token.
+			resp.NextCursor = encodeJobCursor(last)
+			break
+		}
 		resp.Jobs = append(resp.Jobs, jobStatusDTO(j))
+		last = j
 	}
 	writeJSON(w, resp)
+}
+
+// The cursor is the position of the last job already delivered —
+// (submission nanos, id), matching the list's sort order (SubmittedAt
+// descending, id ascending within a tie) — base64url-encoded as
+// "nanos.id". Position, not offset: jobs finishing or being GC'd
+// between pages can never skip or repeat a survivor.
+
+func encodeJobCursor(j jobs.Job) string {
+	return base64.RawURLEncoding.EncodeToString(
+		[]byte(strconv.FormatInt(j.SubmittedAt.UnixNano(), 10) + "." + j.ID))
+}
+
+func decodeJobCursor(s string) (nanos int64, id string, apiErr *apiError) {
+	raw, err := base64.RawURLEncoding.DecodeString(s)
+	if err == nil {
+		if ts, rest, ok := strings.Cut(string(raw), "."); ok && rest != "" {
+			if n, perr := strconv.ParseInt(ts, 10, 64); perr == nil {
+				return n, rest, nil
+			}
+		}
+	}
+	return 0, "", badRequest("bad_cursor", "cursor is not a token this API issued")
+}
+
+// afterCursor reports whether j sorts strictly after the cursor position
+// in the list order (SubmittedAt descending, id ascending).
+func afterCursor(j jobs.Job, nanos int64, id string) bool {
+	jt := j.SubmittedAt.UnixNano()
+	if jt != nanos {
+		return jt < nanos
+	}
+	return j.ID > id
 }
 
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
@@ -438,11 +530,17 @@ func asJobsError(err error) *apiError {
 	var over *jobs.ErrOverBudget
 	switch {
 	case errors.As(err, &over):
+		scope := "the"
+		if over.Tenant != "" {
+			// The tenant partition refused, not the global pool: say so,
+			// so a throttled tenant doesn't conclude the server is full.
+			scope = fmt.Sprintf("tenant %q's", over.Tenant)
+		}
 		ae := &apiError{
 			Status: http.StatusTooManyRequests,
 			Body: ErrorBody{"over_budget", fmt.Sprintf(
-				"job admission denied: footprint %d B would exceed the %d B budget (%d B in use); retry after %v",
-				over.Cost, over.Budget, over.InUse, over.RetryAfter)},
+				"job admission denied: footprint %d B would exceed %s %d B budget (%d B in use); retry after %v",
+				over.Cost, scope, over.Budget, over.InUse, over.RetryAfter)},
 		}
 		ae.RetryAfterSeconds = int(math.Ceil(over.RetryAfter.Seconds()))
 		if ae.RetryAfterSeconds < 1 {
@@ -457,7 +555,8 @@ func asJobsError(err error) *apiError {
 		return conflict("not_terminal", "%v", err)
 	case errors.Is(err, jobs.ErrClosed):
 		return &apiError{Status: http.StatusServiceUnavailable,
-			Body: ErrorBody{"draining", "the job queue is shutting down"}}
+			Body:              ErrorBody{"draining", "the job queue is shutting down"},
+			RetryAfterSeconds: 1}
 	default:
 		return internalError(err)
 	}

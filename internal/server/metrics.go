@@ -25,31 +25,21 @@ func LatencyBucketBounds() []float64 {
 
 // routePatterns is the fixed universe of metrics keys: every mux pattern
 // (method-qualified, matching what routeLabel reports) plus the two
-// collapse tokens for requests the mux never matched. NewMetrics
-// preregisters a slot per entry so Observe on a known route is a
-// lock-free map probe plus one slot mutex — no global lock, no
+// collapse tokens for requests the mux never matched. It is derived from
+// the apiRoutes table (server.go) — the same single source the mux and
+// the GET /v1/ API index are built from — so the three cannot drift.
+// NewMetrics preregisters a slot per entry so Observe on a known route
+// is a lock-free map probe plus one slot mutex — no global lock, no
 // allocation. The list going stale is harmless (an unlisted route falls
 // back to the copy-on-write slow path, one allocation ever); keeping it
 // in sync keeps the hot path uniform.
-var routePatterns = []string{
-	"GET /healthz",
-	"GET /metrics",
-	"GET /v1/catalog",
-	"POST /v1/analyze",
-	"POST /v1/rebalance",
-	"POST /v1/roofline",
-	"POST /v1/sweep",
-	"GET /v1/experiments",
-	"POST /v1/experiments/{id}",
-	"POST /v1/batch",
-	"POST /v1/jobs",
-	"GET /v1/jobs",
-	"GET /v1/jobs/{id}",
-	"GET /v1/jobs/{id}/result",
-	"DELETE /v1/jobs/{id}",
-	"(unmatched)",
-	"(unknown_route)",
-}
+var routePatterns = func() []string {
+	patterns := make([]string, 0, len(apiRoutes)+2)
+	for _, rt := range apiRoutes {
+		patterns = append(patterns, rt.pattern)
+	}
+	return append(patterns, "(unmatched)", "(unknown_route)")
+}()
 
 // Metrics is the server's instrumentation: per-route request and error
 // counts, a latency histogram, the sweep-cache hit rate, and an in-flight
@@ -74,6 +64,21 @@ type Metrics struct {
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
 	panics      atomic.Int64
+
+	// tenants is the per-tenant counter table, preregistered once from
+	// the tenants config (RegisterTenants) and immutable after — the
+	// cardinality bound: a request can only ever account against a
+	// configured name, never grow the map. nil on an untenanted server,
+	// and then the snapshot omits the whole section.
+	tenants map[string]*tenantSlot
+}
+
+// tenantSlot is one tenant's counters. Plain atomics: the tenancy
+// middleware touches these on every tenanted request.
+type tenantSlot struct {
+	requests    atomic.Int64
+	rateLimited atomic.Int64
+	overBudget  atomic.Int64
 }
 
 // routeSlot is one route's request count and latency distribution, bucketed
@@ -98,6 +103,37 @@ func NewMetrics() *Metrics {
 	m := &Metrics{start: time.Now()}
 	m.slots.Store(&slots)
 	return m
+}
+
+// RegisterTenants preregisters one counter slot per tenant name. Called
+// once, before the handler serves (New does it from the tenants config);
+// the table never grows afterwards.
+func (m *Metrics) RegisterTenants(names []string) {
+	m.tenants = make(map[string]*tenantSlot, len(names))
+	for _, n := range names {
+		m.tenants[n] = &tenantSlot{}
+	}
+}
+
+// TenantRequest counts one resolved request against its tenant.
+func (m *Metrics) TenantRequest(name string) {
+	if s := m.tenants[name]; s != nil {
+		s.requests.Add(1)
+	}
+}
+
+// TenantRateLimited counts one bucket refusal (429 rate_limited).
+func (m *Metrics) TenantRateLimited(name string) {
+	if s := m.tenants[name]; s != nil {
+		s.rateLimited.Add(1)
+	}
+}
+
+// TenantOverBudget counts one job-admission refusal (429 over_budget).
+func (m *Metrics) TenantOverBudget(name string) {
+	if s := m.tenants[name]; s != nil {
+		s.overBudget.Add(1)
+	}
 }
 
 // slot returns the route's slot, creating one (copy-on-write) for a route
@@ -222,6 +258,24 @@ type Snapshot struct {
 	JobsFailed   int64 `json:"jobs_failed"`
 	JobsCanceled int64 `json:"jobs_canceled"`
 	JobsReplayed int64 `json:"jobs_replayed"`
+
+	// Tenants is the per-tenant slice of the counters above, keyed by
+	// tenant name ("anonymous" plus every configured tenant — a bounded
+	// set). Present only when tenancy is configured, so an untenanted
+	// server's /metrics bytes (and the pinned schema) are unchanged.
+	Tenants map[string]TenantSnapshot `json:"tenants,omitempty"`
+}
+
+// TenantSnapshot is one tenant's slice of /metrics: traffic admitted and
+// refused at the tenancy layer, plus the tenant's job-budget gauges
+// (filled from the queue's per-tenant accounting; zero on a
+// jobs-disabled server).
+type TenantSnapshot struct {
+	Requests     int64 `json:"requests_total"`
+	RateLimited  int64 `json:"rate_limited_total"`
+	OverBudget   int64 `json:"over_budget_total"`
+	JobMemInUse  int64 `json:"job_mem_in_use_bytes"`
+	JobMemBudget int64 `json:"job_mem_budget_bytes"`
 }
 
 // HistogramQuantile estimates quantile q (in [0, 1]) from counts bucketed on
@@ -319,6 +373,16 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.LatencyBuckets = append(s.LatencyBuckets, HistogramBucket{-1, over})
 	if lookups := s.CacheHits + s.CacheMisses; lookups > 0 {
 		s.CacheHitRate = float64(s.CacheHits) / float64(lookups)
+	}
+	if m.tenants != nil {
+		s.Tenants = make(map[string]TenantSnapshot, len(m.tenants))
+		for name, ts := range m.tenants {
+			s.Tenants[name] = TenantSnapshot{
+				Requests:    ts.requests.Load(),
+				RateLimited: ts.rateLimited.Load(),
+				OverBudget:  ts.overBudget.Load(),
+			}
+		}
 	}
 	return s
 }

@@ -52,6 +52,22 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// Flush forwards to the underlying writer so SSE streams flush through
+// the logging recorder (embedding promotes only the interface's own
+// methods, so without this the recorder would hide the Flusher).
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		if r.status == 0 {
+			r.status = http.StatusOK
+		}
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController, which
+// the SSE handlers use to clear the server's write deadline on streams.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
 // RequestIDHeader is the correlation header: a client that sets it on a
 // request finds the same value echoed on the response, so a load generator
 // (or any caller with its own tracing) can match responses to the requests
@@ -207,7 +223,8 @@ func LimitConcurrency(n int, exempt ...string) Middleware {
 				case slots <- struct{}{}:
 				case <-r.Context().Done():
 					writeError(w, &apiError{Status: http.StatusServiceUnavailable,
-						Body: ErrorBody{"overloaded", "request cancelled while queued for a slot"}})
+						Body:              ErrorBody{"overloaded", "request cancelled while queued for a slot"},
+						RetryAfterSeconds: 1})
 					return
 				}
 			}

@@ -36,6 +36,7 @@ import (
 	"math"
 	"net/http"
 	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
@@ -69,6 +70,16 @@ type Options struct {
 	// Logger receives structured request and panic logs; nil disables
 	// logging (metrics still record).
 	Logger *slog.Logger
+
+	// Tenants enables API-key tenancy: requests resolve to a tenant via
+	// Authorization: Bearer <key>, each tenant gets its own token-bucket
+	// rate limit and job byte budget, and /metrics grows a bounded
+	// per-tenant section. nil (the default) disables tenancy entirely —
+	// no auth, no limiting, byte-identical responses to an untenanted
+	// build. The config must be valid (ParseTenantsConfig and
+	// LoadTenantsFile only produce valid configs); New panics on a
+	// hand-built invalid one, like any other programmer error.
+	Tenants *TenantsConfig
 
 	// StoreDir enables the durable async subsystem: the content-addressed
 	// result store and the WAL-journaled job queue live under this
@@ -110,6 +121,16 @@ type Server struct {
 	sweeps           *engine.Cache[[]kernels.RatioPoint]
 	maxMemoryDefault float64
 
+	// tenants is the resolved tenancy table (nil when Options.Tenants is
+	// nil — the untenanted fast path).
+	tenants *tenancy
+
+	// events fans job transitions and engine progress out to SSE
+	// subscribers; sseHeartbeat overrides the keep-alive interval
+	// (tests shrink it), 0 meaning defaultHeartbeatInterval.
+	events       *eventBus
+	sseHeartbeat time.Duration
+
 	store   *store.Store
 	queue   *jobs.Queue
 	jobsErr error // why the async subsystem failed to open, if it did
@@ -138,6 +159,16 @@ func New(opts Options) *Server {
 		metrics:          NewMetrics(),
 		sweeps:           &engine.Cache[[]kernels.RatioPoint]{},
 		maxMemoryDefault: 1e18,
+		events:           newEventBus(0),
+	}
+	if opts.Tenants != nil {
+		if err := opts.Tenants.Validate(); err != nil {
+			panic(fmt.Sprintf("server: invalid tenants config: %v", err))
+		}
+		s.tenants = newTenancy(opts.Tenants)
+		// Preregister the counter slots before any request can account:
+		// the fixed name set is the metrics cardinality bound.
+		s.metrics.RegisterTenants(s.tenants.names())
 	}
 	if opts.StoreDir != "" {
 		s.openJobs()
@@ -156,11 +187,17 @@ func (s *Server) openJobs() {
 	if jt < 0 {
 		jt = 0 // jobs.Options treats 0 as "no deadline"
 	}
+	var tenantBudgets map[string]int64
+	if s.tenants != nil {
+		tenantBudgets = s.tenants.jobBudgets()
+	}
 	q, err := jobs.Open(filepath.Join(s.opts.StoreDir, "jobs"), st, s.jobExecutor(), jobs.Options{
 		Workers:        s.opts.JobWorkers,
 		MemBudgetBytes: s.opts.MemBudgetBytes,
+		TenantBudgets:  tenantBudgets,
 		TTL:            s.opts.JobTTL,
 		JobTimeout:     jt,
+		Notify:         s.publishJobTransition,
 	})
 	if err != nil {
 		st.Close()
@@ -182,6 +219,10 @@ func (s *Server) JobsErr() error { return s.jobsErr }
 // jobs stay journaled, and the store's index log closes cleanly. A
 // jobs-disabled server's Close is a no-op.
 func (s *Server) Close(ctx context.Context) error {
+	// End every SSE stream first (terminal "dropped" event, reason
+	// shutting_down) so no handler goroutine blocks the queue drain
+	// waiting on events that will never come.
+	s.events.close()
 	var err error
 	if s.queue != nil {
 		err = s.queue.Close(ctx)
@@ -229,6 +270,7 @@ func (s *Server) Handler() http.Handler {
 		RequestID(),
 		Logging(s.opts.Logger, s.metrics),
 		Recover(s.opts.Logger, s.metrics),
+		s.tenancyMiddleware(),
 		LimitConcurrency(limit, "/healthz", "/metrics"),
 	)
 }
@@ -243,24 +285,67 @@ func (s *Server) opBudget(ctx context.Context) (context.Context, context.CancelF
 	return ctx, func() {}
 }
 
-// mux routes the twelve endpoints plus health and metrics.
+// apiRoute is one routed endpoint: the mux pattern, the one-line
+// description the GET /v1/ index serves for it, and its handler
+// (selected per server, since handlers are methods).
+type apiRoute struct {
+	pattern string
+	desc    string
+	handler func(*Server) http.HandlerFunc
+}
+
+// apiRoutes is the single source of truth for the API surface: the mux,
+// the metrics' preregistered route slots (routePatterns, metrics.go),
+// and the machine-readable GET /v1/ index are all generated from it, so
+// a route cannot exist in one and be missing from the others.
+//
+// Note "GET /v1/{$}": on the 1.22 ServeMux a bare "GET /v1/" is a
+// subtree pattern that would swallow every unknown GET under /v1/ away
+// from the catch-all (breaking the unknown_route envelope); {$}
+// restricts it to the exact path.
+var apiRoutes = []apiRoute{
+	{"GET /healthz", "liveness probe: status, uptime, experiment count",
+		func(s *Server) http.HandlerFunc { return s.handleHealthz }},
+	{"GET /metrics", "instrumentation snapshot: per-route counters, latency histograms, cache and job gauges, per-tenant slices",
+		func(s *Server) http.HandlerFunc { return s.handleMetrics }},
+	{"GET /v1/{$}", "this index: every route, error code, computation id, and experiment id the API serves",
+		func(s *Server) http.HandlerFunc { return s.handleAPIIndex }},
+	{"GET /v1/catalog", "the computation catalog: wire ids, paper sections, growth laws, ratio families",
+		func(s *Server) http.HandlerFunc { return s.handleCatalog }},
+	{"POST /v1/analyze", "balance diagnosis for a PE (or memory hierarchy) against a catalog computation",
+		func(s *Server) http.HandlerFunc { return s.handleAnalyze }},
+	{"POST /v1/rebalance", "memory required to keep a computation balanced after a speedup of alpha",
+		func(s *Server) http.HandlerFunc { return jsonHandler(s, s.rebalance) }},
+	{"POST /v1/roofline", "roofline model evaluation across computations and a memory sweep",
+		func(s *Server) http.HandlerFunc { return jsonHandler(s, s.roofline) }},
+	{"POST /v1/sweep", "measured compute/IO ratio curve for a real kernel (memoized, single-flight)",
+		func(s *Server) http.HandlerFunc { return s.handleSweep }},
+	{"GET /v1/experiments", "the experiment registry: paper reproductions by id",
+		func(s *Server) http.HandlerFunc { return s.handleExperimentList }},
+	{"POST /v1/experiments/{id}", "run one experiment; ?format=csv|text, ?series=<name>, ?stream=1 for SSE progress",
+		func(s *Server) http.HandlerFunc { return s.handleExperimentRun }},
+	{"POST /v1/batch", "heterogeneous request fan-out with deterministic result ordering",
+		func(s *Server) http.HandlerFunc { return jsonHandler(s, s.batch) }},
+	{"POST /v1/jobs", "submit a durable async job (same {op, request} envelope as a batch item)",
+		func(s *Server) http.HandlerFunc { return s.handleJobSubmit }},
+	{"GET /v1/jobs", "list jobs, newest first; ?state=<state>, ?limit=<n> and ?cursor=<token> paginate",
+		func(s *Server) http.HandlerFunc { return s.handleJobList }},
+	{"GET /v1/jobs/{id}", "poll one job's status",
+		func(s *Server) http.HandlerFunc { return s.handleJobGet }},
+	{"GET /v1/jobs/{id}/result", "a done job's stored result, byte-identical to the synchronous response",
+		func(s *Server) http.HandlerFunc { return s.handleJobResult }},
+	{"GET /v1/jobs/{id}/events", "SSE stream of one job's lifecycle: state, progress, done",
+		func(s *Server) http.HandlerFunc { return s.handleJobEvents }},
+	{"DELETE /v1/jobs/{id}", "cancel a live job or forget a terminal one",
+		func(s *Server) http.HandlerFunc { return s.handleJobDelete }},
+}
+
+// mux routes the API surface from the apiRoutes table.
 func (s *Server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
-	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
-	mux.HandleFunc("POST /v1/rebalance", jsonHandler(s, s.rebalance))
-	mux.HandleFunc("POST /v1/roofline", jsonHandler(s, s.roofline))
-	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
-	mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
-	mux.HandleFunc("POST /v1/experiments/{id}", s.handleExperimentRun)
-	mux.HandleFunc("POST /v1/batch", jsonHandler(s, s.batch))
-	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
-	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
-	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
+	for _, rt := range apiRoutes {
+		mux.HandleFunc(rt.pattern, rt.handler(s))
+	}
 	// The catch-all keeps the error envelope on every non-2xx: unknown
 	// paths AND wrong methods on known paths land here (trading away the
 	// mux's native 405), so the message names both possibilities.
@@ -270,6 +355,82 @@ func (s *Server) mux() *http.ServeMux {
 			r.Method, r.URL.Path))
 	})
 	return mux
+}
+
+// --- API index ---
+
+// APIRouteInfo is one route in the GET /v1/ index.
+type APIRouteInfo struct {
+	Method      string `json:"method"`
+	Path        string `json:"path"`
+	Description string `json:"description"`
+}
+
+// APIIndexResponse is the GET /v1/ body: the API surface as data —
+// every route, every error code the envelope can carry, every catalog
+// computation id, every experiment id. Generated from the same tables
+// the server routes and resolves with, so it cannot advertise what the
+// API would reject (or omit what it serves).
+type APIIndexResponse struct {
+	Service      string         `json:"service"`
+	Routes       []APIRouteInfo `json:"routes"`
+	ErrorCodes   []string       `json:"error_codes"`
+	Computations []string       `json:"computations"`
+	Experiments  []string       `json:"experiments"`
+}
+
+// handleAPIIndex serves GET /v1/ (exact path). The listing is static —
+// encoded once and replayed, like the catalog.
+var (
+	apiIndexOnce  sync.Once
+	apiIndexBytes []byte
+)
+
+func (s *Server) handleAPIIndex(w http.ResponseWriter, _ *http.Request) {
+	apiIndexOnce.Do(func() {
+		data, err := encodeJSONBody(apiIndexResponse())
+		if err != nil {
+			panic(err) // static data over marshalable types; cannot fail
+		}
+		apiIndexBytes = data
+	})
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(apiIndexBytes)
+}
+
+// apiIndexRoutes is apiRoutes, copied by init(): apiIndexResponse
+// ranging apiRoutes directly would close an initialization cycle
+// (apiRoutes → handleAPIIndex → apiIndexResponse → apiRoutes); init
+// functions run after variable initialization, outside that graph.
+var apiIndexRoutes []apiRoute
+
+func init() { apiIndexRoutes = apiRoutes }
+
+// apiIndexResponse assembles the index from the route table, the error
+// code registry, the computation resolver's id list, and the experiment
+// registry.
+func apiIndexResponse() APIIndexResponse {
+	resp := APIIndexResponse{
+		Service:      "balarch",
+		Routes:       []APIRouteInfo{},
+		ErrorCodes:   errorCodes(),
+		Computations: append([]string{}, computationNames...),
+		Experiments:  []string{},
+	}
+	for _, rt := range apiIndexRoutes {
+		method, path, _ := strings.Cut(rt.pattern, " ")
+		// "{$}" is mux syntax for "this exact path"; the wire path is
+		// what a client actually requests.
+		path = strings.TrimSuffix(path, "{$}")
+		resp.Routes = append(resp.Routes, APIRouteInfo{
+			Method: method, Path: path, Description: rt.desc,
+		})
+	}
+	for _, e := range experiments.Registry() {
+		resp.Experiments = append(resp.Experiments, e.ID)
+	}
+	return resp
 }
 
 // jsonHandler adapts a decode→core→encode operation: strict-decodes Req,
@@ -664,6 +825,10 @@ func (s *Server) handleExperimentList(w http.ResponseWriter, _ *http.Request) {
 // ?format=text for the terminal rendering, ?format=csv for every series
 // (404 via ErrNoSeries when the result has none), ?series=<name> for one.
 func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("stream") == "1" {
+		s.streamExperiment(w, r)
+		return
+	}
 	res, apiErr := s.runExperiment(r.Context(), r.PathValue("id"))
 	if apiErr != nil {
 		writeError(w, apiErr)
@@ -708,7 +873,12 @@ func (s *Server) runExperiment(ctx context.Context, id string) (*report.Result, 
 	res, err := exp.Run(s.sweepContext(ctx))
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			return nil, &apiError{Status: http.StatusServiceUnavailable, Body: ErrorBody{"cancelled", err.Error()}}
+			// Retry-After rides every 429/503 (the unified throttling
+			// contract): a deadline-killed run may well fit on a retry
+			// once the server is less loaded.
+			return nil, &apiError{Status: http.StatusServiceUnavailable,
+				Body:              ErrorBody{"cancelled", err.Error()},
+				RetryAfterSeconds: 1}
 		}
 		return nil, internalError(err)
 	}
@@ -752,6 +922,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		snap.JobsFailed = c.Failed
 		snap.JobsCanceled = c.Canceled
 		snap.JobsReplayed = c.Replayed
+		// Per-tenant job-memory gauges join the tenancy counters. Only
+		// preregistered names are filled — the snapshot's key set stays
+		// bounded by the config whatever the queue has seen.
+		if snap.Tenants != nil {
+			for name, tc := range s.queue.TenantCounters() {
+				ts, ok := snap.Tenants[name]
+				if !ok {
+					continue
+				}
+				ts.JobMemInUse = tc.MemInUseBytes
+				ts.JobMemBudget = tc.MemBudgetBytes
+				snap.Tenants[name] = ts
+			}
+		}
 	}
 	writeJSON(w, snap)
 }

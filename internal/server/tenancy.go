@@ -1,0 +1,419 @@
+package server
+
+// API-key tenancy: the traffic layer's application of the paper's balance
+// argument to the service itself. One abusive caller sharing a single
+// limiter, job budget, and /metrics pool moves every other caller's p99 —
+// the starvation Kung's law provisions against. A tenants config carves
+// the shared resources per consumer: each tenant gets its own token
+// bucket (requests/second with a burst) and its own job byte budget, and
+// the middleware resolves `Authorization: Bearer <key>` to a tenant
+// before the concurrency limiter so a rate-limited caller never occupies
+// a slot. Requests without a key are the anonymous tenant — unlimited by
+// default, so a server with no tenants configured behaves (and responds)
+// byte-identically to one built before tenancy existed.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// AnonymousTenant is the reserved name of the keyless default tenant.
+const AnonymousTenant = "anonymous"
+
+// Tenant config limits: bounded cardinality by construction — tenant
+// names become /metrics keys, so nothing about their count or length may
+// be attacker-chosen or unbounded.
+const (
+	maxTenants       = 256
+	maxTenantNameLen = 64
+	maxTenantKeyLen  = 256
+)
+
+// TenantSpec configures one tenant: its identity, its API key, and its
+// slice of the shared resources. The zero limits mean "unlimited": a
+// spec with neither a rate nor a budget is a named but unthrottled
+// tenant (useful for trusted internal callers that still want their own
+// /metrics slice).
+type TenantSpec struct {
+	// Name identifies the tenant in /metrics, logs, and error messages.
+	// Letters, digits, dot, underscore, dash; at most 64 bytes;
+	// "anonymous" is reserved for the keyless default.
+	Name string `json:"name"`
+	// Key is the bearer token presented as "Authorization: Bearer <key>".
+	// Opaque to the server; at most 256 bytes, no whitespace or control
+	// characters, unique across tenants.
+	Key string `json:"key,omitempty"`
+	// RatePerSec is the tenant's sustained request rate (token-bucket
+	// refill, tokens/second). 0 means unlimited.
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	// Burst is the bucket depth: how many requests may arrive back to
+	// back before the rate applies. 0 means max(RatePerSec, 1).
+	Burst float64 `json:"burst,omitempty"`
+	// JobBudgetBytes caps the summed footprint of this tenant's live
+	// (queued+running) jobs, carved out of — not in addition to — the
+	// server's global MemBudgetBytes. 0 means no per-tenant cap.
+	JobBudgetBytes int64 `json:"job_budget_bytes,omitempty"`
+}
+
+// TenantsConfig is the parsed -tenants-file: the static key set plus an
+// optional override for the anonymous (keyless) tenant, which otherwise
+// stays unlimited.
+type TenantsConfig struct {
+	Tenants []TenantSpec `json:"tenants"`
+	// Anonymous, when present, throttles keyless traffic too (its Name
+	// and Key fields must be empty; the name is always "anonymous").
+	Anonymous *TenantSpec `json:"anonymous,omitempty"`
+}
+
+// TenantConfigError is the typed parse/validation failure for a tenants
+// file: which entry, which field, and why. ParseTenantsConfig returns it
+// (never a panic) for any input that is not a valid config.
+type TenantConfigError struct {
+	// Pos locates the problem ("tenants[3]", "anonymous", or "file").
+	Pos string
+	// Field is the offending field, when one is identifiable.
+	Field string
+	// Reason is the human-readable cause.
+	Reason string
+}
+
+func (e *TenantConfigError) Error() string {
+	if e.Field != "" {
+		return fmt.Sprintf("tenants config: %s: %s: %s", e.Pos, e.Field, e.Reason)
+	}
+	return fmt.Sprintf("tenants config: %s: %s", e.Pos, e.Reason)
+}
+
+// ParseTenantsConfig parses and validates a tenants file. Any input maps
+// to either a valid config or a *TenantConfigError — never a panic and
+// never a half-valid config (FuzzTenantConfig pins this).
+func ParseTenantsConfig(data []byte) (*TenantsConfig, error) {
+	var cfg TenantsConfig
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return nil, &TenantConfigError{Pos: "file", Reason: err.Error()}
+	}
+	// Trailing content after the config object is a malformed file, not
+	// an ignorable tail.
+	if dec.More() {
+		return nil, &TenantConfigError{Pos: "file", Reason: "trailing data after config object"}
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &cfg, nil
+}
+
+// LoadTenantsFile reads and parses the -tenants-file path.
+func LoadTenantsFile(path string) (*TenantsConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, &TenantConfigError{Pos: "file", Reason: err.Error()}
+	}
+	return ParseTenantsConfig(data)
+}
+
+// Validate checks every invariant the runtime relies on; New refuses a
+// config that fails it.
+func (c *TenantsConfig) Validate() error {
+	if len(c.Tenants) > maxTenants {
+		return &TenantConfigError{Pos: "tenants", Field: "len",
+			Reason: fmt.Sprintf("%d tenants exceed the limit of %d", len(c.Tenants), maxTenants)}
+	}
+	names := make(map[string]bool, len(c.Tenants))
+	keys := make(map[string]bool, len(c.Tenants))
+	for i, t := range c.Tenants {
+		pos := fmt.Sprintf("tenants[%d]", i)
+		if err := validTenantName(pos, t.Name); err != nil {
+			return err
+		}
+		if names[t.Name] {
+			return &TenantConfigError{Pos: pos, Field: "name",
+				Reason: fmt.Sprintf("duplicate tenant name %q", t.Name)}
+		}
+		names[t.Name] = true
+		if err := validTenantKey(pos, t.Key); err != nil {
+			return err
+		}
+		if keys[t.Key] {
+			return &TenantConfigError{Pos: pos, Field: "key", Reason: "duplicate key"}
+		}
+		keys[t.Key] = true
+		if err := validTenantLimits(pos, t); err != nil {
+			return err
+		}
+	}
+	if a := c.Anonymous; a != nil {
+		if a.Name != "" && a.Name != AnonymousTenant {
+			return &TenantConfigError{Pos: "anonymous", Field: "name",
+				Reason: fmt.Sprintf("must be empty or %q, got %q", AnonymousTenant, a.Name)}
+		}
+		if a.Key != "" {
+			return &TenantConfigError{Pos: "anonymous", Field: "key",
+				Reason: "the anonymous tenant is keyless"}
+		}
+		if err := validTenantLimits("anonymous", *a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func validTenantName(pos, name string) error {
+	if name == "" {
+		return &TenantConfigError{Pos: pos, Field: "name", Reason: "required"}
+	}
+	if len(name) > maxTenantNameLen {
+		return &TenantConfigError{Pos: pos, Field: "name",
+			Reason: fmt.Sprintf("%d bytes exceed the limit of %d", len(name), maxTenantNameLen)}
+	}
+	if name == AnonymousTenant {
+		return &TenantConfigError{Pos: pos, Field: "name",
+			Reason: fmt.Sprintf("%q is reserved for the keyless default", AnonymousTenant)}
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return &TenantConfigError{Pos: pos, Field: "name",
+				Reason: fmt.Sprintf("byte %q not in [A-Za-z0-9._-]", c)}
+		}
+	}
+	return nil
+}
+
+func validTenantKey(pos, key string) error {
+	if key == "" {
+		return &TenantConfigError{Pos: pos, Field: "key", Reason: "required"}
+	}
+	if len(key) > maxTenantKeyLen {
+		return &TenantConfigError{Pos: pos, Field: "key",
+			Reason: fmt.Sprintf("%d bytes exceed the limit of %d", len(key), maxTenantKeyLen)}
+	}
+	for i := 0; i < len(key); i++ {
+		if c := key[i]; c <= ' ' || c == 0x7f {
+			return &TenantConfigError{Pos: pos, Field: "key",
+				Reason: "whitespace and control characters are not allowed"}
+		}
+	}
+	return nil
+}
+
+func validTenantLimits(pos string, t TenantSpec) error {
+	if !(t.RatePerSec >= 0) || t.RatePerSec > 1e9 {
+		return &TenantConfigError{Pos: pos, Field: "rate_per_sec",
+			Reason: fmt.Sprintf("must be in [0, 1e9], got %v", t.RatePerSec)}
+	}
+	if !(t.Burst >= 0) || t.Burst > 1e9 {
+		return &TenantConfigError{Pos: pos, Field: "burst",
+			Reason: fmt.Sprintf("must be in [0, 1e9], got %v", t.Burst)}
+	}
+	if t.Burst > 0 && t.RatePerSec == 0 {
+		return &TenantConfigError{Pos: pos, Field: "burst",
+			Reason: "burst without rate_per_sec is meaningless (an unlimited tenant has no bucket)"}
+	}
+	if t.JobBudgetBytes < 0 {
+		return &TenantConfigError{Pos: pos, Field: "job_budget_bytes",
+			Reason: fmt.Sprintf("must be ≥ 0, got %d", t.JobBudgetBytes)}
+	}
+	return nil
+}
+
+// --- runtime ---
+
+// tokenBucket is the per-tenant rate limiter: capacity burst, refill
+// rate tokens/second, one token per admitted request. When empty it
+// reports how long until the next token exists — the tenant's own
+// Retry-After, not a global guess.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate, burst float64, now time.Time) *tokenBucket {
+	if burst <= 0 {
+		burst = max(rate, 1)
+	}
+	return &tokenBucket{rate: rate, burst: burst, tokens: burst, last: now}
+}
+
+// take spends one token if available; otherwise it reports the wait until
+// one refills.
+func (b *tokenBucket) take(now time.Time) (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = min(b.burst, b.tokens+dt*b.rate)
+	}
+	if !now.Before(b.last) {
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+}
+
+// tenant is one resolved consumer of the API.
+type tenant struct {
+	name   string
+	budget int64        // per-tenant job byte budget; 0 = no per-tenant cap
+	bucket *tokenBucket // nil = unlimited
+}
+
+// tenancy is the resolved tenants config: the key table plus the
+// anonymous default. Immutable after construction.
+type tenancy struct {
+	byKey map[string]*tenant
+	anon  *tenant
+}
+
+// newTenancy resolves a validated config into its runtime form.
+func newTenancy(cfg *TenantsConfig) *tenancy {
+	now := time.Now()
+	t := &tenancy{
+		byKey: make(map[string]*tenant, len(cfg.Tenants)),
+		anon:  &tenant{name: AnonymousTenant},
+	}
+	for _, spec := range cfg.Tenants {
+		tn := &tenant{name: spec.Name, budget: spec.JobBudgetBytes}
+		if spec.RatePerSec > 0 {
+			tn.bucket = newTokenBucket(spec.RatePerSec, spec.Burst, now)
+		}
+		t.byKey[spec.Key] = tn
+	}
+	if a := cfg.Anonymous; a != nil {
+		t.anon.budget = a.JobBudgetBytes
+		if a.RatePerSec > 0 {
+			t.anon.bucket = newTokenBucket(a.RatePerSec, a.Burst, now)
+		}
+	}
+	return t
+}
+
+// names returns every tenant name (anonymous first, the rest sorted) —
+// the bounded universe the metrics preregister.
+func (t *tenancy) names() []string {
+	out := make([]string, 0, len(t.byKey)+1)
+	out = append(out, AnonymousTenant)
+	for _, tn := range t.byKey {
+		out = append(out, tn.name)
+	}
+	sort.Strings(out[1:])
+	return out
+}
+
+// jobBudgets returns the per-tenant job budgets for jobs.Options.
+func (t *tenancy) jobBudgets() map[string]int64 {
+	out := make(map[string]int64, len(t.byKey)+1)
+	if t.anon.budget > 0 {
+		out[AnonymousTenant] = t.anon.budget
+	}
+	for _, tn := range t.byKey {
+		if tn.budget > 0 {
+			out[tn.name] = tn.budget
+		}
+	}
+	return out
+}
+
+// resolve maps a request to its tenant: no Authorization header is the
+// anonymous tenant; a well-formed Bearer key must be in the table.
+func (t *tenancy) resolve(r *http.Request) (*tenant, *apiError) {
+	auth := r.Header.Get("Authorization")
+	if auth == "" {
+		return t.anon, nil
+	}
+	const prefix = "Bearer "
+	if len(auth) <= len(prefix) || !strings.EqualFold(auth[:len(prefix)], prefix) {
+		return nil, &apiError{Status: http.StatusUnauthorized,
+			Body: ErrorBody{"bad_authorization", "Authorization must be \"Bearer <api-key>\""}}
+	}
+	tn, ok := t.byKey[auth[len(prefix):]]
+	if !ok {
+		return nil, &apiError{Status: http.StatusUnauthorized,
+			Body: ErrorBody{"unknown_api_key", "the presented API key is not configured on this server"}}
+	}
+	return tn, nil
+}
+
+// tenantCtxKey carries the resolved tenant through the request context.
+type tenantCtxKey struct{}
+
+func withTenant(ctx context.Context, t *tenant) context.Context {
+	return context.WithValue(ctx, tenantCtxKey{}, t)
+}
+
+// tenantFrom returns the request's resolved tenant, or nil on an
+// untenanted server (no middleware ran).
+func tenantFrom(ctx context.Context) *tenant {
+	t, _ := ctx.Value(tenantCtxKey{}).(*tenant)
+	return t
+}
+
+// Tenancy is the tenancy middleware: resolve the bearer key, spend a
+// bucket token, stamp the tenant into the context. It sits before the
+// concurrency limiter so a rate-limited request is refused without ever
+// holding a slot. When no tenants are configured it returns the identity
+// middleware — the whole layer costs nothing (no wrapper handler, no
+// context allocation), which is what keeps the untenanted hot path
+// alloc-free and byte-identical. /healthz and /metrics bypass the
+// buckets for the same reason they bypass the limiter: probes must
+// answer on a saturated server.
+func (s *Server) tenancyMiddleware() Middleware {
+	t := s.tenants
+	if t == nil {
+		return func(next http.Handler) http.Handler { return next }
+	}
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			tn, apiErr := t.resolve(r)
+			if apiErr != nil {
+				writeError(w, apiErr)
+				return
+			}
+			s.metrics.TenantRequest(tn.name)
+			if tn.bucket != nil && r.URL.Path != "/healthz" && r.URL.Path != "/metrics" {
+				if ok, retry := tn.bucket.take(time.Now()); !ok {
+					s.metrics.TenantRateLimited(tn.name)
+					writeError(w, rateLimited(tn.name, retry))
+					return
+				}
+			}
+			// WithContext shallow-copies the request, so the mux stamps
+			// the matched pattern on the copy; mirror it back so the
+			// logging middleware outside this one (which holds the
+			// original) still labels the route for /metrics.
+			r2 := r.WithContext(withTenant(r.Context(), tn))
+			next.ServeHTTP(w, r2)
+			r.Pattern = r2.Pattern
+		})
+	}
+}
+
+// rateLimited is the tenancy 429: code "rate_limited" (distinct from the
+// job queue's "over_budget"), Retry-After from the tenant's own bucket.
+func rateLimited(tenantName string, retry time.Duration) *apiError {
+	secs := int(retry/time.Second) + 1
+	return &apiError{
+		Status: http.StatusTooManyRequests,
+		Body: ErrorBody{"rate_limited", fmt.Sprintf(
+			"tenant %q is over its request rate; retry in about %ds", tenantName, secs)},
+		RetryAfterSeconds: secs,
+	}
+}
