@@ -29,10 +29,17 @@
 #      while the victim tenant's routes are gated on p99 at or under
 #      SOAK_VICTIM_MAX_P99 and zero unexpected responses — an abusive
 #      tenant's refusals must not become the victim's latency.
+#   6. Backlog fairness: the scheduler gate. The bulk tenant piles a
+#      ~10:1 job backlog against the minority tenant; after the run the
+#      queue must drain with zero failures, jobs_sched_max_wait_picks
+#      must stay within the weighted round-robin bound, the minority
+#      tenant must have been served, and the minority's routes are gated
+#      on the (ceiling-rank) p99 ceiling — a deep backlog must not
+#      become the small tenant's starvation or latency.
 #
 # JSON reports land in SOAK_CALIBRATION_REPORT, SOAK_REPORT,
-# SOAK_JOBS_REPORT, SOAK_HIERARCHY_REPORT, and SOAK_NOISY_REPORT for
-# upload as CI artifacts.
+# SOAK_JOBS_REPORT, SOAK_HIERARCHY_REPORT, SOAK_NOISY_REPORT, and
+# SOAK_FAIRNESS_REPORT for upload as CI artifacts.
 # Runs on every PR; also runnable locally: ./ci/soak.sh
 set -eu
 
@@ -52,6 +59,9 @@ HIER_REQUESTS="${SOAK_HIERARCHY_REQUESTS:-400}"
 NOISY_REPORT="${SOAK_NOISY_REPORT:-soak-noisy.json}"
 NOISY_REQUESTS="${SOAK_NOISY_REQUESTS:-800}"
 VICTIM_MAX_P99="${SOAK_VICTIM_MAX_P99:-$MAX_P99}"
+FAIR_REPORT="${SOAK_FAIRNESS_REPORT:-soak-fairness.json}"
+FAIR_REQUESTS="${SOAK_FAIRNESS_REQUESTS:-400}"
+FAIR_DRAIN="${SOAK_FAIRNESS_DRAIN:-90s}"
 # GCs per 1k requests recorded for phase 2 (see ci/soak-gc-baseline.txt);
 # override with SOAK_GC_BASELINE, 0 disables the gate.
 GC_BASELINE="${SOAK_GC_BASELINE:-$(cat ci/soak-gc-baseline.txt)}"
@@ -61,14 +71,18 @@ echo "soak: building balarchd and balarchload"
 go build -o "$DIR/balarchd" ./cmd/balarchd
 go build -o "$DIR/balarchload" ./cmd/balarchload
 
-# The tenant set phase 5 assumes (keys match loadgen's noisy-neighbor
-# scenario; see loadgen.NoisyNeighborTenants). Anonymous traffic stays
-# unlimited, so the untenanted phases 1-4 behave exactly as before.
+# The tenant sets phases 5 and 6 assume (keys match loadgen's
+# noisy-neighbor and backlog-fairness scenarios; see
+# loadgen.NoisyNeighborTenants and loadgen.FairnessTenants). Anonymous
+# traffic stays unlimited, so the untenanted phases 1-4 behave exactly
+# as before.
 cat > "$DIR/tenants.json" <<'EOF'
 {
   "tenants": [
     {"name": "noisy", "key": "soak-noisy-key", "rate_per_sec": 50, "burst": 100, "job_budget_bytes": 262144},
-    {"name": "victim", "key": "soak-victim-key"}
+    {"name": "victim", "key": "soak-victim-key"},
+    {"name": "bulk", "key": "soak-bulk-key", "job_budget_bytes": 67108864, "weight": 2},
+    {"name": "minority", "key": "soak-minority-key", "job_budget_bytes": 16777216}
   ]
 }
 EOF
@@ -149,6 +163,21 @@ if [ "$code" -eq 0 ]; then
     -json > "$NOISY_REPORT" || code=$?
   echo "soak: noisy-neighbor report ($NOISY_REPORT):"
   cat "$NOISY_REPORT"
+fi
+
+if [ "$code" -eq 0 ]; then
+  echo "soak: phase 6 — backlog-fairness for $FAIR_REQUESTS requests, drain gate $FAIR_DRAIN, minority p99 gate $VICTIM_MAX_P99"
+  "$DIR/balarchload" \
+    -url "$BASE" \
+    -scenario backlog-fairness \
+    -requests "$FAIR_REQUESTS" \
+    -workers "$WORKERS" \
+    -seed "$SEED" \
+    -victim-max-p99 "$VICTIM_MAX_P99" \
+    -fairness-drain "$FAIR_DRAIN" \
+    -json > "$FAIR_REPORT" || code=$?
+  echo "soak: backlog-fairness report ($FAIR_REPORT):"
+  cat "$FAIR_REPORT"
 fi
 
 echo "soak: graceful shutdown"

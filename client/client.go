@@ -122,6 +122,16 @@ type (
 // RequestIDHeader is the correlation header the server echoes.
 const RequestIDHeader = server.RequestIDHeader
 
+// Job priority classes for JobSubmitRequest.Priority. Priority orders
+// picks within one tenant's backlog; tenant fairness wins across
+// tenants. Leaving the field empty (or JobPriorityNormal) keeps the
+// request byte-identical to the pre-priority wire format.
+const (
+	JobPriorityLow    = "low"
+	JobPriorityNormal = ""
+	JobPriorityHigh   = "high"
+)
+
 // APIError is a decoded non-2xx response: the typed error envelope plus the
 // HTTP status and the echoed request id.
 type APIError struct {

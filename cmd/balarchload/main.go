@@ -81,6 +81,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		"fail (exit 1) if this process's GC count per 1k requests exceeds this baseline by more than 20% (0 = no gate); counts the whole balarchload process, so with -inprocess it includes the server too")
 	jobsDrain := fs.Duration("jobs-drain", 0,
 		"zero-lost-jobs gate for async scenarios: after the run, poll /metrics up to this long for the job queue to drain (queued+running → 0) with no failures (0 = no gate)")
+	fairnessDrain := fs.Duration("fairness-drain", 0,
+		"scheduler-fairness gate for the backlog-fairness scenario: poll /metrics up to this long for the queue to drain, then require jobs_sched_max_wait_picks ≤ -fairness-max-wait and the minority tenant served (0 = no gate)")
+	fairnessMaxWait := fs.Int64("fairness-max-wait", 8,
+		"ceiling on jobs_sched_max_wait_picks for -fairness-drain: the most consecutive picks a tenant with eligible pending work may be bypassed")
 	asJSON := fs.Bool("json", false, "emit the report as JSON instead of text")
 	list := fs.Bool("list", false, "list scenarios and exit")
 	if err := fs.Parse(args); err != nil {
@@ -104,12 +108,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		// comparable, so the combination would fail spuriously.
 		return fatal(stderr, fmt.Errorf("-crosscheck requires -retries 1: retried latencies include backoff the server never sees"))
 	}
-	// The noisy-neighbor scenario is only meaningful against a tenanted
-	// server; for -inprocess runs install the tenant set it assumes
+	// The tenancy scenarios are only meaningful against a tenanted
+	// server; for -inprocess runs install the tenant set each assumes
 	// (remote targets get theirs from balarchd -tenants-file).
 	var tenants *server.TenantsConfig
-	if *inprocess && sc.Name == "noisy-neighbor" {
+	switch {
+	case *inprocess && sc.Name == "noisy-neighbor":
 		tenants = loadgen.NoisyNeighborTenants()
+	case *inprocess && sc.Name == "backlog-fairness":
+		tenants = loadgen.FairnessTenants()
 	}
 	c, cleanup, err := buildClient(*url, *inprocess, *parallel, *retries, tenants)
 	if err != nil {
@@ -151,6 +158,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if *jobsDrain > 0 {
 		loadgen.AddJobsDrainGate(ctx, res, c, *jobsDrain)
+	}
+	if *fairnessDrain > 0 {
+		loadgen.AddFairnessGate(ctx, res, c, *fairnessDrain, *fairnessMaxWait)
 	}
 	if *crosscheck {
 		m, err := c.Metrics(ctx)

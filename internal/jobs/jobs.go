@@ -33,6 +33,7 @@ import (
 	"sync"
 	"time"
 
+	"balarch/internal/model"
 	"balarch/internal/store"
 )
 
@@ -74,6 +75,11 @@ type Job struct {
 	// Empty means the anonymous tenant (and keeps old WALs replayable:
 	// a record without the field folds to the anonymous tenant).
 	Tenant string `json:"tenant,omitempty"`
+	// Priority is the pick class within the tenant (low|normal|high).
+	// The zero value is normal and is omitted everywhere it is
+	// serialized, so priority-absent jobs round-trip byte-identical to
+	// the pre-priority format.
+	Priority Priority `json:"priority,omitempty"`
 	// State is the lifecycle position.
 	State State `json:"state"`
 	// Cached reports the job completed from the store without executing.
@@ -157,6 +163,16 @@ type Options struct {
 	// whole global budget. Unlisted tenants (and the "" anonymous
 	// tenant, unless listed) see only the global budget.
 	TenantBudgets map[string]int64
+	// TenantWeights sets per-tenant weights for the scheduler's weighted
+	// round-robin: a tenant with weight w is picked w times per round.
+	// Unlisted tenants (including "" anonymous) weigh 1; values ≤ 0 are
+	// treated as 1.
+	TenantWeights map[string]int
+	// Policy is the pick policy. Nil means BalancedPolicy: memory-aware
+	// packing against the measured drain rate with weighted round-robin
+	// across tenants. FIFOPolicy restores the seed queue's strict global
+	// submission order.
+	Policy PickPolicy
 	// Notify, when non-nil, is called after every job state transition
 	// with a copy of the job. It runs under the queue's lock: it must be
 	// fast and must not call back into the Queue (the server's event bus
@@ -170,6 +186,26 @@ const (
 	defaultWorkers   = 2
 	defaultMemBudget = 256 << 20
 	defaultTTL       = 15 * time.Minute
+
+	// Retry-After bounds: never advise less than a second (a tighter
+	// loop is a retry storm) or more than a minute (past that the hint
+	// is a guess, and a paused queue would otherwise advise infinity).
+	minRetryAfter = time.Second
+	maxRetryAfter = time.Minute
+
+	// WAL start-append failure backoff, shared by all workers: first
+	// retry after walRetryMin, doubling to walRetryMax. (Practically:
+	// a full disk — hammering it from N workers helps nobody.)
+	walRetryMin = 100 * time.Millisecond
+	walRetryMax = 5 * time.Second
+
+	// drainAlpha is the EWMA weight of the newest bytes-retired/sec
+	// sample in the per-worker drain estimate.
+	drainAlpha = 0.3
+
+	// selfModelWordBytes converts the queue's byte-denominated rates to
+	// the analytic model's word-denominated ones for self-analysis.
+	selfModelWordBytes = 8
 )
 
 // Counters is the queue's instrumentation snapshot, served under the
@@ -200,15 +236,33 @@ type Queue struct {
 	mu          sync.Mutex
 	cond        *sync.Cond // signals workers: pending work or shutdown
 	jobs        map[string]*Job
-	pending     []string // job ids awaiting a worker, FIFO
+	sched       *scheduler // pending set: per-tenant priority lanes (sched.go)
 	wal         *os.File
 	walSize     int64 // current WAL length; the clip-back offset for torn appends
 	memInUse    int64
 	memByTenant map[string]int64 // live footprint per tenant (parallel to memInUse)
 	running     int64
-	replayed    int64
-	lastGC      time.Time
-	closed      bool
+	// runningBytes is the summed footprint of running jobs — the
+	// quantity the balanced policy packs against the drain rate.
+	runningBytes int64
+	// drainPerWorker is the EWMA of bytes-retired/sec over finished
+	// jobs; drainSamples counts contributions (0 = no measurement yet).
+	drainPerWorker float64
+	drainSamples   int64
+	// walRetryAt/walBackoff gate all workers together after a failed
+	// start append: no worker picks before walRetryAt.
+	walRetryAt time.Time
+	walBackoff time.Duration
+	// walBytes/openedAt measure the journal fill rate for self-analysis.
+	walBytes int64
+	openedAt time.Time
+	replayed int64
+	lastGC   time.Time
+	closed   bool
+
+	// walAppendHook, when non-nil, runs before every WAL append and can
+	// inject a failure (tests only; op is the record's op field).
+	walAppendHook func(op string) error
 
 	workers  sync.WaitGroup
 	baseCtx  context.Context
@@ -235,6 +289,9 @@ func Open(dir string, st *store.Store, exec Exec, opts Options) (*Queue, error) 
 	if opts.TTL == 0 {
 		opts.TTL = defaultTTL
 	}
+	if opts.Policy == nil {
+		opts.Policy = BalancedPolicy()
+	}
 	q := &Queue{
 		dir:         dir,
 		st:          st,
@@ -243,9 +300,11 @@ func Open(dir string, st *store.Store, exec Exec, opts Options) (*Queue, error) 
 		clock:       time.Now,
 		jobs:        make(map[string]*Job),
 		memByTenant: make(map[string]int64),
+		sched:       newScheduler(opts.TenantWeights),
 	}
 	q.cond = sync.NewCond(&q.mu)
 	q.baseCtx, q.baseStop = context.WithCancel(context.Background())
+	q.openedAt = q.clock()
 
 	if err := q.replayAndCompact(); err != nil {
 		return nil, err
@@ -270,25 +329,26 @@ func Open(dir string, st *store.Store, exec Exec, opts Options) (*Queue, error) 
 
 func (q *Queue) walPath() string { return filepath.Join(q.dir, "jobs.wal") }
 
-// Submit journals and admits one job under the anonymous tenant. See
-// SubmitFor.
+// Submit journals and admits one job under the anonymous tenant at
+// normal priority. See SubmitFor.
 func (q *Queue) Submit(kind string, canonicalReq []byte, cost int64) (Job, bool, error) {
-	return q.SubmitFor("", kind, canonicalReq, cost)
+	return q.SubmitFor("", kind, canonicalReq, cost, PriorityNormal)
 }
 
 // SubmitFor journals and admits one job on behalf of tenant ("" is
-// anonymous). The request must already be canonical (the server
-// re-marshals decoded DTOs, so equal requests have equal bytes).
-// Identical requests share one job regardless of tenant: a live or done
-// job for the same content key is returned as-is (existing=true) and
-// keeps its original tenant's accounting — content addressing
-// deliberately wins over isolation, since the work is literally the
-// same. A failed or canceled job is reset to queued and re-run, charged
-// to the resubmitting tenant. A job whose result is already in the
+// anonymous) at the given priority. The request must already be
+// canonical (the server re-marshals decoded DTOs, so equal requests
+// have equal bytes). Identical requests share one job regardless of
+// tenant or priority: a live or done job for the same content key is
+// returned as-is (existing=true) and keeps its original tenant's
+// accounting and priority — content addressing deliberately wins over
+// isolation, since the work is literally the same. A failed or canceled
+// job is reset to queued and re-run, charged to the resubmitting tenant
+// at the resubmitted priority. A job whose result is already in the
 // store completes instantly, without execution, marked Cached. The WAL
 // record is synced before SubmitFor returns — the ack is the durability
 // point.
-func (q *Queue) SubmitFor(tenant, kind string, canonicalReq []byte, cost int64) (Job, bool, error) {
+func (q *Queue) SubmitFor(tenant, kind string, canonicalReq []byte, cost int64, prio Priority) (Job, bool, error) {
 	if cost < 0 {
 		cost = 0
 	}
@@ -311,12 +371,14 @@ func (q *Queue) SubmitFor(tenant, kind string, canonicalReq []byte, cost int64) 
 			}
 			now := q.clock()
 			if err := q.appendWAL(walRecord{Op: "submit", ID: id, Kind: kind,
-				Req: canonicalReq, Cost: cost, Key: key, Tenant: tenant, T: now}); err != nil {
+				Req: canonicalReq, Cost: cost, Key: key, Tenant: tenant,
+				Prio: string(prio), T: now}); err != nil {
 				return Job{}, false, err
 			}
 			j.State = Queued
 			j.Cost = cost
 			j.Tenant = tenant
+			j.Priority = prio
 			j.Error = ""
 			j.Cached = false
 			j.cancelRequested = false
@@ -325,7 +387,7 @@ func (q *Queue) SubmitFor(tenant, kind string, canonicalReq []byte, cost int64) 
 			j.FinishedAt = time.Time{}
 			q.memInUse += cost
 			q.memByTenant[tenant] += cost
-			q.enqueueLocked(id)
+			q.enqueueLocked(j)
 			q.notifyLocked(j)
 			return *j, false, nil
 		}
@@ -334,13 +396,15 @@ func (q *Queue) SubmitFor(tenant, kind string, canonicalReq []byte, cost int64) 
 	now := q.clock()
 	j := &Job{
 		ID: id, Kind: kind, Request: append([]byte(nil), canonicalReq...),
-		Key: key, Cost: cost, Tenant: tenant, State: Queued, SubmittedAt: now,
+		Key: key, Cost: cost, Tenant: tenant, Priority: prio,
+		State: Queued, SubmittedAt: now,
 	}
 	if q.st.Has(key) {
 		// The content-addressed dedup across restarts: the result of an
 		// identical past request is on disk, so this job is born done.
 		if err := q.appendWAL(walRecord{Op: "submit", ID: id, Kind: kind,
-			Req: canonicalReq, Cost: cost, Key: key, Tenant: tenant, T: now}); err != nil {
+			Req: canonicalReq, Cost: cost, Key: key, Tenant: tenant,
+			Prio: string(prio), T: now}); err != nil {
 			return Job{}, false, err
 		}
 		if err := q.appendWAL(walRecord{Op: "done", ID: id, Key: key, Cached: true, T: now}); err != nil {
@@ -357,13 +421,14 @@ func (q *Queue) SubmitFor(tenant, kind string, canonicalReq []byte, cost int64) 
 		return Job{}, false, err
 	}
 	if err := q.appendWAL(walRecord{Op: "submit", ID: id, Kind: kind,
-		Req: canonicalReq, Cost: cost, Key: key, Tenant: tenant, T: now}); err != nil {
+		Req: canonicalReq, Cost: cost, Key: key, Tenant: tenant,
+		Prio: string(prio), T: now}); err != nil {
 		return Job{}, false, err
 	}
 	q.jobs[id] = j
 	q.memInUse += cost
 	q.memByTenant[tenant] += cost
-	q.enqueueLocked(id)
+	q.enqueueLocked(j)
 	q.notifyLocked(j)
 	return *j, false, nil
 }
@@ -372,21 +437,57 @@ func (q *Queue) SubmitFor(tenant, kind string, canonicalReq []byte, cost int64) 
 // tenant's partition first — the more specific refusal — then the
 // global cap.
 func (q *Queue) admit(tenant string, cost int64) error {
-	// The hint scales with pressure: one second per running job that
-	// must finish before this footprint plausibly fits, minimum one.
-	retry := time.Duration(1+q.running) * time.Second
 	if budget := q.opts.TenantBudgets[tenant]; budget > 0 && q.memByTenant[tenant]+cost > budget {
 		return &ErrOverBudget{Cost: cost, InUse: q.memByTenant[tenant],
-			Budget: budget, RetryAfter: retry, Tenant: tenant}
+			Budget: budget, RetryAfter: q.retryAfterLocked(cost), Tenant: tenant}
 	}
 	if q.opts.MemBudgetBytes < 0 {
 		return nil
 	}
 	if q.memInUse+cost > q.opts.MemBudgetBytes {
 		return &ErrOverBudget{Cost: cost, InUse: q.memInUse,
-			Budget: q.opts.MemBudgetBytes, RetryAfter: retry}
+			Budget: q.opts.MemBudgetBytes, RetryAfter: q.retryAfterLocked(cost)}
 	}
 	return nil
+}
+
+// retryAfterLocked estimates when a footprint of cost bytes will
+// plausibly fit (callers hold q.mu): the live backlog plus the new job,
+// divided by the measured drain rate. A paused queue (Workers < 0)
+// drains nothing, so the hint is the cap — not the old "1s" lie that
+// made clients hammer a queue that cannot make progress. Before the
+// first drain sample the seed heuristic (one second per running job)
+// stands in. Clamped to [minRetryAfter, maxRetryAfter].
+func (q *Queue) retryAfterLocked(cost int64) time.Duration {
+	if q.opts.Workers < 0 {
+		return maxRetryAfter
+	}
+	if drain := q.drainBPSLocked(); drain > 0 {
+		d := time.Duration(float64(q.memInUse+cost) / drain * float64(time.Second))
+		return min(max(d, minRetryAfter), maxRetryAfter)
+	}
+	retry := time.Duration(1+q.running) * time.Second
+	return min(max(retry, minRetryAfter), maxRetryAfter)
+}
+
+// drainBPSLocked is the pool's measured retirement rate: the per-worker
+// EWMA times the worker count. 0 before the first finished job (or on a
+// paused queue).
+func (q *Queue) drainBPSLocked() float64 {
+	if q.opts.Workers <= 0 {
+		return 0
+	}
+	return q.drainPerWorker * float64(q.opts.Workers)
+}
+
+// poolStateLocked snapshots the balance picture the pick policy sees.
+func (q *Queue) poolStateLocked() PoolState {
+	return PoolState{
+		RunningJobs:    q.running,
+		RunningBytes:   q.runningBytes,
+		DrainBPS:       q.drainBPSLocked(),
+		MemBudgetBytes: q.opts.MemBudgetBytes,
+	}
 }
 
 // notifyLocked delivers one transition to the Notify hook (callers hold
@@ -397,8 +498,8 @@ func (q *Queue) notifyLocked(j *Job) {
 	}
 }
 
-func (q *Queue) enqueueLocked(id string) {
-	q.pending = append(q.pending, id)
+func (q *Queue) enqueueLocked(j *Job) {
+	q.sched.push(j)
 	q.cond.Signal()
 }
 
@@ -407,36 +508,60 @@ func (q *Queue) worker() {
 	defer q.workers.Done()
 	for {
 		q.mu.Lock()
-		for len(q.pending) == 0 && !q.closed {
+		var (
+			id  string
+			seq uint64
+		)
+		for {
+			if q.closed {
+				// Drain mode: whatever is still pending stays journaled
+				// for the next Open; this worker only finishes what it
+				// started.
+				q.mu.Unlock()
+				return
+			}
+			if !q.walRetryAt.IsZero() && q.clock().Before(q.walRetryAt) {
+				// A start append just failed; every worker holds off
+				// until the shared backoff expires (an AfterFunc
+				// broadcasts then).
+				q.cond.Wait()
+				continue
+			}
+			var ok bool
+			if id, seq, ok = q.sched.pick(q.opts.Policy, q.poolStateLocked(), q.jobs); ok {
+				break
+			}
+			// Nothing pending fits right now; a submission, a finished
+			// job, or shutdown will signal.
 			q.cond.Wait()
 		}
-		if q.closed {
-			// Drain mode: whatever is still pending stays journaled for
-			// the next Open; this worker only finishes what it started.
-			q.mu.Unlock()
-			return
-		}
-		id := q.pending[0]
-		q.pending = q.pending[1:]
-		j, ok := q.jobs[id]
-		if !ok || j.State != Queued {
-			// Canceled (or GC'd) while waiting for a worker.
-			q.mu.Unlock()
-			continue
-		}
+		j := q.jobs[id]
 		now := q.clock()
 		if err := q.appendWAL(walRecord{Op: "start", ID: id, T: now}); err != nil {
 			// The journal is the source of truth; without it the start
-			// cannot be recorded, so leave the job queued and retry via
-			// the next signal. (Practically: a full disk.)
-			q.pending = append(q.pending, id)
+			// cannot be recorded, so the job goes back to the *front* of
+			// its lane at its original sequence number — a WAL hiccup
+			// must not reorder submissions — and all workers share one
+			// doubling backoff instead of hot-spinning on a disk that
+			// just refused a write. (Practically: a full disk.)
+			q.sched.pushFront(j, seq)
+			d := min(max(2*q.walBackoff, walRetryMin), walRetryMax)
+			q.walBackoff = d
+			q.walRetryAt = now.Add(d)
+			time.AfterFunc(d, func() {
+				q.mu.Lock()
+				q.cond.Broadcast()
+				q.mu.Unlock()
+			})
 			q.mu.Unlock()
-			time.Sleep(100 * time.Millisecond)
 			continue
 		}
+		q.walBackoff = 0
+		q.walRetryAt = time.Time{}
 		j.State = Running
 		j.StartedAt = now
 		q.running++
+		q.runningBytes += j.Cost
 		q.notifyLocked(j)
 		var (
 			ctx    context.Context
@@ -480,6 +605,7 @@ func (q *Queue) runOne(ctx context.Context, cancel context.CancelFunc, id, kind 
 		return
 	}
 	q.running--
+	q.runningBytes -= j.Cost
 	now := q.clock()
 	switch {
 	case err == nil:
@@ -510,8 +636,21 @@ func (q *Queue) runOne(ctx context.Context, cancel context.CancelFunc, id, kind 
 }
 
 // finishLocked moves j to a terminal state, releases its budget (global
-// and per-tenant), and notifies.
+// and per-tenant), folds the job's bytes-retired/sec into the drain
+// EWMA, and notifies. The broadcast is load-bearing: a finished job
+// changes what fits, so every waiting worker must re-evaluate its pick.
 func (q *Queue) finishLocked(j *Job, s State, now time.Time, errMsg string) {
+	if !j.StartedAt.IsZero() && j.Cost > 0 {
+		if dur := now.Sub(j.StartedAt).Seconds(); dur > 0 {
+			sample := float64(j.Cost) / dur
+			if q.drainSamples == 0 {
+				q.drainPerWorker = sample
+			} else {
+				q.drainPerWorker = drainAlpha*sample + (1-drainAlpha)*q.drainPerWorker
+			}
+			q.drainSamples++
+		}
+	}
 	j.State = s
 	j.Error = errMsg
 	j.FinishedAt = now
@@ -519,6 +658,7 @@ func (q *Queue) finishLocked(j *Job, s State, now time.Time, errMsg string) {
 	q.memInUse -= j.Cost
 	q.memByTenant[j.Tenant] -= j.Cost
 	q.notifyLocked(j)
+	q.cond.Broadcast()
 }
 
 // Get returns a copy of the job.
@@ -684,6 +824,68 @@ func (q *Queue) TenantCounters() map[string]TenantCounters {
 		out[tenant] = c
 	}
 	return out
+}
+
+// SchedCounters snapshots the scheduler's instrumentation, including
+// the analytic core's self-analysis verdict on the queue.
+func (q *Queue) SchedCounters() SchedCounters {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	served := make(map[string]int64, len(q.sched.served))
+	for tenant, n := range q.sched.served {
+		served[tenant] = n
+	}
+	return SchedCounters{
+		Policy:         q.opts.Policy.Name(),
+		Picks:          q.sched.picks,
+		Skips:          q.sched.skips,
+		MaxWaitPicks:   q.sched.maxWait,
+		DrainBPS:       q.drainBPSLocked(),
+		RunningBytes:   q.runningBytes,
+		SelfState:      q.selfStateLocked(),
+		ServedByTenant: served,
+	}
+}
+
+// selfStateLocked dogfoods the analytic core on the daemon itself: the
+// queue is a one-level "machine" whose compute bandwidth is the pool's
+// measured drain rate, whose memory is the admission budget, and whose
+// I/O boundary is the WAL — filled at the journal's observed append
+// rate. AnalyzeHierarchy then classifies the queue the way the paper
+// classifies a PE: "memory-bound" (the model's I/O-bound: intake
+// outruns what the budgeted memory lets the pool absorb) or
+// "compute-bound" (the workers are the limiter; the WAL boundary is
+// underused). "idle" means there is not yet a measured drain or fill
+// rate to analyze.
+func (q *Queue) selfStateLocked() string {
+	drain := q.drainBPSLocked()
+	elapsed := q.clock().Sub(q.openedAt).Seconds()
+	if drain <= 0 || elapsed <= 0 || q.walBytes == 0 {
+		return "idle"
+	}
+	fill := float64(q.walBytes) / elapsed
+	budget := q.opts.MemBudgetBytes
+	if budget <= 0 {
+		budget = defaultMemBudget
+	}
+	words := float64(budget) / selfModelWordBytes
+	h := model.Hierarchy{
+		C: drain / selfModelWordBytes,
+		Levels: []model.Level{
+			{Name: "queue", BW: fill / selfModelWordBytes, M: words},
+		},
+	}
+	a, err := model.AnalyzeHierarchy(h, model.Sorting(), words)
+	if err != nil {
+		return "idle"
+	}
+	switch a.State {
+	case model.IOBound:
+		return "memory-bound"
+	case model.ComputeBound:
+		return "compute-bound"
+	}
+	return "balanced"
 }
 
 // Close drains the queue: no new submissions, workers finish the jobs

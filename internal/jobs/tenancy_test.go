@@ -13,10 +13,10 @@ func TestTenantBudgetPartition(t *testing.T) {
 		TenantBudgets: map[string]int64{"tiny": 100}})
 
 	// The tenant's own carve-out refuses before the global budget would.
-	if _, _, err := h.q.SubmitFor("tiny", "a", []byte(`1`), 60); err != nil {
+	if _, _, err := h.q.SubmitFor("tiny", "a", []byte(`1`), 60, PriorityNormal); err != nil {
 		t.Fatal(err)
 	}
-	_, _, err := h.q.SubmitFor("tiny", "b", []byte(`2`), 60)
+	_, _, err := h.q.SubmitFor("tiny", "b", []byte(`2`), 60, PriorityNormal)
 	var over *ErrOverBudget
 	if !errors.As(err, &over) {
 		t.Fatalf("over-budget submit err = %v, want ErrOverBudget", err)
@@ -26,7 +26,7 @@ func TestTenantBudgetPartition(t *testing.T) {
 	}
 	// Another tenant (and the anonymous default) still has the global
 	// room: the partition is per tenant, not shared.
-	if _, _, err := h.q.SubmitFor("other", "c", []byte(`3`), 200); err != nil {
+	if _, _, err := h.q.SubmitFor("other", "c", []byte(`3`), 200, PriorityNormal); err != nil {
 		t.Fatal(err)
 	}
 	if _, _, err := h.q.Submit("d", []byte(`4`), 200); err != nil {
@@ -34,7 +34,7 @@ func TestTenantBudgetPartition(t *testing.T) {
 	}
 	// The global budget still binds everyone: an unbudgeted tenant
 	// cannot exceed it.
-	_, _, err = h.q.SubmitFor("other", "e", []byte(`5`), 600)
+	_, _, err = h.q.SubmitFor("other", "e", []byte(`5`), 600, PriorityNormal)
 	if !errors.As(err, &over) {
 		t.Fatalf("global over-budget err = %v", err)
 	}
@@ -50,7 +50,7 @@ func TestTenantBudgetPartition(t *testing.T) {
 
 func TestTenantBudgetReleasedAndReplayed(t *testing.T) {
 	h := newHarness(t, Options{Workers: 1, TenantBudgets: map[string]int64{"t": 100}})
-	j, _, err := h.q.SubmitFor("t", "a", []byte(`1`), 80)
+	j, _, err := h.q.SubmitFor("t", "a", []byte(`1`), 80, PriorityNormal)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +66,7 @@ func TestTenantBudgetReleasedAndReplayed(t *testing.T) {
 	// workers and a queued job, and the tenant's budget is re-charged.
 	gate := make(chan struct{})
 	h.setBlock(gate)
-	j2, _, err := h.q.SubmitFor("t", "b", []byte(`2`), 70)
+	j2, _, err := h.q.SubmitFor("t", "b", []byte(`2`), 70, PriorityNormal)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +88,7 @@ func TestTenantBudgetReleasedAndReplayed(t *testing.T) {
 		t.Fatalf("replayed tenant charge = %+v, want 70 in use", tc["t"])
 	}
 	// And the replayed charge still gates new submits.
-	_, _, err = h.q.SubmitFor("t", "c", []byte(`3`), 40)
+	_, _, err = h.q.SubmitFor("t", "c", []byte(`3`), 40, PriorityNormal)
 	var over *ErrOverBudget
 	if !errors.As(err, &over) || over.Tenant != "t" {
 		t.Fatalf("submit over a replayed charge = %v", err)

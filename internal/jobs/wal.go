@@ -38,7 +38,13 @@ type walRecord struct {
 	// Tenant stamps submit records for per-tenant admission accounting.
 	// omitempty keeps old journals replayable: a record without it folds
 	// to the anonymous tenant.
-	Tenant string    `json:"tenant,omitempty"`
+	Tenant string `json:"tenant,omitempty"`
+	// Prio stamps submit records with the job's priority class. The
+	// normal class is the empty string and is omitted, so pre-priority
+	// journals replay unchanged and priority-absent journals stay
+	// byte-identical to the old format; an unknown value folds to
+	// normal rather than tearing the tail (forgiving replay).
+	Prio   string    `json:"prio,omitempty"`
 	Error  string    `json:"error,omitempty"`
 	Cached bool      `json:"cached,omitempty"`
 	T      time.Time `json:"t"`
@@ -52,6 +58,11 @@ type walRecord struct {
 // garbage that replay would treat as the torn tail, silently discarding
 // every acked record after it.
 func (q *Queue) appendWAL(rec walRecord) error {
+	if q.walAppendHook != nil {
+		if err := q.walAppendHook(rec.Op); err != nil {
+			return err
+		}
+	}
 	data, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("jobs: encoding WAL record: %w", err)
@@ -62,6 +73,7 @@ func (q *Queue) appendWAL(rec walRecord) error {
 		return fmt.Errorf("jobs: appending WAL record: %w", err)
 	}
 	q.walSize += int64(len(line))
+	q.walBytes += int64(len(line)) // journal fill rate, for self-analysis
 	if err := q.wal.Sync(); err != nil {
 		// The record is whole in the page cache; leave it — replay
 		// parses it fine whether or not it reached the platter.
@@ -102,11 +114,18 @@ func replayWAL(data []byte) map[string]*Job {
 		}
 		switch rec.Op {
 		case "submit":
+			// An unknown priority spelling folds to normal: a journal
+			// from a newer (or corrupted) writer must replay, not tear.
+			prio, perr := ParsePriority(rec.Prio)
+			if perr != nil {
+				prio = PriorityNormal
+			}
 			if j, ok := jobs[rec.ID]; ok {
 				// A resubmit record revives a dead job in place.
 				j.State = Queued
 				j.Cost = rec.Cost
 				j.Tenant = rec.Tenant
+				j.Priority = prio
 				j.Error = ""
 				j.Cached = false
 				j.SubmittedAt = rec.T
@@ -118,7 +137,7 @@ func replayWAL(data []byte) map[string]*Job {
 				ID: rec.ID, Kind: rec.Kind,
 				Request: append(json.RawMessage(nil), rec.Req...),
 				Key:     rec.Key, Cost: rec.Cost, Tenant: rec.Tenant,
-				State: Queued, SubmittedAt: rec.T,
+				Priority: prio, State: Queued, SubmittedAt: rec.T,
 			}
 		case "start":
 			if j, ok := jobs[rec.ID]; ok && j.State == Queued {
@@ -168,7 +187,8 @@ func (q *Queue) replayAndCompact() error {
 	for id := range q.jobs {
 		ids = append(ids, id)
 	}
-	// Requeue in submission order so replay preserves FIFO fairness.
+	// Requeue in submission order so replay preserves submission
+	// fairness: scheduler sequence numbers are assigned in this order.
 	sortBySubmit(ids, q.jobs)
 	for _, id := range ids {
 		j := q.jobs[id]
@@ -178,7 +198,7 @@ func (q *Queue) replayAndCompact() error {
 			j.StartedAt = time.Time{}
 			q.memInUse += j.Cost
 			q.memByTenant[j.Tenant] += j.Cost
-			q.pending = append(q.pending, id)
+			q.sched.push(j)
 			q.replayed++
 		}
 	}
@@ -216,7 +236,8 @@ func (q *Queue) compact(ids []string) error {
 	for _, id := range ids {
 		j := q.jobs[id]
 		err := writeRec(walRecord{Op: "submit", ID: j.ID, Kind: j.Kind,
-			Req: j.Request, Cost: j.Cost, Key: j.Key, Tenant: j.Tenant, T: j.SubmittedAt})
+			Req: j.Request, Cost: j.Cost, Key: j.Key, Tenant: j.Tenant,
+			Prio: string(j.Priority), T: j.SubmittedAt})
 		if err == nil {
 			switch j.State {
 			case Done:

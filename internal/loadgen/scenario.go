@@ -131,6 +131,7 @@ func Scenarios() []Scenario {
 		jobQueue(),
 		hierarchyMix(),
 		noisyNeighbor(),
+		backlogFairness(),
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
 	return all
@@ -591,6 +592,81 @@ func noisyNeighbor() Scenario {
 			{70, noisyReq},
 			{25, victimReq},
 			{5, healthReq},
+		},
+	}
+}
+
+// The backlog-fairness scenario's fixed tenant keys (ci/soak.sh writes a
+// tenants.json carrying exactly these; see FairnessTenants).
+const (
+	// BulkTenantKey authenticates the tenant submitting the deep job
+	// backlog — roughly ten submissions for every one of the minority's.
+	BulkTenantKey = "soak-bulk-key"
+	// MinorityTenantKey authenticates the tenant whose sparse
+	// submissions the scheduler's round-robin must keep serving.
+	MinorityTenantKey = "soak-minority-key"
+)
+
+// FairnessTenants is the tenants configuration the backlog-fairness
+// scenario assumes: the bulk tenant with an explicit round-robin weight
+// and a job-budget partition deep enough to build a real backlog, the
+// minority tenant unweighted (default 1). Neither is rate-limited — the
+// scenario measures the scheduler's pick order under backlog, not the
+// token bucket. balarchload -inprocess installs it directly; ci/soak.sh
+// serializes the same shape to the tenants.json it hands balarchd.
+func FairnessTenants() *server.TenantsConfig {
+	return &server.TenantsConfig{Tenants: []server.TenantSpec{
+		{Name: "bulk", Key: BulkTenantKey, JobBudgetBytes: 64 << 20, Weight: 2},
+		{Name: "minority", Key: MinorityTenantKey, JobBudgetBytes: 16 << 20},
+	}}
+}
+
+// fairnessSortJob builds a sort-kernel sweep submission: sort executes
+// for real (it generates and sorts Σ m² keys), so each job holds a
+// couple of MiB of admission budget for real milliseconds — the cheapest
+// way to put a genuine backlog in front of the daemon's two workers.
+// Distinct seeds make distinct content keys, so dedup cannot collapse
+// the backlog into one job.
+func fairnessSortJob(route, apiKey string, seed int) Request {
+	sweep := client.SweepRequest{Kernel: "sort", Params: []int{384, 512}, Seed: int64(seed)}
+	body := mustJSON(client.JobSubmitRequest{Op: "sweep", Request: mustJSON(sweep)})
+	return Request{Route: route, Method: "POST", Path: "/v1/jobs", Body: body,
+		Expect: []int{200, 202, 429}, APIKey: apiKey}
+}
+
+// bulkJobReq floods the queue as the bulk tenant: heavy sort sweeps from
+// a wide seed pool. 429 (its budget partition refusing) is expected —
+// the partition holding is part of what the scenario demonstrates.
+func bulkJobReq(r *rand.Rand) Request {
+	return fairnessSortJob("bulk POST /v1/jobs", BulkTenantKey, 1+r.Intn(24))
+}
+
+// minorityJobReq submits the minority tenant's sparse jobs. Its routes
+// carry VictimRoutePrefix so the corrected victim-p99 gate scopes to
+// them: the minority tenant is this scenario's victim.
+func minorityJobReq(r *rand.Rand) Request {
+	return fairnessSortJob(VictimRoutePrefix+"POST /v1/jobs", MinorityTenantKey, 101+r.Intn(4))
+}
+
+// minorityAnalyzeReq is the minority tenant's synchronous traffic: pure
+// analytic requests that must stay fast (and 200) while the bulk
+// tenant's backlog grinds through the queue behind them.
+func minorityAnalyzeReq(r *rand.Rand) Request {
+	q := analyzeReq(r)
+	q.Route = VictimRoutePrefix + q.Route
+	q.APIKey = MinorityTenantKey
+	return q
+}
+
+func backlogFairness() Scenario {
+	return Scenario{
+		Name:        "backlog-fairness",
+		Description: "scheduler fairness: one tenant's 10:1 job backlog must not starve the minority tenant's submissions or latency",
+		mix: []weightedGen{
+			{60, bulkJobReq},
+			{6, minorityJobReq},
+			{28, minorityAnalyzeReq},
+			{6, healthReq},
 		},
 	}
 }

@@ -81,6 +81,7 @@ func errorCodes() []string {
 		"draining",
 		"internal",
 		"invalid_argument",
+		"invalid_priority",
 		"job_canceled",
 		"job_failed",
 		"jobs_disabled",

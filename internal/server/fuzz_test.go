@@ -279,6 +279,53 @@ func FuzzJobSubmit(f *testing.F) {
 	})
 }
 
+// FuzzJobPriority holds the priority contract on POST /v1/jobs: an
+// arbitrary priority string draws either an accepted submission (when
+// it is one of the three classes or absent) or a typed 422
+// invalid_priority — never a panic, never a 500, and never a silent
+// reinterpretation of an unknown spelling.
+func FuzzJobPriority(f *testing.F) {
+	for _, seed := range []string{"", "normal", "low", "high", "urgent", "HIGH", " high", "Low", "0"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, prio string) {
+		body, err := json.Marshal(map[string]any{
+			"op":       "sweep",
+			"priority": prio,
+			"request":  map[string]any{"kernel": "matmul", "n": 64, "params": []int{8}},
+		})
+		if err != nil {
+			t.Skip()
+		}
+		req := httptest.NewRequest(http.MethodPost, "/v1/jobs", bytes.NewReader(body))
+		rr := httptest.NewRecorder()
+		fuzzJobsTarget().ServeHTTP(rr, req)
+		status := rr.Code
+		if !fuzzJobsAllowedStatus[status] {
+			t.Fatalf("/v1/jobs: priority %q drew status %d outside the API contract\nbody out: %s",
+				prio, status, rr.Body.Bytes())
+		}
+		valid := prio == "" || prio == "normal" || prio == "low" || prio == "high"
+		if valid {
+			if status == http.StatusUnprocessableEntity {
+				t.Fatalf("/v1/jobs: valid priority %q rejected: %.200s", prio, rr.Body.Bytes())
+			}
+			return
+		}
+		if status != http.StatusUnprocessableEntity {
+			t.Fatalf("/v1/jobs: unknown priority %q drew %d, want 422", prio, status)
+		}
+		var env errorEnvelope
+		if err := json.Unmarshal(rr.Body.Bytes(), &env); err != nil {
+			t.Fatalf("/v1/jobs: 422 body is not an error envelope: %v\n%.200s", err, rr.Body.Bytes())
+		}
+		if env.Error.Code != "invalid_priority" {
+			t.Fatalf("/v1/jobs: unknown priority %q drew code %q, want invalid_priority",
+				prio, env.Error.Code)
+		}
+	})
+}
+
 // TestSweepWorkCaps pins the service caps the fuzz targets depend on: a
 // nominally-valid request whose loop work explodes must be a 422, not a
 // multi-hour sweep.

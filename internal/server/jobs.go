@@ -40,6 +40,11 @@ type JobSubmitRequest struct {
 	Op string `json:"op"`
 	// Request is that operation's request body.
 	Request json.RawMessage `json:"request"`
+	// Priority is the job's pick class within its tenant: "low",
+	// "normal" (the default when absent), or "high". Fairness across
+	// tenants wins over priority: a high-priority flood cannot jump the
+	// scheduler's round-robin ring.
+	Priority string `json:"priority,omitempty"`
 }
 
 // JobStatusDTO is one job's wire shape, returned by submit, get, and
@@ -57,7 +62,10 @@ type JobStatusDTO struct {
 	// ResultKey is the content address of a done job's result.
 	ResultKey string `json:"result_key,omitempty"`
 	// Error is a failed job's cause.
-	Error       string `json:"error,omitempty"`
+	Error string `json:"error,omitempty"`
+	// Priority is the job's pick class; omitted for normal, so
+	// priority-absent submissions keep the pre-priority wire format.
+	Priority    string `json:"priority,omitempty"`
 	SubmittedAt string `json:"submitted_at,omitempty"`
 	StartedAt   string `json:"started_at,omitempty"`
 	FinishedAt  string `json:"finished_at,omitempty"`
@@ -89,6 +97,7 @@ func jobStatusDTO(j jobs.Job) JobStatusDTO {
 		Cached:    j.Cached,
 		CostBytes: j.Cost,
 		Error:     j.Error,
+		Priority:  string(j.Priority),
 	}
 	if j.State == jobs.Done {
 		dto.ResultKey = j.Key
@@ -328,11 +337,17 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, apiErr)
 		return
 	}
+	prio, perr := jobs.ParsePriority(req.Priority)
+	if perr != nil {
+		writeError(w, unprocessable("invalid_priority",
+			"priority %q is not one of low, normal, high", req.Priority))
+		return
+	}
 	var tenantName string
 	if tn := tenantFrom(r.Context()); tn != nil {
 		tenantName = tn.name
 	}
-	j, _, err := q.SubmitFor(tenantName, req.Op, canonical, cost)
+	j, _, err := q.SubmitFor(tenantName, req.Op, canonical, cost, prio)
 	if err != nil {
 		var over *jobs.ErrOverBudget
 		if errors.As(err, &over) && over.Tenant != "" {

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -259,6 +260,20 @@ type Snapshot struct {
 	JobsCanceled int64 `json:"jobs_canceled"`
 	JobsReplayed int64 `json:"jobs_replayed"`
 
+	// The job scheduler's gauges (jobs.SchedCounters), flat like the
+	// rest: pick policy and counts, the bypassed-while-eligible worst
+	// case the fairness bound is judged on, the measured drain rate the
+	// balanced policy packs against, and the analytic core's verdict on
+	// the queue itself ("idle" | "balanced" | "memory-bound" |
+	// "compute-bound"). Zero values on a jobs-disabled server.
+	SchedPolicy       string  `json:"jobs_sched_policy"`
+	SchedPicks        int64   `json:"jobs_sched_picks"`
+	SchedSkips        int64   `json:"jobs_sched_skips"`
+	SchedMaxWaitPicks int64   `json:"jobs_sched_max_wait_picks"`
+	SchedDrainBPS     float64 `json:"jobs_sched_drain_bps"`
+	SchedRunningBytes int64   `json:"jobs_sched_running_bytes"`
+	SchedSelfState    string  `json:"jobs_sched_self_state"`
+
 	// Tenants is the per-tenant slice of the counters above, keyed by
 	// tenant name ("anonymous" plus every configured tenant — a bounded
 	// set). Present only when tenancy is configured, so an untenanted
@@ -276,6 +291,9 @@ type TenantSnapshot struct {
 	OverBudget   int64 `json:"over_budget_total"`
 	JobMemInUse  int64 `json:"job_mem_in_use_bytes"`
 	JobMemBudget int64 `json:"job_mem_budget_bytes"`
+	// SchedServed counts jobs the scheduler has handed to workers on
+	// this tenant's behalf — the per-tenant side of jobs_sched_picks.
+	SchedServed int64 `json:"sched_served_total"`
 }
 
 // HistogramQuantile estimates quantile q (in [0, 1]) from counts bucketed on
@@ -292,9 +310,17 @@ func HistogramQuantile(q float64, bounds []float64, counts []int64, over int64, 
 	if total == 0 {
 		return max
 	}
-	rank := int64(q * float64(total))
+	// Nearest-rank with a ceiling: the q-th quantile of n observations
+	// is the ⌈q·n⌉-th order statistic. The seed truncated here, so the
+	// p95 of 10 samples read the 9th order statistic instead of the
+	// 10th — systematically under-reporting every tail in /metrics and
+	// every loadgen gate built on it.
+	rank := int64(math.Ceil(q * float64(total)))
 	if rank < 1 {
 		rank = 1
+	}
+	if rank > total {
+		rank = total
 	}
 	var cum int64
 	for i, n := range counts {

@@ -68,6 +68,13 @@ func TestMetricsSchemaPinned(t *testing.T) {
 		"jobs_queued",
 		"jobs_replayed",
 		"jobs_running",
+		"jobs_sched_drain_bps",
+		"jobs_sched_max_wait_picks",
+		"jobs_sched_picks",
+		"jobs_sched_policy",
+		"jobs_sched_running_bytes",
+		"jobs_sched_self_state",
+		"jobs_sched_skips",
 		"latency_histogram",
 		"latency_mean_seconds",
 		"panics_recovered",
@@ -144,6 +151,52 @@ func TestHistogramQuantile(t *testing.T) {
 	// Empty histogram reports zero.
 	if got := HistogramQuantile(0.5, bounds, []int64{0, 0, 0}, 0, 0); got != 0 {
 		t.Errorf("empty quantile = %v, want 0", got)
+	}
+}
+
+// TestHistogramQuantileNearestRank pins the ceiling-rank semantics over
+// small counts, where the seed's truncated rank visibly lied: the q-th
+// quantile of n observations is the ⌈q·n⌉-th order statistic, so the p95
+// of 10 one-per-bucket samples is the 10th — not the 9th.
+func TestHistogramQuantileNearestRank(t *testing.T) {
+	// Ten observations, one per bucket: the order statistics ARE the
+	// bounds, so every golden is exact.
+	bounds := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	ones := []int64{1, 1, 1, 1, 1, 1, 1, 1, 1, 1}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0.95, 10}, // ⌈0.95·10⌉ = 10th; truncation said 9th
+		{0.90, 9},  // ⌈9⌉ = 9th: exact product stays exact
+		{0.50, 5},  // ⌈5⌉ = 5th
+		{0.45, 5},  // ⌈4.5⌉ = 5th; truncation said 4th
+		{0.10, 1},
+		{0.05, 1}, // ⌈0.5⌉ = 1st
+		{0, 1},    // clamped up to the 1st
+		{1, 10},
+	}
+	for _, c := range cases {
+		if got := HistogramQuantile(c.q, bounds, ones, 0, 10); got != c.want {
+			t.Errorf("q=%v of 10 one-per-bucket samples = %v, want %v", c.q, got, c.want)
+		}
+	}
+
+	// Three observations: p95 must be the 3rd (⌈2.85⌉), not the 2nd.
+	three := []int64{1, 1, 1, 0, 0, 0, 0, 0, 0, 0}
+	if got := HistogramQuantile(0.95, bounds, three, 0, 3); got != 3 {
+		t.Errorf("p95 of 3 samples = %v, want the 3rd order statistic 3", got)
+	}
+	// A single observation is every quantile.
+	one := []int64{0, 1, 0, 0, 0, 0, 0, 0, 0, 0}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := HistogramQuantile(q, bounds, one, 0, 2); got != 2 {
+			t.Errorf("q=%v of 1 sample = %v, want 2", q, got)
+		}
+	}
+	// q=1 with overflow lands in the overflow region: the exact max.
+	if got := HistogramQuantile(1, bounds, three, 1, 42); got != 42 {
+		t.Errorf("q=1 with overflow = %v, want max 42", got)
 	}
 }
 

@@ -101,6 +101,11 @@ type Options struct {
 	// of RequestTimeout: outliving one HTTP request is the point of a
 	// job.
 	JobTimeout time.Duration
+	// JobSchedPolicy selects the queue's pick policy by name: "" or
+	// "balanced" for memory-aware, tenant-fair scheduling; "fifo" for
+	// strict global submission order. An unknown name fails the async
+	// subsystem open (reported via JobsErr), not the whole server.
+	JobSchedPolicy string
 }
 
 const (
@@ -187,14 +192,26 @@ func (s *Server) openJobs() {
 	if jt < 0 {
 		jt = 0 // jobs.Options treats 0 as "no deadline"
 	}
-	var tenantBudgets map[string]int64
+	policy, err := jobs.PolicyByName(s.opts.JobSchedPolicy)
+	if err != nil {
+		st.Close()
+		s.jobsErr = err
+		return
+	}
+	var (
+		tenantBudgets map[string]int64
+		tenantWeights map[string]int
+	)
 	if s.tenants != nil {
 		tenantBudgets = s.tenants.jobBudgets()
+		tenantWeights = s.tenants.jobWeights()
 	}
 	q, err := jobs.Open(filepath.Join(s.opts.StoreDir, "jobs"), st, s.jobExecutor(), jobs.Options{
 		Workers:        s.opts.JobWorkers,
 		MemBudgetBytes: s.opts.MemBudgetBytes,
 		TenantBudgets:  tenantBudgets,
+		TenantWeights:  tenantWeights,
+		Policy:         policy,
 		TTL:            s.opts.JobTTL,
 		JobTimeout:     jt,
 		Notify:         s.publishJobTransition,
@@ -922,9 +939,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		snap.JobsFailed = c.Failed
 		snap.JobsCanceled = c.Canceled
 		snap.JobsReplayed = c.Replayed
-		// Per-tenant job-memory gauges join the tenancy counters. Only
-		// preregistered names are filled — the snapshot's key set stays
-		// bounded by the config whatever the queue has seen.
+		sc := s.queue.SchedCounters()
+		snap.SchedPolicy = sc.Policy
+		snap.SchedPicks = sc.Picks
+		snap.SchedSkips = sc.Skips
+		snap.SchedMaxWaitPicks = sc.MaxWaitPicks
+		snap.SchedDrainBPS = sc.DrainBPS
+		snap.SchedRunningBytes = sc.RunningBytes
+		snap.SchedSelfState = sc.SelfState
+		// Per-tenant job-memory and scheduler gauges join the tenancy
+		// counters. Only preregistered names are filled — the snapshot's
+		// key set stays bounded by the config whatever the queue has
+		// seen.
 		if snap.Tenants != nil {
 			for name, tc := range s.queue.TenantCounters() {
 				ts, ok := snap.Tenants[name]
@@ -933,6 +959,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 				}
 				ts.JobMemInUse = tc.MemInUseBytes
 				ts.JobMemBudget = tc.MemBudgetBytes
+				snap.Tenants[name] = ts
+			}
+			for name, served := range sc.ServedByTenant {
+				ts, ok := snap.Tenants[name]
+				if !ok {
+					continue
+				}
+				ts.SchedServed = served
 				snap.Tenants[name] = ts
 			}
 		}

@@ -61,6 +61,10 @@ type TenantSpec struct {
 	// (queued+running) jobs, carved out of — not in addition to — the
 	// server's global MemBudgetBytes. 0 means no per-tenant cap.
 	JobBudgetBytes int64 `json:"job_budget_bytes,omitempty"`
+	// Weight is the tenant's share in the job scheduler's weighted
+	// round-robin: a tenant with weight w gets w picks per round. 0
+	// means the default weight of 1; capped at 1e6.
+	Weight int `json:"weight,omitempty"`
 }
 
 // TenantsConfig is the parsed -tenants-file: the static key set plus an
@@ -227,6 +231,10 @@ func validTenantLimits(pos string, t TenantSpec) error {
 		return &TenantConfigError{Pos: pos, Field: "job_budget_bytes",
 			Reason: fmt.Sprintf("must be ≥ 0, got %d", t.JobBudgetBytes)}
 	}
+	if t.Weight < 0 || t.Weight > 1_000_000 {
+		return &TenantConfigError{Pos: pos, Field: "weight",
+			Reason: fmt.Sprintf("must be in [0, 1e6], got %d", t.Weight)}
+	}
 	return nil
 }
 
@@ -273,6 +281,7 @@ func (b *tokenBucket) take(now time.Time) (ok bool, retryAfter time.Duration) {
 type tenant struct {
 	name   string
 	budget int64        // per-tenant job byte budget; 0 = no per-tenant cap
+	weight int          // scheduler round-robin weight; 0 = default 1
 	bucket *tokenBucket // nil = unlimited
 }
 
@@ -291,7 +300,7 @@ func newTenancy(cfg *TenantsConfig) *tenancy {
 		anon:  &tenant{name: AnonymousTenant},
 	}
 	for _, spec := range cfg.Tenants {
-		tn := &tenant{name: spec.Name, budget: spec.JobBudgetBytes}
+		tn := &tenant{name: spec.Name, budget: spec.JobBudgetBytes, weight: spec.Weight}
 		if spec.RatePerSec > 0 {
 			tn.bucket = newTokenBucket(spec.RatePerSec, spec.Burst, now)
 		}
@@ -327,6 +336,18 @@ func (t *tenancy) jobBudgets() map[string]int64 {
 	for _, tn := range t.byKey {
 		if tn.budget > 0 {
 			out[tn.name] = tn.budget
+		}
+	}
+	return out
+}
+
+// jobWeights returns the per-tenant scheduler weights for jobs.Options
+// (only explicitly weighted tenants; everyone else defaults to 1).
+func (t *tenancy) jobWeights() map[string]int {
+	out := make(map[string]int, len(t.byKey))
+	for _, tn := range t.byKey {
+		if tn.weight > 0 {
+			out[tn.name] = tn.weight
 		}
 	}
 	return out
