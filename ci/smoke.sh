@@ -1,10 +1,11 @@
 #!/bin/sh
 # Smoke test for the balarchd daemon: build it, start it, and run the SDK
-# smoke checker (cmd/clientsmoke) against it — health, the paper's §1
-# analyze example, the sweep memo, the typed error envelope, and the
-# X-Request-ID echo — then shut the daemon down cleanly. The checks run
-# through the public client package, so this also smoke-tests the SDK
-# itself. Runs in CI after the unit suite; also runnable locally:
+# smoke checker (cmd/clientsmoke) against it — /healthz liveness, /readyz
+# readiness, the paper's §1 analyze example, the sweep memo, the typed
+# error envelope, the X-Request-ID and W3C trace-id echoes, and the
+# trace=1 Server-Timing profile — then shut the daemon down cleanly. The
+# checks run through the public client package, so this also smoke-tests
+# the SDK itself. Runs in CI after the unit suite; also runnable locally:
 # ./ci/smoke.sh
 set -eu
 

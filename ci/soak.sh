@@ -10,10 +10,14 @@
 #      server's measurement window lands only in the client's histogram.)
 #   2. Soak: SOAK_WORKERS closed-loop workers drive mixed-production for
 #      SOAK_DURATION, gated on zero unexpected non-2xx, every route's
-#      p99 at or under SOAK_MAX_P99, and GC pressure (GCs per 1k
+#      p99 at or under SOAK_MAX_P99, GC pressure (GCs per 1k
 #      requests in the load-generator process) within 20% of the
 #      recorded baseline in ci/soak-gc-baseline.txt — the soak-level
-#      guard against allocation regressions in the request path.
+#      guard against allocation regressions in the request path — and
+#      trace coverage: every request carries a W3C traceparent and at
+#      least SOAK_MIN_TRACE_COVERAGE of them must get the trace id
+#      echoed back, proving propagation survives the full middleware
+#      chain under sustained load.
 #   3. Job queue: an async phase against the same daemon's durable
 #      /v1/jobs surface (the daemon runs with -store-dir), gated on zero
 #      unexpected responses AND zero lost jobs — after the run the queue
@@ -39,7 +43,9 @@
 #
 # JSON reports land in SOAK_CALIBRATION_REPORT, SOAK_REPORT,
 # SOAK_JOBS_REPORT, SOAK_HIERARCHY_REPORT, SOAK_NOISY_REPORT, and
-# SOAK_FAIRNESS_REPORT for upload as CI artifacts.
+# SOAK_FAIRNESS_REPORT for upload as CI artifacts; the slowest request
+# trace the daemon captured across all phases is archived from
+# /debug/traces (the operator listener) as SOAK_TRACE_REPORT.
 # Runs on every PR; also runnable locally: ./ci/soak.sh
 set -eu
 
@@ -62,6 +68,9 @@ VICTIM_MAX_P99="${SOAK_VICTIM_MAX_P99:-$MAX_P99}"
 FAIR_REPORT="${SOAK_FAIRNESS_REPORT:-soak-fairness.json}"
 FAIR_REQUESTS="${SOAK_FAIRNESS_REQUESTS:-400}"
 FAIR_DRAIN="${SOAK_FAIRNESS_DRAIN:-90s}"
+MIN_TRACE_COVERAGE="${SOAK_MIN_TRACE_COVERAGE:-0.99}"
+TRACE_REPORT="${SOAK_TRACE_REPORT:-soak-slowest-trace.json}"
+PPROF_PORT=$((PORT + 1))
 # GCs per 1k requests recorded for phase 2 (see ci/soak-gc-baseline.txt);
 # override with SOAK_GC_BASELINE, 0 disables the gate.
 GC_BASELINE="${SOAK_GC_BASELINE:-$(cat ci/soak-gc-baseline.txt)}"
@@ -87,7 +96,8 @@ cat > "$DIR/tenants.json" <<'EOF'
 }
 EOF
 
-"$DIR/balarchd" -addr "127.0.0.1:$PORT" -quiet -store-dir "$DIR/store" -tenants-file "$DIR/tenants.json" &
+# -pprof-addr also mounts /debug/traces, which the artifact step curls.
+"$DIR/balarchd" -addr "127.0.0.1:$PORT" -quiet -store-dir "$DIR/store" -tenants-file "$DIR/tenants.json" -pprof-addr "127.0.0.1:$PPROF_PORT" &
 PID=$!
 trap 'kill "$PID" 2>/dev/null || true' EXIT
 # No readiness sleep needed: balarchload's health preflight polls /healthz
@@ -118,6 +128,7 @@ echo "soak: phase 2 — $WORKERS workers, mixed-production for $DURATION"
   -seed "$SEED" \
   -max-p99 "$MAX_P99" \
   -gc-baseline-per1k "$GC_BASELINE" \
+  -min-trace-coverage "$MIN_TRACE_COVERAGE" \
   -json > "$REPORT" || code=$?
 
 echo "soak: report ($REPORT):"
@@ -179,6 +190,12 @@ if [ "$code" -eq 0 ]; then
   echo "soak: backlog-fairness report ($FAIR_REPORT):"
   cat "$FAIR_REPORT"
 fi
+
+# Archive the slowest request the daemon traced across every phase —
+# the artifact that turns a p99 breach into a per-stage diagnosis.
+# Best-effort: the soak verdict is the gates above, not this curl.
+echo "soak: archiving slowest trace ($TRACE_REPORT)"
+curl -fsS "http://127.0.0.1:$PPROF_PORT/debug/traces?slowest=1" > "$TRACE_REPORT" || true
 
 echo "soak: graceful shutdown"
 kill -TERM "$PID"

@@ -38,6 +38,7 @@ import (
 	"strings"
 	"time"
 
+	"balarch/internal/obs"
 	"balarch/internal/server"
 )
 
@@ -112,6 +113,9 @@ type (
 	TenantSnapshot = server.TenantSnapshot
 	// HealthResponse is the GET /healthz body.
 	HealthResponse = server.HealthResponse
+	// ReadyResponse is the GET /readyz body on a ready server (a draining
+	// one answers 503 with the standard error envelope, code "draining").
+	ReadyResponse = server.ReadyResponse
 	// MetricsSnapshot is the GET /metrics body, including the per-route
 	// latency summaries the load generator cross-checks against.
 	MetricsSnapshot = server.Snapshot
@@ -205,6 +209,15 @@ func WithAPIKey(key string) Option {
 	return func(c *Client) { c.apiKey = key }
 }
 
+// WithTracing sends a fresh W3C traceparent (sampled) on every request,
+// so the server captures each one's trace in its /debug/traces ring. The
+// header sent is recorded on Response.Traceparent; TraceEchoed reports
+// whether the server joined the trace. Each retry attempt gets its own
+// span id — two attempts of one logical call are distinct traces.
+func WithTracing() Option {
+	return func(c *Client) { c.tracing = true }
+}
+
 // sharedTransport is the package's keep-alive transport. The stdlib default
 // keeps only 2 idle connections per host, which makes a many-worker load
 // run reopen sockets constantly; this one is sized for the load generator's
@@ -218,10 +231,11 @@ var sharedTransport = &http.Transport{
 // Client is a typed handle on one balarch API server. It is safe for
 // concurrent use; all methods honor their context.
 type Client struct {
-	base   string
-	http   *http.Client
-	retry  RetryPolicy
-	apiKey string
+	base    string
+	http    *http.Client
+	retry   RetryPolicy
+	apiKey  string
+	tracing bool
 }
 
 // New returns a client for the server at baseURL (scheme and host, e.g.
@@ -285,6 +299,28 @@ type Response struct {
 	Header http.Header
 	// Body is the full response body.
 	Body []byte
+	// Traceparent is the W3C trace-context header this request carried
+	// (set by WithTracing; empty otherwise).
+	Traceparent string
+}
+
+// ServerTiming returns the response's Server-Timing header — the
+// per-stage breakdown the server attaches to trace=1 requests — or ""
+// when the server sent none.
+func (r *Response) ServerTiming() string {
+	return r.Header.Get("Server-Timing")
+}
+
+// TraceEchoed reports whether the server joined the trace this request
+// carried: the response's Traceparent header names the same trace id the
+// request sent (the server always re-parents with its own span id, so
+// only the trace id halves are compared). Always false on requests that
+// sent no traceparent.
+func (r *Response) TraceEchoed() bool {
+	if r.Traceparent == "" {
+		return false
+	}
+	return obs.SameTrace(r.Traceparent, r.Header.Get("Traceparent"))
 }
 
 // Do issues one request against the API: method and path (e.g. "POST",
@@ -389,6 +425,11 @@ func (c *Client) roundTrip(ctx context.Context, apiKey, method, path string, bod
 	if apiKey != "" {
 		req.Header.Set("Authorization", "Bearer "+apiKey)
 	}
+	var traceparent string
+	if c.tracing {
+		traceparent = obs.NewTraceparent(true)
+		req.Header.Set(obs.TraceparentHeader, traceparent)
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, err
@@ -398,7 +439,8 @@ func (c *Client) roundTrip(ctx context.Context, apiKey, method, path string, bod
 	if _, err := buf.ReadFrom(resp.Body); err != nil {
 		return nil, err
 	}
-	return &Response{Status: resp.StatusCode, Header: resp.Header, Body: buf.Bytes()}, nil
+	return &Response{Status: resp.StatusCode, Header: resp.Header,
+		Body: buf.Bytes(), Traceparent: traceparent}, nil
 }
 
 // sleepCtx sleeps for d or until ctx is done, whichever is first.
@@ -542,6 +584,13 @@ func (c *Client) APIIndex(ctx context.Context) (*APIIndexResponse, error) {
 // Health probes GET /healthz.
 func (c *Client) Health(ctx context.Context) (*HealthResponse, error) {
 	return call[struct{}, HealthResponse](ctx, c, http.MethodGet, "/healthz", nil)
+}
+
+// Ready probes GET /readyz — the readiness probe, distinct from Health's
+// liveness: a draining server answers its health check but refuses new
+// work here (503 *APIError, code "draining").
+func (c *Client) Ready(ctx context.Context) (*ReadyResponse, error) {
+	return call[struct{}, ReadyResponse](ctx, c, http.MethodGet, "/readyz", nil)
 }
 
 // Metrics fetches GET /metrics: the server's counters, including the

@@ -96,15 +96,44 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 	tenantsFile := fs.String("tenants-file", "",
 		"JSON tenants config enabling API-key tenancy: per-tenant token-bucket rate limits, job budgets, and /metrics slices; empty disables tenancy (every caller is anonymous and unthrottled)")
 	pprofAddr := fs.String("pprof-addr", "",
-		"listen address for net/http/pprof (e.g. 127.0.0.1:6060); empty disables it; always a separate listener, never the public mux")
-	quiet := fs.Bool("quiet", false, "disable per-request logging")
+		"listen address for net/http/pprof and /debug/traces (e.g. 127.0.0.1:6060); empty disables it; always a separate listener, never the public mux")
+	traceSample := fs.Int("trace-sample", 128,
+		"capture every Nth header-less request's trace (explicit trace=1 and sampled traceparent requests are always captured); 0 disables head sampling")
+	logLevel := fs.String("log-level", "info",
+		"minimum log level: debug, info, warn, or error (per-request lines log at debug; 5xx responses always log at warn)")
+	logFormat := fs.String("log-format", "text",
+		"log line format: text or json")
+	quiet := fs.Bool("quiet", false, "disable logging entirely (see -log-level to keep warnings)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
+	var level slog.Level
+	switch *logLevel {
+	case "debug":
+		level = slog.LevelDebug
+	case "info":
+		level = slog.LevelInfo
+	case "warn":
+		level = slog.LevelWarn
+	case "error":
+		level = slog.LevelError
+	default:
+		fmt.Fprintf(stderr, "balarchd: -log-level: unknown level %q (want debug, info, warn, or error)\n", *logLevel)
+		return 2
+	}
 	var logger *slog.Logger
 	if !*quiet {
-		logger = slog.New(slog.NewTextHandler(stderr, nil))
+		hopts := &slog.HandlerOptions{Level: level}
+		switch *logFormat {
+		case "text":
+			logger = slog.New(slog.NewTextHandler(stderr, hopts))
+		case "json":
+			logger = slog.New(slog.NewJSONHandler(stderr, hopts))
+		default:
+			fmt.Fprintf(stderr, "balarchd: -log-format: unknown format %q (want text or json)\n", *logFormat)
+			return 2
+		}
 	}
 	rt := *reqTimeout
 	if rt == 0 {
@@ -132,19 +161,24 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 				"tenants", len(tenants.Tenants))
 		}
 	}
+	sample := *traceSample
+	if sample == 0 {
+		sample = -1 // Options: 0 means default; negative disables sampling
+	}
 	srv := server.New(server.Options{
-		Parallelism:    *parallel,
-		RequestTimeout: rt,
-		MaxBodyBytes:   *maxBody,
-		MaxBatch:       *maxBatch,
-		MaxInFlight:    *maxInFlight,
-		Logger:         logger,
-		StoreDir:       *storeDir,
-		JobWorkers:     workers,
-		MemBudgetBytes: *memBudget,
-		JobTTL:         *jobTTL,
-		JobSchedPolicy: *jobPolicy,
-		Tenants:        tenants,
+		Parallelism:      *parallel,
+		RequestTimeout:   rt,
+		TraceSampleEvery: sample,
+		MaxBodyBytes:     *maxBody,
+		MaxBatch:         *maxBatch,
+		MaxInFlight:      *maxInFlight,
+		Logger:           logger,
+		StoreDir:         *storeDir,
+		JobWorkers:       workers,
+		MemBudgetBytes:   *memBudget,
+		JobTTL:           *jobTTL,
+		JobSchedPolicy:   *jobPolicy,
+		Tenants:          tenants,
 	})
 	if *storeDir != "" {
 		if err := srv.JobsErr(); err != nil {
@@ -185,6 +219,10 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		// Captured request traces ride the same operator-only listener:
+		// trace payloads carry request ids and routes, which belong next
+		// to the profiles, not on the tenant-facing mux.
+		pmux.Handle("GET /debug/traces", srv.TraceHandler())
 		pprofLn, err = net.Listen("tcp", *pprofAddr)
 		if err != nil {
 			ln.Close()
@@ -224,7 +262,9 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 	case <-ctx.Done():
 	}
 
-	// Graceful drain: give in-flight requests the grace budget, then cut.
+	// Graceful drain: flip /readyz to 503 first so load balancers stop
+	// routing new work, then give in-flight requests the grace budget.
+	srv.StartDrain()
 	if logger != nil {
 		logger.Info("shutting down", "grace", *shutdownGrace)
 	}

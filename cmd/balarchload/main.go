@@ -25,8 +25,12 @@
 // queue to drain with zero failed jobs within the given budget after the
 // run; -gc-baseline-per1k caps this process's GC count per 1k requests at
 // the recorded baseline + 20% (the soak guard against allocation
-// regressions in the request path). Exit status: 0 all gates pass, 1 a
-// gate failed, 2 the harness itself errored.
+// regressions in the request path); -min-trace-coverage (with -trace,
+// the default) requires the server to echo the trace id on at least
+// that fraction of requests — the end-to-end proof that trace
+// propagation survives the full middleware chain under load. Exit
+// status: 0 all gates pass, 1 a gate failed, 2 the harness itself
+// errored.
 package main
 
 import (
@@ -85,6 +89,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		"scheduler-fairness gate for the backlog-fairness scenario: poll /metrics up to this long for the queue to drain, then require jobs_sched_max_wait_picks ≤ -fairness-max-wait and the minority tenant served (0 = no gate)")
 	fairnessMaxWait := fs.Int64("fairness-max-wait", 8,
 		"ceiling on jobs_sched_max_wait_picks for -fairness-drain: the most consecutive picks a tenant with eligible pending work may be bypassed")
+	trace := fs.Bool("trace", true,
+		"send a W3C traceparent on every request and record whether the server echoes it")
+	minTraceCoverage := fs.Float64("min-trace-coverage", 0,
+		"fail (exit 1) if fewer than this fraction (0..1] of traced requests had their trace id echoed back (0 = no gate; requires -trace)")
 	asJSON := fs.Bool("json", false, "emit the report as JSON instead of text")
 	list := fs.Bool("list", false, "list scenarios and exit")
 	if err := fs.Parse(args); err != nil {
@@ -118,7 +126,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	case *inprocess && sc.Name == "backlog-fairness":
 		tenants = loadgen.FairnessTenants()
 	}
-	c, cleanup, err := buildClient(*url, *inprocess, *parallel, *retries, tenants)
+	if *minTraceCoverage > 0 && !*trace {
+		return fatal(stderr, fmt.Errorf("-min-trace-coverage requires -trace: the gate measures traced requests"))
+	}
+	c, cleanup, err := buildClient(*url, *inprocess, *parallel, *retries, *trace, tenants)
 	if err != nil {
 		return fatal(stderr, err)
 	}
@@ -155,6 +166,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if *gcBaseline > 0 {
 		sum.AddGCGate(res, *gcBaseline)
+	}
+	if *minTraceCoverage > 0 {
+		sum.AddTraceCoverageGate(res, *minTraceCoverage)
 	}
 	if *jobsDrain > 0 {
 		loadgen.AddJobsDrainGate(ctx, res, c, *jobsDrain)
@@ -200,11 +214,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 // buildClient resolves the target: a remote URL or the in-process stack.
 // The in-process server gets a throwaway store directory so the async
 // scenarios (job-queue) work against it too; cleanup removes it.
-func buildClient(url string, inprocess bool, parallel, retries int, tenants *server.TenantsConfig) (*client.Client, func(), error) {
+func buildClient(url string, inprocess bool, parallel, retries int, trace bool, tenants *server.TenantsConfig) (*client.Client, func(), error) {
 	noop := func() {}
 	var opts []client.Option
 	if retries > 1 {
 		opts = append(opts, client.WithRetry(retries, 50*time.Millisecond))
+	}
+	if trace {
+		opts = append(opts, client.WithTracing())
 	}
 	switch {
 	case inprocess && url != "":

@@ -1,9 +1,11 @@
 // Command clientsmoke is the smoke checker ci/smoke.sh runs against a
 // freshly started balarchd. It performs the checks the old curl pipeline
-// performed — health, the paper's §1 analyze example, a cold-then-cached
-// sweep, the typed error envelope, the X-Request-ID echo — but through the
-// public client SDK, so the smoke test exercises the same code path SDK
-// users run instead of hand-rolled shell JSON matching.
+// performed — health, readiness, the paper's §1 analyze example, a
+// cold-then-cached sweep, the typed error envelope, the X-Request-ID and
+// trace-id echoes — but through the public client SDK, so the smoke test
+// exercises the same code path SDK users run instead of hand-rolled shell
+// JSON matching. The client is built with tracing on, so every check also
+// exercises W3C traceparent propagation through the middleware chain.
 //
 // Usage:
 //
@@ -39,7 +41,7 @@ func run(ctx context.Context, args []string, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
-	c, err := client.New(*url)
+	c, err := client.New(*url, client.WithTracing())
 	if err != nil {
 		fmt.Fprintln(stderr, "clientsmoke:", err)
 		return 1
@@ -210,5 +212,34 @@ func smoke(ctx context.Context, c *client.Client, wait time.Duration, stderr io.
 		}
 	}
 	fmt.Fprintln(stderr, "clientsmoke: api index ok")
+
+	// 9. Readiness: distinct from liveness — a running daemon that has
+	// not begun draining must say so.
+	rdy, err := c.Ready(ctx)
+	if err != nil {
+		return fmt.Errorf("readyz: %w", err)
+	}
+	if rdy.Status != "ready" {
+		return fmt.Errorf("readyz status = %q, want ready", rdy.Status)
+	}
+	fmt.Fprintln(stderr, "clientsmoke: readyz ok")
+
+	// 10. Trace propagation end to end: the traced client (every request
+	// above carried a sampled traceparent) must get its trace id echoed,
+	// and trace=1 must return the stage profile as Server-Timing.
+	if raw, err = c.Do(ctx, http.MethodGet, "/healthz", nil); err != nil {
+		return err
+	}
+	if !raw.TraceEchoed() {
+		return fmt.Errorf("traced request not echoed: sent %q, got %q",
+			raw.Traceparent, raw.Header.Get("Traceparent"))
+	}
+	if raw, err = c.Do(ctx, http.MethodGet, "/v1/catalog?trace=1", nil); err != nil {
+		return err
+	}
+	if raw.ServerTiming() == "" {
+		return errors.New("trace=1 response missing Server-Timing")
+	}
+	fmt.Fprintln(stderr, "clientsmoke: trace echo ok")
 	return nil
 }

@@ -93,6 +93,7 @@ func (p *Pool[T]) Run(ctx context.Context, jobs []Job[T]) ([]T, error) {
 			cancel(err)
 		})
 	}
+	onSpan := SpanObserverFrom(ctx)
 	onProgress := p.OnProgress
 	if onProgress == nil {
 		// Inherit a context-carried observer (WithProgress): the pools deep
@@ -140,7 +141,11 @@ func (p *Pool[T]) Run(ctx context.Context, jobs []Job[T]) ([]T, error) {
 				} else {
 					results[i] = v
 				}
-				finish(i, err, cached, time.Since(start))
+				elapsed := time.Since(start)
+				if onSpan != nil {
+					onSpan(jobs[i].Key, elapsed, cached)
+				}
+				finish(i, err, cached, elapsed)
 			}
 		}()
 	}
@@ -180,6 +185,34 @@ func WithProgress(ctx context.Context, fn func(Event)) context.Context {
 // ProgressFrom returns the context's progress observer, or nil.
 func ProgressFrom(ctx context.Context) func(Event) {
 	fn, _ := ctx.Value(progressKey{}).(func(Event))
+	return fn
+}
+
+// spanObserverKey carries a per-job span observer through a context tree.
+type spanObserverKey struct{}
+
+// SpanObserver receives one completed pool job: its key, its elapsed
+// wall time, and whether the cache served it. Unlike the progress
+// observer it is NOT serialized across jobs — implementations must be
+// concurrency-safe and cheap (the server's feeds atomic histograms).
+type SpanObserver func(key string, elapsed time.Duration, cached bool)
+
+// WithSpanObserver returns a context that reports every pool job
+// beneath it to fn — the hook the server's stage profile hangs on:
+// kernel sweep points and experiment runs report their individual costs
+// without internal/kernels or internal/experiments knowing about
+// observability. Coexists with (and is independent of) WithProgress.
+// A nil fn returns ctx unchanged.
+func WithSpanObserver(ctx context.Context, fn SpanObserver) context.Context {
+	if fn == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanObserverKey{}, fn)
+}
+
+// SpanObserverFrom returns the context's span observer, or nil.
+func SpanObserverFrom(ctx context.Context) SpanObserver {
+	fn, _ := ctx.Value(spanObserverKey{}).(SpanObserver)
 	return fn
 }
 

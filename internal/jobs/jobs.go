@@ -180,6 +180,15 @@ type Options struct {
 	// requeued because the daemon is draining) are not notified — the
 	// subscriber's stream is being torn down anyway.
 	Notify func(Job)
+	// Observe, when non-nil, receives the duration of each pipeline
+	// stage a job moves through: "admit" (lock-held submit work, WAL
+	// sync included), "wal_append" (one journal append+sync),
+	// "sched_pick" (one successful scheduler pick), "queued" (submit →
+	// start wait), "run" (executor or store-completion time), and
+	// "publish" (the Notify fan-out). Like Notify it may run under the
+	// queue's lock: it must be fast and must not call back into the
+	// Queue (the server's feeds atomic histograms).
+	Observe func(stage string, d time.Duration)
 }
 
 const (
@@ -355,6 +364,12 @@ func (q *Queue) SubmitFor(tenant, kind string, canonicalReq []byte, cost int64, 
 	id, key := IDFor(kind, canonicalReq)
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	if q.opts.Observe != nil {
+		// The "admit" stage is everything the submit ack waits on under
+		// the lock: dedup, budget check, and the synced WAL append.
+		t0 := time.Now()
+		defer func() { q.opts.Observe("admit", time.Since(t0)) }()
+	}
 	if q.closed {
 		return Job{}, false, ErrClosed
 	}
@@ -490,12 +505,24 @@ func (q *Queue) poolStateLocked() PoolState {
 	}
 }
 
-// notifyLocked delivers one transition to the Notify hook (callers hold
-// q.mu; the hook gets a copy).
-func (q *Queue) notifyLocked(j *Job) {
-	if q.opts.Notify != nil {
-		q.opts.Notify(*j)
+// observeStage delivers one stage duration to the Observe hook.
+func (q *Queue) observeStage(stage string, d time.Duration) {
+	if q.opts.Observe != nil {
+		q.opts.Observe(stage, d)
 	}
+}
+
+// notifyLocked delivers one transition to the Notify hook (callers hold
+// q.mu; the hook gets a copy). The fan-out is timed as the "publish"
+// stage — the event bus runs inside it, so a slow subscriber shows up
+// here.
+func (q *Queue) notifyLocked(j *Job) {
+	if q.opts.Notify == nil {
+		return
+	}
+	t0 := time.Now()
+	q.opts.Notify(*j)
+	q.observeStage("publish", time.Since(t0))
 }
 
 func (q *Queue) enqueueLocked(j *Job) {
@@ -528,7 +555,9 @@ func (q *Queue) worker() {
 				continue
 			}
 			var ok bool
+			t0 := time.Now()
 			if id, seq, ok = q.sched.pick(q.opts.Policy, q.poolStateLocked(), q.jobs); ok {
+				q.observeStage("sched_pick", time.Since(t0))
 				break
 			}
 			// Nothing pending fits right now; a submission, a finished
@@ -560,6 +589,7 @@ func (q *Queue) worker() {
 		q.walRetryAt = time.Time{}
 		j.State = Running
 		j.StartedAt = now
+		q.observeStage("queued", now.Sub(j.SubmittedAt))
 		q.running++
 		q.runningBytes += j.Cost
 		q.notifyLocked(j)
@@ -589,6 +619,7 @@ func (q *Queue) runOne(ctx context.Context, cancel context.CancelFunc, id, kind 
 		err    error
 		cached bool
 	)
+	t0 := time.Now()
 	if data, ok, gerr := q.st.Get(key); gerr == nil && ok {
 		// A WAL-replayed twin (or an operator restoring blobs) already
 		// produced this result; completing from the store is the point
@@ -597,9 +628,11 @@ func (q *Queue) runOne(ctx context.Context, cancel context.CancelFunc, id, kind 
 	} else {
 		result, err = q.exec(ctx, kind, req)
 	}
+	runDur := time.Since(t0)
 
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	q.observeStage("run", runDur)
 	j, ok := q.jobs[id]
 	if !ok {
 		return

@@ -58,6 +58,12 @@ type walRecord struct {
 // garbage that replay would treat as the torn tail, silently discarding
 // every acked record after it.
 func (q *Queue) appendWAL(rec walRecord) error {
+	if q.opts.Observe != nil {
+		// One "wal_append" sample per journaled record, sync included —
+		// the disk's contribution to every ack and state transition.
+		t0 := time.Now()
+		defer func() { q.opts.Observe("wal_append", time.Since(t0)) }()
+	}
 	if q.walAppendHook != nil {
 		if err := q.walAppendHook(rec.Op); err != nil {
 			return err

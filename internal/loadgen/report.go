@@ -94,6 +94,23 @@ func (s *Summary) AddGCGate(res *report.Result, baselinePer1k float64) {
 	)
 }
 
+// AddTraceCoverageGate appends the trace-coverage claim to res: at least
+// the min fraction of traced requests (those that carried a traceparent,
+// via client.WithTracing) must have had their trace id echoed back by
+// the server — end-to-end evidence the tracing layer handled them. A run
+// that sent no traced requests while gating on coverage fails: the gate
+// was asked for and the instrument never fired.
+func (s *Summary) AddTraceCoverageGate(res *report.Result, min float64) {
+	got := s.TraceCoverage()
+	res.AddClaim(
+		"the server echoes the trace id on traced requests",
+		fmt.Sprintf("≥ %.2f%% of traced requests echoed", 100*min),
+		fmt.Sprintf("%d of %d traced requests echoed (%.2f%%)",
+			s.TraceEchoed, s.TraceRequests, 100*got),
+		s.TraceRequests > 0 && got >= min,
+	)
+}
+
 // routeNames returns the summary's routes in stable order.
 func (s *Summary) routeNames() []string {
 	names := make([]string, 0, len(s.Routes))

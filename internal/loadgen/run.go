@@ -78,6 +78,11 @@ type collector struct {
 	requests   int64
 	unexpected int64
 	dropped    int64
+	// traceSent/traceEchoed count requests that carried a traceparent
+	// (client.WithTracing) and those whose response joined the trace —
+	// the trace-coverage gate's numerator and denominator.
+	traceSent   int64
+	traceEchoed int64
 }
 
 func newCollector() *collector {
@@ -100,6 +105,12 @@ func (c *collector) record(q Request, resp *client.Response, err error, elapsed 
 	c.requests++
 	ra := c.route(q.Route)
 	ra.h.observe(elapsed.Seconds())
+	if resp != nil && resp.Traceparent != "" {
+		c.traceSent++
+		if resp.TraceEchoed() {
+			c.traceEchoed++
+		}
+	}
 	if err != nil {
 		ra.transportErrors++
 		ra.unexpected++
@@ -304,6 +315,21 @@ type Summary struct {
 	// GC gate (AddGCGate) checks.
 	MemTotalAllocBytes uint64 `json:"mem_total_alloc_bytes"`
 	MemNumGC           int64  `json:"mem_num_gc"`
+	// TraceRequests counts requests that carried a traceparent header
+	// (client.WithTracing); TraceEchoed counts those whose response named
+	// the same trace id back — end-to-end evidence the server's tracing
+	// layer saw the request. Both zero on an untraced run.
+	TraceRequests int64 `json:"trace_requests,omitempty"`
+	TraceEchoed   int64 `json:"trace_echoed,omitempty"`
+}
+
+// TraceCoverage returns the echoed fraction of traced requests, 0 when
+// none were traced.
+func (s *Summary) TraceCoverage() float64 {
+	if s.TraceRequests == 0 {
+		return 0
+	}
+	return float64(s.TraceEchoed) / float64(s.TraceRequests)
 }
 
 // summary freezes the collector into the exported shape.
@@ -321,6 +347,8 @@ func (c *collector) summary(cfg Config, mode string, workers int, elapsed time.D
 		DroppedArrivals: c.dropped,
 		Unexpected:      c.unexpected,
 		Routes:          make(map[string]*RouteSummary, len(c.routes)),
+		TraceRequests:   c.traceSent,
+		TraceEchoed:     c.traceEchoed,
 	}
 	if elapsed > 0 {
 		s.ThroughputRPS = float64(c.requests) / elapsed.Seconds()

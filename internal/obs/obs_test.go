@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStageNamesRoundTrip(t *testing.T) {
+	for i := 0; i < NumStages; i++ {
+		st := Stage(i)
+		name := st.String()
+		if name == "" {
+			t.Fatalf("stage %d has no name", i)
+		}
+		back, ok := StageByName(name)
+		if !ok || back != st {
+			t.Fatalf("StageByName(%q) = %v, %v; want %v, true", name, back, ok, st)
+		}
+	}
+	if _, ok := StageByName("no-such-stage"); ok {
+		t.Fatal("StageByName accepted an unknown name")
+	}
+}
+
+func TestStageSetObserve(t *testing.T) {
+	s := NewStageSet([]float64{0.001, 0.01, 0.1})
+	s.Observe(StageDecode, 500*time.Microsecond) // bucket 0
+	s.Observe(StageDecode, 5*time.Millisecond)   // bucket 1
+	s.Observe(StageDecode, 5*time.Millisecond)   // bucket 1
+	s.Observe(StageDecode, time.Second)          // overflow
+
+	snap := s.Snapshot(StageDecode)
+	if want := []int64{1, 2, 0}; len(snap.Counts) != 3 ||
+		snap.Counts[0] != want[0] || snap.Counts[1] != want[1] || snap.Counts[2] != want[2] {
+		t.Fatalf("counts = %v, want %v", snap.Counts, want)
+	}
+	if snap.Over != 1 || snap.Count != 4 {
+		t.Fatalf("over = %d count = %d, want 1, 4", snap.Over, snap.Count)
+	}
+	wantSum := 0.0005 + 0.005 + 0.005 + 1
+	if diff := snap.SumSeconds - wantSum; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("sum = %v, want %v", snap.SumSeconds, wantSum)
+	}
+	if snap.MaxSeconds != 1 {
+		t.Fatalf("max = %v, want 1", snap.MaxSeconds)
+	}
+
+	// Untouched stages must read as empty, and other stages must not
+	// have absorbed decode's observations.
+	if got := s.Snapshot(StageCompute); got.Count != 0 {
+		t.Fatalf("compute count = %d, want 0", got.Count)
+	}
+
+	// Boundary: an observation exactly at a bound lands in that bound's
+	// bucket (le semantics).
+	s.Observe(StageEncode, time.Millisecond)
+	if got := s.Snapshot(StageEncode); got.Counts[0] != 1 {
+		t.Fatalf("boundary observation landed in %v", got.Counts)
+	}
+}
+
+func TestStageSetNilSafe(t *testing.T) {
+	var s *StageSet
+	s.Observe(StageDecode, time.Second) // must not panic
+}
+
+func TestStageSetBoundsCopied(t *testing.T) {
+	in := []float64{1, 2}
+	s := NewStageSet(in)
+	in[0] = 99
+	if b := s.Bounds(); b[0] != 1 {
+		t.Fatalf("bounds aliased the caller's slice: %v", b)
+	}
+	b := s.Bounds()
+	b[1] = 99
+	if s.Bounds()[1] != 2 {
+		t.Fatal("Bounds returned an aliased slice")
+	}
+}

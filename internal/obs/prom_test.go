@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPromEncSamples(t *testing.T) {
+	var e PromEnc
+	e.Header("x_total", "a counter", "counter")
+	e.Begin("x_total")
+	e.Int(3)
+	e.Begin("y")
+	e.Label("route", "GET /v1")
+	e.Label("class", "2xx")
+	e.Value(0.25)
+	want := "# HELP x_total a counter\n# TYPE x_total counter\n" +
+		"x_total 3\n" +
+		"y{route=\"GET /v1\",class=\"2xx\"} 0.25\n"
+	if got := string(e.B); got != want {
+		t.Fatalf("encoded:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestPromEncLabelEscaping(t *testing.T) {
+	var e PromEnc
+	e.Begin("m")
+	e.Label("k", "a\\b\"c\nd")
+	e.Int(1)
+	want := "m{k=\"a\\\\b\\\"c\\nd\"} 1\n"
+	if got := string(e.B); got != want {
+		t.Fatalf("escaped = %q, want %q", got, want)
+	}
+}
+
+func TestPromEncHistogram(t *testing.T) {
+	var e PromEnc
+	e.Histogram("h_seconds", "route", "GET /x",
+		[]float64{0.0001, 0.05, 1}, []int64{2, 0, 3}, 1, 4.5)
+	want := strings.Join([]string{
+		`h_seconds_bucket{route="GET /x",le="0.0001"} 2`,
+		`h_seconds_bucket{route="GET /x",le="0.05"} 2`,
+		`h_seconds_bucket{route="GET /x",le="1"} 5`,
+		`h_seconds_bucket{route="GET /x",le="+Inf"} 6`,
+		`h_seconds_sum{route="GET /x"} 4.5`,
+		`h_seconds_count{route="GET /x"} 6`,
+	}, "\n") + "\n"
+	if got := string(e.B); got != want {
+		t.Fatalf("histogram:\n%s\nwant:\n%s", got, want)
+	}
+
+	// Unlabeled: no brace block beyond le.
+	e = PromEnc{}
+	e.Histogram("g_seconds", "", "", []float64{1}, []int64{1}, 0, 0.5)
+	want = "g_seconds_bucket{le=\"1\"} 1\ng_seconds_bucket{le=\"+Inf\"} 1\n" +
+		"g_seconds_sum 0.5\ng_seconds_count 1\n"
+	if got := string(e.B); got != want {
+		t.Fatalf("unlabeled histogram:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestPromEncFloats(t *testing.T) {
+	var e PromEnc
+	e.Begin("m")
+	e.Value(1e9)
+	if got := string(e.B); got != "m 1e+09\n" {
+		t.Fatalf("float rendering = %q", got)
+	}
+}

@@ -1,0 +1,315 @@
+// Request traces: pooled fixed-capacity span records, the sampling
+// decision, and the completed-trace ring with always-keep-slowest.
+
+package obs
+
+import (
+	"context"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MaxSpans bounds one trace's span buffer. A sync request records ≤ 4
+// stages and a job's submit path a few more; the fixed array is what
+// keeps a traced request allocation-free after pool warm-up. Overflow
+// is counted, not grown.
+const MaxSpans = 16
+
+// Span is one completed stage inside a trace. Start is the offset from
+// the trace's own start, so spans order and nest without wall-clock.
+type Span struct {
+	Stage Stage
+	Start time.Duration
+	Dur   time.Duration
+}
+
+// Trace is one captured request. Records are pooled: handlers receive a
+// *Trace through the request context, add spans from the handler
+// goroutine only, and the middleware hands the record back to the
+// Tracer at request end. All methods are nil-safe, so untraced paths
+// call them unconditionally.
+type Trace struct {
+	TraceID  [16]byte
+	SpanID   [8]byte
+	ParentID [8]byte // inbound caller's span id; zero when the trace starts here
+	Flags    byte
+	remote   bool // an inbound traceparent named the trace
+	timing   bool // trace=1: the response wants a Server-Timing header
+
+	start     time.Time
+	route     string
+	status    int
+	requestID string
+	total     time.Duration
+
+	n       int
+	dropped int
+	spans   [MaxSpans]Span
+}
+
+func (t *Trace) reset() {
+	*t = Trace{}
+}
+
+// Add records one completed span: a stage that began at t0 and took d.
+func (t *Trace) Add(st Stage, t0 time.Time, d time.Duration) {
+	if t == nil {
+		return
+	}
+	if t.n >= len(t.spans) {
+		t.dropped++
+		return
+	}
+	t.spans[t.n] = Span{Stage: st, Start: t0.Sub(t.start), Dur: d}
+	t.n++
+}
+
+// WantTiming reports whether the request opted into a Server-Timing
+// response header (trace=1).
+func (t *Trace) WantTiming() bool {
+	return t != nil && t.timing
+}
+
+// AppendServerTiming appends the trace's spans so far as a Server-Timing
+// header value — "decode;dur=0.041, compute;dur=1.2, total;dur=1.3",
+// durations in milliseconds. It is called just before the response
+// status line is written, so spans recorded after headers are flushed
+// (the encode stage) appear only in /debug/traces.
+func (t *Trace) AppendServerTiming(dst []byte) []byte {
+	for i := 0; i < t.n; i++ {
+		sp := &t.spans[i]
+		dst = append(dst, sp.Stage.String()...)
+		dst = append(dst, ";dur="...)
+		dst = appendMillis(dst, sp.Dur)
+		dst = append(dst, ',', ' ')
+	}
+	dst = append(dst, "total;dur="...)
+	dst = appendMillis(dst, time.Since(t.start))
+	return dst
+}
+
+func appendMillis(dst []byte, d time.Duration) []byte {
+	return strconv.AppendFloat(dst, float64(d)/float64(time.Millisecond), 'f', 3, 64)
+}
+
+// traceKey carries a *Trace through a request context.
+type traceKey struct{}
+
+// WithTrace returns a context carrying tr. A nil tr returns ctx
+// unchanged.
+func WithTrace(ctx context.Context, tr *Trace) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, tr)
+}
+
+// TraceFrom returns the context's trace, or nil — the normal case, and
+// why every Trace method is nil-safe.
+func TraceFrom(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(traceKey{}).(*Trace)
+	return tr
+}
+
+// TracerOptions tunes a Tracer. The zero value is production-ready.
+type TracerOptions struct {
+	// SampleEvery head-samples requests that arrive without a
+	// traceparent: one in every N is captured. 0 means the default
+	// (128); negative disables head sampling — only requests carrying a
+	// sampled traceparent or the trace=1 opt-in are captured.
+	SampleEvery int
+	// RingSize is how many completed traces are retained for
+	// /debug/traces (the slowest-ever is held separately). 0 means 64.
+	RingSize int
+}
+
+const (
+	defaultSampleEvery = 128
+	defaultRingSize    = 64
+)
+
+// Tracer decides which requests to capture, pools trace records, and
+// retains completed traces in a ring plus a dedicated slowest-ever
+// slot. All methods are safe for concurrent use; the ring's mutex is
+// touched once per completed *captured* request, never on the untraced
+// path.
+type Tracer struct {
+	sampleEvery uint64 // 0 = head sampling off
+	seq         atomic.Uint64
+	pool        sync.Pool
+
+	mu         sync.Mutex
+	ring       []*Trace
+	next       int
+	filled     bool
+	slowest    Trace // copy of the slowest trace seen, never pooled
+	hasSlowest bool
+}
+
+// NewTracer builds a Tracer.
+func NewTracer(opts TracerOptions) *Tracer {
+	every := opts.SampleEvery
+	if every == 0 {
+		every = defaultSampleEvery
+	}
+	if every < 0 {
+		every = 0
+	}
+	size := opts.RingSize
+	if size <= 0 {
+		size = defaultRingSize
+	}
+	return &Tracer{
+		sampleEvery: uint64(every),
+		pool:        sync.Pool{New: func() any { return new(Trace) }},
+		ring:        make([]*Trace, size),
+	}
+}
+
+// Start makes the capture decision for one request and returns the
+// trace record (nil when the request is not captured) plus the
+// traceparent value to echo on the response ("" when the request
+// neither carried a valid traceparent nor was captured, so the
+// header-less fast path stays allocation-free).
+//
+// Capture rules: an inbound traceparent with the sampled flag, or the
+// explicit trace=1 opt-in, always captures; a request without a
+// traceparent is head-sampled 1-in-SampleEvery; an inbound traceparent
+// with the flag clear is honored — echoed, not captured (unless
+// explicit). The trace id comes from the inbound header when present,
+// else is derived from the request id.
+func (t *Tracer) Start(traceparent, requestID string, explicit bool) (tr *Trace, echo string) {
+	tid, parent, flags, ok := ParseTraceparent(traceparent)
+	capture := explicit || (ok && flags&FlagSampled != 0)
+	if !capture && !ok && t.sampleEvery > 0 {
+		capture = t.seq.Add(1)%t.sampleEvery == 0
+	}
+	if !capture {
+		if ok {
+			// Pass-through: same trace, our span id, flags as they came.
+			var b [traceparentLen]byte
+			echo = string(AppendTraceparent(b[:0], tid, NewSpanID(), flags))
+		}
+		return nil, echo
+	}
+	tr = t.pool.Get().(*Trace)
+	tr.reset()
+	if ok {
+		tr.TraceID, tr.ParentID, tr.remote = tid, parent, true
+	} else {
+		tr.TraceID = TraceIDFromRequestID(requestID)
+	}
+	tr.SpanID = NewSpanID()
+	tr.Flags = flags | FlagSampled
+	tr.timing = explicit
+	tr.requestID = requestID
+	tr.start = time.Now()
+	var b [traceparentLen]byte
+	echo = string(AppendTraceparent(b[:0], tr.TraceID, tr.SpanID, tr.Flags))
+	return tr, echo
+}
+
+// Finish completes a captured trace and files it: into the ring
+// (evicting — and pooling — the oldest) and, if it is the slowest seen,
+// into the dedicated slowest slot by copy. Nil-safe.
+func (t *Tracer) Finish(tr *Trace, route string, status int, total time.Duration) {
+	if tr == nil {
+		return
+	}
+	tr.route, tr.status, tr.total = route, status, total
+	t.mu.Lock()
+	if !t.hasSlowest || total > t.slowest.total {
+		t.slowest = *tr
+		t.hasSlowest = true
+	}
+	evicted := t.ring[t.next]
+	t.ring[t.next] = tr
+	t.next++
+	if t.next == len(t.ring) {
+		t.next, t.filled = 0, true
+	}
+	t.mu.Unlock()
+	if evicted != nil {
+		t.pool.Put(evicted)
+	}
+}
+
+// SpanView is one span of a TraceView.
+type SpanView struct {
+	Stage   string  `json:"stage"`
+	StartMS float64 `json:"start_ms"`
+	DurMS   float64 `json:"duration_ms"`
+}
+
+// TraceView is the JSON shape of one completed trace, served by
+// GET /debug/traces.
+type TraceView struct {
+	TraceID       string     `json:"trace_id"`
+	SpanID        string     `json:"span_id"`
+	ParentSpanID  string     `json:"parent_span_id,omitempty"`
+	Remote        bool       `json:"remote,omitempty"`
+	Route         string     `json:"route"`
+	Status        int        `json:"status"`
+	RequestID     string     `json:"request_id,omitempty"`
+	StartUnixNano int64      `json:"start_unix_nano"`
+	TotalMS       float64    `json:"total_ms"`
+	Spans         []SpanView `json:"spans"`
+	SpansDropped  int        `json:"spans_dropped,omitempty"`
+}
+
+func (tr *Trace) view() TraceView {
+	var tb [32]byte
+	var sb [16]byte
+	v := TraceView{
+		TraceID:       string(appendHex(tb[:0], tr.TraceID[:])),
+		SpanID:        string(appendHex(sb[:0], tr.SpanID[:])),
+		Remote:        tr.remote,
+		Route:         tr.route,
+		Status:        tr.status,
+		RequestID:     tr.requestID,
+		StartUnixNano: tr.start.UnixNano(),
+		TotalMS:       float64(tr.total) / float64(time.Millisecond),
+		Spans:         make([]SpanView, tr.n),
+		SpansDropped:  tr.dropped,
+	}
+	if tr.ParentID != ([8]byte{}) {
+		v.ParentSpanID = string(appendHex(sb[:0], tr.ParentID[:]))
+	}
+	for i := 0; i < tr.n; i++ {
+		sp := &tr.spans[i]
+		v.Spans[i] = SpanView{
+			Stage:   sp.Stage.String(),
+			StartMS: float64(sp.Start) / float64(time.Millisecond),
+			DurMS:   float64(sp.Dur) / float64(time.Millisecond),
+		}
+	}
+	return v
+}
+
+// Snapshot renders the retained traces, newest first, plus the
+// slowest-ever trace (nil when nothing has completed). The views are
+// deep copies: serving them races with nothing.
+func (t *Tracer) Snapshot() (traces []TraceView, slowest *TraceView) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.next
+	if t.filled {
+		n = len(t.ring)
+	}
+	traces = make([]TraceView, 0, n)
+	for i := 1; i <= len(t.ring); i++ {
+		// Walk backwards from the most recently written slot.
+		tr := t.ring[(t.next-i+len(t.ring))%len(t.ring)]
+		if tr == nil {
+			break
+		}
+		traces = append(traces, tr.view())
+	}
+	if t.hasSlowest {
+		v := t.slowest.view()
+		slowest = &v
+	}
+	return traces, slowest
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerExplicitCapture(t *testing.T) {
+	tr, echo := NewTracer(TracerOptions{SampleEvery: -1}).Start("", "req-1", true)
+	if tr == nil {
+		t.Fatal("explicit opt-in not captured")
+	}
+	if !tr.WantTiming() {
+		t.Fatal("explicit capture should want Server-Timing")
+	}
+	if _, _, flags, ok := ParseTraceparent(echo); !ok || flags&FlagSampled == 0 {
+		t.Fatalf("echo %q not a sampled traceparent", echo)
+	}
+	if tr.TraceID != TraceIDFromRequestID("req-1") {
+		t.Fatal("trace id not derived from the request id")
+	}
+}
+
+func TestTracerInboundSampled(t *testing.T) {
+	tc := NewTracer(TracerOptions{SampleEvery: -1})
+	in := NewTraceparent(true)
+	tr, echo := tc.Start(in, "req-2", false)
+	if tr == nil {
+		t.Fatal("sampled inbound traceparent not captured")
+	}
+	if tr.WantTiming() {
+		t.Fatal("header capture must not imply Server-Timing")
+	}
+	if !SameTrace(in, echo) {
+		t.Fatalf("echo %q left the inbound trace %q", echo, in)
+	}
+	if echo == in {
+		t.Fatal("echo reused the caller's span id")
+	}
+	if tr.ParentID == ([8]byte{}) {
+		t.Fatal("inbound span id not recorded as parent")
+	}
+}
+
+func TestTracerInboundUnsampled(t *testing.T) {
+	tc := NewTracer(TracerOptions{SampleEvery: -1})
+	in := NewTraceparent(false)
+	tr, echo := tc.Start(in, "req-3", false)
+	if tr != nil {
+		t.Fatal("unsampled inbound traceparent captured")
+	}
+	if !SameTrace(in, echo) {
+		t.Fatalf("unsampled traceparent not passed through: %q", echo)
+	}
+	if _, _, flags, _ := ParseTraceparent(echo); flags&FlagSampled != 0 {
+		t.Fatal("pass-through echo gained the sampled flag")
+	}
+}
+
+func TestTracerHeadSampling(t *testing.T) {
+	tc := NewTracer(TracerOptions{SampleEvery: 4})
+	captured := 0
+	for i := 0; i < 40; i++ {
+		tr, _ := tc.Start("", "req", false)
+		if tr != nil {
+			captured++
+			tc.Finish(tr, "GET /x", 200, time.Millisecond)
+		}
+	}
+	if captured != 10 {
+		t.Fatalf("captured %d of 40 at 1-in-4", captured)
+	}
+
+	// Head sampling off: no header-less request is captured.
+	tc = NewTracer(TracerOptions{SampleEvery: -1})
+	for i := 0; i < 40; i++ {
+		if tr, echo := tc.Start("", "req", false); tr != nil || echo != "" {
+			t.Fatal("captured or echoed with head sampling disabled")
+		}
+	}
+}
+
+func TestTracerRingAndSlowest(t *testing.T) {
+	tc := NewTracer(TracerOptions{SampleEvery: 1, RingSize: 2})
+	for i, d := range []time.Duration{5 * time.Millisecond, 50 * time.Millisecond, time.Millisecond} {
+		tr, _ := tc.Start("", "req", true)
+		if tr == nil {
+			t.Fatal("not captured")
+		}
+		tr.Add(StageCompute, time.Now(), d/2)
+		status := 200 + i
+		tc.Finish(tr, "GET /x", status, d)
+	}
+	traces, slowest := tc.Snapshot()
+	if len(traces) != 2 {
+		t.Fatalf("ring holds %d traces, want 2", len(traces))
+	}
+	// Newest first: the 1ms trace (status 202), then the 50ms (201).
+	if traces[0].Status != 202 || traces[1].Status != 201 {
+		t.Fatalf("ring order: statuses %d, %d", traces[0].Status, traces[1].Status)
+	}
+	if slowest == nil || slowest.Status != 201 || slowest.TotalMS != 50 {
+		t.Fatalf("slowest = %+v, want the 50ms trace", slowest)
+	}
+	if len(slowest.Spans) != 1 || slowest.Spans[0].Stage != "compute" {
+		t.Fatalf("slowest spans = %+v", slowest.Spans)
+	}
+}
+
+func TestTraceSpanOverflow(t *testing.T) {
+	tc := NewTracer(TracerOptions{SampleEvery: 1})
+	tr, _ := tc.Start("", "req", true)
+	for i := 0; i < MaxSpans+3; i++ {
+		tr.Add(StageCompute, time.Now(), time.Millisecond)
+	}
+	tc.Finish(tr, "GET /x", 200, time.Second)
+	traces, _ := tc.Snapshot()
+	if got := traces[0]; len(got.Spans) != MaxSpans || got.SpansDropped != 3 {
+		t.Fatalf("spans = %d dropped = %d, want %d and 3", len(got.Spans), got.SpansDropped, MaxSpans)
+	}
+}
+
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	tr.Add(StageDecode, time.Now(), time.Second)
+	if tr.WantTiming() {
+		t.Fatal("nil trace wants timing")
+	}
+	NewTracer(TracerOptions{}).Finish(nil, "", 0, 0)
+}
+
+func TestAppendServerTiming(t *testing.T) {
+	tc := NewTracer(TracerOptions{})
+	tr, _ := tc.Start("", "req", true)
+	tr.Add(StageDecode, tr.start, 1500*time.Microsecond)
+	tr.Add(StageCompute, tr.start, 250*time.Millisecond)
+	got := string(tr.AppendServerTiming(nil))
+	if !strings.HasPrefix(got, "decode;dur=1.500, compute;dur=250.000, total;dur=") {
+		t.Fatalf("Server-Timing = %q", got)
+	}
+}
+
+func TestWithTraceContext(t *testing.T) {
+	ctx := context.Background()
+	if TraceFrom(ctx) != nil {
+		t.Fatal("empty context carries a trace")
+	}
+	if WithTrace(ctx, nil) != ctx {
+		t.Fatal("WithTrace(nil) should be a no-op")
+	}
+	tr := &Trace{}
+	if TraceFrom(WithTrace(ctx, tr)) != tr {
+		t.Fatal("trace not carried through context")
+	}
+}

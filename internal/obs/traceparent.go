@@ -1,0 +1,199 @@
+// W3C trace-context: parsing and emitting the traceparent header
+// (https://www.w3.org/TR/trace-context/), allocation-free in both
+// directions, plus the service's trace/span id generation.
+
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"sync/atomic"
+)
+
+// TraceparentHeader is the canonical header name, usable directly with
+// http.Header's Get/Set.
+const TraceparentHeader = "Traceparent"
+
+// FlagSampled is the trace-flags bit meaning "the caller recorded this
+// trace": requests arriving with it set are always captured.
+const FlagSampled = 0x01
+
+// traceparentLen is the version-00 header length:
+// "00-" + 32 hex + "-" + 16 hex + "-" + 2 hex.
+const traceparentLen = 55
+
+// ParseTraceparent parses a traceparent header value. ok is false for
+// anything malformed: wrong separators, uppercase or non-hex digits,
+// all-zero ids, the forbidden version ff, or a version-00 value with
+// trailing bytes. Higher versions are accepted when their extra fields
+// are '-'-separated, per the spec's forward-compatibility rule.
+func ParseTraceparent(h string) (traceID [16]byte, spanID [8]byte, flags byte, ok bool) {
+	if len(h) < traceparentLen {
+		return traceID, spanID, 0, false
+	}
+	if h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return traceID, spanID, 0, false
+	}
+	ver, vok := hexByte(h[0], h[1])
+	if !vok || ver == 0xff {
+		return traceID, spanID, 0, false
+	}
+	if len(h) > traceparentLen && (ver == 0 || h[traceparentLen] != '-') {
+		return traceID, spanID, 0, false
+	}
+	var zero bool
+	zero = true
+	for i := 0; i < 16; i++ {
+		b, bok := hexByte(h[3+2*i], h[4+2*i])
+		if !bok {
+			return traceID, spanID, 0, false
+		}
+		traceID[i] = b
+		zero = zero && b == 0
+	}
+	if zero {
+		return traceID, spanID, 0, false
+	}
+	zero = true
+	for i := 0; i < 8; i++ {
+		b, bok := hexByte(h[36+2*i], h[37+2*i])
+		if !bok {
+			return traceID, spanID, 0, false
+		}
+		spanID[i] = b
+		zero = zero && b == 0
+	}
+	if zero {
+		return traceID, spanID, 0, false
+	}
+	flags, fok := hexByte(h[53], h[54])
+	if !fok {
+		return traceID, spanID, 0, false
+	}
+	return traceID, spanID, flags, true
+}
+
+// hexByte decodes two lowercase hex digits. Uppercase is rejected: the
+// spec defines the header as lowercase and reserves uppercase forms.
+func hexByte(hi, lo byte) (byte, bool) {
+	h, hok := hexNibble(hi)
+	l, lok := hexNibble(lo)
+	return h<<4 | l, hok && lok
+}
+
+func hexNibble(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	}
+	return 0, false
+}
+
+const hexDigits = "0123456789abcdef"
+
+// AppendTraceparent appends a version-00 traceparent value to dst.
+func AppendTraceparent(dst []byte, traceID [16]byte, spanID [8]byte, flags byte) []byte {
+	dst = append(dst, '0', '0', '-')
+	dst = appendHex(dst, traceID[:])
+	dst = append(dst, '-')
+	dst = appendHex(dst, spanID[:])
+	dst = append(dst, '-')
+	dst = append(dst, hexDigits[flags>>4], hexDigits[flags&0xf])
+	return dst
+}
+
+func appendHex(dst, src []byte) []byte {
+	for _, b := range src {
+		dst = append(dst, hexDigits[b>>4], hexDigits[b&0xf])
+	}
+	return dst
+}
+
+// idSeed is process randomness for id generation, drawn once: ids only
+// need to be unique, and a counter mixed with a random seed is cheaper
+// per id than a rand read.
+var idSeed = func() [2]uint64 {
+	var b [16]byte
+	_, _ = rand.Read(b[:]) // stdlib crypto/rand never fails on supported platforms
+	return [2]uint64{
+		binary.LittleEndian.Uint64(b[0:8]) | 1,
+		binary.LittleEndian.Uint64(b[8:16]) | 1,
+	}
+}()
+
+var idSeq atomic.Uint64
+
+// NewSpanID returns a fresh non-zero span id.
+func NewSpanID() [8]byte {
+	var id [8]byte
+	binary.BigEndian.PutUint64(id[:], mix(idSeq.Add(1))^idSeed[0])
+	if id == ([8]byte{}) {
+		id[7] = 1
+	}
+	return id
+}
+
+// NewTraceID returns a fresh non-zero trace id.
+func NewTraceID() [16]byte {
+	var id [16]byte
+	n := idSeq.Add(1)
+	binary.BigEndian.PutUint64(id[0:8], mix(n)^idSeed[0])
+	binary.BigEndian.PutUint64(id[8:16], mix(n^0x9e3779b97f4a7c15)^idSeed[1])
+	if id == ([16]byte{}) {
+		id[15] = 1
+	}
+	return id
+}
+
+// mix is splitmix64's finalizer: a counter in, well-spread bits out.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// TraceIDFromRequestID derives a stable non-zero trace id from a request
+// id, so a request that arrives without a traceparent still gets a trace
+// id an operator can correlate with the X-Request-Id in logs: same
+// request id, same trace id. FNV-1a over the string, two bases.
+func TraceIDFromRequestID(requestID string) [16]byte {
+	var id [16]byte
+	binary.BigEndian.PutUint64(id[0:8], fnv1a(requestID, 0xcbf29ce484222325))
+	binary.BigEndian.PutUint64(id[8:16], fnv1a(requestID, 0x84222325cbf29ce4))
+	if id == ([16]byte{}) {
+		id[15] = 1
+	}
+	return id
+}
+
+func fnv1a(s string, basis uint64) uint64 {
+	h := basis
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// NewTraceparent returns a fresh version-00 traceparent header value —
+// what a client sends to start a trace. sampled sets the recorded flag,
+// asking the server to capture the request.
+func NewTraceparent(sampled bool) string {
+	var flags byte
+	if sampled {
+		flags = FlagSampled
+	}
+	var b [traceparentLen]byte
+	return string(AppendTraceparent(b[:0], NewTraceID(), NewSpanID(), flags))
+}
+
+// SameTrace reports whether two traceparent values carry the same trace
+// id — how a client checks the server echoed its trace.
+func SameTrace(a, b string) bool {
+	return len(a) >= 35 && len(b) >= 35 && a[3:35] == b[3:35]
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+const validTP = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+
+func TestParseTraceparentValid(t *testing.T) {
+	tid, sid, flags, ok := ParseTraceparent(validTP)
+	if !ok {
+		t.Fatal("valid traceparent rejected")
+	}
+	if flags != 0x01 {
+		t.Fatalf("flags = %#x, want 0x01", flags)
+	}
+	round := string(AppendTraceparent(nil, tid, sid, flags))
+	if round != validTP {
+		t.Fatalf("round trip = %q, want %q", round, validTP)
+	}
+}
+
+func TestParseTraceparentFutureVersion(t *testing.T) {
+	// A higher version may carry extra '-'-separated fields; the 00
+	// prefix fields must still parse.
+	v := "cc" + validTP[2:] + "-extra"
+	if _, _, _, ok := ParseTraceparent(v); !ok {
+		t.Fatalf("future-version traceparent rejected: %q", v)
+	}
+}
+
+func TestParseTraceparentInvalid(t *testing.T) {
+	cases := []string{
+		"",
+		"00",
+		validTP[:54],             // truncated
+		validTP + "x",            // version 00 with trailing bytes
+		"ff" + validTP[2:],       // forbidden version
+		strings.ToUpper(validTP), // uppercase hex is invalid
+		strings.Replace(validTP, "-", "_", 1),
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // zero trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", // zero span id
+		"00-4bf92f3577b34da6a3ce929d0e0e473g-00f067aa0ba902b7-01", // non-hex
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-0g", // non-hex flags
+	}
+	for _, c := range cases {
+		if _, _, _, ok := ParseTraceparent(c); ok {
+			t.Errorf("ParseTraceparent(%q) accepted malformed input", c)
+		}
+	}
+}
+
+func TestNewTraceparent(t *testing.T) {
+	tp := NewTraceparent(true)
+	tid, _, flags, ok := ParseTraceparent(tp)
+	if !ok {
+		t.Fatalf("NewTraceparent emitted unparsable %q", tp)
+	}
+	if flags&FlagSampled == 0 {
+		t.Fatalf("sampled traceparent has flags %#x", flags)
+	}
+	if tid == ([16]byte{}) {
+		t.Fatal("zero trace id")
+	}
+	if _, _, flags, _ := ParseTraceparent(NewTraceparent(false)); flags&FlagSampled != 0 {
+		t.Fatalf("unsampled traceparent has the sampled flag")
+	}
+	if NewTraceparent(true) == tp {
+		t.Fatal("two generated traceparents collided")
+	}
+}
+
+func TestSameTrace(t *testing.T) {
+	a := NewTraceparent(true)
+	// Same trace id, different span id.
+	tid, _, flags, _ := ParseTraceparent(a)
+	b := string(AppendTraceparent(nil, tid, NewSpanID(), flags))
+	if !SameTrace(a, b) {
+		t.Fatalf("SameTrace(%q, %q) = false", a, b)
+	}
+	if SameTrace(a, NewTraceparent(true)) {
+		t.Fatal("distinct traces reported as same")
+	}
+	if SameTrace(a, "") || SameTrace("", "") {
+		t.Fatal("SameTrace on short input")
+	}
+}
+
+func TestTraceIDFromRequestID(t *testing.T) {
+	a := TraceIDFromRequestID("balarch-1")
+	if a != TraceIDFromRequestID("balarch-1") {
+		t.Fatal("trace id from request id is not stable")
+	}
+	if a == TraceIDFromRequestID("balarch-2") {
+		t.Fatal("distinct request ids collided")
+	}
+	if TraceIDFromRequestID("") == ([16]byte{}) {
+		t.Fatal("zero trace id")
+	}
+}
+
+// FuzzTraceparent: the inbound parser never panics, and anything it
+// accepts is internally consistent — non-zero ids and, for a canonical
+// version-00 value, an exact byte round trip through the emitter.
+func FuzzTraceparent(f *testing.F) {
+	f.Add(validTP)
+	f.Add("00-00000000000000000000000000000000-0000000000000000-00")
+	f.Add("cc" + validTP[2:] + "-tail")
+	f.Add(strings.ToUpper(validTP))
+	f.Add("")
+	f.Fuzz(func(t *testing.T, h string) {
+		tid, sid, flags, ok := ParseTraceparent(h)
+		if !ok {
+			return
+		}
+		if tid == ([16]byte{}) || sid == ([8]byte{}) {
+			t.Fatalf("accepted zero id in %q", h)
+		}
+		if len(h) == traceparentLen && h[0] == '0' && h[1] == '0' {
+			if round := string(AppendTraceparent(nil, tid, sid, flags)); round != h {
+				t.Fatalf("canonical round trip %q != %q", round, h)
+			}
+		}
+	})
+}

@@ -168,6 +168,43 @@ func BenchmarkSweepLevel(b *testing.B) {
 	}
 }
 
+// BenchmarkPromExposition measures rendering GET /metrics?format=prometheus
+// through the full stack: the route-slot drain, the stage histograms, and
+// the append-style text encoder into a pooled buffer. The exposition is
+// what a scraper pulls every few seconds in production, so its cost — and
+// its allocation count, gated in CI — must stay flat as families grow.
+func BenchmarkPromExposition(b *testing.B) {
+	s := New(Options{})
+	h := s.Handler()
+	// Populate the registry so the exposition renders real series, not
+	// the empty-server skeleton.
+	benchRequest(b, h, "POST", "/v1/analyze",
+		`{"pe": {"c": 50e6, "io": 1e6, "m": 4096}, "computation": {"name": "fft"}}`)
+	c := newBenchClient(b, h, "GET", "/metrics?format=prometheus", "")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.do()
+	}
+}
+
+// BenchmarkTracedAnalyze measures the analyze hot path with every request
+// captured: traceparent parse, span records from the pool, the stage
+// spans, ring filing, and the response echo header. The delta against
+// BenchmarkServerAnalyze is the full price of tracing a request — the
+// head-sampled production path pays it on one request in N.
+func BenchmarkTracedAnalyze(b *testing.B) {
+	s := New(Options{TraceSampleEvery: 1})
+	h := s.Handler()
+	body := `{"pe": {"c": 50e6, "io": 1e6, "m": 4096}, "computation": {"name": "fft"}}`
+	c := newBenchClient(b, h, "POST", "/v1/analyze", body)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.do()
+	}
+}
+
 // BenchmarkServerBatch8 measures an 8-item heterogeneous batch through the
 // pool fan-out.
 func BenchmarkServerBatch8(b *testing.B) {

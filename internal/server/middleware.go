@@ -5,9 +5,12 @@ import (
 	"log/slog"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"balarch/internal/obs"
 )
 
 // Middleware is a composable http.Handler wrapper. The server's stack is
@@ -25,28 +28,40 @@ func Chain(h http.Handler, mw ...Middleware) http.Handler {
 }
 
 // statusRecorder captures the response status and size for logging and
-// metrics. Instances are pooled by Logging — one lives exactly as long as
+// metrics. Instances are pooled by Observe — one lives exactly as long as
 // the request it wraps, and its ResponseWriter is nilled before it goes
 // back so a stale handler reference cannot write into the next request.
+// beforeHeader, when set, runs once just before the status line is
+// committed (first WriteHeader, Write, or Flush) — the last moment a
+// response header (Server-Timing) can still be added.
 type statusRecorder struct {
 	http.ResponseWriter
-	status int
-	bytes  int64
+	status       int
+	bytes        int64
+	beforeHeader func()
 }
 
 var recorderPool = sync.Pool{New: func() any { return new(statusRecorder) }}
 
-func (r *statusRecorder) WriteHeader(code int) {
+// committing marks the status line as decided: records code (or 200) on
+// first commit and fires the beforeHeader hook exactly once.
+func (r *statusRecorder) committing(code int) {
 	if r.status == 0 {
 		r.status = code
+		if r.beforeHeader != nil {
+			r.beforeHeader()
+			r.beforeHeader = nil
+		}
 	}
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.committing(code)
 	r.ResponseWriter.WriteHeader(code)
 }
 
 func (r *statusRecorder) Write(p []byte) (int, error) {
-	if r.status == 0 {
-		r.status = http.StatusOK
-	}
+	r.committing(http.StatusOK)
 	n, err := r.ResponseWriter.Write(p)
 	r.bytes += int64(n)
 	return n, err
@@ -57,9 +72,7 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 // methods, so without this the recorder would hide the Flusher).
 func (r *statusRecorder) Flush() {
 	if f, ok := r.ResponseWriter.(http.Flusher); ok {
-		if r.status == 0 {
-			r.status = http.StatusOK
-		}
+		r.committing(http.StatusOK)
 		f.Flush()
 	}
 }
@@ -133,21 +146,60 @@ func Recover(log *slog.Logger, m *Metrics) Middleware {
 	}
 }
 
-// Logging emits one structured line per request (method, path, status,
-// bytes, duration) and feeds the metrics' route counters, latency
-// histogram, and in-flight gauge. The accounting is deferred so even a
-// panic that escapes an inner Recover cannot leak the in-flight gauge.
+// Logging is Observe without tracing, kept for embedders that reuse the
+// middleware pieces individually.
 func Logging(log *slog.Logger, m *Metrics) Middleware {
+	return Observe(log, m, nil)
+}
+
+// Observe is the per-request accounting middleware: it feeds the
+// metrics' route counters, latency histogram, and in-flight gauge,
+// makes the tracing decision (when tracer is non-nil), and emits one
+// structured log line per request — at Debug for routine traffic, at
+// Warn (unconditionally) for 5xx responses, so a production logger at
+// the default Info level pays nothing per healthy request. The
+// accounting is deferred so even a panic that escapes an inner Recover
+// cannot leak the in-flight gauge.
+//
+// Tracing: an inbound sampled traceparent, a trace=1 query, or the
+// tracer's head sampling captures the request; a captured (or
+// traceparent-carrying) request gets a Traceparent response header, and
+// the trace record rides the request context (obs.TraceFrom) for
+// handlers to add stage spans. trace=1 additionally returns the spans
+// recorded before the status line as a Server-Timing header.
+func Observe(log *slog.Logger, m *Metrics, tracer *obs.Tracer) Middleware {
 	return func(next http.Handler) http.Handler {
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			start := time.Now()
 			if m != nil {
 				m.IncInFlight()
 			}
+			var tr *obs.Trace
+			if tracer != nil {
+				explicit := r.URL.RawQuery != "" && queryWantsTrace(r.URL.RawQuery)
+				var echo string
+				tr, echo = tracer.Start(r.Header.Get(obs.TraceparentHeader),
+					w.Header().Get(RequestIDHeader), explicit)
+				if echo != "" {
+					w.Header().Set(obs.TraceparentHeader, echo)
+				}
+				if tr != nil {
+					// Reassign r so the deferred routeLabel reads the same
+					// request the mux stamps its pattern on.
+					r = r.WithContext(obs.WithTrace(r.Context(), tr))
+				}
+			}
 			rec := recorderPool.Get().(*statusRecorder)
 			rec.ResponseWriter = w
 			rec.status = 0
 			rec.bytes = 0
+			rec.beforeHeader = nil
+			if tr.WantTiming() {
+				rec.beforeHeader = func() {
+					var buf [256]byte
+					w.Header().Set("Server-Timing", string(tr.AppendServerTiming(buf[:0])))
+				}
+			}
 			defer func() {
 				if rec.status == 0 {
 					rec.status = http.StatusOK
@@ -157,19 +209,40 @@ func Logging(log *slog.Logger, m *Metrics) Middleware {
 					m.DecInFlight()
 					m.Observe(routeLabel(r), rec.status, elapsed)
 				}
-				if log != nil {
-					log.Info("request",
+				if tracer != nil {
+					tracer.Finish(tr, routeLabel(r), rec.status, elapsed)
+				}
+				if log != nil && (rec.status >= 500 || log.Enabled(context.Background(), slog.LevelDebug)) {
+					level := slog.LevelDebug
+					if rec.status >= 500 {
+						level = slog.LevelWarn
+					}
+					log.Log(context.Background(), level, "request",
 						"method", r.Method, "path", r.URL.Path,
 						"status", rec.status, "bytes", rec.bytes,
 						"duration", elapsed,
 						"request_id", rec.Header().Get(RequestIDHeader))
 				}
 				rec.ResponseWriter = nil
+				rec.beforeHeader = nil
 				recorderPool.Put(rec)
 			}()
 			next.ServeHTTP(rec, r)
 		})
 	}
+}
+
+// queryWantsTrace scans a raw query for the trace=1 opt-in without
+// parsing (or allocating) the full query.
+func queryWantsTrace(raw string) bool {
+	for raw != "" {
+		var kv string
+		kv, raw, _ = strings.Cut(raw, "&")
+		if kv == "trace=1" {
+			return true
+		}
+	}
+	return false
 }
 
 // routeLabel returns a request's metrics key: the matched mux pattern,

@@ -38,6 +38,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"balarch/internal/engine"
@@ -45,6 +46,7 @@ import (
 	"balarch/internal/jobs"
 	"balarch/internal/kernels"
 	"balarch/internal/model"
+	"balarch/internal/obs"
 	"balarch/internal/report"
 	"balarch/internal/roofline"
 	"balarch/internal/store"
@@ -68,8 +70,16 @@ type Options struct {
 	// 2×GOMAXPROCS, negative disables the limiter.
 	MaxInFlight int
 	// Logger receives structured request and panic logs; nil disables
-	// logging (metrics still record).
+	// logging (metrics still record). Routine request lines log at
+	// Debug; 5xx responses log at Warn regardless of level.
 	Logger *slog.Logger
+
+	// TraceSampleEvery tunes request-trace head sampling: one in every N
+	// requests arriving without a traceparent is captured into the trace
+	// ring. 0 means the default (128); negative disables head sampling —
+	// requests carrying a sampled traceparent or the trace=1 opt-in are
+	// still captured.
+	TraceSampleEvery int
 
 	// Tenants enables API-key tenancy: requests resolve to a tenant via
 	// Authorization: Bearer <key>, each tenant gets its own token-bucket
@@ -126,6 +136,17 @@ type Server struct {
 	sweeps           *engine.Cache[[]kernels.RatioPoint]
 	maxMemoryDefault float64
 
+	// tracer captures request traces; stages is the always-on per-stage
+	// latency registry (internal/obs), on the same bucket bounds as the
+	// route histograms.
+	tracer *obs.Tracer
+	stages *obs.StageSet
+
+	// draining flips /readyz to 503: set by StartDrain when graceful
+	// shutdown begins, so load balancers stop sending new work while
+	// in-flight requests finish.
+	draining atomic.Bool
+
 	// tenants is the resolved tenancy table (nil when Options.Tenants is
 	// nil — the untenanted fast path).
 	tenants *tenancy
@@ -165,6 +186,8 @@ func New(opts Options) *Server {
 		sweeps:           &engine.Cache[[]kernels.RatioPoint]{},
 		maxMemoryDefault: 1e18,
 		events:           newEventBus(0),
+		tracer:           obs.NewTracer(obs.TracerOptions{SampleEvery: opts.TraceSampleEvery}),
+		stages:           obs.NewStageSet(latencyBuckets),
 	}
 	if opts.Tenants != nil {
 		if err := opts.Tenants.Validate(); err != nil {
@@ -183,7 +206,9 @@ func New(opts Options) *Server {
 
 // openJobs brings up the store and the queue under opts.StoreDir.
 func (s *Server) openJobs() {
-	st, err := store.Open(filepath.Join(s.opts.StoreDir, "store"), store.Options{})
+	st, err := store.Open(filepath.Join(s.opts.StoreDir, "store"), store.Options{
+		Observe: s.observeStoreOp,
+	})
 	if err != nil {
 		s.jobsErr = err
 		return
@@ -215,6 +240,7 @@ func (s *Server) openJobs() {
 		TTL:            s.opts.JobTTL,
 		JobTimeout:     jt,
 		Notify:         s.publishJobTransition,
+		Observe:        s.observeJobStage,
 	})
 	if err != nil {
 		st.Close()
@@ -285,12 +311,52 @@ func (s *Server) Handler() http.Handler {
 	}
 	return Chain(s.mux(),
 		RequestID(),
-		Logging(s.opts.Logger, s.metrics),
+		Observe(s.opts.Logger, s.metrics, s.tracer),
 		Recover(s.opts.Logger, s.metrics),
 		s.tenancyMiddleware(),
-		LimitConcurrency(limit, "/healthz", "/metrics"),
+		LimitConcurrency(limit, "/healthz", "/readyz", "/metrics"),
 	)
 }
+
+// obsStage closes one pipeline stage opened at t0: the duration joins
+// the always-on stage histogram, and — when the request is traced — a
+// span on its trace. tr is nil for untraced requests; every Trace
+// method is nil-safe.
+func (s *Server) obsStage(tr *obs.Trace, st obs.Stage, t0 time.Time) {
+	d := time.Since(t0)
+	s.stages.Observe(st, d)
+	tr.Add(st, t0, d)
+}
+
+// observeStoreOp is the store's stage hook: disk reads and writes of
+// content-addressed results, mapped onto the stage registry.
+func (s *Server) observeStoreOp(op string, d time.Duration) {
+	switch op {
+	case "put":
+		s.stages.Observe(obs.StageStorePut, d)
+	case "get":
+		// A store read on the job path is part of serving a result; it
+		// shares the cache_lookup stage with the sweep memo probe.
+		s.stages.Observe(obs.StageCacheLookup, d)
+	}
+}
+
+// observeJobStage is the queue's stage hook (jobs.Options.Observe): it
+// runs under the queue's lock, so it must stay a few atomic adds.
+func (s *Server) observeJobStage(stage string, d time.Duration) {
+	if st, ok := obs.StageByName(stage); ok {
+		s.stages.Observe(st, d)
+	}
+}
+
+// Stages exposes the per-stage latency registry, for embedders and tests.
+func (s *Server) Stages() *obs.StageSet { return s.stages }
+
+// StartDrain flips /readyz to 503 draining. The daemon calls it when
+// graceful shutdown begins — before http.Server.Shutdown — so a load
+// balancer's readiness probe sees the drain while in-flight requests
+// (and the liveness probe) still complete normally. Idempotent.
+func (s *Server) StartDrain() { s.draining.Store(true) }
 
 // opBudget applies the per-request budget to an operation that does real
 // work. It is the request-scoped counterpart of the old chain-wide timeout
@@ -323,7 +389,9 @@ type apiRoute struct {
 var apiRoutes = []apiRoute{
 	{"GET /healthz", "liveness probe: status, uptime, experiment count",
 		func(s *Server) http.HandlerFunc { return s.handleHealthz }},
-	{"GET /metrics", "instrumentation snapshot: per-route counters, latency histograms, cache and job gauges, per-tenant slices",
+	{"GET /readyz", "readiness probe: 200 ready, 503 draining during graceful shutdown",
+		func(s *Server) http.HandlerFunc { return s.handleReadyz }},
+	{"GET /metrics", "instrumentation snapshot: per-route counters, latency histograms, cache and job gauges, per-tenant slices; ?format=prometheus for text exposition",
 		func(s *Server) http.HandlerFunc { return s.handleMetrics }},
 	{"GET /v1/{$}", "this index: every route, error code, computation id, and experiment id the API serves",
 		func(s *Server) http.HandlerFunc { return s.handleAPIIndex }},
@@ -456,24 +524,46 @@ func apiIndexResponse() APIIndexResponse {
 // drift apart.
 func jsonHandler[Req any, Resp any](s *Server, core func(context.Context, *Req) (Resp, *apiError)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		tr := obs.TraceFrom(r.Context())
+		t0 := time.Now()
 		var req Req
-		if apiErr := decodeStrict(w, r, s.opts.MaxBodyBytes, &req); apiErr != nil {
-			writeError(w, apiErr)
-			return
-		}
-		resp, apiErr := core(r.Context(), &req)
+		apiErr := decodeStrict(w, r, s.opts.MaxBodyBytes, &req)
+		s.obsStage(tr, obs.StageDecode, t0)
 		if apiErr != nil {
 			writeError(w, apiErr)
 			return
 		}
+		t0 = time.Now()
+		resp, apiErr := core(r.Context(), &req)
+		s.obsStage(tr, obs.StageCompute, t0)
+		if apiErr != nil {
+			writeError(w, apiErr)
+			return
+		}
+		t0 = time.Now()
 		writeJSON(w, resp)
+		s.obsStage(tr, obs.StageEncode, t0)
 	}
 }
 
-// sweepContext attaches the server's parallelism hint for the engine pools
-// beneath kernel sweeps and experiment runs.
+// sweepContext attaches the server's parallelism hint and span observer
+// for the engine pools beneath kernel sweeps and experiment runs: every
+// pool job's elapsed time lands in the compute stage histogram, so the
+// stage profile sees per-point kernel costs even on detached
+// single-flight sweeps (the observer touches only the server-lifetime
+// StageSet — never a pooled per-request trace record).
 func (s *Server) sweepContext(ctx context.Context) context.Context {
-	return engine.WithParallelism(ctx, s.opts.Parallelism)
+	ctx = engine.WithParallelism(ctx, s.opts.Parallelism)
+	return engine.WithSpanObserver(ctx, s.observePoolJob)
+}
+
+// observePoolJob feeds one engine pool job into the compute stage.
+// Cache-served jobs are skipped: their elapsed time is a map probe, and
+// counting it would drown the histogram's real kernel costs.
+func (s *Server) observePoolJob(_ string, elapsed time.Duration, cached bool) {
+	if !cached {
+		s.stages.Observe(obs.StageCompute, elapsed)
+	}
 }
 
 // readBody reads the whole request body into a pooled buffer, enforcing
@@ -543,6 +633,8 @@ func decodeBody[Req any](req *Req, data []byte) *apiError {
 // the pooled request/response DTOs and buffers threaded through, so the
 // cached path completes without heap allocation.
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	tr := obs.TraceFrom(r.Context())
+	t0 := time.Now()
 	bb, apiErr := s.readBody(w, r)
 	if apiErr != nil {
 		writeError(w, apiErr)
@@ -551,24 +643,31 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	req := getAnalyzeRequest()
 	apiErr = decodeBody(req, bb.b)
 	putBuf(bb)
+	s.obsStage(tr, obs.StageDecode, t0)
 	if apiErr != nil {
 		putAnalyzeRequest(req)
 		writeError(w, apiErr)
 		return
 	}
+	t0 = time.Now()
 	resp, apiErr := s.analyze(r.Context(), req)
+	s.obsStage(tr, obs.StageCompute, t0)
 	if apiErr != nil {
 		putAnalyzeRequest(req)
 		writeError(w, apiErr)
 		return
 	}
+	t0 = time.Now()
 	writeJSON(w, resp)
+	s.obsStage(tr, obs.StageEncode, t0)
 	releaseBody(resp) // before the request: resp.Levels may alias req.Levels
 	putAnalyzeRequest(req)
 }
 
 // handleSweep is POST /v1/sweep, pooled like handleAnalyze.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	tr := obs.TraceFrom(r.Context())
+	t0 := time.Now()
 	bb, apiErr := s.readBody(w, r)
 	if apiErr != nil {
 		writeError(w, apiErr)
@@ -577,18 +676,24 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	req := getSweepRequest()
 	apiErr = decodeBody(req, bb.b)
 	putBuf(bb)
+	s.obsStage(tr, obs.StageDecode, t0)
 	if apiErr != nil {
 		putSweepRequest(req)
 		writeError(w, apiErr)
 		return
 	}
+	// runSweep records the cache_lookup and compute stages itself: the
+	// memo probe and the (possibly joined) kernel flight are distinct
+	// pipeline stages, not one opaque "core" span.
 	resp, apiErr := s.sweep(r.Context(), req)
 	if apiErr != nil {
 		putSweepRequest(req)
 		writeError(w, apiErr)
 		return
 	}
+	t0 = time.Now()
 	writeJSON(w, resp)
+	s.obsStage(tr, obs.StageEncode, t0)
 	releaseBody(resp)
 	putSweepRequest(req)
 }
@@ -919,7 +1024,35 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// ReadyResponse is the GET /readyz body on a ready server.
+type ReadyResponse struct {
+	Status string `json:"status"`
+}
+
+// handleReadyz is the readiness probe, distinct from /healthz liveness:
+// a live server can be unready. It reports 503 draining once StartDrain
+// has run (graceful shutdown), so load balancers stop routing new work.
+// WAL replay happens synchronously inside New before the handler is
+// mounted, so a server that answers at all has already replayed its
+// journal — readiness-after-replay holds by construction.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeError(w, &apiError{Status: http.StatusServiceUnavailable,
+			Body:              ErrorBody{"draining", "server is draining; not accepting new work"},
+			RetryAfterSeconds: 1})
+		return
+	}
+	writeJSON(w, ReadyResponse{Status: "ready"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// The query is parsed only when one is present, so the plain GET
+	// /metrics path — whose JSON body is pinned byte-for-byte by
+	// TestMetricsSchemaPinned — is untouched.
+	if r.URL.RawQuery != "" && r.URL.Query().Get("format") == "prometheus" {
+		s.handleMetricsProm(w)
+		return
+	}
 	snap := s.metrics.Snapshot()
 	// The async subsystem's gauges ride the same snapshot; a
 	// jobs-disabled server reports them as zeros so the key set — pinned

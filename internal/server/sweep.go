@@ -9,8 +9,10 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"balarch/internal/kernels"
+	"balarch/internal/obs"
 )
 
 // Service-level caps on sweep work, so one request cannot monopolize the
@@ -353,12 +355,16 @@ func (s *Server) runSweep(ctx context.Context, req *SweepRequest) (*SweepRespons
 
 	// The memoized case first: a plain map probe on the key bytes, no
 	// canonical copy, no flight context, no single-flight bookkeeping.
+	tr := obs.TraceFrom(ctx)
+	t0 := time.Now()
 	if pts, ok := s.sweeps.Lookup(sc.key); ok {
 		s.metrics.CacheHit()
+		s.obsStage(tr, obs.StageCacheLookup, t0)
 		resp := shapeSweepResponse(req, sc.params, pts, true)
 		putSweepScratch(sc)
 		return resp, nil
 	}
+	s.obsStage(tr, obs.StageCacheLookup, t0)
 
 	canonical := *req
 	canonical.Params = sc.params
@@ -375,9 +381,14 @@ func (s *Server) runSweep(ctx context.Context, req *SweepRequest) (*SweepRespons
 	if s.sweeps.Len() >= maxSweepCacheEntries {
 		s.sweeps.Reset()
 	}
+	t0 = time.Now()
 	pts, err, hit := s.sweeps.Do(string(sc.key), func() ([]kernels.RatioPoint, error) {
 		return k.run(fctx, &canonical)
 	})
+	// The flight duration is a trace span only: the per-point kernel
+	// costs already stream into the compute stage histogram through the
+	// pool observer (sweepContext), and a joiner's wait is not compute.
+	tr.Add(obs.StageCompute, t0, time.Since(t0))
 	if hit {
 		s.metrics.CacheHit()
 	} else {

@@ -1,0 +1,257 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"balarch/internal/obs"
+)
+
+const analyzeBody = `{"pe": {"c": 50e6, "io": 1e6, "m": 4096}, "computation": {"name": "fft"}}`
+
+// doTraced drives one request carrying a traceparent header and returns
+// the recorder.
+func doTraced(t *testing.T, h http.Handler, method, path, body, traceparent string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	if traceparent != "" {
+		req.Header.Set(obs.TraceparentHeader, traceparent)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+// TestTraceparentEchoReparent: a sampled inbound traceparent is captured
+// and echoed re-parented — same trace id, a fresh server-side span id —
+// and the captured trace records the caller's span as its parent.
+func TestTraceparentEchoReparent(t *testing.T) {
+	s, h := newTestHandler(Options{TraceSampleEvery: -1})
+	inbound := obs.NewTraceparent(true)
+	w := doTraced(t, h, "POST", "/v1/analyze", analyzeBody, inbound)
+	if w.Code != 200 {
+		t.Fatalf("analyze: %d\n%s", w.Code, w.Body.String())
+	}
+	echo := w.Header().Get(obs.TraceparentHeader)
+	if echo == "" {
+		t.Fatal("sampled traceparent not echoed")
+	}
+	if !obs.SameTrace(inbound, echo) {
+		t.Fatalf("echo %q does not share the inbound trace id %q", echo, inbound)
+	}
+	if inbound[36:52] == echo[36:52] {
+		t.Fatalf("echo %q reused the caller's span id — want a fresh server span", echo)
+	}
+	traces, slowest := s.tracer.Snapshot()
+	if len(traces) != 1 {
+		t.Fatalf("captured %d traces, want 1", len(traces))
+	}
+	tr := traces[0]
+	if tr.TraceID != inbound[3:35] {
+		t.Errorf("trace id = %s, want %s", tr.TraceID, inbound[3:35])
+	}
+	if tr.ParentSpanID != inbound[36:52] {
+		t.Errorf("parent span = %q, want the caller's %q", tr.ParentSpanID, inbound[36:52])
+	}
+	if !tr.Remote || tr.Route != "POST /v1/analyze" || tr.Status != 200 {
+		t.Errorf("trace = %+v, want remote POST /v1/analyze 200", tr)
+	}
+	// The sync pipeline: decode and compute must both have fired.
+	stages := make(map[string]bool)
+	for _, sp := range tr.Spans {
+		stages[sp.Stage] = true
+	}
+	if !stages["decode"] || !stages["compute"] {
+		t.Errorf("spans %v missing decode/compute", tr.Spans)
+	}
+	if slowest == nil {
+		t.Error("slowest slot empty after a captured request")
+	}
+}
+
+// TestTraceparentUnsampledPassThrough: a flags-00 traceparent is honored
+// — echoed on the same trace — but not captured.
+func TestTraceparentUnsampledPassThrough(t *testing.T) {
+	s, h := newTestHandler(Options{TraceSampleEvery: -1})
+	inbound := obs.NewTraceparent(false)
+	w := doTraced(t, h, "GET", "/healthz", "", inbound)
+	echo := w.Header().Get(obs.TraceparentHeader)
+	if echo == "" || !obs.SameTrace(inbound, echo) {
+		t.Fatalf("unsampled traceparent: echo %q, want same-trace pass-through", echo)
+	}
+	if !strings.HasSuffix(echo, "-00") {
+		t.Errorf("echo %q flipped the sampled flag on", echo)
+	}
+	if traces, _ := s.tracer.Snapshot(); len(traces) != 0 {
+		t.Errorf("unsampled request captured %d traces, want 0", len(traces))
+	}
+}
+
+// TestTraceparentInvalidIgnored: garbage traceparents neither echo nor
+// capture (with head sampling off).
+func TestTraceparentInvalidIgnored(t *testing.T) {
+	s, h := newTestHandler(Options{TraceSampleEvery: -1})
+	for _, bad := range []string{
+		"zz-00000000000000000000000000000000-0000000000000000-01",
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01", // uppercase
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // zero trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",    // truncated
+	} {
+		w := doTraced(t, h, "GET", "/healthz", "", bad)
+		if echo := w.Header().Get(obs.TraceparentHeader); echo != "" {
+			t.Errorf("invalid traceparent %q echoed as %q", bad, echo)
+		}
+	}
+	if traces, _ := s.tracer.Snapshot(); len(traces) != 0 {
+		t.Errorf("invalid traceparents captured %d traces, want 0", len(traces))
+	}
+}
+
+// TestTraceHeadSampling: header-less requests are captured 1-in-N, and
+// only the captured ones get a response traceparent.
+func TestTraceHeadSampling(t *testing.T) {
+	s, h := newTestHandler(Options{TraceSampleEvery: 2})
+	echoed := 0
+	for i := 0; i < 4; i++ {
+		w := doTraced(t, h, "GET", "/healthz", "", "")
+		if w.Header().Get(obs.TraceparentHeader) != "" {
+			echoed++
+		}
+	}
+	if echoed != 2 {
+		t.Errorf("4 requests at 1-in-2 sampling echoed %d traceparents, want 2", echoed)
+	}
+	if traces, _ := s.tracer.Snapshot(); len(traces) != 2 {
+		t.Errorf("captured %d traces, want 2", len(traces))
+	}
+}
+
+// TestServerTimingOptIn: trace=1 forces capture and returns the stage
+// spans recorded before the status line as a Server-Timing header.
+func TestServerTimingOptIn(t *testing.T) {
+	s, h := newTestHandler(Options{TraceSampleEvery: -1})
+	w := doTraced(t, h, "POST", "/v1/analyze?trace=1", analyzeBody, "")
+	if w.Code != 200 {
+		t.Fatalf("analyze: %d\n%s", w.Code, w.Body.String())
+	}
+	st := w.Header().Get("Server-Timing")
+	if !strings.Contains(st, "decode;dur=") || !strings.Contains(st, "total;dur=") {
+		t.Errorf("Server-Timing = %q, want decode and total entries", st)
+	}
+	// The encode span happens after headers flush: header excluded,
+	// /debug/traces included.
+	if strings.Contains(st, "encode") {
+		t.Errorf("Server-Timing = %q includes encode, which finishes after headers", st)
+	}
+	traces, _ := s.tracer.Snapshot()
+	if len(traces) != 1 {
+		t.Fatalf("trace=1 captured %d traces, want 1", len(traces))
+	}
+	found := false
+	for _, sp := range traces[0].Spans {
+		if sp.Stage == "encode" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("captured spans %v missing encode", traces[0].Spans)
+	}
+	// Plain requests must not get the header.
+	w = doTraced(t, h, "POST", "/v1/analyze", analyzeBody, "")
+	if got := w.Header().Get("Server-Timing"); got != "" {
+		t.Errorf("untraced request got Server-Timing %q", got)
+	}
+}
+
+// TestTraceDebugHandler: the /debug/traces dump — ring newest-first,
+// slowest held separately, ?slowest=1 drops the ring.
+func TestTraceDebugHandler(t *testing.T) {
+	s, h := newTestHandler(Options{TraceSampleEvery: 1})
+	for i := 0; i < 3; i++ {
+		doTraced(t, h, "POST", "/v1/analyze", analyzeBody, "")
+	}
+	w := httptest.NewRecorder()
+	s.TraceHandler().ServeHTTP(w, httptest.NewRequest("GET", "/debug/traces", nil))
+	var dump TraceDump
+	if err := json.Unmarshal(w.Body.Bytes(), &dump); err != nil {
+		t.Fatalf("bad trace dump: %v\n%s", err, w.Body.String())
+	}
+	if len(dump.Traces) != 3 || dump.Slowest == nil {
+		t.Fatalf("dump holds %d traces (slowest %v), want 3 with a slowest", len(dump.Traces), dump.Slowest)
+	}
+	for _, tr := range dump.Traces {
+		if len(tr.TraceID) != 32 || len(tr.SpanID) != 16 || tr.Route != "POST /v1/analyze" || tr.Status != 200 {
+			t.Errorf("malformed trace view: %+v", tr)
+		}
+		if len(tr.Spans) == 0 {
+			t.Errorf("trace %s has no spans", tr.TraceID)
+		}
+	}
+	w = httptest.NewRecorder()
+	s.TraceHandler().ServeHTTP(w, httptest.NewRequest("GET", "/debug/traces?slowest=1", nil))
+	dump = TraceDump{}
+	if err := json.Unmarshal(w.Body.Bytes(), &dump); err != nil {
+		t.Fatalf("bad slowest dump: %v", err)
+	}
+	if len(dump.Traces) != 0 || dump.Slowest == nil {
+		t.Errorf("?slowest=1 returned %d ring traces (slowest %v), want only the slowest", len(dump.Traces), dump.Slowest)
+	}
+}
+
+// TestReadyzDraining: /readyz flips from 200 ready to 503 draining after
+// StartDrain, while /healthz liveness keeps answering 200.
+func TestReadyzDraining(t *testing.T) {
+	s, h := newTestHandler(Options{})
+	decoded := wantStatus(t, h, "GET", "/readyz", "", 200, "")
+	if decoded["status"] != "ready" {
+		t.Errorf("readyz status = %v, want ready", decoded["status"])
+	}
+	s.StartDrain()
+	wantStatus(t, h, "GET", "/readyz", "", 503, "draining")
+	wantStatus(t, h, "GET", "/healthz", "", 200, "")
+}
+
+// TestRequestLogDemotion: routine requests log at Debug — invisible to a
+// production Info logger — while 5xx responses log at Warn regardless.
+func TestRequestLogDemotion(t *testing.T) {
+	var buf bytes.Buffer
+	info := slog.New(slog.NewJSONHandler(&buf, &slog.HandlerOptions{Level: slog.LevelInfo}))
+
+	_, h := newTestHandler(Options{Logger: info})
+	doJSON(t, h, "GET", "/healthz", "")
+	if buf.Len() != 0 {
+		t.Errorf("healthy request logged at Info level:\n%s", buf.String())
+	}
+
+	// A 500 through the same middleware must surface as Warn even though
+	// the logger sits at Info.
+	m := NewMetrics()
+	failing := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}), Observe(info, m, nil))
+	failing.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/doomed", nil))
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("no log record for a 500: %v (buf %q)", err, buf.String())
+	}
+	if rec["level"] != "WARN" || rec["msg"] != "request" || rec["status"] != float64(500) {
+		t.Errorf("500 logged as %v, want WARN request status=500", rec)
+	}
+
+	// At Debug the routine line appears.
+	buf.Reset()
+	debug := slog.New(slog.NewJSONHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	_, h = newTestHandler(Options{Logger: debug})
+	doJSON(t, h, "GET", "/healthz", "")
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("no Debug request line: %v (buf %q)", err, buf.String())
+	}
+	if rec["level"] != "DEBUG" || rec["msg"] != "request" || rec["path"] != "/healthz" {
+		t.Errorf("request line = %v, want DEBUG request /healthz", rec)
+	}
+}

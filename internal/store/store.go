@@ -33,6 +33,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Key returns the content address of data: lowercase hex SHA-256.
@@ -46,6 +47,11 @@ type Options struct {
 	// MemCacheBytes caps the in-memory LRU front. 0 means 16 MiB;
 	// negative disables the front entirely (every Get reads the disk).
 	MemCacheBytes int64
+	// Observe, when non-nil, receives the wall time of every Put ("put")
+	// and Get ("get") — lock wait included, since that is what a caller
+	// experiences. It is called outside the store's mutex and must be
+	// safe for concurrent use (the server's feeds atomic histograms).
+	Observe func(op string, d time.Duration)
 }
 
 const defaultMemCacheBytes = 16 << 20
@@ -68,6 +74,8 @@ type Stats struct {
 // on the same directory would race on the index log.
 type Store struct {
 	dir string
+
+	observe func(op string, d time.Duration)
 
 	mu      sync.Mutex
 	index   map[string]int64 // key → blob size
@@ -100,11 +108,12 @@ func Open(dir string, opts Options) (*Store, error) {
 		memCap = defaultMemCacheBytes
 	}
 	s := &Store{
-		dir:    dir,
-		index:  make(map[string]int64),
-		memCap: memCap,
-		mem:    make(map[string]*list.Element),
-		lru:    list.New(),
+		dir:     dir,
+		observe: opts.Observe,
+		index:   make(map[string]int64),
+		memCap:  memCap,
+		mem:     make(map[string]*list.Element),
+		lru:     list.New(),
 	}
 	if err := s.replayIndex(); err != nil {
 		return nil, err
@@ -227,6 +236,10 @@ func (s *Store) Put(key string, data []byte) error {
 	if !validKey(key) {
 		return fmt.Errorf("store: invalid key %q", key)
 	}
+	if s.observe != nil {
+		t0 := time.Now()
+		defer func() { s.observe("put", time.Since(t0)) }()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -287,6 +300,10 @@ func (s *Store) appendIndex(record string) error {
 // The returned slice is the caller's to keep: it never aliases the LRU
 // front's copy, so mutating it cannot corrupt later Gets.
 func (s *Store) Get(key string) (data []byte, ok bool, err error) {
+	if s.observe != nil {
+		t0 := time.Now()
+		defer func() { s.observe("get", time.Since(t0)) }()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
