@@ -40,6 +40,16 @@
 #      tenant must have been served, and the minority's routes are gated
 #      on the (ceiling-rank) p99 ceiling — a deep backlog must not
 #      become the small tenant's starvation or latency.
+#   7. Cluster kill drill: three fresh nodes behind balarchgw drive the
+#      cluster-mix scenario through the gateway. A third of the way in,
+#      one node is SIGKILLed (a crash, not a drain) and later restarted
+#      on its same store dir — the gateway must eject it on the first
+#      transport error and rejoin it by probe, while WAL replay requeues
+#      the jobs the crash stranded. Gates: zero unexpected non-2xx
+#      through the kill, the p99 ceiling, and the same zero-lost-jobs
+#      drain gate as phase 3 read from the gateway's cluster rollup —
+#      queued+running across the cluster must reach 0 with no failures,
+#      so a job swallowed by the crash would fail the drill.
 #
 # JSON reports land in SOAK_CALIBRATION_REPORT, SOAK_REPORT,
 # SOAK_JOBS_REPORT, SOAK_HIERARCHY_REPORT, SOAK_NOISY_REPORT, and
@@ -70,14 +80,19 @@ FAIR_REQUESTS="${SOAK_FAIRNESS_REQUESTS:-400}"
 FAIR_DRAIN="${SOAK_FAIRNESS_DRAIN:-90s}"
 MIN_TRACE_COVERAGE="${SOAK_MIN_TRACE_COVERAGE:-0.99}"
 TRACE_REPORT="${SOAK_TRACE_REPORT:-soak-slowest-trace.json}"
+CLUSTER_REPORT="${SOAK_CLUSTER_REPORT:-soak-cluster.json}"
+CLUSTER_DURATION="${SOAK_CLUSTER_DURATION:-20s}"
+CLUSTER_KILL_AFTER="${SOAK_CLUSTER_KILL_AFTER:-6}"
+CLUSTER_RESTART_AFTER="${SOAK_CLUSTER_RESTART_AFTER:-5}"
 PPROF_PORT=$((PORT + 1))
 # GCs per 1k requests recorded for phase 2 (see ci/soak-gc-baseline.txt);
 # override with SOAK_GC_BASELINE, 0 disables the gate.
 GC_BASELINE="${SOAK_GC_BASELINE:-$(cat ci/soak-gc-baseline.txt)}"
 DIR="$(mktemp -d)"
 
-echo "soak: building balarchd and balarchload"
+echo "soak: building balarchd, balarchgw, and balarchload"
 go build -o "$DIR/balarchd" ./cmd/balarchd
+go build -o "$DIR/balarchgw" ./cmd/balarchgw
 go build -o "$DIR/balarchload" ./cmd/balarchload
 
 # The tenant sets phases 5 and 6 assume (keys match loadgen's
@@ -189,6 +204,67 @@ if [ "$code" -eq 0 ]; then
     -json > "$FAIR_REPORT" || code=$?
   echo "soak: backlog-fairness report ($FAIR_REPORT):"
   cat "$FAIR_REPORT"
+fi
+
+if [ "$code" -eq 0 ]; then
+  echo "soak: phase 7 — 3-node cluster behind balarchgw, cluster-mix for $CLUSTER_DURATION, kill drill at ${CLUSTER_KILL_AFTER}s"
+  GW_PORT=$((PORT + 2))
+  N1_PORT=$((PORT + 3))
+  N2_PORT=$((PORT + 4))
+  N3_PORT=$((PORT + 5))
+  "$DIR/balarchd" -addr "127.0.0.1:$N1_PORT" -quiet -node-id n1 -store-dir "$DIR/store-n1" &
+  N1_PID=$!
+  "$DIR/balarchd" -addr "127.0.0.1:$N2_PORT" -quiet -node-id n2 -store-dir "$DIR/store-n2" &
+  N2_PID=$!
+  "$DIR/balarchd" -addr "127.0.0.1:$N3_PORT" -quiet -node-id n3 -store-dir "$DIR/store-n3" &
+  N3_PID=$!
+  "$DIR/balarchgw" -addr "127.0.0.1:$GW_PORT" -quiet -probe-interval 500ms \
+    -nodes "http://127.0.0.1:$N1_PORT,http://127.0.0.1:$N2_PORT,http://127.0.0.1:$N3_PORT" &
+  GW_PID=$!
+  trap 'kill "$PID" "$N1_PID" "$N2_PID" "$N3_PID" "$GW_PID" $(cat "$DIR/n2-restarted.pid" 2>/dev/null) 2>/dev/null || true' EXIT
+
+  # The drill: SIGKILL n2 mid-run — a crash, so in-flight and queued work
+  # is stranded in its WAL, not drained — then restart it on the same
+  # store dir. The gateway ejects it on the first failed proxy (and by
+  # probe), fails its keyed traffic over to the survivors, and rejoins it
+  # once probes pass; WAL replay requeues the stranded jobs so the drain
+  # gate below can count them finished.
+  (
+    sleep "$CLUSTER_KILL_AFTER"
+    echo "soak: cluster drill — killing n2 (pid $N2_PID)"
+    kill -9 "$N2_PID" 2>/dev/null || true
+    sleep "$CLUSTER_RESTART_AFTER"
+    echo "soak: cluster drill — restarting n2 on its store dir"
+    "$DIR/balarchd" -addr "127.0.0.1:$N2_PORT" -quiet -node-id n2 -store-dir "$DIR/store-n2" &
+    echo "$!" > "$DIR/n2-restarted.pid"
+  ) &
+  DRILL_PID=$!
+
+  "$DIR/balarchload" \
+    -url "http://127.0.0.1:$GW_PORT" \
+    -scenario cluster-mix \
+    -duration "$CLUSTER_DURATION" \
+    -workers "$WORKERS" \
+    -seed "$SEED" \
+    -max-p99 "$MAX_P99" \
+    -jobs-drain "$JOBS_DRAIN" \
+    -json > "$CLUSTER_REPORT" || code=$?
+  wait "$DRILL_PID" 2>/dev/null || true
+  echo "soak: cluster report ($CLUSTER_REPORT):"
+  cat "$CLUSTER_REPORT"
+
+  # Report-only: single-node (phase 2) vs 3-node-cluster throughput,
+  # pulled from the "achieved rps" column of each report's run table. The
+  # cluster adds a proxy hop and survives a crash mid-run, so this is
+  # context for the artifact reader, not a gate.
+  rps_of() {
+    sed -n 's/.*achieved rps\\n-*\\n[a-z]* *\([0-9.]*\) *\([0-9.]*\) *\([0-9.]*\) *\([0-9.]*\) *\([0-9.]*\) *\([0-9.]*\).*/\6/p' "$1" | head -1
+  }
+  single_rps=$(rps_of "$REPORT")
+  cluster_rps=$(rps_of "$CLUSTER_REPORT")
+  echo "soak: throughput (report-only): single-node ${single_rps:-?} rps vs 3-node cluster ${cluster_rps:-?} rps"
+
+  kill -TERM "$GW_PID" "$N1_PID" "$N3_PID" $(cat "$DIR/n2-restarted.pid" 2>/dev/null) 2>/dev/null || true
 fi
 
 # Archive the slowest request the daemon traced across every phase —

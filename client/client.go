@@ -36,6 +36,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"balarch/internal/obs"
@@ -83,6 +84,14 @@ type (
 	// SweepRequest/SweepResponse are the POST /v1/sweep types.
 	SweepRequest  = server.SweepRequest
 	SweepResponse = server.SweepResponse
+	// EmulationRequest/EmulationResponse are the POST /v1/emulation types:
+	// Hanlon's question — N small memory modules behaving as one large
+	// memory — answered against the ideal flat machine.
+	EmulationRequest  = server.EmulationRequest
+	EmulationResponse = server.EmulationResponse
+	// EmulationSide is one machine's balance diagnosis inside an
+	// EmulationResponse (the emulated hierarchy or the ideal flat PE).
+	EmulationSide = server.EmulationSideDTO
 	// BatchRequest/BatchItem/BatchResponse are the POST /v1/batch types.
 	BatchRequest  = server.BatchRequest
 	BatchItem     = server.BatchItem
@@ -181,7 +190,8 @@ type RetryPolicy struct {
 }
 
 // WithRetryPolicy enables bounded retry: a request that fails in
-// transport, returns 503 (overload, drain, or a cancelled run), or
+// transport, returns 503 (overload, drain, or a cancelled run), returns
+// 502 (a gateway lost the node mid-proxy), or
 // returns 429 (rate limit or job-admission refusal) is reissued up to
 // Attempts times in total, sleeping per the policy between tries
 // (context-aware). A throttling response's Retry-After header — the
@@ -218,14 +228,37 @@ func WithTracing() Option {
 	return func(c *Client) { c.tracing = true }
 }
 
-// sharedTransport is the package's keep-alive transport. The stdlib default
-// keeps only 2 idle connections per host, which makes a many-worker load
-// run reopen sockets constantly; this one is sized for the load generator's
-// worker counts.
-var sharedTransport = &http.Transport{
-	MaxIdleConns:        256,
-	MaxIdleConnsPerHost: 256,
-	IdleConnTimeout:     90 * time.Second,
+// The keep-alive transport registry, one *http.Transport per target
+// host. The stdlib default keeps only 2 idle connections per host, which
+// makes a many-worker load run reopen sockets constantly; each balarch
+// target instead gets its own transport with MaxConnsPerHost and
+// MaxIdleConnsPerHost sized for the load generator's worker counts. Per
+// host rather than one shared transport so a multi-target process — a
+// load run against a gateway plus direct node probes, say — cannot have
+// one host's connection churn evict another's idle pool through the
+// transport-wide MaxIdleConns cap.
+const transportConnsPerHost = 256
+
+var (
+	transportMu sync.Mutex
+	transports  = map[string]*http.Transport{}
+)
+
+// transportForHost returns (building on first use) the host's transport.
+func transportForHost(host string) *http.Transport {
+	transportMu.Lock()
+	defer transportMu.Unlock()
+	if t, ok := transports[host]; ok {
+		return t
+	}
+	t := &http.Transport{
+		MaxConnsPerHost:     transportConnsPerHost,
+		MaxIdleConns:        transportConnsPerHost,
+		MaxIdleConnsPerHost: transportConnsPerHost,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	transports[host] = t
+	return t
 }
 
 // Client is a typed handle on one balarch API server. It is safe for
@@ -253,7 +286,7 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 	}
 	c := &Client{
 		base: strings.TrimRight(baseURL, "/"),
-		http: &http.Client{Transport: sharedTransport},
+		http: &http.Client{Transport: transportForHost(u.Host)},
 	}
 	for _, o := range opts {
 		o(c)
@@ -385,10 +418,14 @@ func (c *Client) do(ctx context.Context, apiKey, method, path string, body []byt
 		method, path, attempts, lastErr)
 }
 
-// retriableStatus lists the responses WithRetry reissues: overload (503)
-// and admission refusal (429). Both mean "later", not "never".
+// retriableStatus lists the responses WithRetry reissues: overload (503),
+// admission refusal (429), and a gateway's upstream failure (502 — the
+// node died mid-proxy; the gateway has already ejected it, so the retry
+// lands on a surviving node). All three mean "later", not "never".
 func retriableStatus(status int) bool {
-	return status == http.StatusServiceUnavailable || status == http.StatusTooManyRequests
+	return status == http.StatusServiceUnavailable ||
+		status == http.StatusTooManyRequests ||
+		status == http.StatusBadGateway
 }
 
 // parseRetryAfter reads the header's delta-seconds form (the only form
@@ -548,6 +585,12 @@ func (c *Client) Roofline(ctx context.Context, req *RooflineRequest) (*RooflineR
 // and return the measured ratio curve.
 func (c *Client) Sweep(ctx context.Context, req *SweepRequest) (*SweepResponse, error) {
 	return call[SweepRequest, SweepResponse](ctx, c, http.MethodPost, "/v1/sweep", req)
+}
+
+// Emulation asks POST /v1/emulation: do N memory modules emulate one
+// large memory for this computation, and at what efficiency?
+func (c *Client) Emulation(ctx context.Context, req *EmulationRequest) (*EmulationResponse, error) {
+	return call[EmulationRequest, EmulationResponse](ctx, c, http.MethodPost, "/v1/emulation", req)
 }
 
 // Batch posts POST /v1/batch: heterogeneous sub-requests fanned out on the

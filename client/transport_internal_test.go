@@ -1,0 +1,83 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+)
+
+// TestTransportPerHost pins the connection-pool regression the registry
+// exists to prevent: two clients against two different hosts must get two
+// different transports (so one host's churn cannot evict the other's idle
+// pool), while two clients against the same host share one.
+func TestTransportPerHost(t *testing.T) {
+	stamp := func(name string) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("X-Test-Host", name)
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write([]byte(`{}`))
+		})
+	}
+	srvA := httptest.NewServer(stamp("a"))
+	defer srvA.Close()
+	srvB := httptest.NewServer(stamp("b"))
+	defer srvB.Close()
+
+	ca, err := New(srvA.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := New(srvB.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca2, err := New(srvA.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ta, ok := ca.http.Transport.(*http.Transport)
+	if !ok {
+		t.Fatalf("client transport is %T, want *http.Transport", ca.http.Transport)
+	}
+	tb := cb.http.Transport.(*http.Transport)
+	if ta == tb {
+		t.Fatalf("clients for %s and %s share one transport; want per-host pools", srvA.URL, srvB.URL)
+	}
+	if ta2 := ca2.http.Transport.(*http.Transport); ta2 != ta {
+		t.Fatalf("two clients for %s got different transports; want a shared per-host pool", srvA.URL)
+	}
+
+	// The per-host sizing is the point — the stdlib defaults (2 idle
+	// conns per host) are what the registry replaces.
+	if ta.MaxConnsPerHost != transportConnsPerHost ||
+		ta.MaxIdleConnsPerHost != transportConnsPerHost ||
+		ta.MaxIdleConns != transportConnsPerHost {
+		t.Fatalf("transport sized %d/%d/%d, want %d each",
+			ta.MaxConnsPerHost, ta.MaxIdleConnsPerHost, ta.MaxIdleConns, transportConnsPerHost)
+	}
+
+	// Distinct transports still reach the right hosts.
+	ctx := context.Background()
+	for _, tc := range []struct {
+		c    *Client
+		want string
+	}{{ca, "a"}, {cb, "b"}, {ca2, "a"}} {
+		resp, err := tc.c.Do(ctx, http.MethodGet, "/v1/", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := resp.Header.Get("X-Test-Host"); got != tc.want {
+			t.Fatalf("request landed on host %q, want %q", got, tc.want)
+		}
+	}
+
+	// The registry keys on host alone: path and scheme quirks in the base
+	// URL must not mint extra pools.
+	u, _ := url.Parse(srvA.URL)
+	if got := transportForHost(u.Host); got != ta {
+		t.Fatalf("transportForHost(%q) minted a new transport", u.Host)
+	}
+}

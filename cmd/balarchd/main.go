@@ -81,6 +81,8 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		"per-request context budget (0 = no deadline)")
 	maxBatch := fs.Int("max-batch", 64, "max requests per /v1/batch call")
 	maxBody := fs.Int64("max-body", 1<<20, "max request body bytes")
+	nodeID := fs.String("node-id", "",
+		"cluster node identity stamped on every response as "+server.NodeHeader+"; empty adds no header (single-node default)")
 	storeDir := fs.String("store-dir", "",
 		"directory for the durable async subsystem (WAL-journaled /v1/jobs queue + content-addressed result store); empty disables jobs")
 	jobWorkers := fs.Int("job-workers", 2,
@@ -179,6 +181,7 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		JobTTL:           *jobTTL,
 		JobSchedPolicy:   *jobPolicy,
 		Tenants:          tenants,
+		NodeID:           *nodeID,
 	})
 	if *storeDir != "" {
 		if err := srv.JobsErr(); err != nil {

@@ -1,0 +1,174 @@
+// Command balarchgw is the balarch cluster gateway: it fronts a fixed set
+// of balarchd nodes (internal/cluster) as one service. Keyed traffic —
+// sweeps, job submits and polls, experiment runs — rides a consistent-hash
+// ring over the healthy members, so each sweep-memo entry and each durable
+// job lives on exactly one node; keyless traffic (analyze, rebalance,
+// roofline, emulation) places by power-of-two-choices on per-node in-flight
+// counts; /v1/batch and /v1/experiments scatter-gather across the cluster;
+// /metrics answers the node-shaped rollup of every member plus a cluster
+// section.
+//
+// Usage:
+//
+//	balarchgw -nodes http://127.0.0.1:18091,http://127.0.0.1:18092
+//	balarchgw -addr :8090 -nodes ... -probe-interval 2s -replicas 128
+//
+// Health is decided actively (each node's /healthz and /readyz polled every
+// -probe-interval) and passively (a proxy transport error ejects the node
+// immediately); an ejected node's keys deterministically remap to the
+// survivors and map back when it rejoins. SIGINT/SIGTERM drain in-flight
+// proxies before exit; a second signal kills immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"balarch/internal/cluster"
+)
+
+// main starts the gateway and exits 0 on clean shutdown, 1 on serve/bind
+// failure, 2 on bad flags.
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	context.AfterFunc(ctx, stop)
+	os.Exit(run(ctx, os.Args[1:], os.Stderr, nil))
+}
+
+// run is main's testable body. If ready is non-nil it receives the bound
+// address once the listener is up.
+func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("balarchgw", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8090", "listen address")
+	nodes := fs.String("nodes", "",
+		"comma-separated member base URLs (e.g. http://127.0.0.1:18091,http://127.0.0.1:18092); required")
+	replicas := fs.Int("replicas", 0, "virtual nodes per member on the hash ring (0 = 128)")
+	probeInterval := fs.Duration("probe-interval", 2*time.Second,
+		"active health-probe period (0 = default, negative disables; passive ejection always applies)")
+	probeTimeout := fs.Duration("probe-timeout", time.Second, "one node's probe round-trip budget")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0),
+		"worker count for batch and listing scatter-gather")
+	maxBatch := fs.Int("max-batch", 64, "max requests per scatter-gathered /v1/batch call")
+	maxBody := fs.Int64("max-body", 1<<20,
+		"max buffered request body bytes (should match the nodes' -max-body)")
+	readTimeout := fs.Duration("read-timeout", 10*time.Second, "connection read timeout")
+	writeTimeout := fs.Duration("write-timeout", 120*time.Second, "connection write timeout")
+	shutdownGrace := fs.Duration("shutdown-grace", 10*time.Second,
+		"drain budget for in-flight proxies on SIGINT/SIGTERM")
+	logLevel := fs.String("log-level", "info",
+		"minimum log level: debug, info, warn, or error")
+	logFormat := fs.String("log-format", "text", "log line format: text or json")
+	quiet := fs.Bool("quiet", false, "disable logging entirely")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var members []string
+	for _, n := range strings.Split(*nodes, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			members = append(members, strings.TrimRight(n, "/"))
+		}
+	}
+	if len(members) == 0 {
+		fmt.Fprintln(stderr, "balarchgw: -nodes is required (comma-separated member base URLs)")
+		return 2
+	}
+
+	var level slog.Level
+	switch *logLevel {
+	case "debug":
+		level = slog.LevelDebug
+	case "info":
+		level = slog.LevelInfo
+	case "warn":
+		level = slog.LevelWarn
+	case "error":
+		level = slog.LevelError
+	default:
+		fmt.Fprintf(stderr, "balarchgw: -log-level: unknown level %q (want debug, info, warn, or error)\n", *logLevel)
+		return 2
+	}
+	var logger *slog.Logger
+	if !*quiet {
+		hopts := &slog.HandlerOptions{Level: level}
+		switch *logFormat {
+		case "text":
+			logger = slog.New(slog.NewTextHandler(stderr, hopts))
+		case "json":
+			logger = slog.New(slog.NewJSONHandler(stderr, hopts))
+		default:
+			fmt.Fprintf(stderr, "balarchgw: -log-format: unknown format %q (want text or json)\n", *logFormat)
+			return 2
+		}
+	}
+
+	gw, err := cluster.New(cluster.Options{
+		Nodes:         members,
+		Replicas:      *replicas,
+		ProbeInterval: *probeInterval,
+		ProbeTimeout:  *probeTimeout,
+		MaxBodyBytes:  *maxBody,
+		MaxBatch:      *maxBatch,
+		Parallelism:   *parallel,
+		Logger:        logger,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "balarchgw: %v\n", err)
+		return 1
+	}
+	defer gw.Close()
+
+	httpSrv := &http.Server{
+		Handler:      gw.Handler(),
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "balarchgw: %v\n", err)
+		return 1
+	}
+	if logger != nil {
+		logger.Info("gateway serving", "addr", ln.Addr().String(), "nodes", len(members))
+	}
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(stderr, "balarchgw: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	if logger != nil {
+		logger.Info("shutting down", "grace", *shutdownGrace)
+	}
+	shCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		_ = httpSrv.Close()
+		fmt.Fprintf(stderr, "balarchgw: shutdown: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"balarch/internal/server"
+)
+
+// startCluster boots two in-process nodes and a gateway over them,
+// returning the gateway's base URL, a shutdown func, and its exit code.
+func startCluster(t *testing.T) (string, context.CancelFunc, <-chan int) {
+	t.Helper()
+	n1 := httptest.NewServer(server.New(server.Options{Parallelism: 2, NodeID: "n1"}).Handler())
+	t.Cleanup(n1.Close)
+	n2 := httptest.NewServer(server.New(server.Options{Parallelism: 2, NodeID: "n2"}).Handler())
+	t.Cleanup(n2.Close)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	code := make(chan int, 1)
+	go func() {
+		code <- run(ctx, []string{"-addr", "127.0.0.1:0", "-quiet",
+			"-nodes", n1.URL + "," + n2.URL}, io.Discard, ready)
+	}()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, cancel, code
+	case c := <-code:
+		cancel()
+		t.Fatalf("gateway exited immediately with %d", c)
+	case <-time.After(10 * time.Second):
+		cancel()
+		t.Fatal("gateway never became ready")
+	}
+	return "", nil, nil
+}
+
+func TestGatewayServesAndShutsDownGracefully(t *testing.T) {
+	base, cancel, code := startCluster(t)
+	defer cancel()
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || health["status"] != "ok" {
+		t.Fatalf("healthz = %d %v", resp.StatusCode, health)
+	}
+	if health["nodes"] != float64(2) || health["healthy"] != float64(2) {
+		t.Fatalf("healthz cluster view = %v", health)
+	}
+
+	// One keyless request proxied through the TCP stack; the serving
+	// node stamps its identity.
+	resp, err = http.Post(base+"/v1/analyze", "application/json",
+		strings.NewReader(`{"pe": {"c": 50e6, "io": 1e6, "m": 4096}, "computation": {"name": "fft"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var analysis map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&analysis); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || analysis["state"] != "io-bound" {
+		t.Fatalf("analyze via gateway = %d %v", resp.StatusCode, analysis)
+	}
+	if node := resp.Header.Get(server.NodeHeader); node != "n1" && node != "n2" {
+		t.Fatalf("%s = %q, want a node identity", server.NodeHeader, node)
+	}
+
+	cancel()
+	select {
+	case c := <-code:
+		if c != 0 {
+			t.Fatalf("gateway exit code = %d, want 0", c)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("gateway never exited")
+	}
+}
+
+func TestGatewayRequiresNodes(t *testing.T) {
+	if c := run(context.Background(), []string{"-addr", "127.0.0.1:0", "-quiet"}, io.Discard, nil); c != 2 {
+		t.Fatalf("run without -nodes = %d, want 2", c)
+	}
+}

@@ -171,7 +171,24 @@ func smoke(ctx context.Context, c *client.Client, wait time.Duration, stderr io.
 	}
 	fmt.Fprintln(stderr, "clientsmoke: hierarchy ok")
 
-	// 8. The API index: GET /v1/ must advertise every route this smoke
+	// 8. Emulation: Hanlon's question end to end — eight modules behind a
+	// perfect interconnect still pay the module port on an io-bound
+	// computation, so the first boundary binds and efficiency sits
+	// strictly inside (0, 1).
+	em, err := c.Emulation(ctx, &client.EmulationRequest{
+		C:           100e6,
+		Computation: client.Computation{Name: "fft"},
+		Modules:     8, ModuleM: 65536, ModuleBW: 1e6,
+	})
+	if err != nil {
+		return fmt.Errorf("emulation: %w", err)
+	}
+	if em.BindingBoundary != 1 || em.Efficiency <= 0 || em.Efficiency >= 1 {
+		return fmt.Errorf("emulation = %+v, want the module port binding with efficiency in (0, 1)", em)
+	}
+	fmt.Fprintln(stderr, "clientsmoke: emulation ok")
+
+	// 9. The API index: GET /v1/ must advertise every route this smoke
 	// exercised, the error code the envelope check drew, and every
 	// computation the catalog listed — the index is generated from the
 	// server's own route tables, so a hole here is a route added without
@@ -189,7 +206,7 @@ func smoke(ctx context.Context, c *client.Client, wait time.Duration, stderr io.
 	}
 	for _, want := range []string{
 		"GET /healthz", "GET /v1/", "GET /v1/catalog",
-		"POST /v1/analyze", "POST /v1/sweep",
+		"POST /v1/analyze", "POST /v1/sweep", "POST /v1/emulation",
 	} {
 		if !advertised[want] {
 			return fmt.Errorf("api index does not advertise %q (routes: %d)", want, len(idx.Routes))
@@ -213,7 +230,7 @@ func smoke(ctx context.Context, c *client.Client, wait time.Duration, stderr io.
 	}
 	fmt.Fprintln(stderr, "clientsmoke: api index ok")
 
-	// 9. Readiness: distinct from liveness — a running daemon that has
+	// 10. Readiness: distinct from liveness — a running daemon that has
 	// not begun draining must say so.
 	rdy, err := c.Ready(ctx)
 	if err != nil {
@@ -224,7 +241,7 @@ func smoke(ctx context.Context, c *client.Client, wait time.Duration, stderr io.
 	}
 	fmt.Fprintln(stderr, "clientsmoke: readyz ok")
 
-	// 10. Trace propagation end to end: the traced client (every request
+	// 11. Trace propagation end to end: the traced client (every request
 	// above carried a sampled traceparent) must get its trace id echoed,
 	// and trace=1 must return the stage profile as Server-Timing.
 	if raw, err = c.Do(ctx, http.MethodGet, "/healthz", nil); err != nil {

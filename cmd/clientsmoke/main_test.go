@@ -11,10 +11,36 @@ import (
 
 	"balarch"
 	"balarch/client"
+	"balarch/internal/cluster"
 )
 
 func TestSmokeAgainstRealHandler(t *testing.T) {
 	srv := httptest.NewServer(balarch.NewServerHandler(balarch.ServerOptions{Parallelism: 2}))
+	defer srv.Close()
+	var errb bytes.Buffer
+	if code := run(context.Background(), []string{"-url", srv.URL}, &errb); code != 0 {
+		t.Fatalf("exit %d\n%s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "clientsmoke: OK") {
+		t.Errorf("missing verdict: %s", errb.String())
+	}
+}
+
+// TestSmokeAgainstGateway runs the identical check sequence against a
+// two-node cluster behind a gateway: health, the merged GET /v1/ index,
+// tracing, the sweep memo (ring-pinned to one owner), all of it. The
+// gateway is a drop-in balarchd to an SDK client, and this is the gate.
+func TestSmokeAgainstGateway(t *testing.T) {
+	n1 := httptest.NewServer(balarch.NewServerHandler(balarch.ServerOptions{Parallelism: 2, NodeID: "n1"}))
+	defer n1.Close()
+	n2 := httptest.NewServer(balarch.NewServerHandler(balarch.ServerOptions{Parallelism: 2, NodeID: "n2"}))
+	defer n2.Close()
+	gw, err := cluster.New(cluster.Options{Nodes: []string{n1.URL, n2.URL}, ProbeInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+	srv := httptest.NewServer(gw.Handler())
 	defer srv.Close()
 	var errb bytes.Buffer
 	if code := run(context.Background(), []string{"-url", srv.URL}, &errb); code != 0 {

@@ -1,0 +1,548 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"balarch/internal/experiments"
+	"balarch/internal/obs"
+	"balarch/internal/server"
+)
+
+// Options configures a Gateway.
+type Options struct {
+	// Nodes are the member base URLs ("http://127.0.0.1:18091"). At
+	// least one is required; the set is fixed for the gateway's life.
+	Nodes []string
+	// Replicas is the virtual-node count per member; ≤ 0 means 128.
+	Replicas int
+	// ProbeInterval is the health-probe period; 0 means 2 s, negative
+	// disables active probing (passive ejection still applies).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one node's probe round trip; 0 means 1 s.
+	ProbeTimeout time.Duration
+	// MaxBodyBytes caps buffered request bodies; 0 means 1 MiB. It
+	// should match the nodes' limit: the gateway buffers bodies to route
+	// on their content and to retry after a node failure.
+	MaxBodyBytes int64
+	// MaxBatch caps scatter-gathered batch items; 0 means 64 (the
+	// nodes' default — the gateway enforces it because a fanned-out
+	// batch never arrives anywhere whole).
+	MaxBatch int
+	// Parallelism bounds the scatter-gather pools; ≤ 0 means GOMAXPROCS.
+	Parallelism int
+	// Transport overrides the proxy transport (tests route fake hosts to
+	// in-process handlers through it); nil builds one sized per node.
+	Transport http.RoundTripper
+	// Logger receives probe transitions and proxy failures; nil silences.
+	Logger *slog.Logger
+}
+
+// Gateway fronts a fixed set of balarchd nodes as one service: keyed
+// traffic rides the consistent-hash ring, keyless traffic places by
+// two choices, batches and listings scatter-gather.
+type Gateway struct {
+	opts  Options
+	m     *membership
+	hc    *http.Client
+	start time.Time
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	stopped  chan struct{}
+}
+
+// New builds a gateway over the node set and starts the health prober
+// (unless probing is disabled). Close releases the prober.
+func New(opts Options) (*Gateway, error) {
+	if opts.ProbeInterval == 0 {
+		opts.ProbeInterval = 2 * time.Second
+	}
+	if opts.ProbeTimeout <= 0 {
+		opts.ProbeTimeout = time.Second
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 1 << 20
+	}
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = 64
+	}
+	m, err := newMembership(opts.Replicas, opts.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	tr := opts.Transport
+	if tr == nil {
+		// Sized per node: the gateway multiplexes every client onto N
+		// upstream hosts, so the per-host pool — not the global one — is
+		// the resource that must scale with the cluster.
+		tr = &http.Transport{
+			MaxIdleConns:        128 * len(opts.Nodes),
+			MaxIdleConnsPerHost: 128,
+			MaxConnsPerHost:     0,
+			IdleConnTimeout:     90 * time.Second,
+		}
+	}
+	g := &Gateway{
+		opts:    opts,
+		m:       m,
+		hc:      &http.Client{Transport: tr}, // no Timeout: SSE passthrough streams indefinitely
+		start:   time.Now(),
+		stop:    make(chan struct{}),
+		stopped: make(chan struct{}),
+	}
+	if opts.ProbeInterval > 0 {
+		go g.probeLoop()
+	} else {
+		close(g.stopped)
+	}
+	return g, nil
+}
+
+// Close stops the health prober. The handler keeps serving (on the last
+// known membership) — Close is for shutdown, not draining.
+func (g *Gateway) Close() {
+	g.stopOnce.Do(func() { close(g.stop) })
+	<-g.stopped
+}
+
+// probeLoop runs the active health rounds: one immediately (so a node
+// that was down at boot is ejected within one timeout, not one
+// interval), then on the ticker until Close.
+func (g *Gateway) probeLoop() {
+	defer close(g.stopped)
+	ctx := context.Background()
+	g.probeOnce(ctx)
+	t := time.NewTicker(g.opts.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-t.C:
+			g.probeOnce(ctx)
+		}
+	}
+}
+
+// probeOnce runs one probe round and logs membership transitions.
+func (g *Gateway) probeOnce(ctx context.Context) {
+	before := len(g.m.healthySnapshot())
+	after := g.m.probeAll(ctx, g.hc, g.opts.ProbeTimeout)
+	if after != before && g.opts.Logger != nil {
+		g.opts.Logger.Info("cluster membership changed",
+			"healthy", after, "nodes", len(g.m.nodes))
+	}
+}
+
+// Nodes returns the gateway's member set (for status surfaces).
+func (g *Gateway) Nodes() []*Node { return g.m.nodes }
+
+// --- routing table ---
+
+// gwRoute is one gateway endpoint: the mux pattern, the description the
+// merged GET /v1/ index serves, and the handler. The same table builds
+// the mux and the index — the apiRoutes mechanism, applied to the
+// gateway — so a cluster route cannot be served without being
+// advertised.
+type gwRoute struct {
+	pattern string
+	desc    string
+	handler func(*Gateway) http.HandlerFunc
+}
+
+var gwRoutes = []gwRoute{
+	{"GET /healthz", "gateway liveness: status, uptime, node and experiment counts",
+		func(g *Gateway) http.HandlerFunc { return g.handleHealthz }},
+	{"GET /readyz", "gateway readiness: 200 while at least one node is healthy, 503 no_nodes otherwise",
+		func(g *Gateway) http.HandlerFunc { return g.handleReadyz }},
+	{"GET /metrics", "cluster rollup: every node's snapshot aggregated plus per-node health and traffic; ?format=prometheus",
+		func(g *Gateway) http.HandlerFunc { return g.handleMetrics }},
+	{"GET /v1/{$}", "merged index: the node API surface overlaid with the gateway's cluster routes and error codes",
+		func(g *Gateway) http.HandlerFunc { return g.handleIndex }},
+	{"POST /v1/sweep", "ring-routed sweep: the canonical memo key owns exactly one node, so the cluster-wide hit rate matches a single node's",
+		func(g *Gateway) http.HandlerFunc { return g.handleSweep }},
+	{"POST /v1/batch", "scatter-gather fan-out: items spread across the cluster (sweeps ring-routed), request-order reassembly, per-item failure envelopes",
+		func(g *Gateway) http.HandlerFunc { return g.handleBatch }},
+	{"POST /v1/jobs", "ring-routed submit: the content-derived job id picks the owner node",
+		func(g *Gateway) http.HandlerFunc { return g.handleJobSubmit }},
+	{"GET /v1/jobs", "scatter-gather job listing across all healthy nodes, newest first (cursorless)",
+		func(g *Gateway) http.HandlerFunc { return g.handleJobList }},
+	{"GET /v1/jobs/{id}", "ring-routed poll: the job id owns the node that ran it",
+		func(g *Gateway) http.HandlerFunc { return g.keyedByID() }},
+	{"GET /v1/jobs/{id}/result", "ring-routed result fetch from the owner node's store",
+		func(g *Gateway) http.HandlerFunc { return g.keyedByID() }},
+	{"GET /v1/jobs/{id}/events", "ring-routed SSE passthrough from the owner node, streamed and flushed per event",
+		func(g *Gateway) http.HandlerFunc { return g.handleJobEvents }},
+	{"DELETE /v1/jobs/{id}", "ring-routed cancel/forget on the owner node",
+		func(g *Gateway) http.HandlerFunc { return g.keyedByID() }},
+	{"GET /v1/experiments", "scatter-gather registry union across the cluster",
+		func(g *Gateway) http.HandlerFunc { return g.handleExperimentList }},
+	{"POST /v1/experiments/{id}", "ring-routed run: one experiment id always lands on one node (its result store)",
+		func(g *Gateway) http.HandlerFunc { return g.handleExperimentRun }},
+}
+
+// Handler returns the gateway's HTTP surface. Routes not in gwRoutes —
+// analyze, rebalance, roofline, emulation, the catalog, and anything
+// the nodes grow later — fall to the catch-all and place by two-choice
+// load: the gateway only special-cases what needs a key or a fan-out,
+// so node API growth does not require gateway releases.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	for _, rt := range gwRoutes {
+		mux.HandleFunc(rt.pattern, rt.handler(g))
+	}
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		g.forwardBuffered(w, r, g.m.pick)
+	})
+	return server.Chain(gatewayIdentity(mux), server.RequestID())
+}
+
+// gatewayIdentity gives the gateway's locally-served endpoints (healthz,
+// readyz, metrics, the index, fan-out envelopes) the same correlation
+// contract a node honors: a sampled traceparent is re-parented and echoed
+// on the response. Proxied requests overwrite both headers with the
+// owning node's own echoes (copyProxyHeader replaces), so a traced client
+// sees exactly one answer either way.
+func gatewayIdentity(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if tp := r.Header.Get(obs.TraceparentHeader); tp != "" {
+			if tid, _, flags, ok := obs.ParseTraceparent(tp); ok {
+				var buf [64]byte
+				w.Header().Set(obs.TraceparentHeader,
+					string(obs.AppendTraceparent(buf[:0], tid, obs.NewSpanID(), flags)))
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// --- gateway-own endpoints ---
+
+// GatewayHealth is the gateway's GET /healthz body: a superset of the
+// node HealthResponse (clientsmoke's health check works unchanged
+// against a gateway) plus the cluster view.
+type GatewayHealth struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Experiments   int     `json:"experiments"`
+	Nodes         int     `json:"nodes"`
+	Healthy       int     `json:"healthy"`
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	g.writeJSON(w, http.StatusOK, GatewayHealth{
+		Status:        "ok",
+		UptimeSeconds: time.Since(g.start).Seconds(),
+		// The experiment registry is compiled into gateway and nodes
+		// alike, so the gateway answers for the cluster without a probe.
+		Experiments: len(experiments.Registry()),
+		Nodes:       len(g.m.nodes),
+		Healthy:     len(g.m.healthySnapshot()),
+	})
+}
+
+func (g *Gateway) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if len(g.m.healthySnapshot()) == 0 {
+		g.writeError(w, http.StatusServiceUnavailable, "no_nodes",
+			"no healthy node in the cluster", 1)
+		return
+	}
+	g.writeJSON(w, http.StatusOK, server.ReadyResponse{Status: "ready"})
+}
+
+// --- keyed routing ---
+
+// handleSweep routes POST /v1/sweep by the sweep's canonical memo key:
+// the body is decoded exactly as a node would decode it, so two
+// requests a node's memo would join land on the same node. A body a
+// node would reject has no memo entry anywhere and places by load — the
+// node then produces the canonical error envelope.
+func (g *Gateway) handleSweep(w http.ResponseWriter, r *http.Request) {
+	body, ok := g.readBody(w, r)
+	if !ok {
+		return
+	}
+	defer putBuf(body)
+	pick := g.m.pick
+	if key, ok := server.RouteKeyForSweep(body.b); ok {
+		pick = func() *Node { return g.m.ownerString(key) }
+	}
+	g.forwardBody(w, r, body.b, pick, false)
+}
+
+// handleJobSubmit routes POST /v1/jobs by the job id the owner node
+// will assign — predicted from the canonical request bytes — so the
+// submit, every later poll, the result fetch, and the SSE stream all
+// resolve to the same node.
+func (g *Gateway) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	body, ok := g.readBody(w, r)
+	if !ok {
+		return
+	}
+	defer putBuf(body)
+	pick := g.m.pick
+	if id, ok := server.RouteIDForJob(body.b); ok {
+		pick = func() *Node { return g.m.ownerString(id) }
+	}
+	g.forwardBody(w, r, body.b, pick, false)
+}
+
+// keyedByID serves the GET/DELETE /v1/jobs/{id}[/...] family: the id
+// in the path is the routing key (the same id the submit was routed
+// by, since both hash the id string).
+func (g *Gateway) keyedByID() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		g.forwardBody(w, r, nil, func() *Node { return g.m.ownerString(id) }, false)
+	}
+}
+
+// handleJobEvents is keyedByID with streaming: SSE frames must reach
+// the client as the node emits them, so the response is copied with a
+// flush per chunk instead of buffered whole.
+func (g *Gateway) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	g.forwardBody(w, r, nil, func() *Node { return g.m.ownerString(id) }, true)
+}
+
+// handleExperimentRun ring-routes one experiment id; repeated runs of
+// the same experiment hit the same node's content-addressed store.
+// ?stream=1 responses are SSE, so the copy is flushed per chunk.
+func (g *Gateway) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
+	body, ok := g.readBody(w, r)
+	if !ok {
+		return
+	}
+	defer putBuf(body)
+	id := r.PathValue("id")
+	stream := r.URL.Query().Get("stream") != ""
+	g.forwardBody(w, r, body.b, func() *Node { return g.m.ownerString("experiment/" + id) }, stream)
+}
+
+// --- proxy core ---
+
+// forwardBuffered reads the body (if any) and forwards with retry.
+func (g *Gateway) forwardBuffered(w http.ResponseWriter, r *http.Request, pick func() *Node) {
+	body, ok := g.readBody(w, r)
+	if !ok {
+		return
+	}
+	defer putBuf(body)
+	g.forwardBody(w, r, body.b, pick, false)
+}
+
+// forwardBody proxies one request whose body is already buffered (nil
+// for bodyless methods). pick chooses the target; after a transport
+// failure the node is passively ejected and pick runs again — for keyed
+// traffic the rebuilt ring deterministically names the failover owner,
+// for keyless traffic two-choice simply avoids the dead node. Two
+// distinct nodes are attempted before giving up with 502.
+func (g *Gateway) forwardBody(w http.ResponseWriter, r *http.Request, body []byte, pick func() *Node, stream bool) {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		n := pick()
+		if n == nil {
+			g.writeError(w, http.StatusServiceUnavailable, "no_nodes",
+				"no healthy node in the cluster", 1)
+			return
+		}
+		resp, err := g.roundTrip(r.Context(), n, r.Method, r.URL.RequestURI(), r.Header, body)
+		if err != nil {
+			lastErr = err
+			g.eject(n, err)
+			continue
+		}
+		g.copyResponse(w, resp, stream)
+		return
+	}
+	g.writeError(w, http.StatusBadGateway, "upstream_unreachable",
+		fmt.Sprintf("cluster nodes unreachable: %v", lastErr), 0)
+}
+
+// roundTrip issues one proxied request to a node: inbound end-to-end
+// headers are forwarded, the traceparent is replaced with a child span
+// (same trace, new span id) so a traced request shows gateway→node
+// edges, and the node's in-flight counter — the two-choice load signal —
+// brackets the call.
+func (g *Gateway) roundTrip(ctx context.Context, n *Node, method, uri string, inHeader http.Header, body []byte) (*http.Response, error) {
+	var rd io.Reader
+	if len(body) > 0 {
+		// bytes.Reader gives the transport a known ContentLength and a
+		// GetBody for its own connection-level retries; the buffer stays
+		// alive until the handler returns, past any in-flight read.
+		rd = bytes.NewReader(body)
+	}
+	out, err := http.NewRequestWithContext(ctx, method, n.name+uri, rd)
+	if err != nil {
+		return nil, err
+	}
+	copyProxyHeader(out.Header, inHeader)
+	if tp := inHeader.Get(obs.TraceparentHeader); tp != "" {
+		if tid, _, flags, ok := obs.ParseTraceparent(tp); ok {
+			var buf [64]byte
+			out.Header.Set(obs.TraceparentHeader,
+				string(obs.AppendTraceparent(buf[:0], tid, obs.NewSpanID(), flags)))
+		}
+	}
+	n.inflight.Add(1)
+	defer n.inflight.Add(-1)
+	resp, err := g.hc.Do(out)
+	if err != nil {
+		n.proxyErrors.Add(1)
+		return nil, err
+	}
+	n.proxied.Add(1)
+	return resp, nil
+}
+
+// eject passively marks a node unhealthy after a transport failure so
+// the very next request avoids it; the prober rejoins it when it
+// answers again.
+func (g *Gateway) eject(n *Node, err error) {
+	if g.m.setHealthy(n, false) && g.opts.Logger != nil {
+		g.opts.Logger.Warn("node ejected after proxy failure", "node", n.name, "err", err)
+	}
+}
+
+// copyResponse relays a node response: headers, status, body. stream
+// flushes per chunk (SSE); otherwise the body is copied through a
+// pooled buffer.
+func (g *Gateway) copyResponse(w http.ResponseWriter, resp *http.Response, stream bool) {
+	defer resp.Body.Close()
+	copyProxyHeader(w.Header(), resp.Header)
+	w.WriteHeader(resp.StatusCode)
+	bb := getBuf()
+	defer putBuf(bb)
+	buf := bb.b[:cap(bb.b)]
+	if len(buf) == 0 {
+		buf = make([]byte, 32<<10)
+	}
+	flusher, _ := w.(http.Flusher)
+	for {
+		nr, err := resp.Body.Read(buf)
+		if nr > 0 {
+			if _, werr := w.Write(buf[:nr]); werr != nil {
+				return
+			}
+			if stream && flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// hopByHop are the connection-scoped headers a proxy must not forward
+// in either direction (RFC 9110 §7.6.1).
+var hopByHop = map[string]bool{
+	"Connection":          true,
+	"Keep-Alive":          true,
+	"Proxy-Authenticate":  true,
+	"Proxy-Authorization": true,
+	"Te":                  true,
+	"Trailer":             true,
+	"Transfer-Encoding":   true,
+	"Upgrade":             true,
+}
+
+// copyProxyHeader forwards all end-to-end headers.
+func copyProxyHeader(dst, src http.Header) {
+	for k, vs := range src {
+		if hopByHop[k] {
+			continue
+		}
+		dst[k] = vs
+	}
+}
+
+// readBody buffers the request body (routing keys are derived from it
+// and retries replay it). A body over the limit answers the node's own
+// 413 shape. Returns ok=false after writing the error.
+func (g *Gateway) readBody(w http.ResponseWriter, r *http.Request) (*byteBuf, bool) {
+	bb := getBuf()
+	if r.Body == nil {
+		return bb, true
+	}
+	lr := io.LimitReader(r.Body, g.opts.MaxBodyBytes+1)
+	b := bb.b[:0]
+	for {
+		if len(b) == cap(b) {
+			b = append(b, 0)[:len(b)]
+		}
+		n, err := lr.Read(b[len(b):cap(b)])
+		b = b[:len(b)+n]
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			bb.b = b
+			putBuf(bb)
+			g.writeError(w, http.StatusBadRequest, "bad_json", "reading request body: "+err.Error(), 0)
+			return nil, false
+		}
+	}
+	if int64(len(b)) > g.opts.MaxBodyBytes {
+		bb.b = b
+		putBuf(bb)
+		g.writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
+			"http: request body too large", 0)
+		return nil, false
+	}
+	bb.b = b
+	return bb, true
+}
+
+// --- gateway response encoding ---
+
+// writeJSON encodes a gateway-own response in the nodes' wire style
+// (two-space indent, trailing newline).
+func (g *Gateway) writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		g.writeError(w, http.StatusInternalServerError, "internal", err.Error(), 0)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(append(data, '\n'))
+}
+
+// writeError emits the typed error envelope nodes use, so a client
+// cannot tell a gateway refusal from a node refusal by shape.
+func (g *Gateway) writeError(w http.ResponseWriter, status int, code, msg string, retryAfter int) {
+	w.Header().Set("Content-Type", "application/json")
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfter))
+	}
+	w.WriteHeader(status)
+	body, _ := json.MarshalIndent(struct {
+		Error server.ErrorBody `json:"error"`
+	}{server.ErrorBody{Code: code, Message: msg}}, "", "  ")
+	_, _ = w.Write(append(body, '\n'))
+}
+
+// --- pooled buffers (the cluster package's copy of the server idiom) ---
+
+type byteBuf struct{ b []byte }
+
+var bufPool = sync.Pool{New: func() any { return &byteBuf{b: make([]byte, 0, 4<<10)} }}
+
+func getBuf() *byteBuf { return bufPool.Get().(*byteBuf) }
+
+func putBuf(bb *byteBuf) {
+	if cap(bb.b) > 64<<10 {
+		return // oversized one-offs are dropped, not pooled
+	}
+	bb.b = bb.b[:0]
+	bufPool.Put(bb)
+}

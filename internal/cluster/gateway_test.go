@@ -1,0 +1,488 @@
+package cluster
+
+// Gateway tests run a whole cluster in process: each fake host maps to a
+// real server.New(...).Handler() through an injected RoundTripper, so
+// ring routing, failover, scatter-gather, and trace propagation are
+// exercised against the actual node implementation with no sockets.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"balarch/internal/obs"
+	"balarch/internal/server"
+)
+
+// fakeNet routes proxied requests to in-process handlers by host, with a
+// kill switch per host to simulate node death (transport error, like a
+// refused connection).
+type fakeNet struct {
+	mu       sync.Mutex
+	handlers map[string]http.Handler
+	down     map[string]bool
+}
+
+func (t *fakeNet) RoundTrip(r *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	h, ok := t.handlers[r.URL.Host]
+	down := t.down[r.URL.Host]
+	t.mu.Unlock()
+	if !ok || down {
+		return nil, fmt.Errorf("dial tcp %s: connection refused", r.URL.Host)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, r)
+	resp := rec.Result()
+	resp.Request = r
+	return resp, nil
+}
+
+func (t *fakeNet) setDown(host string, down bool) {
+	t.mu.Lock()
+	t.down[host] = down
+	t.mu.Unlock()
+}
+
+// newTestCluster boots n in-process nodes (n1, n2, …) behind a gateway
+// with active probing disabled — tests flip health explicitly.
+func newTestCluster(t *testing.T, n int, nodeOpts func(i int) server.Options) (*Gateway, *fakeNet, []string) {
+	t.Helper()
+	ft := &fakeNet{handlers: map[string]http.Handler{}, down: map[string]bool{}}
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		opts := server.Options{Parallelism: 2}
+		if nodeOpts != nil {
+			opts = nodeOpts(i)
+		}
+		opts.NodeID = fmt.Sprintf("n%d", i+1)
+		host := fmt.Sprintf("n%d.test", i+1)
+		srv := server.New(opts)
+		t.Cleanup(func() { _ = srv.Close(context.Background()) })
+		ft.handlers[host] = srv.Handler()
+		names[i] = "http://" + host
+	}
+	gw, err := New(Options{Nodes: names, Transport: ft, ProbeInterval: -1, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(gw.Close)
+	return gw, ft, names
+}
+
+// do runs one request through the gateway handler.
+func do(t *testing.T, h http.Handler, method, path, body string, header http.Header) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd *strings.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	} else {
+		rd = strings.NewReader("")
+	}
+	req := httptest.NewRequest(method, path, rd)
+	for k, vs := range header {
+		req.Header[k] = vs
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+const sweepBody = `{"kernel": "matmul", "n": 64, "params": [4, 8]}`
+
+// sweepBodyReordered is the same sweep, different JSON: field order and
+// whitespace must not change the routing key.
+const sweepBodyReordered = `{"params":[4,8],"n":64,  "kernel":"matmul"}`
+
+func TestGatewaySweepKeyAffinity(t *testing.T) {
+	gw, _, _ := newTestCluster(t, 3, nil)
+	h := gw.Handler()
+	var first string
+	for i, body := range []string{sweepBody, sweepBodyReordered, sweepBody} {
+		rec := do(t, h, "POST", "/v1/sweep", body, nil)
+		if rec.Code != 200 {
+			t.Fatalf("sweep %d = %d: %s", i, rec.Code, rec.Body.String())
+		}
+		node := rec.Header().Get(server.NodeHeader)
+		if node == "" {
+			t.Fatal("no node header on proxied response")
+		}
+		if first == "" {
+			first = node
+		} else if node != first {
+			t.Fatalf("equal sweeps split across nodes: %q then %q", first, node)
+		}
+	}
+
+	// Affinity is what preserves the memo hit rate cluster-wide: the
+	// second identical request must be a cache hit on the owner node.
+	rec := do(t, h, "GET", "/metrics", "", nil)
+	var roll Rollup
+	if err := json.Unmarshal(rec.Body.Bytes(), &roll); err != nil {
+		t.Fatal(err)
+	}
+	if roll.CacheHits < 2 {
+		t.Fatalf("cluster cache hits = %d after 3 equal sweeps, want >= 2", roll.CacheHits)
+	}
+}
+
+func TestGatewayJobAffinity(t *testing.T) {
+	gw, _, _ := newTestCluster(t, 3, func(i int) server.Options {
+		return server.Options{Parallelism: 2, StoreDir: t.TempDir()}
+	})
+	h := gw.Handler()
+
+	submit := `{"op": "analyze", "request": {"pe": {"c": 50e6, "io": 1e6, "m": 4096}, "computation": {"name": "fft"}}}`
+	rec := do(t, h, "POST", "/v1/jobs", submit, nil)
+	if rec.Code != 200 && rec.Code != 202 {
+		t.Fatalf("submit = %d: %s", rec.Code, rec.Body.String())
+	}
+	owner := rec.Header().Get(server.NodeHeader)
+	var st struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil || st.ID == "" {
+		t.Fatalf("submit body %q: %v", rec.Body.String(), err)
+	}
+
+	// Poll, result, and re-submit must all resolve to the owner.
+	for _, probe := range []struct{ method, path string }{
+		{"GET", "/v1/jobs/" + st.ID},
+		{"POST", ""}, // re-submit
+	} {
+		var r *httptest.ResponseRecorder
+		if probe.method == "POST" {
+			r = do(t, h, "POST", "/v1/jobs", submit, nil)
+		} else {
+			r = do(t, h, probe.method, probe.path, "", nil)
+		}
+		if r.Code >= 300 {
+			t.Fatalf("%s %s = %d: %s", probe.method, probe.path, r.Code, r.Body.String())
+		}
+		if got := r.Header().Get(server.NodeHeader); got != owner {
+			t.Fatalf("%s %s landed on %q, submit went to %q", probe.method, probe.path, got, owner)
+		}
+	}
+}
+
+func TestGatewayBatchScatterGather(t *testing.T) {
+	gw, _, _ := newTestCluster(t, 3, nil)
+	h := gw.Handler()
+
+	batch := `{"requests": [
+		{"op": "analyze", "request": {"pe": {"c": 50e6, "io": 1e6, "m": 4096}, "computation": {"name": "fft"}}},
+		{"op": "sweep", "request": ` + sweepBody + `},
+		{"op": "nonsense", "request": {}},
+		{"op": "rebalance", "request": {"computation": {"name": "matmul"}, "alpha": 4, "m_old": 1024}}
+	]}`
+	rec := do(t, h, "POST", "/v1/batch", batch, nil)
+	if rec.Code != 200 {
+		t.Fatalf("batch = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp server.BatchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 4 {
+		t.Fatalf("batch returned %d results, want 4", len(resp.Results))
+	}
+	// Request-order reassembly: item i answers op i.
+	for i, op := range []string{"analyze", "sweep", "nonsense", "rebalance"} {
+		if resp.Results[i].Op != op {
+			t.Fatalf("result %d is op %q, want %q (order lost)", i, resp.Results[i].Op, op)
+		}
+	}
+	for _, i := range []int{0, 1, 3} {
+		if resp.Results[i].Status != 200 {
+			t.Fatalf("item %d = %d: %v", i, resp.Results[i].Status, resp.Results[i].Error)
+		}
+	}
+	// The unknown op's envelope comes from a node, not the gateway.
+	if bad := resp.Results[2]; bad.Status == 200 || bad.Error == nil || bad.Error.Code != "unknown_op" {
+		t.Fatalf("unknown op item = %d %v, want a node's unknown_op envelope", bad.Status, bad.Error)
+	}
+
+	// Over the gateway's cap: refused whole, the nodes never see it.
+	over := `{"requests": [` + strings.Repeat(`{"op": "analyze", "request": {}},`, 64) +
+		`{"op": "analyze", "request": {}}]}`
+	rec = do(t, h, "POST", "/v1/batch", over, nil)
+	if rec.Code != 422 || !strings.Contains(rec.Body.String(), "batch_too_large") {
+		t.Fatalf("oversized batch = %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestGatewayBatchPartialFailure(t *testing.T) {
+	gw, ft, names := newTestCluster(t, 2, nil)
+	h := gw.Handler()
+
+	// Kill every node: items must come back as per-item envelopes under a
+	// 200, never a torn response.
+	for _, n := range names {
+		ft.setDown(strings.TrimPrefix(n, "http://"), true)
+	}
+	batch := `{"requests": [{"op": "analyze", "request": {"pe": {"c": 1, "io": 1, "m": 1}, "computation": {"name": "fft"}}}]}`
+	rec := do(t, h, "POST", "/v1/batch", batch, nil)
+	if rec.Code != 200 {
+		t.Fatalf("batch with dead cluster = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp server.BatchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 1 || resp.Results[0].Error == nil {
+		t.Fatalf("dead-cluster batch results: %s", rec.Body.String())
+	}
+	if code := resp.Results[0].Error.Code; code != "upstream_unreachable" && code != "no_nodes" {
+		t.Fatalf("dead-cluster item code = %q", code)
+	}
+}
+
+func TestGatewayKillDrillFailoverAndRejoin(t *testing.T) {
+	gw, ft, _ := newTestCluster(t, 3, nil)
+	h := gw.Handler()
+
+	rec := do(t, h, "POST", "/v1/sweep", sweepBody, nil)
+	if rec.Code != 200 {
+		t.Fatalf("sweep = %d", rec.Code)
+	}
+	owner := rec.Header().Get(server.NodeHeader)
+	ownerHost := owner + ".test"
+
+	// Kill the owner. The same key must fail over — passively, within
+	// the same request — to a survivor.
+	ft.setDown(ownerHost, true)
+	rec = do(t, h, "POST", "/v1/sweep", sweepBody, nil)
+	if rec.Code != 200 {
+		t.Fatalf("sweep after owner kill = %d: %s", rec.Code, rec.Body.String())
+	}
+	standby := rec.Header().Get(server.NodeHeader)
+	if standby == owner || standby == "" {
+		t.Fatalf("failover landed on %q (owner was %q)", standby, owner)
+	}
+	// Failover is sticky while the owner is down.
+	if rec = do(t, h, "POST", "/v1/sweep", sweepBody, nil); rec.Header().Get(server.NodeHeader) != standby {
+		t.Fatalf("key moved again while owner down")
+	}
+
+	// Revive and probe: ownership must return to the original node (the
+	// ring is deterministic in the member set).
+	ft.setDown(ownerHost, false)
+	gw.m.probeAll(context.Background(), gw.hc, gw.opts.ProbeTimeout)
+	rec = do(t, h, "POST", "/v1/sweep", sweepBody, nil)
+	if got := rec.Header().Get(server.NodeHeader); got != owner {
+		t.Fatalf("after rejoin key went to %q, want original owner %q", got, owner)
+	}
+}
+
+func TestGatewayReadyzReflectsMembership(t *testing.T) {
+	gw, ft, names := newTestCluster(t, 2, nil)
+	h := gw.Handler()
+	if rec := do(t, h, "GET", "/readyz", "", nil); rec.Code != 200 {
+		t.Fatalf("readyz = %d", rec.Code)
+	}
+	for _, n := range names {
+		ft.setDown(strings.TrimPrefix(n, "http://"), true)
+	}
+	gw.m.probeAll(context.Background(), gw.hc, gw.opts.ProbeTimeout)
+	rec := do(t, h, "GET", "/readyz", "", nil)
+	if rec.Code != 503 || !strings.Contains(rec.Body.String(), "no_nodes") {
+		t.Fatalf("readyz with dead cluster = %d: %s", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("503 readyz carries no Retry-After")
+	}
+}
+
+func TestGatewayTraceparentChildSpan(t *testing.T) {
+	// A bare recording handler (not a full node): capture what arrives.
+	var got string
+	ft := &fakeNet{handlers: map[string]http.Handler{
+		"n1.test": http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			got = r.Header.Get(obs.TraceparentHeader)
+			w.WriteHeader(200)
+		}),
+	}, down: map[string]bool{}}
+	gw, err := New(Options{Nodes: []string{"http://n1.test"}, Transport: ft, ProbeInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+
+	sent := obs.NewTraceparent(true)
+	hdr := http.Header{}
+	hdr.Set(obs.TraceparentHeader, sent)
+	do(t, gw.Handler(), "GET", "/v1/catalog", "", hdr)
+
+	if got == "" {
+		t.Fatal("node saw no traceparent")
+	}
+	if got == sent {
+		t.Fatal("gateway forwarded the client span verbatim; want a child span")
+	}
+	if !obs.SameTrace(sent, got) {
+		t.Fatalf("gateway re-minted the trace id: sent %q, node saw %q", sent, got)
+	}
+}
+
+func TestGatewayMergedIndex(t *testing.T) {
+	gw, _, _ := newTestCluster(t, 2, nil)
+	rec := do(t, gw.Handler(), "GET", "/v1/", "", nil)
+	if rec.Code != 200 {
+		t.Fatalf("index = %d", rec.Code)
+	}
+	var idx server.APIIndexResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &idx); err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]string{}
+	for _, rt := range idx.Routes {
+		byKey[rt.Method+" "+rt.Path] = rt.Description
+	}
+	// Node-only routes pass through the merge.
+	if _, ok := byKey["POST /v1/analyze"]; !ok {
+		t.Fatalf("merged index lost the node's analyze route: %v", byKey)
+	}
+	if _, ok := byKey["POST /v1/emulation"]; !ok {
+		t.Fatalf("merged index lost the node's emulation route: %v", byKey)
+	}
+	// Overlapping routes carry the gateway's cluster description.
+	if d := byKey["POST /v1/sweep"]; !strings.Contains(d, "ring") {
+		t.Fatalf("sweep description is not the gateway's: %q", d)
+	}
+	codes := map[string]bool{}
+	for _, c := range idx.ErrorCodes {
+		codes[c] = true
+	}
+	for _, want := range []string{"no_nodes", "upstream_unreachable", "bad_json"} {
+		if !codes[want] {
+			t.Fatalf("merged index error codes missing %q: %v", want, idx.ErrorCodes)
+		}
+	}
+}
+
+func TestGatewayMetricsRollup(t *testing.T) {
+	gw, _, _ := newTestCluster(t, 3, nil)
+	h := gw.Handler()
+	const n = 6
+	for i := 0; i < n; i++ {
+		body := fmt.Sprintf(`{"pe": {"c": 50e6, "io": 1e6, "m": %d}, "computation": {"name": "fft"}}`, 1024+i)
+		if rec := do(t, h, "POST", "/v1/analyze", body, nil); rec.Code != 200 {
+			t.Fatalf("analyze %d = %d", i, rec.Code)
+		}
+	}
+	rec := do(t, h, "GET", "/metrics", "", nil)
+	var roll Rollup
+	if err := json.Unmarshal(rec.Body.Bytes(), &roll); err != nil {
+		t.Fatal(err)
+	}
+	if roll.Cluster.Nodes != 3 || roll.Cluster.Healthy != 3 {
+		t.Fatalf("cluster section = %+v", roll.Cluster)
+	}
+	if got := roll.Requests["POST /v1/analyze"]; got != n {
+		t.Fatalf("aggregated analyze count = %d, want %d", got, n)
+	}
+	var proxied int64
+	for _, ns := range roll.Cluster.NodeStatus {
+		if !ns.Reporting {
+			t.Fatalf("node %s not reporting: %+v", ns.Name, ns)
+		}
+		proxied += ns.Proxied
+	}
+	if proxied < n {
+		t.Fatalf("gateway accounted %d proxied requests, want >= %d", proxied, n)
+	}
+
+	prom := do(t, h, "GET", "/metrics?format=prometheus", "", nil)
+	text := prom.Body.String()
+	for _, want := range []string{
+		"balarch_cluster_nodes 3",
+		"balarch_cluster_healthy_nodes 3",
+		`balarch_cluster_node_up{node="http://n1.test"} 1`,
+		"balarch_cluster_requests_total{",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("prometheus rollup missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestGatewayExperimentAffinityAndListing(t *testing.T) {
+	gw, _, _ := newTestCluster(t, 3, nil)
+	h := gw.Handler()
+
+	rec := do(t, h, "GET", "/v1/experiments", "", nil)
+	if rec.Code != 200 {
+		t.Fatalf("experiments = %d", rec.Code)
+	}
+	var list server.ExperimentsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Experiments) == 0 {
+		t.Fatal("scatter-gathered experiment list is empty")
+	}
+	id := list.Experiments[0].ID
+
+	var owner string
+	for i := 0; i < 3; i++ {
+		run := do(t, h, "POST", "/v1/experiments/"+id, "", nil)
+		if run.Code != 200 {
+			t.Fatalf("experiment run %d = %d: %s", i, run.Code, run.Body.String())
+		}
+		node := run.Header().Get(server.NodeHeader)
+		if owner == "" {
+			owner = node
+		} else if node != owner {
+			t.Fatalf("experiment %q moved: %q then %q", id, owner, node)
+		}
+	}
+}
+
+func TestGatewayEmulationViaCatchAll(t *testing.T) {
+	gw, _, _ := newTestCluster(t, 2, nil)
+	body := `{"c": 100e6, "computation": {"name": "fft"}, "modules": 4, "module_m": 65536, "module_bw": 1e6, "network_bw": 0.5e6}`
+	rec := do(t, gw.Handler(), "POST", "/v1/emulation", body, nil)
+	if rec.Code != 200 {
+		t.Fatalf("emulation via gateway = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp server.EmulationResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Modules != 4 || resp.EmulatedCapacity != 4*65536 {
+		t.Fatalf("emulation response %+v", resp)
+	}
+	if resp.Efficiency <= 0 || resp.Efficiency > 1 {
+		t.Fatalf("efficiency = %v, want (0, 1]", resp.Efficiency)
+	}
+}
+
+func BenchmarkGatewayProxyAnalyze(b *testing.B) {
+	ft := &fakeNet{handlers: map[string]http.Handler{
+		"n1.test": server.New(server.Options{Parallelism: 2}).Handler(),
+		"n2.test": server.New(server.Options{Parallelism: 2}).Handler(),
+	}, down: map[string]bool{}}
+	gw, err := New(Options{Nodes: []string{"http://n1.test", "http://n2.test"},
+		Transport: ft, ProbeInterval: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer gw.Close()
+	h := gw.Handler()
+	body := []byte(`{"pe": {"c": 50e6, "io": 1e6, "m": 4096}, "computation": {"name": "fft"}}`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", "/v1/analyze", strings.NewReader(string(body)))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Fatalf("analyze = %d", rec.Code)
+		}
+	}
+}

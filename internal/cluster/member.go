@@ -1,0 +1,219 @@
+package cluster
+
+// Membership and placement: each balarchd node is a Node with health
+// state and an in-flight counter; the healthy subset backs both the
+// consistent-hash ring (keyed traffic) and the power-of-two-choices
+// picker (keyless traffic). Health is decided actively — a prober polls
+// every node's /healthz and /readyz — and passively: a proxy transport
+// error ejects the node immediately, so a killed node stops receiving
+// traffic within one request, not one probe interval.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Node is one balarchd member as the gateway sees it.
+type Node struct {
+	// name is the node's base URL ("http://127.0.0.1:18091"), the
+	// identity the ring hashes and the prefix proxied requests use.
+	name string
+
+	// healthy gates placement: only healthy nodes are on the ring or in
+	// the two-choice pool.
+	healthy atomic.Bool
+
+	// inflight counts requests currently proxied to this node — the
+	// load signal the two-choice rule compares.
+	inflight atomic.Int64
+
+	// proxied and proxyErrors are the gateway's per-node traffic
+	// accounting, served by the /metrics rollup.
+	proxied     atomic.Int64
+	proxyErrors atomic.Int64
+}
+
+// Name returns the node's base URL.
+func (n *Node) Name() string { return n.name }
+
+// Healthy reports whether the node is in the serving set.
+func (n *Node) Healthy() bool { return n.healthy.Load() }
+
+// InFlight returns the node's current proxied in-flight count.
+func (n *Node) InFlight() int64 { return n.inflight.Load() }
+
+// membership owns the node set and the derived placement structures.
+// The node list is fixed at construction (the gateway is told its
+// cluster); only health flips, and each flip rebuilds the ring and the
+// healthy list under mu.
+type membership struct {
+	replicas int
+	nodes    []*Node
+	byName   map[string]*Node
+
+	mu      sync.Mutex
+	ring    atomic.Pointer[Ring]
+	healthy atomic.Pointer[[]*Node]
+
+	// p2cSeq drives the two-choice picker's index draws: an atomic
+	// counter through the splitmix finalizer is a lock-free uniform
+	// sequence, which is all "two independent random choices" needs.
+	p2cSeq atomic.Uint64
+}
+
+// newMembership builds the node set with every node optimistically
+// healthy (the first probe round corrects within one interval; starting
+// pessimistic would make a freshly booted gateway refuse traffic it
+// could serve).
+func newMembership(replicas int, names []string) (*membership, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("cluster: at least one node is required")
+	}
+	m := &membership{
+		replicas: replicas,
+		byName:   make(map[string]*Node, len(names)),
+	}
+	for _, name := range names {
+		if name == "" {
+			return nil, fmt.Errorf("cluster: empty node name")
+		}
+		if _, dup := m.byName[name]; dup {
+			return nil, fmt.Errorf("cluster: duplicate node %q", name)
+		}
+		n := &Node{name: name}
+		n.healthy.Store(true)
+		m.nodes = append(m.nodes, n)
+		m.byName[name] = n
+	}
+	m.rebuild()
+	return m, nil
+}
+
+// rebuild recomputes the ring and the healthy list from current health
+// bits. Callers hold no lock; rebuild takes mu so concurrent flips
+// serialize (lookups stay lock-free on the atomic pointers).
+func (m *membership) rebuild() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.nodes))
+	healthy := make([]*Node, 0, len(m.nodes))
+	for _, n := range m.nodes {
+		if n.healthy.Load() {
+			names = append(names, n.name)
+			healthy = append(healthy, n)
+		}
+	}
+	m.ring.Store(NewRing(m.replicas, names))
+	m.healthy.Store(&healthy)
+}
+
+// setHealthy flips one node's health bit, rebuilding placement on a
+// change. Returns true when the bit actually changed.
+func (m *membership) setHealthy(n *Node, ok bool) bool {
+	if n.healthy.Swap(ok) == ok {
+		return false
+	}
+	m.rebuild()
+	return true
+}
+
+// owner returns the healthy node owning key, or nil when no node is
+// healthy. Keys always resolve against the healthy ring: a key whose
+// owner was ejected deterministically remaps to a surviving node (and
+// maps back when the owner rejoins).
+func (m *membership) owner(key []byte) *Node {
+	name := m.ring.Load().Owner(key)
+	if name == "" {
+		return nil
+	}
+	return m.byName[name]
+}
+
+// ownerString is owner for string keys (job ids from the URL path).
+func (m *membership) ownerString(key string) *Node {
+	name := m.ring.Load().OwnerString(key)
+	if name == "" {
+		return nil
+	}
+	return m.byName[name]
+}
+
+// pick places one keyless request: two independent uniform choices among
+// the healthy nodes, take the one with fewer requests in flight. Returns
+// nil when no node is healthy.
+func (m *membership) pick() *Node {
+	healthy := *m.healthy.Load()
+	switch len(healthy) {
+	case 0:
+		return nil
+	case 1:
+		return healthy[0]
+	}
+	r := mix64(m.p2cSeq.Add(1))
+	i := int(r % uint64(len(healthy)))
+	j := int((r >> 32) % uint64(len(healthy)-1))
+	if j >= i {
+		j++ // j is drawn from the remaining n-1 slots: always a distinct pair
+	}
+	a, b := healthy[i], healthy[j]
+	if b.inflight.Load() < a.inflight.Load() {
+		return b
+	}
+	return a
+}
+
+// healthySnapshot returns the healthy nodes (shared slice; read-only).
+func (m *membership) healthySnapshot() []*Node { return *m.healthy.Load() }
+
+// --- active probing ---
+
+// probe checks one node: /healthz answers 200 (liveness) and /readyz
+// answers 200 (not draining). A draining node fails readiness on
+// purpose — graceful shutdown flips /readyz before the listener closes,
+// so the prober ejects it while its in-flight work completes.
+func probe(ctx context.Context, hc *http.Client, node *Node, timeout time.Duration) bool {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	for _, path := range [...]string{"/healthz", "/readyz"} {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, node.name+path, nil)
+		if err != nil {
+			return false
+		}
+		resp, err := hc.Do(req)
+		if err != nil {
+			return false
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return false
+		}
+	}
+	return true
+}
+
+// probeAll probes every node concurrently and applies the verdicts.
+// Returns the number of healthy nodes after the round.
+func (m *membership) probeAll(ctx context.Context, hc *http.Client, timeout time.Duration) int {
+	var wg sync.WaitGroup
+	verdicts := make([]bool, len(m.nodes))
+	for i, n := range m.nodes {
+		wg.Add(1)
+		go func(i int, n *Node) {
+			defer wg.Done()
+			verdicts[i] = probe(ctx, hc, n, timeout)
+		}(i, n)
+	}
+	wg.Wait()
+	healthy := 0
+	for i, n := range m.nodes {
+		m.setHealthy(n, verdicts[i])
+		if verdicts[i] {
+			healthy++
+		}
+	}
+	return healthy
+}

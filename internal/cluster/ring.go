@@ -1,0 +1,164 @@
+// Package cluster is the multi-node tier of balance-as-a-service: a
+// stdlib-only gateway that presents N balarchd nodes as one big service —
+// the paper's balance discipline applied to the service itself (compute,
+// memory, and I/O must scale together, so one node's sweep memo and job
+// queue become N nodes' sweep memos and job queues behind one address).
+//
+// Placement follows the two papers the design leans on. Keyed traffic —
+// sweep bodies addressed by their canonical memo key, jobs addressed by
+// their content-derived id — rides a consistent-hash ring with replicated
+// virtual nodes, so each key lives on exactly one node and the
+// cross-request sweep memo keeps its hit rate cluster-wide (Hanlon's
+// emulation: N small memories presented as one large one). Keyless
+// traffic (analyze/rebalance/roofline/catalog) is placed by
+// power-of-two-choices over per-node in-flight counters
+// (Benjamini–Makarychev: two random choices keep the maximum load within
+// O(log log n) of optimal at a fraction of the bookkeeping of
+// join-shortest-queue). Batches and experiment listings scatter-gather
+// across the membership on an engine.Pool with request-order reassembly
+// and per-item partial-failure envelopes.
+package cluster
+
+import "sort"
+
+// defaultReplicas is the virtual-node count per member: enough points
+// that one node's share of the key space has ~1/√128 ≈ 9% relative
+// spread, few enough that a membership change rebuilds in microseconds.
+const defaultReplicas = 128
+
+// Ring is an immutable consistent-hash ring over a set of node names
+// (base URLs, here) with replicated virtual points. Membership changes
+// build a new Ring — lookups are lock-free and allocation-free, which is
+// what the gateway's proxy hot path needs.
+type Ring struct {
+	nodes  []string
+	points []ringPoint // sorted by hash
+}
+
+// ringPoint is one virtual node: a position on the 64-bit ring and the
+// index of the member that owns it.
+type ringPoint struct {
+	hash uint64
+	node int32
+}
+
+// NewRing builds a ring with `replicas` virtual points per node (≤ 0
+// means the 128 default). Node order does not matter: the point set —
+// and therefore every ownership decision — depends only on the node
+// names, which is what makes two gateways in front of the same cluster
+// agree without coordination.
+func NewRing(replicas int, nodes []string) *Ring {
+	if replicas <= 0 {
+		replicas = defaultReplicas
+	}
+	r := &Ring{
+		nodes:  append([]string(nil), nodes...),
+		points: make([]ringPoint, 0, replicas*len(nodes)),
+	}
+	for i, n := range r.nodes {
+		h := hashString(n)
+		for v := 0; v < replicas; v++ {
+			// Each virtual point re-mixes the node hash with the replica
+			// index; mix64 is a full-avalanche finalizer, so the points
+			// scatter uniformly however similar the node names are.
+			r.points = append(r.points, ringPoint{
+				hash: mix64(h ^ (uint64(v+1) * 0x9e3779b97f4a7c15)),
+				node: int32(i),
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Hash ties (astronomically rare) break on node index so the
+		// ring is deterministic whatever the input order.
+		return r.points[a].node < r.points[b].node
+	})
+	return r
+}
+
+// Nodes returns the ring's member names (a copy).
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Owner returns the node that owns key: the member whose first virtual
+// point at or after hash(key) on the ring (wrapping) is nearest. It is
+// allocation-free — one hash and one binary search — and returns "" only
+// on an empty ring.
+func (r *Ring) Owner(key []byte) string {
+	i := r.ownerIndex(hashBytes(key))
+	if i < 0 {
+		return ""
+	}
+	return r.nodes[i]
+}
+
+// OwnerString is Owner for a string key, equally allocation-free (the
+// hash walks the string directly; no []byte conversion).
+func (r *Ring) OwnerString(key string) string {
+	i := r.ownerIndex(hashString(key))
+	if i < 0 {
+		return ""
+	}
+	return r.nodes[i]
+}
+
+// ownerIndex finds the owning member index for a key hash: the first
+// point clockwise from h, wrapping to the first point past the top.
+func (r *Ring) ownerIndex(h uint64) int {
+	if len(r.points) == 0 {
+		return -1
+	}
+	// Binary search for the first point with hash >= h.
+	lo, hi := 0, len(r.points)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.points[mid].hash < h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(r.points) {
+		lo = 0
+	}
+	return int(r.points[lo].node)
+}
+
+// --- hashing ---
+
+// hashBytes is FNV-1a 64 with a mix64 finalizer: FNV alone clusters on
+// short common-prefix keys (every sweep key starts "sweep/"), the
+// finalizer restores full avalanche.
+func hashBytes(b []byte) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 0x100000001b3
+	}
+	return mix64(h)
+}
+
+// hashString is hashBytes over a string without conversion.
+func hashString(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return mix64(h)
+}
+
+// mix64 is the splitmix64 finalizer: a cheap bijection with full
+// avalanche, the standard fix for structured hash inputs.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

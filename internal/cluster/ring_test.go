@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// ringNodes builds n distinct node names.
+func ringNodes(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("http://10.0.0.%d:8080", i+1)
+	}
+	return names
+}
+
+func TestRingDeterministic(t *testing.T) {
+	nodes := ringNodes(5)
+	a := NewRing(0, nodes)
+	// Same set in a different order must produce identical ownership —
+	// two gateways in front of one cluster agree without coordination.
+	shuffled := append([]string(nil), nodes...)
+	rand.New(rand.NewSource(1)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	b := NewRing(0, shuffled)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("sweep/matmul/%d", i)
+		if a.OwnerString(key) != b.OwnerString(key) {
+			t.Fatalf("ownership depends on node order: key %q -> %q vs %q",
+				key, a.OwnerString(key), b.OwnerString(key))
+		}
+		if a.OwnerString(key) != a.Owner([]byte(key)) {
+			t.Fatalf("Owner and OwnerString disagree on %q", key)
+		}
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(0, nil)
+	if got := r.OwnerString("anything"); got != "" {
+		t.Fatalf(`empty ring owner = %q, want ""`, got)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("empty ring Len = %d", r.Len())
+	}
+}
+
+func TestRingSpread(t *testing.T) {
+	nodes := ringNodes(4)
+	r := NewRing(0, nodes)
+	counts := map[string]int{}
+	const keys = 20000
+	for i := 0; i < keys; i++ {
+		counts[r.OwnerString(fmt.Sprintf("j%016x", i))]++
+	}
+	// 128 virtual points per node keep the relative spread near 1/√128;
+	// accept anything within ±50% of the fair share — a badly broken hash
+	// (prefix clustering, say) lands far outside this.
+	fair := keys / len(nodes)
+	for _, n := range nodes {
+		if counts[n] < fair/2 || counts[n] > fair*3/2 {
+			t.Fatalf("node %s owns %d of %d keys (fair share %d): spread too skewed\n%v",
+				n, counts[n], keys, fair, counts)
+		}
+	}
+}
+
+// TestRingRemovalStability is the consistent-hashing contract, as a
+// testing/quick property: removing one of N nodes (1) never remaps a key
+// between two surviving nodes, and (2) remaps roughly the lost node's
+// share — at most keys/N plus slack for hash variance.
+func TestRingRemovalStability(t *testing.T) {
+	prop := func(nodeCount uint8, seed int64) bool {
+		n := int(nodeCount%6) + 2 // 2..7 nodes
+		nodes := ringNodes(n)
+		full := NewRing(0, nodes)
+
+		rng := rand.New(rand.NewSource(seed))
+		removed := nodes[rng.Intn(n)]
+		survivors := make([]string, 0, n-1)
+		for _, name := range nodes {
+			if name != removed {
+				survivors = append(survivors, name)
+			}
+		}
+		reduced := NewRing(0, survivors)
+
+		const keys = 4000
+		remapped := 0
+		for i := 0; i < keys; i++ {
+			key := fmt.Sprintf("sweep/%d/%d", seed, i)
+			before, after := full.OwnerString(key), reduced.OwnerString(key)
+			if before != removed {
+				if after != before {
+					t.Logf("key %q remapped between survivors: %q -> %q", key, before, after)
+					return false
+				}
+				continue
+			}
+			remapped++
+		}
+		// The removed node's expected share is keys/n; allow generous
+		// variance slack (the per-node spread is ~9% relative at 128
+		// replicas, and quick tries many (n, seed) pairs).
+		limit := keys/n + keys/(2*n)
+		if remapped > limit {
+			t.Logf("removing 1 of %d nodes remapped %d of %d keys (limit %d)",
+				n, remapped, keys, limit)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingRejoinRestoresOwnership(t *testing.T) {
+	nodes := ringNodes(3)
+	full := NewRing(0, nodes)
+	reduced := NewRing(0, nodes[:2])
+	rejoined := NewRing(0, nodes)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("j%032x", i)
+		if full.OwnerString(key) != rejoined.OwnerString(key) {
+			t.Fatalf("rejoin did not restore ownership of %q", key)
+		}
+		_ = reduced.OwnerString(key) // the interim ring must also answer
+	}
+}
+
+// FuzzRingKey drives arbitrary keys through both lookup paths: they must
+// agree byte-for-byte, always land on a member, and be stable call to
+// call.
+func FuzzRingKey(f *testing.F) {
+	f.Add([]byte("sweep/matmul/64"))
+	f.Add([]byte("j0123456789abcdef"))
+	f.Add([]byte(""))
+	f.Add([]byte{0xff, 0x00, 0xfe})
+	nodes := ringNodes(5)
+	ring := NewRing(0, nodes)
+	members := map[string]bool{}
+	for _, n := range nodes {
+		members[n] = true
+	}
+	f.Fuzz(func(t *testing.T, key []byte) {
+		owner := ring.Owner(key)
+		if !members[owner] {
+			t.Fatalf("Owner(%q) = %q, not a member", key, owner)
+		}
+		if s := ring.OwnerString(string(key)); s != owner {
+			t.Fatalf("OwnerString(%q) = %q, Owner = %q", key, s, owner)
+		}
+		if again := ring.Owner(key); again != owner {
+			t.Fatalf("Owner(%q) unstable: %q then %q", key, owner, again)
+		}
+	})
+}
+
+func BenchmarkRingOwner(b *testing.B) {
+	ring := NewRing(0, ringNodes(8))
+	key := []byte("sweep/matmul/hierarchy/c=1e9/l0=4096;1e9/l1=262144;1e8/64")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ring.Owner(key) == "" {
+			b.Fatal("no owner")
+		}
+	}
+}

@@ -1,0 +1,295 @@
+package cluster
+
+// The cluster /metrics rollup: every node's Snapshot fetched in
+// parallel, summed into one Snapshot-shaped aggregate, plus a cluster
+// section with per-node health and the gateway's own traffic counters.
+// Embedding server.Snapshot keeps the rollup's flat keys identical to a
+// node's, so anything that reads node metrics — the loadgen drain gate,
+// dashboards — reads gateway metrics unchanged.
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"balarch/internal/obs"
+	"balarch/internal/server"
+)
+
+// NodeStatus is one member's row in the cluster section.
+type NodeStatus struct {
+	Name     string `json:"name"`
+	Healthy  bool   `json:"healthy"`
+	InFlight int64  `json:"in_flight"`
+	// Proxied and Errors are the gateway's own accounting: requests
+	// relayed to the node and transport failures against it.
+	Proxied int64 `json:"proxied_total"`
+	Errors  int64 `json:"proxy_errors_total"`
+	// Reporting marks whether this rollup includes the node's snapshot
+	// (a healthy node can still miss one scrape).
+	Reporting bool `json:"reporting"`
+}
+
+// ClusterInfo is the rollup's cluster section.
+type ClusterInfo struct {
+	Nodes                int          `json:"nodes"`
+	Healthy              int          `json:"healthy"`
+	GatewayUptimeSeconds float64      `json:"gateway_uptime_seconds"`
+	NodeStatus           []NodeStatus `json:"node_status"`
+}
+
+// Rollup is the gateway's GET /metrics body: a node-shaped Snapshot
+// aggregated across the cluster, plus the cluster section.
+type Rollup struct {
+	server.Snapshot
+	Cluster ClusterInfo `json:"cluster"`
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	nodes, bodies := g.nodeGet(r.Context(), r.Header, "/metrics")
+	var snaps []server.Snapshot
+	reporting := make(map[*Node]bool, len(nodes))
+	for i, data := range bodies {
+		if data == nil {
+			continue
+		}
+		var s server.Snapshot
+		if json.Unmarshal(data, &s) != nil {
+			continue
+		}
+		reporting[nodes[i]] = true
+		snaps = append(snaps, s)
+	}
+	roll := Rollup{
+		Snapshot: aggregateSnapshots(snaps),
+		Cluster: ClusterInfo{
+			Nodes:                len(g.m.nodes),
+			Healthy:              len(g.m.healthySnapshot()),
+			GatewayUptimeSeconds: time.Since(g.start).Seconds(),
+		},
+	}
+	for _, n := range g.m.nodes {
+		roll.Cluster.NodeStatus = append(roll.Cluster.NodeStatus, NodeStatus{
+			Name:      n.name,
+			Healthy:   n.healthy.Load(),
+			InFlight:  n.inflight.Load(),
+			Proxied:   n.proxied.Load(),
+			Errors:    n.proxyErrors.Load(),
+			Reporting: reporting[n],
+		})
+	}
+	if r.URL.Query().Get("format") == "prometheus" {
+		g.writePromRollup(w, &roll)
+		return
+	}
+	g.writeJSON(w, http.StatusOK, roll)
+}
+
+// aggregateSnapshots sums node snapshots into one cluster view:
+// counters and maps sum, histograms add bucket-wise (every node buckets
+// on the same bounds), quantiles take the cluster-conservative maximum
+// (a summed histogram cannot be re-quantiled without raw counts per
+// route — max is honest: no route is slower than its slowest node),
+// and uptime is the oldest node's.
+func aggregateSnapshots(snaps []server.Snapshot) server.Snapshot {
+	agg := server.Snapshot{
+		Requests:      map[string]int64{},
+		RouteLatency:  map[string]server.RouteLatency{},
+		StatusClasses: map[string]int64{},
+	}
+	var totalReq int64
+	var latWeighted float64
+	for _, s := range snaps {
+		if s.UptimeSeconds > agg.UptimeSeconds {
+			agg.UptimeSeconds = s.UptimeSeconds
+		}
+		agg.InFlight += s.InFlight
+		agg.Panics += s.Panics
+		agg.CacheHits += s.CacheHits
+		agg.CacheMisses += s.CacheMisses
+		agg.StoreHits += s.StoreHits
+		agg.StoreMisses += s.StoreMisses
+		agg.StoreBytes += s.StoreBytes
+		agg.StoreEntries += s.StoreEntries
+		agg.JobsQueued += s.JobsQueued
+		agg.JobsRunning += s.JobsRunning
+		agg.JobsDone += s.JobsDone
+		agg.JobsFailed += s.JobsFailed
+		agg.JobsCanceled += s.JobsCanceled
+		agg.JobsReplayed += s.JobsReplayed
+		agg.SchedPicks += s.SchedPicks
+		agg.SchedSkips += s.SchedSkips
+		agg.SchedMaxWaitPicks += s.SchedMaxWaitPicks
+		agg.SchedDrainBPS += s.SchedDrainBPS
+		agg.SchedRunningBytes += s.SchedRunningBytes
+		if agg.SchedPolicy == "" {
+			agg.SchedPolicy = s.SchedPolicy
+		}
+		if agg.SchedSelfState == "" || agg.SchedSelfState == "idle" {
+			// The cluster is "idle" only when every node is.
+			if s.SchedSelfState != "" {
+				agg.SchedSelfState = s.SchedSelfState
+			}
+		}
+		for route, n := range s.Requests {
+			agg.Requests[route] += n
+		}
+		for class, n := range s.StatusClasses {
+			agg.StatusClasses[class] += n
+		}
+		for route, rl := range s.RouteLatency {
+			cur := agg.RouteLatency[route]
+			merged := server.RouteLatency{Count: cur.Count + rl.Count}
+			if cur.Count+rl.Count > 0 {
+				merged.MeanSeconds = (cur.MeanSeconds*float64(cur.Count) +
+					rl.MeanSeconds*float64(rl.Count)) / float64(cur.Count+rl.Count)
+			}
+			merged.P50Seconds = maxF(cur.P50Seconds, rl.P50Seconds)
+			merged.P95Seconds = maxF(cur.P95Seconds, rl.P95Seconds)
+			merged.P99Seconds = maxF(cur.P99Seconds, rl.P99Seconds)
+			merged.MaxSeconds = maxF(cur.MaxSeconds, rl.MaxSeconds)
+			agg.RouteLatency[route] = merged
+		}
+		var nodeReq int64
+		for _, n := range s.Requests {
+			nodeReq += n
+		}
+		totalReq += nodeReq
+		latWeighted += s.LatencyMean * float64(nodeReq)
+		if agg.LatencyBuckets == nil {
+			agg.LatencyBuckets = append([]server.HistogramBucket(nil), s.LatencyBuckets...)
+		} else if len(agg.LatencyBuckets) == len(s.LatencyBuckets) {
+			for i := range agg.LatencyBuckets {
+				agg.LatencyBuckets[i].Count += s.LatencyBuckets[i].Count
+			}
+		}
+		for name, ts := range s.Tenants {
+			if agg.Tenants == nil {
+				agg.Tenants = map[string]server.TenantSnapshot{}
+			}
+			cur := agg.Tenants[name]
+			cur.Requests += ts.Requests
+			cur.RateLimited += ts.RateLimited
+			cur.OverBudget += ts.OverBudget
+			cur.JobMemInUse += ts.JobMemInUse
+			cur.JobMemBudget += ts.JobMemBudget
+			cur.SchedServed += ts.SchedServed
+			agg.Tenants[name] = cur
+		}
+	}
+	if totalReq > 0 {
+		agg.LatencyMean = latWeighted / float64(totalReq)
+	}
+	if lookups := agg.CacheHits + agg.CacheMisses; lookups > 0 {
+		agg.CacheHitRate = float64(agg.CacheHits) / float64(lookups)
+	}
+	return agg
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// writePromRollup renders the rollup as Prometheus text: the cluster
+// gauges, per-node health and traffic, and the aggregate counters the
+// JSON body carries — through the same zero-intermediate PromEnc the
+// nodes use.
+func (g *Gateway) writePromRollup(w http.ResponseWriter, roll *Rollup) {
+	bb := getBuf()
+	defer putBuf(bb)
+	e := obs.PromEnc{B: bb.b[:0]}
+
+	e.Header("balarch_cluster_nodes", "Configured cluster members.", "gauge")
+	e.Begin("balarch_cluster_nodes")
+	e.Int(int64(roll.Cluster.Nodes))
+	e.Header("balarch_cluster_healthy_nodes", "Members currently in the serving set.", "gauge")
+	e.Begin("balarch_cluster_healthy_nodes")
+	e.Int(int64(roll.Cluster.Healthy))
+	e.Header("balarch_gateway_uptime_seconds", "Gateway uptime.", "gauge")
+	e.Begin("balarch_gateway_uptime_seconds")
+	e.Value(roll.Cluster.GatewayUptimeSeconds)
+
+	e.Header("balarch_cluster_node_up", "Per-node health as seen by the gateway.", "gauge")
+	for _, ns := range roll.Cluster.NodeStatus {
+		e.Begin("balarch_cluster_node_up")
+		e.Label("node", ns.Name)
+		if ns.Healthy {
+			e.Int(1)
+		} else {
+			e.Int(0)
+		}
+	}
+	e.Header("balarch_cluster_node_in_flight", "Requests the gateway currently has in flight per node.", "gauge")
+	for _, ns := range roll.Cluster.NodeStatus {
+		e.Begin("balarch_cluster_node_in_flight")
+		e.Label("node", ns.Name)
+		e.Int(ns.InFlight)
+	}
+	e.Header("balarch_gateway_proxied_total", "Requests relayed per node.", "counter")
+	for _, ns := range roll.Cluster.NodeStatus {
+		e.Begin("balarch_gateway_proxied_total")
+		e.Label("node", ns.Name)
+		e.Int(ns.Proxied)
+	}
+	e.Header("balarch_gateway_proxy_errors_total", "Transport failures per node.", "counter")
+	for _, ns := range roll.Cluster.NodeStatus {
+		e.Begin("balarch_gateway_proxy_errors_total")
+		e.Label("node", ns.Name)
+		e.Int(ns.Errors)
+	}
+
+	e.Header("balarch_cluster_requests_total", "Completed requests summed across nodes, by route.", "counter")
+	for route, n := range roll.Requests {
+		e.Begin("balarch_cluster_requests_total")
+		e.Label("route", route)
+		e.Int(n)
+	}
+	e.Header("balarch_cluster_sweep_cache_hits_total", "Sweep memo hits summed across nodes.", "counter")
+	e.Begin("balarch_cluster_sweep_cache_hits_total")
+	e.Int(roll.CacheHits)
+	e.Header("balarch_cluster_sweep_cache_misses_total", "Sweep memo misses summed across nodes.", "counter")
+	e.Begin("balarch_cluster_sweep_cache_misses_total")
+	e.Int(roll.CacheMisses)
+	e.Header("balarch_cluster_jobs", "Cluster job gauges by state.", "gauge")
+	for _, st := range [...]struct {
+		name string
+		v    int64
+	}{
+		{"queued", roll.JobsQueued}, {"running", roll.JobsRunning},
+		{"done", roll.JobsDone}, {"failed", roll.JobsFailed},
+		{"canceled", roll.JobsCanceled},
+	} {
+		e.Begin("balarch_cluster_jobs")
+		e.Label("state", st.name)
+		e.Int(st.v)
+	}
+
+	if n := len(roll.LatencyBuckets); n > 0 {
+		bounds := make([]float64, 0, n)
+		counts := make([]int64, 0, n)
+		var over int64
+		for _, hb := range roll.LatencyBuckets {
+			if hb.LeSeconds < 0 {
+				over = hb.Count
+				continue
+			}
+			bounds = append(bounds, hb.LeSeconds)
+			counts = append(counts, hb.Count)
+		}
+		var totalReq int64
+		for _, c := range roll.Requests {
+			totalReq += c
+		}
+		e.Header("balarch_cluster_request_seconds", "Request latency summed across nodes.", "histogram")
+		e.Histogram("balarch_cluster_request_seconds", "", "",
+			bounds, counts, over, roll.LatencyMean*float64(totalReq))
+	}
+
+	bb.b = e.B
+	w.Header().Set("Content-Type", obs.PromContentType)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(e.B)
+}

@@ -1,0 +1,386 @@
+package cluster
+
+// Scatter-gather: the gateway operations that touch more than one node.
+// Fan-out rides engine.Pool — the same deterministic request-order pool
+// the nodes use for batch and sweeps — so results reassemble in request
+// order whatever order the nodes answer, and one dead node degrades to
+// a per-item (or per-node) failure envelope instead of failing the call.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"balarch/internal/engine"
+	"balarch/internal/server"
+)
+
+// handleBatch fans POST /v1/batch items across the cluster: sweep items
+// ring-route to their memo owner, everything else places by two-choice
+// load. Each item travels as a single-item batch to its node, so the
+// per-item status/body/error envelope is byte-compatible with what the
+// node's own batch handler would have produced — including every 4xx the
+// node's validation emits. Results return in request order.
+//
+// A body the gateway cannot decode (malformed, empty list) forwards
+// whole to one node: the node owns the canonical error envelopes and the
+// gateway must not fork them.
+func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
+	body, ok := g.readBody(w, r)
+	if !ok {
+		return
+	}
+	defer putBuf(body)
+	var req server.BatchRequest
+	dec := json.NewDecoder(bytes.NewReader(body.b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil || dec.More() || len(req.Requests) == 0 {
+		g.forwardBody(w, r, body.b, g.m.pick, false)
+		return
+	}
+	if len(req.Requests) > g.opts.MaxBatch {
+		g.writeError(w, http.StatusUnprocessableEntity, "batch_too_large",
+			"batch of "+strconv.Itoa(len(req.Requests))+" exceeds the limit of "+strconv.Itoa(g.opts.MaxBatch), 0)
+		return
+	}
+	jobs := make([]engine.Job[server.BatchResult], len(req.Requests))
+	for i, item := range req.Requests {
+		item := item
+		jobs[i] = engine.Job[server.BatchResult]{Run: func(ctx context.Context) (server.BatchResult, error) {
+			return g.batchItem(ctx, r.Header, item), nil
+		}}
+	}
+	pool := engine.Pool[server.BatchResult]{Parallelism: g.opts.Parallelism}
+	results, err := pool.Run(r.Context(), jobs)
+	if err != nil {
+		// Items never error; this is context death (client gone or
+		// deadline). 503 with retry matches the nodes' cancellation shape.
+		g.writeError(w, http.StatusServiceUnavailable, "cancelled", err.Error(), 1)
+		return
+	}
+	g.writeJSON(w, http.StatusOK, server.BatchResponse{Results: results})
+}
+
+// batchItem runs one batch item on its chosen node as a single-item
+// batch and lifts the node's per-item result out of the response.
+func (g *Gateway) batchItem(ctx context.Context, inHeader http.Header, item server.BatchItem) server.BatchResult {
+	pick := g.m.pick
+	if item.Op == "sweep" {
+		if key, ok := server.RouteKeyForSweep(item.Request); ok {
+			pick = func() *Node { return g.m.ownerString(key) }
+		}
+	}
+	sub, err := json.Marshal(server.BatchRequest{Requests: []server.BatchItem{item}})
+	if err != nil {
+		return server.BatchResult{Op: item.Op, Status: http.StatusInternalServerError,
+			Error: &server.ErrorBody{Code: "internal", Message: err.Error()}}
+	}
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		n := pick()
+		if n == nil {
+			return server.BatchResult{Op: item.Op, Status: http.StatusServiceUnavailable,
+				Error: &server.ErrorBody{Code: "no_nodes", Message: "no healthy node in the cluster"}}
+		}
+		resp, err := g.roundTrip(ctx, n, http.MethodPost, "/v1/batch", inHeader, sub)
+		if err != nil {
+			lastErr = err
+			g.eject(n, err)
+			continue
+		}
+		res, ok := decodeBatchSingle(resp, item.Op)
+		if ok {
+			return res
+		}
+		lastErr = errUnexpectedBody
+	}
+	msg := "cluster nodes unreachable"
+	if lastErr != nil {
+		msg += ": " + lastErr.Error()
+	}
+	return server.BatchResult{Op: item.Op, Status: http.StatusBadGateway,
+		Error: &server.ErrorBody{Code: "upstream_unreachable", Message: msg}}
+}
+
+var errUnexpectedBody = &unexpectedBodyError{}
+
+type unexpectedBodyError struct{}
+
+func (*unexpectedBodyError) Error() string { return "node returned an undecodable batch response" }
+
+// decodeBatchSingle extracts the single item result from a node's batch
+// response. A non-200 wraps the node's whole-batch refusal (bad auth,
+// draining…) into the item's envelope so the item still reports truth.
+func decodeBatchSingle(resp *http.Response, op string) (server.BatchResult, bool) {
+	defer resp.Body.Close()
+	data, err := readAll(resp.Body)
+	if err != nil {
+		return server.BatchResult{}, false
+	}
+	if resp.StatusCode != http.StatusOK {
+		var env struct {
+			Error server.ErrorBody `json:"error"`
+		}
+		if json.Unmarshal(data, &env) != nil || env.Error.Code == "" {
+			return server.BatchResult{}, false
+		}
+		return server.BatchResult{Op: op, Status: resp.StatusCode, Error: &env.Error}, true
+	}
+	var br server.BatchResponse
+	if json.Unmarshal(data, &br) != nil || len(br.Results) != 1 {
+		return server.BatchResult{}, false
+	}
+	return br.Results[0], true
+}
+
+// --- node fan-out ---
+
+// nodeGet fans one GET to every healthy node and returns each node's
+// body (nil for a node that failed; the caller decides whether partial
+// coverage is acceptable). Order matches the healthy snapshot.
+func (g *Gateway) nodeGet(ctx context.Context, inHeader http.Header, uri string) ([]*Node, [][]byte) {
+	nodes := g.m.healthySnapshot()
+	jobs := make([]engine.Job[[]byte], len(nodes))
+	for i, n := range nodes {
+		n := n
+		jobs[i] = engine.Job[[]byte]{Run: func(ctx context.Context) ([]byte, error) {
+			resp, err := g.roundTrip(ctx, n, http.MethodGet, uri, inHeader, nil)
+			if err != nil {
+				g.eject(n, err)
+				return nil, nil
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return nil, nil
+			}
+			data, err := readAll(resp.Body)
+			if err != nil {
+				return nil, nil
+			}
+			return data, nil
+		}}
+	}
+	pool := engine.Pool[[]byte]{Parallelism: g.opts.Parallelism}
+	bodies, err := pool.Run(ctx, jobs)
+	if err != nil {
+		return nodes, make([][]byte, len(nodes))
+	}
+	return nodes, bodies
+}
+
+// handleExperimentList unions GET /v1/experiments across the cluster.
+// Every node compiles the same registry, so the union is a consistency
+// statement more than a merge; first-seen order (by id) is kept.
+func (g *Gateway) handleExperimentList(w http.ResponseWriter, r *http.Request) {
+	nodes, bodies := g.nodeGet(r.Context(), r.Header, "/v1/experiments")
+	if len(nodes) == 0 {
+		g.writeError(w, http.StatusServiceUnavailable, "no_nodes",
+			"no healthy node in the cluster", 1)
+		return
+	}
+	seen := make(map[string]bool)
+	merged := server.ExperimentsResponse{Experiments: []server.ExperimentInfo{}}
+	any := false
+	for _, data := range bodies {
+		if data == nil {
+			continue
+		}
+		var one server.ExperimentsResponse
+		if json.Unmarshal(data, &one) != nil {
+			continue
+		}
+		any = true
+		for _, e := range one.Experiments {
+			if !seen[e.ID] {
+				seen[e.ID] = true
+				merged.Experiments = append(merged.Experiments, e)
+			}
+		}
+	}
+	if !any {
+		g.writeError(w, http.StatusBadGateway, "upstream_unreachable",
+			"no node answered the experiment listing", 0)
+		return
+	}
+	g.writeJSON(w, http.StatusOK, merged)
+}
+
+// handleJobList merges GET /v1/jobs across the cluster: each node lists
+// only the jobs it owns, so the cluster listing is the union, re-sorted
+// newest-first. Cursors are node-local and do not compose — the merged
+// listing is cursorless and honors ?limit over the union instead.
+func (g *Gateway) handleJobList(w http.ResponseWriter, r *http.Request) {
+	nodes, bodies := g.nodeGet(r.Context(), r.Header, "/v1/jobs"+querySuffix(r))
+	if len(nodes) == 0 {
+		g.writeError(w, http.StatusServiceUnavailable, "no_nodes",
+			"no healthy node in the cluster", 1)
+		return
+	}
+	merged := server.JobListResponse{Jobs: []server.JobStatusDTO{}}
+	any := false
+	var nodeErr *server.ErrorBody
+	nodeErrStatus := 0
+	for _, data := range bodies {
+		if data == nil {
+			continue
+		}
+		var one server.JobListResponse
+		if json.Unmarshal(data, &one) == nil {
+			any = true
+			merged.Jobs = append(merged.Jobs, one.Jobs...)
+			continue
+		}
+		var env struct {
+			Error server.ErrorBody `json:"error"`
+		}
+		if json.Unmarshal(data, &env) == nil && env.Error.Code != "" {
+			nodeErr = &env.Error
+		}
+	}
+	if !any {
+		// Uniform refusal (e.g. jobs_disabled on every node) passes
+		// through; pure transport failure reports the gateway's own code.
+		if nodeErr != nil {
+			if nodeErrStatus == 0 {
+				nodeErrStatus = http.StatusNotFound
+			}
+			g.writeError(w, nodeErrStatus, nodeErr.Code, nodeErr.Message, 0)
+			return
+		}
+		g.writeError(w, http.StatusBadGateway, "upstream_unreachable",
+			"no node answered the job listing", 0)
+		return
+	}
+	sort.SliceStable(merged.Jobs, func(i, j int) bool {
+		// RFC 3339 UTC timestamps order lexicographically (sub-second
+		// ties excepted); newest first, id as the deterministic tiebreak.
+		a, b := merged.Jobs[i], merged.Jobs[j]
+		if a.SubmittedAt != b.SubmittedAt {
+			return a.SubmittedAt > b.SubmittedAt
+		}
+		return a.ID < b.ID
+	})
+	if lim, err := strconv.Atoi(r.URL.Query().Get("limit")); err == nil && lim > 0 && lim < len(merged.Jobs) {
+		merged.Jobs = merged.Jobs[:lim]
+	}
+	g.writeJSON(w, http.StatusOK, merged)
+}
+
+// handleIndex serves the merged GET /v1/ index: one node's index (the
+// proxied surface) overlaid with the gateway's own route table and
+// error codes. Gateway descriptions win for routes the gateway
+// special-cases — the index should say "ring-routed", not pretend the
+// gateway is a node — and node-only routes (analyze, catalog, future
+// growth) pass through untouched.
+func (g *Gateway) handleIndex(w http.ResponseWriter, r *http.Request) {
+	var idx server.APIIndexResponse
+	got := false
+	for attempt := 0; attempt < 2 && !got; attempt++ {
+		n := g.m.pick()
+		if n == nil {
+			break
+		}
+		resp, err := g.roundTrip(r.Context(), n, http.MethodGet, "/v1/", r.Header, nil)
+		if err != nil {
+			g.eject(n, err)
+			continue
+		}
+		data, rerr := readAll(resp.Body)
+		resp.Body.Close()
+		if rerr == nil && resp.StatusCode == http.StatusOK && json.Unmarshal(data, &idx) == nil {
+			got = true
+		}
+	}
+	if !got {
+		// Degraded index: the gateway's own surface is still accurate.
+		idx = server.APIIndexResponse{
+			Service:      "balarch",
+			Routes:       []server.APIRouteInfo{},
+			ErrorCodes:   []string{},
+			Computations: []string{},
+			Experiments:  []string{},
+		}
+	}
+	byKey := make(map[string]int, len(idx.Routes))
+	for i, rt := range idx.Routes {
+		byKey[rt.Method+" "+rt.Path] = i
+	}
+	for _, rt := range gwIndexRoutes {
+		info := routeInfo(rt)
+		if i, ok := byKey[info.Method+" "+info.Path]; ok {
+			idx.Routes[i] = info
+		} else {
+			idx.Routes = append(idx.Routes, info)
+		}
+	}
+	codes := map[string]bool{"no_nodes": true, "upstream_unreachable": true}
+	for _, c := range idx.ErrorCodes {
+		codes[c] = true
+	}
+	idx.ErrorCodes = idx.ErrorCodes[:0]
+	for c := range codes {
+		idx.ErrorCodes = append(idx.ErrorCodes, c)
+	}
+	sort.Strings(idx.ErrorCodes)
+	g.writeJSON(w, http.StatusOK, idx)
+}
+
+// gwIndexRoutes is gwRoutes, copied by init(): handleIndex ranging
+// gwRoutes directly would close an initialization cycle (gwRoutes →
+// handleIndex → gwRoutes), exactly as the server's apiIndexRoutes does.
+var gwIndexRoutes []gwRoute
+
+func init() { gwIndexRoutes = gwRoutes }
+
+// routeInfo converts one gwRoutes entry to its wire form, stripping the
+// mux-only "{$}" marker exactly as the node index does.
+func routeInfo(rt gwRoute) server.APIRouteInfo {
+	method, path, _ := cutSpace(rt.pattern)
+	if len(path) >= 3 && path[len(path)-3:] == "{$}" {
+		path = path[:len(path)-3]
+	}
+	return server.APIRouteInfo{Method: method, Path: path, Description: rt.desc}
+}
+
+func cutSpace(s string) (before, after string, found bool) {
+	for i := 0; i < len(s); i++ {
+		if s[i] == ' ' {
+			return s[:i], s[i+1:], true
+		}
+	}
+	return s, "", false
+}
+
+// querySuffix rebuilds "?query" for fan-out URIs.
+func querySuffix(r *http.Request) string {
+	if r.URL.RawQuery == "" {
+		return ""
+	}
+	return "?" + r.URL.RawQuery
+}
+
+// readAll drains a response body through a pooled buffer and returns an
+// owned copy.
+func readAll(rd io.Reader) ([]byte, error) {
+	bb := getBuf()
+	defer putBuf(bb)
+	b := bb.b[:0]
+	for {
+		if len(b) == cap(b) {
+			b = append(b, 0)[:len(b)]
+		}
+		n, err := rd.Read(b[len(b):cap(b)])
+		b = b[:len(b)+n]
+		if err != nil {
+			bb.b = b
+			if err == io.EOF {
+				return append([]byte(nil), b...), nil
+			}
+			return nil, err
+		}
+	}
+}

@@ -45,7 +45,7 @@ func TestPlanDeterministic(t *testing.T) {
 }
 
 func TestScenarioCatalog(t *testing.T) {
-	want := []string{"analyze-heavy", "backlog-fairness", "batch-burst", "experiment-replay", "hierarchy-mix", "job-queue", "mixed-production", "noisy-neighbor", "sweep-stampede"}
+	want := []string{"analyze-heavy", "backlog-fairness", "batch-burst", "cluster-mix", "experiment-replay", "hierarchy-mix", "job-queue", "mixed-production", "noisy-neighbor", "sweep-stampede"}
 	got := Scenarios()
 	if len(got) != len(want) {
 		t.Fatalf("catalog has %d scenarios, want %d", len(got), len(want))

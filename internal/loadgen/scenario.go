@@ -132,6 +132,7 @@ func Scenarios() []Scenario {
 		hierarchyMix(),
 		noisyNeighbor(),
 		backlogFairness(),
+		clusterMix(),
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
 	return all
@@ -436,6 +437,22 @@ func metricsReq(*rand.Rand) Request {
 	return Request{Route: "GET /metrics", Method: "GET", Path: "/metrics"}
 }
 
+// emulationReq asks Hanlon's question with random but always-valid shapes:
+// power-of-two module counts and an interconnect no faster than a module
+// port, so every request is a 200.
+func emulationReq(r *rand.Rand) Request {
+	moduleBW := 1e6 * float64(1+r.Intn(4))
+	body := mustJSON(client.EmulationRequest{
+		C:           1e6 * float64(1+r.Intn(200)),
+		Computation: computationPool[r.Intn(len(computationPool))],
+		Modules:     1 << (1 + r.Intn(6)), // 2..64 modules
+		ModuleM:     float64(int64(1) << (10 + r.Intn(8))),
+		ModuleBW:    moduleBW,
+		NetworkBW:   moduleBW / float64(int64(1)<<r.Intn(4)),
+	})
+	return Request{Route: "POST /v1/emulation", Method: "POST", Path: "/v1/emulation", Body: body}
+}
+
 // --- the scenario catalog ---
 
 func analyzeHeavy() Scenario {
@@ -685,6 +702,30 @@ func mixedProduction() Scenario {
 			{3, experimentRunReq},
 			{5, healthReq},
 			{4, metricsReq},
+		},
+	}
+}
+
+// clusterMix is the multi-node soak blend: keyed traffic (sweeps, job
+// submits) that must pin to ring owners, keyless traffic for two-choice
+// placement, scatter-gather batches, and the emulation endpoint — all
+// routes a gateway fronts. It is equally valid against a single node.
+func clusterMix() Scenario {
+	return Scenario{
+		Name:        "cluster-mix",
+		Description: "gateway soak blend: keyed sweeps and jobs, keyless analyzes, batches, emulation",
+		mix: []weightedGen{
+			{25, analyzeReq},
+			{8, rebalanceReq},
+			{7, rooflineReq},
+			{20, sweepReq},
+			{10, batchReq},
+			{10, emulationReq},
+			{8, jobSubmitReq},
+			{5, jobPollReq},
+			{3, experimentListReq},
+			{2, metricsReq},
+			{2, healthReq},
 		},
 	}
 }

@@ -116,7 +116,16 @@ type Options struct {
 	// strict global submission order. An unknown name fails the async
 	// subsystem open (reported via JobsErr), not the whole server.
 	JobSchedPolicy string
+
+	// NodeID, when set, stamps every response with NodeHeader — how a
+	// cluster gateway's clients (and tests) see which member actually
+	// served a request. Empty (the default) adds nothing: single-node
+	// deployments keep byte-identical response headers.
+	NodeID string
 }
+
+// NodeHeader is the response header carrying Options.NodeID.
+const NodeHeader = "X-Balarch-Node"
 
 const (
 	defaultRequestTimeout = 60 * time.Second
@@ -309,13 +318,27 @@ func (s *Server) Handler() http.Handler {
 	if limit == 0 {
 		limit = 2 * engine.ParallelismFrom(context.Background())
 	}
-	return Chain(s.mux(),
+	h := Chain(s.mux(),
 		RequestID(),
 		Observe(s.opts.Logger, s.metrics, s.tracer),
 		Recover(s.opts.Logger, s.metrics),
 		s.tenancyMiddleware(),
 		LimitConcurrency(limit, "/healthz", "/readyz", "/metrics"),
 	)
+	if s.opts.NodeID != "" {
+		h = nodeIDMiddleware(s.opts.NodeID, h)
+	}
+	return h
+}
+
+// nodeIDMiddleware stamps NodeHeader on every response. Outermost in the
+// chain so even limiter rejections and recovered panics carry the node
+// identity.
+func nodeIDMiddleware(id string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(NodeHeader, id)
+		next.ServeHTTP(w, r)
+	})
 }
 
 // obsStage closes one pipeline stage opened at t0: the duration joins
@@ -405,6 +428,8 @@ var apiRoutes = []apiRoute{
 		func(s *Server) http.HandlerFunc { return jsonHandler(s, s.roofline) }},
 	{"POST /v1/sweep", "measured compute/IO ratio curve for a real kernel (memoized, single-flight)",
 		func(s *Server) http.HandlerFunc { return s.handleSweep }},
+	{"POST /v1/emulation", "Hanlon's emulation analysis: N memory modules behaving as one large memory, vs the ideal flat machine",
+		func(s *Server) http.HandlerFunc { return jsonHandler(s, s.emulation) }},
 	{"GET /v1/experiments", "the experiment registry: paper reproductions by id",
 		func(s *Server) http.HandlerFunc { return s.handleExperimentList }},
 	{"POST /v1/experiments/{id}", "run one experiment; ?format=csv|text, ?series=<name>, ?stream=1 for SSE progress",
